@@ -1,0 +1,117 @@
+"""EX3: Example 3 -- the custom base-profile line parser vs the LLVM route.
+
+Shape claims (DESIGN.md):
+* the custom line parser out-throughputs full-AST parsing (it skips the
+  general IR machinery);
+* it rejects adaptive-profile programs the full parser handles -- the
+  expressiveness cost the paper warns about.
+"""
+
+import pytest
+
+from repro.frontend import (
+    BaseProfileParseError,
+    import_circuit,
+    parse_base_profile,
+)
+from repro.llvmir import parse_assembly
+from repro.qir import AdaptiveProfile, SimpleModule
+from repro.workloads.qir_programs import ghz_qir, qft_qir, random_qir
+
+from conftest import report
+
+_TIMINGS = {}
+
+SIZES = [8, 32, 128]
+
+
+def _program(num_qubits: int) -> str:
+    return ghz_qir(num_qubits, addressing="dynamic")
+
+
+@pytest.mark.parametrize("num_qubits", SIZES)
+def test_custom_line_parser(benchmark, num_qubits):
+    text = _program(num_qubits)
+    circuit = benchmark(parse_base_profile, text)
+    assert circuit.num_qubits == num_qubits
+    _TIMINGS[("lines", num_qubits)] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("num_qubits", SIZES)
+def test_full_ast_parser(benchmark, num_qubits):
+    text = _program(num_qubits)
+
+    def full_route():
+        return import_circuit(parse_assembly(text))
+
+    circuit = benchmark(full_route)
+    assert circuit.num_qubits == num_qubits
+    _TIMINGS[("ast", num_qubits)] = benchmark.stats.stats.mean
+
+
+def test_ex3_shape(benchmark):
+    """Custom parser faster; both routes agree; adaptive rejected."""
+    text = _program(64)
+    benchmark(parse_base_profile, text)
+
+    rows = []
+    for n in SIZES:
+        lines = _TIMINGS.get(("lines", n))
+        ast = _TIMINGS.get(("ast", n))
+        if lines and ast:
+            rows.append((n, f"{lines*1e3:.2f} ms", f"{ast*1e3:.2f} ms",
+                         f"{ast/lines:.1f}x"))
+    report(
+        "EX3 parse time: custom line parser vs LLVM-AST route",
+        rows,
+        header=("qubits", "line parser", "AST parser", "speedup"),
+    )
+    for n in SIZES:
+        lines = _TIMINGS.get(("lines", n))
+        ast = _TIMINGS.get(("ast", n))
+        if lines and ast:
+            assert lines < ast, (
+                f"line parser should beat the AST route at {n} qubits"
+            )
+
+    # Expressiveness: the line parser must reject adaptive programs.
+    sm = SimpleModule("adaptive", 2, 2, profile=AdaptiveProfile)
+    sm.qis.h(0)
+    sm.qis.mz(0, 0)
+    sm.qis.if_result(0, one=lambda: sm.qis.x(1))
+    adaptive_text = sm.ir()
+    with pytest.raises(BaseProfileParseError):
+        parse_base_profile(adaptive_text)
+    assert import_circuit(parse_assembly(adaptive_text)) is not None
+
+
+@pytest.mark.parametrize(
+    "workload",
+    ["qft6_static", "random6_static"],
+)
+def test_parser_throughput_other_workloads(benchmark, workload):
+    if workload == "qft6_static":
+        text = qft_qir(6, addressing="static")
+    else:
+        text = random_qir(6, 12, seed=1, addressing="static")
+    circuit = benchmark(parse_base_profile, text)
+    assert circuit.num_qubits == 6
+
+
+@pytest.mark.parametrize("syntax", ["modern", "legacy"])
+def test_syntax_dialect_parse_cost(benchmark, syntax):
+    """Ablation (DESIGN.md): legacy typed-pointer syntax (paper footnote 1)
+    vs modern opaque pointers -- the legacy dialect costs extra struct-type
+    bookkeeping, and both normalise to identical in-memory IR."""
+    from repro.workloads.qir_programs import ghz_qir_legacy
+
+    n = 64
+    text = ghz_qir_legacy(n, legacy=(syntax == "legacy"))
+    module = benchmark(parse_assembly, text)
+    assert module.get_function("main") is not None
+    if syntax == "legacy":
+        # typed pointers were normalised to opaque ptr
+        from repro.llvmir.types import ptr
+
+        h = module.get_function("__quantum__qis__h__body")
+        assert h.function_type.param_types[0] == ptr

@@ -1,0 +1,81 @@
+"""FIG1: Figure 1 -- the same circuit in OpenQASM 2 vs QIR.
+
+Shape claims (DESIGN.md):
+* QIR's textual form is substantially larger than OpenQASM 2 for the same
+  circuit (~5-10x lines for the dynamic form) -- the verbosity visible in
+  the paper's side-by-side figure;
+* both representations round-trip losslessly through our IRs.
+"""
+
+import pytest
+
+from repro import export_circuit_text, import_circuit, parse_assembly, parse_qasm2
+from repro.qasm import circuit_to_qasm2
+from repro.workloads import bell_circuit, ghz_circuit, qft_circuit
+
+from conftest import report
+
+
+def _body_lines(text: str) -> int:
+    return sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith((";", "//"))
+    )
+
+
+WORKLOADS = {
+    "bell": bell_circuit,
+    "ghz8": lambda: ghz_circuit(8),
+    "qft5": lambda: qft_circuit(5, measure=True),
+}
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_representation_sizes(benchmark, name):
+    circuit = WORKLOADS[name]()
+
+    def build_all():
+        qasm = circuit_to_qasm2(circuit)
+        qir_static = export_circuit_text(circuit, addressing="static")
+        qir_dynamic = export_circuit_text(circuit, addressing="dynamic")
+        return qasm, qir_static, qir_dynamic
+
+    qasm, qir_static, qir_dynamic = benchmark(build_all)
+
+    qasm_lines = _body_lines(qasm)
+    static_lines = _body_lines(qir_static)
+    dynamic_lines = _body_lines(qir_dynamic)
+    report(
+        f"FIG1 representation sizes ({name})",
+        [
+            ("OpenQASM 2", qasm_lines),
+            ("QIR static", static_lines),
+            ("QIR dynamic", dynamic_lines),
+        ],
+        header=("format", "non-blank lines"),
+    )
+    benchmark.extra_info["qasm_lines"] = qasm_lines
+    benchmark.extra_info["qir_static_lines"] = static_lines
+    benchmark.extra_info["qir_dynamic_lines"] = dynamic_lines
+
+    # Shape: QIR is the more verbose exchange format.
+    assert static_lines > qasm_lines
+    assert dynamic_lines > static_lines
+    assert dynamic_lines > 2 * qasm_lines
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_lossless_roundtrip(benchmark, name):
+    circuit = WORKLOADS[name]()
+
+    def roundtrip():
+        via_qasm = parse_qasm2(circuit_to_qasm2(circuit))
+        via_qir = import_circuit(
+            parse_assembly(export_circuit_text(circuit, addressing="static"))
+        )
+        return via_qasm, via_qir
+
+    via_qasm, via_qir = benchmark(roundtrip)
+    assert len(via_qasm.operations) == len(circuit.operations)
+    assert via_qir.operations == circuit.operations

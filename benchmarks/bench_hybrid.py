@@ -1,0 +1,149 @@
+"""HYB: Section IV-B -- hybrid feasibility crossover.
+
+Shape claims (DESIGN.md):
+* as classical work per feedback grows, programs cross from feasible to
+  rejected;
+* the crossover point moves with the coherence budget;
+* a capability gap (float decode on an int-only FPGA) forces the host
+  round-trip and blows the budget immediately.
+"""
+
+import pytest
+
+from repro.hybrid import ControllerCapability, DeviceModel, check_feasibility, partition_function
+from repro.hybrid.latency import NEUTRAL_ATOM, SUPERCONDUCTING_FPGA, TRAPPED_ION
+from repro.llvmir import parse_assembly
+from repro.workloads.qec import repetition_code_qir, teleportation_qir
+
+from conftest import report
+
+WORK_LEVELS = [0, 50, 200, 800, 3200]
+
+
+@pytest.mark.parametrize("work", [0, 200, 3200])
+def test_partition_cost(benchmark, work):
+    module = parse_assembly(repetition_code_qir(3, classical_work=work))
+    entry = module.entry_points()[0]
+    partition = benchmark(partition_function, entry)
+    assert partition.regions
+
+
+@pytest.mark.parametrize("distance", [3, 5, 9])
+def test_feasibility_check_cost(benchmark, distance):
+    module = parse_assembly(repetition_code_qir(distance, classical_work=20))
+    report_out = benchmark(check_feasibility, module, SUPERCONDUCTING_FPGA)
+    assert report_out.timings
+
+
+def test_hyb_shape(benchmark):
+    """The feasibility crossover table of DESIGN.md's HYB experiment."""
+    rows = []
+    verdicts = {}
+    for work in WORK_LEVELS:
+        module = parse_assembly(repetition_code_qir(3, classical_work=work))
+        rep = check_feasibility(module, SUPERCONDUCTING_FPGA)
+        verdicts[work] = rep.feasible
+        rows.append(
+            (
+                work,
+                f"{rep.worst_latency:.0f} ns",
+                "feasible" if rep.feasible else "REJECTED",
+            )
+        )
+    report(
+        "HYB feasibility vs decoder work (superconducting, 5 us budget)",
+        rows,
+        header=("classical ops", "worst latency", "verdict"),
+    )
+    benchmark(
+        check_feasibility,
+        parse_assembly(repetition_code_qir(3, classical_work=200)),
+        SUPERCONDUCTING_FPGA,
+    )
+
+    # Shape: feasible at the bottom, rejected at the top, single crossover.
+    assert verdicts[WORK_LEVELS[0]] is True
+    assert verdicts[WORK_LEVELS[-1]] is False
+    flips = sum(
+        1
+        for a, b in zip(WORK_LEVELS, WORK_LEVELS[1:])
+        if verdicts[a] != verdicts[b]
+    )
+    assert flips == 1
+
+    # Crossover moves with the budget.
+    module = parse_assembly(repetition_code_qir(3, classical_work=800))
+    small = DeviceModel(coherence_budget=1_000.0)
+    large = DeviceModel(coherence_budget=100_000.0)
+    assert not check_feasibility(module, small).feasible
+    assert check_feasibility(module, large).feasible
+
+    # Device-technology table.
+    rows = []
+    for name, device in [
+        ("superconducting+FPGA", SUPERCONDUCTING_FPGA),
+        ("neutral atom", NEUTRAL_ATOM),
+        ("trapped ion", TRAPPED_ION),
+    ]:
+        rep = check_feasibility(module, device)
+        rows.append((name, f"{rep.worst_latency:.0f} ns",
+                     "feasible" if rep.feasible else "REJECTED"))
+    report("HYB same program across device models (work=800)", rows,
+           header=("device", "worst latency", "verdict"))
+
+    # Capability gap: int-only FPGA cannot run float decode locally.
+    int_only = SUPERCONDUCTING_FPGA
+    assert ControllerCapability.FLOAT_ARITHMETIC not in int_only.capabilities
+    float_module = parse_assembly(_float_decoder_program())
+    rep = check_feasibility(float_module, int_only)
+    assert any(t.needs_host_round_trip for t in rep.timings)
+    assert not rep.feasible
+
+
+def _float_decoder_program() -> str:
+    return """
+    define void @main() #0 {
+    entry:
+      call void @__quantum__qis__h__body(ptr null)
+      call void @__quantum__qis__mz__body(ptr null, ptr writeonly null)
+      %r = call i1 @__quantum__qis__read_result__body(ptr null)
+      %z = zext i1 %r to i64
+      %f = sitofp i64 %z to double
+      %w = fmul double %f, 0.5
+      %c = fcmp ogt double %w, 0.25
+      br i1 %c, label %fix, label %done
+    fix:
+      call void @__quantum__qis__x__body(ptr null)
+      br label %done
+    done:
+      ret void
+    }
+    declare void @__quantum__qis__h__body(ptr)
+    declare void @__quantum__qis__x__body(ptr)
+    declare void @__quantum__qis__mz__body(ptr, ptr writeonly)
+    declare i1 @__quantum__qis__read_result__body(ptr)
+    attributes #0 = { "entry_point" }
+    """
+
+
+def test_teleportation_feasible_everywhere(benchmark):
+    module = parse_assembly(teleportation_qir())
+    rep = benchmark(check_feasibility, module, SUPERCONDUCTING_FPGA)
+    assert rep.feasible  # bare X/Z corrections carry no classical work
+
+
+@pytest.mark.parametrize("rounds", [1, 2, 4])
+def test_multi_round_regions(benchmark, rounds):
+    """Realistic QEC cadence: feedback-region count scales with syndrome
+    rounds, and the per-region latency (what coherence constrains) stays
+    flat -- repeated feedback does not compound the budget."""
+    module = parse_assembly(
+        repetition_code_qir(3, rounds=rounds, classical_work=50)
+    )
+    entry = module.entry_points()[0]
+    partition = benchmark(partition_function, entry)
+    rep = check_feasibility(partition, SUPERCONDUCTING_FPGA)
+    benchmark.extra_info["regions"] = len(partition.regions)
+    benchmark.extra_info["worst_latency_ns"] = rep.worst_latency
+    assert len(partition.regions) >= rounds
+    assert rep.feasible  # per-round latency is unchanged by more rounds

@@ -1,0 +1,127 @@
+"""PASS: Section II-C -- the classical pipeline QIR "inherits for free".
+
+Shape claims (DESIGN.md):
+* the pipeline (fold / propagate / DCE / simplify / mem2reg) shrinks
+  adaptive and full QIR programs;
+* it never changes simulated measurement distributions (checked exactly
+  with matched seeds).
+"""
+
+import pytest
+
+from repro.llvmir import parse_assembly
+from repro.passes import (
+    ConstantFoldPass,
+    ConstantPropagationPass,
+    DeadCodeEliminationPass,
+    Mem2RegPass,
+    SimplifyCFGPass,
+    default_pipeline,
+    o1_pipeline,
+)
+from repro.runtime import run_shots
+from repro.workloads.qec import repetition_code_qir
+from repro.workloads.qir_programs import counted_loop_qir
+
+from conftest import report
+
+
+def _bloated_program() -> str:
+    """An unoptimised front-end-style program: spilled values, dead code,
+    foldable arithmetic around a quantum core."""
+    return """
+    define void @main() #0 {
+    entry:
+      %slot = alloca i64, align 8
+      store i64 4, ptr %slot, align 8
+      %a = load i64, ptr %slot, align 8
+      %b = add i64 %a, 0
+      %c = mul i64 %b, 1
+      %dead = mul i64 %c, 77
+      %addr = sub i64 %c, 3
+      %q = inttoptr i64 %addr to ptr
+      call void @__quantum__qis__h__body(ptr %q)
+      %cond = icmp slt i64 1, 2
+      br i1 %cond, label %always, label %never
+    always:
+      call void @__quantum__qis__mz__body(ptr %q, ptr writeonly null)
+      br label %done
+    never:
+      call void @__quantum__qis__x__body(ptr %q)
+      br label %done
+    done:
+      ret void
+    }
+    declare void @__quantum__qis__h__body(ptr)
+    declare void @__quantum__qis__x__body(ptr)
+    declare void @__quantum__qis__mz__body(ptr, ptr writeonly)
+    attributes #0 = { "entry_point" "qir_profiles"="full" "required_num_qubits"="2" "required_num_results"="1" }
+    !llvm.module.flags = !{!0}
+    !0 = !{i32 1, !"qir_major_version", i32 1}
+    """
+
+
+_PASSES = {
+    "mem2reg": Mem2RegPass,
+    "constant-fold": ConstantFoldPass,
+    "constprop": ConstantPropagationPass,
+    "dce": DeadCodeEliminationPass,
+    "simplify-cfg": SimplifyCFGPass,
+}
+
+
+@pytest.mark.parametrize("pass_name", list(_PASSES))
+def test_individual_pass_cost(benchmark, pass_name):
+    text = counted_loop_qir(32)
+
+    def run_pass():
+        module = parse_assembly(text)
+        _PASSES[pass_name]().run_on_module(module)
+        return module
+
+    benchmark(run_pass)
+
+
+def test_o1_pipeline_cost(benchmark):
+    text = _bloated_program()
+
+    def run():
+        module = parse_assembly(text)
+        o1_pipeline().run(module)
+        return module
+
+    benchmark(run)
+
+
+def test_pass_shape(benchmark):
+    """Shrinkage table + exact distribution preservation."""
+    text = _bloated_program()
+    module = parse_assembly(text)
+    before_size = len(module.get_function("main"))
+    before_counts = run_shots(text, shots=600, seed=21).counts
+
+    benchmark(lambda: default_pipeline().run(parse_assembly(text)))
+
+    default_pipeline().run(module)
+    after_size = len(module.get_function("main"))
+    after_counts = run_shots(module, shots=600, seed=21).counts
+
+    rep3 = parse_assembly(repetition_code_qir(3, classical_work=6))
+    rep_before = rep3.instruction_count()
+    rep_counts_before = run_shots(rep3, shots=200, seed=22).counts
+    o1_pipeline().run(rep3)
+    rep_after = rep3.instruction_count()
+    rep_counts_after = run_shots(rep3, shots=200, seed=22).counts
+
+    report(
+        "PASS pipeline shrinkage (instructions)",
+        [
+            ("bloated hybrid program", before_size, after_size),
+            ("repetition code d=3", rep_before, rep_after),
+        ],
+        header=("program", "before", "after"),
+    )
+    assert after_size < before_size / 2
+    assert rep_after <= rep_before
+    assert before_counts == after_counts
+    assert rep_counts_before == rep_counts_after

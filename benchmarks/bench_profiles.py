@@ -1,0 +1,90 @@
+"""PROF: Section II-C -- profile validation cost and selectivity.
+
+Shape claims (DESIGN.md):
+* base-profile validation is linear in program size and cheap;
+* each adaptive-only construct is individually rejected by the base
+  profile while the adaptive profile accepts the whole program.
+"""
+
+import pytest
+
+from repro.llvmir import parse_assembly
+from repro.qir import (
+    AdaptiveProfile,
+    BaseProfile,
+    FullProfile,
+    SimpleModule,
+    validate_profile,
+)
+from repro.workloads.qec import repetition_code_qir
+from repro.workloads.qir_programs import counted_loop_qir, ghz_qir
+
+from conftest import report
+
+_VALIDATION_TIMES = {}
+
+SIZES = [16, 64, 256]
+
+
+@pytest.mark.parametrize("num_qubits", SIZES)
+def test_base_validation_scaling(benchmark, num_qubits):
+    module = parse_assembly(ghz_qir(num_qubits, addressing="static"))
+    violations = benchmark(validate_profile, module, BaseProfile)
+    assert violations == []
+    _VALIDATION_TIMES[num_qubits] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize(
+    "profile_name,profile",
+    [("base", BaseProfile), ("adaptive", AdaptiveProfile), ("full", FullProfile)],
+)
+def test_validation_of_adaptive_program(benchmark, profile_name, profile):
+    module = parse_assembly(repetition_code_qir(3, classical_work=8))
+    violations = benchmark(validate_profile, module, profile)
+    if profile_name == "base":
+        assert violations
+    else:
+        assert violations == []
+
+
+def test_prof_shape(benchmark):
+    """Linearity check + per-construct rejection table."""
+    module = parse_assembly(ghz_qir(64, addressing="static"))
+    benchmark(validate_profile, module, BaseProfile)
+
+    rows = [
+        (n, f"{_VALIDATION_TIMES[n]*1e6:.0f} us")
+        for n in SIZES
+        if n in _VALIDATION_TIMES
+    ]
+    report("PROF base-profile validation time", rows, header=("qubits", "time"))
+    if all(n in _VALIDATION_TIMES for n in (16, 256)):
+        # 16x the program should cost far less than 50x the time (linear-ish,
+        # generous bound for timer noise).
+        assert _VALIDATION_TIMES[256] < 50 * max(_VALIDATION_TIMES[16], 1e-7)
+
+    # Per-construct rejection: each adaptive feature trips a distinct rule.
+    def rules_for(text):
+        return {v.rule for v in validate_profile(parse_assembly(text), BaseProfile)}
+
+    sm = SimpleModule("dyn", 2, 0, addressing="dynamic")
+    sm.qis.h(0)
+    dynamic_rules = rules_for(sm.ir())
+
+    sm2 = SimpleModule("branch", 2, 1, profile=AdaptiveProfile)
+    sm2.qis.mz(0, 0)
+    sm2.qis.if_result(0, one=lambda: sm2.qis.x(1))
+    branch_rules = rules_for(sm2.ir())
+
+    loop_rules = rules_for(counted_loop_qir(4))
+
+    rows = [
+        ("dynamic qubits", sorted(dynamic_rules)),
+        ("result feedback", sorted(branch_rules)),
+        ("loops + memory", sorted(loop_rules)),
+    ]
+    report("PROF constructs rejected by the base profile", rows,
+           header=("construct", "violated rules"))
+    assert "dynamic-qubits" in dynamic_rules and "memory" in dynamic_rules
+    assert "result-feedback" in branch_rules and "control-flow" in branch_rules
+    assert "int-computation" in loop_rules or "memory" in loop_rules

@@ -1,0 +1,158 @@
+"""QOPT: Section III-B -- transform QIR directly vs transpile-roundtrip.
+
+Shape claims (DESIGN.md):
+* the transpile route (QIR -> circuit -> optimise -> QIR) preserves
+  semantics for base-profile programs,
+* but *fails* (raises) on adaptive programs with classical control the
+  custom IR cannot express -- exactly the deficit the paper attributes to
+  custom-IR adoption -- while direct AST transforms handle both;
+* both optimisation routes remove the same redundant gates.
+"""
+
+import pytest
+
+from repro.analysis.dataflow import quantum_call_sites
+from repro.circuit import Circuit
+from repro.circuit.optimize import optimize_circuit
+from repro.frontend import CircuitImportError, export_circuit, import_circuit
+from repro.llvmir import parse_assembly, print_module
+from repro.passes.quantum import GateCancellationPass, RotationMergingPass
+from repro.qir import SimpleModule
+from repro.runtime import run_shots
+from repro.workloads.qec import repetition_code_qir
+from repro.workloads.qir_programs import random_qir
+
+from conftest import report
+
+
+def _redundant_program() -> str:
+    sm = SimpleModule("r", 3, 3)
+    q = sm.qis
+    q.h(0); q.h(0)            # cancels
+    q.x(1)
+    q.cnot(0, 1); q.cnot(0, 1)  # cancels
+    q.rz(0.4, 2); q.rz(0.6, 2)  # merges
+    q.t(0); q.t_adj(0)        # cancels
+    for i in range(3):
+        q.mz(i, i)
+    sm.record_output()
+    return sm.ir()
+
+
+def _direct_route(text: str):
+    module = parse_assembly(text)
+    GateCancellationPass().run_on_module(module)
+    RotationMergingPass().run_on_module(module)
+    return module
+
+
+def _transpile_route(text: str):
+    circuit = import_circuit(parse_assembly(text))
+    optimised = optimize_circuit(circuit)
+    return parse_assembly(export_circuit(optimised).ir())
+
+
+def test_direct_route_cost(benchmark):
+    text = _redundant_program()
+    module = benchmark(_direct_route, text)
+    assert len(quantum_call_sites(module.get_function("main"))) < 14
+
+
+def test_transpile_route_cost(benchmark):
+    text = _redundant_program()
+    module = benchmark(_transpile_route, text)
+    assert module.get_function("main") is not None
+
+
+def test_qopt_shape(benchmark):
+    text = _redundant_program()
+    before = len(quantum_call_sites(parse_assembly(text).get_function("main")))
+    direct = _direct_route(text)
+    transpiled = benchmark(_transpile_route, text)
+    direct_calls = len(quantum_call_sites(direct.get_function("main")))
+    # count only QIS calls on the transpile route (record_output differs)
+    transpiled_calls = len(
+        [
+            c
+            for c in quantum_call_sites(transpiled.get_function("main"))
+            if "qis" in c.callee.name
+        ]
+    )
+    direct_qis = len(
+        [c for c in quantum_call_sites(direct.get_function("main")) if "qis" in c.callee.name]
+    )
+
+    report(
+        "QOPT gate-optimisation routes (redundant 3-qubit program)",
+        [
+            ("original QIS calls", 10),
+            ("direct AST route", direct_qis),
+            ("transpile route", transpiled_calls),
+        ],
+    )
+    assert direct_qis == transpiled_calls  # same peephole power
+
+    # Semantics: identical distributions through both routes.
+    a = run_shots(direct, shots=400, seed=31).counts
+    b = run_shots(transpiled, shots=400, seed=31).counts
+    assert a == b
+
+    # The expressiveness wall: adaptive program with classical decode logic.
+    adaptive = repetition_code_qir(3, classical_work=4)
+    direct_ok = _direct_route(adaptive)  # direct transforms: fine
+    assert direct_ok is not None
+    with pytest.raises(CircuitImportError):
+        _transpile_route(adaptive)
+
+
+@pytest.mark.parametrize("depth", [10, 30])
+def test_direct_route_on_random_circuits(benchmark, depth):
+    text = random_qir(4, depth, seed=depth, addressing="static")
+    module = benchmark(_direct_route, text)
+    assert module is not None
+
+
+@pytest.mark.parametrize("mode", ["adjacent", "commuting"])
+def test_optimizer_power_ablation(benchmark, mode):
+    """Ablation: plain adjacency peephole vs commutation-aware sliding.
+
+    On random circuits over the Clifford+T+rotation set the commuting
+    optimiser removes at least as many (usually more) gates, at a higher
+    sweep cost; both preserve the state exactly (property-tested in the
+    unit suite)."""
+    from repro.circuit.optimize import optimize_circuit, optimize_circuit_commuting
+    from repro.workloads import random_circuit
+
+    circuits = [random_circuit(4, 15, seed=s, measure=False) for s in range(8)]
+    optimizer = optimize_circuit if mode == "adjacent" else optimize_circuit_commuting
+
+    def run():
+        return [optimizer(c) for c in circuits]
+
+    optimised = benchmark(run)
+    total_before = sum(len(c) for c in circuits)
+    total_after = sum(len(c) for c in optimised)
+    benchmark.extra_info["gates_before"] = total_before
+    benchmark.extra_info["gates_after"] = total_after
+    _OPT_RESULTS[mode] = total_after
+
+
+_OPT_RESULTS = {}
+
+
+def test_optimizer_ablation_shape(benchmark):
+    from repro.circuit.optimize import optimize_circuit, optimize_circuit_commuting
+    from repro.workloads import random_circuit
+
+    circuits = [random_circuit(4, 15, seed=s, measure=False) for s in range(8)]
+    plain = sum(len(optimize_circuit(c)) for c in circuits)
+    smart = sum(len(optimize_circuit_commuting(c)) for c in circuits)
+    before = sum(len(c) for c in circuits)
+    report(
+        "QOPT optimizer power (8 random 4q x 15-layer circuits)",
+        [("no optimisation", before), ("adjacency peephole", plain),
+         ("commutation-aware", smart)],
+        header=("optimizer", "total gates"),
+    )
+    benchmark(lambda: [optimize_circuit_commuting(c) for c in circuits[:2]])
+    assert smart <= plain < before

@@ -1,0 +1,89 @@
+"""MAP: Sec. III-A -- transforming programs to meet hardware connectivity.
+
+"In order for a quantum program to be executed, it must be transformed so
+that it complies with all the restrictions imposed by the hardware" -- the
+qubit-mapping problem ([15] in the paper).
+
+Shape claims:
+* full connectivity needs zero SWAPs; richer topologies need fewer SWAPs
+  (full <= grid <= line for connectivity-hungry circuits like QFT);
+* SWAP overhead grows with circuit connectivity demand;
+* routed circuits satisfy the coupling constraint (verified) and preserve
+  program semantics.
+"""
+
+import pytest
+
+from repro.circuit import run_circuit
+from repro.circuit.routing import CouplingMap, route_circuit, verify_routing
+from repro.sim.sampling import counts_to_probabilities, total_variation_distance
+from repro.workloads import ghz_circuit, qft_circuit, random_circuit
+
+from conftest import report
+
+N = 6
+
+TOPOLOGIES = {
+    "line": lambda: CouplingMap.line(N),
+    "ring": lambda: CouplingMap.ring(N),
+    "grid2x3": lambda: CouplingMap.grid(2, 3),
+    "full": lambda: CouplingMap.full(N),
+}
+
+
+@pytest.mark.parametrize("topology", list(TOPOLOGIES))
+def test_route_qft(benchmark, topology):
+    coupling = TOPOLOGIES[topology]()
+    circuit = qft_circuit(N, measure=False)
+    result = benchmark(route_circuit, circuit, coupling)
+    verify_routing(result, coupling)
+    benchmark.extra_info["swaps"] = result.swaps_inserted
+    benchmark.extra_info["depth"] = result.circuit.depth()
+
+
+@pytest.mark.parametrize("topology", ["line", "full"])
+def test_route_random(benchmark, topology):
+    coupling = TOPOLOGIES[topology]()
+    circuit = random_circuit(N, 20, seed=5, measure=False)
+    result = benchmark(route_circuit, circuit, coupling)
+    verify_routing(result, coupling)
+    benchmark.extra_info["swaps"] = result.swaps_inserted
+
+
+def test_map_shape(benchmark):
+    circuit = qft_circuit(N, measure=False)
+    rows = []
+    swaps = {}
+    base_depth = circuit.depth()
+    for name, factory in TOPOLOGIES.items():
+        coupling = factory()
+        result = route_circuit(circuit, coupling)
+        verify_routing(result, coupling)
+        swaps[name] = result.swaps_inserted
+        rows.append(
+            (name, result.swaps_inserted, result.circuit.depth(), base_depth)
+        )
+    report(
+        f"MAP routing overhead for QFT-{N}",
+        rows,
+        header=("topology", "SWAPs added", "routed depth", "original depth"),
+    )
+    benchmark(route_circuit, circuit, TOPOLOGIES["line"]())
+
+    assert swaps["full"] == 0
+    assert swaps["grid2x3"] <= swaps["line"]
+    assert swaps["ring"] <= swaps["line"]
+    assert swaps["line"] > 0
+
+    # GHZ (nearest-neighbour ladder) routes onto a line for free.
+    ghz = ghz_circuit(N, measure=False)
+    assert route_circuit(ghz, CouplingMap.line(N)).swaps_inserted == 0
+
+    # Semantics across routing: measured distributions agree.
+    measured = qft_circuit(4, measure=True)
+    direct = counts_to_probabilities(run_circuit(measured, 2500, seed=6))
+    routed = route_circuit(measured, CouplingMap.line(4))
+    via_line = counts_to_probabilities(
+        run_circuit(routed.circuit, 2500, seed=7)
+    )
+    assert total_variation_distance(direct, via_line) < 0.08

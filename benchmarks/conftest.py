@@ -1,0 +1,18 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark file reproduces one experiment from DESIGN.md's index and
+asserts its *shape* claim (who wins / how it scales), in addition to the
+pytest-benchmark timing rows.
+"""
+
+import pytest
+
+
+def report(title: str, rows, header=None) -> None:
+    """Print a small aligned table into the captured output (visible with
+    ``pytest -s`` and in benchmark logs)."""
+    print(f"\n== {title} ==")
+    if header:
+        print("  " + " | ".join(str(h) for h in header))
+    for row in rows:
+        print("  " + " | ".join(str(c) for c in row))

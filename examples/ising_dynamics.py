@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Trotterized transverse-field Ising dynamics through the QIR stack.
+
+Builds e^{-iHt} for H = -J sum Z_i Z_{i+1} - h sum X_i as alternating
+rzz/rx layers, lowers it to QIR, shows what rotation merging buys on this
+workload, and tracks the magnetization decay <Z_0>(t) -- compared against
+exact diagonalisation (scipy) for the 4-qubit chain.
+"""
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro import parse_assembly, run_shots
+from repro.analysis.dataflow import quantum_call_sites
+from repro.frontend import export_circuit_text
+from repro.passes.quantum import RotationMergingPass
+from repro.workloads import trotter_ising_circuit
+
+N, J, H_FIELD, DT = 4, 1.0, 1.0, 0.1
+SHOTS = 3000
+
+
+def magnetization(counts: dict, shots: int) -> float:
+    """<Z_0> from a Z-basis histogram (last character = qubit 0)."""
+    total = 0
+    for bits, count in counts.items():
+        total += (1 if bits[-1] == "0" else -1) * count
+    return total / shots
+
+
+def exact_magnetization(time: float) -> float:
+    Z = np.diag([1.0, -1.0])
+    X = np.array([[0.0, 1.0], [1.0, 0.0]])
+    I = np.eye(2)
+
+    def op(single, site):
+        m = np.array([[1.0]])
+        for k in range(N):
+            m = np.kron(single if k == site else I, m)
+        return m
+
+    H = sum(-J * op(Z, i) @ op(Z, i + 1) for i in range(N - 1))
+    H = H + sum(-H_FIELD * op(X, i) for i in range(N))
+    psi0 = np.zeros(2**N)
+    psi0[0] = 1.0
+    psi = expm(-1j * H * time) @ psi0
+    return float(np.real(np.vdot(psi, op(Z, 0) @ psi)))
+
+
+def main() -> None:
+    print(f"transverse-field Ising chain, N={N}, J={J}, h={H_FIELD}")
+    print(f"{'t':>5} {'steps':>5} {'<Z0> QIR':>9} {'<Z0> exact':>10}")
+    for steps in (1, 3, 6, 10):
+        circuit = trotter_ising_circuit(N, steps, DT, J, H_FIELD)
+        text = export_circuit_text(circuit, addressing="static")
+        counts = run_shots(text, shots=SHOTS, seed=steps).counts
+        simulated = magnetization(counts, SHOTS)
+        exact = exact_magnetization(steps * DT)
+        print(f"{steps * DT:5.2f} {steps:5d} {simulated:9.3f} {exact:10.3f}")
+
+    # What rotation merging buys: with the coupling off, every step is a
+    # pure rx layer, and consecutive steps' rotations on the same qubit are
+    # adjacent (rx gates on *other* qubits do not block the window) -- ten
+    # layers collapse to one.
+    circuit = trotter_ising_circuit(N, 10, DT, coupling=0.0, field=H_FIELD)
+    module = parse_assembly(export_circuit_text(circuit))
+    before = len(quantum_call_sites(module.entry_points()[0]))
+    RotationMergingPass().run_on_module(module)
+    after = len(quantum_call_sites(module.entry_points()[0]))
+    print(f"\ncoupling-free chain (pure rx layers): QIR quantum calls "
+          f"{before} -> {after} after rotation merging")
+
+
+if __name__ == "__main__":
+    main()

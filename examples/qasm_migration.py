@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Migrating an OpenQASM code base to QIR (the Section II/III story).
+
+Takes OpenQASM 2 and OpenQASM 3 sources, moves them through the custom
+circuit IR into QIR, contrasts the two loop-handling philosophies the
+paper describes -- the OpenQASM 3 *parser* unrolls its own `for` loop,
+whereas QIR ships the loop to the inherited LLVM-style unrolling pass --
+and verifies both routes produce the same measurement distribution.
+"""
+
+from repro import parse_assembly, print_module, run_shots
+from repro.analysis.dataflow import count_opcodes
+from repro.frontend import export_circuit_text, import_circuit
+from repro.passes import unroll_pipeline
+from repro.qasm import circuit_to_qasm2, parse_qasm2, parse_qasm3
+from repro.sim.sampling import counts_to_probabilities, total_variation_distance
+from repro.workloads.qir_programs import counted_loop_qir
+
+QASM2_SOURCE = """
+OPENQASM 2.0;
+include "qelib1.inc";
+gate bell a, b { h a; cx a, b; }
+qreg q[4];
+creg c[4];
+bell q[0], q[1];
+bell q[2], q[3];
+rz(pi/4) q[0];
+rz(pi/4) q[0];
+measure q -> c;
+"""
+
+QASM3_SOURCE = """
+OPENQASM 3;
+qubit[8] q;
+bit[8] c;
+for uint i in [0:7] { h q[i]; }
+for uint i in [0:7] { c[i] = measure q[i]; }
+"""
+
+
+def main() -> None:
+    # --- OpenQASM 2 -> circuit -> QIR ----------------------------------------
+    circuit = parse_qasm2(QASM2_SOURCE)
+    print(f"QASM2 parsed: {circuit} ops={dict(circuit.count_ops())}")
+    qir_text = export_circuit_text(circuit, addressing="static")
+    counts_qasm = run_shots(qir_text, shots=800, seed=3).counts
+    print(f"executed via QIR: {len(counts_qasm)} distinct outcomes")
+
+    # Round-trip check: QIR -> circuit -> QASM2 -> circuit.
+    reimported = import_circuit(parse_assembly(qir_text))
+    qasm_again = circuit_to_qasm2(reimported)
+    assert parse_qasm2(qasm_again).operations == reimported.operations
+    print("QIR -> circuit -> QASM2 round trip: OK")
+
+    # --- loops: QASM3 parser-side unrolling vs QIR pass-side unrolling -------
+    qasm3_circuit = parse_qasm3(QASM3_SOURCE)  # the *parser* unrolled the loop
+    print(f"\nQASM3 parsed (parser unrolled the loop): "
+          f"{dict(qasm3_circuit.count_ops())}")
+
+    loop_module = parse_assembly(counted_loop_qir(8))  # a real IR loop
+    print(f"QIR loop program opcodes before passes: "
+          f"{dict(count_opcodes(loop_module.entry_points()[0]))}")
+    unroll_pipeline().run(loop_module)  # LLVM-style machinery does the work
+    print(f"after unroll pipeline: "
+          f"{dict(count_opcodes(loop_module.entry_points()[0]))}")
+
+    # Same distribution either way: H on every qubit gives the uniform
+    # distribution over all 256 outcomes, so compare each route against the
+    # exact distribution (TVD between two finite samples of a 256-outcome
+    # uniform would be dominated by sampling noise).
+    from repro.circuit import run_circuit
+
+    shots = 4000
+    p_qasm3 = counts_to_probabilities(run_circuit(qasm3_circuit, shots, seed=5))
+    p_qir = counts_to_probabilities(run_shots(loop_module, shots, seed=5).counts)
+    uniform = {format(i, "08b"): 1 / 256 for i in range(256)}
+    tvd_qasm3 = total_variation_distance(p_qasm3, uniform)
+    tvd_qir = total_variation_distance(p_qir, uniform)
+    print(f"TVD vs exact uniform: QASM3 route {tvd_qasm3:.3f}, "
+          f"QIR route {tvd_qir:.3f} (both ~sampling noise, "
+          f"~{0.5 * (2 * 256 / (3.1416 * shots)) ** 0.5:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro: a complete QIR (Quantum Intermediate Representation) toolchain.
+
+A from-scratch Python reproduction of the systems discussed in
+"Towards Supporting QIR: Steps for Adopting the Quantum Intermediate
+Representation" (Stade, Burgholzer, Wille; SC 2025): an LLVM-IR-subset
+infrastructure, the QIR layer (profiles, builder, validation), classical
+and quantum optimisation passes, OpenQASM 2/3 frontends, a custom circuit
+IR, a QIR runtime with statevector and stabilizer simulator backends, and
+a hybrid classical-quantum partitioner with coherence-feasibility
+checking.
+
+Quickstart::
+
+    from repro import SimpleModule, run_shots
+
+    sm = SimpleModule("bell", num_qubits=2, num_results=2)
+    sm.qis.h(0)
+    sm.qis.cnot(0, 1)
+    sm.qis.mz(0, 0)
+    sm.qis.mz(1, 1)
+    sm.record_output()
+    print(run_shots(sm.ir(), shots=1000).counts)
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced experiments.
+"""
+
+from repro.circuit import Circuit, run_circuit, statevector_of
+from repro.frontend import (
+    export_circuit,
+    export_circuit_text,
+    import_circuit,
+    parse_base_profile,
+)
+from repro.llvmir import parse_assembly, print_module, verify_module
+from repro.qasm import circuit_to_qasm2, parse_qasm2, parse_qasm3
+from repro.qir import (
+    AdaptiveProfile,
+    BaseProfile,
+    BasicQisBuilder,
+    FullProfile,
+    SimpleModule,
+    validate_profile,
+)
+from repro.runtime import QirRuntime, execute, run_shots
+from repro.sim import NoiseModel, StabilizerSimulator, StatevectorSimulator
+from repro.hybrid import DeviceModel, check_feasibility, partition_function
+from repro.compiler import CompilationResult, Target, compile_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "run_circuit",
+    "statevector_of",
+    "export_circuit",
+    "export_circuit_text",
+    "import_circuit",
+    "parse_base_profile",
+    "parse_assembly",
+    "print_module",
+    "verify_module",
+    "circuit_to_qasm2",
+    "parse_qasm2",
+    "parse_qasm3",
+    "AdaptiveProfile",
+    "BaseProfile",
+    "BasicQisBuilder",
+    "FullProfile",
+    "SimpleModule",
+    "validate_profile",
+    "QirRuntime",
+    "execute",
+    "run_shots",
+    "NoiseModel",
+    "StabilizerSimulator",
+    "StatevectorSimulator",
+    "DeviceModel",
+    "check_feasibility",
+    "partition_function",
+    "CompilationResult",
+    "Target",
+    "compile_program",
+    "__version__",
+]

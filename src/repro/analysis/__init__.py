@@ -1,0 +1,31 @@
+"""CFG analyses: dominators, natural loops, liveness-style dataflow.
+
+These are the classical-compiler analyses the paper argues QIR inherits
+"for free" from LLVM; here they are built once on top of
+:mod:`repro.llvmir` and shared by every transformation pass.
+"""
+
+from repro.analysis.cfg import cfg_graph, postorder, reachable_blocks, reverse_postorder
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loops import Loop, LoopInfo, find_natural_loops
+from repro.analysis.dataflow import (
+    compute_liveness,
+    count_opcodes,
+    quantum_call_sites,
+    uses_outside_block,
+)
+
+__all__ = [
+    "cfg_graph",
+    "postorder",
+    "reachable_blocks",
+    "reverse_postorder",
+    "DominatorTree",
+    "Loop",
+    "LoopInfo",
+    "find_natural_loops",
+    "compute_liveness",
+    "count_opcodes",
+    "quantum_call_sites",
+    "uses_outside_block",
+]

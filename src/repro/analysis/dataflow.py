@@ -1,0 +1,88 @@
+"""Small dataflow utilities shared by passes and the hybrid partitioner."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.cfg import reverse_postorder
+from repro.llvmir.block import BasicBlock
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import CallInst, Instruction, PhiInst
+from repro.llvmir.values import Argument, Value
+
+
+def count_opcodes(fn: Function) -> Counter:
+    """Histogram of instruction opcodes; used by benches to report IR shape."""
+    counts: Counter = Counter()
+    for inst in fn.instructions():
+        counts[inst.opcode] += 1
+    return counts
+
+
+def quantum_call_sites(fn: Function) -> List[CallInst]:
+    """All calls into the QIR quantum namespace (``__quantum__*``)."""
+    out = []
+    for inst in fn.instructions():
+        if isinstance(inst, CallInst) and (inst.callee.name or "").startswith(
+            "__quantum__"
+        ):
+            out.append(inst)
+    return out
+
+
+def uses_outside_block(inst: Instruction) -> bool:
+    """Does any user of ``inst`` live in a different basic block?"""
+    for user in inst.users:
+        if user.parent is not inst.parent:
+            return True
+    return False
+
+
+def compute_liveness(
+    fn: Function,
+) -> Tuple[Dict[BasicBlock, Set[Value]], Dict[BasicBlock, Set[Value]]]:
+    """Classic backward liveness over SSA values.
+
+    Returns ``(live_in, live_out)`` per block.  Phi semantics: a phi's
+    operands are treated as live-out of the corresponding predecessor, not
+    live-in of the phi's block.
+    """
+    use: Dict[BasicBlock, Set[Value]] = {}
+    defs: Dict[BasicBlock, Set[Value]] = {}
+    phi_uses: Dict[BasicBlock, Set[Value]] = {b: set() for b in fn.blocks}
+
+    for block in fn.blocks:
+        u: Set[Value] = set()
+        d: Set[Value] = set()
+        for inst in block.instructions:
+            if isinstance(inst, PhiInst):
+                for value, pred in inst.incoming:
+                    if isinstance(value, (Instruction, Argument)):
+                        phi_uses.setdefault(pred, set()).add(value)
+            else:
+                for op in inst.operands:
+                    if isinstance(op, (Instruction, Argument)) and op not in d:
+                        u.add(op)
+            if not inst.type.is_void:
+                d.add(inst)
+        use[block] = u
+        defs[block] = d
+
+    live_in: Dict[BasicBlock, Set[Value]] = {b: set() for b in fn.blocks}
+    live_out: Dict[BasicBlock, Set[Value]] = {b: set() for b in fn.blocks}
+
+    changed = True
+    order = list(reversed(reverse_postorder(fn)))
+    while changed:
+        changed = False
+        for block in order:
+            out: Set[Value] = set(phi_uses.get(block, ()))
+            for succ in block.successors():
+                out |= live_in[succ]
+            inn = use[block] | (out - defs[block])
+            if out != live_out[block] or inn != live_in[block]:
+                live_out[block] = out
+                live_in[block] = inn
+                changed = True
+    return live_in, live_out

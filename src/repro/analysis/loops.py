@@ -1,0 +1,124 @@
+"""Natural-loop detection.
+
+A natural loop is identified by a *back edge* ``latch -> header`` where the
+header dominates the latch; the loop body is every block that can reach the
+latch without passing through the header.  This is exactly the structure the
+paper's Example 4 FOR-loop produces (``for.header`` / ``body`` / ``exit``),
+and what the unrolling pass consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.dominators import DominatorTree
+from repro.llvmir.block import BasicBlock
+from repro.llvmir.function import Function
+
+
+@dataclass
+class Loop:
+    header: BasicBlock
+    latches: List[BasicBlock]
+    blocks: Set[BasicBlock]
+    parent: Optional["Loop"] = None
+    children: List["Loop"] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        depth, node = 1, self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def exit_blocks(self) -> List[BasicBlock]:
+        """Blocks outside the loop that are branched to from inside."""
+        out: List[BasicBlock] = []
+        seen: Set[BasicBlock] = set()
+        for block in self.blocks:
+            for succ in block.successors():
+                if succ not in self.blocks and succ not in seen:
+                    seen.add(succ)
+                    out.append(succ)
+        return out
+
+    def exiting_blocks(self) -> List[BasicBlock]:
+        return [
+            b
+            for b in self.blocks
+            if any(s not in self.blocks for s in b.successors())
+        ]
+
+    def preheader(self) -> Optional[BasicBlock]:
+        """The unique out-of-loop predecessor of the header, if there is one
+        and it branches only to the header."""
+        outside = [p for p in self.header.predecessors() if p not in self.blocks]
+        if len(outside) != 1:
+            return None
+        cand = outside[0]
+        if cand.successors() == [self.header]:
+            return cand
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Loop header=%{self.header.name} blocks={len(self.blocks)} "
+            f"depth={self.depth}>"
+        )
+
+
+class LoopInfo:
+    def __init__(self, loops: List[Loop]):
+        self.top_level = [l for l in loops if l.parent is None]
+        self.all_loops = loops
+        self._block_map: Dict[BasicBlock, Loop] = {}
+        # innermost loop per block
+        for loop in sorted(loops, key=lambda l: l.depth):
+            for block in loop.blocks:
+                self._block_map[block] = loop
+
+    def loop_for(self, block: BasicBlock) -> Optional[Loop]:
+        return self._block_map.get(block)
+
+    def __iter__(self):
+        return iter(self.all_loops)
+
+    def __len__(self) -> int:
+        return len(self.all_loops)
+
+
+def find_natural_loops(fn: Function, domtree: Optional[DominatorTree] = None) -> LoopInfo:
+    if not fn.blocks:
+        return LoopInfo([])
+    domtree = domtree or DominatorTree(fn)
+
+    # Collect back edges, merging loops that share a header.
+    header_latches: Dict[BasicBlock, List[BasicBlock]] = {}
+    for block in fn.blocks:
+        for succ in block.successors():
+            if domtree.dominates(succ, block):
+                header_latches.setdefault(succ, []).append(block)
+
+    loops: List[Loop] = []
+    for header, latches in header_latches.items():
+        body: Set[BasicBlock] = {header}
+        stack = list(latches)
+        while stack:
+            block = stack.pop()
+            if block in body:
+                continue
+            body.add(block)
+            stack.extend(block.predecessors())
+        loops.append(Loop(header, latches, body))
+
+    # Nesting: loop A is a child of the smallest loop strictly containing it.
+    by_size = sorted(loops, key=lambda l: len(l.blocks))
+    for i, inner in enumerate(by_size):
+        for outer in by_size[i + 1 :]:
+            if inner is not outer and inner.blocks < outer.blocks:
+                inner.parent = outer
+                outer.children.append(inner)
+                break
+    return LoopInfo(loops)

@@ -1,0 +1,40 @@
+"""A custom quantum-circuit IR (the paper's "tool-specific IR").
+
+Section III-A/B of the paper weighs parsing/transpiling QIR into a custom
+in-memory circuit representation against operating on the QIR AST directly.
+This package *is* that custom IR: registers, gate operations, measurements,
+resets and (OpenQASM-2-style) classically-conditioned operations -- but, by
+design, no arbitrary classical control flow.  The expressiveness gap this
+creates for adaptive-profile QIR programs is exactly what the QOPT
+benchmark measures.
+"""
+
+from repro.circuit.registers import Clbit, ClassicalRegister, QuantumRegister, Qubit
+from repro.circuit.operations import (
+    Barrier,
+    ConditionalOperation,
+    GateOperation,
+    Measurement,
+    Operation,
+    Reset,
+)
+from repro.circuit.circuit import Circuit
+from repro.circuit.simulate import run_circuit, statevector_of
+from repro.circuit.dag import CircuitDAG
+
+__all__ = [
+    "Clbit",
+    "ClassicalRegister",
+    "QuantumRegister",
+    "Qubit",
+    "Barrier",
+    "ConditionalOperation",
+    "GateOperation",
+    "Measurement",
+    "Operation",
+    "Reset",
+    "Circuit",
+    "run_circuit",
+    "statevector_of",
+    "CircuitDAG",
+]

@@ -1,0 +1,330 @@
+"""The Circuit container: ordered operations over named registers."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.circuit.operations import (
+    Barrier,
+    ConditionalOperation,
+    GateOperation,
+    Measurement,
+    Operation,
+    Reset,
+)
+from repro.circuit.registers import Clbit, ClassicalRegister, QuantumRegister, Qubit
+
+QubitLike = Union[Qubit, int]
+ClbitLike = Union[Clbit, int]
+
+
+class Circuit:
+    """An ordered list of operations over quantum/classical registers.
+
+    Qubits may be addressed by :class:`Qubit` handle or by *global index*
+    (flat across registers in declaration order), mirroring how the QIR
+    exporters number qubits.
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.qregs: List[QuantumRegister] = []
+        self.cregs: List[ClassicalRegister] = []
+        self.operations: List[Operation] = []
+
+    # -- registers ---------------------------------------------------------------
+    def add_qreg(self, register: QuantumRegister) -> QuantumRegister:
+        if any(r.name == register.name for r in self.qregs):
+            raise ValueError(f"duplicate quantum register {register.name!r}")
+        self.qregs.append(register)
+        return register
+
+    def add_creg(self, register: ClassicalRegister) -> ClassicalRegister:
+        if any(r.name == register.name for r in self.cregs):
+            raise ValueError(f"duplicate classical register {register.name!r}")
+        self.cregs.append(register)
+        return register
+
+    def qreg(self, size: int, name: Optional[str] = None) -> QuantumRegister:
+        name = name or f"q{len(self.qregs) if self.qregs else ''}"
+        return self.add_qreg(QuantumRegister(name, size))
+
+    def creg(self, size: int, name: Optional[str] = None) -> ClassicalRegister:
+        name = name or f"c{len(self.cregs) if self.cregs else ''}"
+        return self.add_creg(ClassicalRegister(name, size))
+
+    @property
+    def num_qubits(self) -> int:
+        return sum(r.size for r in self.qregs)
+
+    @property
+    def num_clbits(self) -> int:
+        return sum(r.size for r in self.cregs)
+
+    @property
+    def qubits(self) -> List[Qubit]:
+        return [q for reg in self.qregs for q in reg]
+
+    @property
+    def clbits(self) -> List[Clbit]:
+        return [c for reg in self.cregs for c in reg]
+
+    def qubit_index(self, qubit: Qubit) -> int:
+        offset = 0
+        for reg in self.qregs:
+            if reg == qubit.register:
+                return offset + qubit.index
+            offset += reg.size
+        raise ValueError(f"{qubit!r} is not in this circuit")
+
+    def clbit_index(self, clbit: Clbit) -> int:
+        offset = 0
+        for reg in self.cregs:
+            if reg == clbit.register:
+                return offset + clbit.index
+            offset += reg.size
+        raise ValueError(f"{clbit!r} is not in this circuit")
+
+    def _resolve_qubit(self, q: QubitLike) -> Qubit:
+        if isinstance(q, Qubit):
+            self.qubit_index(q)  # validates membership
+            return q
+        index = q
+        for reg in self.qregs:
+            if index < reg.size:
+                return reg[index]
+            index -= reg.size
+        raise IndexError(f"global qubit index {q} out of range")
+
+    def _resolve_clbit(self, c: ClbitLike) -> Clbit:
+        if isinstance(c, Clbit):
+            self.clbit_index(c)
+            return c
+        index = c
+        for reg in self.cregs:
+            if index < reg.size:
+                return reg[index]
+            index -= reg.size
+        raise IndexError(f"global clbit index {c} out of range")
+
+    # -- construction ---------------------------------------------------------------
+    def append(self, operation: Operation) -> Operation:
+        for qubit in operation.qubits:
+            self.qubit_index(qubit)  # membership check
+        self.operations.append(operation)
+        return operation
+
+    def gate(
+        self, name: str, qubits: Sequence[QubitLike], params: Sequence[float] = ()
+    ) -> GateOperation:
+        op = GateOperation(name, [self._resolve_qubit(q) for q in qubits], params)
+        return self.append(op)  # type: ignore[return-value]
+
+    # common gates as methods
+    def h(self, q: QubitLike) -> GateOperation:
+        return self.gate("h", [q])
+
+    def x(self, q: QubitLike) -> GateOperation:
+        return self.gate("x", [q])
+
+    def y(self, q: QubitLike) -> GateOperation:
+        return self.gate("y", [q])
+
+    def z(self, q: QubitLike) -> GateOperation:
+        return self.gate("z", [q])
+
+    def s(self, q: QubitLike) -> GateOperation:
+        return self.gate("s", [q])
+
+    def sdg(self, q: QubitLike) -> GateOperation:
+        return self.gate("s_adj", [q])
+
+    def t(self, q: QubitLike) -> GateOperation:
+        return self.gate("t", [q])
+
+    def tdg(self, q: QubitLike) -> GateOperation:
+        return self.gate("t_adj", [q])
+
+    def rx(self, theta: float, q: QubitLike) -> GateOperation:
+        return self.gate("rx", [q], [theta])
+
+    def ry(self, theta: float, q: QubitLike) -> GateOperation:
+        return self.gate("ry", [q], [theta])
+
+    def rz(self, theta: float, q: QubitLike) -> GateOperation:
+        return self.gate("rz", [q], [theta])
+
+    def p(self, lam: float, q: QubitLike) -> GateOperation:
+        return self.gate("p", [q], [lam])
+
+    def cx(self, control: QubitLike, target: QubitLike) -> GateOperation:
+        return self.gate("cnot", [control, target])
+
+    cnot = cx
+
+    def cz(self, control: QubitLike, target: QubitLike) -> GateOperation:
+        return self.gate("cz", [control, target])
+
+    def cp(self, lam: float, control: QubitLike, target: QubitLike) -> GateOperation:
+        return self.gate("cp", [control, target], [lam])
+
+    def swap(self, a: QubitLike, b: QubitLike) -> GateOperation:
+        return self.gate("swap", [a, b])
+
+    def ccx(self, c1: QubitLike, c2: QubitLike, target: QubitLike) -> GateOperation:
+        return self.gate("ccx", [c1, c2, target])
+
+    def measure(self, qubit: QubitLike, clbit: ClbitLike) -> Measurement:
+        op = Measurement(self._resolve_qubit(qubit), self._resolve_clbit(clbit))
+        return self.append(op)  # type: ignore[return-value]
+
+    def measure_all(self) -> None:
+        if self.num_clbits < self.num_qubits:
+            raise ValueError("not enough classical bits to measure every qubit")
+        for q, c in zip(self.qubits, self.clbits):
+            self.measure(q, c)
+
+    def reset(self, qubit: QubitLike) -> Reset:
+        return self.append(Reset(self._resolve_qubit(qubit)))  # type: ignore[return-value]
+
+    def barrier(self, *qubits: QubitLike) -> Barrier:
+        resolved = [self._resolve_qubit(q) for q in qubits] or self.qubits
+        return self.append(Barrier(resolved))  # type: ignore[return-value]
+
+    def c_if(
+        self, register: ClassicalRegister, value: int, operation: Operation
+    ) -> ConditionalOperation:
+        """Wrap an operation in a classical condition and append it.
+
+        ``operation`` must not already be in the circuit; build it directly
+        (e.g. ``GateOperation("x", [qr[0]])``) and pass it here.
+        """
+        op = ConditionalOperation(register, value, operation)
+        return self.append(op)  # type: ignore[return-value]
+
+    # -- whole-circuit operations ------------------------------------------------
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Append another circuit's operations; registers must be compatible
+        (same names imply same sizes)."""
+        merged = self.copy()
+        mine_q = {r.name: r for r in merged.qregs}
+        mine_c = {r.name: r for r in merged.cregs}
+        for reg in other.qregs:
+            if reg.name in mine_q:
+                if mine_q[reg.name] != reg:
+                    raise ValueError(f"register clash on {reg.name!r}")
+            else:
+                merged.add_qreg(reg)
+        for reg in other.cregs:
+            if reg.name in mine_c:
+                if mine_c[reg.name] != reg:
+                    raise ValueError(f"register clash on {reg.name!r}")
+            else:
+                merged.add_creg(reg)
+        merged.operations.extend(other.operations)
+        return merged
+
+    def inverse(self) -> "Circuit":
+        """Reverse with inverted gates; measurement/reset/conditionals refuse."""
+        inv = Circuit(f"{self.name}_inv")
+        for reg in self.qregs:
+            inv.add_qreg(reg)
+        for reg in self.cregs:
+            inv.add_creg(reg)
+        for op in reversed(self.operations):
+            if isinstance(op, GateOperation):
+                inv.append(op.inverse())
+            elif isinstance(op, Barrier):
+                inv.append(op)
+            else:
+                raise ValueError(f"cannot invert non-unitary operation {op!r}")
+        return inv
+
+    def copy(self) -> "Circuit":
+        dup = Circuit(self.name)
+        dup.qregs = list(self.qregs)
+        dup.cregs = list(self.cregs)
+        dup.operations = list(self.operations)
+        return dup
+
+    # -- queries ---------------------------------------------------------------
+    def count_ops(self) -> Counter:
+        counts: Counter = Counter()
+        for op in self.operations:
+            if isinstance(op, GateOperation):
+                counts[op.name] += 1
+            elif isinstance(op, Measurement):
+                counts["measure"] += 1
+            elif isinstance(op, Reset):
+                counts["reset"] += 1
+            elif isinstance(op, Barrier):
+                counts["barrier"] += 1
+            elif isinstance(op, ConditionalOperation):
+                counts["if"] += 1
+        return counts
+
+    def depth(self) -> int:
+        """Circuit depth over qubit wires (barriers synchronise, classical
+        conditions tie in every bit of their register)."""
+        level: Dict[object, int] = {}
+        depth = 0
+        for op in self.operations:
+            wires: List[object] = list(op.qubits)
+            if isinstance(op, Measurement):
+                wires.append(op.clbit)
+            if isinstance(op, ConditionalOperation):
+                wires.extend(op.register[i] for i in range(op.register.size))
+                if isinstance(op.operation, Measurement):
+                    wires.append(op.operation.clbit)
+            if isinstance(op, Barrier):
+                wires = list(op.qubits)
+            start = max((level.get(w, 0) for w in wires), default=0)
+            if not isinstance(op, Barrier):
+                start += 1
+            for w in wires:
+                level[w] = start
+            depth = max(depth, start)
+        return depth
+
+    def has_measurements(self) -> bool:
+        return any(
+            isinstance(op, Measurement)
+            or (
+                isinstance(op, ConditionalOperation)
+                and isinstance(op.operation, Measurement)
+            )
+            for op in self.operations
+        )
+
+    def has_conditionals(self) -> bool:
+        return any(isinstance(op, ConditionalOperation) for op in self.operations)
+
+    def is_clifford(self) -> bool:
+        from repro.sim.gates import is_clifford_gate
+
+        for op in self.operations:
+            inner = op.operation if isinstance(op, ConditionalOperation) else op
+            if isinstance(inner, GateOperation) and not is_clifford_gate(inner.name):
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Circuit)
+            and other.qregs == self.qregs
+            and other.cregs == self.cregs
+            and other.operations == self.operations
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Circuit {self.name!r}: {self.num_qubits} qubits, "
+            f"{self.num_clbits} clbits, {len(self.operations)} ops>"
+        )

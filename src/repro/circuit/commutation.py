@@ -1,0 +1,66 @@
+"""Pairwise gate-commutation rules.
+
+The plain peephole (:mod:`repro.circuit.optimize`) invalidates its window
+whenever *any* gate touches an operand qubit.  Many of those gates
+actually commute -- the standard structural rules:
+
+* gates diagonal in the Z basis (z, s, t, rz, p, cz, cp, rzz, crz, ...)
+  commute with each other unconditionally, and with a CNOT when they touch
+  only its *control*;
+* gates diagonal in the X basis (x, rx, rxx) commute with each other, and
+  with a CNOT when they touch only its *target*;
+* two CNOTs commute when they share a control or share a target (but not
+  when one's control is the other's target).
+
+``commutes(a, b)`` answers soundly (False when unsure); the commutation-
+aware optimiser uses it to slide cancellation/merge partners together.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.operations import GateOperation, Operation
+
+# Diagonal in the computational (Z) basis.
+Z_DIAGONAL = {"i", "z", "s", "s_adj", "t", "t_adj", "rz", "p", "cz", "cp", "rzz", "crz"}
+
+# Diagonal in the X basis.
+X_DIAGONAL = {"i", "x", "rx", "rxx"}
+
+
+def _overlap(a: GateOperation, b: GateOperation):
+    return set(a.qubits) & set(b.qubits)
+
+
+def commutes(a: Operation, b: Operation) -> bool:
+    """Do the unitaries of ``a`` and ``b`` commute? (False when unsure.)"""
+    if not isinstance(a, GateOperation) or not isinstance(b, GateOperation):
+        return False
+    shared = _overlap(a, b)
+    if not shared:
+        return True
+
+    if a.name in Z_DIAGONAL and b.name in Z_DIAGONAL:
+        return True
+    if a.name in X_DIAGONAL and b.name in X_DIAGONAL:
+        return True
+
+    # CNOT interaction: control behaves Z-like, target X-like.
+    for first, second in ((a, b), (b, a)):
+        if second.name == "cnot":
+            control, target = second.qubits
+            if first.name in Z_DIAGONAL and all(
+                q == control for q in first.qubits if q in shared
+            ):
+                return True
+            if first.name in X_DIAGONAL and all(
+                q == target for q in first.qubits if q in shared
+            ):
+                return True
+            if first.name == "cnot":
+                fc, ft = first.qubits
+                # share a control or share a target -> commute
+                if fc == control and ft != target:
+                    return True
+                if ft == target and fc != control:
+                    return True
+    return False

@@ -1,0 +1,69 @@
+"""Dependency DAG over circuit operations.
+
+Used by the quantum optimisation passes: two operations commute trivially
+when they share no wires, so the DAG's edges are per-wire successor links.
+Built on networkx for traversals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import networkx as nx
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.operations import ConditionalOperation, Measurement, Operation
+
+
+class CircuitDAG:
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.graph = nx.DiGraph()
+        last_on_wire: Dict[object, int] = {}
+        for i, op in enumerate(circuit.operations):
+            self.graph.add_node(i, op=op)
+            for wire in self._wires(op):
+                prev = last_on_wire.get(wire)
+                if prev is not None:
+                    self.graph.add_edge(prev, i)
+                last_on_wire[wire] = i
+
+    def _wires(self, op: Operation) -> List[object]:
+        wires: List[object] = list(op.qubits)
+        inner = op.operation if isinstance(op, ConditionalOperation) else op
+        if isinstance(inner, Measurement):
+            wires.append(inner.clbit)
+        if isinstance(op, ConditionalOperation):
+            wires.extend(op.register[i] for i in range(op.register.size))
+        return wires
+
+    def operation(self, node: int) -> Operation:
+        return self.graph.nodes[node]["op"]
+
+    def topological_operations(self) -> List[Operation]:
+        return [self.operation(n) for n in nx.topological_sort(self.graph)]
+
+    def successors_on_wires(self, node: int) -> List[int]:
+        return sorted(self.graph.successors(node))
+
+    def predecessors_on_wires(self, node: int) -> List[int]:
+        return sorted(self.graph.predecessors(node))
+
+    def longest_path_length(self) -> int:
+        """Critical-path length in operations (an alternative depth metric)."""
+        if not self.graph:
+            return 0
+        return nx.dag_longest_path_length(self.graph) + 1
+
+    def layers(self) -> List[List[Operation]]:
+        """ASAP-scheduled layers of simultaneously executable operations."""
+        level: Dict[int, int] = {}
+        for node in nx.topological_sort(self.graph):
+            preds = list(self.graph.predecessors(node))
+            level[node] = 1 + max((level[p] for p in preds), default=-1)
+        if not level:
+            return []
+        out: List[List[Operation]] = [[] for _ in range(max(level.values()) + 1)]
+        for node, lvl in level.items():
+            out[lvl].append(self.operation(node))
+        return out

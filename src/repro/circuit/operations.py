@@ -1,0 +1,182 @@
+"""Operations that can appear in a circuit."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.circuit.registers import Clbit, ClassicalRegister, Qubit
+from repro.sim.gates import ADJOINT, canonical_name, get_gate
+
+
+class Operation:
+    """Base class; concrete ops are gates, measurements, resets, barriers,
+    and classically-conditioned wrappers."""
+
+    __slots__ = ()
+
+    @property
+    def qubits(self) -> Tuple[Qubit, ...]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class GateOperation(Operation):
+    __slots__ = ("name", "_qubits", "params")
+
+    def __init__(self, name: str, qubits: Sequence[Qubit], params: Sequence[float] = ()):
+        name = canonical_name(name)
+        spec = get_gate(name)  # raises on unknown gate
+        if len(qubits) != spec.num_qubits:
+            raise ValueError(
+                f"gate {name!r} acts on {spec.num_qubits} qubits, got {len(qubits)}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise ValueError(f"gate {name!r} applied to duplicate qubits {qubits}")
+        if len(params) != spec.num_params:
+            raise ValueError(
+                f"gate {name!r} takes {spec.num_params} params, got {len(params)}"
+            )
+        self.name = name
+        self._qubits = tuple(qubits)
+        self.params = tuple(float(p) for p in params)
+
+    @property
+    def qubits(self) -> Tuple[Qubit, ...]:
+        return self._qubits
+
+    def inverse(self) -> "GateOperation":
+        spec = get_gate(self.name)
+        if spec.hermitian:
+            return GateOperation(self.name, self._qubits, self.params)
+        if self.name in ADJOINT:
+            return GateOperation(ADJOINT[self.name], self._qubits)
+        if spec.num_params and self.name != "u3":
+            # all single-angle rotations invert by negating the angle
+            return GateOperation(self.name, self._qubits, [-p for p in self.params])
+        if self.name == "u3":
+            theta, phi, lam = self.params
+            return GateOperation("u3", self._qubits, [-theta, -lam, -phi])
+        raise ValueError(f"no inverse rule for gate {self.name!r}")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GateOperation)
+            and other.name == self.name
+            and other._qubits == self._qubits
+            and other.params == self.params
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self._qubits, self.params))
+
+    def __repr__(self) -> str:
+        params = f"({', '.join(f'{p:g}' for p in self.params)})" if self.params else ""
+        targets = ", ".join(map(repr, self._qubits))
+        return f"{self.name}{params} {targets}"
+
+
+class Measurement(Operation):
+    __slots__ = ("qubit", "clbit")
+
+    def __init__(self, qubit: Qubit, clbit: Clbit):
+        self.qubit = qubit
+        self.clbit = clbit
+
+    @property
+    def qubits(self) -> Tuple[Qubit, ...]:
+        return (self.qubit,)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Measurement)
+            and other.qubit == self.qubit
+            and other.clbit == self.clbit
+        )
+
+    def __hash__(self) -> int:
+        return hash(("measure", self.qubit, self.clbit))
+
+    def __repr__(self) -> str:
+        return f"measure {self.qubit!r} -> {self.clbit!r}"
+
+
+class Reset(Operation):
+    __slots__ = ("qubit",)
+
+    def __init__(self, qubit: Qubit):
+        self.qubit = qubit
+
+    @property
+    def qubits(self) -> Tuple[Qubit, ...]:
+        return (self.qubit,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Reset) and other.qubit == self.qubit
+
+    def __hash__(self) -> int:
+        return hash(("reset", self.qubit))
+
+    def __repr__(self) -> str:
+        return f"reset {self.qubit!r}"
+
+
+class Barrier(Operation):
+    __slots__ = ("_qubits",)
+
+    def __init__(self, qubits: Sequence[Qubit]):
+        self._qubits = tuple(qubits)
+
+    @property
+    def qubits(self) -> Tuple[Qubit, ...]:
+        return self._qubits
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Barrier) and other._qubits == self._qubits
+
+    def __hash__(self) -> int:
+        return hash(("barrier", self._qubits))
+
+    def __repr__(self) -> str:
+        return f"barrier {', '.join(map(repr, self._qubits))}"
+
+
+class ConditionalOperation(Operation):
+    """OpenQASM-2-style ``if (creg == value) op;``.
+
+    This is the *only* classical control the custom IR can express -- the
+    precise limitation the paper's Section III-A warns about when a tool's
+    IR meets adaptive-profile QIR.
+    """
+
+    __slots__ = ("register", "value", "operation")
+
+    def __init__(self, register: ClassicalRegister, value: int, operation: Operation):
+        if isinstance(operation, ConditionalOperation):
+            raise ValueError("conditions cannot nest")
+        if value < 0 or value >= (1 << register.size):
+            raise ValueError(
+                f"condition value {value} out of range for {register!r}"
+            )
+        self.register = register
+        self.value = value
+        self.operation = operation
+
+    @property
+    def qubits(self) -> Tuple[Qubit, ...]:
+        return self.operation.qubits
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConditionalOperation)
+            and other.register == self.register
+            and other.value == self.value
+            and other.operation == self.operation
+        )
+
+    def __hash__(self) -> int:
+        return hash(("if", self.register, self.value, self.operation))
+
+    def __repr__(self) -> str:
+        return f"if ({self.register.name} == {self.value}) {self.operation!r}"

@@ -1,0 +1,185 @@
+"""Peephole optimisation on the custom circuit IR.
+
+This is the optimiser of the Section III-B *transpile* route: tools that
+convert QIR into their own circuit representation re-implement here what
+:mod:`repro.passes.quantum` does directly on the QIR AST.  Semantics match
+the AST passes exactly (same window rules), so the QOPT benchmark can
+compare the two routes like-for-like.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.operations import GateOperation, Operation
+from repro.sim.gates import ADJOINT, GATE_SET, MERGEABLE_ROTATIONS
+
+_ZERO_EPS = 1e-12
+
+
+def cancel_adjacent_gates(circuit: Circuit) -> Tuple[Circuit, int]:
+    """Remove adjacent self-inverse / adjoint pairs on identical qubits.
+
+    Returns ``(optimised_circuit, removed_count)``.
+    """
+    removed = 0
+    ops = list(circuit.operations)
+    changed = True
+    while changed:
+        changed = False
+        out: List[Operation] = []
+        window: Dict[Tuple, int] = {}  # qubit tuple -> index in `out`
+        for op in ops:
+            if not isinstance(op, GateOperation):
+                window.clear()
+                out.append(op)
+                continue
+            key = op.qubits
+            prev_index = window.get(key)
+            spec = GATE_SET[op.name]
+            cancels = False
+            if prev_index is not None and not op.params:
+                prev = out[prev_index]
+                assert isinstance(prev, GateOperation)
+                if (spec.hermitian and prev.name == op.name) or ADJOINT.get(
+                    prev.name
+                ) == op.name:
+                    cancels = True
+            if cancels:
+                assert prev_index is not None
+                out.pop(prev_index)
+                removed += 2
+                # The window cannot simply be re-indexed from `out`: that
+                # would resurrect entries later gates already invalidated.
+                # Clearing it is sound (only misses fusions the outer
+                # fixpoint loop's next sweep will find).
+                window.clear()
+                changed = True
+                continue
+            touched = set(key)
+            window = {
+                k: v for k, v in window.items() if not (set(k) & touched)
+            }
+            out.append(op)
+            if not op.params:
+                window[key] = len(out) - 1
+        ops = out
+    result = circuit.copy()
+    result.operations = ops
+    return result, removed
+
+
+def merge_rotations(circuit: Circuit) -> Tuple[Circuit, int]:
+    """Sum adjacent same-axis rotations; drop exact zeros."""
+    merged = 0
+    ops = list(circuit.operations)
+    changed = True
+    while changed:
+        changed = False
+        out: List[Operation] = []
+        window: Dict[Tuple, int] = {}
+        for op in ops:
+            if not isinstance(op, GateOperation):
+                window.clear()
+                out.append(op)
+                continue
+            key = (op.name, op.qubits)
+            mergeable = op.name in MERGEABLE_ROTATIONS and len(op.params) == 1
+            prev_index = window.get(key) if mergeable else None
+            if prev_index is not None:
+                prev = out[prev_index]
+                assert isinstance(prev, GateOperation)
+                total = prev.params[0] + op.params[0]
+                out.pop(prev_index)
+                if abs(total) >= _ZERO_EPS:
+                    out.insert(
+                        prev_index, GateOperation(op.name, op.qubits, [total])
+                    )
+                merged += 1
+                # See cancel_adjacent_gates: re-indexing would resurrect
+                # invalidated windows; clear and let the next sweep finish.
+                window.clear()
+                changed = True
+                continue
+            touched = set(op.qubits)
+            window = {
+                k: v
+                for k, v in window.items()
+                if not (set(k[1]) & touched)
+            }
+            out.append(op)
+            if mergeable:
+                window[key] = len(out) - 1
+        ops = out
+    result = circuit.copy()
+    result.operations = ops
+    return result, merged
+
+
+def optimize_circuit(circuit: Circuit) -> Circuit:
+    """The full circuit-level peephole: cancellation + rotation merging,
+    iterated to a fixpoint."""
+    current = circuit
+    while True:
+        current, removed = cancel_adjacent_gates(current)
+        current, merged = merge_rotations(current)
+        if not removed and not merged:
+            return current
+
+
+def _commutation_optimize_once(ops: List[Operation]) -> Tuple[List[Operation], bool]:
+    """One sweep of commutation-aware cancellation/merging.
+
+    For each gate, scan forward past operations it commutes with; when the
+    next blocking operation is its cancellation partner (self-inverse pair
+    or adjoint pair) or a same-axis rotation on the same qubits, fuse them.
+    """
+    from repro.circuit.commutation import commutes
+
+    for i, op in enumerate(ops):
+        if not isinstance(op, GateOperation):
+            continue
+        spec = GATE_SET[op.name]
+        is_rotation = op.name in MERGEABLE_ROTATIONS and len(op.params) == 1
+        is_cancellable = not op.params and (spec.hermitian or op.name in ADJOINT)
+        if not (is_rotation or is_cancellable):
+            continue
+        for j in range(i + 1, len(ops)):
+            other = ops[j]
+            if not isinstance(other, GateOperation):
+                break  # measurement / barrier / conditional: stop
+            if other.qubits == op.qubits:
+                if is_rotation and other.name == op.name and len(other.params) == 1:
+                    total = op.params[0] + other.params[0]
+                    del ops[j]
+                    if abs(total) < _ZERO_EPS:
+                        del ops[i]
+                    else:
+                        ops[i] = GateOperation(op.name, op.qubits, [total])
+                    return ops, True
+                if is_cancellable and not other.params and (
+                    (spec.hermitian and other.name == op.name)
+                    or ADJOINT.get(op.name) == other.name
+                ):
+                    del ops[j]
+                    del ops[i]
+                    return ops, True
+            if set(other.qubits) & set(op.qubits) and not commutes(op, other):
+                break
+    return ops, False
+
+
+def optimize_circuit_commuting(circuit: Circuit) -> Circuit:
+    """Commutation-aware peephole: like :func:`optimize_circuit` but slides
+    gates past operations they provably commute with, catching e.g. a
+    ``t``/``t_adj`` pair separated by a CNOT controlled on the same qubit.
+    Strictly more powerful, at O(n^2) sweep cost."""
+    current = optimize_circuit(circuit)
+    ops = list(current.operations)
+    changed = True
+    while changed:
+        ops, changed = _commutation_optimize_once(ops)
+    result = current.copy()
+    result.operations = ops
+    return optimize_circuit(result)

@@ -1,0 +1,95 @@
+"""Quantum and classical registers and their bit handles."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class _Register:
+    __slots__ = ("name", "size")
+
+    def __init__(self, name: str, size: int):
+        if size < 0:
+            raise ValueError("register size must be non-negative")
+        if not name or not (name[0].isalpha() or name[0] == "_"):
+            raise ValueError(f"invalid register name {name!r}")
+        self.name = name
+        self.size = size
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and other.name == self.name  # type: ignore[attr-defined]
+            and other.size == self.size  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name, self.size))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {self.size})"
+
+
+class QuantumRegister(_Register):
+    def __getitem__(self, index: int) -> "Qubit":
+        if not 0 <= index < self.size:
+            raise IndexError(f"qubit index {index} out of range for {self!r}")
+        return Qubit(self, index)
+
+    def __iter__(self) -> Iterator["Qubit"]:
+        return (self[i] for i in range(self.size))
+
+
+class ClassicalRegister(_Register):
+    def __getitem__(self, index: int) -> "Clbit":
+        if not 0 <= index < self.size:
+            raise IndexError(f"bit index {index} out of range for {self!r}")
+        return Clbit(self, index)
+
+    def __iter__(self) -> Iterator["Clbit"]:
+        return (self[i] for i in range(self.size))
+
+
+class Qubit:
+    __slots__ = ("register", "index")
+
+    def __init__(self, register: QuantumRegister, index: int):
+        self.register = register
+        self.index = index
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Qubit)
+            and other.register == self.register
+            and other.index == self.index
+        )
+
+    def __hash__(self) -> int:
+        return hash(("qubit", self.register, self.index))
+
+    def __repr__(self) -> str:
+        return f"{self.register.name}[{self.index}]"
+
+
+class Clbit:
+    __slots__ = ("register", "index")
+
+    def __init__(self, register: ClassicalRegister, index: int):
+        self.register = register
+        self.index = index
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Clbit)
+            and other.register == self.register
+            and other.index == self.index
+        )
+
+    def __hash__(self) -> int:
+        return hash(("clbit", self.register, self.index))
+
+    def __repr__(self) -> str:
+        return f"{self.register.name}[{self.index}]"

@@ -1,0 +1,239 @@
+"""Qubit mapping and routing against a hardware coupling map.
+
+Paper, Section III-A: tools transform the program "so that it complies
+with all the restrictions imposed by the hardware", citing the qubit-
+mapping problem; Section IV-A calls the qubit-assignment step "very
+similar to register allocation".  This module implements that
+transformation for the custom circuit IR:
+
+* :class:`CouplingMap` -- the device topology (line / ring / grid /
+  fully-connected factories, or any networkx graph);
+* :func:`route_circuit` -- greedy shortest-path router: whenever a
+  two-qubit gate spans non-adjacent physical qubits, SWAPs move one
+  operand along a shortest path; the logical->physical layout is tracked
+  throughout, so measurements always read the right physical qubit.
+
+The MAP benchmark reports the added-SWAP overhead across topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.operations import (
+    Barrier,
+    ConditionalOperation,
+    GateOperation,
+    Measurement,
+    Operation,
+    Reset,
+)
+from repro.circuit.registers import Qubit, QuantumRegister
+
+
+class CouplingMap:
+    """An undirected connectivity graph over physical qubits ``0..n-1``."""
+
+    def __init__(self, graph: "nx.Graph"):
+        if any(not isinstance(node, int) for node in graph.nodes):
+            raise ValueError("coupling-map nodes must be integers")
+        expected = set(range(graph.number_of_nodes()))
+        if set(graph.nodes) != expected:
+            raise ValueError("coupling-map nodes must be 0..n-1")
+        if graph.number_of_nodes() and not nx.is_connected(graph):
+            raise ValueError("coupling map must be connected")
+        self.graph = graph
+        self._paths: Dict[Tuple[int, int], List[int]] = {}
+
+    # -- factories -----------------------------------------------------------
+    @classmethod
+    def line(cls, num_qubits: int) -> "CouplingMap":
+        return cls(nx.path_graph(num_qubits))
+
+    @classmethod
+    def ring(cls, num_qubits: int) -> "CouplingMap":
+        return cls(nx.cycle_graph(num_qubits))
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "CouplingMap":
+        grid = nx.grid_2d_graph(rows, cols)
+        relabel = {node: row * cols + col for (row, col) in grid.nodes for node in [(row, col)]}
+        return cls(nx.relabel_nodes(grid, relabel))
+
+    @classmethod
+    def full(cls, num_qubits: int) -> "CouplingMap":
+        return cls(nx.complete_graph(num_qubits))
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def adjacent(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        key = (a, b)
+        path = self._paths.get(key)
+        if path is None:
+            path = nx.shortest_path(self.graph, a, b)
+            self._paths[key] = path
+        return list(path)
+
+    def distance(self, a: int, b: int) -> int:
+        return len(self.shortest_path(a, b)) - 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<CouplingMap {self.size} qubits, "
+            f"{self.graph.number_of_edges()} edges>"
+        )
+
+
+@dataclass
+class RoutingResult:
+    circuit: Circuit
+    initial_layout: Dict[int, int]  # logical -> physical at program start
+    final_layout: Dict[int, int]  # logical -> physical at program end
+    swaps_inserted: int
+
+    @property
+    def overhead(self) -> int:
+        return self.swaps_inserted
+
+
+class RoutingError(ValueError):
+    pass
+
+
+def route_circuit(
+    circuit: Circuit,
+    coupling: CouplingMap,
+    initial_layout: Optional[Dict[int, int]] = None,
+) -> RoutingResult:
+    """Insert SWAPs so every two-qubit gate acts on coupled physical qubits.
+
+    ``initial_layout`` maps logical indices to physical ones (default:
+    identity).  Three-qubit gates are not routed -- decompose first.
+    Classical conditions are preserved; the conditioned gate is routed
+    like any other.
+    """
+    if circuit.num_qubits > coupling.size:
+        raise RoutingError(
+            f"circuit needs {circuit.num_qubits} qubits; device has {coupling.size}"
+        )
+
+    layout: Dict[int, int] = dict(
+        initial_layout
+        if initial_layout is not None
+        else {i: i for i in range(circuit.num_qubits)}
+    )
+    if initial_layout is not None:
+        used = set(layout.values())
+        if len(used) != len(layout):
+            raise RoutingError("initial layout is not injective")
+        if any(not 0 <= p < coupling.size for p in used):
+            raise RoutingError("initial layout targets nonexistent qubits")
+
+    physical_reg = QuantumRegister("phys", coupling.size)
+    routed = Circuit(f"{circuit.name}_routed")
+    routed.add_qreg(physical_reg)
+    for creg in circuit.cregs:
+        routed.add_creg(creg)
+
+    # reverse map for swapping
+    occupant: Dict[int, Optional[int]] = {p: None for p in range(coupling.size)}
+    for logical, physical in layout.items():
+        occupant[physical] = logical
+
+    swaps = 0
+
+    def emit_swap(a: int, b: int) -> None:
+        nonlocal swaps
+        routed.append(GateOperation("swap", [physical_reg[a], physical_reg[b]]))
+        la, lb = occupant[a], occupant[b]
+        occupant[a], occupant[b] = lb, la
+        if la is not None:
+            layout[la] = b
+        if lb is not None:
+            layout[lb] = a
+        swaps += 1
+
+    def bring_adjacent(l1: int, l2: int) -> None:
+        """Move logical l1's carrier toward l2's along a shortest path."""
+        p1, p2 = layout[l1], layout[l2]
+        path = coupling.shortest_path(p1, p2)
+        # swap along path until the two occupants are adjacent
+        for next_hop in path[1:-1]:
+            emit_swap(layout[l1], next_hop)
+            if coupling.adjacent(layout[l1], layout[l2]):
+                break
+
+    def route_gate(op: GateOperation) -> GateOperation:
+        logicals = [circuit.qubit_index(q) for q in op.qubits]
+        if len(logicals) == 1:
+            return GateOperation(op.name, [physical_reg[layout[logicals[0]]]], op.params)
+        if len(logicals) == 2:
+            l1, l2 = logicals
+            if not coupling.adjacent(layout[l1], layout[l2]):
+                bring_adjacent(l1, l2)
+            return GateOperation(
+                op.name,
+                [physical_reg[layout[l1]], physical_reg[layout[l2]]],
+                op.params,
+            )
+        raise RoutingError(
+            f"cannot route {len(logicals)}-qubit gate {op.name!r}; decompose first"
+        )
+
+    for op in circuit.operations:
+        if isinstance(op, GateOperation):
+            routed.append(route_gate(op))
+        elif isinstance(op, Measurement):
+            logical = circuit.qubit_index(op.qubit)
+            routed.append(Measurement(physical_reg[layout[logical]], op.clbit))
+        elif isinstance(op, Reset):
+            logical = circuit.qubit_index(op.qubit)
+            routed.append(Reset(physical_reg[layout[logical]]))
+        elif isinstance(op, Barrier):
+            physical = [physical_reg[layout[circuit.qubit_index(q)]] for q in op.qubits]
+            routed.append(Barrier(physical))
+        elif isinstance(op, ConditionalOperation):
+            inner = op.operation
+            if isinstance(inner, GateOperation):
+                routed_inner: Operation = route_gate(inner)
+            elif isinstance(inner, Measurement):
+                logical = circuit.qubit_index(inner.qubit)
+                routed_inner = Measurement(physical_reg[layout[logical]], inner.clbit)
+            elif isinstance(inner, Reset):
+                logical = circuit.qubit_index(inner.qubit)
+                routed_inner = Reset(physical_reg[layout[logical]])
+            else:  # pragma: no cover
+                raise RoutingError(f"cannot route conditional {inner!r}")
+            routed.append(ConditionalOperation(op.register, op.value, routed_inner))
+        else:  # pragma: no cover
+            raise RoutingError(f"cannot route operation {op!r}")
+
+    initial = (
+        dict(initial_layout)
+        if initial_layout is not None
+        else {i: i for i in range(circuit.num_qubits)}
+    )
+    return RoutingResult(routed, initial, dict(layout), swaps)
+
+
+def verify_routing(result: RoutingResult, coupling: CouplingMap) -> None:
+    """Check the hardware constraint: every 2q gate spans a coupled pair."""
+    circuit = result.circuit
+    for op in circuit.operations:
+        inner = op.operation if isinstance(op, ConditionalOperation) else op
+        if isinstance(inner, GateOperation) and len(inner.qubits) == 2:
+            a, b = (circuit.qubit_index(q) for q in inner.qubits)
+            if not coupling.adjacent(a, b):
+                raise RoutingError(
+                    f"gate {inner!r} spans non-adjacent qubits {a}, {b}"
+                )

@@ -1,0 +1,192 @@
+"""An end-to-end compilation driver over the whole toolchain.
+
+This is the "software stack" of the paper's introduction assembled into
+one pipeline: accept a program in any supported format, optimise it,
+map it onto a hardware topology, lower it to profile-conformant QIR, and
+(optionally) check hybrid feasibility -- every stage being one of the
+subsystems this package reproduces.
+
+    source (QASM2 / QASM3 / QIR text / Circuit)
+      -> frontend                 (repro.qasm / repro.frontend)
+      -> circuit-level peephole   (repro.circuit.optimize)
+      -> routing to the device    (repro.circuit.routing)
+      -> QIR emission             (repro.frontend.exporter)
+      -> QIR-level passes         (repro.passes.quantum)
+      -> profile validation       (repro.qir.validate)
+      -> feasibility check        (repro.hybrid)               [optional]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.optimize import optimize_circuit, optimize_circuit_commuting
+from repro.circuit.routing import CouplingMap, route_circuit, verify_routing
+from repro.frontend.exporter import export_circuit
+from repro.frontend.importer import import_circuit
+from repro.hybrid.feasibility import FeasibilityReport, check_feasibility
+from repro.hybrid.latency import DeviceModel
+from repro.llvmir.module import Module
+from repro.llvmir.parser import parse_assembly
+from repro.llvmir.printer import print_module
+from repro.llvmir.verifier import verify_module
+from repro.passes.quantum.cancellation import (
+    GateCancellationPass,
+    RotationMergingPass,
+)
+from repro.qasm.parser2 import parse_qasm2
+from repro.qasm.parser3 import parse_qasm3
+from repro.qir.profiles import Profile
+from repro.qir.validate import ProfileViolation, validate_profile
+
+
+class CompilationError(ValueError):
+    pass
+
+
+@dataclass
+class Target:
+    """What we are compiling *for*."""
+
+    coupling: Optional[CouplingMap] = None  # None = all-to-all
+    profile: Optional[Profile] = None  # None = auto (base/adaptive)
+    addressing: str = "static"
+    device: Optional[DeviceModel] = None  # feasibility model, if any
+
+
+@dataclass
+class CompilationResult:
+    module: Module
+    circuit: Circuit  # the routed, optimised circuit
+    qir: str
+    violations: List[ProfileViolation] = field(default_factory=list)
+    feasibility: Optional[FeasibilityReport] = None
+    swaps_inserted: int = 0
+    gates_removed: int = 0
+    stage_log: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        infeasible = self.feasibility is not None and not self.feasibility.feasible
+        return not self.violations and not infeasible
+
+
+SourceLike = Union[str, Circuit, Module]
+
+
+def _to_circuit(source: SourceLike, log: List[str]) -> Circuit:
+    if isinstance(source, Circuit):
+        log.append("frontend: circuit input")
+        return source
+    if isinstance(source, Module):
+        log.append("frontend: QIR module input")
+        return import_circuit(source)
+    stripped = source.lstrip()
+    if stripped.startswith("OPENQASM 3"):
+        log.append("frontend: OpenQASM 3 (subset)")
+        return parse_qasm3(source)
+    if stripped.startswith("OPENQASM"):
+        log.append("frontend: OpenQASM 2")
+        return parse_qasm2(source)
+    log.append("frontend: textual QIR")
+    return import_circuit(parse_assembly(source))
+
+
+def compile_program(
+    source: SourceLike,
+    target: Optional[Target] = None,
+    optimize: "bool | str" = True,
+    run_quantum_passes: bool = True,
+) -> CompilationResult:
+    """Compile any supported source down to validated QIR for a target.
+
+    ``optimize``: ``True`` runs the adjacency peephole, ``"commuting"`` the
+    stronger commutation-aware one, ``False`` skips circuit optimisation.
+
+    Raises :class:`CompilationError` on structural failures (unparseable
+    input, unroutable gates); profile violations and infeasibility are
+    *reported* in the result rather than raised, so callers can decide.
+    """
+    target = target or Target()
+    log: List[str] = []
+
+    try:
+        circuit = _to_circuit(source, log)
+    except ValueError as error:
+        raise CompilationError(f"frontend failed: {error}") from error
+
+    gates_before = len(circuit)
+    if optimize:
+        optimizer = (
+            optimize_circuit_commuting if optimize == "commuting" else optimize_circuit
+        )
+        circuit = optimizer(circuit)
+        log.append(
+            f"peephole: {gates_before} -> {len(circuit)} operations"
+        )
+    gates_removed = gates_before - len(circuit)
+
+    swaps = 0
+    if target.coupling is not None:
+        try:
+            routing = route_circuit(circuit, target.coupling)
+        except ValueError as error:
+            raise CompilationError(f"routing failed: {error}") from error
+        verify_routing(routing, target.coupling)
+        circuit = routing.circuit
+        swaps = routing.swaps_inserted
+        log.append(
+            f"routing: {swaps} SWAPs onto {target.coupling!r}"
+        )
+
+    try:
+        sm = export_circuit(
+            circuit, addressing=target.addressing, profile=target.profile
+        )
+    except ValueError as error:
+        raise CompilationError(f"QIR emission failed: {error}") from error
+    module = sm.finished_module()
+
+    if run_quantum_passes:
+        changed = GateCancellationPass().run_on_module(module)
+        changed |= RotationMergingPass().run_on_module(module)
+        log.append(f"QIR peephole: {'changed' if changed else 'no change'}")
+
+    verify_module(module)
+
+    # Dynamic addressing implies runtime qubit management, which no
+    # restricted profile admits -- default to full QIR there.
+    if target.profile is not None:
+        profile = target.profile
+    elif target.addressing == "dynamic":
+        from repro.qir.profiles import FullProfile
+
+        profile = FullProfile
+    else:
+        profile = sm.profile
+    violations = validate_profile(module, profile)
+    log.append(
+        f"profile {profile.name}: "
+        + ("conformant" if not violations else f"{len(violations)} violations")
+    )
+
+    feasibility: Optional[FeasibilityReport] = None
+    if target.device is not None:
+        feasibility = check_feasibility(module, target.device)
+        log.append(
+            "feasibility: "
+            + ("ok" if feasibility.feasible else "REJECTED")
+        )
+
+    return CompilationResult(
+        module=module,
+        circuit=circuit,
+        qir=print_module(module),
+        violations=violations,
+        feasibility=feasibility,
+        swaps_inserted=swaps,
+        gates_removed=gates_removed,
+        stage_log=log,
+    )

@@ -1,0 +1,30 @@
+"""Frontends between textual QIR and the custom circuit IR.
+
+The paper's Section III-A describes two ways a tool can accept QIR:
+
+* a *custom parser* that skips LLVM entirely -- Example 3's "iterate over
+  the lines [...] track the assignment of variables [...] match the
+  instructions with a simple pattern".  That is
+  :mod:`repro.frontend.base_parser`: fast, LLVM-free, **base profile
+  only** (it rejects everything with classical control flow).
+* the *LLVM AST route*: parse with the full IR parser, then walk the AST.
+  That is :mod:`repro.frontend.importer`, which also understands the
+  ``read_result``/branch diamonds of simple adaptive programs -- but, like
+  any custom circuit IR, must give up (raise) on general classical code.
+
+:mod:`repro.frontend.exporter` is the way back (Section III-B transpile
+path): circuit -> QIR under either addressing mode.
+"""
+
+from repro.frontend.base_parser import BaseProfileParseError, parse_base_profile
+from repro.frontend.importer import CircuitImportError, import_circuit
+from repro.frontend.exporter import export_circuit, export_circuit_text
+
+__all__ = [
+    "BaseProfileParseError",
+    "parse_base_profile",
+    "CircuitImportError",
+    "import_circuit",
+    "export_circuit",
+    "export_circuit_text",
+]

@@ -1,0 +1,117 @@
+"""Circuit -> QIR exporter (the Section III-B transpile-back path)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.operations import (
+    Barrier,
+    ConditionalOperation,
+    GateOperation,
+    Measurement,
+    Operation,
+    Reset,
+)
+from repro.llvmir.module import Module
+from repro.qir.builder import SimpleModule
+from repro.qir.profiles import AdaptiveProfile, BaseProfile, Profile
+
+
+class CircuitExportError(ValueError):
+    pass
+
+
+def export_circuit(
+    circuit: Circuit,
+    addressing: str = "static",
+    profile: Optional[Profile] = None,
+    record_output: bool = True,
+    entry_point_name: str = "main",
+) -> SimpleModule:
+    """Lower a circuit to a QIR :class:`SimpleModule`.
+
+    The profile defaults to base when the circuit has no conditionals and
+    adaptive otherwise.  Conditionals become ``read_result`` diamonds;
+    OpenQASM-2 multi-bit register conditions are only exportable when they
+    test a single bit (== 0 or a power of two), mirroring the adaptive
+    profile's result-granularity feedback.
+    """
+    if profile is None:
+        profile = AdaptiveProfile if circuit.has_conditionals() else BaseProfile
+    if profile is BaseProfile and circuit.has_conditionals():
+        raise CircuitExportError(
+            "circuit contains classically-conditioned operations; "
+            "the base profile cannot express them"
+        )
+
+    sm = SimpleModule(
+        circuit.name,
+        circuit.num_qubits,
+        circuit.num_clbits,
+        addressing=addressing,
+        profile=profile,
+        entry_point_name=entry_point_name,
+    )
+
+    for op in circuit.operations:
+        _export_operation(sm, circuit, op)
+
+    if record_output and circuit.num_clbits:
+        labels = [repr(c) for c in circuit.clbits]
+        sm.record_output(labels)
+    return sm
+
+
+def _export_operation(sm: SimpleModule, circuit: Circuit, op: Operation) -> None:
+    if isinstance(op, GateOperation):
+        sm.qis.gate(op.name, [circuit.qubit_index(q) for q in op.qubits], op.params)
+        return
+    if isinstance(op, Measurement):
+        sm.qis.mz(circuit.qubit_index(op.qubit), circuit.clbit_index(op.clbit))
+        return
+    if isinstance(op, Reset):
+        sm.qis.reset(circuit.qubit_index(op.qubit))
+        return
+    if isinstance(op, Barrier):
+        return  # no QIR encoding; barriers are scheduling hints
+    if isinstance(op, ConditionalOperation):
+        _export_conditional(sm, circuit, op)
+        return
+    raise CircuitExportError(f"cannot export operation {op!r}")
+
+
+def _export_conditional(
+    sm: SimpleModule, circuit: Circuit, op: ConditionalOperation
+) -> None:
+    register = op.register
+    value = op.value
+    # Identify the single bit being tested.
+    if register.size == 1:
+        bit_index, expect_one = 0, bool(value)
+    elif value == 0:
+        raise CircuitExportError(
+            "register == 0 conditions over multi-bit registers require "
+            "conjunctive feedback; not expressible as one read_result"
+        )
+    elif value & (value - 1) == 0:  # single bit set
+        bit_index, expect_one = value.bit_length() - 1, True
+    else:
+        raise CircuitExportError(
+            f"condition {register.name} == {value} tests multiple bits; "
+            "adaptive QIR feedback is per-result"
+        )
+    result_index = circuit.clbit_index(register[bit_index])
+
+    def arm() -> None:
+        _export_operation(sm, circuit, op.operation)
+
+    if expect_one:
+        sm.qis.if_result(result_index, one=arm)
+    else:
+        sm.qis.if_result(result_index, zero=arm)
+
+
+def export_circuit_text(circuit: Circuit, **kwargs) -> str:
+    """Convenience: circuit -> textual QIR."""
+    return export_circuit(circuit, **kwargs).ir()

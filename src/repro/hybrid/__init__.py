@@ -1,0 +1,47 @@
+"""Hybrid classical-quantum partitioning and feasibility (paper, Sec. IV-B).
+
+"The question naturally arises for a hybrid classical-quantum program [...]
+how to decide which part of the code should be executed on the classical
+hardware and which part on the quantum hardware.  [...] it must be
+ensured, that the classical code offloaded to the quantum hardware can be
+executed in the required time frame to uphold the coherence of the qubits.
+Hence, [...] there will always be programs that describe an infeasible
+execution and must be rejected."
+
+This package implements that decision procedure:
+
+* :mod:`~repro.hybrid.classify` tags each instruction quantum / classical
+  / feedback.
+* :mod:`~repro.hybrid.partition` extracts *feedback regions* -- classical
+  computation on the path from a measurement readout to a later quantum
+  operation, which therefore must run on the quantum computer's
+  co-processor (controller) rather than the host.
+* :mod:`~repro.hybrid.latency` models the device: gate/measure times,
+  controller instruction timing and capability set, host round-trip.
+* :mod:`~repro.hybrid.feasibility` accepts or rejects the program against
+  a coherence budget (the HYB benchmark sweeps this crossover).
+"""
+
+from repro.hybrid.classify import InstructionClass, classify_instruction
+from repro.hybrid.partition import FeedbackRegion, Partition, partition_function
+from repro.hybrid.latency import ControllerCapability, DeviceModel
+from repro.hybrid.feasibility import (
+    FeasibilityReport,
+    InfeasibleProgramError,
+    RegionTiming,
+    check_feasibility,
+)
+
+__all__ = [
+    "InstructionClass",
+    "classify_instruction",
+    "FeedbackRegion",
+    "Partition",
+    "partition_function",
+    "ControllerCapability",
+    "DeviceModel",
+    "FeasibilityReport",
+    "InfeasibleProgramError",
+    "RegionTiming",
+    "check_feasibility",
+]

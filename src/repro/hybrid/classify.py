@@ -1,0 +1,53 @@
+"""Per-instruction classification for the hybrid partitioner."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.llvmir.instructions import (
+    BranchInst,
+    CallInst,
+    Instruction,
+    ReturnInst,
+    UnreachableInst,
+)
+from repro.qir.catalog import QIS_PREFIX, RT_PREFIX, parse_qis_name
+
+
+class InstructionClass(Enum):
+    QUANTUM_GATE = "quantum-gate"  # unitary QIS call
+    MEASUREMENT = "measurement"  # mz / m / reset
+    READOUT = "readout"  # read_result / result_equal: classical view of a result
+    QUANTUM_MGMT = "quantum-mgmt"  # rt qubit/array management
+    OUTPUT = "output"  # rt record_output / message
+    CLASSICAL = "classical"  # arithmetic, memory, casts, selects
+    CONTROL = "control"  # branches / switches / phis
+    STRUCTURAL = "structural"  # ret / unreachable
+
+
+def classify_instruction(inst: Instruction) -> InstructionClass:
+    if isinstance(inst, (ReturnInst, UnreachableInst)):
+        return InstructionClass.STRUCTURAL
+    if isinstance(inst, BranchInst):
+        return InstructionClass.STRUCTURAL  # unconditional: no decision
+    if inst.is_terminator or inst.opcode == "phi":
+        return InstructionClass.CONTROL
+    if isinstance(inst, CallInst):
+        name = inst.callee.name or ""
+        if name.startswith(QIS_PREFIX):
+            entry = parse_qis_name(name)
+            if entry is None:
+                return InstructionClass.QUANTUM_GATE
+            if entry.gate in ("mz", "m", "reset"):
+                return InstructionClass.MEASUREMENT
+            if entry.gate == "read_result":
+                return InstructionClass.READOUT
+            return InstructionClass.QUANTUM_GATE
+        if name.startswith(RT_PREFIX):
+            if "record_output" in name or name.endswith("message"):
+                return InstructionClass.OUTPUT
+            if name.endswith("result_equal"):
+                return InstructionClass.READOUT
+            return InstructionClass.QUANTUM_MGMT
+        return InstructionClass.CLASSICAL
+    return InstructionClass.CLASSICAL

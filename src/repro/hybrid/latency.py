@@ -1,0 +1,105 @@
+"""Device timing model for feasibility checking.
+
+The paper's premise (Sec. IV-B): the classical co-processor of a quantum
+computer is fast but restricted ("special purpose hardware like FPGAs or
+ASICs [...] incapable of executing arbitrary classical code"), while the
+host is general but far away.  The model captures exactly those two
+facts: a per-instruction controller cost with a *capability set*, and a
+host round-trip penalty for anything beyond it.
+
+Defaults are order-of-magnitude values for a superconducting device with
+an FPGA controller; all fields are sweepable (the HYB benchmark does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Flag, auto
+
+from repro.llvmir.instructions import BinaryInst, CastInst, FCmpInst, Instruction
+
+
+class ControllerCapability(Flag):
+    """What the co-processor can execute natively."""
+
+    NONE = 0
+    INT_ARITHMETIC = auto()
+    BRANCHING = auto()
+    FLOAT_ARITHMETIC = auto()  # rare on real control FPGAs
+
+    @classmethod
+    def typical_fpga(cls) -> "ControllerCapability":
+        return cls.INT_ARITHMETIC | cls.BRANCHING
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Timing parameters, all in nanoseconds."""
+
+    gate_time_1q: float = 20.0
+    gate_time_2q: float = 60.0
+    measurement_time: float = 300.0
+    reset_time: float = 200.0
+    # controller (FPGA) per classical instruction
+    controller_int_op_time: float = 10.0
+    controller_branch_time: float = 15.0
+    controller_float_op_time: float = 100.0  # when supported at all
+    capabilities: ControllerCapability = field(
+        default_factory=ControllerCapability.typical_fpga
+    )
+    # host offload
+    host_round_trip: float = 100_000.0  # 100 us network + OS
+    host_op_time: float = 1.0
+    # coherence budget: how long a qubit can idle mid-feedback
+    coherence_budget: float = 5_000.0  # ~T2 margin available for feedback
+
+    def classical_op_time(self, inst: Instruction) -> float:
+        """Controller execution time for one classical instruction, or
+        ``float('inf')`` when the controller cannot execute it at all."""
+        if _needs_float(inst):
+            if ControllerCapability.FLOAT_ARITHMETIC in self.capabilities:
+                return self.controller_float_op_time
+            return float("inf")
+        if ControllerCapability.INT_ARITHMETIC not in self.capabilities:
+            return float("inf")
+        return self.controller_int_op_time
+
+    def control_op_time(self) -> float:
+        if ControllerCapability.BRANCHING not in self.capabilities:
+            return float("inf")
+        return self.controller_branch_time
+
+
+def _needs_float(inst: Instruction) -> bool:
+    if isinstance(inst, FCmpInst):
+        return True
+    if isinstance(inst, BinaryInst) and inst.opcode.startswith("f"):
+        return True
+    if isinstance(inst, CastInst) and inst.opcode in (
+        "sitofp",
+        "uitofp",
+        "fptosi",
+        "fptoui",
+    ):
+        return True
+    return inst.type.is_float
+
+
+# Preset devices for examples/benchmarks.
+SUPERCONDUCTING_FPGA = DeviceModel()
+
+TRAPPED_ION = DeviceModel(
+    gate_time_1q=10_000.0,
+    gate_time_2q=200_000.0,
+    measurement_time=400_000.0,
+    reset_time=50_000.0,
+    coherence_budget=50_000_000.0,  # seconds-scale T2: feedback is easy
+)
+
+NEUTRAL_ATOM = DeviceModel(
+    gate_time_1q=500.0,
+    gate_time_2q=400.0,
+    measurement_time=10_000.0,
+    reset_time=10_000.0,
+    coherence_budget=1_000_000.0,
+)

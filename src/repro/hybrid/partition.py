@@ -1,0 +1,181 @@
+"""Feedback-region extraction and host/controller partitioning.
+
+A *feedback region* is the classical computation on a dependence path from
+a measurement readout (``read_result``-style) to a later quantum
+operation.  That code cannot run on the host after the fact -- the qubits
+are waiting -- so it belongs on the fast classical co-processor, and its
+execution time counts against the coherence budget (Sec. IV-B).
+
+Dependences tracked:
+
+* data: SSA operand edges,
+* control: an instruction in a block depends on every conditional branch
+  whose outcome decides whether the block executes (computed via
+  control-dependence from branch successors; approximated as "all blocks
+  reachable from one successor but not the other").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.hybrid.classify import InstructionClass, classify_instruction
+from repro.llvmir.block import BasicBlock
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import CondBranchInst, Instruction, SwitchInst
+
+
+@dataclass
+class FeedbackRegion:
+    """One readout and everything between it and its dependent quantum ops."""
+
+    readout: Instruction
+    classical_instructions: List[Instruction]
+    control_instructions: List[Instruction]
+    dependent_quantum: List[Instruction]
+
+    @property
+    def classical_op_count(self) -> int:
+        return len(self.classical_instructions)
+
+    @property
+    def control_op_count(self) -> int:
+        return len(self.control_instructions)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FeedbackRegion {self.classical_op_count} classical + "
+            f"{self.control_op_count} control ops -> "
+            f"{len(self.dependent_quantum)} quantum ops>"
+        )
+
+
+@dataclass
+class Partition:
+    """Host / controller split of one function."""
+
+    function: Function
+    regions: List[FeedbackRegion]
+    controller_instructions: Set[Instruction] = field(default_factory=set)
+    host_instructions: Set[Instruction] = field(default_factory=set)
+    quantum_instructions: Set[Instruction] = field(default_factory=set)
+
+    @property
+    def controller_count(self) -> int:
+        return len(self.controller_instructions)
+
+    @property
+    def host_count(self) -> int:
+        return len(self.host_instructions)
+
+
+def _reachable_from(block: BasicBlock) -> Set[BasicBlock]:
+    seen: Set[BasicBlock] = set()
+    stack = [block]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(current.successors())
+    return seen
+
+
+def _control_dependents(fn: Function) -> Dict[Instruction, Set[BasicBlock]]:
+    """For each conditional terminator, the blocks whose execution depends
+    on its outcome (reachable from one successor but not all)."""
+    out: Dict[Instruction, Set[BasicBlock]] = {}
+    for block in fn.blocks:
+        term = block.terminator
+        if not isinstance(term, (CondBranchInst, SwitchInst)):
+            continue
+        succ_reach = [_reachable_from(s) for s in term.successors()]
+        if not succ_reach:
+            continue
+        common = set.intersection(*succ_reach)
+        dependent: Set[BasicBlock] = set()
+        for reach in succ_reach:
+            dependent |= reach - common
+        out[term] = dependent
+    return out
+
+
+def partition_function(fn: Function) -> Partition:
+    """Extract feedback regions and assign every instruction a side."""
+    classes = {inst: classify_instruction(inst) for inst in fn.instructions()}
+    control_deps = _control_dependents(fn)
+    # Reverse map: block -> conditional terminators it depends on.
+    block_ctrl: Dict[BasicBlock, List[Instruction]] = {}
+    for term, blocks in control_deps.items():
+        for block in blocks:
+            block_ctrl.setdefault(block, []).append(term)
+
+    readouts = [
+        inst for inst, cls in classes.items() if cls is InstructionClass.READOUT
+    ]
+
+    regions: List[FeedbackRegion] = []
+    all_region_members: Set[Instruction] = set()
+
+    for readout in readouts:
+        classical: List[Instruction] = []
+        control: List[Instruction] = []
+        quantum: List[Instruction] = []
+        seen: Set[Instruction] = {readout}
+        stack: List[Instruction] = [readout]
+        while stack:
+            inst = stack.pop()
+            # forward data edges
+            consumers = list(inst.users)
+            # control edges: if inst is a conditional terminator, everything
+            # in its dependent blocks is downstream.
+            if inst in control_deps:
+                for block in control_deps[inst]:
+                    consumers.extend(block.instructions)
+            for consumer in consumers:
+                if consumer in seen:
+                    continue
+                seen.add(consumer)
+                cls = classes.get(consumer)
+                if cls is None:
+                    continue
+                if cls in (
+                    InstructionClass.QUANTUM_GATE,
+                    InstructionClass.MEASUREMENT,
+                ):
+                    quantum.append(consumer)
+                    # quantum ops end the region along this path
+                    continue
+                if cls is InstructionClass.CLASSICAL:
+                    classical.append(consumer)
+                    stack.append(consumer)
+                elif cls is InstructionClass.CONTROL:
+                    control.append(consumer)
+                    stack.append(consumer)
+                elif cls is InstructionClass.READOUT:
+                    stack.append(consumer)
+                else:
+                    # output recording / structural: host-side, do not extend
+                    continue
+        if quantum:
+            region = FeedbackRegion(readout, classical, control, quantum)
+            regions.append(region)
+            all_region_members.update(classical)
+            all_region_members.update(control)
+            all_region_members.add(readout)
+
+    partition = Partition(fn, regions)
+    for inst, cls in classes.items():
+        if cls in (
+            InstructionClass.QUANTUM_GATE,
+            InstructionClass.MEASUREMENT,
+            InstructionClass.QUANTUM_MGMT,
+        ):
+            partition.quantum_instructions.add(inst)
+        elif cls in (InstructionClass.CLASSICAL, InstructionClass.CONTROL, InstructionClass.READOUT):
+            if inst in all_region_members:
+                partition.controller_instructions.add(inst)
+            else:
+                partition.host_instructions.add(inst)
+    return partition

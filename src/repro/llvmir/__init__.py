@@ -1,0 +1,144 @@
+"""A from-scratch LLVM-IR-subset infrastructure sufficient for QIR.
+
+This package is the reproduction's stand-in for LLVM itself: an in-memory
+IR (types, values, instructions, basic blocks, functions, modules), a text
+lexer/parser for ``.ll`` files, a printer that round-trips, and a verifier.
+
+The subset is chosen to cover everything QIR programs use -- see the QIR
+specification and the paper's Examples 2, 4, and 6:
+
+* opaque pointers (``ptr``) and legacy typed pointers (``%Qubit*``),
+* integer/floating arithmetic, comparisons, bitwise ops,
+* ``alloca``/``load``/``store``/``getelementptr`` memory operations,
+* control flow (``br``, ``switch``, ``phi``, ``select``, ``ret``),
+* ``call`` with external declarations (the QIS/RT functions),
+* constant expressions (``inttoptr (i64 1 to ptr)`` static qubit addresses),
+* attribute groups (``entry_point`` etc.) and module flags metadata.
+"""
+
+from repro.llvmir.types import (
+    ArrayType,
+    DoubleType,
+    FunctionType,
+    IntType,
+    IRType,
+    LabelType,
+    PointerType,
+    StructType,
+    VoidType,
+    double,
+    i1,
+    i8,
+    i16,
+    i32,
+    i64,
+    label,
+    ptr,
+    void,
+)
+from repro.llvmir.values import (
+    Argument,
+    ConstantArray,
+    ConstantExpr,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantPointerInt,
+    ConstantString,
+    ConstantUndef,
+    GlobalVariable,
+    MetadataNode,
+    MetadataString,
+    Value,
+)
+from repro.llvmir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GetElementPtrInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from repro.llvmir.block import BasicBlock
+from repro.llvmir.function import Function
+from repro.llvmir.module import AttributeGroup, Module
+from repro.llvmir.builder import IRBuilder
+from repro.llvmir.lexer import Lexer, LexError, Token
+from repro.llvmir.parser import ParseError, parse_assembly
+from repro.llvmir.printer import print_module
+from repro.llvmir.verifier import VerificationError, verify_module
+
+__all__ = [
+    "ArrayType",
+    "DoubleType",
+    "FunctionType",
+    "IntType",
+    "IRType",
+    "LabelType",
+    "PointerType",
+    "StructType",
+    "VoidType",
+    "double",
+    "i1",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "label",
+    "ptr",
+    "void",
+    "Argument",
+    "ConstantArray",
+    "ConstantExpr",
+    "ConstantFloat",
+    "ConstantInt",
+    "ConstantNull",
+    "ConstantPointerInt",
+    "ConstantString",
+    "ConstantUndef",
+    "GlobalVariable",
+    "MetadataNode",
+    "MetadataString",
+    "Value",
+    "AllocaInst",
+    "BinaryInst",
+    "BranchInst",
+    "CallInst",
+    "CastInst",
+    "CondBranchInst",
+    "FCmpInst",
+    "GetElementPtrInst",
+    "ICmpInst",
+    "Instruction",
+    "LoadInst",
+    "PhiInst",
+    "ReturnInst",
+    "SelectInst",
+    "StoreInst",
+    "SwitchInst",
+    "UnreachableInst",
+    "BasicBlock",
+    "Function",
+    "AttributeGroup",
+    "Module",
+    "IRBuilder",
+    "Lexer",
+    "LexError",
+    "Token",
+    "ParseError",
+    "parse_assembly",
+    "print_module",
+    "VerificationError",
+    "verify_module",
+]

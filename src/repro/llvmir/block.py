@@ -1,0 +1,85 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, TYPE_CHECKING
+
+from repro.llvmir.instructions import Instruction, PhiInst
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.llvmir.function import Function
+
+
+class BasicBlock:
+    __slots__ = ("name", "parent", "instructions")
+
+    def __init__(self, name: Optional[str] = None, parent: Optional["Function"] = None):
+        self.name = name
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+
+    # -- structure -----------------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def insert_before(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        return self.insert(self.instructions.index(anchor), inst)
+
+    def remove(self, inst: Instruction) -> None:
+        """Detach ``inst`` from this block and drop its operand uses."""
+        self.instructions.remove(inst)
+        inst.drop_all_references()
+        inst.parent = None
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        return term.successors() if term is not None else []
+
+    def predecessors(self) -> List["BasicBlock"]:
+        assert self.parent is not None
+        preds = []
+        for block in self.parent.blocks:
+            if self in block.successors():
+                preds.append(block)
+        return preds
+
+    def phis(self) -> List[PhiInst]:
+        out = []
+        for inst in self.instructions:
+            if isinstance(inst, PhiInst):
+                out.append(inst)
+            else:
+                break
+        return out
+
+    def first_non_phi_index(self) -> int:
+        for i, inst in enumerate(self.instructions):
+            if not isinstance(inst, PhiInst):
+                return i
+        return len(self.instructions)
+
+    def is_entry(self) -> bool:
+        return self.parent is not None and self.parent.blocks and self.parent.blocks[0] is self
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock %{self.name} ({len(self.instructions)} insts)>"

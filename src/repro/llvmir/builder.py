@@ -1,0 +1,229 @@
+"""IRBuilder: positioned instruction construction, mirroring llvmlite/LLVM.
+
+The builder keeps an insertion point (a basic block and an index within it)
+and appends instructions there.  It is used by the QIR builder layer, the
+OpenQASM importer, and by tests that construct IR fragments directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.llvmir.block import BasicBlock
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GetElementPtrInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from repro.llvmir.types import IRType
+from repro.llvmir.values import Value
+
+
+class IRBuilder:
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self._block: Optional[BasicBlock] = block
+        self._index: Optional[int] = None  # None = append at end
+
+    # -- positioning ---------------------------------------------------------
+    @property
+    def block(self) -> BasicBlock:
+        if self._block is None:
+            raise ValueError("builder has no insertion block")
+        return self._block
+
+    @property
+    def function(self) -> Function:
+        fn = self.block.parent
+        assert fn is not None
+        return fn
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self._block = block
+        self._index = None
+
+    def position_before(self, inst: Instruction) -> None:
+        assert inst.parent is not None
+        self._block = inst.parent
+        self._index = inst.parent.instructions.index(inst)
+
+    def _insert(self, inst: Instruction, name: Optional[str] = None) -> Instruction:
+        if name is not None:
+            inst.name = name
+        if self._index is None:
+            self.block.append(inst)
+        else:
+            self.block.insert(self._index, inst)
+            self._index += 1
+        return inst
+
+    # -- arithmetic ---------------------------------------------------------
+    def binop(
+        self,
+        opcode: str,
+        lhs: Value,
+        rhs: Value,
+        name: Optional[str] = None,
+        flags: Sequence[str] = (),
+    ) -> BinaryInst:
+        return self._insert(BinaryInst(opcode, lhs, rhs, flags), name)
+
+    def add(self, lhs: Value, rhs: Value, name: Optional[str] = None) -> BinaryInst:
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: Optional[str] = None) -> BinaryInst:
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: Optional[str] = None) -> BinaryInst:
+        return self.binop("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs: Value, rhs: Value, name: Optional[str] = None) -> BinaryInst:
+        return self.binop("sdiv", lhs, rhs, name)
+
+    def srem(self, lhs: Value, rhs: Value, name: Optional[str] = None) -> BinaryInst:
+        return self.binop("srem", lhs, rhs, name)
+
+    def and_(self, lhs: Value, rhs: Value, name: Optional[str] = None) -> BinaryInst:
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs: Value, rhs: Value, name: Optional[str] = None) -> BinaryInst:
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs: Value, rhs: Value, name: Optional[str] = None) -> BinaryInst:
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs: Value, rhs: Value, name: Optional[str] = None) -> BinaryInst:
+        return self.binop("shl", lhs, rhs, name)
+
+    def fadd(self, lhs: Value, rhs: Value, name: Optional[str] = None) -> BinaryInst:
+        return self.binop("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs: Value, rhs: Value, name: Optional[str] = None) -> BinaryInst:
+        return self.binop("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs: Value, rhs: Value, name: Optional[str] = None) -> BinaryInst:
+        return self.binop("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs: Value, rhs: Value, name: Optional[str] = None) -> BinaryInst:
+        return self.binop("fdiv", lhs, rhs, name)
+
+    def icmp(
+        self, predicate: str, lhs: Value, rhs: Value, name: Optional[str] = None
+    ) -> ICmpInst:
+        return self._insert(ICmpInst(predicate, lhs, rhs), name)
+
+    def fcmp(
+        self, predicate: str, lhs: Value, rhs: Value, name: Optional[str] = None
+    ) -> FCmpInst:
+        return self._insert(FCmpInst(predicate, lhs, rhs), name)
+
+    def select(
+        self, cond: Value, iftrue: Value, iffalse: Value, name: Optional[str] = None
+    ) -> SelectInst:
+        return self._insert(SelectInst(cond, iftrue, iffalse), name)
+
+    def cast(
+        self, opcode: str, value: Value, dest_type: IRType, name: Optional[str] = None
+    ) -> CastInst:
+        return self._insert(CastInst(opcode, value, dest_type), name)
+
+    def zext(self, value: Value, dest_type: IRType, name: Optional[str] = None) -> CastInst:
+        return self.cast("zext", value, dest_type, name)
+
+    def sext(self, value: Value, dest_type: IRType, name: Optional[str] = None) -> CastInst:
+        return self.cast("sext", value, dest_type, name)
+
+    def trunc(self, value: Value, dest_type: IRType, name: Optional[str] = None) -> CastInst:
+        return self.cast("trunc", value, dest_type, name)
+
+    def inttoptr(self, value: Value, dest_type: IRType, name: Optional[str] = None) -> CastInst:
+        return self.cast("inttoptr", value, dest_type, name)
+
+    def ptrtoint(self, value: Value, dest_type: IRType, name: Optional[str] = None) -> CastInst:
+        return self.cast("ptrtoint", value, dest_type, name)
+
+    def sitofp(self, value: Value, dest_type: IRType, name: Optional[str] = None) -> CastInst:
+        return self.cast("sitofp", value, dest_type, name)
+
+    def fptosi(self, value: Value, dest_type: IRType, name: Optional[str] = None) -> CastInst:
+        return self.cast("fptosi", value, dest_type, name)
+
+    # -- memory ---------------------------------------------------------------
+    def alloca(
+        self, allocated_type: IRType, align: Optional[int] = None, name: Optional[str] = None
+    ) -> AllocaInst:
+        return self._insert(AllocaInst(allocated_type, align), name)
+
+    def load(
+        self,
+        loaded_type: IRType,
+        pointer: Value,
+        align: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> LoadInst:
+        return self._insert(LoadInst(loaded_type, pointer, align), name)
+
+    def store(self, value: Value, pointer: Value, align: Optional[int] = None) -> StoreInst:
+        return self._insert(StoreInst(value, pointer, align))
+
+    def gep(
+        self,
+        source_type: IRType,
+        pointer: Value,
+        indices: Sequence[Value],
+        inbounds: bool = False,
+        name: Optional[str] = None,
+    ) -> GetElementPtrInst:
+        return self._insert(GetElementPtrInst(source_type, pointer, indices, inbounds), name)
+
+    # -- calls / control flow ---------------------------------------------------
+    def call(
+        self,
+        callee: Function,
+        args: Sequence[Value] = (),
+        name: Optional[str] = None,
+        arg_attrs: Optional[Sequence[Tuple[str, ...]]] = None,
+    ) -> CallInst:
+        return self._insert(CallInst(callee, args, arg_attrs), name)
+
+    def phi(self, type_: IRType, name: Optional[str] = None) -> PhiInst:
+        return self._insert(PhiInst(type_), name)
+
+    def ret(self, value: Optional[Value] = None) -> ReturnInst:
+        return self._insert(ReturnInst(value))
+
+    def ret_void(self) -> ReturnInst:
+        return self._insert(ReturnInst(None))
+
+    def br(self, target: BasicBlock) -> BranchInst:
+        return self._insert(BranchInst(target))
+
+    def cbr(
+        self, cond: Value, true_target: BasicBlock, false_target: BasicBlock
+    ) -> CondBranchInst:
+        return self._insert(CondBranchInst(cond, true_target, false_target))
+
+    def switch(
+        self,
+        value: Value,
+        default: BasicBlock,
+        cases: Optional[Sequence[Tuple[Value, BasicBlock]]] = None,
+    ) -> SwitchInst:
+        return self._insert(SwitchInst(value, default, cases))
+
+    def unreachable(self) -> UnreachableInst:
+        return self._insert(UnreachableInst())

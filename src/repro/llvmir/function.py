@@ -1,0 +1,155 @@
+"""Functions: declarations (QIS/RT externals) and definitions (entry points)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, TYPE_CHECKING
+
+from repro.llvmir.block import BasicBlock
+from repro.llvmir.instructions import CallInst, Instruction
+from repro.llvmir.types import FunctionType, IRType
+from repro.llvmir.values import Argument, Value, _quote_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.llvmir.module import AttributeGroup, Module
+
+
+class Function(Value):
+    """A function symbol.
+
+    A *declaration* has no blocks (``is_declaration``); QIR programs declare
+    every ``__quantum__qis__*`` / ``__quantum__rt__*`` function this way and
+    define one or more entry points.
+    """
+
+    __slots__ = (
+        "function_type",
+        "parent",
+        "arguments",
+        "blocks",
+        "attributes",
+        "attribute_group",
+        "callers",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        function_type: FunctionType,
+        module: Optional["Module"] = None,
+        arg_names: Optional[Sequence[Optional[str]]] = None,
+    ):
+        super().__init__(function_type, name)
+        self.function_type = function_type
+        self.parent = module
+        names = list(arg_names or [None] * len(function_type.param_types))
+        self.arguments: List[Argument] = [
+            Argument(t, n, self, i)
+            for i, (t, n) in enumerate(zip(function_type.param_types, names))
+        ]
+        self.blocks: List[BasicBlock] = []
+        # Bare string attributes plus key="value" pairs, e.g.
+        # {"entry_point": None, "required_num_qubits": "2"}.
+        self.attributes: Dict[str, Optional[str]] = {}
+        self.attribute_group: Optional["AttributeGroup"] = None
+        self.callers: Set[CallInst] = set()
+
+    # -- identity ---------------------------------------------------------------
+    def ref(self) -> str:
+        return f"@{_quote_name(self.name or '')}"
+
+    def typed_ref(self) -> str:
+        return f"ptr {self.ref()}"
+
+    @property
+    def return_type(self) -> IRType:
+        return self.function_type.return_type
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no body")
+        return self.blocks[0]
+
+    # -- attributes ---------------------------------------------------------------
+    def all_attributes(self) -> Dict[str, Optional[str]]:
+        merged: Dict[str, Optional[str]] = {}
+        if self.attribute_group is not None:
+            merged.update(self.attribute_group.attributes)
+        merged.update(self.attributes)
+        return merged
+
+    def get_attribute(self, key: str) -> Optional[str]:
+        return self.all_attributes().get(key)
+
+    def has_attribute(self, key: str) -> bool:
+        return key in self.all_attributes()
+
+    @property
+    def is_entry_point(self) -> bool:
+        return self.has_attribute("entry_point")
+
+    # -- structure ---------------------------------------------------------------
+    def append_block(self, block: BasicBlock) -> BasicBlock:
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    def create_block(self, name: Optional[str] = None) -> BasicBlock:
+        return self.append_block(BasicBlock(name, self))
+
+    def remove_block(self, block: BasicBlock) -> None:
+        for inst in list(block.instructions):
+            block.remove(inst)
+        self.blocks.remove(block)
+        block.parent = None
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    # -- naming ---------------------------------------------------------------
+    def assign_names(self) -> None:
+        """Give every unnamed argument, block and instruction a numeric name.
+
+        Mirrors LLVM's implicit numbering: one counter over arguments, basic
+        blocks, and instruction results, in program order.  Existing textual
+        names are preserved; clashes between existing numeric names and the
+        counter are avoided by always picking the next free number.
+        """
+        taken = {a.name for a in self.arguments if a.name is not None}
+        taken |= {b.name for b in self.blocks if b.name is not None}
+        for inst in self.instructions():
+            if inst.name is not None:
+                taken.add(inst.name)
+
+        counter = 0
+
+        def next_name() -> str:
+            nonlocal counter
+            while str(counter) in taken:
+                counter += 1
+            name = str(counter)
+            taken.add(name)
+            counter += 1
+            return name
+
+        for arg in self.arguments:
+            if arg.name is None:
+                arg.name = next_name()
+        for block in self.blocks:
+            if block.name is None:
+                block.name = next_name()
+            for inst in block.instructions:
+                if inst.name is None and not inst.type.is_void:
+                    inst.name = next_name()
+
+    def __repr__(self) -> str:
+        kind = "declare" if self.is_declaration else "define"
+        return f"<Function {kind} {self.ref()} : {self.function_type}>"

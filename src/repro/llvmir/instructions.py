@@ -1,0 +1,570 @@
+"""Instruction classes for the LLVM-IR subset.
+
+Every instruction is itself a :class:`~repro.llvmir.values.Value` (its
+result); ``void``-typed instructions simply have no users.  Operands are
+kept in a flat list with automatic use-list maintenance; block operands of
+terminators and phi nodes are held separately from value operands because
+CFG edges and dataflow edges are updated by different transformations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.llvmir.types import (
+    DoubleType,
+    FunctionType,
+    IntType,
+    IRType,
+    PointerType,
+    i1,
+    ptr,
+    void,
+)
+from repro.llvmir.values import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.llvmir.block import BasicBlock
+    from repro.llvmir.function import Function
+
+
+BINARY_OPCODES = {
+    # integer arithmetic
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    # bitwise
+    "and", "or", "xor", "shl", "lshr", "ashr",
+    # floating point
+    "fadd", "fsub", "fmul", "fdiv", "frem",
+}
+
+FLOAT_BINARY_OPCODES = {"fadd", "fsub", "fmul", "fdiv", "frem"}
+
+ICMP_PREDICATES = {"eq", "ne", "ugt", "uge", "ult", "ule", "sgt", "sge", "slt", "sle"}
+
+FCMP_PREDICATES = {
+    "false", "oeq", "ogt", "oge", "olt", "ole", "one", "ord",
+    "ueq", "ugt", "uge", "ult", "ule", "une", "uno", "true",
+}
+
+CAST_OPCODES = {
+    "trunc", "zext", "sext", "fptosi", "fptoui", "sitofp", "uitofp",
+    "inttoptr", "ptrtoint", "bitcast",
+}
+
+# Integer wrap flags accepted (and preserved) on arithmetic; semantically we
+# treat overflow as wrapping, which is a refinement of poison semantics.
+WRAP_FLAGS = ("nuw", "nsw")
+
+
+class Instruction(Value):
+    __slots__ = ("parent", "operands")
+
+    opcode: str = "?"
+
+    def __init__(self, type_: IRType, operands: Sequence[Value] = ()):
+        super().__init__(type_)
+        self.parent: Optional["BasicBlock"] = None
+        self.operands: List[Value] = []
+        for op in operands:
+            self.append_operand(op)
+
+    # -- operand management -------------------------------------------------
+    def append_operand(self, op: Value) -> None:
+        if not isinstance(op, Value):
+            raise TypeError(f"operand must be a Value, got {op!r}")
+        self.operands.append(op)
+        op.add_user(self)
+
+    def set_operand(self, index: int, op: Value) -> None:
+        old = self.operands[index]
+        old.remove_user(self)
+        self.operands[index] = op
+        op.add_user(self)
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.set_operand(i, new)
+
+    def drop_all_references(self) -> None:
+        """Detach from use lists; called when erasing the instruction."""
+        for op in self.operands:
+            op.remove_user(self)
+        self.operands.clear()
+
+    def erase_from_parent(self) -> None:
+        assert self.parent is not None, "instruction not attached to a block"
+        self.parent.remove(self)
+
+    # -- classification ------------------------------------------------------
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(
+            self, (ReturnInst, BranchInst, CondBranchInst, SwitchInst, UnreachableInst)
+        )
+
+    def successors(self) -> List["BasicBlock"]:
+        return []
+
+    def replace_block_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        """Rewrite CFG edges; overridden by terminators and phi nodes."""
+
+    def has_side_effects(self) -> bool:
+        """Conservative: may the instruction be observed beyond its result?"""
+        return isinstance(self, (StoreInst, CallInst)) or self.is_terminator
+
+    # -- printing -------------------------------------------------------------
+    def format(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _lhs(self) -> str:
+        return f"{self.ref()} = "
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.opcode}>"
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic / logic
+# ---------------------------------------------------------------------------
+class BinaryInst(Instruction):
+    __slots__ = ("opcode", "flags")
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, flags: Sequence[str] = ()):
+        if opcode not in BINARY_OPCODES:
+            raise ValueError(f"unknown binary opcode: {opcode}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"binary operand type mismatch: {lhs.type} vs {rhs.type}")
+        super().__init__(lhs.type, [lhs, rhs])
+        self.opcode = opcode
+        self.flags = tuple(flags)
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def format(self) -> str:
+        flags = "".join(f" {f}" for f in self.flags)
+        return (
+            f"{self._lhs()}{self.opcode}{flags} {self.type} "
+            f"{self.lhs.ref()}, {self.rhs.ref()}"
+        )
+
+
+class ICmpInst(Instruction):
+    __slots__ = ("predicate",)
+
+    opcode = "icmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value):
+        if predicate not in ICMP_PREDICATES:
+            raise ValueError(f"unknown icmp predicate: {predicate}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"icmp operand type mismatch: {lhs.type} vs {rhs.type}")
+        super().__init__(i1, [lhs, rhs])
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def format(self) -> str:
+        return (
+            f"{self._lhs()}icmp {self.predicate} {self.lhs.type} "
+            f"{self.lhs.ref()}, {self.rhs.ref()}"
+        )
+
+
+class FCmpInst(Instruction):
+    __slots__ = ("predicate",)
+
+    opcode = "fcmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value):
+        if predicate not in FCMP_PREDICATES:
+            raise ValueError(f"unknown fcmp predicate: {predicate}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"fcmp operand type mismatch: {lhs.type} vs {rhs.type}")
+        super().__init__(i1, [lhs, rhs])
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def format(self) -> str:
+        return (
+            f"{self._lhs()}fcmp {self.predicate} {self.lhs.type} "
+            f"{self.lhs.ref()}, {self.rhs.ref()}"
+        )
+
+
+class CastInst(Instruction):
+    __slots__ = ("opcode",)
+
+    def __init__(self, opcode: str, value: Value, dest_type: IRType):
+        if opcode not in CAST_OPCODES:
+            raise ValueError(f"unknown cast opcode: {opcode}")
+        super().__init__(dest_type, [value])
+        self.opcode = opcode
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    def format(self) -> str:
+        return f"{self._lhs()}{self.opcode} {self.value.typed_ref()} to {self.type}"
+
+
+class SelectInst(Instruction):
+    __slots__ = ()
+
+    opcode = "select"
+
+    def __init__(self, cond: Value, iftrue: Value, iffalse: Value):
+        if iftrue.type != iffalse.type:
+            raise TypeError("select arm type mismatch")
+        super().__init__(iftrue.type, [cond, iftrue, iffalse])
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def true_value(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def false_value(self) -> Value:
+        return self.operands[2]
+
+    def format(self) -> str:
+        return (
+            f"{self._lhs()}select {self.condition.typed_ref()}, "
+            f"{self.true_value.typed_ref()}, {self.false_value.typed_ref()}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Memory
+# ---------------------------------------------------------------------------
+class AllocaInst(Instruction):
+    __slots__ = ("allocated_type", "align")
+
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: IRType, align: Optional[int] = None):
+        super().__init__(ptr, [])
+        self.allocated_type = allocated_type
+        self.align = align
+
+    def format(self) -> str:
+        suffix = f", align {self.align}" if self.align else ""
+        return f"{self._lhs()}alloca {self.allocated_type}{suffix}"
+
+
+class LoadInst(Instruction):
+    __slots__ = ("align",)
+
+    opcode = "load"
+
+    def __init__(self, loaded_type: IRType, pointer: Value, align: Optional[int] = None):
+        super().__init__(loaded_type, [pointer])
+        self.align = align
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    def format(self) -> str:
+        suffix = f", align {self.align}" if self.align else ""
+        return f"{self._lhs()}load {self.type}, {self.pointer.typed_ref()}{suffix}"
+
+
+class StoreInst(Instruction):
+    __slots__ = ("align",)
+
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value, align: Optional[int] = None):
+        super().__init__(void, [value, pointer])
+        self.align = align
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+    def format(self) -> str:
+        suffix = f", align {self.align}" if self.align else ""
+        return f"store {self.value.typed_ref()}, {self.pointer.typed_ref()}{suffix}"
+
+
+class GetElementPtrInst(Instruction):
+    __slots__ = ("source_type", "inbounds")
+
+    opcode = "getelementptr"
+
+    def __init__(
+        self,
+        source_type: IRType,
+        pointer: Value,
+        indices: Sequence[Value],
+        inbounds: bool = False,
+    ):
+        super().__init__(ptr, [pointer, *indices])
+        self.source_type = source_type
+        self.inbounds = inbounds
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def indices(self) -> List[Value]:
+        return self.operands[1:]
+
+    def format(self) -> str:
+        ib = " inbounds" if self.inbounds else ""
+        idx = ", ".join(op.typed_ref() for op in self.indices)
+        return (
+            f"{self._lhs()}getelementptr{ib} {self.source_type}, "
+            f"{self.pointer.typed_ref()}, {idx}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Calls
+# ---------------------------------------------------------------------------
+class CallInst(Instruction):
+    """Direct call.  QIR programs only ever call declared/defined symbols
+    directly, so the callee is a :class:`Function`, never a pointer value."""
+
+    __slots__ = ("callee", "arg_attrs", "tail")
+
+    opcode = "call"
+
+    def __init__(
+        self,
+        callee: "Function",
+        args: Sequence[Value],
+        arg_attrs: Optional[Sequence[Tuple[str, ...]]] = None,
+        tail: bool = False,
+    ):
+        ftype = callee.function_type
+        if not ftype.vararg and len(args) != len(ftype.param_types):
+            raise TypeError(
+                f"call to {callee.name} expects {len(ftype.param_types)} args, "
+                f"got {len(args)}"
+            )
+        super().__init__(ftype.return_type, list(args))
+        self.callee = callee
+        self.arg_attrs: Tuple[Tuple[str, ...], ...] = tuple(
+            tuple(a) for a in (arg_attrs or [()] * len(args))
+        )
+        self.tail = tail
+        callee.callers.add(self)
+
+    @property
+    def args(self) -> List[Value]:
+        return list(self.operands)
+
+    def drop_all_references(self) -> None:
+        super().drop_all_references()
+        self.callee.callers.discard(self)
+
+    def format(self) -> str:
+        parts = []
+        for attrs, arg in zip(self.arg_attrs, self.operands):
+            prefix = "".join(f"{a} " for a in attrs)
+            parts.append(f"{arg.type} {prefix}{arg.ref()}")
+        args = ", ".join(parts)
+        lhs = "" if self.type.is_void else self._lhs()
+        tail = "tail " if self.tail else ""
+        return f"{lhs}{tail}call {self.callee.function_type.return_type} {self.callee.ref()}({args})"
+
+
+# ---------------------------------------------------------------------------
+# Control flow
+# ---------------------------------------------------------------------------
+class PhiInst(Instruction):
+    __slots__ = ("incoming_blocks",)
+
+    opcode = "phi"
+
+    def __init__(self, type_: IRType):
+        super().__init__(type_, [])
+        self.incoming_blocks: List["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        self.append_operand(value)
+        self.incoming_blocks.append(block)
+
+    @property
+    def incoming(self) -> List[Tuple[Value, "BasicBlock"]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_for(self, block: "BasicBlock") -> Value:
+        for value, b in zip(self.operands, self.incoming_blocks):
+            if b is block:
+                return value
+        raise KeyError(f"no incoming value for block {block.name}")
+
+    def remove_incoming(self, block: "BasicBlock") -> None:
+        keep_ops: List[Value] = []
+        keep_blocks: List["BasicBlock"] = []
+        for value, b in zip(self.operands, self.incoming_blocks):
+            if b is block:
+                value.remove_user(self)
+            else:
+                keep_ops.append(value)
+                keep_blocks.append(b)
+        self.operands = keep_ops
+        self.incoming_blocks = keep_blocks
+
+    def replace_block_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        self.incoming_blocks = [new if b is old else b for b in self.incoming_blocks]
+
+    def format(self) -> str:
+        arms = ", ".join(
+            f"[ {v.ref()}, %{b.name} ]" for v, b in self.incoming
+        )
+        return f"{self._lhs()}phi {self.type} {arms}"
+
+
+class ReturnInst(Instruction):
+    __slots__ = ()
+
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(void, [value] if value is not None else [])
+
+    @property
+    def return_value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def format(self) -> str:
+        if self.return_value is None:
+            return "ret void"
+        return f"ret {self.return_value.typed_ref()}"
+
+
+class BranchInst(Instruction):
+    __slots__ = ("target",)
+
+    opcode = "br"
+
+    def __init__(self, target: "BasicBlock"):
+        super().__init__(void, [])
+        self.target = target
+
+    def successors(self) -> List["BasicBlock"]:
+        return [self.target]
+
+    def replace_block_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.target is old:
+            self.target = new
+
+    def format(self) -> str:
+        return f"br label %{self.target.name}"
+
+
+class CondBranchInst(Instruction):
+    __slots__ = ("true_target", "false_target")
+
+    opcode = "br"
+
+    def __init__(self, cond: Value, true_target: "BasicBlock", false_target: "BasicBlock"):
+        super().__init__(void, [cond])
+        self.true_target = true_target
+        self.false_target = false_target
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    def successors(self) -> List["BasicBlock"]:
+        return [self.true_target, self.false_target]
+
+    def replace_block_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.true_target is old:
+            self.true_target = new
+        if self.false_target is old:
+            self.false_target = new
+
+    def format(self) -> str:
+        return (
+            f"br {self.condition.typed_ref()}, label %{self.true_target.name}, "
+            f"label %{self.false_target.name}"
+        )
+
+
+class SwitchInst(Instruction):
+    __slots__ = ("default", "cases")
+
+    opcode = "switch"
+
+    def __init__(
+        self,
+        value: Value,
+        default: "BasicBlock",
+        cases: Optional[Sequence[Tuple[Value, "BasicBlock"]]] = None,
+    ):
+        super().__init__(void, [value])
+        self.default = default
+        self.cases: List[Tuple[Value, "BasicBlock"]] = []
+        for const, block in cases or []:
+            self.add_case(const, block)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    def add_case(self, const: Value, block: "BasicBlock") -> None:
+        self.cases.append((const, block))
+
+    def successors(self) -> List["BasicBlock"]:
+        return [self.default] + [b for _, b in self.cases]
+
+    def replace_block_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.default is old:
+            self.default = new
+        self.cases = [(c, new if b is old else b) for c, b in self.cases]
+
+    def format(self) -> str:
+        body = " ".join(
+            f"{c.typed_ref()}, label %{b.name}" for c, b in self.cases
+        )
+        return (
+            f"switch {self.value.typed_ref()}, label %{self.default.name} "
+            f"[ {body} ]" if self.cases
+            else f"switch {self.value.typed_ref()}, label %{self.default.name} [ ]"
+        )
+
+
+class UnreachableInst(Instruction):
+    __slots__ = ()
+
+    opcode = "unreachable"
+
+    def __init__(self) -> None:
+        super().__init__(void, [])
+
+    def format(self) -> str:
+        return "unreachable"

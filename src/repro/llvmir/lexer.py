@@ -1,0 +1,198 @@
+"""Tokenizer for the ``.ll`` assembly subset.
+
+LLVM assembly is whitespace-insensitive apart from comments; the lexer
+therefore produces a flat token stream and the parser never needs to see
+line boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+
+class Token(NamedTuple):
+    kind: str  # LOCAL GLOBAL METADATA ATTRGROUP WORD INT FLOAT STRING CSTRING PUNCT EOF
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r} @{self.line}:{self.column})"
+
+
+class LexError(ValueError):
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+_PUNCT_CHARS = "=,(){}[]<>*:"
+
+_WORD_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_.$")
+_WORD_CHARS = _WORD_START | set("0123456789-")
+_IDENT_CHARS = _WORD_START | set("0123456789-")
+
+
+class Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == ";":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                break
+
+    def _lex_quoted(self) -> str:
+        """Read a double-quoted string with LLVM's ``\\XX`` hex escapes."""
+        assert self._peek() == '"'
+        self._advance()
+        out: List[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise self._error("unterminated string")
+            if ch == '"':
+                self._advance()
+                return "".join(out)
+            if ch == "\\":
+                self._advance()
+                nxt = self._peek()
+                if nxt == "\\":
+                    self._advance()
+                    out.append("\\")
+                else:
+                    hexpair = self._advance(2)
+                    if len(hexpair) != 2:
+                        raise self._error("bad escape in string")
+                    out.append(chr(int(hexpair, 16)))
+            else:
+                out.append(self._advance())
+
+    def _lex_sigil_ident(self, kind: str) -> Token:
+        """Lex %name / @name / !name after the sigil has been consumed."""
+        line, column = self.line, self.column
+        if self._peek() == '"':
+            text = self._lex_quoted()
+            return Token(kind, text, line, column)
+        chars: List[str] = []
+        while self._peek() and self._peek() in _IDENT_CHARS:
+            chars.append(self._advance())
+        if not chars:
+            raise self._error(f"empty identifier after sigil for {kind}")
+        return Token(kind, "".join(chars), line, column)
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        chars: List[str] = []
+        if self._peek() == "-":
+            chars.append(self._advance())
+        if self._peek() == "0" and self._peek(1) in "xX":
+            chars.append(self._advance())
+            chars.append(self._advance())
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                chars.append(self._advance())
+            return Token("FLOAT", "".join(chars), line, column)
+        is_float = False
+        while self._peek().isdigit():
+            chars.append(self._advance())
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            chars.append(self._advance())
+            while self._peek().isdigit():
+                chars.append(self._advance())
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            chars.append(self._advance())
+            if self._peek() in "+-":
+                chars.append(self._advance())
+            while self._peek().isdigit():
+                chars.append(self._advance())
+        text = "".join(chars)
+        if text in ("-",):
+            raise self._error("stray '-'")
+        return Token("FLOAT" if is_float else "INT", text, line, column)
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        if self.pos >= len(self.source):
+            return Token("EOF", "", line, column)
+        ch = self._peek()
+
+        if ch == "%":
+            self._advance()
+            return self._lex_sigil_ident("LOCAL")
+        if ch == "@":
+            self._advance()
+            return self._lex_sigil_ident("GLOBAL")
+        if ch == "!":
+            self._advance()
+            if self._peek() == '"':
+                text = self._lex_quoted()
+                return Token("MDSTRING", text, line, column)
+            if self._peek() == "{":
+                return Token("PUNCT", "!{", line, column) if self._advance() else None  # type: ignore[return-value]
+            return self._lex_sigil_ident("METADATA")
+        if ch == "#":
+            self._advance()
+            tok = self._lex_sigil_ident("ATTRGROUP")
+            return tok
+        if ch == '"':
+            text = self._lex_quoted()
+            return Token("STRING", text, line, column)
+        if ch == "c" and self._peek(1) == '"':
+            self._advance()
+            text = self._lex_quoted()
+            return Token("CSTRING", text, line, column)
+        if ch.isdigit() or (ch == "-" and self._peek(1).isdigit()):
+            return self._lex_number()
+        if ch in _PUNCT_CHARS:
+            # '...' for varargs is handled via WORD of '.' chars below; other
+            # multi-char punctuation does not occur in the subset.
+            self._advance()
+            return Token("PUNCT", ch, line, column)
+        if ch in _WORD_START:
+            chars = []
+            while self._peek() and self._peek() in _WORD_CHARS:
+                chars.append(self._advance())
+            return Token("WORD", "".join(chars), line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            tok = self.next_token()
+            tokens.append(tok)
+            if tok.kind == "EOF":
+                return tokens

@@ -1,0 +1,128 @@
+"""Assembly printer: serialise a Module back to ``.ll`` text.
+
+The printer and parser form a round-trip pair; the property-based tests
+assert ``parse(print(parse(text)))`` is a fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.llvmir.function import Function
+from repro.llvmir.module import Module
+from repro.llvmir.values import MetadataNode, MetadataString, _quote_name
+
+
+def print_function(fn: Function) -> str:
+    fn.assign_names()
+    lines: List[str] = []
+    params = ", ".join(
+        f"{arg.type} %{arg.name}" for arg in fn.arguments
+    )
+    if fn.function_type.vararg:
+        params = f"{params}, ..." if params else "..."
+    attrs = ""
+    if fn.attribute_group is not None:
+        attrs += f" #{fn.attribute_group.group_id}"
+    for key, value in fn.attributes.items():
+        if value is None:
+            attrs += f' "{key}"'
+        else:
+            attrs += f' "{key}"="{value}"'
+
+    if fn.is_declaration:
+        # declarations use prototype parameter list (types only)
+        proto = ", ".join(str(t) for t in fn.function_type.param_types)
+        if fn.function_type.vararg:
+            proto = f"{proto}, ..." if proto else "..."
+        lines.append(f"declare {fn.return_type} {fn.ref()}({proto}){attrs}")
+        return "\n".join(lines)
+
+    lines.append(f"define {fn.return_type} {fn.ref()}({params}){attrs} {{")
+    for i, block in enumerate(fn.blocks):
+        if i > 0:
+            lines.append("")
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {inst.format()}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    sections: List[str] = []
+
+    header: List[str] = []
+    if module.source_filename:
+        header.append(f'source_filename = "{module.source_filename}"')
+    if header:
+        sections.append("\n".join(header))
+
+    if module.struct_types:
+        decls = [
+            f"%{name} = type {st.body_str()}"
+            for name, st in module.struct_types.items()
+        ]
+        sections.append("\n".join(decls))
+
+    if module.globals:
+        lines = []
+        for gv in module.globals.values():
+            kind = "constant" if gv.is_constant else "global"
+            init = gv.initializer.typed_ref() if gv.initializer is not None else "ptr null"
+            linkage = f"{gv.linkage} " if gv.linkage else ""
+            lines.append(f"@{_quote_name(gv.name or '')} = {linkage}{kind} {init}")
+        sections.append("\n".join(lines))
+
+    defined = [f for f in module.functions.values() if not f.is_declaration]
+    declared = [f for f in module.functions.values() if f.is_declaration]
+    for fn in defined:
+        sections.append(print_function(fn))
+    if declared:
+        sections.append("\n".join(print_function(fn) for fn in declared))
+
+    if module.attribute_groups:
+        sections.append(
+            "\n".join(g.format() for g in module.attribute_groups.values())
+        )
+
+    metadata_lines: List[str] = []
+    node_counter = 0
+    all_nodes: List[MetadataNode] = []
+
+    def register(node: MetadataNode) -> int:
+        nonlocal node_counter
+        if node.index is None:
+            node.index = node_counter
+            node_counter += 1
+            all_nodes.append(node)
+        return node.index
+
+    flag_nodes: List[MetadataNode] = []
+    for behavior, key, value in module.module_flags:
+        from repro.llvmir.values import ConstantInt
+        from repro.llvmir.types import i32
+
+        node = MetadataNode([ConstantInt(i32, behavior), MetadataString(key), value])
+        flag_nodes.append(node)
+    named = dict(module.named_metadata)
+    if flag_nodes:
+        named = {"llvm.module.flags": flag_nodes, **named}
+
+    for node_list in named.values():
+        for node in node_list:
+            node.index = None  # reset stale indices from a previous print
+    for node_list in named.values():
+        for node in node_list:
+            register(node)
+
+    for name, node_list in named.items():
+        refs = ", ".join(f"!{register(n)}" for n in node_list)
+        metadata_lines.append(f"!{name} = !{{{refs}}}")
+    for node in all_nodes:
+        body = ", ".join(node.element_refs())
+        metadata_lines.append(f"!{node.index} = !{{{body}}}")
+    if metadata_lines:
+        sections.append("\n".join(metadata_lines))
+
+    return "\n\n".join(sections) + "\n"

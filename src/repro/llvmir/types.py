@@ -1,0 +1,318 @@
+"""Type system for the LLVM-IR subset.
+
+Types are interned where practical so that identity comparison works for the
+common scalar types (``i1 is i1``), while structural equality (``__eq__``)
+is always available.  QIR relies on only a handful of types: integers,
+``double``, the opaque pointer ``ptr``, arrays (for string constants used as
+output labels), and opaque named structs for the legacy ``%Qubit*`` /
+``%Result*`` spelling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class IRType:
+    """Base class for all IR types."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self}>"
+
+    # -- classification helpers -------------------------------------------
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, DoubleType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_label(self) -> bool:
+        return isinstance(self, LabelType)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (ArrayType, StructType))
+
+    @property
+    def is_first_class(self) -> bool:
+        """First-class types may be produced by instructions."""
+        return not isinstance(self, (VoidType, FunctionType, LabelType))
+
+
+class VoidType(IRType):
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "void"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+
+class LabelType(IRType):
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "label"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LabelType)
+
+    def __hash__(self) -> int:
+        return hash("label")
+
+
+class IntType(IRType):
+    """Arbitrary-width integer type ``iN``."""
+
+    __slots__ = ("bits",)
+    _cache: Dict[int, "IntType"] = {}
+
+    def __new__(cls, bits: int) -> "IntType":
+        cached = cls._cache.get(bits)
+        if cached is not None:
+            return cached
+        if bits < 1 or bits > 128:
+            raise ValueError(f"unsupported integer width: i{bits}")
+        inst = super().__new__(cls)
+        inst.bits = bits
+        cls._cache[bits] = inst
+        return inst
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("int", self.bits))
+
+    @property
+    def min_signed(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_signed(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def max_unsigned(self) -> int:
+        return (1 << self.bits) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap a Python int to this width's signed two's-complement range."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if value > self.max_signed:
+            value -= 1 << self.bits
+        return value
+
+    def to_unsigned(self, value: int) -> int:
+        return value & ((1 << self.bits) - 1)
+
+
+class DoubleType(IRType):
+    """IEEE-754 binary64 (``double``) -- the only float type QIR uses."""
+
+    __slots__ = ()
+    _instance: Optional["DoubleType"] = None
+
+    def __new__(cls) -> "DoubleType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __str__(self) -> str:
+        return "double"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DoubleType)
+
+    def __hash__(self) -> int:
+        return hash("double")
+
+
+class PointerType(IRType):
+    """Opaque pointer.
+
+    Modern LLVM (>= 16) has a single opaque ``ptr`` type.  The legacy QIR
+    spelling ``%Qubit*`` is parsed and normalised to an opaque pointer that
+    *remembers* its pointee name purely for diagnostics and pretty-printing
+    (``pointee_hint``); the hint never participates in equality, mirroring
+    how opaque pointers erased pointee types.
+    """
+
+    __slots__ = ("pointee_hint",)
+    _plain: Optional["PointerType"] = None
+
+    def __new__(cls, pointee_hint: Optional[str] = None) -> "PointerType":
+        if pointee_hint is None:
+            if cls._plain is None:
+                inst = super().__new__(cls)
+                inst.pointee_hint = None
+                cls._plain = inst
+            return cls._plain
+        inst = super().__new__(cls)
+        inst.pointee_hint = pointee_hint
+        return inst
+
+    def __str__(self) -> str:
+        return "ptr"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType)
+
+    def __hash__(self) -> int:
+        return hash("ptr")
+
+
+class ArrayType(IRType):
+    """``[N x T]`` -- used by QIR for i8 string constants (output labels)."""
+
+    __slots__ = ("count", "element")
+
+    def __init__(self, count: int, element: IRType):
+        if count < 0:
+            raise ValueError("array count must be non-negative")
+        self.count = count
+        self.element = element
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and other.count == self.count
+            and other.element == self.element
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.count, self.element))
+
+
+class StructType(IRType):
+    """Named (possibly opaque) or literal struct type.
+
+    QIR declares ``%Qubit = type opaque`` and ``%Result = type opaque`` in
+    legacy modules; we keep those as named opaque structs.
+    """
+
+    __slots__ = ("name", "fields", "opaque")
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        fields: Optional[Sequence[IRType]] = None,
+        opaque: bool = False,
+    ):
+        self.name = name
+        self.opaque = opaque
+        self.fields: Optional[Tuple[IRType, ...]]
+        if opaque:
+            if fields:
+                raise ValueError("opaque struct cannot have fields")
+            self.fields = None
+        else:
+            self.fields = tuple(fields or ())
+
+    def __str__(self) -> str:
+        if self.name is not None:
+            return f"%{self.name}"
+        assert self.fields is not None
+        inner = ", ".join(str(f) for f in self.fields)
+        return "{ " + inner + " }" if inner else "{}"
+
+    def body_str(self) -> str:
+        """The right-hand side of a ``%name = type ...`` declaration."""
+        if self.opaque:
+            return "opaque"
+        assert self.fields is not None
+        inner = ", ".join(str(f) for f in self.fields)
+        return "{ " + inner + " }" if inner else "{}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StructType):
+            return False
+        if self.name is not None or other.name is not None:
+            return self.name == other.name
+        return self.fields == other.fields
+
+    def __hash__(self) -> int:
+        if self.name is not None:
+            return hash(("struct", self.name))
+        return hash(("struct", self.fields))
+
+
+class FunctionType(IRType):
+    """``ret (params...)`` with optional varargs."""
+
+    __slots__ = ("return_type", "param_types", "vararg")
+
+    def __init__(
+        self,
+        return_type: IRType,
+        param_types: Sequence[IRType],
+        vararg: bool = False,
+    ):
+        self.return_type = return_type
+        self.param_types = tuple(param_types)
+        self.vararg = vararg
+
+    def __str__(self) -> str:
+        params = ", ".join(str(t) for t in self.param_types)
+        if self.vararg:
+            params = f"{params}, ..." if params else "..."
+        return f"{self.return_type} ({params})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionType)
+            and other.return_type == self.return_type
+            and other.param_types == self.param_types
+            and other.vararg == self.vararg
+        )
+
+    def __hash__(self) -> int:
+        return hash(("fn", self.return_type, self.param_types, self.vararg))
+
+
+# ---------------------------------------------------------------------------
+# Interned singletons for the types QIR actually touches.
+# ---------------------------------------------------------------------------
+void = VoidType()
+label = LabelType()
+i1 = IntType(1)
+i8 = IntType(8)
+i16 = IntType(16)
+i32 = IntType(32)
+i64 = IntType(64)
+double = DoubleType()
+ptr = PointerType()
+
+QUBIT_PTR = PointerType("Qubit")
+RESULT_PTR = PointerType("Result")
+ARRAY_PTR = PointerType("Array")
+STRING_PTR = PointerType("String")
+TUPLE_PTR = PointerType("Tuple")
+CALLABLE_PTR = PointerType("Callable")

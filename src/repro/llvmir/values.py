@@ -1,0 +1,435 @@
+"""Values: the SSA object model of the IR.
+
+Everything an instruction can consume is a :class:`Value`.  Values track
+their users so passes can query use-def chains and call
+:meth:`Value.replace_all_uses_with` -- the primitive nearly every
+transformation is built from.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.llvmir.types import (
+    ArrayType,
+    DoubleType,
+    IntType,
+    IRType,
+    PointerType,
+    ptr,
+    i8,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.llvmir.instructions import Instruction
+    from repro.llvmir.function import Function
+
+
+class Value:
+    """Base class of the SSA value hierarchy."""
+
+    __slots__ = ("type", "name", "_users")
+
+    def __init__(self, type_: IRType, name: Optional[str] = None):
+        self.type = type_
+        self.name = name
+        # Multiset of using instructions: an instruction that uses the same
+        # value twice (e.g. ``add %x, %x``) appears with count 2.
+        self._users: Dict["Instruction", int] = {}
+
+    # -- use-def maintenance ----------------------------------------------
+    def add_user(self, inst: "Instruction") -> None:
+        self._users[inst] = self._users.get(inst, 0) + 1
+
+    def remove_user(self, inst: "Instruction") -> None:
+        count = self._users.get(inst, 0)
+        if count <= 1:
+            self._users.pop(inst, None)
+        else:
+            self._users[inst] = count - 1
+
+    @property
+    def users(self) -> List["Instruction"]:
+        return list(self._users)
+
+    @property
+    def num_uses(self) -> int:
+        return sum(self._users.values())
+
+    def is_used(self) -> bool:
+        return bool(self._users)
+
+    def replace_all_uses_with(self, new: "Value") -> None:
+        """Rewrite every use of ``self`` to ``new``."""
+        if new is self:
+            return
+        for inst in list(self._users):
+            inst.replace_operand(self, new)
+
+    # -- printing helpers ---------------------------------------------------
+    def ref(self) -> str:
+        """How this value is written when used as an operand."""
+        if self.name is None:
+            raise ValueError(
+                f"unnamed {type(self).__name__} of type {self.type} used as "
+                "operand; assign names first"
+            )
+        return f"%{self.name}"
+
+    def typed_ref(self) -> str:
+        return f"{self.type} {self.ref()}"
+
+    def __repr__(self) -> str:
+        try:
+            r = self.ref()
+        except ValueError:
+            r = "<unnamed>"
+        return f"<{type(self).__name__} {self.type} {r}>"
+
+
+class Constant(Value):
+    """Base class for constants.  Constants do not track users by identity
+    sharing semantics (two equal ConstantInts may or may not be the same
+    object), so passes must not rely on constant use lists being complete;
+    they are maintained best-effort for symmetry."""
+
+    __slots__ = ()
+
+    def is_zero(self) -> bool:
+        return False
+
+
+class ConstantInt(Constant):
+    __slots__ = ("value",)
+
+    def __init__(self, type_: IntType, value: int):
+        if not isinstance(type_, IntType):
+            raise TypeError(f"ConstantInt requires an integer type, got {type_}")
+        super().__init__(type_)
+        self.value = type_.wrap(int(value))
+
+    def ref(self) -> str:
+        if self.type == IntType(1):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+    def typed_ref(self) -> str:
+        return f"{self.type} {self.ref()}"
+
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConstantInt)
+            and other.type == self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cint", self.type, self.value))
+
+
+def _format_double(value: float) -> str:
+    """Format a double the way LLVM does: decimal when exact, hex otherwise."""
+    if math.isnan(value) or math.isinf(value):
+        bits = struct.unpack("<Q", struct.pack("<d", value))[0]
+        return f"0x{bits:016X}"
+    text = repr(float(value))
+    if float(text) == value and ("e" in text or "." in text):
+        # LLVM prints e.g. 1.000000e+00; our round-trip only requires that
+        # the printed text re-parses to the identical bit pattern.
+        return f"{value:e}" if float(f"{value:e}") == value else _hex_double(value)
+    return _hex_double(value)
+
+
+def _hex_double(value: float) -> str:
+    bits = struct.unpack("<Q", struct.pack("<d", value))[0]
+    return f"0x{bits:016X}"
+
+
+class ConstantFloat(Constant):
+    __slots__ = ("value",)
+
+    def __init__(self, type_: DoubleType, value: float):
+        super().__init__(type_)
+        self.value = float(value)
+
+    def ref(self) -> str:
+        return _format_double(self.value)
+
+    def typed_ref(self) -> str:
+        return f"{self.type} {self.ref()}"
+
+    def is_zero(self) -> bool:
+        return self.value == 0.0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConstantFloat)
+            and other.type == self.type
+            and struct.pack("<d", other.value) == struct.pack("<d", self.value)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cfloat", struct.pack("<d", self.value)))
+
+
+class ConstantNull(Constant):
+    """``null`` pointer constant -- QIR's static qubit 0 / result 0."""
+
+    __slots__ = ()
+
+    def __init__(self, type_: Optional[PointerType] = None):
+        super().__init__(type_ or ptr)
+
+    def ref(self) -> str:
+        return "null"
+
+    def typed_ref(self) -> str:
+        return f"{self.type} null"
+
+    def is_zero(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConstantNull)
+
+    def __hash__(self) -> int:
+        return hash("cnull")
+
+
+class ConstantUndef(Constant):
+    __slots__ = ()
+
+    def ref(self) -> str:
+        return "undef"
+
+    def typed_ref(self) -> str:
+        return f"{self.type} undef"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConstantUndef) and other.type == self.type
+
+    def __hash__(self) -> int:
+        return hash(("cundef", self.type))
+
+
+class ConstantPointerInt(Constant):
+    """The constant expression ``inttoptr (i64 N to ptr)``.
+
+    This is how QIR spells *static qubit addresses* (paper, Example 6 and
+    Section IV-A).  It is a genuine LLVM constant expression but common
+    enough in QIR that it gets a dedicated node, which also lets the
+    runtime map it straight to a qubit/result id without evaluation.
+    """
+
+    __slots__ = ("address", "source_type")
+
+    def __init__(self, address: int, source_type: Optional[IntType] = None):
+        super().__init__(ptr)
+        self.address = int(address)
+        from repro.llvmir.types import i64 as _i64
+
+        self.source_type = source_type or _i64
+
+    def ref(self) -> str:
+        return f"inttoptr ({self.source_type} {self.address} to ptr)"
+
+    def typed_ref(self) -> str:
+        return f"ptr {self.ref()}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConstantPointerInt)
+            and other.address == self.address
+            and other.source_type == self.source_type
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cptrint", self.address, self.source_type))
+
+
+class ConstantString(Constant):
+    """``c"...\\00"`` array-of-i8 initialiser (QIR output labels)."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes):
+        super().__init__(ArrayType(len(data), i8))
+        self.data = bytes(data)
+
+    @classmethod
+    def from_text(cls, text: str, null_terminate: bool = True) -> "ConstantString":
+        data = text.encode("utf-8")
+        if null_terminate:
+            data += b"\x00"
+        return cls(data)
+
+    def text(self) -> str:
+        return self.data.rstrip(b"\x00").decode("utf-8", errors="replace")
+
+    def ref(self) -> str:
+        out = []
+        for b in self.data:
+            ch = chr(b)
+            if ch in ('"', "\\"):
+                out.append(f"\\{b:02X}")
+            elif 0x20 <= b < 0x7F:
+                out.append(ch)
+            else:
+                out.append(f"\\{b:02X}")
+        return 'c"' + "".join(out) + '"'
+
+    def typed_ref(self) -> str:
+        return f"{self.type} {self.ref()}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConstantString) and other.data == self.data
+
+    def __hash__(self) -> int:
+        return hash(("cstr", self.data))
+
+
+class ConstantArray(Constant):
+    __slots__ = ("elements",)
+
+    def __init__(self, element_type: IRType, elements: Sequence[Constant]):
+        super().__init__(ArrayType(len(elements), element_type))
+        self.elements = tuple(elements)
+
+    def ref(self) -> str:
+        inner = ", ".join(e.typed_ref() for e in self.elements)
+        return f"[{inner}]"
+
+    def typed_ref(self) -> str:
+        return f"{self.type} {self.ref()}"
+
+
+class ConstantExpr(Constant):
+    """General constant expression, e.g.
+    ``getelementptr inbounds ([3 x i8], ptr @0, i32 0, i32 0)``.
+
+    Only the handful of opcodes QIR modules contain are supported:
+    ``getelementptr``, ``inttoptr``, ``ptrtoint``, ``bitcast``.
+    """
+
+    __slots__ = ("opcode", "operands", "extra")
+
+    def __init__(
+        self,
+        opcode: str,
+        type_: IRType,
+        operands: Sequence[Value],
+        extra: Optional[Tuple] = None,
+    ):
+        super().__init__(type_)
+        self.opcode = opcode
+        self.operands = tuple(operands)
+        self.extra = extra or ()
+
+    def ref(self) -> str:
+        if self.opcode == "getelementptr":
+            source_type = self.extra[0]
+            ops = ", ".join(o.typed_ref() for o in self.operands)
+            return f"getelementptr inbounds ({source_type}, {ops})"
+        if self.opcode in ("inttoptr", "ptrtoint", "bitcast"):
+            (op,) = self.operands
+            return f"{self.opcode} ({op.typed_ref()} to {self.type})"
+        raise ValueError(f"unprintable constant expression: {self.opcode}")
+
+    def typed_ref(self) -> str:
+        return f"{self.type} {self.ref()}"
+
+
+class GlobalVariable(Value):
+    """Module-level global; QIR uses these for label strings."""
+
+    __slots__ = ("initializer", "is_constant", "linkage")
+
+    def __init__(
+        self,
+        name: str,
+        initializer: Optional[Constant] = None,
+        is_constant: bool = True,
+        linkage: str = "internal",
+    ):
+        super().__init__(ptr, name)
+        self.initializer = initializer
+        self.is_constant = is_constant
+        self.linkage = linkage
+
+    def ref(self) -> str:
+        return f"@{_quote_name(self.name or '')}"
+
+    def typed_ref(self) -> str:
+        return f"ptr {self.ref()}"
+
+    @property
+    def value_type(self) -> Optional[IRType]:
+        return self.initializer.type if self.initializer is not None else None
+
+
+class Argument(Value):
+    """Formal parameter of a function."""
+
+    __slots__ = ("parent", "index")
+
+    def __init__(self, type_: IRType, name: str, parent: "Function", index: int):
+        super().__init__(type_, name)
+        self.parent = parent
+        self.index = index
+
+
+# ---------------------------------------------------------------------------
+# Metadata (just enough for QIR module flags).
+# ---------------------------------------------------------------------------
+class Metadata:
+    __slots__ = ()
+
+
+class MetadataString(Metadata):
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def ref(self) -> str:
+        escaped = self.text.replace("\\", "\\5C").replace('"', "\\22")
+        return f'!"{escaped}"'
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MetadataString) and other.text == self.text
+
+    def __hash__(self) -> int:
+        return hash(("mdstr", self.text))
+
+
+class MetadataNode(Metadata):
+    """``!{ ... }`` tuple node; elements are Metadata or constant Values."""
+
+    __slots__ = ("elements", "index")
+
+    def __init__(self, elements: Sequence[object]):
+        self.elements = tuple(elements)
+        self.index: Optional[int] = None  # assigned at print time
+
+    def element_refs(self) -> Iterable[str]:
+        for el in self.elements:
+            if isinstance(el, MetadataString):
+                yield el.ref()
+            elif isinstance(el, MetadataNode):
+                yield f"!{el.index}"
+            elif isinstance(el, Value):
+                yield el.typed_ref()
+            else:
+                raise TypeError(f"bad metadata element: {el!r}")
+
+
+def _quote_name(name: str) -> str:
+    """Quote an identifier if it contains characters outside [A-Za-z0-9._$-]."""
+    if name and all(c.isalnum() or c in "._$-" for c in name):
+        return name
+    return '"' + name.replace("\\", "\\5C").replace('"', "\\22") + '"'

@@ -1,0 +1,147 @@
+"""Module verifier: structural well-formedness checks.
+
+Run after parsing and after every transformation pass in tests; the pass
+manager can be configured to verify between passes (mirroring
+``opt -verify-each``).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import (
+    CallInst,
+    CondBranchInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    StoreInst,
+)
+from repro.llvmir.module import Module
+from repro.llvmir.types import IntType
+from repro.llvmir.values import Argument, Constant, GlobalVariable, Value
+
+
+class VerificationError(ValueError):
+    pass
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`VerificationError` on the first structural problem."""
+    for fn in module.functions.values():
+        if not fn.is_declaration:
+            _verify_function(fn, module)
+
+
+def _verify_function(fn: Function, module: Module) -> None:
+    if not fn.blocks:
+        return
+
+    defined: Set[Value] = set(fn.arguments)
+    block_set = set(fn.blocks)
+
+    for block in fn.blocks:
+        if block.parent is not fn:
+            raise VerificationError(
+                f"@{fn.name}: block {block.name} has wrong parent"
+            )
+        term = block.terminator
+        if term is None:
+            raise VerificationError(
+                f"@{fn.name}: block %{block.name} lacks a terminator"
+            )
+        for inst in block.instructions:
+            if inst.is_terminator and inst is not term:
+                raise VerificationError(
+                    f"@{fn.name}: terminator in the middle of %{block.name}"
+                )
+        for succ in block.successors():
+            if succ not in block_set:
+                raise VerificationError(
+                    f"@{fn.name}: branch to foreign block %{succ.name}"
+                )
+        for inst in block.instructions:
+            defined.add(inst)
+
+    # Dominance-free def check: every non-constant operand must be defined
+    # somewhere in the function (full dominance checking lives in the
+    # analysis package; the verifier only catches dangling references).
+    for block in fn.blocks:
+        preds = block.predecessors()
+        for inst in block.instructions:
+            if inst.parent is not block:
+                raise VerificationError(
+                    f"@{fn.name}: instruction parent pointer corrupt in %{block.name}"
+                )
+            for op in inst.operands:
+                if isinstance(op, (Constant, GlobalVariable, Function)):
+                    continue
+                if isinstance(op, (Argument, Instruction)):
+                    if op not in defined:
+                        raise VerificationError(
+                            f"@{fn.name}: operand {op!r} of {inst!r} is not "
+                            "defined in this function"
+                        )
+                    continue
+                raise VerificationError(
+                    f"@{fn.name}: unresolved operand {op!r} in {inst!r}"
+                )
+            if isinstance(inst, PhiInst):
+                if block.instructions.index(inst) >= block.first_non_phi_index():
+                    raise VerificationError(
+                        f"@{fn.name}: phi after non-phi in %{block.name}"
+                    )
+                incoming_blocks = set(inst.incoming_blocks)
+                if incoming_blocks != set(preds):
+                    raise VerificationError(
+                        f"@{fn.name}: phi in %{block.name} covers "
+                        f"{sorted(b.name or '?' for b in incoming_blocks)} but "
+                        f"predecessors are {sorted(b.name or '?' for b in preds)}"
+                    )
+                if len(inst.incoming_blocks) != len(set(inst.incoming_blocks)):
+                    raise VerificationError(
+                        f"@{fn.name}: duplicate phi incoming block in %{block.name}"
+                    )
+            if isinstance(inst, ReturnInst):
+                want = fn.return_type
+                got = inst.return_value.type if inst.return_value is not None else None
+                if want.is_void:
+                    if got is not None:
+                        raise VerificationError(
+                            f"@{fn.name}: returning a value from a void function"
+                        )
+                elif got != want:
+                    raise VerificationError(
+                        f"@{fn.name}: return type mismatch ({got} vs {want})"
+                    )
+            if isinstance(inst, CondBranchInst):
+                if inst.condition.type != IntType(1):
+                    raise VerificationError(
+                        f"@{fn.name}: conditional branch on non-i1"
+                    )
+            if isinstance(inst, CallInst):
+                callee = inst.callee
+                if callee.parent is not module:
+                    raise VerificationError(
+                        f"@{fn.name}: call to function outside this module"
+                    )
+                ftype = callee.function_type
+                if not ftype.vararg:
+                    if len(inst.operands) != len(ftype.param_types):
+                        raise VerificationError(
+                            f"@{fn.name}: call to @{callee.name} has "
+                            f"{len(inst.operands)} args, expects "
+                            f"{len(ftype.param_types)}"
+                        )
+                    for arg, want_t in zip(inst.operands, ftype.param_types):
+                        if arg.type != want_t:
+                            raise VerificationError(
+                                f"@{fn.name}: call to @{callee.name} arg type "
+                                f"{arg.type} != {want_t}"
+                            )
+            if isinstance(inst, StoreInst) and not inst.pointer.type.is_pointer:
+                raise VerificationError(f"@{fn.name}: store to non-pointer")
+            if isinstance(inst, LoadInst) and not inst.pointer.type.is_pointer:
+                raise VerificationError(f"@{fn.name}: load from non-pointer")

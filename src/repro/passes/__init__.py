@@ -1,0 +1,37 @@
+"""Transformation passes over the IR.
+
+Classical passes (the ones the paper says QIR inherits from LLVM "for
+free", Sec. II-C and Ex. 4): constant folding, constant propagation, dead
+code elimination, CFG simplification, ``mem2reg`` and loop unrolling, plus
+function inlining.
+
+Quantum passes (the ones a *quantum* tool adds on top, Sec. III-B and
+IV-A) live in :mod:`repro.passes.quantum`.
+"""
+
+from repro.passes.manager import FunctionPass, ModulePass, PassManager, PassResult
+from repro.passes.constant_fold import ConstantFoldPass
+from repro.passes.constprop import ConstantPropagationPass
+from repro.passes.dce import DeadCodeEliminationPass
+from repro.passes.simplify_cfg import SimplifyCFGPass
+from repro.passes.mem2reg import Mem2RegPass
+from repro.passes.unroll import LoopUnrollPass
+from repro.passes.inline import InlinePass
+from repro.passes.pipeline import default_pipeline, o1_pipeline, unroll_pipeline
+
+__all__ = [
+    "FunctionPass",
+    "ModulePass",
+    "PassManager",
+    "PassResult",
+    "ConstantFoldPass",
+    "ConstantPropagationPass",
+    "DeadCodeEliminationPass",
+    "SimplifyCFGPass",
+    "Mem2RegPass",
+    "LoopUnrollPass",
+    "InlinePass",
+    "default_pipeline",
+    "o1_pipeline",
+    "unroll_pipeline",
+]

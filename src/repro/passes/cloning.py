@@ -1,0 +1,144 @@
+"""IR cloning with value remapping -- shared by unrolling and inlining."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.llvmir.block import BasicBlock
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GetElementPtrInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from repro.llvmir.values import Value
+
+
+def remap(value: Value, value_map: Dict[Value, Value]) -> Value:
+    return value_map.get(value, value)
+
+
+def clone_instruction(
+    inst: Instruction,
+    value_map: Dict[Value, Value],
+    block_map: Dict[BasicBlock, BasicBlock],
+) -> Instruction:
+    """Clone one instruction, remapping operands and block targets.
+
+    Phi nodes are cloned *without* incoming arms (the caller wires them,
+    since the predecessor set usually changes during the transformation).
+    """
+
+    def v(x: Value) -> Value:
+        return remap(x, value_map)
+
+    def b(x: BasicBlock) -> BasicBlock:
+        return block_map.get(x, x)
+
+    clone: Instruction
+    if isinstance(inst, BinaryInst):
+        clone = BinaryInst(inst.opcode, v(inst.lhs), v(inst.rhs), inst.flags)
+    elif isinstance(inst, ICmpInst):
+        clone = ICmpInst(inst.predicate, v(inst.lhs), v(inst.rhs))
+    elif isinstance(inst, FCmpInst):
+        clone = FCmpInst(inst.predicate, v(inst.lhs), v(inst.rhs))
+    elif isinstance(inst, CastInst):
+        clone = CastInst(inst.opcode, v(inst.value), inst.type)
+    elif isinstance(inst, SelectInst):
+        clone = SelectInst(v(inst.condition), v(inst.true_value), v(inst.false_value))
+    elif isinstance(inst, AllocaInst):
+        clone = AllocaInst(inst.allocated_type, inst.align)
+    elif isinstance(inst, LoadInst):
+        clone = LoadInst(inst.type, v(inst.pointer), inst.align)
+    elif isinstance(inst, StoreInst):
+        clone = StoreInst(v(inst.value), v(inst.pointer), inst.align)
+    elif isinstance(inst, GetElementPtrInst):
+        clone = GetElementPtrInst(
+            inst.source_type,
+            v(inst.pointer),
+            [v(i) for i in inst.indices],
+            inst.inbounds,
+        )
+    elif isinstance(inst, CallInst):
+        clone = CallInst(
+            inst.callee, [v(a) for a in inst.operands], inst.arg_attrs, inst.tail
+        )
+    elif isinstance(inst, PhiInst):
+        clone = PhiInst(inst.type)
+    elif isinstance(inst, ReturnInst):
+        clone = ReturnInst(v(inst.return_value) if inst.return_value else None)
+    elif isinstance(inst, BranchInst):
+        clone = BranchInst(b(inst.target))
+    elif isinstance(inst, CondBranchInst):
+        clone = CondBranchInst(v(inst.condition), b(inst.true_target), b(inst.false_target))
+    elif isinstance(inst, SwitchInst):
+        clone = SwitchInst(
+            v(inst.value), b(inst.default), [(v(c), b(t)) for c, t in inst.cases]
+        )
+    elif isinstance(inst, UnreachableInst):
+        clone = UnreachableInst()
+    else:  # pragma: no cover - exhaustive over the instruction set
+        raise TypeError(f"cannot clone {inst!r}")
+    # A pre-seeded mapping (e.g. unrolling substituting an induction phi
+    # with this iteration's value) takes precedence over the clone itself.
+    value_map.setdefault(inst, clone)
+    return clone
+
+
+def clone_region(
+    blocks: Sequence[BasicBlock],
+    fn: Function,
+    value_map: Optional[Dict[Value, Value]] = None,
+    suffix: str = "clone",
+) -> Dict[BasicBlock, BasicBlock]:
+    """Clone a set of blocks into ``fn``.
+
+    Returns the block map.  ``value_map`` (mutated in place) carries prior
+    substitutions in and the per-instruction mapping out.  Branches to
+    blocks outside the region keep their original targets; phi arms are
+    wired for in-region predecessors only.
+    """
+    if value_map is None:
+        value_map = {}
+    block_map: Dict[BasicBlock, BasicBlock] = {}
+    for block in blocks:
+        new = fn.create_block(
+            f"{block.name}.{suffix}" if block.name is not None else None
+        )
+        block_map[block] = new
+
+    region = set(blocks)
+    for block in blocks:
+        new = block_map[block]
+        for inst in block.instructions:
+            clone = clone_instruction(inst, value_map, block_map)
+            new.append(clone)
+    # Fixup pass: an operand defined later in the region (e.g. a body block
+    # cloned before the header that defines its phi) was still unmapped when
+    # its user was cloned; the value_map is complete only now.
+    for block in blocks:
+        for inst, clone in zip(block.instructions, block_map[block].instructions):
+            for i, op in enumerate(list(clone.operands)):
+                mapped = value_map.get(op)
+                if mapped is not None and mapped is not op:
+                    clone.set_operand(i, mapped)
+            if isinstance(inst, PhiInst):
+                assert isinstance(clone, PhiInst)
+                for value, pred in inst.incoming:
+                    if pred in region:
+                        clone.add_incoming(remap(value, value_map), block_map[pred])
+    return block_map

@@ -1,0 +1,33 @@
+"""Constant folding: evaluate instructions whose operands are constants."""
+
+from __future__ import annotations
+
+from repro.llvmir.function import Function
+from repro.passes.fold_utils import fold_instruction, simplify_to_operand
+from repro.passes.manager import FunctionPass
+
+
+class ConstantFoldPass(FunctionPass):
+    name = "constant-fold"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        work = True
+        while work:
+            work = False
+            for block in fn.blocks:
+                for inst in list(block.instructions):
+                    if inst.type.is_void or inst.is_terminator:
+                        continue
+                    folded = fold_instruction(inst)
+                    if folded is not None:
+                        inst.replace_all_uses_with(folded)
+                        block.remove(inst)
+                        changed = work = True
+                        continue
+                    operand = simplify_to_operand(inst)
+                    if operand is not None:
+                        inst.replace_all_uses_with(operand)
+                        block.remove(inst)
+                        changed = work = True
+        return changed

@@ -1,0 +1,104 @@
+"""Conditional constant propagation (a pragmatic SCCP).
+
+Beyond plain folding this pass:
+
+* folds conditional branches whose condition is constant into
+  unconditional ones (fixing up phi nodes on the dead edge), and
+* collapses single-input phi nodes,
+
+which is what turns an unrolled counted loop (Ex. 4) into straight-line
+code once the induction variable is constant per clone.
+"""
+
+from __future__ import annotations
+
+from repro.llvmir.block import BasicBlock
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import (
+    BranchInst,
+    CondBranchInst,
+    PhiInst,
+    SwitchInst,
+)
+from repro.llvmir.values import ConstantInt
+from repro.passes.fold_utils import fold_instruction, simplify_to_operand
+from repro.passes.manager import FunctionPass
+
+
+def _remove_edge_phis(from_block: BasicBlock, to_block: BasicBlock) -> None:
+    for phi in to_block.phis():
+        phi.remove_incoming(from_block)
+
+
+class ConstantPropagationPass(FunctionPass):
+    name = "constprop"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        work = True
+        while work:
+            work = False
+            for block in list(fn.blocks):
+                for inst in list(block.instructions):
+                    if inst.is_terminator:
+                        continue
+                    if isinstance(inst, PhiInst):
+                        values = [v for v, _ in inst.incoming]
+                        if values and all(
+                            v is values[0] or v == values[0] for v in values[1:]
+                        ):
+                            only = values[0]
+                            if only is not inst:
+                                inst.replace_all_uses_with(only)
+                                block.remove(inst)
+                                changed = work = True
+                        continue
+                    if inst.type.is_void:
+                        continue
+                    folded = fold_instruction(inst)
+                    if folded is not None:
+                        inst.replace_all_uses_with(folded)
+                        block.remove(inst)
+                        changed = work = True
+                        continue
+                    operand = simplify_to_operand(inst)
+                    if operand is not None:
+                        inst.replace_all_uses_with(operand)
+                        block.remove(inst)
+                        changed = work = True
+
+                term = block.terminator
+                if isinstance(term, CondBranchInst) and isinstance(
+                    term.condition, ConstantInt
+                ):
+                    taken = (
+                        term.true_target if term.condition.value else term.false_target
+                    )
+                    dead = (
+                        term.false_target if term.condition.value else term.true_target
+                    )
+                    block.remove(term)
+                    block.append(BranchInst(taken))
+                    if dead is not taken:
+                        _remove_edge_phis(block, dead)
+                    changed = work = True
+                elif isinstance(term, SwitchInst) and isinstance(
+                    term.value, ConstantInt
+                ):
+                    taken = term.default
+                    for const, case_block in term.cases:
+                        if (
+                            isinstance(const, ConstantInt)
+                            and const.value == term.value.value
+                        ):
+                            taken = case_block
+                            break
+                    dead_targets = {
+                        b for b in term.successors() if b is not taken
+                    }
+                    block.remove(term)
+                    block.append(BranchInst(taken))
+                    for dead in dead_targets:
+                        _remove_edge_phis(block, dead)
+                    changed = work = True
+        return changed

@@ -1,0 +1,43 @@
+"""Dead code elimination: unused pure instructions + unreachable blocks."""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import reachable_blocks
+from repro.llvmir.function import Function
+from repro.passes.manager import FunctionPass
+
+
+class DeadCodeEliminationPass(FunctionPass):
+    name = "dce"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = self._remove_unreachable_blocks(fn)
+        # Iterate: removing one dead instruction may make its operands dead.
+        work = True
+        while work:
+            work = False
+            for block in fn.blocks:
+                for inst in reversed(list(block.instructions)):
+                    if inst.is_terminator or inst.has_side_effects():
+                        continue
+                    if not inst.is_used():
+                        block.remove(inst)
+                        changed = work = True
+        return changed
+
+    def _remove_unreachable_blocks(self, fn: Function) -> bool:
+        if not fn.blocks:
+            return False
+        live = reachable_blocks(fn)
+        dead = [b for b in fn.blocks if b not in live]
+        if not dead:
+            return False
+        # Phi nodes in live blocks may reference dead predecessors.
+        for block in live:
+            for phi in block.phis():
+                for pred in list(phi.incoming_blocks):
+                    if pred not in live:
+                        phi.remove_incoming(pred)
+        for block in dead:
+            fn.remove_block(block)
+        return True

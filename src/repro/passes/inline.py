@@ -1,0 +1,122 @@
+"""Function inlining for defined (non-quantum) callees.
+
+Full-QIR programs may factor subroutines; profiles that forbid user
+functions need them inlined away before lowering.  Simple bottom-up
+inliner with a size budget; recursive functions are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import (
+    BranchInst,
+    CallInst,
+    Instruction,
+    PhiInst,
+    ReturnInst,
+)
+from repro.llvmir.module import Module
+from repro.llvmir.values import Value
+from repro.passes.cloning import clone_region
+from repro.passes.manager import ModulePass
+
+
+def _is_recursive(fn: Function, seen: Optional[Set[Function]] = None) -> bool:
+    seen = seen or set()
+    if fn in seen:
+        return True
+    seen = seen | {fn}
+    for inst in fn.instructions():
+        if isinstance(inst, CallInst) and not inst.callee.is_declaration:
+            if _is_recursive(inst.callee, seen):
+                return True
+    return False
+
+
+class InlinePass(ModulePass):
+    name = "inline"
+
+    def __init__(self, size_threshold: int = 1000):
+        self.size_threshold = size_threshold
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for fn in module.defined_functions():
+            work = True
+            while work:
+                work = False
+                for block in list(fn.blocks):
+                    for inst in list(block.instructions):
+                        if not isinstance(inst, CallInst):
+                            continue
+                        callee = inst.callee
+                        if callee.is_declaration or callee is fn:
+                            continue
+                        if len(callee) > self.size_threshold:
+                            continue
+                        if _is_recursive(callee):
+                            continue
+                        self._inline_call(fn, inst)
+                        changed = work = True
+                        break
+                    if work:
+                        break
+        return changed
+
+    def _inline_call(self, caller: Function, call: CallInst) -> None:
+        callee = call.callee
+        call_block = call.parent
+        assert call_block is not None
+
+        # Split the call block after the call: `tail` gets everything below.
+        index = call_block.instructions.index(call)
+        tail_block = caller.create_block(
+            f"{call_block.name}.inlined" if call_block.name else None
+        )
+        trailing = call_block.instructions[index + 1 :]
+        del call_block.instructions[index + 1 :]
+        for inst in trailing:
+            inst.parent = tail_block
+            tail_block.instructions.append(inst)
+        # Successor phis must now see tail_block as the predecessor.
+        for succ in tail_block.successors():
+            for phi in succ.phis():
+                phi.replace_block_target(call_block, tail_block)
+
+        # Clone the callee body with arguments bound.
+        value_map: Dict[Value, Value] = {}
+        for formal, actual in zip(callee.arguments, call.operands):
+            value_map[formal] = actual
+        block_map = clone_region(callee.blocks, caller, value_map, suffix=f"inl.{callee.name}")
+        entry_clone = block_map[callee.entry_block]
+
+        # Rewrite cloned returns to branches into the tail, collecting the
+        # return values for a result phi.
+        returns: List[tuple] = []
+        for original, clone in block_map.items():
+            term = clone.terminator
+            if isinstance(term, ReturnInst):
+                value = term.return_value
+                clone.remove(term)
+                clone.append(BranchInst(tail_block))
+                returns.append((clone, value))
+
+        # Replace the call's value.
+        if not call.type.is_void and returns:
+            if len(returns) == 1:
+                replacement = returns[0][1]
+                assert replacement is not None
+                call.replace_all_uses_with(replacement)
+            else:
+                phi = PhiInst(call.type)
+                tail_block.insert(0, phi)
+                for block, value in returns:
+                    assert value is not None
+                    phi.add_incoming(value, block)
+                call.replace_all_uses_with(phi)
+
+        # Replace the call instruction with a branch into the inlined entry.
+        call_block.remove(call)
+        call_block.append(BranchInst(entry_clone))

@@ -1,0 +1,86 @@
+"""Pass manager: ordered pipelines with optional verify-between-passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.llvmir.function import Function
+from repro.llvmir.module import Module
+from repro.llvmir.verifier import verify_module
+
+
+@dataclass
+class PassResult:
+    """What one pipeline run did."""
+
+    changed: bool = False
+    per_pass: Dict[str, bool] = field(default_factory=dict)
+    iterations: int = 1
+
+
+class ModulePass:
+    """Base class: transform a module, report whether anything changed."""
+
+    name: str = "module-pass"
+
+    def run_on_module(self, module: Module) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class FunctionPass(ModulePass):
+    """Convenience base: runs per defined function."""
+
+    name = "function-pass"
+
+    def run_on_function(self, fn: Function) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for fn in module.defined_functions():
+            changed |= self.run_on_function(fn)
+        return changed
+
+
+class PassManager:
+    """Run a pipeline, optionally to fixpoint, verifying between passes.
+
+    ``verify_each`` mirrors ``opt -verify-each``: catches a pass corrupting
+    the IR immediately rather than in a downstream consumer.
+    """
+
+    def __init__(
+        self,
+        passes: Sequence[ModulePass],
+        verify_each: bool = False,
+        max_iterations: int = 1,
+    ):
+        self.passes = list(passes)
+        self.verify_each = verify_each
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.max_iterations = max_iterations
+
+    def run(self, module: Module) -> PassResult:
+        result = PassResult()
+        for iteration in range(self.max_iterations):
+            iteration_changed = False
+            for pass_ in self.passes:
+                changed = pass_.run_on_module(module)
+                result.per_pass[pass_.name] = result.per_pass.get(pass_.name, False) or changed
+                iteration_changed |= changed
+                if self.verify_each:
+                    verify_module(module)
+            result.changed |= iteration_changed
+            result.iterations = iteration + 1
+            if not iteration_changed:
+                break
+        return result
+
+    def __repr__(self) -> str:
+        names = ", ".join(p.name for p in self.passes)
+        return f"<PassManager [{names}]>"

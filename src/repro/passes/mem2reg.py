@@ -1,0 +1,138 @@
+"""mem2reg: promote stack slots to SSA registers.
+
+Front-ends emit memory form (Fig. 1 and Ex. 4 both spill to ``alloca``
+slots); nearly every later pass wants SSA.  Classic algorithm: phi
+insertion at the iterated dominance frontier of the stores, then a
+renaming walk over the dominator tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.analysis.dominators import DominatorTree
+from repro.llvmir.block import BasicBlock
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import (
+    AllocaInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    StoreInst,
+)
+from repro.llvmir.types import IRType
+from repro.llvmir.values import ConstantUndef
+from repro.passes.manager import FunctionPass
+
+
+def _promotable(alloca: AllocaInst) -> bool:
+    """A slot is promotable when it is only ever loaded from / stored to
+    (never GEP'd, never passed to a call, never stored *as a value*)."""
+    if alloca.allocated_type.is_aggregate:
+        return False
+    for user in alloca.users:
+        if isinstance(user, LoadInst) and user.pointer is alloca:
+            continue
+        if (
+            isinstance(user, StoreInst)
+            and user.pointer is alloca
+            and user.value is not alloca
+        ):
+            continue
+        return False
+    return True
+
+
+class Mem2RegPass(FunctionPass):
+    name = "mem2reg"
+
+    def run_on_function(self, fn: Function) -> bool:
+        if not fn.blocks:
+            return False
+        allocas = [
+            inst
+            for inst in fn.entry_block.instructions
+            if isinstance(inst, AllocaInst) and _promotable(inst)
+        ]
+        if not allocas:
+            return False
+
+        domtree = DominatorTree(fn)
+        for alloca in allocas:
+            self._promote(fn, alloca, domtree)
+        return True
+
+    def _promote(self, fn: Function, alloca: AllocaInst, domtree: DominatorTree) -> None:
+        loads = [u for u in alloca.users if isinstance(u, LoadInst)]
+        stores = [u for u in alloca.users if isinstance(u, StoreInst)]
+        value_type: IRType = alloca.allocated_type
+
+        # Fast path: no loads -> drop everything.
+        if not loads:
+            for store in stores:
+                store.erase_from_parent()
+            alloca.erase_from_parent()
+            return
+
+        # Phi placement at the iterated dominance frontier of def blocks.
+        def_blocks: Set[BasicBlock] = {s.parent for s in stores if s.parent}
+        phi_blocks: Set[BasicBlock] = set()
+        worklist = list(def_blocks)
+        while worklist:
+            block = worklist.pop()
+            for frontier in domtree.dominance_frontier(block):
+                if frontier not in phi_blocks:
+                    phi_blocks.add(frontier)
+                    worklist.append(frontier)
+
+        phis: Dict[BasicBlock, PhiInst] = {}
+        for block in phi_blocks:
+            if block not in domtree.idom:  # unreachable
+                continue
+            phi = PhiInst(value_type)
+            block.insert(0, phi)
+            phis[block] = phi
+
+        undef = ConstantUndef(value_type)
+
+        # Renaming walk over the dominator tree.  Iterative pre-order with a
+        # per-node incoming value (children see the value at the end of
+        # their dominator), since recursion depth can exceed Python's limit
+        # on long unrolled chains.
+        stack: List = [(fn.entry_block, undef)]
+        visited: Set[BasicBlock] = set()
+        while stack:
+            block, incoming = stack.pop()
+            if block in visited:
+                continue
+            visited.add(block)
+            current = incoming
+            phi = phis.get(block)
+            if phi is not None:
+                current = phi
+            for inst in list(block.instructions):
+                if isinstance(inst, LoadInst) and inst.pointer is alloca:
+                    inst.replace_all_uses_with(current)
+                    block.remove(inst)
+                elif isinstance(inst, StoreInst) and inst.pointer is alloca:
+                    current = inst.value
+                    block.remove(inst)
+            for succ in block.successors():
+                succ_phi = phis.get(succ)
+                if succ_phi is not None:
+                    succ_phi.add_incoming(current, block)
+            for child in domtree.children(block):
+                stack.append((child, current))
+
+        # Phis in unreachable blocks were skipped; the alloca must now be dead.
+        assert not alloca.is_used(), "mem2reg left dangling alloca uses"
+        alloca.erase_from_parent()
+
+        # Prune phi nodes that ended up with missing predecessors (e.g. the
+        # dominance frontier included a block whose other predecessor is
+        # unreachable): fill from undef for verifier correctness.
+        for block, phi in phis.items():
+            have = set(phi.incoming_blocks)
+            for pred in block.predecessors():
+                if pred not in have:
+                    phi.add_incoming(undef, pred)

@@ -1,0 +1,72 @@
+"""Standard pass pipelines.
+
+``unroll_pipeline`` is the paper's Example 4 recipe: promote the loop
+counter out of memory, unroll, fold the per-iteration induction values,
+and flatten the CFG -- after which a quantum tool "sees only the ten
+individual Hadamard gates".
+"""
+
+from __future__ import annotations
+
+from repro.passes.constant_fold import ConstantFoldPass
+from repro.passes.constprop import ConstantPropagationPass
+from repro.passes.dce import DeadCodeEliminationPass
+from repro.passes.inline import InlinePass
+from repro.passes.manager import PassManager
+from repro.passes.mem2reg import Mem2RegPass
+from repro.passes.simplify_cfg import SimplifyCFGPass
+from repro.passes.unroll import LoopUnrollPass
+
+
+def o1_pipeline(verify_each: bool = False) -> PassManager:
+    """Cheap cleanup: folding, propagation, DCE, CFG simplification."""
+    return PassManager(
+        [
+            ConstantFoldPass(),
+            ConstantPropagationPass(),
+            DeadCodeEliminationPass(),
+            SimplifyCFGPass(),
+        ],
+        verify_each=verify_each,
+        max_iterations=4,
+    )
+
+
+def unroll_pipeline(
+    verify_each: bool = False, max_trip_count: int = 4096
+) -> PassManager:
+    """mem2reg + full unrolling + cleanup (Example 4)."""
+    return PassManager(
+        [
+            Mem2RegPass(),
+            ConstantPropagationPass(),
+            LoopUnrollPass(max_trip_count=max_trip_count),
+            ConstantPropagationPass(),
+            DeadCodeEliminationPass(),
+            SimplifyCFGPass(),
+            ConstantPropagationPass(),
+            DeadCodeEliminationPass(),
+        ],
+        verify_each=verify_each,
+        max_iterations=4,
+    )
+
+
+def default_pipeline(verify_each: bool = False) -> PassManager:
+    """The full classical pipeline: inline, SSA-ise, unroll, clean up."""
+    return PassManager(
+        [
+            InlinePass(),
+            Mem2RegPass(),
+            ConstantFoldPass(),
+            ConstantPropagationPass(),
+            LoopUnrollPass(),
+            ConstantPropagationPass(),
+            DeadCodeEliminationPass(),
+            SimplifyCFGPass(),
+            ConstantPropagationPass(),
+            DeadCodeEliminationPass(),
+        ],
+        verify_each=verify_each,
+        max_iterations=4,
+    )

@@ -1,0 +1,34 @@
+"""Quantum-specific transformation passes over QIR.
+
+These are the passes a *quantum* tool contributes on top of the inherited
+classical ones (paper, Section III-B): peephole gate optimisation directly
+on the QIR AST, and the qubit-addressing conversions of Section IV-A
+(dynamic -> static lowering, the "register allocation" analogue; and
+static -> dynamic raising, the simulator-friendly direction).
+"""
+
+from repro.passes.quantum.cancellation import (
+    GateCancellationPass,
+    RotationMergingPass,
+)
+from repro.passes.quantum.qubit_count import (
+    InferredCounts,
+    QubitCountInferencePass,
+    infer_counts,
+)
+from repro.passes.quantum.address_lowering import (
+    AddressLoweringError,
+    StaticAddressLoweringPass,
+)
+from repro.passes.quantum.address_raising import DynamicAddressRaisingPass
+
+__all__ = [
+    "GateCancellationPass",
+    "RotationMergingPass",
+    "InferredCounts",
+    "QubitCountInferencePass",
+    "infer_counts",
+    "AddressLoweringError",
+    "StaticAddressLoweringPass",
+    "DynamicAddressRaisingPass",
+]

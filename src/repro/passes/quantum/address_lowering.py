@@ -1,0 +1,239 @@
+"""Dynamic -> static qubit address lowering (paper, Section IV-A).
+
+"The compiler must at some point assign the program's qubits to the
+hardware's qubits -- a process very similar to register allocation in
+classical compilers."
+
+The pass eliminates runtime qubit management: each
+``__quantum__rt__qubit_allocate_array`` with a constant size is assigned a
+contiguous base address, every
+``__quantum__rt__array_get_element_ptr_1d(array, const)`` becomes the
+constant pointer ``inttoptr (i64 base+const to ptr)``, and singleton
+``qubit_allocate`` calls get the next free address.  Release calls vanish.
+Non-constant indices or escaping array pointers are reported as
+:class:`AddressLoweringError` -- run ``mem2reg``/unrolling first (the
+pipeline in :func:`lowering_pipeline` does).
+
+Note this is first-fit assignment, not liveness-aware colouring: released
+addresses are not reused.  The inferred counts therefore upper-bound the
+paper's "fixed number of qubits" constraint check, which
+:class:`repro.hybrid.feasibility` enforces against a device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import CallInst, Instruction
+from repro.llvmir.module import Module
+from repro.llvmir.types import i1
+from repro.llvmir.values import ConstantInt, ConstantNull, ConstantPointerInt, Value
+from repro.passes.manager import ModulePass, PassManager
+from repro.passes.mem2reg import Mem2RegPass
+from repro.passes.constprop import ConstantPropagationPass
+from repro.passes.dce import DeadCodeEliminationPass
+from repro.passes.quantum.qubit_count import QubitCountInferencePass
+from repro.passes.simplify_cfg import SimplifyCFGPass
+from repro.passes.unroll import LoopUnrollPass
+from repro.qir.catalog import RT_PREFIX
+
+
+class AddressLoweringError(ValueError):
+    pass
+
+
+def _static_pointer(address: int) -> Value:
+    return ConstantNull() if address == 0 else ConstantPointerInt(address)
+
+
+class StaticAddressLoweringPass(ModulePass):
+    """Assign static addresses to dynamically managed qubits.
+
+    ``reuse_released=True`` turns first-fit assignment into the liveness-
+    aware variant of the paper's register-allocation analogy: a singleton
+    ``qubit_release`` returns its address to a free pool, so programs with
+    allocate/use/release churn need only their *peak* width of hardware
+    qubits instead of their total allocation count.  Reuse requires
+    straight-line (single-block) code so program order is well defined;
+    multi-block functions silently fall back to first-fit.
+    """
+
+    name = "static-address-lowering"
+
+    def __init__(self, reuse_released: bool = False):
+        self.reuse_released = reuse_released
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for fn in module.defined_functions():
+            changed |= self._run_on_function(fn)
+        if changed:
+            # The module no longer manages qubits dynamically.
+            flags = [
+                (b, k, v)
+                for b, k, v in module.module_flags
+                if k != "dynamic_qubit_management"
+            ]
+            module.module_flags = flags
+            module.add_module_flag(
+                1, "dynamic_qubit_management", ConstantInt(i1, 0)
+            )
+            QubitCountInferencePass().run_on_module(module)
+        return changed
+
+    def _run_on_function(self, fn: Function) -> bool:
+        allocate_array = f"{RT_PREFIX}qubit_allocate_array"
+        allocate_one = f"{RT_PREFIX}qubit_allocate"
+        release_array = f"{RT_PREFIX}qubit_release_array"
+        release_one = f"{RT_PREFIX}qubit_release"
+        element_ptr = f"{RT_PREFIX}array_get_element_ptr_1d"
+        array_size = f"{RT_PREFIX}array_get_size_1d"
+
+        next_address = 0
+        free_pool: List[int] = []
+        reuse = self.reuse_released and len(fn.blocks) == 1
+        array_base: Dict[Instruction, int] = {}
+        array_len: Dict[Instruction, int] = {}
+        to_remove: List[Instruction] = []
+        changed = False
+
+        for inst in list(fn.instructions()):
+            if not isinstance(inst, CallInst):
+                continue
+            name = inst.callee.name or ""
+            if name == allocate_array:
+                size = inst.operands[0]
+                if not isinstance(size, ConstantInt):
+                    raise AddressLoweringError(
+                        f"@{fn.name}: qubit_allocate_array with non-constant "
+                        "size; run constant propagation first"
+                    )
+                array_base[inst] = next_address
+                array_len[inst] = size.value
+                next_address += size.value
+                changed = True
+            elif name == allocate_one:
+                if reuse and free_pool:
+                    address = free_pool.pop()
+                else:
+                    address = next_address
+                    next_address += 1
+                inst.replace_all_uses_with(_static_pointer(address))
+                to_remove.append(inst)
+                changed = True
+            elif name == release_one and reuse:
+                released = inst.operands[0]
+                if isinstance(released, ConstantPointerInt):
+                    address: Optional[int] = released.address
+                elif isinstance(released, ConstantNull):
+                    address = 0
+                else:
+                    address = None
+                if address is not None:
+                    free_pool.append(address)
+                    # Reuse soundness: the released qubit may hold arbitrary
+                    # state; the dynamic runtime's release re-zeroes it, so
+                    # the lowered program must reset before the address is
+                    # handed out again.
+                    from repro.qir.catalog import QIS_PREFIX, qis_signature
+
+                    reset_name = f"{QIS_PREFIX}reset__body"
+                    reset_fn = fn.parent.declare_function(  # type: ignore[union-attr]
+                        reset_name, qis_signature(reset_name)
+                    )
+                    block = inst.parent
+                    assert block is not None
+                    block.insert_before(
+                        inst, CallInst(reset_fn, [_static_pointer(address)])
+                    )
+                    to_remove.append(inst)
+                    changed = True
+
+        # Resolve every use of each lowered array.
+        for array_call, base in array_base.items():
+            for user in list(array_call.users):
+                if not isinstance(user, CallInst):
+                    raise AddressLoweringError(
+                        f"@{fn.name}: qubit array escapes into {user!r}; "
+                        "run mem2reg first"
+                    )
+                uname = user.callee.name or ""
+                if uname == element_ptr:
+                    index = user.operands[1]
+                    if not isinstance(index, ConstantInt):
+                        raise AddressLoweringError(
+                            f"@{fn.name}: non-constant qubit index; "
+                            "unroll loops first"
+                        )
+                    if not 0 <= index.value < array_len[array_call]:
+                        raise AddressLoweringError(
+                            f"@{fn.name}: qubit index {index.value} out of "
+                            f"bounds for array of {array_len[array_call]}"
+                        )
+                    user.replace_all_uses_with(_static_pointer(base + index.value))
+                    to_remove.append(user)
+                elif uname == array_size:
+                    user.replace_all_uses_with(
+                        ConstantInt(user.type, array_len[array_call])  # type: ignore[arg-type]
+                    )
+                    to_remove.append(user)
+                elif uname == release_array:
+                    to_remove.append(user)
+                elif uname in (
+                    f"{RT_PREFIX}array_update_reference_count",
+                    f"{RT_PREFIX}array_update_alias_count",
+                ):
+                    to_remove.append(user)
+                else:
+                    raise AddressLoweringError(
+                        f"@{fn.name}: unsupported qubit-array consumer @{uname}"
+                    )
+            to_remove.append(array_call)
+
+        # Plain release of a lowered singleton: drop it.
+        for inst in list(fn.instructions()):
+            if (
+                isinstance(inst, CallInst)
+                and (inst.callee.name or "") == release_one
+                and isinstance(
+                    inst.operands[0], (ConstantNull, ConstantPointerInt)
+                )
+            ):
+                to_remove.append(inst)
+                changed = True
+
+        seen = set()
+        for inst in to_remove:
+            if id(inst) in seen or inst.parent is None:
+                continue
+            seen.add(id(inst))
+            if inst.is_used():
+                raise AddressLoweringError(
+                    f"@{fn.name}: lowered call still has users: {inst!r}"
+                )
+            inst.erase_from_parent()
+        return changed
+
+
+def lowering_pipeline(
+    max_trip_count: int = 4096, reuse_released: bool = False
+) -> PassManager:
+    """The full dynamic->static recipe: SSA-ise, unroll, fold, lower.
+
+    ``reuse_released`` selects the liveness-style address allocator (see
+    :class:`StaticAddressLoweringPass`)."""
+    return PassManager(
+        [
+            Mem2RegPass(),
+            ConstantPropagationPass(),
+            LoopUnrollPass(max_trip_count=max_trip_count),
+            ConstantPropagationPass(),
+            DeadCodeEliminationPass(),
+            SimplifyCFGPass(),
+            StaticAddressLoweringPass(reuse_released=reuse_released),
+            DeadCodeEliminationPass(),
+            SimplifyCFGPass(),
+        ],
+        max_iterations=2,
+    )

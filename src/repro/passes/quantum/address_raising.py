@@ -1,0 +1,110 @@
+"""Static -> dynamic qubit address raising (the inverse of lowering).
+
+Paper, Section IV-A: "In the context of implementing a QIR runtime for a
+quantum circuit simulator, dynamic qubit addresses are the preferred way
+to address qubits."  This pass rewrites a statically-addressed program
+into the allocate/index/release form such a runtime prefers: one
+``qubit_allocate_array`` covering the static address range, every constant
+qubit pointer replaced by an ``array_get_element_ptr_1d`` call, and a
+release at each ``ret``.
+
+Result pointers stay static (the base profile keeps result management
+static even under dynamic qubit management).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.llvmir.builder import IRBuilder
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import CallInst, ReturnInst
+from repro.llvmir.module import Module
+from repro.llvmir.types import i1, i64
+from repro.llvmir.values import ConstantInt, ConstantNull, ConstantPointerInt
+from repro.passes.manager import ModulePass
+from repro.passes.quantum.qubit_count import infer_counts
+from repro.qir.catalog import RT_PREFIX, parse_qis_name, rt_signature
+
+
+class DynamicAddressRaisingPass(ModulePass):
+    name = "dynamic-address-raising"
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for fn in module.defined_functions():
+            if fn.is_entry_point:
+                changed |= self._run_on_function(module, fn)
+        if changed:
+            module.module_flags = [
+                (b, k, v)
+                for b, k, v in module.module_flags
+                if k != "dynamic_qubit_management"
+            ]
+            module.add_module_flag(1, "dynamic_qubit_management", ConstantInt(i1, 1))
+        return changed
+
+    def _run_on_function(self, module: Module, fn: Function) -> bool:
+        counts = infer_counts(fn)
+        if counts.num_qubits == 0:
+            return False
+
+        # Collect QIS calls whose qubit arguments are static constants.
+        rewrites: List[tuple] = []  # (call, operand index)
+        for inst in fn.instructions():
+            if not isinstance(inst, CallInst):
+                continue
+            entry = parse_qis_name(inst.callee.name or "")
+            if entry is None:
+                continue
+            lo = entry.num_params
+            hi = entry.num_params + entry.num_qubits
+            for i in range(lo, hi):
+                arg = inst.operands[i]
+                if isinstance(arg, (ConstantNull, ConstantPointerInt)):
+                    rewrites.append((inst, i))
+        if not rewrites:
+            return False
+
+        allocate = module.declare_function(
+            f"{RT_PREFIX}qubit_allocate_array",
+            rt_signature(f"{RT_PREFIX}qubit_allocate_array"),
+        )
+        element_ptr = module.declare_function(
+            f"{RT_PREFIX}array_get_element_ptr_1d",
+            rt_signature(f"{RT_PREFIX}array_get_element_ptr_1d"),
+        )
+        release = module.declare_function(
+            f"{RT_PREFIX}qubit_release_array",
+            rt_signature(f"{RT_PREFIX}qubit_release_array"),
+        )
+
+        # Allocate once at the top of the entry block.
+        builder = IRBuilder()
+        entry_block = fn.entry_block
+        builder.position_at_end(entry_block)
+        if entry_block.instructions:
+            builder.position_before(entry_block.instructions[0])
+        array = builder.call(allocate, [ConstantInt(i64, counts.num_qubits)])
+
+        # Replace each static pointer argument with an indexed access,
+        # emitted immediately before its use (reloading per use like the
+        # paper's Fig. 1; a CSE pass could coalesce these).
+        for call, index in rewrites:
+            arg = call.operands[index]
+            address = arg.address if isinstance(arg, ConstantPointerInt) else 0
+            builder.position_before(call)
+            qubit = builder.call(
+                element_ptr, [array, ConstantInt(i64, address)]
+            )
+            call.set_operand(index, qubit)
+
+        # Release before every return.
+        for block in fn.blocks:
+            term = block.terminator
+            if isinstance(term, ReturnInst):
+                builder.position_before(term)
+                builder.call(release, [array])
+
+        fn.attributes["required_num_qubits"] = str(counts.num_qubits)
+        return True

@@ -1,0 +1,169 @@
+"""Peephole gate optimisation directly on the QIR AST (paper, Sec. III-B).
+
+Within each basic block the pass tracks, per qubit, the last gate call
+still eligible for fusion.  Two adjacent self-inverse gates on identical
+qubit operands annihilate (H-H, X-X, CNOT-CNOT, ...); adjacent mergeable
+rotations about the same axis sum their (constant) angles.  Any other
+touch of a qubit -- another gate, a measurement, a call whose qubit
+operands overlap, or a block boundary -- invalidates the window, keeping
+the transformation sound without commutation analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.llvmir.block import BasicBlock
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import CallInst, Instruction
+from repro.llvmir.values import ConstantFloat, Value
+from repro.llvmir.types import double
+from repro.passes.manager import FunctionPass
+from repro.qir.catalog import parse_qis_name
+from repro.sim.gates import ADJOINT, GATE_SET, MERGEABLE_ROTATIONS
+
+_TWO_PI = 2.0 * math.pi
+
+
+def _gate_call(inst: Instruction) -> Optional[Tuple[str, List[Value], List[Value]]]:
+    """(canonical gate, param values, qubit values) for a unitary QIS call."""
+    if not isinstance(inst, CallInst):
+        return None
+    name = inst.callee.name or ""
+    entry = parse_qis_name(name)
+    if entry is None or entry.gate not in GATE_SET:
+        return None
+    params = inst.operands[: entry.num_params]
+    qubits = inst.operands[entry.num_params :]
+    return entry.gate, list(params), list(qubits)
+
+
+def _qubit_keys(values: List[Value]) -> Optional[Tuple]:
+    """Hashable identities for qubit operands; None when not comparable."""
+    keys = []
+    for v in values:
+        try:
+            keys.append((type(v).__name__, v.ref() if v.name or not isinstance(v, Instruction) else id(v)))
+        except ValueError:
+            keys.append(("inst", id(v)))
+    return tuple(keys)
+
+
+class GateCancellationPass(FunctionPass):
+    """Remove adjacent self-inverse / adjoint gate pairs."""
+
+    name = "gate-cancellation"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            changed |= self._run_on_block(block)
+        return changed
+
+    def _run_on_block(self, block: BasicBlock) -> bool:
+        changed = False
+        work = True
+        while work:
+            work = False
+            # last eligible gate call per qubit key
+            window: Dict[object, Tuple[CallInst, str, Tuple]] = {}
+            for inst in list(block.instructions):
+                info = _gate_call(inst)
+                if info is None:
+                    if isinstance(inst, CallInst):
+                        # Unknown call: conservatively clear everything.
+                        window.clear()
+                    continue
+                gate, params, qubits = info
+                keys = _qubit_keys(qubits)
+                spec = GATE_SET[gate]
+
+                prev = window.get(keys)
+                cancels = False
+                if prev is not None and not params:
+                    prev_inst, prev_gate, _ = prev
+                    if spec.hermitian and prev_gate == gate:
+                        cancels = True
+                    elif ADJOINT.get(prev_gate) == gate:
+                        cancels = True
+                if cancels:
+                    assert prev is not None
+                    prev_inst = prev[0]
+                    block.remove(prev_inst)
+                    block.remove(inst)
+                    changed = work = True
+                    break  # restart scan with a fresh window
+
+                # This gate touches its qubits: invalidate overlapping windows.
+                touched = set(keys)
+                for k in list(window):
+                    if set(k) & touched:  # type: ignore[arg-type]
+                        del window[k]
+                if not params:
+                    window[keys] = (inst, gate, keys)
+        return changed
+
+
+class RotationMergingPass(FunctionPass):
+    """Merge adjacent constant-angle rotations about the same axis."""
+
+    name = "rotation-merging"
+
+    def __init__(self, drop_zero_epsilon: float = 1e-12):
+        self.drop_zero_epsilon = drop_zero_epsilon
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            changed |= self._run_on_block(block)
+        return changed
+
+    def _run_on_block(self, block: BasicBlock) -> bool:
+        changed = False
+        work = True
+        while work:
+            work = False
+            window: Dict[object, Tuple[CallInst, str]] = {}
+            for inst in list(block.instructions):
+                info = _gate_call(inst)
+                if info is None:
+                    if isinstance(inst, CallInst):
+                        window.clear()
+                    continue
+                gate, params, qubits = info
+                keys = _qubit_keys(qubits)
+
+                mergeable = (
+                    gate in MERGEABLE_ROTATIONS
+                    and len(params) == 1
+                    and isinstance(params[0], ConstantFloat)
+                )
+                # A rotation by (exactly) zero is the identity: drop it.
+                if mergeable and abs(params[0].value) < self.drop_zero_epsilon:
+                    block.remove(inst)
+                    changed = work = True
+                    break
+                prev = window.get(keys)
+                if mergeable and prev is not None and prev[1] == gate:
+                    prev_inst = prev[0]
+                    prev_info = _gate_call(prev_inst)
+                    assert prev_info is not None
+                    # Angles sum exactly (rz(a)rz(b) == rz(a+b) as matrices);
+                    # no 2-pi reduction, which would introduce a global phase.
+                    total = prev_info[1][0].value + params[0].value  # type: ignore[union-attr]
+                    block.remove(prev_inst)
+                    if abs(total) < self.drop_zero_epsilon:
+                        block.remove(inst)
+                    else:
+                        inst.set_operand(0, ConstantFloat(double, total))
+                    changed = work = True
+                    break
+
+                touched = set(keys)
+                for k in list(window):
+                    if set(k) & touched:  # type: ignore[arg-type]
+                        del window[k]
+                if mergeable:
+                    window[keys] = (inst, gate)
+        return changed

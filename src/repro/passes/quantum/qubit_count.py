@@ -1,0 +1,106 @@
+"""Qubit/result count inference (paper, Section IV-A).
+
+"To support static qubit addresses, the runtime would either have to infer
+the number of qubits required for the simulation from the QIR program,
+such as via an attribute in the QIR file, or allocate qubits on the fly."
+
+This pass performs that inference and writes the attributes.  Static
+addresses are counted from ``inttoptr`` constants in QIS argument
+positions; dynamic allocation contributes ``qubit_allocate_array`` sizes
+(when constant) and individual ``qubit_allocate`` calls (an upper bound,
+since release/reuse cannot be decided statically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import CallInst
+from repro.llvmir.module import Module
+from repro.llvmir.values import ConstantInt, ConstantNull, ConstantPointerInt
+from repro.passes.manager import ModulePass
+from repro.qir.catalog import RT_PREFIX, parse_qis_name
+
+
+@dataclass
+class InferredCounts:
+    num_qubits: int
+    num_results: int
+    is_exact: bool  # False when dynamic single allocations forced a bound
+
+
+def _static_address(value) -> Optional[int]:
+    if isinstance(value, ConstantNull):
+        return 0
+    if isinstance(value, ConstantPointerInt):
+        return value.address
+    return None
+
+
+def infer_counts(fn: Function) -> InferredCounts:
+    max_qubit = -1
+    max_result = -1
+    dynamic_total = 0
+    exact = True
+
+    for inst in fn.instructions():
+        if not isinstance(inst, CallInst):
+            continue
+        name = inst.callee.name or ""
+        entry = parse_qis_name(name)
+        if entry is not None:
+            qubit_args = inst.operands[entry.num_params : entry.num_params + entry.num_qubits]
+            for arg in qubit_args:
+                addr = _static_address(arg)
+                if addr is not None:
+                    max_qubit = max(max_qubit, addr)
+            if entry.takes_result:
+                addr = _static_address(inst.operands[-1])
+                if addr is not None:
+                    max_result = max(max_result, addr)
+            if entry.gate == "read_result":
+                addr = _static_address(inst.operands[0])
+                if addr is not None:
+                    max_result = max(max_result, addr)
+            continue
+        if name == f"{RT_PREFIX}qubit_allocate_array":
+            size = inst.operands[0]
+            if isinstance(size, ConstantInt):
+                dynamic_total += size.value
+            else:
+                exact = False
+        elif name == f"{RT_PREFIX}qubit_allocate":
+            dynamic_total += 1
+        elif name == f"{RT_PREFIX}result_record_output":
+            addr = _static_address(inst.operands[0])
+            if addr is not None:
+                max_result = max(max_result, addr)
+
+    return InferredCounts(
+        num_qubits=max(max_qubit + 1, dynamic_total),
+        num_results=max_result + 1,
+        is_exact=exact,
+    )
+
+
+class QubitCountInferencePass(ModulePass):
+    """Write ``required_num_qubits`` / ``required_num_results`` attributes."""
+
+    name = "qubit-count-inference"
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for fn in module.defined_functions():
+            if not fn.is_entry_point:
+                continue
+            counts = infer_counts(fn)
+            for key, value in (
+                ("required_num_qubits", str(counts.num_qubits)),
+                ("required_num_results", str(counts.num_results)),
+            ):
+                if fn.get_attribute(key) != value:
+                    fn.attributes[key] = value
+                    changed = True
+        return changed

@@ -1,0 +1,120 @@
+"""CFG simplification: merge trivially chained blocks, skip empty
+forwarding blocks, and drop unreachable code.
+
+Run after unrolling + constant propagation this flattens Example 4's loop
+skeleton into one straight-line block -- the form the base profile wants.
+"""
+
+from __future__ import annotations
+
+
+from repro.analysis.cfg import reachable_blocks
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import BranchInst, CondBranchInst
+from repro.passes.manager import FunctionPass
+
+
+class SimplifyCFGPass(FunctionPass):
+    name = "simplify-cfg"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        work = True
+        while work:
+            work = False
+            work |= self._remove_unreachable(fn)
+            work |= self._merge_straight_line(fn)
+            work |= self._skip_empty_forwarders(fn)
+            work |= self._dedupe_cond_branches(fn)
+            changed |= work
+        return changed
+
+    def _remove_unreachable(self, fn: Function) -> bool:
+        live = reachable_blocks(fn)
+        dead = [b for b in fn.blocks if b not in live]
+        if not dead:
+            return False
+        for block in live:
+            for phi in block.phis():
+                for pred in list(phi.incoming_blocks):
+                    if pred not in live:
+                        phi.remove_incoming(pred)
+        for block in dead:
+            fn.remove_block(block)
+        return True
+
+    def _merge_straight_line(self, fn: Function) -> bool:
+        """Merge B into A when A's only successor is B and B's only
+        predecessor is A."""
+        for a in fn.blocks:
+            term = a.terminator
+            if not isinstance(term, BranchInst):
+                continue
+            b = term.target
+            if b is a or b.is_entry():
+                continue
+            preds = b.predecessors()
+            if len(preds) != 1 or preds[0] is not a:
+                continue
+            # Phis in B have a single incoming edge; collapse them.
+            for phi in b.phis():
+                phi.replace_all_uses_with(phi.incoming_for(a))
+            for phi in list(b.phis()):
+                b.remove(phi)
+            a.remove(term)
+            for inst in list(b.instructions):
+                b.instructions.remove(inst)
+                inst.parent = a
+                a.instructions.append(inst)
+            # Successors of B now flow from A; update their phis.
+            for succ in a.successors():
+                for phi in succ.phis():
+                    phi.replace_block_target(b, a)
+            fn.remove_block(b)
+            return True
+        return False
+
+    def _skip_empty_forwarders(self, fn: Function) -> bool:
+        """Rewire branches through blocks that only contain ``br label %X``."""
+        changed = False
+        for block in list(fn.blocks):
+            if block.is_entry():
+                continue
+            if len(block.instructions) != 1:
+                continue
+            term = block.terminator
+            if not isinstance(term, BranchInst):
+                continue
+            target = term.target
+            if target is block:
+                continue
+            # Phi correctness: only safe if the target has no phis that would
+            # need to distinguish the rerouted predecessors.  (A predecessor
+            # already branching to `target` on another arm is fine -- cond
+            # branches may have identical arms, deduped below.)
+            if target.phis():
+                continue
+            preds = block.predecessors()
+            if not preds:
+                continue
+            for pred in preds:
+                pterm = pred.terminator
+                assert pterm is not None
+                pterm.replace_block_target(block, target)
+            changed = True
+        return changed
+
+    def _dedupe_cond_branches(self, fn: Function) -> bool:
+        """``br i1 %c, label %X, label %X`` -> ``br label %X``."""
+        changed = False
+        for block in fn.blocks:
+            term = block.terminator
+            if (
+                isinstance(term, CondBranchInst)
+                and term.true_target is term.false_target
+            ):
+                target = term.true_target
+                block.remove(term)
+                block.append(BranchInst(target))
+                changed = True
+        return changed

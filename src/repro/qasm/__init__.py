@@ -1,0 +1,27 @@
+"""OpenQASM support: the incumbent IR the paper contrasts QIR against.
+
+* :mod:`repro.qasm.parser2` -- OpenQASM 2.0 parser (Sec. II-A): registers,
+  gate applications with parameter expressions, user ``gate`` definitions
+  (macro-expanded), ``measure``/``reset``/``barrier`` and the OpenQASM-2
+  ``if (creg == n)`` conditional.
+* :mod:`repro.qasm.exporter` -- circuit -> OpenQASM 2.0 text.
+* :mod:`repro.qasm.parser3` -- an OpenQASM 3 *subset* (Sec. II-B):
+  ``qubit[n]``/``bit[n]`` declarations, assignment-style measurement,
+  ``if`` blocks, and classical ``for`` loops -- which the parser must
+  unroll itself, the very reimplementation-of-compiler-machinery burden
+  the paper attributes to the OpenQASM 3 route.
+"""
+
+from repro.qasm.parser2 import QasmParseError, parse_qasm2
+from repro.qasm.exporter import circuit_to_qasm2
+from repro.qasm.exporter3 import circuit_to_qasm3
+from repro.qasm.parser3 import Qasm3ParseError, parse_qasm3
+
+__all__ = [
+    "QasmParseError",
+    "parse_qasm2",
+    "circuit_to_qasm2",
+    "circuit_to_qasm3",
+    "Qasm3ParseError",
+    "parse_qasm3",
+]

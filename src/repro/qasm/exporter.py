@@ -1,0 +1,79 @@
+"""Circuit -> OpenQASM 2.0 exporter."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.operations import (
+    Barrier,
+    ConditionalOperation,
+    GateOperation,
+    Measurement,
+    Operation,
+    Reset,
+)
+
+# canonical name -> qasm2 spelling
+_QASM_NAMES: Dict[str, str] = {
+    "i": "id",
+    "cnot": "cx",
+    "s_adj": "sdg",
+    "t_adj": "tdg",
+    "p": "u1",
+    "u3": "u3",
+    "cp": "cu1",
+}
+
+
+def _format_angle(value: float) -> str:
+    import math
+
+    # Render familiar multiples of pi symbolically for readability.
+    for denom in (1, 2, 3, 4, 6, 8):
+        for num in range(-16, 17):
+            if num == 0:
+                continue
+            if abs(value - num * math.pi / denom) < 1e-12:
+                sign = "-" if num < 0 else ""
+                n = abs(num)
+                numer = "pi" if n == 1 else f"{n}*pi"
+                return f"{sign}{numer}" if denom == 1 else f"{sign}{numer}/{denom}"
+    if value == 0:
+        return "0"
+    return repr(value)
+
+
+def _op_to_line(circuit: Circuit, op: Operation) -> str:
+    if isinstance(op, GateOperation):
+        name = _QASM_NAMES.get(op.name, op.name)
+        params = (
+            "(" + ",".join(_format_angle(p) for p in op.params) + ")"
+            if op.params
+            else ""
+        )
+        targets = ",".join(repr(q) for q in op.qubits)
+        return f"{name}{params} {targets};"
+    if isinstance(op, Measurement):
+        return f"measure {op.qubit!r} -> {op.clbit!r};"
+    if isinstance(op, Reset):
+        return f"reset {op.qubit!r};"
+    if isinstance(op, Barrier):
+        targets = ",".join(repr(q) for q in op.qubits)
+        return f"barrier {targets};"
+    if isinstance(op, ConditionalOperation):
+        inner = _op_to_line(circuit, op.operation)
+        return f"if({op.register.name}=={op.value}) {inner}"
+    raise ValueError(f"cannot export operation {op!r}")
+
+
+def circuit_to_qasm2(circuit: Circuit) -> str:
+    """Serialise a circuit as OpenQASM 2.0 text (Fig. 1, top-left form)."""
+    lines: List[str] = ["OPENQASM 2.0;", 'include "qelib1.inc";']
+    for register in circuit.qregs:
+        lines.append(f"qreg {register.name}[{register.size}];")
+    for register in circuit.cregs:
+        lines.append(f"creg {register.name}[{register.size}];")
+    for op in circuit.operations:
+        lines.append(_op_to_line(circuit, op))
+    return "\n".join(lines) + "\n"

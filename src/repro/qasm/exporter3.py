@@ -1,0 +1,72 @@
+"""Circuit -> OpenQASM 3 exporter.
+
+Completes the format bridge: the toolchain can now read and write both
+OpenQASM generations (Sec. II-A/B) as well as QIR.  Conditionals use the
+OpenQASM 3 ``if (...) { ... }`` statement form; measurements use the
+assignment form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.operations import (
+    Barrier,
+    ConditionalOperation,
+    GateOperation,
+    Measurement,
+    Operation,
+    Reset,
+)
+from repro.qasm.exporter import _format_angle
+
+# canonical -> stdgates.inc spellings
+_QASM3_NAMES: Dict[str, str] = {
+    "i": "id",
+    "cnot": "cx",
+    "s_adj": "sdg",
+    "t_adj": "tdg",
+    "cp": "cp",
+}
+
+
+def _gate_line(op: GateOperation) -> str:
+    name = _QASM3_NAMES.get(op.name, op.name)
+    params = (
+        "(" + ", ".join(_format_angle(p) for p in op.params) + ")"
+        if op.params
+        else ""
+    )
+    targets = ", ".join(repr(q) for q in op.qubits)
+    return f"{name}{params} {targets};"
+
+
+def _statement(op: Operation) -> str:
+    if isinstance(op, GateOperation):
+        return _gate_line(op)
+    if isinstance(op, Measurement):
+        return f"{op.clbit!r} = measure {op.qubit!r};"
+    if isinstance(op, Reset):
+        return f"reset {op.qubit!r};"
+    if isinstance(op, Barrier):
+        targets = ", ".join(repr(q) for q in op.qubits)
+        return f"barrier {targets};"
+    raise ValueError(f"cannot export operation {op!r}")
+
+
+def circuit_to_qasm3(circuit: Circuit) -> str:
+    """Serialise a circuit as OpenQASM 3 text."""
+    lines: List[str] = ["OPENQASM 3;", 'include "stdgates.inc";']
+    for register in circuit.qregs:
+        lines.append(f"qubit[{register.size}] {register.name};")
+    for register in circuit.cregs:
+        lines.append(f"bit[{register.size}] {register.name};")
+    for op in circuit.operations:
+        if isinstance(op, ConditionalOperation):
+            # Register-wide comparison is native in OpenQASM 3.
+            inner = _statement(op.operation)
+            lines.append(f"if ({op.register.name} == {op.value}) {{ {inner} }}")
+        else:
+            lines.append(_statement(op))
+    return "\n".join(lines) + "\n"

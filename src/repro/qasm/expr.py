@@ -1,0 +1,120 @@
+"""Parameter-expression evaluation shared by both OpenQASM parsers.
+
+OpenQASM angle expressions: ``pi``, literals, identifiers (bound gate
+parameters), ``+ - * / ^``, unary minus, parentheses, and the standard
+functions.  Evaluated eagerly to floats (the circuit IR stores concrete
+angles).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+_FUNCTIONS: Dict[str, Callable[[float], float]] = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+    "asin": math.asin,
+    "acos": math.acos,
+    "atan": math.atan,
+}
+
+
+class ExprError(ValueError):
+    pass
+
+
+class ExprParser:
+    """Pratt-style parser over a token list (tokens from the QASM lexer)."""
+
+    def __init__(self, tokens: List[str], bindings: Optional[Dict[str, float]] = None):
+        self.tokens = tokens
+        self.pos = 0
+        self.bindings = bindings or {}
+
+    def _peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> str:
+        tok = self._peek()
+        if tok is None:
+            raise ExprError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def parse(self) -> float:
+        value = self._additive()
+        if self._peek() is not None:
+            raise ExprError(f"trailing tokens in expression: {self.tokens[self.pos:]}")
+        return value
+
+    def _additive(self) -> float:
+        value = self._multiplicative()
+        while self._peek() in ("+", "-"):
+            op = self._next()
+            rhs = self._multiplicative()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def _multiplicative(self) -> float:
+        value = self._power()
+        while self._peek() in ("*", "/"):
+            op = self._next()
+            rhs = self._power()
+            if op == "/":
+                if rhs == 0:
+                    raise ExprError("division by zero in expression")
+                value = value / rhs
+            else:
+                value = value * rhs
+        return value
+
+    def _power(self) -> float:
+        value = self._unary()
+        if self._peek() == "^":
+            self._next()
+            return value ** self._power()  # right associative
+        return value
+
+    def _unary(self) -> float:
+        tok = self._peek()
+        if tok == "-":
+            self._next()
+            return -self._unary()
+        if tok == "+":
+            self._next()
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> float:
+        tok = self._next()
+        if tok == "(":
+            value = self._additive()
+            if self._next() != ")":
+                raise ExprError("missing ')'")
+            return value
+        if tok == "pi":
+            return math.pi
+        if tok in _FUNCTIONS:
+            if self._next() != "(":
+                raise ExprError(f"expected '(' after {tok}")
+            arg = self._additive()
+            if self._next() != ")":
+                raise ExprError("missing ')'")
+            return _FUNCTIONS[tok](arg)
+        if tok in self.bindings:
+            return self.bindings[tok]
+        try:
+            return float(tok)
+        except ValueError:
+            raise ExprError(f"unknown symbol {tok!r} in expression") from None
+
+
+def evaluate_expression(
+    tokens: List[str], bindings: Optional[Dict[str, float]] = None
+) -> float:
+    return ExprParser(tokens, bindings).parse()

@@ -1,0 +1,62 @@
+"""Tokenizer shared by the OpenQASM 2 and 3 parsers."""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+
+class QasmToken(NamedTuple):
+    kind: str  # ID NUMBER STRING PUNCT ARROW EQEQ
+    text: str
+    line: int
+
+
+class QasmLexError(ValueError):
+    pass
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<string>"[^"\n]*")
+  | (?P<arrow>->)
+  | (?P<eqeq>==)
+  | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[{}()\[\];,+\-*/^=:<>])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(source: str) -> List[QasmToken]:
+    tokens: List[QasmToken] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise QasmLexError(
+                f"line {line}: unexpected character {source[pos]!r}"
+            )
+        text = match.group(0)
+        kind = match.lastgroup
+        if kind == "comment" or kind == "ws":
+            line += text.count("\n")
+            pos = match.end()
+            continue
+        mapped = {
+            "string": "STRING",
+            "arrow": "ARROW",
+            "eqeq": "EQEQ",
+            "number": "NUMBER",
+            "id": "ID",
+            "punct": "PUNCT",
+        }[kind]
+        if mapped == "STRING":
+            text = text[1:-1]
+        tokens.append(QasmToken(mapped, text, line))
+        pos = match.end()
+    return tokens

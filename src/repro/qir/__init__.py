@@ -1,0 +1,49 @@
+"""The QIR layer: everything that makes an LLVM module a *QIR* module.
+
+* :mod:`repro.qir.catalog` -- the ``__quantum__qis__*`` / ``__quantum__rt__*``
+  function vocabulary and signatures.
+* :mod:`repro.qir.profiles` -- the base and adaptive profile definitions
+  (paper, Section II-C).
+* :mod:`repro.qir.validate` -- profile conformance checking.
+* :mod:`repro.qir.builder` -- a PyQIR-style program construction API
+  (``SimpleModule`` / ``BasicQisBuilder``) supporting both dynamic and
+  static qubit addressing (paper, Examples 2 and 6).
+"""
+
+from repro.qir.catalog import (
+    QIS_GATES,
+    QisGate,
+    parse_qis_name,
+    qis_function_name,
+    qis_signature,
+    rt_signature,
+    RT_FUNCTIONS,
+)
+from repro.qir.profiles import (
+    AdaptiveProfile,
+    BaseProfile,
+    FullProfile,
+    Profile,
+    profile_by_name,
+)
+from repro.qir.validate import ProfileViolation, validate_profile
+from repro.qir.builder import BasicQisBuilder, SimpleModule
+
+__all__ = [
+    "QIS_GATES",
+    "QisGate",
+    "parse_qis_name",
+    "qis_function_name",
+    "qis_signature",
+    "rt_signature",
+    "RT_FUNCTIONS",
+    "AdaptiveProfile",
+    "BaseProfile",
+    "FullProfile",
+    "Profile",
+    "profile_by_name",
+    "ProfileViolation",
+    "validate_profile",
+    "BasicQisBuilder",
+    "SimpleModule",
+]

@@ -1,0 +1,317 @@
+"""PyQIR-style program construction: ``SimpleModule`` + ``BasicQisBuilder``.
+
+Supports both qubit addressing schemes the paper contrasts:
+
+* ``addressing="static"`` (Example 6): qubits and results are the constant
+  pointers ``null``, ``inttoptr (i64 1 to ptr)``, ... -- no runtime
+  allocation calls appear in the program.
+* ``addressing="dynamic"`` (Example 2 / Figure 1): an entry sequence
+  allocates a qubit array via ``__quantum__rt__qubit_allocate_array`` and
+  every access goes through ``__quantum__rt__array_get_element_ptr_1d``
+  with the array pointer spilled to / reloaded from an ``alloca`` slot,
+  mirroring the unoptimised front-end output shown in Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.llvmir.builder import IRBuilder
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import CallInst
+from repro.llvmir.module import Module
+from repro.llvmir.printer import print_module
+from repro.llvmir.types import FunctionType, double, i1, i64, ptr, void
+from repro.llvmir.values import (
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantPointerInt,
+    ConstantString,
+    GlobalVariable,
+    Value,
+)
+from repro.qir.catalog import (
+    QIS_PREFIX,
+    RT_PREFIX,
+    qis_function_name,
+    qis_signature,
+    rt_signature,
+)
+from repro.qir.profiles import BaseProfile, Profile
+
+
+def static_qubit(index: int) -> Value:
+    """The constant pointer for a statically-addressed qubit (Ex. 6)."""
+    return ConstantNull() if index == 0 else ConstantPointerInt(index)
+
+
+def static_result(index: int) -> Value:
+    return ConstantNull() if index == 0 else ConstantPointerInt(index)
+
+
+class SimpleModule:
+    """A QIR module under construction with one entry point.
+
+    Mirrors PyQIR's ``SimpleModule``: fixed numbers of qubits and results,
+    a positioned builder, and a ``qis`` namespace for gate calls.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        num_results: int,
+        addressing: str = "static",
+        profile: Profile = BaseProfile,
+        entry_point_name: str = "main",
+    ):
+        if addressing not in ("static", "dynamic"):
+            raise ValueError(f"unknown addressing mode {addressing!r}")
+        if num_qubits < 0 or num_results < 0:
+            raise ValueError("qubit/result counts must be non-negative")
+        self.module = Module(name)
+        self.module.source_filename = f"{name}.ll"
+        self.num_qubits = num_qubits
+        self.num_results = num_results
+        self.addressing = addressing
+        self.profile = profile
+
+        attrs = {
+            "entry_point": None,
+            "qir_profiles": profile.name,
+            "output_labeling_schema": "schema_id",
+            "required_num_qubits": str(num_qubits),
+            "required_num_results": str(num_results),
+        }
+        group = self.module.create_attribute_group(attrs)
+        self.entry_point: Function = self.module.define_function(
+            entry_point_name, FunctionType(void, [])
+        )
+        self.entry_point.attribute_group = group
+        entry_block = self.entry_point.create_block("entry")
+        self.builder = IRBuilder(entry_block)
+
+        self.module.set_qir_profile_flags(
+            dynamic_qubit_management=(addressing == "dynamic"),
+            dynamic_result_management=False,
+        )
+
+        self._qubit_array_slot = None
+        self._qubit_values: Optional[List[Value]] = None
+        self._result_values: List[Value] = [
+            static_result(i) for i in range(num_results)
+        ]
+        self._finished = False
+        self._label_counter = 0
+
+        if addressing == "dynamic" and num_qubits > 0:
+            alloc = self._declare_rt(f"{RT_PREFIX}qubit_allocate_array")
+            slot = self.builder.alloca(ptr, align=8, name="q")
+            array = self.builder.call(alloc, [ConstantInt(i64, num_qubits)])
+            self.builder.store(array, slot, align=8)
+            self._qubit_array_slot = slot
+        else:
+            self._qubit_values = [static_qubit(i) for i in range(num_qubits)]
+
+        self.qis = BasicQisBuilder(self)
+
+    # -- declarations -----------------------------------------------------------
+    def _declare_rt(self, name: str) -> Function:
+        return self.module.declare_function(name, rt_signature(name))
+
+    def _declare_qis(self, name: str) -> Function:
+        return self.module.declare_function(name, qis_signature(name))
+
+    # -- qubit / result handles ---------------------------------------------------
+    def qubit(self, index: int) -> Value:
+        """The Value for qubit ``index`` (constant or freshly loaded)."""
+        if not 0 <= index < self.num_qubits:
+            raise IndexError(f"qubit {index} out of range")
+        if self._qubit_values is not None:
+            return self._qubit_values[index]
+        # Dynamic: reload the array pointer and index it, as Fig. 1 does.
+        load = self.builder.load(ptr, self._qubit_array_slot, align=8)
+        getel = self._declare_rt(f"{RT_PREFIX}array_get_element_ptr_1d")
+        return self.builder.call(getel, [load, ConstantInt(i64, index)])
+
+    @property
+    def qubits(self) -> List[Value]:
+        return [self.qubit(i) for i in range(self.num_qubits)]
+
+    def result(self, index: int) -> Value:
+        if not 0 <= index < self.num_results:
+            raise IndexError(f"result {index} out of range")
+        return self._result_values[index]
+
+    @property
+    def results(self) -> List[Value]:
+        return list(self._result_values)
+
+    # -- output recording -----------------------------------------------------------
+    def _label_global(self, text: str) -> GlobalVariable:
+        name = str(self._label_counter)
+        self._label_counter += 1
+        gv = GlobalVariable(name, ConstantString.from_text(text))
+        self.module.add_global(gv)
+        return gv
+
+    def record_output(self, labels: Optional[Sequence[str]] = None) -> None:
+        """Emit the base-profile output-recording epilogue: one array header
+        plus one ``result_record_output`` per result."""
+        array_rec = self._declare_rt(f"{RT_PREFIX}array_record_output")
+        result_rec = self._declare_rt(f"{RT_PREFIX}result_record_output")
+        array_label = self._label_global("results")
+        self.builder.call(
+            array_rec, [ConstantInt(i64, self.num_results), array_label]
+        )
+        for i in range(self.num_results):
+            text = labels[i] if labels is not None else f"r{i}"
+            self.builder.call(
+                result_rec, [self.result(i), self._label_global(text)]
+            )
+
+    # -- finalisation -----------------------------------------------------------
+    def ir(self) -> str:
+        """Serialise to textual QIR; terminates the entry point if needed."""
+        if not self._finished:
+            if self.addressing == "dynamic" and self._qubit_array_slot is not None:
+                release = self._declare_rt(f"{RT_PREFIX}qubit_release_array")
+                array = self.builder.load(ptr, self._qubit_array_slot, align=8)
+                self.builder.call(release, [array])
+            self.builder.ret_void()
+            self._finished = True
+        return print_module(self.module)
+
+    def finished_module(self) -> Module:
+        self.ir()
+        return self.module
+
+
+class BasicQisBuilder:
+    """Gate-level construction API over a :class:`SimpleModule`.
+
+    Every method emits a ``call`` to the corresponding QIS function, e.g.
+    ``qis.h(0)`` emits ``call void @__quantum__qis__h__body(ptr null)``.
+    Qubit arguments are indices (resolved per the module's addressing mode)
+    or pre-built pointer Values.
+    """
+
+    def __init__(self, sm: SimpleModule):
+        self._sm = sm
+
+    def _q(self, qubit) -> Value:
+        if isinstance(qubit, Value):
+            return qubit
+        return self._sm.qubit(int(qubit))
+
+    def _r(self, result) -> Value:
+        if isinstance(result, Value):
+            return result
+        return self._sm.result(int(result))
+
+    def gate(self, name: str, qubits: Sequence, params: Sequence[float] = ()) -> CallInst:
+        fname = qis_function_name(name)
+        fn = self._sm._declare_qis(fname)
+        args: List[Value] = [ConstantFloat(double, p) for p in params]
+        args.extend(self._q(q) for q in qubits)
+        return self._sm.builder.call(fn, args)
+
+    def h(self, q) -> CallInst:
+        return self.gate("h", [q])
+
+    def x(self, q) -> CallInst:
+        return self.gate("x", [q])
+
+    def y(self, q) -> CallInst:
+        return self.gate("y", [q])
+
+    def z(self, q) -> CallInst:
+        return self.gate("z", [q])
+
+    def s(self, q) -> CallInst:
+        return self.gate("s", [q])
+
+    def s_adj(self, q) -> CallInst:
+        return self.gate("s_adj", [q])
+
+    def t(self, q) -> CallInst:
+        return self.gate("t", [q])
+
+    def t_adj(self, q) -> CallInst:
+        return self.gate("t_adj", [q])
+
+    def rx(self, theta: float, q) -> CallInst:
+        return self.gate("rx", [q], [theta])
+
+    def ry(self, theta: float, q) -> CallInst:
+        return self.gate("ry", [q], [theta])
+
+    def rz(self, theta: float, q) -> CallInst:
+        return self.gate("rz", [q], [theta])
+
+    def cnot(self, control, target) -> CallInst:
+        return self.gate("cnot", [control, target])
+
+    cx = cnot
+
+    def cz(self, control, target) -> CallInst:
+        return self.gate("cz", [control, target])
+
+    def swap(self, a, b) -> CallInst:
+        return self.gate("swap", [a, b])
+
+    def ccx(self, c1, c2, target) -> CallInst:
+        return self.gate("ccx", [c1, c2, target])
+
+    def reset(self, q) -> CallInst:
+        fname = f"{QIS_PREFIX}reset__body"
+        fn = self._sm._declare_qis(fname)
+        return self._sm.builder.call(fn, [self._q(q)])
+
+    def mz(self, qubit, result) -> CallInst:
+        """Measure into a static result (base-profile style)."""
+        fname = f"{QIS_PREFIX}mz__body"
+        fn = self._sm._declare_qis(fname)
+        return self._sm.builder.call(
+            fn,
+            [self._q(qubit), self._r(result)],
+            arg_attrs=[(), ("writeonly",)],
+        )
+
+    def m(self, qubit) -> CallInst:
+        """Measure returning a dynamic result pointer (full QIR style)."""
+        fname = f"{QIS_PREFIX}m__body"
+        fn = self._sm._declare_qis(fname)
+        return self._sm.builder.call(fn, [self._q(qubit)])
+
+    def read_result(self, result) -> CallInst:
+        """Read a measurement outcome as an ``i1`` (adaptive profiles)."""
+        fname = f"{QIS_PREFIX}read_result__body"
+        fn = self._sm.module.declare_function(
+            fname, FunctionType(i1, [ptr])
+        )
+        return self._sm.builder.call(fn, [self._r(result)])
+
+    def if_result(self, result, one=None, zero=None) -> None:
+        """Branch on a measurement result (PyQIR's ``if_result``).
+
+        ``one``/``zero`` are zero-argument callables emitting the
+        respective arm's instructions; emits the CFG diamond around them.
+        """
+        sm = self._sm
+        read = self.read_result(result)
+        fn = sm.entry_point
+        then_block = fn.create_block()
+        else_block = fn.create_block()
+        merge_block = fn.create_block()
+        sm.builder.cbr(read, then_block, else_block)
+        sm.builder.position_at_end(then_block)
+        if one is not None:
+            one()
+        sm.builder.br(merge_block)
+        sm.builder.position_at_end(else_block)
+        if zero is not None:
+            zero()
+        sm.builder.br(merge_block)
+        sm.builder.position_at_end(merge_block)

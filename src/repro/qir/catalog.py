@@ -1,0 +1,154 @@
+"""The QIR function vocabulary.
+
+QIR expresses quantum operations as calls to declared functions in two
+namespaces (paper, Section II-C):
+
+* ``__quantum__qis__<op>__<variant>`` -- the *quantum instruction set*:
+  gates, measurement, reset.  Parameters come first (``double``), then
+  qubit pointers, then (for ``mz``) the result pointer.
+* ``__quantum__rt__<name>`` -- the *runtime*: qubit/array/result management
+  and output recording.
+
+One deliberate simplification versus historical QIR (documented in
+DESIGN.md): ``__quantum__rt__array_get_element_ptr_1d`` yields the qubit
+pointer itself rather than a pointer-to-pointer needing a ``load``/
+``bitcast`` pair -- the convention the paper's own Figure 1 uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.llvmir.types import FunctionType, IRType, double, i1, i32, i64, ptr, void
+from repro.sim.gates import GATE_SET, canonical_name
+
+QIS_PREFIX = "__quantum__qis__"
+RT_PREFIX = "__quantum__rt__"
+
+
+@dataclass(frozen=True)
+class QisGate:
+    """A quantum-instruction-set entry resolved to a canonical gate."""
+
+    function_name: str
+    gate: str  # canonical gate name in repro.sim.gates, or "mz"/"m"/"reset"...
+    num_qubits: int
+    num_params: int
+    returns_result: bool = False  # __quantum__qis__m__body style
+    takes_result: bool = False  # __quantum__qis__mz__body style
+    returns_bool: bool = False  # read_result
+
+    def signature(self) -> FunctionType:
+        params: Tuple[IRType, ...] = tuple(
+            [double] * self.num_params + [ptr] * self.num_qubits
+        )
+        if self.takes_result:
+            params = params + (ptr,)
+        if self.returns_result:
+            return FunctionType(ptr, params)
+        if self.returns_bool:
+            # read_result consumes a result pointer rather than a qubit.
+            return FunctionType(i1, params or (ptr,))
+        return FunctionType(void, params)
+
+
+def qis_function_name(gate: str, variant: str = "body") -> str:
+    """``("h", "body") -> "__quantum__qis__h__body"``.
+
+    Canonical adjoint gates map onto QIR's ``__adj`` variants:
+    ``s_adj`` becomes ``__quantum__qis__s__adj``.
+    """
+    gate = canonical_name(gate)
+    if gate.endswith("_adj"):
+        gate, variant = gate[:-4], "adj"
+    return f"{QIS_PREFIX}{gate}__{variant}"
+
+
+def _build_qis_gates() -> Dict[str, QisGate]:
+    table: Dict[str, QisGate] = {}
+    for name, spec in GATE_SET.items():
+        fname = qis_function_name(name)
+        table[fname] = QisGate(fname, name, spec.num_qubits, spec.num_params)
+    # Measurement / reset entries.
+    mz = f"{QIS_PREFIX}mz__body"
+    table[mz] = QisGate(mz, "mz", 1, 0, takes_result=True)
+    m = f"{QIS_PREFIX}m__body"
+    table[m] = QisGate(m, "m", 1, 0, returns_result=True)
+    reset = f"{QIS_PREFIX}reset__body"
+    table[reset] = QisGate(reset, "reset", 1, 0)
+    read_result = f"{QIS_PREFIX}read_result__body"
+    table[read_result] = QisGate(read_result, "read_result", 0, 0, returns_bool=True)
+    # cz/cnot already covered via GATE_SET; toffoli alias for ccx:
+    toffoli = f"{QIS_PREFIX}toffoli__body"
+    table[toffoli] = QisGate(toffoli, "ccx", 3, 0)
+    # cx alias appears in some emitters
+    cx = f"{QIS_PREFIX}cx__body"
+    table[cx] = QisGate(cx, "cnot", 2, 0)
+    return table
+
+
+QIS_GATES: Dict[str, QisGate] = _build_qis_gates()
+
+
+def parse_qis_name(function_name: str) -> Optional[QisGate]:
+    """Resolve a ``__quantum__qis__*`` symbol, or None if unknown."""
+    return QIS_GATES.get(function_name)
+
+
+def qis_signature(function_name: str) -> FunctionType:
+    entry = QIS_GATES.get(function_name)
+    if entry is None:
+        raise KeyError(f"unknown QIS function {function_name!r}")
+    return entry.signature()
+
+
+# Runtime function signatures.
+RT_FUNCTIONS: Dict[str, FunctionType] = {
+    f"{RT_PREFIX}initialize": FunctionType(void, [ptr]),
+    # qubit management (dynamic addressing, paper Ex. 2 / Sec. IV-A)
+    f"{RT_PREFIX}qubit_allocate": FunctionType(ptr, []),
+    f"{RT_PREFIX}qubit_release": FunctionType(void, [ptr]),
+    f"{RT_PREFIX}qubit_allocate_array": FunctionType(ptr, [i64]),
+    f"{RT_PREFIX}qubit_release_array": FunctionType(void, [ptr]),
+    # generic 1-d arrays (classical-bit containers in Fig. 1)
+    f"{RT_PREFIX}array_create_1d": FunctionType(ptr, [i32, i64]),
+    f"{RT_PREFIX}array_get_element_ptr_1d": FunctionType(ptr, [ptr, i64]),
+    f"{RT_PREFIX}array_get_size_1d": FunctionType(i64, [ptr]),
+    f"{RT_PREFIX}array_update_reference_count": FunctionType(void, [ptr, i32]),
+    f"{RT_PREFIX}array_update_alias_count": FunctionType(void, [ptr, i32]),
+    # results
+    f"{RT_PREFIX}result_get_one": FunctionType(ptr, []),
+    f"{RT_PREFIX}result_get_zero": FunctionType(ptr, []),
+    f"{RT_PREFIX}result_equal": FunctionType(i1, [ptr, ptr]),
+    f"{RT_PREFIX}result_update_reference_count": FunctionType(void, [ptr, i32]),
+    # output recording (base profile epilogue)
+    f"{RT_PREFIX}result_record_output": FunctionType(void, [ptr, ptr]),
+    f"{RT_PREFIX}array_record_output": FunctionType(void, [i64, ptr]),
+    f"{RT_PREFIX}tuple_record_output": FunctionType(void, [i64, ptr]),
+    f"{RT_PREFIX}bool_record_output": FunctionType(void, [i1, ptr]),
+    f"{RT_PREFIX}int_record_output": FunctionType(void, [i64, ptr]),
+    f"{RT_PREFIX}double_record_output": FunctionType(void, [double, ptr]),
+    # diagnostics
+    f"{RT_PREFIX}message": FunctionType(void, [ptr]),
+    f"{RT_PREFIX}fail": FunctionType(void, [ptr]),
+}
+
+
+def rt_signature(function_name: str) -> FunctionType:
+    sig = RT_FUNCTIONS.get(function_name)
+    if sig is None:
+        raise KeyError(f"unknown RT function {function_name!r}")
+    return sig
+
+
+def is_qis_function(name: str) -> bool:
+    return name.startswith(QIS_PREFIX)
+
+
+def is_rt_function(name: str) -> bool:
+    return name.startswith(RT_PREFIX)
+
+
+def is_quantum_function(name: str) -> bool:
+    return is_qis_function(name) or is_rt_function(name)

@@ -1,0 +1,214 @@
+"""Profile conformance validation.
+
+``validate_profile(module, profile)`` returns the list of violations (empty
+when conformant); ``check_profile`` raises on the first.  The PROF
+benchmark measures validation cost and verifies that each adaptive-only
+construct is individually rejected by the base profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GetElementPtrInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+)
+from repro.llvmir.module import Module
+from repro.analysis.loops import find_natural_loops
+from repro.qir.catalog import (
+    QIS_PREFIX,
+    RT_PREFIX,
+    is_quantum_function,
+    parse_qis_name,
+)
+from repro.qir.profiles import Profile
+
+
+@dataclass(frozen=True)
+class ProfileViolation:
+    rule: str
+    message: str
+    function: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" in @{self.function}" if self.function else ""
+        return f"[{self.rule}]{where}: {self.message}"
+
+
+class ProfileError(ValueError):
+    def __init__(self, violations: List[ProfileViolation]):
+        super().__init__(
+            "profile validation failed:\n"
+            + "\n".join(f"  - {v}" for v in violations)
+        )
+        self.violations = violations
+
+
+_DYNAMIC_QUBIT_FNS = {
+    f"{RT_PREFIX}qubit_allocate",
+    f"{RT_PREFIX}qubit_release",
+    f"{RT_PREFIX}qubit_allocate_array",
+    f"{RT_PREFIX}qubit_release_array",
+}
+
+_RESULT_FEEDBACK_FNS = {
+    f"{QIS_PREFIX}read_result__body",
+    f"{RT_PREFIX}result_equal",
+    f"{RT_PREFIX}result_get_one",
+    f"{RT_PREFIX}result_get_zero",
+}
+
+
+def validate_profile(module: Module, profile: Profile) -> List[ProfileViolation]:
+    violations: List[ProfileViolation] = []
+
+    entry_points = module.entry_points()
+    if profile.require_entry_point_attributes:
+        if not entry_points:
+            violations.append(
+                ProfileViolation(
+                    "entry-point", "module declares no entry_point function"
+                )
+            )
+        for fn in entry_points:
+            profiles_attr = fn.get_attribute("qir_profiles")
+            if profiles_attr is None:
+                violations.append(
+                    ProfileViolation(
+                        "entry-point",
+                        'missing "qir_profiles" attribute',
+                        fn.name,
+                    )
+                )
+            if not profile.allow_dynamic_qubits and fn.get_attribute(
+                "required_num_qubits"
+            ) is None:
+                violations.append(
+                    ProfileViolation(
+                        "entry-point",
+                        'missing "required_num_qubits" attribute',
+                        fn.name,
+                    )
+                )
+
+    if profile.require_module_flags:
+        if module.get_module_flag("qir_major_version") is None:
+            violations.append(
+                ProfileViolation(
+                    "module-flags", 'missing "qir_major_version" module flag'
+                )
+            )
+
+    for fn in module.defined_functions():
+        if not fn.is_entry_point and not profile.allow_user_functions:
+            violations.append(
+                ProfileViolation(
+                    "user-functions",
+                    "defined non-entry-point functions are not allowed",
+                    fn.name,
+                )
+            )
+        violations.extend(_validate_body(fn, profile))
+
+    return violations
+
+
+def check_profile(module: Module, profile: Profile) -> None:
+    violations = validate_profile(module, profile)
+    if violations:
+        raise ProfileError(violations)
+
+
+def _validate_body(fn: Function, profile: Profile) -> List[ProfileViolation]:
+    out: List[ProfileViolation] = []
+
+    def bad(rule: str, message: str) -> None:
+        out.append(ProfileViolation(rule, message, fn.name))
+
+    if not profile.allow_multiple_blocks and len(fn.blocks) > 1:
+        bad(
+            "control-flow",
+            f"{len(fn.blocks)} basic blocks; profile allows straight-line code only",
+        )
+
+    if profile.allow_multiple_blocks and not profile.allow_loops and len(fn.blocks) > 1:
+        loops = find_natural_loops(fn)
+        if len(loops):
+            headers = ", ".join(f"%{l.header.name}" for l in loops)
+            bad("loops", f"natural loops with headers {headers} are not allowed")
+
+    seen_quantum_after_output = False
+    for inst in fn.instructions():
+        if isinstance(inst, (BranchInst,)):
+            continue
+        if isinstance(inst, (CondBranchInst, SwitchInst, PhiInst, SelectInst)):
+            if not profile.allow_multiple_blocks:
+                bad("control-flow", f"'{inst.opcode}' requires an adaptive profile")
+            continue
+        if isinstance(inst, (AllocaInst, LoadInst, StoreInst, GetElementPtrInst)):
+            if not profile.allow_memory:
+                bad("memory", f"'{inst.opcode}' is not allowed in this profile")
+            continue
+        if isinstance(inst, (BinaryInst, ICmpInst)):
+            is_float = inst.opcode.startswith("f") and inst.opcode != "fcmp"
+            if isinstance(inst, BinaryInst) and inst.opcode.startswith("f"):
+                if not profile.allow_float_computations:
+                    bad(
+                        "float-computation",
+                        f"'{inst.opcode}' requires float computation support",
+                    )
+            elif not profile.allow_int_computations:
+                bad(
+                    "int-computation",
+                    f"'{inst.opcode}' requires integer computation support",
+                )
+            continue
+        if isinstance(inst, FCmpInst):
+            if not profile.allow_float_computations:
+                bad("float-computation", "'fcmp' requires float computation support")
+            continue
+        if isinstance(inst, CastInst):
+            if inst.opcode in ("sitofp", "uitofp", "fptosi", "fptoui"):
+                if not profile.allow_float_computations:
+                    bad(
+                        "float-computation",
+                        f"'{inst.opcode}' requires float computation support",
+                    )
+            elif not profile.allow_int_computations:
+                bad("int-computation", f"'{inst.opcode}' requires integer computation support")
+            continue
+        if isinstance(inst, CallInst):
+            name = inst.callee.name or ""
+            if not is_quantum_function(name):
+                if not profile.allow_user_functions:
+                    bad("calls", f"call to non-quantum function @{name}")
+                continue
+            if name in _DYNAMIC_QUBIT_FNS and not profile.allow_dynamic_qubits:
+                bad("dynamic-qubits", f"@{name} requires dynamic qubit management")
+            if name in _RESULT_FEEDBACK_FNS and not profile.allow_result_feedback:
+                bad("result-feedback", f"@{name} requires an adaptive profile")
+            entry = parse_qis_name(name)
+            if entry is not None and entry.returns_result and not profile.allow_dynamic_results:
+                bad(
+                    "dynamic-results",
+                    f"@{name} returns a dynamic result; use mz with a static result",
+                )
+            continue
+
+    return out

@@ -1,0 +1,23 @@
+"""Runtime error hierarchy."""
+
+from __future__ import annotations
+
+
+class QirRuntimeError(RuntimeError):
+    """Base class for failures while executing a QIR program."""
+
+
+class TrapError(QirRuntimeError):
+    """The program executed ``unreachable`` or called ``__quantum__rt__fail``."""
+
+
+class StepLimitExceeded(QirRuntimeError):
+    """The interpreter hit its instruction budget (runaway loop guard)."""
+
+
+class UnboundFunctionError(QirRuntimeError):
+    """A declared function has no intrinsic binding and no definition."""
+
+
+class InvalidPointerError(QirRuntimeError):
+    """A pointer value was used in a way its kind does not support."""

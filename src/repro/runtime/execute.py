@@ -1,0 +1,239 @@
+"""High-level execution API: run QIR programs for one or many shots.
+
+Measurement collapses simulator state, so -- exactly like the QIR
+Alliance's ``qir-runner`` -- multi-shot execution re-interprets the program
+per shot with fresh simulator state and aggregates the recorded outputs
+into a histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.llvmir.module import Module
+from repro.llvmir.parser import parse_assembly
+from repro.runtime.interpreter import Interpreter, InterpreterStats
+from repro.runtime.output import OutputRecord
+from repro.runtime.sampling_fastpath import (
+    DeferredMeasurementBackend,
+    DeferredResultStore,
+    FastPathUnsupported,
+    sample_counts_from,
+)
+from repro.sim.noise import NoiseModel, NoisyBackend
+from repro.sim.stabilizer import StabilizerSimulator
+from repro.sim.statevector import StatevectorSimulator
+
+ModuleLike = Union[Module, str]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one shot."""
+
+    output_records: List[OutputRecord]
+    result_bits: List[int]
+    bitstring: str
+    messages: List[str]
+    stats: InterpreterStats
+    return_value: object = None
+
+    def render_output(self) -> str:
+        return "\n".join(r.render() for r in self.output_records)
+
+
+@dataclass
+class ShotsResult:
+    """Aggregate over many shots."""
+
+    counts: Dict[str, int]
+    shots: int
+    per_shot_stats: List[InterpreterStats] = field(default_factory=list)
+    used_fast_path: bool = False
+
+    def probabilities(self) -> Dict[str, float]:
+        return {k: v / self.shots for k, v in self.counts.items()}
+
+
+def _as_module(program: ModuleLike) -> Module:
+    if isinstance(program, str):
+        return parse_assembly(program)
+    return program
+
+
+def _make_backend(
+    name: str,
+    seed: Optional[int],
+    max_qubits: int,
+    noise: Optional[NoiseModel] = None,
+):
+    if name == "statevector":
+        backend = StatevectorSimulator(0, seed=seed, max_qubits=max_qubits)
+    elif name == "stabilizer":
+        backend = StabilizerSimulator(0, seed=seed)
+    else:
+        raise ValueError(f"unknown backend {name!r}")
+    if noise is not None and not noise.is_trivial:
+        # The wrapper needs its own stream: seeding it identically to the
+        # inner simulator would correlate error injection with measurement
+        # outcomes (their first random draws would coincide).
+        noise_seed = None if seed is None else (seed ^ 0x9E3779B97F4A7C15) & (2**63 - 1)
+        return NoisyBackend(backend, noise, seed=noise_seed)
+    return backend
+
+
+class QirRuntime:
+    """A configured runtime: backend choice, seeding, step limits.
+
+    >>> rt = QirRuntime(backend="statevector", seed=7)
+    >>> result = rt.execute(qir_text)
+    >>> counts = rt.run_shots(qir_text, shots=1000).counts
+    """
+
+    def __init__(
+        self,
+        backend: str = "statevector",
+        seed: Optional[int] = None,
+        step_limit: int = 10_000_000,
+        max_qubits: int = 26,
+        allow_on_the_fly_qubits: bool = True,
+        noise: Optional[NoiseModel] = None,
+    ):
+        self.backend_name = backend
+        self.seed = seed
+        self.step_limit = step_limit
+        self.max_qubits = max_qubits
+        self.allow_on_the_fly_qubits = allow_on_the_fly_qubits
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+
+    def execute(
+        self, program: ModuleLike, entry: Optional[str] = None
+    ) -> ExecutionResult:
+        """Run a single shot and return its full execution record."""
+        module = _as_module(program)
+        backend = _make_backend(
+            self.backend_name,
+            int(self._rng.integers(2**63)),
+            self.max_qubits,
+            self.noise,
+        )
+        interp = Interpreter(
+            module,
+            backend,
+            step_limit=self.step_limit,
+            allow_on_the_fly_qubits=self.allow_on_the_fly_qubits,
+        )
+        value = interp.run(entry)
+        bits = interp.output.result_bits()
+        # If the program recorded no output, fall back to the static result
+        # table so base-profile programs without an epilogue still report.
+        if not bits and interp.results.max_static_index >= 0:
+            table = interp.results.static_bits(interp.results.max_static_index + 1)
+            bits = [table[i] for i in sorted(table)]
+        bitstring = "".join(str(b) for b in reversed(bits))
+        return ExecutionResult(
+            output_records=list(interp.output.records),
+            result_bits=bits,
+            bitstring=bitstring,
+            messages=list(interp.messages),
+            stats=interp.stats,
+            return_value=value,
+        )
+
+    def run_shots(
+        self,
+        program: ModuleLike,
+        shots: int = 1024,
+        entry: Optional[str] = None,
+        keep_stats: bool = False,
+        sampling: str = "auto",
+    ) -> ShotsResult:
+        """Run many shots (parsing once) and histogram the result bitstrings.
+
+        ``sampling``:
+
+        * ``"auto"`` (default) -- attempt the deferred-measurement fast path
+          (one statevector evolution, then joint sampling) and fall back to
+          per-shot interpretation when the program is not sampleable (mid-
+          circuit feedback, re-measurement, noise, non-statevector backend);
+        * ``"never"`` -- always interpret per shot (the qir-runner model);
+        * ``"require"`` -- fast path or raise :class:`FastPathUnsupported`.
+        """
+        if sampling not in ("auto", "never", "require"):
+            raise ValueError(f"unknown sampling mode {sampling!r}")
+        module = _as_module(program)
+
+        can_try = (
+            sampling != "never"
+            and self.backend_name == "statevector"
+            and (self.noise is None or self.noise.is_trivial)
+            and not keep_stats
+        )
+        if can_try:
+            try:
+                counts = self._run_shots_sampled(module, shots, entry)
+                return ShotsResult(counts=counts, shots=shots, used_fast_path=True)
+            except FastPathUnsupported:
+                if sampling == "require":
+                    raise
+        elif sampling == "require":
+            raise FastPathUnsupported(
+                "sampling fast path requires the statevector backend, no "
+                "noise, and keep_stats=False"
+            )
+
+        counts = {}
+        all_stats: List[InterpreterStats] = []
+        for _ in range(shots):
+            result = self.execute(module, entry)
+            counts[result.bitstring] = counts.get(result.bitstring, 0) + 1
+            if keep_stats:
+                all_stats.append(result.stats)
+        return ShotsResult(counts=counts, shots=shots, per_shot_stats=all_stats)
+
+    def _run_shots_sampled(
+        self, module: Module, shots: int, entry: Optional[str]
+    ) -> Dict[str, int]:
+        """One evolution + joint sampling (see runtime.sampling_fastpath)."""
+        inner = StatevectorSimulator(
+            0, seed=int(self._rng.integers(2**63)), max_qubits=self.max_qubits
+        )
+        backend = DeferredMeasurementBackend(inner)
+        interp = Interpreter(
+            module,
+            backend,  # type: ignore[arg-type]
+            step_limit=self.step_limit,
+            allow_on_the_fly_qubits=self.allow_on_the_fly_qubits,
+        )
+        results = DeferredResultStore()
+        interp.results = results
+        interp.run(entry)
+        return sample_counts_from(backend, results, shots)
+
+
+def execute(
+    program: ModuleLike,
+    backend: str = "statevector",
+    seed: Optional[int] = None,
+    entry: Optional[str] = None,
+    **kwargs,
+) -> ExecutionResult:
+    """One-call convenience wrapper around :class:`QirRuntime`."""
+    return QirRuntime(backend=backend, seed=seed, **kwargs).execute(program, entry)
+
+
+def run_shots(
+    program: ModuleLike,
+    shots: int = 1024,
+    backend: str = "statevector",
+    seed: Optional[int] = None,
+    entry: Optional[str] = None,
+    **kwargs,
+) -> ShotsResult:
+    return QirRuntime(backend=backend, seed=seed, **kwargs).run_shots(
+        program, shots, entry
+    )

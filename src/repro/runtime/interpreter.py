@@ -1,0 +1,499 @@
+"""The IR interpreter: our stand-in for LLVM's ``lli`` (paper, Sec. III-C).
+
+Executes one entry point of a module: classical instructions are evaluated
+directly; calls to declared ``__quantum__*`` functions dispatch to the
+intrinsic bindings in :mod:`repro.runtime.intrinsics`, which drive the
+simulator backend.  Calls to *defined* functions recurse (full-QIR
+programs may factor subroutines).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.llvmir.block import BasicBlock
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GetElementPtrInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from repro.llvmir.module import Module
+from repro.llvmir.types import ArrayType, IntType, IRType
+from repro.llvmir.values import (
+    ConstantArray,
+    ConstantExpr,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantPointerInt,
+    ConstantString,
+    ConstantUndef,
+    GlobalVariable,
+    Value,
+)
+from repro.qir.catalog import QIS_PREFIX
+from repro.runtime.errors import (
+    QirRuntimeError,
+    StepLimitExceeded,
+    TrapError,
+    UnboundFunctionError,
+)
+from repro.runtime.intrinsics import RT_INTRINSICS, dispatch_qis
+from repro.runtime.output import OutputRecorder
+from repro.runtime.qubit_manager import QubitManager
+from repro.runtime.results import ResultStore
+from repro.runtime.values import (
+    ArrayHandle,
+    GlobalPtr,
+    IntPtr,
+    Memory,
+    QubitPtr,
+    ResultPtr,
+    StackPtr,
+)
+from repro.sim.backend import SimulatorBackend
+
+
+@dataclass
+class InterpreterStats:
+    steps: int = 0
+    quantum_calls: int = 0
+    classical_calls: int = 0
+    gates: int = 0
+    measurements: int = 0
+    branches: int = 0
+
+
+def _flat_cell_count(type_: IRType) -> int:
+    if isinstance(type_, ArrayType):
+        return max(1, type_.count) * _flat_cell_count(type_.element)
+    return 1
+
+
+class Interpreter:
+    def __init__(
+        self,
+        module: Module,
+        backend: SimulatorBackend,
+        step_limit: int = 10_000_000,
+        allow_on_the_fly_qubits: bool = True,
+    ):
+        self.module = module
+        self.backend = backend
+        self.step_limit = step_limit
+        self.qubits = QubitManager(backend, allow_on_the_fly=allow_on_the_fly_qubits)
+        self.results = ResultStore()
+        self.output = OutputRecorder()
+        self.messages: List[str] = []
+        self.stats = InterpreterStats()
+        self._call_depth = 0
+
+    # -- entry ---------------------------------------------------------------
+    def run(self, entry: Optional[str] = None) -> object:
+        """Execute an entry point (default: the module's single entry point)."""
+        fn = self._find_entry(entry)
+        required = fn.get_attribute("required_num_qubits")
+        if required is not None:
+            self.qubits.reserve_static(int(required))
+        return self.call_function(fn, [])
+
+    def _find_entry(self, entry: Optional[str]) -> Function:
+        if entry is not None:
+            fn = self.module.get_function(entry)
+            if fn is None or fn.is_declaration:
+                raise QirRuntimeError(f"no defined function @{entry}")
+            return fn
+        entry_points = self.module.entry_points()
+        if len(entry_points) == 1:
+            return entry_points[0]
+        if not entry_points:
+            defined = self.module.defined_functions()
+            if len(defined) == 1:
+                return defined[0]
+            raise QirRuntimeError(
+                "module has no entry_point attribute and multiple definitions; "
+                "pass entry= explicitly"
+            )
+        raise QirRuntimeError(
+            f"module has {len(entry_points)} entry points; pass entry= explicitly"
+        )
+
+    # -- function execution ------------------------------------------------------
+    def call_function(self, fn: Function, args: List[object]) -> object:
+        if fn.is_declaration:
+            return self._call_declared(fn, args)
+        if self._call_depth > 1000:
+            raise QirRuntimeError(f"call depth exceeded at @{fn.name}")
+        self._call_depth += 1
+        try:
+            return self._execute_body(fn, args)
+        finally:
+            self._call_depth -= 1
+
+    def _call_declared(self, fn: Function, args: List[object]) -> object:
+        name = fn.name or ""
+        if name.startswith(QIS_PREFIX):
+            return dispatch_qis(self, name, args)
+        intrinsic = RT_INTRINSICS.get(name)
+        if intrinsic is not None:
+            self.stats.quantum_calls += 1
+            return intrinsic(self, args)
+        raise UnboundFunctionError(
+            f"declared function @{name} has no runtime binding"
+        )
+
+    def _execute_body(self, fn: Function, args: List[object]) -> object:
+        frame: Dict[Value, object] = {}
+        for formal, actual in zip(fn.arguments, args):
+            frame[formal] = actual
+
+        block = fn.entry_block
+        prev_block: Optional[BasicBlock] = None
+
+        while True:
+            # Phi nodes read their values *simultaneously* on block entry.
+            phis = block.phis()
+            if phis:
+                staged = [
+                    (phi, self._eval(phi.incoming_for(prev_block), frame))
+                    for phi in phis
+                ]
+                for phi, value in staged:
+                    frame[phi] = value
+
+            for inst in block.instructions[block.first_non_phi_index() :]:
+                self.stats.steps += 1
+                if self.stats.steps > self.step_limit:
+                    raise StepLimitExceeded(
+                        f"exceeded {self.step_limit} interpreter steps"
+                    )
+
+                if isinstance(inst, ReturnInst):
+                    if inst.return_value is None:
+                        return None
+                    return self._eval(inst.return_value, frame)
+                if isinstance(inst, BranchInst):
+                    prev_block, block = block, inst.target
+                    self.stats.branches += 1
+                    break
+                if isinstance(inst, CondBranchInst):
+                    cond = self._eval(inst.condition, frame)
+                    target = inst.true_target if cond else inst.false_target
+                    prev_block, block = block, target
+                    self.stats.branches += 1
+                    break
+                if isinstance(inst, SwitchInst):
+                    value = self._eval(inst.value, frame)
+                    target = inst.default
+                    for const, case_block in inst.cases:
+                        if self._eval(const, frame) == value:
+                            target = case_block
+                            break
+                    prev_block, block = block, target
+                    self.stats.branches += 1
+                    break
+                if isinstance(inst, UnreachableInst):
+                    raise TrapError(f"reached 'unreachable' in @{fn.name}")
+
+                result = self._execute(inst, frame)
+                if not inst.type.is_void:
+                    frame[inst] = result
+            else:
+                raise QirRuntimeError(
+                    f"block %{block.name} in @{fn.name} fell through without a terminator"
+                )
+
+    # -- instruction execution --------------------------------------------------
+    def _execute(self, inst: Instruction, frame: Dict[Value, object]) -> object:
+        if isinstance(inst, CallInst):
+            args = [self._eval(op, frame) for op in inst.operands]
+            callee = inst.callee
+            if not (callee.name or "").startswith("__quantum__"):
+                self.stats.classical_calls += 1
+            return self.call_function(callee, args)
+        if isinstance(inst, BinaryInst):
+            return self._binary(inst, frame)
+        if isinstance(inst, ICmpInst):
+            return self._icmp(inst, frame)
+        if isinstance(inst, FCmpInst):
+            return self._fcmp(inst, frame)
+        if isinstance(inst, CastInst):
+            return self._cast(inst, frame)
+        if isinstance(inst, SelectInst):
+            cond = self._eval(inst.condition, frame)
+            chosen = inst.true_value if cond else inst.false_value
+            return self._eval(chosen, frame)
+        if isinstance(inst, AllocaInst):
+            return StackPtr(Memory(_flat_cell_count(inst.allocated_type)))
+        if isinstance(inst, LoadInst):
+            pointer = self._eval(inst.pointer, frame)
+            return self._load(pointer, inst.type)
+        if isinstance(inst, StoreInst):
+            value = self._eval(inst.value, frame)
+            pointer = self._eval(inst.pointer, frame)
+            self._store(pointer, value)
+            return None
+        if isinstance(inst, GetElementPtrInst):
+            return self._gep(inst, frame)
+        raise QirRuntimeError(f"cannot interpret instruction {inst!r}")
+
+    def _load(self, pointer: object, type_: IRType) -> object:
+        if isinstance(pointer, StackPtr):
+            value = pointer.load()
+            if value is None:
+                raise QirRuntimeError("load of uninitialised stack slot")
+            return value
+        if isinstance(pointer, GlobalPtr):
+            if isinstance(type_, IntType) and type_.bits == 8:
+                return pointer.load_byte()
+            raise QirRuntimeError(f"unsupported global load of type {type_}")
+        raise QirRuntimeError(f"load through non-memory pointer {pointer!r}")
+
+    def _store(self, pointer: object, value: object) -> None:
+        if isinstance(pointer, StackPtr):
+            pointer.store(value)
+            return
+        raise QirRuntimeError(f"store through non-memory pointer {pointer!r}")
+
+    def _gep(self, inst: GetElementPtrInst, frame: Dict[Value, object]) -> object:
+        pointer = self._eval(inst.pointer, frame)
+        indices = [int(self._eval(op, frame)) for op in inst.indices]  # type: ignore[arg-type]
+        offset = _gep_offset(inst.source_type, indices)
+        if isinstance(pointer, StackPtr):
+            return pointer.offset_by(offset)
+        if isinstance(pointer, GlobalPtr):
+            return pointer.offset_by(offset)
+        raise QirRuntimeError(f"getelementptr on non-memory pointer {pointer!r}")
+
+    def _binary(self, inst: BinaryInst, frame: Dict[Value, object]) -> object:
+        a = self._eval(inst.lhs, frame)
+        b = self._eval(inst.rhs, frame)
+        op = inst.opcode
+        if op.startswith("f"):
+            x, y = float(a), float(b)  # type: ignore[arg-type]
+            if op == "fadd":
+                return x + y
+            if op == "fsub":
+                return x - y
+            if op == "fmul":
+                return x * y
+            if op == "fdiv":
+                return x / y if y != 0.0 else math.copysign(math.inf, x) if x else math.nan
+            if op == "frem":
+                return math.fmod(x, y) if y != 0.0 else math.nan
+        itype = inst.type
+        assert isinstance(itype, IntType)
+        x, y = int(a), int(b)  # type: ignore[arg-type]
+        if op == "add":
+            return itype.wrap(x + y)
+        if op == "sub":
+            return itype.wrap(x - y)
+        if op == "mul":
+            return itype.wrap(x * y)
+        if op == "sdiv":
+            if y == 0:
+                raise TrapError("sdiv by zero")
+            return itype.wrap(int(x / y))  # C-style truncation
+        if op == "udiv":
+            if y == 0:
+                raise TrapError("udiv by zero")
+            return itype.wrap(itype.to_unsigned(x) // itype.to_unsigned(y))
+        if op == "srem":
+            if y == 0:
+                raise TrapError("srem by zero")
+            return itype.wrap(x - int(x / y) * y)
+        if op == "urem":
+            if y == 0:
+                raise TrapError("urem by zero")
+            return itype.wrap(itype.to_unsigned(x) % itype.to_unsigned(y))
+        if op == "and":
+            return itype.wrap(x & y)
+        if op == "or":
+            return itype.wrap(x | y)
+        if op == "xor":
+            return itype.wrap(x ^ y)
+        if op == "shl":
+            return itype.wrap(x << (y % itype.bits))
+        if op == "lshr":
+            return itype.wrap(itype.to_unsigned(x) >> (y % itype.bits))
+        if op == "ashr":
+            return itype.wrap(x >> (y % itype.bits))
+        raise QirRuntimeError(f"unhandled binary opcode {op}")
+
+    def _icmp(self, inst: ICmpInst, frame: Dict[Value, object]) -> int:
+        a = self._eval(inst.lhs, frame)
+        b = self._eval(inst.rhs, frame)
+        pred = inst.predicate
+        if isinstance(a, (IntPtr, QubitPtr, ResultPtr, StackPtr, GlobalPtr)) or isinstance(
+            b, (IntPtr, QubitPtr, ResultPtr, StackPtr, GlobalPtr)
+        ):
+            if pred == "eq":
+                return int(a == b)
+            if pred == "ne":
+                return int(a != b)
+            raise QirRuntimeError(f"ordered icmp {pred} on pointers")
+        x, y = int(a), int(b)  # type: ignore[arg-type]
+        lhs_type = inst.lhs.type
+        if pred in ("ugt", "uge", "ult", "ule") and isinstance(lhs_type, IntType):
+            x = lhs_type.to_unsigned(x)
+            y = lhs_type.to_unsigned(y)
+        table = {
+            "eq": x == y,
+            "ne": x != y,
+            "sgt": x > y,
+            "sge": x >= y,
+            "slt": x < y,
+            "sle": x <= y,
+            "ugt": x > y,
+            "uge": x >= y,
+            "ult": x < y,
+            "ule": x <= y,
+        }
+        return int(table[pred])
+
+    def _fcmp(self, inst: FCmpInst, frame: Dict[Value, object]) -> int:
+        x = float(self._eval(inst.lhs, frame))  # type: ignore[arg-type]
+        y = float(self._eval(inst.rhs, frame))  # type: ignore[arg-type]
+        pred = inst.predicate
+        unordered = math.isnan(x) or math.isnan(y)
+        if pred == "true":
+            return 1
+        if pred == "false":
+            return 0
+        if pred == "ord":
+            return int(not unordered)
+        if pred == "uno":
+            return int(unordered)
+        base = {
+            "eq": x == y,
+            "gt": x > y,
+            "ge": x >= y,
+            "lt": x < y,
+            "le": x <= y,
+            "ne": x != y,
+        }
+        key = pred[1:]
+        if pred.startswith("o"):
+            return int(not unordered and base[key])
+        return int(unordered or base[key])
+
+    def _cast(self, inst: CastInst, frame: Dict[Value, object]) -> object:
+        value = self._eval(inst.value, frame)
+        op = inst.opcode
+        if op == "trunc":
+            assert isinstance(inst.type, IntType)
+            return inst.type.wrap(int(value))  # type: ignore[arg-type]
+        if op == "zext":
+            src = inst.value.type
+            assert isinstance(src, IntType) and isinstance(inst.type, IntType)
+            return inst.type.wrap(src.to_unsigned(int(value)))  # type: ignore[arg-type]
+        if op == "sext":
+            assert isinstance(inst.type, IntType)
+            return inst.type.wrap(int(value))  # type: ignore[arg-type]
+        if op == "sitofp":
+            return float(int(value))  # type: ignore[arg-type]
+        if op == "uitofp":
+            src = inst.value.type
+            assert isinstance(src, IntType)
+            return float(src.to_unsigned(int(value)))  # type: ignore[arg-type]
+        if op in ("fptosi", "fptoui"):
+            assert isinstance(inst.type, IntType)
+            return inst.type.wrap(int(float(value)))  # type: ignore[arg-type]
+        if op == "inttoptr":
+            return IntPtr(int(value))  # type: ignore[arg-type]
+        if op == "ptrtoint":
+            if isinstance(value, IntPtr):
+                assert isinstance(inst.type, IntType)
+                return inst.type.wrap(value.address)
+            raise QirRuntimeError(f"ptrtoint of non-integer pointer {value!r}")
+        if op == "bitcast":
+            return value
+        raise QirRuntimeError(f"unhandled cast {op}")
+
+    # -- operand evaluation --------------------------------------------------------
+    def _eval(self, value: Value, frame: Dict[Value, object]) -> object:
+        if isinstance(value, ConstantInt):
+            return value.value
+        if isinstance(value, ConstantFloat):
+            return value.value
+        if isinstance(value, ConstantNull):
+            return IntPtr(0)
+        if isinstance(value, ConstantPointerInt):
+            return IntPtr(value.address)
+        if isinstance(value, ConstantUndef):
+            return 0
+        if isinstance(value, GlobalVariable):
+            return self._global_pointer(value)
+        if isinstance(value, Function):
+            raise QirRuntimeError("function pointers are not interpretable")
+        if isinstance(value, ConstantExpr):
+            return self._constant_expr(value)
+        if isinstance(value, (ConstantString, ConstantArray)):
+            raise QirRuntimeError("aggregate constant used as scalar operand")
+        if value in frame:
+            return frame[value]
+        raise QirRuntimeError(f"evaluation of unbound value {value!r}")
+
+    def _global_pointer(self, gv: GlobalVariable) -> GlobalPtr:
+        init = gv.initializer
+        if isinstance(init, ConstantString):
+            return GlobalPtr(init.data, 0, gv.name)
+        if init is None:
+            return GlobalPtr(b"", 0, gv.name)
+        raise QirRuntimeError(f"unsupported global initialiser for @{gv.name}")
+
+    def _constant_expr(self, expr: ConstantExpr) -> object:
+        if expr.opcode == "getelementptr":
+            base = expr.operands[0]
+            indices = [
+                op.value if isinstance(op, ConstantInt) else 0 for op in expr.operands[1:]
+            ]
+            pointer = self._eval(base, {})
+            offset = _gep_offset(expr.extra[0], [int(i) for i in indices])
+            if isinstance(pointer, GlobalPtr):
+                return pointer.offset_by(offset)
+            raise QirRuntimeError("constant GEP on non-global")
+        if expr.opcode == "inttoptr":
+            op = expr.operands[0]
+            if isinstance(op, ConstantInt):
+                return IntPtr(op.value)
+        if expr.opcode == "ptrtoint":
+            op = expr.operands[0]
+            inner = self._eval(op, {})
+            if isinstance(inner, IntPtr):
+                return inner.address
+        if expr.opcode == "bitcast":
+            return self._eval(expr.operands[0], {})
+        raise QirRuntimeError(f"unsupported constant expression {expr.opcode}")
+
+
+def _gep_offset(source_type: IRType, indices: List[int]) -> int:
+    """Flattened cell offset for a GEP, in *cells* of the leaf scalar type."""
+    if not indices:
+        return 0
+    offset = indices[0] * _flat_cell_count(source_type)
+    current = source_type
+    for index in indices[1:]:
+        if isinstance(current, ArrayType):
+            current = current.element
+            offset += index * _flat_cell_count(current)
+        else:
+            raise QirRuntimeError(f"GEP into non-aggregate type {current}")
+    return offset

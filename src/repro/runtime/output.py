@@ -1,0 +1,55 @@
+"""Output recording, in the format used by the QIR Alliance's qir-runner.
+
+Base-profile programs end with ``__quantum__rt__*_record_output`` calls;
+the recorder turns them into structured records and renders the
+``OUTPUT\\t...`` text lines, e.g.::
+
+    OUTPUT\tARRAY\t2\tresults
+    OUTPUT\tRESULT\t0\tr0
+    OUTPUT\tRESULT\t1\tr1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+
+@dataclass(frozen=True)
+class OutputRecord:
+    kind: str  # "ARRAY" | "TUPLE" | "RESULT" | "BOOL" | "INT" | "DOUBLE"
+    value: Union[int, float, str]
+    label: Optional[str] = None
+
+    def render(self) -> str:
+        parts = ["OUTPUT", self.kind, str(self.value)]
+        if self.label is not None:
+            parts.append(self.label)
+        return "\t".join(parts)
+
+
+class OutputRecorder:
+    def __init__(self) -> None:
+        self.records: List[OutputRecord] = []
+
+    def record(self, kind: str, value: Union[int, float, str], label: Optional[str]) -> None:
+        self.records.append(OutputRecord(kind, value, label))
+
+    def render(self) -> str:
+        return "\n".join(r.render() for r in self.records)
+
+    def result_bits(self) -> List[int]:
+        """The RESULT records' values in recording order."""
+        return [int(r.value) for r in self.records if r.kind == "RESULT"]
+
+    def bitstring(self) -> str:
+        """RESULT records as a bitstring, *last recorded result first* so the
+        text matches the simulator histograms (highest index leftmost)."""
+        bits = self.result_bits()
+        return "".join(str(b) for b in reversed(bits))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,179 @@
+"""Runtime value representations.
+
+Classical scalars are plain Python ``int``/``float`` (integer ops re-wrap
+to the IR type's width at each step).  Pointers are small tagged objects;
+the tag determines which operations a pointer supports:
+
+* :class:`IntPtr` -- result of ``inttoptr`` / ``null``.  When passed to a
+  QIS function this *is* a static qubit/result address (paper, Ex. 6).
+* :class:`QubitPtr` / :class:`ResultPtr` -- opaque handles minted by the
+  runtime for dynamic allocation (paper, Ex. 2).
+* :class:`ArrayHandle` -- a ``__quantum__rt__array_*`` object.
+* :class:`StackPtr` -- points into an ``alloca``-created cell list.
+* :class:`GlobalPtr` -- points into a global constant (label strings).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class IntPtr:
+    """An integer reinterpreted as a pointer (includes ``null`` = 0)."""
+
+    __slots__ = ("address",)
+
+    def __init__(self, address: int):
+        self.address = address
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntPtr) and other.address == self.address
+
+    def __hash__(self) -> int:
+        return hash(("intptr", self.address))
+
+    def __repr__(self) -> str:
+        return f"IntPtr({self.address})"
+
+
+NULL = IntPtr(0)
+
+
+class QubitPtr:
+    __slots__ = ("id",)
+
+    def __init__(self, id_: int):
+        self.id = id_
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, QubitPtr) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash(("qubit", self.id))
+
+    def __repr__(self) -> str:
+        return f"QubitPtr({self.id})"
+
+
+class ResultPtr:
+    __slots__ = ("id",)
+
+    def __init__(self, id_: int):
+        self.id = id_
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ResultPtr) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash(("result", self.id))
+
+    def __repr__(self) -> str:
+        return f"ResultPtr({self.id})"
+
+
+class ArrayHandle:
+    """A ``%Array*`` runtime object: fixed-size cell list + refcounts."""
+
+    __slots__ = (
+        "cells",
+        "element_size",
+        "ref_count",
+        "alias_count",
+        "is_qubit_array",
+        "_memory",
+    )
+
+    def __init__(self, size: int, element_size: int = 8, is_qubit_array: bool = False):
+        self.cells: List[object] = [None] * size
+        self.element_size = element_size
+        self.ref_count = 1
+        self.alias_count = 0
+        self.is_qubit_array = is_qubit_array
+        self._memory: Optional["Memory"] = None
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __repr__(self) -> str:
+        kind = "qubits" if self.is_qubit_array else "values"
+        return f"ArrayHandle({len(self.cells)} {kind})"
+
+
+class Memory:
+    """Backing store for one ``alloca`` (a flat cell list)."""
+
+    __slots__ = ("cells",)
+
+    def __init__(self, num_cells: int):
+        self.cells: List[object] = [None] * num_cells
+
+
+class StackPtr:
+    __slots__ = ("memory", "offset")
+
+    def __init__(self, memory: Memory, offset: int = 0):
+        self.memory = memory
+        self.offset = offset
+
+    def load(self) -> object:
+        if not 0 <= self.offset < len(self.memory.cells):
+            raise IndexError(f"stack load out of bounds at offset {self.offset}")
+        return self.memory.cells[self.offset]
+
+    def store(self, value: object) -> None:
+        if not 0 <= self.offset < len(self.memory.cells):
+            raise IndexError(f"stack store out of bounds at offset {self.offset}")
+        self.memory.cells[self.offset] = value
+
+    def offset_by(self, delta: int) -> "StackPtr":
+        return StackPtr(self.memory, self.offset + delta)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StackPtr)
+            and other.memory is self.memory
+            and other.offset == self.offset
+        )
+
+    def __hash__(self) -> int:
+        return hash(("stack", id(self.memory), self.offset))
+
+    def __repr__(self) -> str:
+        return f"StackPtr(+{self.offset})"
+
+
+class GlobalPtr:
+    """Pointer into a global constant's byte representation."""
+
+    __slots__ = ("data", "offset", "name")
+
+    def __init__(self, data: bytes, offset: int = 0, name: Optional[str] = None):
+        self.data = data
+        self.offset = offset
+        self.name = name
+
+    def load_byte(self) -> int:
+        return self.data[self.offset]
+
+    def as_text(self) -> str:
+        """The NUL-terminated string starting at this pointer."""
+        end = self.data.find(b"\x00", self.offset)
+        if end == -1:
+            end = len(self.data)
+        return self.data[self.offset : end].decode("utf-8", errors="replace")
+
+    def offset_by(self, delta: int) -> "GlobalPtr":
+        return GlobalPtr(self.data, self.offset + delta, self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GlobalPtr)
+            and other.data == self.data
+            and other.offset == self.offset
+        )
+
+    def __hash__(self) -> int:
+        return hash(("global", self.data, self.offset))
+
+    def __repr__(self) -> str:
+        return f"GlobalPtr({self.as_text()!r})"

@@ -1,0 +1,42 @@
+"""Quantum circuit simulators: the execution backends behind the QIR runtime.
+
+The paper's Example 5 describes the Catalyst/Lightning pattern -- a QIR
+runtime whose ``__quantum__qis__*`` implementations mutate simulator state.
+This package supplies those backends:
+
+* :class:`StatevectorSimulator` -- dense state vector, vectorised NumPy
+  kernels, exact amplitudes, exponential in qubit count.
+* :class:`StabilizerSimulator` -- Aaronson-Gottesman CHP tableau, Clifford
+  gates only, polynomial in qubit count (reaches thousands of qubits).
+
+Both implement the :class:`SimulatorBackend` protocol consumed by
+:mod:`repro.runtime`.
+"""
+
+from repro.sim.gates import (
+    GATE_SET,
+    GateSpec,
+    controlled,
+    gate_matrix,
+    is_clifford_gate,
+)
+from repro.sim.backend import SimulatorBackend
+from repro.sim.noise import NoiseModel, NoisyBackend
+from repro.sim.statevector import StatevectorSimulator
+from repro.sim.stabilizer import StabilizerSimulator
+from repro.sim.sampling import counts_to_probabilities, sample_counts
+
+__all__ = [
+    "GATE_SET",
+    "GateSpec",
+    "controlled",
+    "gate_matrix",
+    "is_clifford_gate",
+    "SimulatorBackend",
+    "NoiseModel",
+    "NoisyBackend",
+    "StatevectorSimulator",
+    "StabilizerSimulator",
+    "counts_to_probabilities",
+    "sample_counts",
+]

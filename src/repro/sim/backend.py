@@ -1,0 +1,39 @@
+"""The simulator backend protocol consumed by the QIR runtime.
+
+A backend owns *simulator qubit slots* addressed by small integers.  The
+runtime's qubit manager maps QIR qubit pointers (dynamic or static, see
+paper Section IV-A) onto these slots.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class SimulatorBackend(Protocol):
+    """Structural interface; both simulators satisfy it."""
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of currently allocated qubit slots."""
+        ...
+
+    def allocate_qubit(self) -> int:
+        """Add a fresh |0> qubit and return its slot index."""
+        ...
+
+    def release_qubit(self, slot: int) -> None:
+        """Return a slot to the free pool (must be |0> or measured)."""
+        ...
+
+    def apply_gate(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> None:
+        ...
+
+    def measure(self, qubit: int) -> int:
+        """Projectively measure a qubit in the Z basis; collapses state."""
+        ...
+
+    def reset(self, qubit: int) -> None:
+        """Measure and, if 1, flip back to |0>."""
+        ...

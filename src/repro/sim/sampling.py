@@ -1,0 +1,41 @@
+"""Helpers for working with measurement histograms."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+def sample_counts(
+    probabilities: Sequence[float],
+    shots: int,
+    num_bits: int,
+    seed: Optional[int] = None,
+) -> Dict[str, int]:
+    """Draw ``shots`` samples from a basis-state distribution."""
+    rng = np.random.default_rng(seed)
+    probs = np.asarray(probabilities, dtype=float)
+    probs = probs / probs.sum()
+    outcomes = rng.choice(len(probs), size=shots, p=probs)
+    histogram: Dict[str, int] = {}
+    for basis in outcomes:
+        bits = format(int(basis), f"0{num_bits}b")
+        histogram[bits] = histogram.get(bits, 0) + 1
+    return histogram
+
+
+def counts_to_probabilities(counts: Mapping[str, int]) -> Dict[str, float]:
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {bits: n / total for bits, n in counts.items()}
+
+
+def total_variation_distance(
+    a: Mapping[str, float], b: Mapping[str, float]
+) -> float:
+    """TVD between two outcome distributions; the integration tests use this
+    to check that transformation passes preserve program semantics."""
+    keys = set(a) | set(b)
+    return 0.5 * sum(abs(a.get(k, 0.0) - b.get(k, 0.0)) for k in keys)

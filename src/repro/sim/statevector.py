@@ -1,0 +1,215 @@
+"""Dense statevector simulator with vectorised NumPy gate kernels.
+
+Design notes (following the HPC guide's advice):
+
+* The state is one flat ``complex128`` array of length ``2**n``; gate
+  application reshapes it to a ``(2,)*n`` *view* (no copy) and contracts the
+  gate tensor over the target axes with ``np.tensordot`` -- a single BLAS-
+  backed operation instead of a Python loop over amplitudes.
+* Qubit ``q`` corresponds to bit ``q`` of the basis-state index
+  (little-endian, Qiskit convention), i.e. tensor axis ``n - 1 - q``.
+* Allocation grows the state lazily via a Kronecker product with |0>;
+  release measures the qubit away so slots can be reused -- this is what
+  lets the runtime support *on-the-fly allocation for static qubit
+  addresses* (paper, Section IV-A).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.gates import gate_matrix
+
+_ATOL = 1e-12
+
+
+class StatevectorSimulator:
+    """Exact dense simulation; memory and time grow as ``2**num_qubits``."""
+
+    def __init__(self, num_qubits: int = 0, seed: Optional[int] = None, max_qubits: int = 26):
+        if num_qubits < 0:
+            raise ValueError("num_qubits must be non-negative")
+        if num_qubits > max_qubits:
+            raise ValueError(
+                f"{num_qubits} qubits exceeds max_qubits={max_qubits} "
+                f"({8 * 2 ** (num_qubits + 1)} bytes of state)"
+            )
+        self.max_qubits = max_qubits
+        self._num_qubits = num_qubits
+        self._rng = np.random.default_rng(seed)
+        self._state = np.zeros(1 << num_qubits, dtype=np.complex128)
+        self._state[0] = 1.0
+        self._free_slots: List[int] = []
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def state(self) -> np.ndarray:
+        """The live amplitude array (a view; do not mutate)."""
+        return self._state
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self._state) ** 2
+
+    def probability_of_one(self, qubit: int) -> float:
+        self._check_qubit(qubit)
+        view = self._axis_view(qubit)
+        # view has shape (high, 2, low); slice [:, 1, :] selects bit=1.
+        return float(np.sum(np.abs(view[:, 1, :]) ** 2))
+
+    def amplitude(self, basis_state: int) -> complex:
+        return complex(self._state[basis_state])
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._state))
+
+    # -- allocation -------------------------------------------------------------
+    def allocate_qubit(self) -> int:
+        if self._free_slots:
+            return self._free_slots.pop()
+        if self._num_qubits >= self.max_qubits:
+            raise MemoryError(
+                f"cannot grow beyond max_qubits={self.max_qubits}"
+            )
+        # New qubit becomes the highest bit: state' = |0> (x) state, which for
+        # little-endian indexing is just zero-padding the upper half.
+        new = np.zeros(len(self._state) * 2, dtype=np.complex128)
+        new[: len(self._state)] = self._state
+        self._state = new
+        slot = self._num_qubits
+        self._num_qubits += 1
+        return slot
+
+    def release_qubit(self, slot: int) -> None:
+        self._check_qubit(slot)
+        self.reset(slot)
+        if slot in self._free_slots:
+            raise ValueError(f"double release of qubit slot {slot}")
+        self._free_slots.append(slot)
+
+    def ensure_qubits(self, count: int) -> None:
+        """Grow to at least ``count`` allocated slots (static addressing)."""
+        while self._num_qubits - len(self._free_slots) < count and (
+            self._free_slots or self._num_qubits < count
+        ):
+            if self._num_qubits >= count:
+                break
+            self.allocate_qubit()
+
+    # -- gate application -------------------------------------------------------
+    def _check_qubit(self, qubit: int) -> None:
+        if not 0 <= qubit < self._num_qubits:
+            raise IndexError(
+                f"qubit {qubit} out of range (have {self._num_qubits})"
+            )
+
+    def _axis_view(self, qubit: int) -> np.ndarray:
+        """View the flat state as (high, 2, low) with the target in the middle."""
+        low = 1 << qubit
+        high = len(self._state) // (2 * low)
+        return self._state.reshape(high, 2, low)
+
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a ``2**k x 2**k`` unitary to ``k`` target qubits.
+
+        ``qubits[0]`` is the *most significant* qubit of the matrix's index
+        ordering, matching how :func:`repro.sim.gates.controlled` places
+        controls in the leading position.
+        """
+        k = len(qubits)
+        if matrix.shape != (1 << k, 1 << k):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match {k} qubits"
+            )
+        for q in qubits:
+            self._check_qubit(q)
+        if len(set(qubits)) != k:
+            raise ValueError(f"duplicate target qubits: {qubits}")
+
+        n = self._num_qubits
+        if k == 1:
+            # Fast path: single-qubit gate as one reshaped matmul.
+            view = self._axis_view(qubits[0])
+            # new[h, i, l] = sum_j U[i, j] view[h, j, l]; the two slices of
+            # the target axis are combined explicitly so the update can be
+            # written back through the view without an aliasing hazard.
+            a = view[:, 0, :]
+            b = view[:, 1, :]
+            new_a = matrix[0, 0] * a + matrix[0, 1] * b
+            new_b = matrix[1, 0] * a + matrix[1, 1] * b
+            view[:, 0, :] = new_a
+            view[:, 1, :] = new_b
+            return
+
+        psi = self._state.reshape((2,) * n)
+        axes = [n - 1 - q for q in qubits]
+        tensor = matrix.reshape((2,) * (2 * k))
+        # Contract gate input indices (the trailing k axes of `tensor`)
+        # against the target axes of psi.
+        psi = np.tensordot(tensor, psi, axes=(list(range(k, 2 * k)), axes))
+        # tensordot moved the k output axes to the front; put them back.
+        psi = np.moveaxis(psi, list(range(k)), axes)
+        self._state = np.ascontiguousarray(psi).reshape(-1)
+
+    def apply_gate(
+        self, name: str, qubits: Sequence[int], params: Sequence[float] = ()
+    ) -> None:
+        self.apply_matrix(gate_matrix(name, params), list(qubits))
+
+    # -- measurement -------------------------------------------------------------
+    def measure(self, qubit: int) -> int:
+        self._check_qubit(qubit)
+        p1 = self.probability_of_one(qubit)
+        outcome = int(self._rng.random() < p1)
+        self._collapse(qubit, outcome, p1)
+        return outcome
+
+    def _collapse(self, qubit: int, outcome: int, p1: float) -> None:
+        prob = p1 if outcome else 1.0 - p1
+        if prob < _ATOL:
+            raise FloatingPointError(
+                f"collapse onto outcome {outcome} with probability ~0"
+            )
+        view = self._axis_view(qubit)
+        view[:, 1 - outcome, :] = 0.0
+        self._state *= 1.0 / math.sqrt(prob)
+
+    def postselect(self, qubit: int, outcome: int) -> float:
+        """Force a measurement outcome; returns its pre-collapse probability."""
+        p1 = self.probability_of_one(qubit)
+        self._collapse(qubit, outcome, p1)
+        return p1 if outcome else 1.0 - p1
+
+    def reset(self, qubit: int) -> None:
+        self._check_qubit(qubit)
+        p1 = self.probability_of_one(qubit)
+        if p1 > _ATOL and p1 < 1.0 - _ATOL:
+            outcome = self.measure(qubit)
+        else:
+            outcome = int(p1 >= 0.5)
+        if outcome == 1:
+            self.apply_gate("x", [qubit])
+
+    def sample(self, shots: int, qubits: Optional[Sequence[int]] = None) -> Dict[str, int]:
+        """Sample terminal measurement outcomes without collapsing.
+
+        Returns a ``bitstring -> count`` histogram; bit order in the string
+        is qubit ``n-1 .. 0`` (most significant first), matching Qiskit.
+        """
+        probs = self.probabilities()
+        total = probs.sum()
+        if not math.isclose(total, 1.0, abs_tol=1e-9):
+            probs = probs / total
+        outcomes = self._rng.choice(len(probs), size=shots, p=probs)
+        qubits = list(qubits) if qubits is not None else list(range(self._num_qubits))
+        histogram: Dict[str, int] = {}
+        for basis in outcomes:
+            bits = "".join(str((int(basis) >> q) & 1) for q in reversed(qubits))
+            histogram[bits] = histogram.get(bits, 0) + 1
+        return histogram

@@ -1,0 +1,12 @@
+"""Command-line tools mirroring the LLVM binaries the paper leans on.
+
+* ``qir-run``       (:mod:`repro.tools.qir_run`)       -- the ``lli`` analogue:
+  execute a QIR file on the bundled runtime + simulators.
+* ``qir-opt``       (:mod:`repro.tools.qir_opt`)       -- the ``opt`` analogue:
+  run pass pipelines over a QIR file and print the result.
+* ``qir-translate`` (:mod:`repro.tools.qir_translate`) -- convert between
+  OpenQASM 2 / OpenQASM 3 (subset) / QIR.
+
+Each module is runnable via ``python -m repro.tools.<name>`` and exposed
+as a console script by the package metadata.
+"""

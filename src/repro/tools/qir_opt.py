@@ -1,0 +1,157 @@
+"""qir-opt: run pass pipelines over a QIR file (the ``opt`` analogue).
+
+Examples::
+
+    qir-opt program.ll -p mem2reg,constprop,dce
+    qir-opt program.ll --pipeline unroll          # Example 4's recipe
+    qir-opt program.ll --pipeline lower-static    # dynamic -> static (Sec. IV-A)
+    qir-opt program.ll --validate base_profile
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.llvmir import parse_assembly, print_module, verify_module
+from repro.passes import (
+    ConstantFoldPass,
+    ConstantPropagationPass,
+    DeadCodeEliminationPass,
+    InlinePass,
+    LoopUnrollPass,
+    Mem2RegPass,
+    PassManager,
+    SimplifyCFGPass,
+    default_pipeline,
+    o1_pipeline,
+    unroll_pipeline,
+)
+from repro.passes.quantum import (
+    DynamicAddressRaisingPass,
+    GateCancellationPass,
+    QubitCountInferencePass,
+    RotationMergingPass,
+    StaticAddressLoweringPass,
+)
+from repro.passes.quantum.address_lowering import lowering_pipeline
+from repro.qir import profile_by_name, validate_profile
+
+PASS_REGISTRY: Dict[str, Callable[[], object]] = {
+    "mem2reg": Mem2RegPass,
+    "constant-fold": ConstantFoldPass,
+    "constprop": ConstantPropagationPass,
+    "dce": DeadCodeEliminationPass,
+    "simplify-cfg": SimplifyCFGPass,
+    "loop-unroll": LoopUnrollPass,
+    "inline": InlinePass,
+    "gate-cancellation": GateCancellationPass,
+    "rotation-merging": RotationMergingPass,
+    "qubit-count-inference": QubitCountInferencePass,
+    "static-address-lowering": StaticAddressLoweringPass,
+    "dynamic-address-raising": DynamicAddressRaisingPass,
+}
+
+PIPELINES: Dict[str, Callable[[], PassManager]] = {
+    "o1": o1_pipeline,
+    "unroll": unroll_pipeline,
+    "default": default_pipeline,
+    "lower-static": lowering_pipeline,
+    "lower-static-reuse": lambda: lowering_pipeline(reuse_released=True),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qir-opt", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("input", help="QIR (.ll) file, or '-' for stdin")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output file (default stdout)")
+    parser.add_argument("-p", "--passes", default=None,
+                        help=f"comma-separated pass list; available: "
+                             f"{', '.join(sorted(PASS_REGISTRY))}")
+    parser.add_argument("--pipeline", choices=sorted(PIPELINES), default=None)
+    parser.add_argument("--validate", default=None, metavar="PROFILE",
+                        help="after transforming, validate against a profile "
+                             "(base_profile / adaptive_profile / full)")
+    parser.add_argument("--verify-each", action="store_true",
+                        help="verify the module between passes")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-pass changed flags to stderr")
+    return parser
+
+
+def _read_input(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.passes and args.pipeline:
+        print("qir-opt: error: choose either --passes or --pipeline",
+              file=sys.stderr)
+        return 1
+
+    try:
+        module = parse_assembly(_read_input(args.input))
+        verify_module(module)
+    except (OSError, ValueError) as error:
+        print(f"qir-opt: error: {error}", file=sys.stderr)
+        return 1
+
+    if args.pipeline:
+        manager = PIPELINES[args.pipeline]()
+        manager.verify_each = args.verify_each
+    elif args.passes:
+        passes = []
+        for name in args.passes.split(","):
+            name = name.strip()
+            factory = PASS_REGISTRY.get(name)
+            if factory is None:
+                print(f"qir-opt: error: unknown pass {name!r}", file=sys.stderr)
+                return 1
+            passes.append(factory())
+        manager = PassManager(passes, verify_each=args.verify_each)
+    else:
+        manager = PassManager([], verify_each=False)
+
+    try:
+        result = manager.run(module)
+        verify_module(module)
+    except ValueError as error:
+        print(f"qir-opt: transform error: {error}", file=sys.stderr)
+        return 2
+
+    if args.stats:
+        for pass_name, changed in result.per_pass.items():
+            print(f"{pass_name}: {'changed' if changed else 'no change'}",
+                  file=sys.stderr)
+
+    if args.validate:
+        try:
+            profile = profile_by_name(args.validate)
+        except KeyError as error:
+            print(f"qir-opt: error: {error}", file=sys.stderr)
+            return 1
+        violations = validate_profile(module, profile)
+        for violation in violations:
+            print(f"qir-opt: {violation}", file=sys.stderr)
+        if violations:
+            return 3
+
+    text = print_module(module)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

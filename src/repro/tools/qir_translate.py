@@ -1,0 +1,113 @@
+"""qir-translate: convert between OpenQASM 2 / OpenQASM 3 (subset) / QIR.
+
+The format bridge of the paper's Section II/III adoption story.
+
+Examples::
+
+    qir-translate bell.qasm --to qir                     # QASM2 -> QIR
+    qir-translate bell.ll --to qasm2                     # QIR   -> QASM2
+    qir-translate prog.qasm3 --from qasm3 --to qir --addressing dynamic
+    qir-translate bell.ll --to qir --addressing dynamic  # re-address QIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.circuit import Circuit
+from repro.frontend import export_circuit_text, import_circuit
+from repro.llvmir import parse_assembly
+from repro.qasm import circuit_to_qasm2, circuit_to_qasm3, parse_qasm2, parse_qasm3
+
+FORMATS = ("qasm2", "qasm3", "qir")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qir-translate", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("input", help="input file, or '-' for stdin")
+    parser.add_argument("--from", dest="source_format", choices=FORMATS,
+                        default=None,
+                        help="input format (default: inferred from content)")
+    parser.add_argument("--to", dest="target_format",
+                        choices=("qasm2", "qasm3", "qir"), required=True,
+                        help="output format")
+    parser.add_argument("--addressing", choices=["static", "dynamic"],
+                        default="static", help="qubit addressing for QIR output")
+    parser.add_argument("--no-record-output", action="store_true",
+                        help="omit the output-recording epilogue in QIR output")
+    parser.add_argument("-o", "--output", default=None)
+    return parser
+
+
+def _read_input(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _infer_format(text: str) -> str:
+    stripped = text.lstrip()
+    if stripped.startswith("OPENQASM 3"):
+        return "qasm3"
+    if stripped.startswith("OPENQASM"):
+        return "qasm2"
+    return "qir"
+
+
+def _to_circuit(text: str, source_format: str) -> Circuit:
+    if source_format == "qasm2":
+        return parse_qasm2(text)
+    if source_format == "qasm3":
+        return parse_qasm3(text)
+    return import_circuit(parse_assembly(text))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        text = _read_input(args.input)
+    except OSError as error:
+        print(f"qir-translate: error: {error}", file=sys.stderr)
+        return 1
+
+    source_format = args.source_format or _infer_format(text)
+    try:
+        circuit = _to_circuit(text, source_format)
+    except ValueError as error:
+        print(
+            f"qir-translate: cannot read {source_format} input: {error}",
+            file=sys.stderr,
+        )
+        return 1
+
+    try:
+        if args.target_format == "qasm2":
+            out = circuit_to_qasm2(circuit)
+        elif args.target_format == "qasm3":
+            out = circuit_to_qasm3(circuit)
+        else:
+            out = export_circuit_text(
+                circuit,
+                addressing=args.addressing,
+                record_output=not args.no_record_output,
+            )
+    except ValueError as error:
+        print(f"qir-translate: cannot emit {args.target_format}: {error}",
+              file=sys.stderr)
+        return 2
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(out)
+    else:
+        print(out, end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Workload generators used by the examples, tests, and benchmarks."""
+
+from repro.workloads.circuits import (
+    bell_circuit,
+    ghz_circuit,
+    grover_circuit,
+    qft_circuit,
+    random_circuit,
+    trotter_ising_circuit,
+)
+from repro.workloads.qir_programs import (
+    bell_qir,
+    counted_loop_qir,
+    ghz_qir,
+    qft_qir,
+    random_qir,
+    vqe_ansatz_qir,
+)
+from repro.workloads.qec import repetition_code_qir, teleportation_qir
+
+__all__ = [
+    "bell_circuit",
+    "ghz_circuit",
+    "grover_circuit",
+    "qft_circuit",
+    "random_circuit",
+    "trotter_ising_circuit",
+    "bell_qir",
+    "counted_loop_qir",
+    "ghz_qir",
+    "qft_qir",
+    "random_qir",
+    "vqe_ansatz_qir",
+    "repetition_code_qir",
+    "teleportation_qir",
+]

@@ -1,0 +1,213 @@
+"""Standard circuit workloads in the custom circuit IR."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+
+
+def bell_circuit(measure: bool = True) -> Circuit:
+    """The paper's running example (Fig. 1): a Bell pair."""
+    circuit = Circuit("bell")
+    circuit.qreg(2, "q")
+    if measure:
+        circuit.creg(2, "c")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def ghz_circuit(num_qubits: int, measure: bool = True) -> Circuit:
+    """GHZ chain: H then a CNOT ladder -- all-Clifford, arbitrarily wide."""
+    if num_qubits < 1:
+        raise ValueError("GHZ needs at least one qubit")
+    circuit = Circuit(f"ghz{num_qubits}")
+    circuit.qreg(num_qubits, "q")
+    if measure:
+        circuit.creg(num_qubits, "c")
+    circuit.h(0)
+    for i in range(num_qubits - 1):
+        circuit.cx(i, i + 1)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def qft_circuit(num_qubits: int, measure: bool = False) -> Circuit:
+    """Textbook quantum Fourier transform (H + controlled phases + swaps)."""
+    if num_qubits < 1:
+        raise ValueError("QFT needs at least one qubit")
+    circuit = Circuit(f"qft{num_qubits}")
+    circuit.qreg(num_qubits, "q")
+    if measure:
+        circuit.creg(num_qubits, "c")
+    # Little-endian convention (qubit 0 = LSB of the basis index):
+    # process from the most significant qubit down, then reverse the order,
+    # so that QFT|k> = (1/sqrt(N)) sum_j exp(2*pi*i*j*k/N) |j>.
+    for i in reversed(range(num_qubits)):
+        circuit.h(i)
+        for j in range(i):
+            circuit.cp(math.pi / (1 << (i - j)), j, i)
+    for i in range(num_qubits // 2):
+        circuit.swap(i, num_qubits - 1 - i)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def grover_circuit(num_qubits: int, marked: int, iterations: Optional[int] = None) -> Circuit:
+    """Grover search for one marked basis state over ``num_qubits`` qubits.
+
+    Oracle and diffuser are built from multi-controlled phase flips
+    (decomposed via H + multi-controlled X using ccx chains with ancillas
+    for width > 2, or directly for small widths).
+    """
+    if not 0 <= marked < (1 << num_qubits):
+        raise ValueError("marked state out of range")
+    if num_qubits < 2:
+        raise ValueError("Grover needs at least 2 qubits")
+    n_anc = max(0, num_qubits - 2)
+    circuit = Circuit(f"grover{num_qubits}")
+    q = circuit.qreg(num_qubits, "q")
+    anc = circuit.qreg(n_anc, "anc") if n_anc else None
+    circuit.creg(num_qubits, "c")
+
+    if iterations is None:
+        iterations = max(1, int(round(math.pi / 4 * math.sqrt(2**num_qubits))))
+
+    def mcz() -> None:
+        """Multi-controlled Z over all search qubits."""
+        if num_qubits == 2:
+            circuit.cz(q[0], q[1])
+            return
+        # Z on last qubit controlled on the rest: H t; MCX; H t.
+        target = q[num_qubits - 1]
+        circuit.h(target)
+        _mcx(circuit, [q[i] for i in range(num_qubits - 1)], target, anc)
+        circuit.h(target)
+
+    def oracle() -> None:
+        for i in range(num_qubits):
+            if not (marked >> i) & 1:
+                circuit.x(q[i])
+        mcz()
+        for i in range(num_qubits):
+            if not (marked >> i) & 1:
+                circuit.x(q[i])
+
+    def diffuser() -> None:
+        for i in range(num_qubits):
+            circuit.h(q[i])
+            circuit.x(q[i])
+        mcz()
+        for i in range(num_qubits):
+            circuit.x(q[i])
+            circuit.h(q[i])
+
+    for i in range(num_qubits):
+        circuit.h(q[i])
+    for _ in range(iterations):
+        oracle()
+        diffuser()
+    for i in range(num_qubits):
+        circuit.measure(q[i], i)
+    return circuit
+
+
+def _mcx(circuit: Circuit, controls, target, anc) -> None:
+    """Multi-controlled X via a ccx ladder over ancilla qubits."""
+    k = len(controls)
+    if k == 1:
+        circuit.cx(controls[0], target)
+        return
+    if k == 2:
+        circuit.ccx(controls[0], controls[1], target)
+        return
+    assert anc is not None and len(anc) >= k - 2
+    circuit.ccx(controls[0], controls[1], anc[0])
+    for i in range(2, k - 1):
+        circuit.ccx(controls[i], anc[i - 2], anc[i - 1])
+    circuit.ccx(controls[k - 1], anc[k - 3], target)
+    for i in range(k - 2, 1, -1):
+        circuit.ccx(controls[i], anc[i - 2], anc[i - 1])
+    circuit.ccx(controls[0], controls[1], anc[0])
+
+
+_CLIFFORD_1Q = ["h", "x", "y", "z", "s", "s_adj"]
+_NONCLIFFORD_1Q = ["t", "t_adj", "rx", "ry", "rz"]
+_TWO_Q = ["cnot", "cz", "swap"]
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: Optional[int] = None,
+    clifford_only: bool = False,
+    measure: bool = True,
+    two_qubit_fraction: float = 0.3,
+) -> Circuit:
+    """Layered random circuit: each layer fills qubits with random 1q/2q gates."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(f"random{num_qubits}x{depth}")
+    circuit.qreg(num_qubits, "q")
+    if measure:
+        circuit.creg(num_qubits, "c")
+    one_q = _CLIFFORD_1Q if clifford_only else _CLIFFORD_1Q + _NONCLIFFORD_1Q
+    for _ in range(depth):
+        free = list(range(num_qubits))
+        rng.shuffle(free)
+        while free:
+            if len(free) >= 2 and rng.random() < two_qubit_fraction:
+                a, b = free.pop(), free.pop()
+                circuit.gate(str(rng.choice(_TWO_Q)), [a, b])
+            else:
+                qubit = free.pop()
+                gate = str(rng.choice(one_q))
+                if gate in ("rx", "ry", "rz"):
+                    circuit.gate(gate, [qubit], [float(rng.uniform(0, 2 * math.pi))])
+                else:
+                    circuit.gate(gate, [qubit])
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def trotter_ising_circuit(
+    num_qubits: int,
+    steps: int,
+    dt: float = 0.1,
+    coupling: float = 1.0,
+    field: float = 1.0,
+    measure: bool = True,
+) -> Circuit:
+    """First-order Trotterisation of transverse-field Ising dynamics.
+
+    H = -J sum_i Z_i Z_{i+1} - h sum_i X_i, evolved for time ``steps*dt``
+    via alternating ``rzz``/``rx`` layers.  Consecutive steps produce
+    adjacent same-axis rotations at the layer boundary, which is what
+    makes this the natural rotation-merging workload.
+    """
+    if num_qubits < 2:
+        raise ValueError("Ising chain needs at least two qubits")
+    if steps < 1:
+        raise ValueError("need at least one Trotter step")
+    circuit = Circuit(f"ising{num_qubits}x{steps}")
+    circuit.qreg(num_qubits, "q")
+    if measure:
+        circuit.creg(num_qubits, "c")
+    for _ in range(steps):
+        if coupling != 0.0:
+            for i in range(num_qubits - 1):
+                circuit.gate("rzz", [i, i + 1], [-2.0 * coupling * dt])
+        if field != 0.0:
+            for i in range(num_qubits):
+                circuit.rx(-2.0 * field * dt, i)
+    if measure:
+        circuit.measure_all()
+    return circuit

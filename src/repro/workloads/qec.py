@@ -1,0 +1,180 @@
+"""Feedback-heavy workloads: QEC repetition code and teleportation.
+
+These are the programs Section IV-B is about: mid-circuit measurement,
+classical decoding, and conditional correction *while qubits wait*.  The
+``classical_work`` knob inserts a chain of integer operations between
+readout and correction -- the decoder-cost stand-in the HYB benchmark
+sweeps to find the feasibility crossover.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.llvmir.types import i1, i64
+from repro.llvmir.values import ConstantInt
+from repro.qir.builder import SimpleModule
+from repro.qir.profiles import AdaptiveProfile
+
+
+def repetition_code_qir(
+    distance: int = 3,
+    inject_error: Optional[int] = None,
+    classical_work: int = 0,
+    logical_one: bool = False,
+    idle_rounds: int = 0,
+    rounds: int = 1,
+) -> str:
+    """``rounds`` rounds of the distance-``distance`` bit-flip repetition code.
+
+    Layout: data qubits ``0..d-1``, syndrome ancillas ``d..2d-2`` (reset
+    and reused between rounds, the realistic QEC cadence).  Results:
+    round r's syndromes occupy ``r*(d-1)..(r+1)*(d-1)-1``; the final data
+    readout takes the last ``d`` result slots.  A single injected X error
+    (before round 0) is decoded and corrected through adaptive feedback;
+    the decoded data measurement must therefore always equal the encoded
+    logical value.
+
+    ``idle_rounds`` inserts that many identity gates on each data qubit
+    before every syndrome-extraction round -- noise-attracting "memory
+    time" for the code-capacity noise experiments (the NOISE benchmark
+    runs this under :class:`repro.sim.NoiseModel`).
+    """
+    if distance < 2:
+        raise ValueError("distance must be >= 2")
+    if inject_error is not None and not 0 <= inject_error < distance:
+        raise ValueError("inject_error must name a data qubit")
+    if classical_work < 0:
+        raise ValueError("classical_work must be non-negative")
+    if rounds < 1:
+        raise ValueError("need at least one round")
+
+    d = distance
+    num_qubits = 2 * d - 1
+    num_results = rounds * (d - 1) + d
+    sm = SimpleModule(
+        f"repetition_d{d}",
+        num_qubits,
+        num_results,
+        addressing="static",
+        profile=AdaptiveProfile,
+    )
+    qis = sm.qis
+    builder = sm.builder
+
+    # Encode: |0...0> or |1...1>.
+    if logical_one:
+        qis.x(0)
+        for i in range(1, d):
+            qis.cnot(0, i)
+    # Optional single X error.
+    if inject_error is not None:
+        qis.x(inject_error)
+
+    fn = sm.entry_point
+    for round_index in range(rounds):
+        base = round_index * (d - 1)
+
+        # Idle exposure: identity gates that attract memory noise.
+        for _ in range(idle_rounds):
+            for i in range(d):
+                qis.gate("i", [i])
+
+        # Syndrome extraction: ancilla i compares data i and i+1.  Ancillas
+        # are reset before reuse in later rounds.
+        for i in range(d - 1):
+            ancilla = d + i
+            if round_index:
+                qis.reset(ancilla)
+            qis.cnot(i, ancilla)
+            qis.cnot(i + 1, ancilla)
+            qis.mz(ancilla, base + i)
+
+        # Read this round's syndromes.
+        syndromes = [qis.read_result(base + i) for i in range(d - 1)]
+
+        # Classical decoder "work": a dependent chain of integer ops between
+        # readout and correction (models decoder latency; semantically inert).
+        guard = None
+        if classical_work:
+            acc = builder.zext(syndromes[0], i64)
+            for _ in range(classical_work):
+                acc = builder.add(acc, ConstantInt(i64, 1))
+            # always-true predicate that *depends* on the chain
+            guard = builder.icmp("sge", acc, ConstantInt(i64, 0))
+
+        # Decode single-error syndromes: error on data qubit i iff the
+        # adjacent syndromes fire appropriately.
+        corrections = []
+        for i in range(d):
+            left = syndromes[i - 1] if i > 0 else None
+            right = syndromes[i] if i < d - 1 else None
+            if left is None:
+                assert right is not None
+                if d == 2:
+                    cond = right
+                else:
+                    cond = builder.and_(
+                        right, builder.xor(syndromes[1], ConstantInt(i1, 1))
+                    )
+            elif right is None:
+                if d == 2:
+                    # covered by the i == 0 arm (one syndrome, fix qubit 0)
+                    continue
+                cond = builder.and_(
+                    left, builder.xor(syndromes[d - 3], ConstantInt(i1, 1))
+                ) if d > 2 else left
+            else:
+                cond = builder.and_(left, right)
+            if guard is not None:
+                cond = builder.and_(cond, guard)
+            corrections.append((cond, i))
+
+        for cond, qubit in corrections:
+            then_block = fn.create_block()
+            cont_block = fn.create_block()
+            builder.cbr(cond, then_block, cont_block)
+            builder.position_at_end(then_block)
+            qis.x(qubit)
+            builder.br(cont_block)
+            builder.position_at_end(cont_block)
+
+    # Final data readout.
+    for i in range(d):
+        qis.mz(i, rounds * (d - 1) + i)
+    sm.record_output()
+    return sm.ir()
+
+
+def teleportation_qir(state_angle: float = 0.0) -> str:
+    """Quantum teleportation of ``ry(state_angle)|0>`` from qubit 0 to 2.
+
+    The canonical adaptive-profile program: two mid-circuit measurements
+    drive X and Z corrections on the receiving qubit.  Results: 0 and 1
+    are the Bell measurements, 2 verifies the teleported state (measuring
+    in the basis where it is deterministic when ``state_angle`` is 0).
+    """
+    sm = SimpleModule(
+        "teleport", 3, 3, addressing="static", profile=AdaptiveProfile
+    )
+    qis = sm.qis
+    # Prepare the payload on qubit 0.
+    if state_angle:
+        qis.ry(state_angle, 0)
+    # Bell pair between 1 (Alice) and 2 (Bob).
+    qis.h(1)
+    qis.cnot(1, 2)
+    # Bell measurement of payload + Alice half.
+    qis.cnot(0, 1)
+    qis.h(0)
+    qis.mz(0, 0)
+    qis.mz(1, 1)
+    # Bob's corrections.
+    qis.if_result(1, one=lambda: qis.x(2))
+    qis.if_result(0, one=lambda: qis.z(2))
+    # Verification measurement (undo the preparation first).
+    if state_angle:
+        qis.ry(-state_angle, 2)
+    qis.mz(2, 2)
+    sm.record_output()
+    return sm.ir()

@@ -1,0 +1,107 @@
+"""Unit tests for CFG construction and traversal orders."""
+
+from repro.analysis.cfg import cfg_graph, postorder, reachable_blocks, reverse_postorder
+from repro.llvmir import parse_assembly
+
+DIAMOND = """
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  ret void
+}
+"""
+
+WITH_DEAD = """
+define void @f() {
+entry:
+  ret void
+dead:
+  br label %dead2
+dead2:
+  ret void
+}
+"""
+
+LOOP = """
+define void @f() {
+entry:
+  br label %h
+h:
+  %p = phi i32 [ 0, %entry ], [ %n, %body ]
+  %c = icmp slt i32 %p, 5
+  br i1 %c, label %body, label %exit
+body:
+  %n = add i32 %p, 1
+  br label %h
+exit:
+  ret void
+}
+"""
+
+
+def blocks_by_name(fn):
+    return {b.name: b for b in fn.blocks}
+
+
+class TestCfgGraph:
+    def test_diamond_edges(self):
+        fn = parse_assembly(DIAMOND).get_function("f")
+        g = cfg_graph(fn)
+        names = blocks_by_name(fn)
+        assert g.has_edge(names["entry"], names["a"])
+        assert g.has_edge(names["entry"], names["b"])
+        assert g.has_edge(names["a"], names["join"])
+        assert g.number_of_edges() == 4
+
+    def test_loop_back_edge(self):
+        fn = parse_assembly(LOOP).get_function("f")
+        g = cfg_graph(fn)
+        names = blocks_by_name(fn)
+        assert g.has_edge(names["body"], names["h"])
+
+
+class TestReachability:
+    def test_dead_blocks_excluded(self):
+        fn = parse_assembly(WITH_DEAD).get_function("f")
+        live = reachable_blocks(fn)
+        assert {b.name for b in live} == {"entry"}
+
+    def test_all_reachable_in_diamond(self):
+        fn = parse_assembly(DIAMOND).get_function("f")
+        assert len(reachable_blocks(fn)) == 4
+
+
+class TestOrders:
+    def test_postorder_ends_with_entry(self):
+        fn = parse_assembly(DIAMOND).get_function("f")
+        order = postorder(fn)
+        assert order[-1].name == "entry"
+        assert order[0].name == "join"
+
+    def test_rpo_starts_with_entry(self):
+        fn = parse_assembly(DIAMOND).get_function("f")
+        order = reverse_postorder(fn)
+        assert order[0].name == "entry"
+        assert len(order) == 4
+
+    def test_rpo_visits_preds_before_succs_in_dag(self):
+        fn = parse_assembly(DIAMOND).get_function("f")
+        order = reverse_postorder(fn)
+        position = {b: i for i, b in enumerate(order)}
+        names = blocks_by_name(fn)
+        assert position[names["entry"]] < position[names["a"]]
+        assert position[names["a"]] < position[names["join"]]
+        assert position[names["b"]] < position[names["join"]]
+
+    def test_unreachable_blocks_not_in_postorder(self):
+        fn = parse_assembly(WITH_DEAD).get_function("f")
+        assert len(postorder(fn)) == 1
+
+    def test_loop_postorder_contains_all_live(self):
+        fn = parse_assembly(LOOP).get_function("f")
+        assert {b.name for b in postorder(fn)} == {"entry", "h", "body", "exit"}

@@ -1,0 +1,110 @@
+"""Unit tests for the dataflow utilities (liveness, opcode counts)."""
+
+from repro.analysis.dataflow import (
+    compute_liveness,
+    count_opcodes,
+    quantum_call_sites,
+    uses_outside_block,
+)
+from repro.llvmir import parse_assembly
+
+SRC = """
+define i32 @f(i1 %c) {
+entry:
+  %x = add i32 1, 2
+  br i1 %c, label %a, label %b
+a:
+  %y = add i32 %x, 10
+  br label %join
+b:
+  br label %join
+join:
+  %r = phi i32 [ %y, %a ], [ %x, %b ]
+  ret i32 %r
+}
+"""
+
+QUANTUM = """
+define void @main() {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__rt__array_record_output(i64 0, ptr null)
+  call void @plain_helper()
+  ret void
+}
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__rt__array_record_output(i64, ptr)
+declare void @plain_helper()
+"""
+
+
+class TestCounts:
+    def test_count_opcodes(self):
+        fn = parse_assembly(SRC).get_function("f")
+        counts = count_opcodes(fn)
+        assert counts["add"] == 2
+        assert counts["phi"] == 1
+        assert counts["br"] == 3
+        assert counts["ret"] == 1
+
+    def test_quantum_call_sites(self):
+        fn = parse_assembly(QUANTUM).get_function("main")
+        sites = quantum_call_sites(fn)
+        assert len(sites) == 2
+        assert all(s.callee.name.startswith("__quantum__") for s in sites)
+
+
+class TestUsesOutsideBlock:
+    def test_detects_cross_block_use(self):
+        fn = parse_assembly(SRC).get_function("f")
+        entry = fn.blocks[0]
+        x = entry.instructions[0]
+        assert uses_outside_block(x)
+
+    def test_local_use_only(self):
+        fn = parse_assembly(
+            """
+            define i32 @f() {
+            entry:
+              %x = add i32 1, 2
+              %y = add i32 %x, 3
+              ret i32 %y
+            }
+            """
+        ).get_function("f")
+        x = fn.entry_block.instructions[0]
+        assert not uses_outside_block(x)
+
+
+class TestLiveness:
+    def test_value_live_across_branch(self):
+        fn = parse_assembly(SRC).get_function("f")
+        names = {b.name: b for b in fn.blocks}
+        live_in, live_out = compute_liveness(fn)
+        x = names["entry"].instructions[0]
+        # %x feeds the phi via both arms: live out of entry and into a/b.
+        assert x in live_out[names["entry"]]
+        assert x in live_in[names["a"]]
+        # %x is a phi operand for the b edge: live out of b.
+        assert x in live_out[names["b"]]
+
+    def test_phi_result_not_live_in_entry(self):
+        fn = parse_assembly(SRC).get_function("f")
+        names = {b.name: b for b in fn.blocks}
+        live_in, _ = compute_liveness(fn)
+        phi = names["join"].instructions[0]
+        assert phi not in live_in[names["entry"]]
+
+    def test_argument_liveness(self):
+        fn = parse_assembly(SRC).get_function("f")
+        names = {b.name: b for b in fn.blocks}
+        live_in, _ = compute_liveness(fn)
+        c = fn.arguments[0]
+        assert c in live_in[names["entry"]]
+
+    def test_straight_line_no_live_out(self):
+        fn = parse_assembly(
+            "define void @f() {\nentry:\n  ret void\n}"
+        ).get_function("f")
+        live_in, live_out = compute_liveness(fn)
+        assert live_out[fn.entry_block] == set()

@@ -1,0 +1,132 @@
+"""Unit tests for the dominator tree and dominance frontiers."""
+
+from repro.analysis.dominators import DominatorTree
+from repro.llvmir import parse_assembly
+
+DIAMOND = """
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  ret void
+}
+"""
+
+NESTED = """
+define void @f(i1 %c, i1 %d) {
+entry:
+  br i1 %c, label %outer_then, label %merge
+outer_then:
+  br i1 %d, label %inner_then, label %inner_merge
+inner_then:
+  br label %inner_merge
+inner_merge:
+  br label %merge
+merge:
+  ret void
+}
+"""
+
+LOOP = """
+define void @f() {
+entry:
+  br label %h
+h:
+  %p = phi i32 [ 0, %entry ], [ %n, %b ]
+  %c = icmp slt i32 %p, 5
+  br i1 %c, label %b, label %e
+b:
+  %n = add i32 %p, 1
+  br label %h
+e:
+  ret void
+}
+"""
+
+
+def tree_for(src):
+    fn = parse_assembly(src).get_function("f")
+    return fn, DominatorTree(fn), {b.name: b for b in fn.blocks}
+
+
+class TestImmediateDominators:
+    def test_entry_has_no_idom(self):
+        fn, tree, names = tree_for(DIAMOND)
+        assert tree.immediate_dominator(names["entry"]) is None
+
+    def test_join_dominated_by_entry(self):
+        fn, tree, names = tree_for(DIAMOND)
+        assert tree.immediate_dominator(names["join"]) is names["entry"]
+
+    def test_branch_arms_dominated_by_entry(self):
+        fn, tree, names = tree_for(DIAMOND)
+        assert tree.immediate_dominator(names["a"]) is names["entry"]
+        assert tree.immediate_dominator(names["b"]) is names["entry"]
+
+    def test_children(self):
+        fn, tree, names = tree_for(DIAMOND)
+        kids = {b.name for b in tree.children(names["entry"])}
+        assert kids == {"a", "b", "join"}
+
+
+class TestDominates:
+    def test_reflexive(self):
+        fn, tree, names = tree_for(DIAMOND)
+        assert tree.dominates(names["a"], names["a"])
+        assert not tree.strictly_dominates(names["a"], names["a"])
+
+    def test_entry_dominates_everything(self):
+        fn, tree, names = tree_for(NESTED)
+        for block in fn.blocks:
+            assert tree.dominates(names["entry"], block)
+
+    def test_arm_does_not_dominate_join(self):
+        fn, tree, names = tree_for(DIAMOND)
+        assert not tree.dominates(names["a"], names["join"])
+
+    def test_loop_header_dominates_body_and_exit(self):
+        fn, tree, names = tree_for(LOOP)
+        assert tree.dominates(names["h"], names["b"])
+        assert tree.dominates(names["h"], names["e"])
+        assert not tree.dominates(names["b"], names["h"])
+
+
+class TestFrontiers:
+    def test_diamond_frontier_is_join(self):
+        fn, tree, names = tree_for(DIAMOND)
+        assert tree.dominance_frontier(names["a"]) == {names["join"]}
+        assert tree.dominance_frontier(names["b"]) == {names["join"]}
+        assert tree.dominance_frontier(names["entry"]) == set()
+
+    def test_loop_frontier_contains_header(self):
+        fn, tree, names = tree_for(LOOP)
+        assert names["h"] in tree.dominance_frontier(names["b"])
+        # the header's own frontier includes itself (it doesn't strictly
+        # dominate itself, but dominates its predecessor `b`)
+        assert names["h"] in tree.dominance_frontier(names["h"])
+
+
+class TestInstructionDominance:
+    def test_same_block_order(self):
+        fn, tree, names = tree_for(LOOP)
+        h = names["h"]
+        phi, icmp = h.instructions[0], h.instructions[1]
+        assert tree.dominates_instruction(phi, icmp)
+        assert not tree.dominates_instruction(icmp, phi)
+
+    def test_cross_block(self):
+        fn, tree, names = tree_for(LOOP)
+        phi = names["h"].instructions[0]
+        add = names["b"].instructions[0]
+        assert tree.dominates_instruction(phi, add)
+        assert not tree.dominates_instruction(add, phi)
+
+    def test_dfs_preorder_starts_at_entry(self):
+        fn, tree, names = tree_for(NESTED)
+        order = tree.dfs_preorder()
+        assert order[0] is names["entry"]
+        assert len(order) == len(fn.blocks)

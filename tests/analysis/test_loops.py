@@ -1,0 +1,132 @@
+"""Unit tests for natural-loop detection."""
+
+from repro.analysis.loops import find_natural_loops
+from repro.llvmir import parse_assembly
+
+SIMPLE_LOOP = """
+define void @f() {
+entry:
+  br label %h
+h:
+  %p = phi i32 [ 0, %entry ], [ %n, %b ]
+  %c = icmp slt i32 %p, 5
+  br i1 %c, label %b, label %e
+b:
+  %n = add i32 %p, 1
+  br label %h
+e:
+  ret void
+}
+"""
+
+NESTED_LOOPS = """
+define void @f() {
+entry:
+  br label %oh
+oh:
+  %i = phi i32 [ 0, %entry ], [ %i2, %olatch ]
+  %oc = icmp slt i32 %i, 3
+  br i1 %oc, label %ih, label %exit
+ih:
+  %j = phi i32 [ 0, %oh ], [ %j2, %ibody ]
+  %ic = icmp slt i32 %j, 4
+  br i1 %ic, label %ibody, label %olatch
+ibody:
+  %j2 = add i32 %j, 1
+  br label %ih
+olatch:
+  %i2 = add i32 %i, 1
+  br label %oh
+exit:
+  ret void
+}
+"""
+
+NO_LOOP = """
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  ret void
+}
+"""
+
+
+def loops_for(src):
+    fn = parse_assembly(src).get_function("f")
+    return fn, find_natural_loops(fn)
+
+
+class TestSimpleLoop:
+    def test_one_loop_found(self):
+        fn, info = loops_for(SIMPLE_LOOP)
+        assert len(info) == 1
+
+    def test_header_and_latch(self):
+        fn, info = loops_for(SIMPLE_LOOP)
+        loop = info.all_loops[0]
+        assert loop.header.name == "h"
+        assert [l.name for l in loop.latches] == ["b"]
+
+    def test_blocks(self):
+        fn, info = loops_for(SIMPLE_LOOP)
+        loop = info.all_loops[0]
+        assert {b.name for b in loop.blocks} == {"h", "b"}
+
+    def test_exits(self):
+        fn, info = loops_for(SIMPLE_LOOP)
+        loop = info.all_loops[0]
+        assert [b.name for b in loop.exit_blocks()] == ["e"]
+        assert [b.name for b in loop.exiting_blocks()] == ["h"]
+
+    def test_preheader(self):
+        fn, info = loops_for(SIMPLE_LOOP)
+        loop = info.all_loops[0]
+        assert loop.preheader().name == "entry"
+
+    def test_loop_for_lookup(self):
+        fn, info = loops_for(SIMPLE_LOOP)
+        names = {b.name: b for b in fn.blocks}
+        assert info.loop_for(names["b"]) is info.all_loops[0]
+        assert info.loop_for(names["e"]) is None
+
+
+class TestNestedLoops:
+    def test_two_loops(self):
+        fn, info = loops_for(NESTED_LOOPS)
+        assert len(info) == 2
+
+    def test_nesting_relationship(self):
+        fn, info = loops_for(NESTED_LOOPS)
+        inner = next(l for l in info if l.header.name == "ih")
+        outer = next(l for l in info if l.header.name == "oh")
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert inner.depth == 2 and outer.depth == 1
+
+    def test_innermost_lookup(self):
+        fn, info = loops_for(NESTED_LOOPS)
+        names = {b.name: b for b in fn.blocks}
+        assert info.loop_for(names["ibody"]).header.name == "ih"
+        assert info.loop_for(names["olatch"]).header.name == "oh"
+
+    def test_top_level(self):
+        fn, info = loops_for(NESTED_LOOPS)
+        assert [l.header.name for l in info.top_level] == ["oh"]
+
+
+class TestNoLoop:
+    def test_acyclic_cfg_has_no_loops(self):
+        fn, info = loops_for(NO_LOOP)
+        assert len(info) == 0
+
+    def test_empty_function(self):
+        from repro.llvmir.module import Module
+        from repro.llvmir.types import FunctionType, void
+
+        fn = Module().define_function("g", FunctionType(void, []))
+        assert len(find_natural_loops(fn)) == 0

@@ -1,0 +1,237 @@
+"""Unit tests for the custom circuit IR."""
+
+import math
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    ClassicalRegister,
+    ConditionalOperation,
+    GateOperation,
+    Measurement,
+    QuantumRegister,
+    Reset,
+)
+
+
+class TestRegisters:
+    def test_indexing(self):
+        qr = QuantumRegister("q", 3)
+        assert qr[2].index == 2
+        with pytest.raises(IndexError):
+            qr[3]
+
+    def test_iteration(self):
+        qr = QuantumRegister("q", 2)
+        assert [q.index for q in qr] == [0, 1]
+
+    def test_equality(self):
+        assert QuantumRegister("q", 2) == QuantumRegister("q", 2)
+        assert QuantumRegister("q", 2) != QuantumRegister("q", 3)
+        assert QuantumRegister("q", 2) != ClassicalRegister("q", 2)
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            QuantumRegister("2bad", 1)
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            QuantumRegister("q", -1)
+
+
+class TestConstruction:
+    def test_global_indexing_across_registers(self):
+        c = Circuit()
+        a = c.qreg(2, "a")
+        b = c.qreg(3, "b")
+        assert c.num_qubits == 5
+        assert c.qubit_index(b[0]) == 2
+        assert c._resolve_qubit(4) == b[2]
+
+    def test_duplicate_register_rejected(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        with pytest.raises(ValueError):
+            c.qreg(3, "q")
+
+    def test_gate_methods(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        c.h(0)
+        c.cx(0, 1)
+        c.rz(0.5, 1)
+        assert [type(op).__name__ for op in c] == ["GateOperation"] * 3
+
+    def test_foreign_qubit_rejected(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        other = QuantumRegister("x", 2)
+        with pytest.raises(ValueError):
+            c.append(GateOperation("h", [other[0]]))
+
+    def test_unknown_gate_rejected(self):
+        c = Circuit()
+        c.qreg(1, "q")
+        with pytest.raises(KeyError):
+            c.gate("zap", [0])
+
+    def test_wrong_arity_rejected(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        with pytest.raises(ValueError):
+            c.gate("cnot", [0])
+
+    def test_duplicate_qubits_rejected(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        with pytest.raises(ValueError):
+            c.gate("cnot", [0, 0])
+
+    def test_measure_all(self):
+        c = Circuit()
+        c.qreg(3, "q")
+        c.creg(3, "c")
+        c.measure_all()
+        assert c.count_ops()["measure"] == 3
+
+    def test_measure_all_insufficient_bits(self):
+        c = Circuit()
+        c.qreg(3, "q")
+        c.creg(2, "c")
+        with pytest.raises(ValueError):
+            c.measure_all()
+
+    def test_conditional(self):
+        c = Circuit()
+        q = c.qreg(2, "q")
+        cr = c.creg(1, "c")
+        c.measure(0, 0)
+        c.c_if(cr, 1, GateOperation("x", [q[1]]))
+        assert c.has_conditionals()
+
+    def test_nested_conditional_rejected(self):
+        c = Circuit()
+        q = c.qreg(1, "q")
+        cr = c.creg(1, "c")
+        inner = ConditionalOperation(cr, 1, GateOperation("x", [q[0]]))
+        with pytest.raises(ValueError):
+            ConditionalOperation(cr, 0, inner)
+
+    def test_condition_value_range(self):
+        c = Circuit()
+        q = c.qreg(1, "q")
+        cr = c.creg(2, "c")
+        with pytest.raises(ValueError):
+            ConditionalOperation(cr, 4, GateOperation("x", [q[0]]))
+
+
+class TestQueries:
+    def _bell(self):
+        c = Circuit("bell")
+        c.qreg(2, "q")
+        c.creg(2, "c")
+        c.h(0)
+        c.cx(0, 1)
+        c.measure_all()
+        return c
+
+    def test_count_ops(self):
+        counts = self._bell().count_ops()
+        assert counts == {"h": 1, "cnot": 1, "measure": 2}
+
+    def test_depth(self):
+        assert self._bell().depth() == 3
+
+    def test_depth_parallel_gates(self):
+        c = Circuit()
+        c.qreg(4, "q")
+        for i in range(4):
+            c.h(i)
+        assert c.depth() == 1
+
+    def test_depth_with_barrier(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        c.h(0)
+        c.barrier()
+        c.h(1)
+        assert c.depth() == 2  # barrier forces the second H after the first
+
+    def test_is_clifford(self):
+        c = self._bell()
+        assert c.is_clifford()
+        c.t(0)
+        assert not c.is_clifford()
+
+    def test_has_measurements(self):
+        c = Circuit()
+        c.qreg(1, "q")
+        assert not c.has_measurements()
+        c.creg(1, "c")
+        c.measure(0, 0)
+        assert c.has_measurements()
+
+
+class TestWholeCircuitOps:
+    def test_inverse_reverses_and_inverts(self):
+        c = Circuit()
+        c.qreg(1, "q")
+        c.h(0)
+        c.t(0)
+        c.rz(0.7, 0)
+        inv = c.inverse()
+        names = [op.name for op in inv]
+        assert names == ["rz", "t_adj", "h"]
+        assert inv.operations[0].params == (-0.7,)
+
+    def test_inverse_of_measurement_rejected(self):
+        c = Circuit()
+        c.qreg(1, "q")
+        c.creg(1, "c")
+        c.measure(0, 0)
+        with pytest.raises(ValueError):
+            c.inverse()
+
+    def test_circuit_followed_by_inverse_is_identity(self):
+        import numpy as np
+
+        from repro.circuit import statevector_of
+
+        c = Circuit()
+        c.qreg(2, "q")
+        c.h(0)
+        c.cx(0, 1)
+        c.rz(1.234, 1)
+        c.t(0)
+        combined = c.compose(c.inverse())
+        state = statevector_of(combined)
+        assert abs(state[0]) == pytest.approx(1.0)
+
+    def test_compose_merges_registers(self):
+        a = Circuit("a")
+        a.qreg(2, "q")
+        a.h(0)
+        b = Circuit("b")
+        b.qreg(2, "q")
+        b.add_qreg(QuantumRegister("extra", 1))
+        b.x(2)
+        merged = a.compose(b)
+        assert merged.num_qubits == 3
+        assert len(merged) == 2
+
+    def test_compose_register_clash(self):
+        a = Circuit()
+        a.qreg(2, "q")
+        b = Circuit()
+        b.qreg(3, "q")
+        with pytest.raises(ValueError):
+            a.compose(b)
+
+    def test_copy_is_shallow_but_independent_oplist(self):
+        c = self_bell = Circuit()
+        c.qreg(1, "q")
+        c.h(0)
+        dup = c.copy()
+        dup.x(0)
+        assert len(c) == 1 and len(dup) == 2

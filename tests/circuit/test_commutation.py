@@ -1,0 +1,189 @@
+"""Tests for commutation rules and the commutation-aware optimiser."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, GateOperation
+from repro.circuit.commutation import commutes
+from repro.circuit.optimize import optimize_circuit, optimize_circuit_commuting
+from repro.circuit.registers import QuantumRegister
+from repro.circuit.simulate import statevector_of
+from repro.sim.gates import gate_matrix
+
+Q = QuantumRegister("q", 4)
+
+
+def gate(name, qubits, params=()):
+    return GateOperation(name, [Q[i] for i in qubits], params)
+
+
+class TestCommutationRules:
+    def test_disjoint_qubits_commute(self):
+        assert commutes(gate("h", [0]), gate("x", [1]))
+
+    def test_z_diagonal_pair(self):
+        assert commutes(gate("rz", [0], [0.3]), gate("t", [0]))
+        assert commutes(gate("cz", [0, 1]), gate("rz", [1], [0.2]))
+        assert commutes(gate("rzz", [0, 1], [0.1]), gate("s", [0]))
+
+    def test_x_diagonal_pair(self):
+        assert commutes(gate("x", [0]), gate("rx", [0], [0.3]))
+
+    def test_mixed_bases_do_not_commute(self):
+        assert not commutes(gate("x", [0]), gate("z", [0]))
+        assert not commutes(gate("h", [0]), gate("t", [0]))
+        assert not commutes(gate("rx", [0], [0.1]), gate("rz", [0], [0.1]))
+
+    def test_cnot_control_side(self):
+        cnot = gate("cnot", [0, 1])
+        assert commutes(gate("t", [0]), cnot)  # diagonal on control
+        assert not commutes(gate("t", [1]), cnot)  # diagonal on target
+        assert commutes(gate("x", [1]), cnot)  # X on target
+        assert not commutes(gate("x", [0]), cnot)  # X on control
+
+    def test_cnot_cnot(self):
+        a = gate("cnot", [0, 1])
+        assert commutes(a, gate("cnot", [0, 2]))  # shared control
+        assert commutes(a, gate("cnot", [2, 1]))  # shared target
+        assert not commutes(a, gate("cnot", [1, 2]))  # target feeds control
+
+    def test_non_gates_never_commute(self):
+        from repro.circuit.operations import Measurement
+        from repro.circuit.registers import ClassicalRegister
+
+        c = ClassicalRegister("c", 1)
+        assert not commutes(gate("z", [0]), Measurement(Q[0], c[0]))
+
+
+class TestCommutationRulesAreSound:
+    """Every rule claiming commutation must hold as a matrix identity."""
+
+    CASES = [
+        (("t", [0]), ("cnot", [0, 1])),
+        (("rz", [0], [0.7]), ("cnot", [0, 1])),
+        (("x", [1]), ("cnot", [0, 1])),
+        (("rx", [1], [0.5]), ("cnot", [0, 1])),
+        (("rzz", [0, 1], [0.3]), ("cnot", [0, 2])),
+        (("cnot", [0, 1]), ("cnot", [0, 2])),
+        (("cnot", [0, 2]), ("cnot", [1, 2])),
+        (("cz", [0, 1]), ("t", [0])),
+        (("cp", [0, 1], [0.4]), ("rz", [1], [0.2])),
+    ]
+
+    @pytest.mark.parametrize("a_spec,b_spec", CASES)
+    def test_matrix_identity(self, a_spec, b_spec):
+        a = gate(*a_spec)
+        b = gate(*b_spec)
+        assert commutes(a, b)
+        circuit_ab = Circuit()
+        circuit_ab.add_qreg(Q)
+        circuit_ab.append(a)
+        circuit_ab.append(b)
+        circuit_ba = Circuit()
+        circuit_ba.add_qreg(Q)
+        circuit_ba.append(b)
+        circuit_ba.append(a)
+        # apply to a generic state to compare operators
+        prep = Circuit()
+        prep.add_qreg(Q)
+        for i in range(4):
+            prep.ry(0.3 + 0.4 * i, i)
+            if i:
+                prep.cx(i - 1, i)
+        sab = statevector_of(prep.compose(circuit_ab))
+        sba = statevector_of(prep.compose(circuit_ba))
+        assert np.allclose(sab, sba, atol=1e-10)
+
+
+class TestCommutingOptimizer:
+    def test_t_pair_across_cnot_control(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        c.t(0)
+        c.cx(0, 1)
+        c.tdg(0)
+        out = optimize_circuit_commuting(c)
+        assert [op.name for op in out] == ["cnot"]
+
+    def test_x_pair_across_cnot_target(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        c.x(1)
+        c.cx(0, 1)
+        c.x(1)
+        out = optimize_circuit_commuting(c)
+        assert [op.name for op in out] == ["cnot"]
+
+    def test_rz_merge_across_cz(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        c.rz(0.3, 0)
+        c.cz(0, 1)
+        c.rz(0.4, 0)
+        out = optimize_circuit_commuting(c)
+        names = [op.name for op in out]
+        assert names.count("rz") == 1
+        rz = next(op for op in out if op.name == "rz")
+        assert rz.params[0] == pytest.approx(0.7)
+
+    def test_blocked_by_target_side_gate(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        c.t(1)
+        c.cx(0, 1)  # t is on the target: must not slide through
+        c.tdg(1)
+        out = optimize_circuit_commuting(c)
+        assert len(out) == 3
+
+    def test_plain_optimizer_misses_these(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        c.t(0)
+        c.cx(0, 1)
+        c.tdg(0)
+        assert len(optimize_circuit(c)) == 3
+        assert len(optimize_circuit_commuting(c)) == 1
+
+    def test_measurement_blocks(self):
+        c = Circuit()
+        c.qreg(1, "q")
+        c.creg(1, "c")
+        c.t(0)
+        c.measure(0, 0)
+        c.tdg(0)
+        assert len(optimize_circuit_commuting(c)) == 3
+
+
+@st.composite
+def commuting_workload(draw):
+    c = Circuit()
+    c.qreg(3, "q")
+    n = draw(st.integers(min_value=2, max_value=14))
+    for _ in range(n):
+        kind = draw(
+            st.sampled_from(
+                ["t", "t_adj", "s", "s_adj", "z", "rz", "x", "rx", "h", "cnot", "cz"]
+            )
+        )
+        if kind in ("cnot", "cz"):
+            a = draw(st.integers(0, 2))
+            b = draw(st.integers(0, 2).filter(lambda x: x != a))
+            c.gate(kind, [a, b])
+        elif kind in ("rz", "rx"):
+            q = draw(st.integers(0, 2))
+            c.gate(kind, [q], [draw(st.floats(-3, 3, allow_nan=False))])
+        else:
+            c.gate(kind, [draw(st.integers(0, 2))])
+    return c
+
+
+@given(commuting_workload())
+@settings(max_examples=80, deadline=None)
+def test_commuting_optimizer_preserves_unitary(circuit):
+    optimised = optimize_circuit_commuting(circuit)
+    before = statevector_of(circuit)
+    after = statevector_of(optimised)
+    assert abs(np.vdot(before, after)) == pytest.approx(1.0, abs=1e-9)
+    assert len(optimised) <= len(circuit)

@@ -1,0 +1,71 @@
+"""Unit tests for the circuit dependency DAG."""
+
+from repro.circuit import Circuit, CircuitDAG, GateOperation
+
+
+def bell():
+    c = Circuit()
+    c.qreg(2, "q")
+    c.creg(2, "c")
+    c.h(0)
+    c.cx(0, 1)
+    c.measure_all()
+    return c
+
+
+class TestDag:
+    def test_edges_follow_wires(self):
+        c = bell()
+        dag = CircuitDAG(c)
+        # H (0) -> CX (1) -> measures (2, 3)
+        assert set(dag.successors_on_wires(0)) == {1}
+        assert set(dag.successors_on_wires(1)) == {2, 3}
+
+    def test_topological_order_is_valid(self):
+        c = bell()
+        dag = CircuitDAG(c)
+        ops = dag.topological_operations()
+        assert len(ops) == 4
+        assert ops[0] is c.operations[0]
+
+    def test_independent_ops_parallel(self):
+        c = Circuit()
+        c.qreg(3, "q")
+        c.h(0)
+        c.h(1)
+        c.h(2)
+        dag = CircuitDAG(c)
+        assert dag.longest_path_length() == 1
+        layers = dag.layers()
+        assert len(layers) == 1 and len(layers[0]) == 3
+
+    def test_layers_respect_dependencies(self):
+        c = bell()
+        layers = CircuitDAG(c).layers()
+        assert len(layers) == 3
+        assert len(layers[2]) == 2  # both measurements together
+
+    def test_conditional_depends_on_register_bits(self):
+        c = Circuit()
+        q = c.qreg(2, "q")
+        cr = c.creg(1, "c")
+        c.measure(0, 0)
+        c.c_if(cr, 1, GateOperation("x", [q[1]]))
+        dag = CircuitDAG(c)
+        assert dag.predecessors_on_wires(1) == [0]
+
+    def test_longest_path_matches_depth_for_simple_chain(self):
+        c = Circuit()
+        c.qreg(1, "q")
+        for _ in range(5):
+            c.h(0)
+        dag = CircuitDAG(c)
+        assert dag.longest_path_length() == 5
+        assert c.depth() == 5
+
+    def test_empty_circuit(self):
+        c = Circuit()
+        c.qreg(1, "q")
+        dag = CircuitDAG(c)
+        assert dag.longest_path_length() == 0
+        assert dag.layers() == []

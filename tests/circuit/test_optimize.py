@@ -1,0 +1,181 @@
+"""Unit tests for the circuit-level peephole optimiser."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, GateOperation
+from repro.circuit.optimize import (
+    cancel_adjacent_gates,
+    merge_rotations,
+    optimize_circuit,
+)
+from repro.circuit.simulate import statevector_of
+
+
+def circuit_of(*specs, num_qubits=3):
+    c = Circuit()
+    c.qreg(num_qubits, "q")
+    for spec in specs:
+        name, qubits = spec[0], spec[1]
+        params = spec[2] if len(spec) > 2 else ()
+        c.gate(name, qubits, params)
+    return c
+
+
+class TestCancellation:
+    def test_hh_pair(self):
+        c = circuit_of(("h", [0]), ("h", [0]))
+        out, removed = cancel_adjacent_gates(c)
+        assert removed == 2 and len(out) == 0
+
+    def test_cnot_pair(self):
+        c = circuit_of(("cnot", [0, 1]), ("cnot", [0, 1]))
+        out, removed = cancel_adjacent_gates(c)
+        assert len(out) == 0
+
+    def test_adjoint_pair(self):
+        c = circuit_of(("s", [0]), ("s_adj", [0]))
+        out, _ = cancel_adjacent_gates(c)
+        assert len(out) == 0
+
+    def test_interposed_gate_blocks(self):
+        c = circuit_of(("h", [0]), ("x", [0]), ("h", [0]))
+        out, removed = cancel_adjacent_gates(c)
+        assert removed == 0 and len(out) == 3
+
+    def test_other_qubit_does_not_block(self):
+        c = circuit_of(("h", [0]), ("x", [1]), ("h", [0]))
+        out, _ = cancel_adjacent_gates(c)
+        assert [op.name for op in out] == ["x"]
+
+    def test_cascade(self):
+        c = circuit_of(("x", [0]), ("h", [0]), ("h", [0]), ("x", [0]))
+        out, _ = cancel_adjacent_gates(c)
+        assert len(out) == 0
+
+    def test_measurement_clears_window(self):
+        c = Circuit()
+        c.qreg(1, "q")
+        c.creg(1, "c")
+        c.h(0)
+        c.measure(0, 0)
+        c.h(0)
+        out, removed = cancel_adjacent_gates(c)
+        assert removed == 0
+
+
+class TestRotationMerge:
+    def test_pair_merges(self):
+        c = circuit_of(("rz", [0], [0.3]), ("rz", [0], [0.4]))
+        out, merged = merge_rotations(c)
+        assert merged == 1
+        assert out.operations[0].params[0] == pytest.approx(0.7)
+
+    def test_zero_sum_removed(self):
+        c = circuit_of(("rz", [0], [0.5]), ("rz", [0], [-0.5]))
+        out, _ = merge_rotations(c)
+        assert len(out) == 0
+
+    def test_axis_mismatch_kept(self):
+        c = circuit_of(("rx", [0], [0.3]), ("rz", [0], [0.4]))
+        out, merged = merge_rotations(c)
+        assert merged == 0 and len(out) == 2
+
+    def test_two_qubit_rotation(self):
+        c = circuit_of(("rzz", [0, 1], [0.2]), ("rzz", [0, 1], [0.3]))
+        out, merged = merge_rotations(c)
+        assert merged == 1
+        assert out.operations[0].params[0] == pytest.approx(0.5)
+
+
+class TestOptimizeCircuit:
+    def test_mixed_program(self):
+        c = circuit_of(
+            ("h", [0]), ("h", [0]),
+            ("rz", [1], [0.4]), ("rz", [1], [0.6]),
+            ("cnot", [0, 2]), ("cnot", [0, 2]),
+            ("t", [2]),
+        )
+        out = optimize_circuit(c)
+        assert [op.name for op in out] == ["rz", "t"]
+
+    def test_cross_stage_fixpoint(self):
+        # merging rotations to zero exposes an H-H cancellation around them
+        c = circuit_of(
+            ("h", [0]),
+            ("rz", [0], [0.5]),
+            ("rz", [0], [-0.5]),
+            ("h", [0]),
+        )
+        out = optimize_circuit(c)
+        assert len(out) == 0
+
+
+@st.composite
+def unitary_circuit(draw):
+    gates = []
+    n = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n):
+        kind = draw(st.sampled_from(["h", "x", "s", "s_adj", "t", "t_adj", "rz", "cnot"]))
+        if kind == "cnot":
+            a = draw(st.integers(min_value=0, max_value=2))
+            b = draw(st.integers(min_value=0, max_value=2).filter(lambda x: x != a))
+            gates.append((kind, [a, b]))
+        elif kind == "rz":
+            q = draw(st.integers(min_value=0, max_value=2))
+            gates.append((kind, [q], [draw(st.floats(-3, 3, allow_nan=False))]))
+        else:
+            q = draw(st.integers(min_value=0, max_value=2))
+            gates.append((kind, [q]))
+    return circuit_of(*gates)
+
+
+@given(unitary_circuit())
+@settings(max_examples=60, deadline=None)
+def test_optimize_preserves_unitary_action(circuit):
+    """Property: optimisation never changes the state (up to global phase)."""
+    optimised = optimize_circuit(circuit)
+    before = statevector_of(circuit)
+    after = statevector_of(optimised)
+    assert abs(np.vdot(before, after)) == pytest.approx(1.0, abs=1e-9)
+    assert len(optimised) <= len(circuit)
+
+
+class TestWindowRebuildRegression:
+    """Regression: after a cancellation, the scan window must not be
+    rebuilt by blind re-indexing -- that resurrected entries which later
+    gates had invalidated, letting z ... rx ... z cancel through the rx
+    (found by the hypothesis property test)."""
+
+    def test_z_rx_z_with_remote_cancellation(self):
+        c = Circuit()
+        c.qreg(3, "q")
+        c.z(0)
+        c.sdg(2)
+        c.rx(2.83536, 0)
+        c.s(2)   # cancels with sdg, triggering the window rebuild
+        c.z(0)   # must NOT cancel with the first z (rx blocks)
+        out = optimize_circuit(c)
+        names = [op.name for op in out]
+        assert names == ["z", "rx", "z"]
+
+    def test_rotation_merge_variant(self):
+        c = Circuit()
+        c.qreg(3, "q")
+        c.rz(0.4, 0)
+        c.rz(0.1, 2)
+        c.h(0)       # blocks q0 rotations
+        c.rz(0.2, 2)  # merges with the q2 rotation, rebuilding the window
+        c.rz(0.3, 0)  # must NOT merge across the h
+        from repro.circuit.optimize import merge_rotations
+
+        out, merged = merge_rotations(c)
+        assert merged == 1
+        q0_rotations = [
+            op.params[0]
+            for op in out
+            if getattr(op, "name", "") == "rz" and c.qubit_index(op.qubits[0]) == 0
+        ]
+        assert sorted(q0_rotations) == [pytest.approx(0.3), pytest.approx(0.4)]

@@ -1,0 +1,167 @@
+"""Unit tests for qubit mapping/routing (the Sec. III-A hardware constraint)."""
+
+import pytest
+
+from repro.circuit import Circuit, run_circuit
+from repro.circuit.routing import (
+    CouplingMap,
+    RoutingError,
+    route_circuit,
+    verify_routing,
+)
+from repro.sim.sampling import counts_to_probabilities, total_variation_distance
+from repro.workloads import ghz_circuit, qft_circuit
+
+
+class TestCouplingMap:
+    def test_line(self):
+        cm = CouplingMap.line(4)
+        assert cm.size == 4
+        assert cm.adjacent(0, 1) and not cm.adjacent(0, 2)
+        assert cm.distance(0, 3) == 3
+
+    def test_ring_wraps(self):
+        cm = CouplingMap.ring(5)
+        assert cm.adjacent(0, 4)
+        assert cm.distance(0, 3) == 2
+
+    def test_grid(self):
+        cm = CouplingMap.grid(2, 3)
+        assert cm.size == 6
+        assert cm.adjacent(0, 1) and cm.adjacent(0, 3)
+        assert not cm.adjacent(0, 4)
+
+    def test_full(self):
+        cm = CouplingMap.full(5)
+        assert all(cm.adjacent(a, b) for a in range(5) for b in range(5) if a != b)
+
+    def test_disconnected_rejected(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1, 2])
+        graph.add_edge(0, 1)
+        with pytest.raises(ValueError, match="connected"):
+            CouplingMap(graph)
+
+    def test_bad_labels_rejected(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            CouplingMap(graph)
+
+
+class TestRouting:
+    def test_adjacent_gates_unchanged(self):
+        c = ghz_circuit(3, measure=False)
+        result = route_circuit(c, CouplingMap.line(3))
+        assert result.swaps_inserted == 0
+        verify_routing(result, CouplingMap.line(3))
+
+    def test_distant_gate_gets_swaps(self):
+        c = Circuit()
+        c.qreg(4, "q")
+        c.cx(0, 3)
+        result = route_circuit(c, CouplingMap.line(4))
+        assert result.swaps_inserted == 2
+        verify_routing(result, CouplingMap.line(4))
+
+    def test_full_connectivity_needs_no_swaps(self):
+        c = qft_circuit(5)
+        result = route_circuit(c, CouplingMap.full(5))
+        assert result.swaps_inserted == 0
+
+    def test_layout_tracked(self):
+        c = Circuit()
+        c.qreg(3, "q")
+        c.cx(0, 2)
+        result = route_circuit(c, CouplingMap.line(3))
+        # one swap happened; some logical qubit moved
+        assert result.swaps_inserted == 1
+        assert result.final_layout != result.initial_layout
+
+    def test_measurements_follow_layout(self):
+        c = Circuit()
+        c.qreg(3, "q")
+        c.creg(3, "c")
+        c.x(0)
+        c.cx(0, 2)  # forces a swap on the line
+        c.measure(0, 0)
+        c.measure(1, 1)
+        c.measure(2, 2)
+        result = route_circuit(c, CouplingMap.line(3))
+        verify_routing(result, CouplingMap.line(3))
+        counts = run_circuit(result.circuit, shots=50, seed=1)
+        # logical semantics preserved: q0 = 1, q2 = 1 after cx
+        assert counts == {"101": 50}
+
+    def test_distribution_preserved_qft(self):
+        c = qft_circuit(4, measure=True)
+        direct = counts_to_probabilities(run_circuit(c, shots=3000, seed=2))
+        result = route_circuit(c, CouplingMap.line(4))
+        verify_routing(result, CouplingMap.line(4))
+        routed = counts_to_probabilities(
+            run_circuit(result.circuit, shots=3000, seed=3)
+        )
+        assert total_variation_distance(direct, routed) < 0.08
+
+    def test_custom_initial_layout(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        c.cx(0, 1)
+        result = route_circuit(
+            c, CouplingMap.line(4), initial_layout={0: 0, 1: 3}
+        )
+        assert result.swaps_inserted == 2
+        verify_routing(result, CouplingMap.line(4))
+
+    def test_non_injective_layout_rejected(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        with pytest.raises(RoutingError, match="injective"):
+            route_circuit(c, CouplingMap.line(3), initial_layout={0: 1, 1: 1})
+
+    def test_too_small_device_rejected(self):
+        with pytest.raises(RoutingError, match="device has"):
+            route_circuit(ghz_circuit(5, measure=False), CouplingMap.line(3))
+
+    def test_three_qubit_gate_rejected(self):
+        c = Circuit()
+        c.qreg(3, "q")
+        c.ccx(0, 1, 2)
+        with pytest.raises(RoutingError, match="decompose"):
+            route_circuit(c, CouplingMap.line(3))
+
+    def test_conditional_gate_routed(self):
+        from repro.circuit import GateOperation
+
+        c = Circuit()
+        q = c.qreg(3, "q")
+        cr = c.creg(1, "c")
+        c.x(0)
+        c.measure(0, 0)
+        c.c_if(cr, 1, GateOperation("cnot", [q[0], q[2]]))
+        c.measure(2, 0)
+        result = route_circuit(c, CouplingMap.line(3))
+        verify_routing(result, CouplingMap.line(3))
+        counts = run_circuit(result.circuit, shots=30, seed=4)
+        assert counts == {"1": 30}
+
+    def test_grid_cheaper_than_line_for_qft(self):
+        c = qft_circuit(6, measure=False)
+        line = route_circuit(c, CouplingMap.line(6))
+        grid = route_circuit(c, CouplingMap.grid(2, 3))
+        full = route_circuit(c, CouplingMap.full(6))
+        assert full.swaps_inserted == 0
+        assert grid.swaps_inserted <= line.swaps_inserted
+        assert line.swaps_inserted > 0
+
+    def test_verify_catches_violation(self):
+        c = Circuit()
+        c.qreg(3, "q")
+        c.cx(0, 2)
+        bad = route_circuit(c, CouplingMap.full(3))
+        with pytest.raises(RoutingError, match="non-adjacent"):
+            verify_routing(bad, CouplingMap.line(3))

@@ -1,0 +1,134 @@
+"""Unit tests for direct circuit execution."""
+
+import pytest
+
+from repro.circuit import Circuit, GateOperation, run_circuit, statevector_of
+from repro.sim.sampling import counts_to_probabilities, total_variation_distance
+
+
+class TestRunCircuit:
+    def test_bell_distribution(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        c.creg(2, "c")
+        c.h(0)
+        c.cx(0, 1)
+        c.measure_all()
+        counts = run_circuit(c, shots=2000, seed=1)
+        assert set(counts) == {"00", "11"}
+        assert abs(counts["00"] - 1000) < 150
+
+    def test_deterministic_circuit(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        c.creg(2, "c")
+        c.x(0)
+        c.measure_all()
+        assert run_circuit(c, shots=100, seed=2) == {"01": 100}
+
+    def test_unmeasured_clbits_read_zero(self):
+        c = Circuit()
+        c.qreg(1, "q")
+        c.creg(2, "c")
+        c.x(0)
+        c.measure(0, 0)
+        assert run_circuit(c, shots=10, seed=3) == {"01": 10}
+
+    def test_conditional_execution(self):
+        c = Circuit()
+        q = c.qreg(2, "q")
+        cr = c.creg(2, "c")
+        c.x(0)
+        c.measure(0, 0)
+        c.c_if(cr, 1, GateOperation("x", [q[1]]))
+        c.measure(1, 1)
+        assert run_circuit(c, shots=50, seed=4) == {"11": 50}
+
+    def test_conditional_not_taken(self):
+        c = Circuit()
+        q = c.qreg(2, "q")
+        cr = c.creg(2, "c")
+        c.measure(0, 0)  # reads 0
+        c.c_if(cr, 1, GateOperation("x", [q[1]]))
+        c.measure(1, 1)
+        assert run_circuit(c, shots=50, seed=5) == {"00": 50}
+
+    def test_reset(self):
+        c = Circuit()
+        c.qreg(1, "q")
+        c.creg(1, "c")
+        c.x(0)
+        c.reset(0)
+        c.measure(0, 0)
+        assert run_circuit(c, shots=20, seed=6) == {"0": 20}
+
+    def test_mid_circuit_measurement_forces_per_shot(self):
+        c = Circuit()
+        c.qreg(1, "q")
+        c.creg(2, "c")
+        c.h(0)
+        c.measure(0, 0)
+        c.h(0)
+        c.measure(0, 1)
+        counts = run_circuit(c, shots=500, seed=7)
+        assert len(counts) == 4  # both measurements random & independent
+
+    def test_stabilizer_backend(self):
+        c = Circuit()
+        c.qreg(30, "q")
+        c.creg(30, "c")
+        c.h(0)
+        for i in range(29):
+            c.cx(i, i + 1)
+        c.measure_all()
+        counts = run_circuit(c, shots=40, seed=8, backend="stabilizer")
+        assert set(counts) <= {"0" * 30, "1" * 30}
+
+    def test_auto_backend_picks_stabilizer_for_wide_clifford(self):
+        c = Circuit()
+        c.qreg(40, "q")
+        c.creg(40, "c")
+        c.h(0)
+        c.measure_all()
+        counts = run_circuit(c, shots=10, seed=9, backend="auto")
+        assert sum(counts.values()) == 10
+
+    def test_unknown_backend(self):
+        c = Circuit()
+        c.qreg(1, "q")
+        with pytest.raises(ValueError):
+            run_circuit(c, shots=1, backend="quantum_annealer")
+
+    def test_fast_path_matches_per_shot_path(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        c.creg(2, "c")
+        c.h(0)
+        c.cx(0, 1)
+        c.measure_all()
+        fast = counts_to_probabilities(run_circuit(c, shots=4000, seed=10))
+        # force the slow path by adding a trailing conditional no-op
+        q = c.qregs[0]
+        cslow = c.copy()
+        cslow.c_if(c.cregs[0], 3, GateOperation("z", [q[0]]))
+        slow = counts_to_probabilities(run_circuit(cslow, shots=4000, seed=10))
+        assert total_variation_distance(fast, slow) < 0.06
+
+
+class TestStatevectorOf:
+    def test_bell_amplitudes(self):
+        c = Circuit()
+        c.qreg(2, "q")
+        c.h(0)
+        c.cx(0, 1)
+        state = statevector_of(c)
+        assert abs(state[0]) == pytest.approx(2**-0.5)
+        assert abs(state[3]) == pytest.approx(2**-0.5)
+
+    def test_measurement_rejected(self):
+        c = Circuit()
+        c.qreg(1, "q")
+        c.creg(1, "c")
+        c.measure(0, 0)
+        with pytest.raises(ValueError):
+            statevector_of(c)

@@ -1,0 +1,159 @@
+"""Unit tests for the custom base-profile line parser (paper, Example 3)."""
+
+import math
+
+import pytest
+
+from repro.frontend import BaseProfileParseError, parse_base_profile
+from repro.qir import AdaptiveProfile, SimpleModule
+from repro.workloads.qir_programs import bell_qir, ghz_qir
+
+
+class TestStaticPrograms:
+    def test_bell(self):
+        circuit = parse_base_profile(bell_qir("static"))
+        assert circuit.num_qubits == 2
+        assert circuit.count_ops() == {"h": 1, "cnot": 1, "measure": 2}
+
+    def test_gate_order_preserved(self):
+        sm = SimpleModule("t", 2, 2)
+        sm.qis.x(1)
+        sm.qis.h(0)
+        sm.qis.cnot(1, 0)
+        sm.qis.mz(1, 0)
+        circuit = parse_base_profile(sm.ir())
+        names = [type(op).__name__ for op in circuit]
+        assert names == ["GateOperation"] * 3 + ["Measurement"]
+        first = circuit.operations[0]
+        assert first.name == "x"
+        assert circuit.qubit_index(first.qubits[0]) == 1
+        meas = circuit.operations[-1]
+        assert circuit.qubit_index(meas.qubit) == 1
+        assert circuit.clbit_index(meas.clbit) == 0
+
+    def test_rotation_angles(self):
+        sm = SimpleModule("t", 1, 0)
+        sm.qis.rz(0.75, 0)
+        circuit = parse_base_profile(sm.ir())
+        assert circuit.operations[0].params == (0.75,)
+
+    def test_hex_angle_roundtrip(self):
+        sm = SimpleModule("t", 1, 0)
+        sm.qis.rz(math.pi, 0)
+        circuit = parse_base_profile(sm.ir())
+        assert circuit.operations[0].params[0] == pytest.approx(math.pi)
+
+    def test_reset(self):
+        sm = SimpleModule("t", 1, 0)
+        sm.qis.reset(0)
+        circuit = parse_base_profile(sm.ir())
+        assert circuit.count_ops() == {"reset": 1}
+
+
+class TestDynamicPrograms:
+    def test_fig1_variable_tracking(self):
+        """The exact scenario of Example 3: infer qubits through %N chains."""
+        circuit = parse_base_profile(bell_qir("dynamic"))
+        assert circuit.num_qubits == 2
+        assert circuit.count_ops() == {"h": 1, "cnot": 1, "measure": 2}
+
+    def test_ghz_wide(self):
+        circuit = parse_base_profile(ghz_qir(10, "dynamic"))
+        assert circuit.num_qubits == 10
+        assert circuit.count_ops()["cnot"] == 9
+
+    def test_matches_static_parse(self):
+        static = parse_base_profile(bell_qir("static"))
+        dynamic = parse_base_profile(bell_qir("dynamic"))
+        assert static.operations == dynamic.operations
+
+
+class TestRejection:
+    def _adaptive(self):
+        sm = SimpleModule("t", 2, 2, profile=AdaptiveProfile)
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        sm.qis.if_result(0, one=lambda: sm.qis.x(1))
+        return sm.ir()
+
+    def test_adaptive_rejected(self):
+        with pytest.raises(BaseProfileParseError, match="adaptive"):
+            parse_base_profile(self._adaptive())
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_base_profile(self._adaptive())
+        except BaseProfileParseError as e:
+            assert e.line_number is not None
+        else:  # pragma: no cover
+            pytest.fail("expected rejection")
+
+    def test_dynamic_measurement_rejected(self):
+        sm = SimpleModule("t", 1, 0)
+        sm.qis.m(0)
+        with pytest.raises(BaseProfileParseError):
+            parse_base_profile(sm.ir())
+
+    def test_arithmetic_rejected(self):
+        src = """
+        define void @main() {
+        entry:
+          %x = add i64 1, 2
+          ret void
+        }
+        """
+        with pytest.raises(BaseProfileParseError):
+            parse_base_profile(src)
+
+    def test_unknown_gate_rejected(self):
+        src = """
+        define void @main() {
+        entry:
+          call void @__quantum__qis__frobnicate__body(ptr null)
+          ret void
+        }
+        """
+        with pytest.raises(BaseProfileParseError, match="unknown QIS"):
+            parse_base_profile(src)
+
+    def test_unrecognised_line_rejected(self):
+        src = """
+        define void @main() {
+        entry:
+          fence seq_cst
+          ret void
+        }
+        """
+        with pytest.raises(BaseProfileParseError):
+            parse_base_profile(src)
+
+    def test_out_of_bounds_dynamic_index(self):
+        src = """
+        define void @main() {
+        entry:
+          %0 = call ptr @__quantum__rt__qubit_allocate_array(i64 2)
+          %q = alloca ptr, align 8
+          store ptr %0, ptr %q, align 8
+          %1 = load ptr, ptr %q, align 8
+          %2 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %1, i64 9)
+          call void @__quantum__qis__h__body(ptr %2)
+          ret void
+        }
+        """
+        with pytest.raises(BaseProfileParseError, match="out of bounds"):
+            parse_base_profile(src)
+
+
+class TestAgainstFullImporter:
+    """The two parsing routes of Sec. III-A must agree on base programs."""
+
+    @pytest.mark.parametrize("addressing", ["static", "dynamic"])
+    def test_same_circuit_both_routes(self, addressing):
+        from repro.frontend import import_circuit
+        from repro.llvmir import parse_assembly
+        from repro.workloads.qir_programs import qft_qir
+
+        text = qft_qir(4, addressing=addressing)
+        via_lines = parse_base_profile(text)
+        via_ast = import_circuit(parse_assembly(text))
+        assert via_lines.operations == via_ast.operations

@@ -1,0 +1,178 @@
+"""Unit tests for the QIR<->circuit importer and exporter (Sec. III-A/B)."""
+
+import pytest
+
+from repro.circuit import Circuit, GateOperation
+from repro.frontend import (
+    CircuitImportError,
+    export_circuit,
+    export_circuit_text,
+    import_circuit,
+)
+from repro.frontend.exporter import CircuitExportError
+from repro.llvmir import parse_assembly, verify_module
+from repro.qir import AdaptiveProfile, BaseProfile, SimpleModule, validate_profile
+from repro.runtime import run_shots
+from repro.workloads import bell_circuit, ghz_circuit, qft_circuit
+
+
+class TestImport:
+    def test_straight_line(self):
+        sm = SimpleModule("t", 3, 3)
+        sm.qis.h(0)
+        sm.qis.ccx(0, 1, 2)
+        sm.qis.mz(2, 2)
+        circuit = import_circuit(parse_assembly(sm.ir()))
+        assert circuit.count_ops() == {"h": 1, "ccx": 1, "measure": 1}
+        assert circuit.num_qubits == 3
+
+    def test_conditional_diamond(self):
+        sm = SimpleModule("t", 2, 2, profile=AdaptiveProfile)
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        sm.qis.if_result(0, one=lambda: sm.qis.x(1), zero=lambda: sm.qis.z(1))
+        circuit = import_circuit(parse_assembly(sm.ir()))
+        assert circuit.count_ops()["if"] == 2
+
+    def test_loop_rejected(self):
+        from repro.workloads.qir_programs import counted_loop_qir
+
+        # The loop's icmp/branch machinery is the first thing the circuit
+        # IR cannot express; exact message depends on walk order.
+        with pytest.raises(CircuitImportError):
+            import_circuit(parse_assembly(counted_loop_qir(4)))
+
+    def test_general_classical_code_rejected(self):
+        src = """
+        define void @main() #0 {
+        entry:
+          %x = add i64 1, 2
+          ret void
+        }
+        attributes #0 = { "entry_point" }
+        """
+        with pytest.raises(CircuitImportError, match="classical"):
+            import_circuit(parse_assembly(src))
+
+    def test_branch_on_computed_value_rejected(self):
+        src = """
+        define void @main(i1 %c) #0 {
+        entry:
+          br i1 %c, label %a, label %b
+        a:
+          br label %join
+        b:
+          br label %join
+        join:
+          ret void
+        }
+        attributes #0 = { "entry_point" }
+        """
+        with pytest.raises(CircuitImportError, match="read_result"):
+            import_circuit(parse_assembly(src))
+
+    def test_dynamic_result_rejected(self):
+        sm = SimpleModule("t", 1, 0)
+        sm.qis.m(0)
+        with pytest.raises(CircuitImportError, match="dynamic results"):
+            import_circuit(parse_assembly(sm.ir()))
+
+    def test_nonconstant_angle_rejected(self):
+        src = """
+        define void @main(double %theta) #0 {
+        entry:
+          call void @__quantum__qis__rz__body(double %theta, ptr null)
+          ret void
+        }
+        declare void @__quantum__qis__rz__body(double, ptr)
+        attributes #0 = { "entry_point" }
+        """
+        with pytest.raises(CircuitImportError, match="parameter"):
+            import_circuit(parse_assembly(src))
+
+
+class TestExport:
+    def test_base_profile_output_conforms(self):
+        text = export_circuit_text(bell_circuit(), addressing="static")
+        m = parse_assembly(text)
+        verify_module(m)
+        assert validate_profile(m, BaseProfile) == []
+
+    def test_conditional_needs_adaptive(self):
+        c = Circuit()
+        q = c.qreg(2, "q")
+        cr = c.creg(1, "c")
+        c.measure(0, 0)
+        c.c_if(cr, 1, GateOperation("x", [q[1]]))
+        with pytest.raises(CircuitExportError):
+            export_circuit(c, profile=BaseProfile)
+        text = export_circuit_text(c)  # auto-selects adaptive
+        m = parse_assembly(text)
+        assert validate_profile(m, AdaptiveProfile) == []
+
+    def test_multibit_register_condition_on_one_bit(self):
+        c = Circuit()
+        q = c.qreg(2, "q")
+        cr = c.creg(2, "c")
+        c.measure(0, 1)
+        c.c_if(cr, 2, GateOperation("x", [q[1]]))  # tests bit 1 only
+        text = export_circuit_text(c)
+        assert "read_result" in text
+
+    def test_multibit_condition_rejected(self):
+        c = Circuit()
+        q = c.qreg(2, "q")
+        cr = c.creg(2, "c")
+        c.measure(0, 0)
+        c.measure(1, 1)
+        c.c_if(cr, 3, GateOperation("x", [q[1]]))  # needs both bits
+        with pytest.raises(CircuitExportError, match="multiple bits"):
+            export_circuit_text(c)
+
+    def test_barrier_dropped(self):
+        c = bell_circuit(measure=False)
+        c.barrier()
+        text = export_circuit_text(c)
+        assert "barrier" not in text
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: bell_circuit(),
+            lambda: ghz_circuit(5),
+            lambda: qft_circuit(4, measure=True),
+        ],
+        ids=["bell", "ghz5", "qft4"],
+    )
+    @pytest.mark.parametrize("addressing", ["static", "dynamic"])
+    def test_circuit_qir_circuit_identity(self, factory, addressing):
+        circuit = factory()
+        text = export_circuit_text(circuit, addressing=addressing)
+        back = import_circuit(parse_assembly(text))
+        assert back.operations == circuit.operations
+        assert back.num_qubits == circuit.num_qubits
+
+    def test_execution_equivalence_through_roundtrip(self):
+        from repro.circuit import run_circuit
+        from repro.sim.sampling import counts_to_probabilities, total_variation_distance
+
+        circuit = qft_circuit(3, measure=True)
+        direct = counts_to_probabilities(run_circuit(circuit, 3000, seed=11))
+        text = export_circuit_text(circuit)
+        via_qir = counts_to_probabilities(
+            run_shots(text, shots=3000, seed=12).counts
+        )
+        assert total_variation_distance(direct, via_qir) < 0.08
+
+    def test_adaptive_roundtrip(self):
+        sm = SimpleModule("t", 2, 2, profile=AdaptiveProfile)
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        sm.qis.if_result(0, one=lambda: sm.qis.x(1))
+        sm.qis.mz(1, 1)
+        circuit = import_circuit(parse_assembly(sm.ir()))
+        text = export_circuit_text(circuit)
+        again = import_circuit(parse_assembly(text))
+        assert again.operations == circuit.operations

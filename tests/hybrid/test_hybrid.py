@@ -1,0 +1,193 @@
+"""Unit tests for the hybrid partitioner and feasibility checker (Sec. IV-B)."""
+
+import pytest
+
+from repro.hybrid import (
+    ControllerCapability,
+    DeviceModel,
+    InfeasibleProgramError,
+    InstructionClass,
+    check_feasibility,
+    classify_instruction,
+    partition_function,
+)
+from repro.hybrid.latency import NEUTRAL_ATOM, SUPERCONDUCTING_FPGA, TRAPPED_ION
+from repro.llvmir import parse_assembly
+from repro.qir import AdaptiveProfile, SimpleModule
+from repro.workloads import repetition_code_qir, teleportation_qir
+
+
+class TestClassification:
+    def test_classes(self):
+        src = """
+        define void @main() #0 {
+        entry:
+          call void @__quantum__qis__h__body(ptr null)
+          call void @__quantum__qis__mz__body(ptr null, ptr writeonly null)
+          %r = call i1 @__quantum__qis__read_result__body(ptr null)
+          %x = add i64 1, 2
+          call void @__quantum__rt__result_record_output(ptr null, ptr null)
+          ret void
+        }
+        declare void @__quantum__qis__h__body(ptr)
+        declare void @__quantum__qis__mz__body(ptr, ptr writeonly)
+        declare i1 @__quantum__qis__read_result__body(ptr)
+        declare void @__quantum__rt__result_record_output(ptr, ptr)
+        attributes #0 = { "entry_point" }
+        """
+        fn = parse_assembly(src).get_function("main")
+        classes = [classify_instruction(i) for i in fn.instructions()]
+        assert classes == [
+            InstructionClass.QUANTUM_GATE,
+            InstructionClass.MEASUREMENT,
+            InstructionClass.READOUT,
+            InstructionClass.CLASSICAL,
+            InstructionClass.OUTPUT,
+            InstructionClass.STRUCTURAL,
+        ]
+
+
+def adaptive_program(classical_work=0):
+    return parse_assembly(
+        repetition_code_qir(3, classical_work=classical_work)
+    ).entry_points()[0]
+
+
+class TestPartition:
+    def test_feedback_regions_found(self):
+        partition = partition_function(adaptive_program())
+        assert len(partition.regions) >= 1
+        for region in partition.regions:
+            assert region.dependent_quantum
+
+    def test_classical_work_lands_in_region(self):
+        p0 = partition_function(adaptive_program(0))
+        p50 = partition_function(adaptive_program(50))
+        assert p50.controller_count > p0.controller_count + 40
+
+    def test_straight_line_program_has_no_regions(self):
+        sm = SimpleModule("t", 2, 2)
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        sm.record_output()
+        fn = parse_assembly(sm.ir()).entry_points()[0]
+        partition = partition_function(fn)
+        assert partition.regions == []
+        assert partition.controller_count == 0
+
+    def test_post_measurement_output_is_host_side(self):
+        sm = SimpleModule("t", 1, 1)
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        sm.record_output()
+        fn = parse_assembly(sm.ir()).entry_points()[0]
+        partition = partition_function(fn)
+        assert partition.host_count == 0  # record_output is OUTPUT class
+        assert len(partition.quantum_instructions) >= 2
+
+    def test_teleportation_has_two_regions(self):
+        fn = parse_assembly(teleportation_qir()).entry_points()[0]
+        partition = partition_function(fn)
+        assert len(partition.regions) == 2
+
+
+class TestFeasibility:
+    def test_light_feedback_feasible(self):
+        module = parse_assembly(repetition_code_qir(3, classical_work=5))
+        report = check_feasibility(module, SUPERCONDUCTING_FPGA)
+        assert report.feasible
+        assert report.worst_latency > 0
+
+    def test_heavy_feedback_rejected(self):
+        module = parse_assembly(repetition_code_qir(3, classical_work=2000))
+        report = check_feasibility(module, SUPERCONDUCTING_FPGA)
+        assert not report.feasible
+
+    def test_raise_on_reject(self):
+        module = parse_assembly(repetition_code_qir(3, classical_work=2000))
+        with pytest.raises(InfeasibleProgramError):
+            check_feasibility(module, SUPERCONDUCTING_FPGA, raise_on_reject=True)
+
+    def test_monotone_in_classical_work(self):
+        latencies = []
+        for work in (0, 20, 100, 400):
+            module = parse_assembly(repetition_code_qir(3, classical_work=work))
+            latencies.append(check_feasibility(module, SUPERCONDUCTING_FPGA).worst_latency)
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > latencies[0]
+
+    def test_crossover_moves_with_budget(self):
+        module = parse_assembly(repetition_code_qir(3, classical_work=600))
+        tight = DeviceModel(coherence_budget=2_000.0)
+        loose = DeviceModel(coherence_budget=1_000_000.0)
+        assert not check_feasibility(module, tight).feasible
+        assert check_feasibility(module, loose).feasible
+
+    def test_device_presets_differ(self):
+        module = parse_assembly(repetition_code_qir(3, classical_work=500))
+        sc = check_feasibility(module, SUPERCONDUCTING_FPGA)
+        ion = check_feasibility(module, TRAPPED_ION)
+        atom = check_feasibility(module, NEUTRAL_ATOM)
+        assert not sc.feasible
+        assert ion.feasible and atom.feasible
+
+    def test_capability_gap_forces_host_roundtrip(self):
+        # A controller without integer support must ship the decode to the
+        # host, paying the round trip.
+        module = parse_assembly(repetition_code_qir(3, classical_work=10))
+        no_int = DeviceModel(
+            capabilities=ControllerCapability.BRANCHING,
+            coherence_budget=5_000.0,
+        )
+        report = check_feasibility(module, no_int)
+        assert any(t.needs_host_round_trip for t in report.timings)
+        assert not report.feasible  # 100us round trip >> 5us budget
+
+    def test_float_work_on_int_only_controller(self):
+        src = """
+        define void @main() #0 {
+        entry:
+          call void @__quantum__qis__h__body(ptr null)
+          call void @__quantum__qis__mz__body(ptr null, ptr writeonly null)
+          %r = call i1 @__quantum__qis__read_result__body(ptr null)
+          %z = zext i1 %r to i64
+          %f = sitofp i64 %z to double
+          %g = fmul double %f, 2.0
+          %c = fcmp ogt double %g, 1.0
+          br i1 %c, label %fix, label %done
+        fix:
+          call void @__quantum__qis__x__body(ptr null)
+          br label %done
+        done:
+          ret void
+        }
+        declare void @__quantum__qis__h__body(ptr)
+        declare void @__quantum__qis__x__body(ptr)
+        declare void @__quantum__qis__mz__body(ptr, ptr writeonly)
+        declare i1 @__quantum__qis__read_result__body(ptr)
+        attributes #0 = { "entry_point" }
+        """
+        module = parse_assembly(src)
+        report = check_feasibility(module, SUPERCONDUCTING_FPGA)
+        assert any(t.needs_host_round_trip for t in report.timings)
+        fpu = DeviceModel(
+            capabilities=ControllerCapability.typical_fpga()
+            | ControllerCapability.FLOAT_ARITHMETIC
+        )
+        report_fpu = check_feasibility(module, fpu)
+        assert not any(t.needs_host_round_trip for t in report_fpu.timings)
+
+    def test_report_describe(self):
+        module = parse_assembly(repetition_code_qir(3, classical_work=10))
+        report = check_feasibility(module, SUPERCONDUCTING_FPGA)
+        text = report.describe()
+        assert "FEASIBLE" in text
+        assert "classical ops" in text
+
+    def test_no_feedback_program_trivially_feasible(self):
+        sm = SimpleModule("t", 1, 1)
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        report = check_feasibility(parse_assembly(sm.ir()))
+        assert report.feasible
+        assert report.worst_latency == 0.0

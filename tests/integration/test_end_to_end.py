@@ -1,0 +1,234 @@
+"""Integration tests across the full stack.
+
+These exercise the complete adoption paths the paper lays out:
+OpenQASM -> circuit -> QIR -> runtime, both parsing routes, the pass
+pipelines, and profile lowering -- checking *semantic equivalence*
+(identical or statistically close outcome distributions) at every stage.
+"""
+
+import pytest
+
+from repro import (
+    BaseProfile,
+    circuit_to_qasm2,
+    export_circuit_text,
+    import_circuit,
+    parse_assembly,
+    parse_base_profile,
+    parse_qasm2,
+    run_circuit,
+    run_shots,
+    validate_profile,
+)
+from repro.llvmir import print_module, verify_module
+from repro.passes import default_pipeline, o1_pipeline, unroll_pipeline
+from repro.passes.quantum import GateCancellationPass, RotationMergingPass
+from repro.passes.quantum.address_lowering import lowering_pipeline
+from repro.sim.sampling import counts_to_probabilities, total_variation_distance
+from repro.workloads import (
+    bell_circuit,
+    ghz_circuit,
+    qft_circuit,
+    random_circuit,
+)
+from repro.workloads.qir_programs import counted_loop_qir
+
+
+def tvd(a, b):
+    return total_variation_distance(
+        counts_to_probabilities(a), counts_to_probabilities(b)
+    )
+
+
+class TestQasmToQirPath:
+    """Fig. 1's two representations execute identically."""
+
+    QASM = """
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[2];
+    creg c[2];
+    h q[0];
+    cx q[0], q[1];
+    measure q -> c;
+    """
+
+    def test_same_distribution(self):
+        circuit = parse_qasm2(self.QASM)
+        direct = run_circuit(circuit, shots=3000, seed=1)
+        qir = export_circuit_text(circuit, addressing="static")
+        via_qir = run_shots(qir, shots=3000, seed=2).counts
+        assert set(direct) == set(via_qir) == {"00", "11"}
+        assert tvd(direct, via_qir) < 0.06
+
+    def test_full_cycle_is_identity(self):
+        circuit = parse_qasm2(self.QASM)
+        qir = export_circuit_text(circuit)
+        back = import_circuit(parse_assembly(qir))
+        qasm_again = circuit_to_qasm2(back)
+        assert parse_qasm2(qasm_again).operations == circuit.operations
+
+
+class TestTwoParsingRoutes:
+    """Sec. III-A: custom line parser vs LLVM-AST importer."""
+
+    @pytest.mark.parametrize("addressing", ["static", "dynamic"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_routes_agree_on_random_circuits(self, addressing, seed):
+        circuit = random_circuit(4, 6, seed=seed)
+        text = export_circuit_text(circuit, addressing=addressing)
+        assert parse_base_profile(text).operations == import_circuit(
+            parse_assembly(text)
+        ).operations
+
+
+class TestClassicalPipelinesPreserveSemantics:
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_o1_on_straightline_quantum(self, seed):
+        circuit = random_circuit(4, 8, seed=seed)
+        text = export_circuit_text(circuit)
+        before = run_shots(text, shots=600, seed=7).counts
+        m = parse_assembly(text)
+        o1_pipeline(verify_each=True).run(m)
+        after = run_shots(m, shots=600, seed=7).counts
+        assert before == after
+
+    def test_unroll_pipeline_preserves_distribution(self):
+        text = counted_loop_qir(5)
+        before = run_shots(text, shots=500, seed=8).counts
+        m = parse_assembly(text)
+        unroll_pipeline(verify_each=True).run(m)
+        after = run_shots(m, shots=500, seed=8).counts
+        assert before == after
+
+    def test_default_pipeline_with_user_function(self):
+        src = """
+        declare void @__quantum__qis__rz__body(double, ptr)
+        declare void @__quantum__qis__h__body(ptr)
+        declare void @__quantum__qis__mz__body(ptr, ptr writeonly)
+        define void @prep(double %angle) {
+        entry:
+          call void @__quantum__qis__h__body(ptr null)
+          call void @__quantum__qis__rz__body(double %angle, ptr null)
+          ret void
+        }
+        define void @main() #0 {
+        entry:
+          call void @prep(double 0.5)
+          call void @prep(double 0.25)
+          call void @__quantum__qis__mz__body(ptr null, ptr writeonly null)
+          ret void
+        }
+        attributes #0 = { "entry_point" "qir_profiles"="full" "required_num_qubits"="1" "required_num_results"="1" }
+        !llvm.module.flags = !{!0}
+        !0 = !{i32 1, !"qir_major_version", i32 1}
+        """
+        before = run_shots(src, shots=2000, seed=9).counts
+        m = parse_assembly(src)
+        default_pipeline(verify_each=True).run(m)
+        # inlining removed the user function calls
+        fn = m.get_function("main")
+        from repro.llvmir.instructions import CallInst
+
+        assert all(
+            (i.callee.name or "").startswith("__quantum__")
+            for i in fn.instructions()
+            if isinstance(i, CallInst)
+        )
+        after = run_shots(m, shots=2000, seed=9).counts
+        assert tvd(before, after) < 0.06
+
+
+class TestQuantumPassesPreserveSemantics:
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_cancellation_statevector_equivalence(self, seed):
+        import numpy as np
+
+        from repro.frontend import import_circuit as reimport
+        from repro.circuit import statevector_of
+
+        circuit = random_circuit(3, 10, seed=seed, measure=False)
+        text = export_circuit_text(circuit, record_output=False)
+        m = parse_assembly(text)
+        GateCancellationPass().run_on_module(m)
+        RotationMergingPass().run_on_module(m)
+        verify_module(m)
+        optimised = reimport(m)
+        before = statevector_of(circuit)
+        after = statevector_of(optimised)
+        # compare up to global phase
+        overlap = abs(np.vdot(before, after))
+        assert overlap == pytest.approx(1.0, abs=1e-9)
+
+
+class TestProfileLoweringPath:
+    """Full adoption flow: full-QIR loop program -> unroll -> lower ->
+    base-profile conformant -> both parsers accept -> same results."""
+
+    def test_loop_program_to_base_profile(self):
+        text = counted_loop_qir(6)
+        m = parse_assembly(text)
+        assert validate_profile(m, BaseProfile) != []
+
+        before = run_shots(text, shots=400, seed=10).counts
+
+        lowering_pipeline().run(m)
+        verify_module(m)
+        assert validate_profile(m, BaseProfile) == []
+
+        lowered_text = print_module(m)
+        after = run_shots(lowered_text, shots=400, seed=10).counts
+        assert before == after
+
+        # Example 3's custom parser can now consume it.
+        circuit = parse_base_profile(lowered_text)
+        assert circuit.count_ops()["h"] == 6
+
+    def test_dynamic_bell_to_base_profile(self):
+        from repro.qir import SimpleModule
+
+        sm = SimpleModule("bell", 2, 2, addressing="dynamic")
+        sm.qis.h(0)
+        sm.qis.cnot(0, 1)
+        sm.qis.mz(0, 0)
+        sm.qis.mz(1, 1)
+        sm.record_output()
+        m = parse_assembly(sm.ir())
+        assert validate_profile(m, BaseProfile) != []
+        lowering_pipeline().run(m)
+        assert validate_profile(m, BaseProfile) == []
+
+
+class TestBackendAgreement:
+    def test_statevector_and_stabilizer_agree_on_ghz(self):
+        text = export_circuit_text(ghz_circuit(8))
+        sv = run_shots(text, shots=800, seed=11, backend="statevector").counts
+        stab = run_shots(text, shots=800, seed=11, backend="stabilizer").counts
+        assert set(sv) == set(stab) == {"0" * 8, "1" * 8}
+        assert tvd(sv, stab) < 0.1
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_agree_on_random_clifford(self, seed):
+        circuit = random_circuit(4, 8, seed=seed, clifford_only=True)
+        text = export_circuit_text(circuit)
+        sv = run_shots(text, shots=1500, seed=12, backend="statevector").counts
+        stab = run_shots(text, shots=1500, seed=13, backend="stabilizer").counts
+        assert tvd(sv, stab) < 0.12
+
+
+class TestQftEndToEnd:
+    def test_qft_period_finding_shape(self):
+        """Prepare a period-4 state, QFT, measure: peaks at multiples of 2."""
+        from repro.circuit import Circuit
+
+        n = 3
+        prep = Circuit()
+        prep.qreg(n, "q")
+        prep.creg(n, "c")
+        prep.h(2)  # superposition of |000> and |100>: period 4 in index
+        full = prep.compose(qft_circuit(n, measure=False))
+        full.measure_all()
+        text = export_circuit_text(full)
+        counts = run_shots(text, shots=2000, seed=14).counts
+        observed = {int(k, 2) for k in counts}
+        assert observed == {0, 2, 4, 6}

@@ -1,0 +1,97 @@
+"""Property-based round-trip tests across all format bridges.
+
+For hypothesis-generated random circuits:
+* circuit -> QASM2 -> circuit preserves operations,
+* circuit -> QASM3 -> circuit preserves operations,
+* circuit -> QIR -> circuit is the identity,
+* circuit -> QIR text -> parse -> print -> parse is a fixpoint.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit
+from repro.frontend import export_circuit_text, import_circuit
+from repro.llvmir import parse_assembly, print_module
+from repro.qasm import circuit_to_qasm2, circuit_to_qasm3, parse_qasm2, parse_qasm3
+
+_GATES_1Q = ["h", "x", "y", "z", "s", "s_adj", "t", "t_adj"]
+_ROTATIONS = ["rx", "ry", "rz", "p"]
+_GATES_2Q = ["cnot", "cz", "swap"]
+
+
+@st.composite
+def random_circuits(draw, max_qubits=4, max_ops=15):
+    num_qubits = draw(st.integers(min_value=1, max_value=max_qubits))
+    circuit = Circuit("prop")
+    circuit.qreg(num_qubits, "q")
+    circuit.creg(num_qubits, "c")
+    n = draw(st.integers(min_value=0, max_value=max_ops))
+    measured = set()
+    for _ in range(n):
+        kind = draw(st.sampled_from(["1q", "rot", "2q", "measure", "reset"]))
+        if kind == "2q" and num_qubits < 2:
+            kind = "1q"
+        if kind == "1q":
+            q = draw(st.integers(0, num_qubits - 1))
+            circuit.gate(draw(st.sampled_from(_GATES_1Q)), [q])
+        elif kind == "rot":
+            q = draw(st.integers(0, num_qubits - 1))
+            angle = draw(
+                st.floats(
+                    min_value=-6.0,
+                    max_value=6.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            )
+            circuit.gate(draw(st.sampled_from(_ROTATIONS)), [q], [angle])
+        elif kind == "2q":
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 1).filter(lambda x: x != a))
+            circuit.gate(draw(st.sampled_from(_GATES_2Q)), [a, b])
+        elif kind == "measure":
+            q = draw(st.integers(0, num_qubits - 1))
+            circuit.measure(q, q)
+        else:
+            q = draw(st.integers(0, num_qubits - 1))
+            circuit.reset(q)
+    return circuit
+
+
+@given(random_circuits())
+@settings(max_examples=50, deadline=None)
+def test_qasm2_roundtrip_property(circuit):
+    back = parse_qasm2(circuit_to_qasm2(circuit))
+    assert len(back) == len(circuit)
+    for a, b in zip(circuit.operations, back.operations):
+        assert type(a) is type(b)
+        if hasattr(a, "name"):
+            assert a.name == b.name
+        if hasattr(a, "params"):
+            assert a.params == pytest.approx(b.params, abs=1e-9)
+
+
+@given(random_circuits())
+@settings(max_examples=50, deadline=None)
+def test_qasm3_roundtrip_property(circuit):
+    back = parse_qasm3(circuit_to_qasm3(circuit))
+    assert back.count_ops() == circuit.count_ops()
+
+
+@given(random_circuits(), st.sampled_from(["static", "dynamic"]))
+@settings(max_examples=50, deadline=None)
+def test_qir_roundtrip_property(circuit, addressing):
+    text = export_circuit_text(circuit, addressing=addressing)
+    back = import_circuit(parse_assembly(text))
+    assert back.operations == circuit.operations
+
+
+@given(random_circuits())
+@settings(max_examples=30, deadline=None)
+def test_qir_print_parse_fixpoint_property(circuit):
+    text = export_circuit_text(circuit)
+    module = parse_assembly(text)
+    printed = print_module(module)
+    assert print_module(parse_assembly(printed)) == printed

@@ -1,0 +1,223 @@
+"""Unit tests for instruction construction and CFG edge management."""
+
+import pytest
+
+from repro.llvmir.block import BasicBlock
+from repro.llvmir.function import Function
+from repro.llvmir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GetElementPtrInst,
+    ICmpInst,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from repro.llvmir.module import Module
+from repro.llvmir.types import FunctionType, double, i1, i32, i64, ptr, void
+from repro.llvmir.values import ConstantFloat, ConstantInt, ConstantNull
+
+
+def c32(v):
+    return ConstantInt(i32, v)
+
+
+class TestBinary:
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryInst("add", c32(1), ConstantInt(i64, 1))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryInst("frobnicate", c32(1), c32(2))
+
+    def test_result_type(self):
+        assert BinaryInst("add", c32(1), c32(2)).type == i32
+
+    def test_format_with_flags(self):
+        inst = BinaryInst("add", c32(1), c32(2), flags=["nsw"])
+        inst.name = "x"
+        assert inst.format() == "%x = add nsw i32 1, 2"
+
+
+class TestCompare:
+    def test_icmp_yields_i1(self):
+        assert ICmpInst("slt", c32(1), c32(2)).type == i1
+
+    def test_bad_predicate(self):
+        with pytest.raises(ValueError):
+            ICmpInst("weird", c32(1), c32(2))
+
+    def test_fcmp(self):
+        a = ConstantFloat(double, 1.0)
+        inst = FCmpInst("olt", a, a)
+        assert inst.type == i1
+
+    def test_icmp_type_mismatch(self):
+        with pytest.raises(TypeError):
+            ICmpInst("eq", c32(1), ConstantInt(i64, 1))
+
+
+class TestMemory:
+    def test_alloca_returns_ptr(self):
+        assert AllocaInst(i32).type == ptr
+
+    def test_store_is_void(self):
+        assert StoreInst(c32(1), ConstantNull()).type.is_void
+
+    def test_load_format(self):
+        inst = LoadInst(ptr, ConstantNull(), align=8)
+        inst.name = "0"
+        assert inst.format() == "%0 = load ptr, ptr null, align 8"
+
+    def test_gep_indices(self):
+        from repro.llvmir.types import ArrayType
+
+        gep = GetElementPtrInst(
+            ArrayType(4, i32), ConstantNull(), [c32(0), c32(2)], inbounds=True
+        )
+        assert len(gep.indices) == 2
+        assert gep.type == ptr
+
+
+class TestCall:
+    def _callee(self, params=(ptr,)):
+        m = Module()
+        return m.declare_function("f", FunctionType(void, list(params)))
+
+    def test_arity_checked(self):
+        callee = self._callee()
+        with pytest.raises(TypeError):
+            CallInst(callee, [])
+
+    def test_callers_tracked(self):
+        callee = self._callee()
+        call = CallInst(callee, [ConstantNull()])
+        assert call in callee.callers
+        call.drop_all_references()
+        assert call not in callee.callers
+
+    def test_void_call_format(self):
+        callee = self._callee()
+        call = CallInst(callee, [ConstantNull()])
+        assert call.format() == "call void @f(ptr null)"
+
+    def test_arg_attrs_printed(self):
+        callee = self._callee()
+        call = CallInst(callee, [ConstantNull()], arg_attrs=[("writeonly",)])
+        assert call.format() == "call void @f(ptr writeonly null)"
+
+
+class TestControlFlow:
+    def _fn(self):
+        m = Module()
+        fn = m.define_function("f", FunctionType(void, []))
+        return fn
+
+    def test_branch_successors(self):
+        fn = self._fn()
+        a, b = fn.create_block("a"), fn.create_block("b")
+        br = BranchInst(b)
+        a.append(br)
+        assert a.successors() == [b]
+
+    def test_cond_branch_retarget(self):
+        fn = self._fn()
+        a, b, c = (fn.create_block(x) for x in "abc")
+        br = CondBranchInst(ConstantInt(i1, 1), b, c)
+        br.replace_block_target(b, c)
+        assert br.successors() == [c, c]
+
+    def test_switch_successors_and_retarget(self):
+        fn = self._fn()
+        d, x, y = (fn.create_block(n) for n in ("d", "x", "y"))
+        sw = SwitchInst(c32(0), d, [(c32(1), x), (c32(2), y)])
+        assert sw.successors() == [d, x, y]
+        sw.replace_block_target(x, y)
+        assert sw.successors() == [d, y, y]
+
+    def test_phi_incoming(self):
+        fn = self._fn()
+        a, b = fn.create_block("a"), fn.create_block("b")
+        phi = PhiInst(i32)
+        phi.add_incoming(c32(1), a)
+        phi.add_incoming(c32(2), b)
+        assert phi.incoming_for(a).value == 1  # type: ignore[attr-defined]
+        phi.remove_incoming(a)
+        assert len(phi.incoming) == 1
+        with pytest.raises(KeyError):
+            phi.incoming_for(a)
+
+    def test_phi_retarget_block(self):
+        fn = self._fn()
+        a, b = fn.create_block("a"), fn.create_block("b")
+        phi = PhiInst(i32)
+        phi.add_incoming(c32(1), a)
+        phi.replace_block_target(a, b)
+        assert phi.incoming_blocks == [b]
+
+    def test_return_value(self):
+        r = ReturnInst(c32(3))
+        assert r.return_value.value == 3  # type: ignore[union-attr]
+        assert ReturnInst().return_value is None
+
+    def test_terminator_classification(self):
+        assert ReturnInst().is_terminator
+        assert UnreachableInst().is_terminator
+        assert not AllocaInst(i32).is_terminator
+
+    def test_select_type_mismatch(self):
+        with pytest.raises(TypeError):
+            SelectInst(ConstantInt(i1, 1), c32(1), ConstantInt(i64, 1))
+
+
+class TestCast:
+    def test_cast_types(self):
+        inst = CastInst("zext", ConstantInt(i1, 1), i64)
+        assert inst.type == i64
+
+    def test_unknown_cast(self):
+        with pytest.raises(ValueError):
+            CastInst("mystery", c32(1), i64)
+
+
+class TestBlockOps:
+    def test_insert_before(self):
+        m = Module()
+        fn = m.define_function("f", FunctionType(void, []))
+        block = fn.create_block("entry")
+        ret = block.append(ReturnInst())
+        add = BinaryInst("add", c32(1), c32(2))
+        block.insert_before(ret, add)
+        assert block.instructions == [add, ret]
+
+    def test_remove_detaches_uses(self):
+        m = Module()
+        fn = m.define_function("f", FunctionType(void, []))
+        block = fn.create_block("entry")
+        a = block.append(BinaryInst("add", c32(1), c32(2)))
+        b = block.append(BinaryInst("add", a, c32(3)))
+        block.remove(b)
+        assert not a.is_used()
+        assert b.parent is None
+
+    def test_first_non_phi_index(self):
+        m = Module()
+        fn = m.define_function("f", FunctionType(void, []))
+        block = fn.create_block("entry")
+        pred = fn.create_block("p")
+        phi = PhiInst(i32)
+        phi.add_incoming(c32(0), pred)
+        block.append(phi)
+        block.append(ReturnInst())
+        assert block.first_non_phi_index() == 1
+        assert block.phis() == [phi]

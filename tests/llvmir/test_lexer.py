@@ -1,0 +1,99 @@
+"""Unit tests for the .ll tokenizer."""
+
+import pytest
+
+from repro.llvmir.lexer import Lexer, LexError
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in Lexer(source).tokenize()[:-1]]
+
+
+class TestBasicTokens:
+    def test_local_and_global(self):
+        assert kinds("%x @f") == [("LOCAL", "x"), ("GLOBAL", "f")]
+
+    def test_numeric_local(self):
+        assert kinds("%0 %12") == [("LOCAL", "0"), ("LOCAL", "12")]
+
+    def test_quantum_function_name(self):
+        toks = kinds("@__quantum__qis__h__body")
+        assert toks == [("GLOBAL", "__quantum__qis__h__body")]
+
+    def test_integers(self):
+        assert kinds("42 -7") == [("INT", "42"), ("INT", "-7")]
+
+    def test_floats(self):
+        assert kinds("1.5 2.0e-3 1e6") == [
+            ("FLOAT", "1.5"),
+            ("FLOAT", "2.0e-3"),
+            ("FLOAT", "1e6"),
+        ]
+
+    def test_hex_float(self):
+        assert kinds("0x3FF0000000000000") == [("FLOAT", "0x3FF0000000000000")]
+
+    def test_punctuation(self):
+        assert [k for k, _ in kinds("= , ( ) { } [ ] * :")] == ["PUNCT"] * 10
+
+    def test_words(self):
+        assert kinds("define void") == [("WORD", "define"), ("WORD", "void")]
+
+    def test_ellipsis_is_word(self):
+        assert kinds("...") == [("WORD", "...")]
+
+
+class TestStrings:
+    def test_plain_string(self):
+        assert kinds('"hello"') == [("STRING", "hello")]
+
+    def test_c_string(self):
+        assert kinds('c"ab\\00"') == [("CSTRING", "ab\x00")]
+
+    def test_hex_escape(self):
+        assert kinds('"\\41"') == [("STRING", "A")]
+
+    def test_quoted_identifier(self):
+        assert kinds('%"my var" @"g v"') == [("LOCAL", "my var"), ("GLOBAL", "g v")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            Lexer('"abc').tokenize()
+
+
+class TestMetadataAndAttrs:
+    def test_metadata_ref(self):
+        assert kinds("!0 !llvm.module.flags") == [
+            ("METADATA", "0"),
+            ("METADATA", "llvm.module.flags"),
+        ]
+
+    def test_metadata_string(self):
+        assert kinds('!"key"') == [("MDSTRING", "key")]
+
+    def test_metadata_brace(self):
+        assert kinds("!{") == [("PUNCT", "!{")]
+
+    def test_attribute_group(self):
+        assert kinds("#0") == [("ATTRGROUP", "0")]
+
+
+class TestTrivia:
+    def test_comments_skipped(self):
+        assert kinds("; a comment\n42") == [("INT", "42")]
+
+    def test_whitespace_insensitive(self):
+        assert kinds("  %a\n\t%b ") == [("LOCAL", "a"), ("LOCAL", "b")]
+
+    def test_line_column_tracking(self):
+        toks = Lexer("a\n  b").tokenize()
+        assert toks[0].line == 1 and toks[0].column == 1
+        assert toks[1].line == 2 and toks[1].column == 3
+
+    def test_eof_token(self):
+        toks = Lexer("").tokenize()
+        assert toks[-1].kind == "EOF"
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            Lexer("`").tokenize()

@@ -1,0 +1,198 @@
+"""Unit tests for Module container semantics and the IRBuilder."""
+
+import pytest
+
+from repro.llvmir import IRBuilder, parse_assembly, print_module, verify_module
+from repro.llvmir.function import Function
+from repro.llvmir.module import AttributeGroup, Module
+from repro.llvmir.types import FunctionType, double, i1, i32, i64, ptr, void
+from repro.llvmir.values import ConstantInt, ConstantString, GlobalVariable
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        m = Module()
+        m.define_function("f", FunctionType(void, []))
+        with pytest.raises(ValueError, match="duplicate"):
+            m.define_function("f", FunctionType(void, []))
+
+    def test_declare_function_get_or_create(self):
+        m = Module()
+        a = m.declare_function("g", FunctionType(void, [ptr]))
+        b = m.declare_function("g", FunctionType(void, [ptr]))
+        assert a is b
+
+    def test_conflicting_declaration_rejected(self):
+        m = Module()
+        m.declare_function("g", FunctionType(void, [ptr]))
+        with pytest.raises(ValueError, match="conflicting"):
+            m.declare_function("g", FunctionType(void, [i64]))
+
+    def test_remove_function_with_callers_rejected(self):
+        m = Module()
+        callee = m.declare_function("g", FunctionType(void, []))
+        fn = m.define_function("f", FunctionType(void, []))
+        b = IRBuilder(fn.create_block("entry"))
+        b.call(callee)
+        b.ret_void()
+        with pytest.raises(ValueError, match="callers"):
+            m.remove_function(callee)
+
+    def test_remove_unreferenced_function(self):
+        m = Module()
+        g = m.declare_function("g", FunctionType(void, []))
+        m.remove_function(g)
+        assert m.get_function("g") is None
+
+    def test_entry_points(self):
+        m = Module()
+        fn = m.define_function("main", FunctionType(void, []))
+        group = m.create_attribute_group({"entry_point": None})
+        fn.attribute_group = group
+        m.define_function("helper", FunctionType(void, []))
+        assert m.entry_points() == [fn]
+
+    def test_duplicate_global_rejected(self):
+        m = Module()
+        m.add_global(GlobalVariable("g", ConstantString.from_text("x")))
+        with pytest.raises(ValueError, match="duplicate"):
+            m.add_global(GlobalVariable("g", None))
+
+    def test_attribute_group_ids_increment(self):
+        m = Module()
+        a = m.create_attribute_group()
+        b = m.create_attribute_group()
+        assert (a.group_id, b.group_id) == (0, 1)
+
+    def test_module_flags(self):
+        m = Module()
+        m.set_qir_profile_flags(dynamic_qubit_management=True)
+        flag = m.get_module_flag("dynamic_qubit_management")
+        assert flag is not None and flag.value != 0
+        assert m.get_module_flag("nonexistent") is None
+
+    def test_instruction_count(self):
+        m = parse_assembly(
+            "define void @f() {\nentry:\n  %x = add i32 1, 2\n  ret void\n}"
+        )
+        assert m.instruction_count() == 2
+
+    def test_function_attribute_merging(self):
+        m = Module()
+        fn = m.define_function("f", FunctionType(void, []))
+        group = m.create_attribute_group({"a": "1", "b": "2"})
+        fn.attribute_group = group
+        fn.attributes["b"] = "3"  # direct attrs shadow the group
+        assert fn.get_attribute("a") == "1"
+        assert fn.get_attribute("b") == "3"
+
+
+class TestIRBuilder:
+    def _fn(self):
+        m = Module()
+        fn = m.define_function("f", FunctionType(i32, [i32]))
+        return m, fn, IRBuilder(fn.create_block("entry"))
+
+    def test_position_before(self):
+        m, fn, b = self._fn()
+        first = b.add(fn.arguments[0], ConstantInt(i32, 1))
+        ret = b.ret(first)
+        b.position_before(ret)
+        second = b.add(first, ConstantInt(i32, 2))
+        assert fn.entry_block.instructions == [first, second, ret]
+
+    def test_no_block_raises(self):
+        b = IRBuilder()
+        with pytest.raises(ValueError, match="insertion block"):
+            b.ret_void()
+
+    def test_named_results(self):
+        m, fn, b = self._fn()
+        x = b.mul(fn.arguments[0], fn.arguments[0], name="sq")
+        b.ret(x)
+        assert x.name == "sq"
+        assert "%sq = mul" in print_module(m)
+
+    def test_every_arithmetic_helper(self):
+        m = Module()
+        fn = m.define_function("g", FunctionType(void, [i64, i64, double, double]))
+        b = IRBuilder(fn.create_block("entry"))
+        x, y, fx, fy = fn.arguments
+        for helper in (b.add, b.sub, b.mul, b.sdiv, b.srem, b.and_, b.or_, b.xor, b.shl):
+            helper(x, y)
+        for helper in (b.fadd, b.fsub, b.fmul, b.fdiv):
+            helper(fx, fy)
+        b.icmp("slt", x, y)
+        b.fcmp("olt", fx, fy)
+        b.select(b.icmp("eq", x, y), x, y)
+        b.zext(b.trunc(x, i1), i64)
+        b.sext(b.trunc(x, i1), i64)
+        b.sitofp(x, double)
+        b.fptosi(fx, i64)
+        b.inttoptr(x, ptr)
+        slot = b.alloca(i64, align=8)
+        b.store(x, slot)
+        b.load(i64, slot)
+        b.ptrtoint(slot, i64)
+        b.ret_void()
+        verify_module(m)
+
+    def test_cfg_helpers(self):
+        m = Module()
+        fn = m.define_function("h", FunctionType(void, [i1]))
+        entry = fn.create_block("entry")
+        then_b = fn.create_block("t")
+        else_b = fn.create_block("e")
+        join = fn.create_block("j")
+        b = IRBuilder(entry)
+        b.cbr(fn.arguments[0], then_b, else_b)
+        b.position_at_end(then_b)
+        b.br(join)
+        b.position_at_end(else_b)
+        b.br(join)
+        b.position_at_end(join)
+        phi = b.phi(i32)
+        phi.add_incoming(ConstantInt(i32, 1), then_b)
+        phi.add_incoming(ConstantInt(i32, 2), else_b)
+        b.ret_void()
+        verify_module(m)
+
+    def test_switch_and_unreachable(self):
+        m = Module()
+        fn = m.define_function("s", FunctionType(void, [i32]))
+        entry = fn.create_block("entry")
+        a = fn.create_block("a")
+        d = fn.create_block("d")
+        b = IRBuilder(entry)
+        b.switch(fn.arguments[0], d, [(ConstantInt(i32, 1), a)])
+        IRBuilder(a).ret_void()
+        IRBuilder(d).unreachable()
+        verify_module(m)
+
+
+class TestPrinterEdgeCases:
+    def test_vararg_declaration_roundtrip(self):
+        m = parse_assembly("declare i32 @printf(ptr, ...)")
+        text = print_module(m)
+        assert "declare i32 @printf(ptr, ...)" in text
+        assert print_module(parse_assembly(text)) == text
+
+    def test_quoted_global_name(self):
+        m = Module()
+        m.add_global(
+            GlobalVariable("needs quoting", ConstantString.from_text("x"))
+        )
+        text = print_module(m)
+        assert '@"needs quoting"' in text
+
+    def test_function_direct_string_attributes(self):
+        m = Module()
+        fn = m.define_function("f", FunctionType(void, []))
+        IRBuilder(fn.create_block("entry")).ret_void()
+        fn.attributes["irreversible"] = None
+        fn.attributes["required_num_qubits"] = "4"
+        text = print_module(m)
+        assert '"irreversible"' in text
+        assert '"required_num_qubits"="4"' in text
+        again = parse_assembly(text)
+        assert again.get_function("f").get_attribute("required_num_qubits") == "4"

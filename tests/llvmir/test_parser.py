@@ -1,0 +1,371 @@
+"""Unit tests for the .ll parser."""
+
+import pytest
+
+from repro.llvmir import (
+    BinaryInst,
+    CallInst,
+    CondBranchInst,
+    ConstantInt,
+    ConstantPointerInt,
+    ICmpInst,
+    ParseError,
+    PhiInst,
+    SwitchInst,
+    parse_assembly,
+    verify_module,
+)
+from repro.llvmir.types import IntType, ptr
+from repro.llvmir.values import ConstantNull, ConstantString
+
+
+def parse_ok(src):
+    module = parse_assembly(src)
+    verify_module(module)
+    return module
+
+
+class TestTopLevel:
+    def test_source_filename(self):
+        m = parse_ok('source_filename = "x.ll"')
+        assert m.source_filename == "x.ll"
+
+    def test_target_lines_ignored(self):
+        parse_ok('target datalayout = "e-m"\ntarget triple = "x86_64"')
+
+    def test_opaque_struct_decl(self):
+        m = parse_ok("%Qubit = type opaque")
+        assert m.struct_types["Qubit"].opaque
+
+    def test_struct_with_fields(self):
+        m = parse_ok("%Pair = type { i32, double }")
+        assert len(m.struct_types["Pair"].fields) == 2
+
+    def test_global_string(self):
+        m = parse_ok('@0 = internal constant [3 x i8] c"ab\\00"')
+        gv = m.get_global("0")
+        assert isinstance(gv.initializer, ConstantString)
+        assert gv.initializer.text() == "ab"
+
+    def test_declare(self):
+        m = parse_ok("declare void @f(ptr, i64)")
+        fn = m.get_function("f")
+        assert fn.is_declaration
+        assert len(fn.function_type.param_types) == 2
+
+    def test_declare_with_param_attrs(self):
+        m = parse_ok("declare void @f(ptr writeonly)")
+        assert m.get_function("f") is not None
+
+    def test_vararg_declare(self):
+        m = parse_ok("declare i32 @printf(ptr, ...)")
+        assert m.get_function("printf").function_type.vararg
+
+    def test_duplicate_declare_merges(self):
+        m = parse_ok("declare void @f(ptr)\ndeclare void @f(ptr)")
+        assert len(m.functions) == 1
+
+    def test_conflicting_redeclaration_rejected(self):
+        with pytest.raises(ValueError):
+            parse_assembly("declare void @f(ptr)\ndeclare void @f(i64)")
+
+
+class TestLegacyPointers:
+    def test_qubit_star_normalises_to_ptr(self):
+        m = parse_ok(
+            "%Qubit = type opaque\n"
+            "declare void @__quantum__qis__h__body(%Qubit*)"
+        )
+        fn = m.get_function("__quantum__qis__h__body")
+        assert fn.function_type.param_types[0] == ptr
+
+    def test_double_star(self):
+        m = parse_ok("%Qubit = type opaque\ndeclare void @f(%Qubit**)")
+        assert m.get_function("f").function_type.param_types[0] == ptr
+
+    def test_undeclared_struct_auto_registered(self):
+        m = parse_ok("declare void @f(%Array*)")
+        assert "Array" in m.struct_types
+
+
+class TestFunctionBodies:
+    def test_simple_body(self):
+        m = parse_ok(
+            """
+            define i32 @f(i32 %a, i32 %b) {
+            entry:
+              %sum = add i32 %a, %b
+              ret i32 %sum
+            }
+            """
+        )
+        fn = m.get_function("f")
+        assert not fn.is_declaration
+        assert isinstance(fn.entry_block.instructions[0], BinaryInst)
+
+    def test_forward_reference_to_block(self):
+        parse_ok(
+            """
+            define void @f() {
+            entry:
+              br label %later
+            later:
+              ret void
+            }
+            """
+        )
+
+    def test_forward_value_reference_via_phi(self):
+        m = parse_ok(
+            """
+            define i32 @f(i1 %c) {
+            entry:
+              br i1 %c, label %a, label %b
+            a:
+              br label %join
+            b:
+              br label %join
+            join:
+              %x = phi i32 [ %y, %a ], [ 2, %b ]
+              ret i32 %x
+            }
+            """.replace("%y, %a", "1, %a")
+        )
+        phi = m.get_function("f").blocks[-1].instructions[0]
+        assert isinstance(phi, PhiInst)
+
+    def test_undefined_local_rejected(self):
+        with pytest.raises(ParseError):
+            parse_assembly(
+                "define i32 @f() {\nentry:\n  ret i32 %nope\n}"
+            )
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(ParseError):
+            parse_assembly(
+                "define void @f() {\nentry:\n  br label %ghost\n}"
+            )
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(ParseError):
+            parse_assembly(
+                """
+                define void @f() {
+                entry:
+                  %x = add i32 1, 2
+                  %x = add i32 3, 4
+                  ret void
+                }
+                """
+            )
+
+    def test_numeric_block_labels(self):
+        m = parse_ok(
+            """
+            define void @f(i1 %c) {
+            entry:
+              br i1 %c, label %1, label %2
+            1:
+              br label %3
+            2:
+              br label %3
+            3:
+              ret void
+            }
+            """
+        )
+        assert len(m.get_function("f").blocks) == 4
+
+    def test_switch(self):
+        m = parse_ok(
+            """
+            define void @f(i32 %x) {
+            entry:
+              switch i32 %x, label %d [ i32 0, label %a
+                                        i32 1, label %b ]
+            a:
+              ret void
+            b:
+              ret void
+            d:
+              ret void
+            }
+            """
+        )
+        sw = m.get_function("f").entry_block.terminator
+        assert isinstance(sw, SwitchInst)
+        assert len(sw.cases) == 2
+
+    def test_call_before_declare(self):
+        m = parse_ok(
+            """
+            define void @f() {
+            entry:
+              call void @g(i64 1)
+              ret void
+            }
+            declare void @g(i64)
+            """
+        )
+        assert len(m.get_function("g").callers) == 1
+
+    def test_implicit_declaration_from_call(self):
+        m = parse_ok(
+            "define void @f() {\nentry:\n  call void @g(i64 1)\n  ret void\n}"
+        )
+        g = m.get_function("g")
+        assert g is not None and g.is_declaration
+
+    def test_inttoptr_constant_argument(self):
+        m = parse_ok(
+            """
+            define void @f() {
+            entry:
+              call void @g(ptr inttoptr (i64 5 to ptr))
+              ret void
+            }
+            declare void @g(ptr)
+            """
+        )
+        call = m.get_function("f").entry_block.instructions[0]
+        arg = call.operands[0]
+        assert isinstance(arg, ConstantPointerInt) and arg.address == 5
+
+    def test_writeonly_call_argument(self):
+        m = parse_ok(
+            """
+            declare void @mz(ptr, ptr writeonly)
+            define void @f() {
+            entry:
+              call void @mz(ptr null, ptr writeonly null)
+              ret void
+            }
+            """
+        )
+        call = m.get_function("f").entry_block.instructions[0]
+        assert call.arg_attrs[1] == ("writeonly",)
+
+    def test_tail_call(self):
+        m = parse_ok(
+            """
+            declare void @g()
+            define void @f() {
+            entry:
+              tail call void @g()
+              ret void
+            }
+            """
+        )
+        call = m.get_function("f").entry_block.instructions[0]
+        assert call.tail
+
+    def test_alloca_load_store_gep(self):
+        m = parse_ok(
+            """
+            define i8 @f() {
+            entry:
+              %p = alloca [4 x i8], align 1
+              %q = getelementptr inbounds [4 x i8], ptr %p, i64 0, i64 2
+              store i8 7, ptr %q
+              %v = load i8, ptr %q
+              ret i8 %v
+            }
+            """
+        )
+        assert m.get_function("f") is not None
+
+    def test_fadd_and_casts(self):
+        parse_ok(
+            """
+            define double @f(i64 %x) {
+            entry:
+              %d = sitofp i64 %x to double
+              %e = fadd double %d, 1.5
+              ret double %e
+            }
+            """
+        )
+
+    def test_select(self):
+        parse_ok(
+            """
+            define i32 @f(i1 %c) {
+            entry:
+              %v = select i1 %c, i32 1, i32 2
+              ret i32 %v
+            }
+            """
+        )
+
+    def test_hex_double_literal(self):
+        m = parse_ok(
+            """
+            define double @f() {
+            entry:
+              ret double 0x3FF0000000000000
+            }
+            """
+        )
+        ret = m.get_function("f").entry_block.terminator
+        assert ret.return_value.value == 1.0
+
+
+class TestAttributesAndMetadata:
+    SRC = """
+    define void @main() #0 {
+    entry:
+      ret void
+    }
+    attributes #0 = { "entry_point" "required_num_qubits"="2" nounwind }
+    !llvm.module.flags = !{!0, !1}
+    !0 = !{i32 1, !"qir_major_version", i32 1}
+    !1 = !{i32 1, !"dynamic_qubit_management", i1 false}
+    """
+
+    def test_attribute_group_resolution(self):
+        m = parse_ok(self.SRC)
+        fn = m.get_function("main")
+        assert fn.is_entry_point
+        assert fn.get_attribute("required_num_qubits") == "2"
+        assert fn.has_attribute("nounwind")
+
+    def test_module_flags(self):
+        m = parse_ok(self.SRC)
+        flag = m.get_module_flag("qir_major_version")
+        assert isinstance(flag, ConstantInt) and flag.value == 1
+        dyn = m.get_module_flag("dynamic_qubit_management")
+        assert isinstance(dyn, ConstantInt) and dyn.value == 0
+
+    def test_attribute_group_used_before_definition(self):
+        m = parse_ok(
+            """
+            define void @f() #3 {
+            entry:
+              ret void
+            }
+            attributes #3 = { "entry_point" }
+            """
+        )
+        assert m.get_function("f").is_entry_point
+
+    def test_undefined_metadata_rejected(self):
+        with pytest.raises(ParseError):
+            parse_assembly("!llvm.module.flags = !{!9}")
+
+    def test_named_metadata_preserved(self):
+        m = parse_ok('!custom = !{!0}\n!0 = !{!"hello"}')
+        assert "custom" in m.named_metadata
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(ParseError):
+            parse_assembly("define void @f() {\nentry:\n  frob i32 1\n  ret void\n}")
+
+    def test_unknown_type(self):
+        with pytest.raises(ParseError):
+            parse_assembly("declare void @f(banana)")
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse_assembly("42")

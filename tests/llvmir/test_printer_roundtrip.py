@@ -1,0 +1,191 @@
+"""Printer round-trip: parse(print(m)) must be a fixpoint.
+
+Includes a hypothesis property test over randomly generated straight-line
+and branching modules.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llvmir import parse_assembly, print_module, verify_module
+from repro.llvmir.builder import IRBuilder
+from repro.llvmir.module import Module
+from repro.llvmir.types import FunctionType, double, i1, i32, i64, ptr, void
+from repro.llvmir.values import ConstantFloat, ConstantInt, ConstantNull
+
+
+def roundtrip(source: str) -> None:
+    m1 = parse_assembly(source)
+    verify_module(m1)
+    text1 = print_module(m1)
+    m2 = parse_assembly(text1)
+    verify_module(m2)
+    text2 = print_module(m2)
+    assert text1 == text2
+
+
+class TestHandWrittenRoundTrips:
+    def test_fig1_dynamic_bell(self):
+        roundtrip(
+            """
+            %Qubit = type opaque
+            define void @main() #0 {
+            entry:
+              %q = alloca ptr, align 8
+              %0 = call ptr @__quantum__rt__qubit_allocate_array(i64 2)
+              store ptr %0, ptr %q, align 8
+              %1 = load ptr, ptr %q, align 8
+              %2 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %1, i64 0)
+              call void @__quantum__qis__h__body(ptr %2)
+              ret void
+            }
+            declare ptr @__quantum__rt__qubit_allocate_array(i64)
+            declare ptr @__quantum__rt__array_get_element_ptr_1d(ptr, i64)
+            declare void @__quantum__qis__h__body(ptr)
+            attributes #0 = { "entry_point" }
+            !llvm.module.flags = !{!0}
+            !0 = !{i32 1, !"qir_major_version", i32 1}
+            """
+        )
+
+    def test_ex6_static_bell(self):
+        roundtrip(
+            """
+            define void @main() {
+            entry:
+              call void @__quantum__qis__h__body(ptr null)
+              call void @__quantum__qis__cnot__body(ptr null, ptr inttoptr (i64 1 to ptr))
+              call void @__quantum__qis__mz__body(ptr null, ptr writeonly null)
+              ret void
+            }
+            declare void @__quantum__qis__h__body(ptr)
+            declare void @__quantum__qis__cnot__body(ptr, ptr)
+            declare void @__quantum__qis__mz__body(ptr, ptr writeonly)
+            """
+        )
+
+    def test_ex4_loop(self):
+        roundtrip(
+            """
+            define void @main() {
+            entry:
+              %i = alloca i32, align 4
+              store i32 0, ptr %i, align 4
+              br label %h
+            h:
+              %0 = load i32, ptr %i, align 4
+              %c = icmp slt i32 %0, 10
+              br i1 %c, label %b, label %e
+            b:
+              %1 = load i32, ptr %i, align 4
+              %2 = add nsw i32 %1, 1
+              store i32 %2, ptr %i, align 4
+              br label %h
+            e:
+              ret void
+            }
+            """
+        )
+
+    def test_globals_and_gep_expr(self):
+        roundtrip(
+            """
+            @0 = internal constant [3 x i8] c"r0\\00"
+            define void @main() {
+            entry:
+              call void @use(ptr getelementptr inbounds ([3 x i8], ptr @0, i32 0, i32 0))
+              ret void
+            }
+            declare void @use(ptr)
+            """
+        )
+
+    def test_phi_and_switch(self):
+        roundtrip(
+            """
+            define i32 @f(i32 %x) {
+            entry:
+              switch i32 %x, label %d [ i32 0, label %a ]
+            a:
+              br label %join
+            d:
+              br label %join
+            join:
+              %r = phi i32 [ 1, %a ], [ 2, %d ]
+              ret i32 %r
+            }
+            """
+        )
+
+    def test_unnamed_values_get_stable_numbers(self):
+        m = Module("t")
+        fn = m.define_function("f", FunctionType(i32, [i32]))
+        block = fn.create_block()
+        b = IRBuilder(block)
+        x = b.add(fn.arguments[0], ConstantInt(i32, 1))
+        y = b.mul(x, x)
+        b.ret(y)
+        text = print_module(m)
+        assert parse_assembly(text) is not None
+        assert print_module(parse_assembly(text)) == text
+
+
+_INT_BINOPS = ["add", "sub", "mul", "and", "or", "xor", "shl"]
+
+
+@st.composite
+def straight_line_module(draw):
+    """A random single-block function over i64 values."""
+    m = Module("gen")
+    fn = m.define_function("f", FunctionType(i64, [i64, i64]))
+    block = fn.create_block("entry")
+    b = IRBuilder(block)
+    values = [fn.arguments[0], fn.arguments[1]]
+    n = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            op = draw(st.sampled_from(_INT_BINOPS))
+            lhs = draw(st.sampled_from(values))
+            rhs = draw(st.sampled_from(values))
+            values.append(b.binop(op, lhs, rhs))
+        elif choice == 1:
+            lit = draw(st.integers(min_value=-(2**31), max_value=2**31))
+            lhs = draw(st.sampled_from(values))
+            values.append(b.add(lhs, ConstantInt(i64, lit)))
+        else:
+            cond_lhs = draw(st.sampled_from(values))
+            pred = draw(st.sampled_from(["eq", "slt", "ugt"]))
+            cmp_inst = b.icmp(pred, cond_lhs, ConstantInt(i64, 0))
+            values.append(b.select(cmp_inst, cond_lhs, ConstantInt(i64, 1)))
+    b.ret(draw(st.sampled_from(values)))
+    return m
+
+
+@given(straight_line_module())
+@settings(max_examples=60, deadline=None)
+def test_generated_modules_roundtrip(module):
+    verify_module(module)
+    text1 = print_module(module)
+    m2 = parse_assembly(text1)
+    verify_module(m2)
+    assert print_module(m2) == text1
+
+
+@given(st.floats(allow_nan=True, allow_infinity=True))
+@settings(max_examples=100, deadline=None)
+def test_double_constants_roundtrip_bitexact(value):
+    import struct
+
+    m = Module("d")
+    fn = m.define_function("f", FunctionType(double, []))
+    b = IRBuilder(fn.create_block("entry"))
+    b.ret(ConstantFloat(double, value))
+    text = print_module(m)
+    m2 = parse_assembly(text)
+    ret = m2.get_function("f").entry_block.terminator
+    got = ret.return_value.value
+    assert struct.pack("<d", got) == struct.pack("<d", value)

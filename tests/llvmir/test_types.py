@@ -1,0 +1,151 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.llvmir.types import (
+    ArrayType,
+    DoubleType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    VoidType,
+    double,
+    i1,
+    i8,
+    i32,
+    i64,
+    label,
+    ptr,
+    void,
+)
+
+
+class TestInterning:
+    def test_int_types_are_interned(self):
+        assert IntType(32) is IntType(32)
+        assert IntType(32) is i32
+
+    def test_double_singleton(self):
+        assert DoubleType() is double
+
+    def test_plain_pointer_singleton(self):
+        assert PointerType() is ptr
+
+    def test_hinted_pointer_not_interned_but_equal(self):
+        q = PointerType("Qubit")
+        assert q is not ptr
+        assert q == ptr  # hints never affect equality
+        assert hash(q) == hash(ptr)
+
+
+class TestIntType:
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            IntType(1000)
+
+    def test_signed_range(self):
+        assert i8.min_signed == -128
+        assert i8.max_signed == 127
+        assert i8.max_unsigned == 255
+
+    def test_wrap_positive_overflow(self):
+        assert i8.wrap(128) == -128
+        assert i8.wrap(255) == -1
+        assert i8.wrap(256) == 0
+
+    def test_wrap_negative(self):
+        assert i8.wrap(-129) == 127
+
+    def test_wrap_identity_in_range(self):
+        assert i32.wrap(12345) == 12345
+        assert i32.wrap(-12345) == -12345
+
+    def test_to_unsigned(self):
+        assert i8.to_unsigned(-1) == 255
+        assert i8.to_unsigned(5) == 5
+
+    def test_i1_wrap(self):
+        assert i1.wrap(1) == -1  # two's complement single bit
+        assert i1.to_unsigned(-1) == 1
+        assert i1.wrap(0) == 0
+
+    def test_str(self):
+        assert str(i64) == "i64"
+
+
+class TestCompositeTypes:
+    def test_array_type(self):
+        arr = ArrayType(3, i8)
+        assert str(arr) == "[3 x i8]"
+        assert arr == ArrayType(3, i8)
+        assert arr != ArrayType(4, i8)
+        assert arr != ArrayType(3, i32)
+
+    def test_array_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(-1, i8)
+
+    def test_nested_array(self):
+        arr = ArrayType(2, ArrayType(3, i32))
+        assert str(arr) == "[2 x [3 x i32]]"
+
+    def test_opaque_struct(self):
+        qubit = StructType("Qubit", opaque=True)
+        assert str(qubit) == "%Qubit"
+        assert qubit.body_str() == "opaque"
+        assert qubit == StructType("Qubit", opaque=True)
+
+    def test_opaque_struct_with_fields_rejected(self):
+        with pytest.raises(ValueError):
+            StructType("S", fields=[i32], opaque=True)
+
+    def test_literal_struct(self):
+        s = StructType(fields=[i32, double])
+        assert s.body_str() == "{ i32, double }"
+        assert s == StructType(fields=[i32, double])
+
+    def test_named_struct_equality_by_name(self):
+        a = StructType("S", fields=[i32])
+        b = StructType("S", fields=[double])
+        assert a == b  # named structs compare nominally
+
+    def test_function_type(self):
+        ft = FunctionType(void, [ptr, i64])
+        assert str(ft) == "void (ptr, i64)"
+        assert ft == FunctionType(void, [ptr, i64])
+        assert ft != FunctionType(void, [ptr])
+
+    def test_vararg_function_type(self):
+        ft = FunctionType(i32, [ptr], vararg=True)
+        assert str(ft) == "i32 (ptr, ...)"
+        assert ft != FunctionType(i32, [ptr])
+
+
+class TestClassification:
+    def test_void(self):
+        assert void.is_void
+        assert not void.is_first_class
+
+    def test_label(self):
+        assert label.is_label
+        assert not label.is_first_class
+
+    def test_scalars_first_class(self):
+        for t in (i1, i32, double, ptr):
+            assert t.is_first_class
+
+    def test_aggregate(self):
+        assert ArrayType(2, i8).is_aggregate
+        assert StructType("Q", opaque=True).is_aggregate
+        assert not i32.is_aggregate
+
+    def test_pointer_classification(self):
+        assert ptr.is_pointer
+        assert not i64.is_pointer
+
+    def test_float_classification(self):
+        assert double.is_float
+        assert not i32.is_float

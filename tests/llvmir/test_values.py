@@ -1,0 +1,174 @@
+"""Unit tests for values, constants, and use-def maintenance."""
+
+import math
+
+import pytest
+
+from repro.llvmir.instructions import BinaryInst
+from repro.llvmir.types import double, i1, i8, i32, i64, ptr
+from repro.llvmir.values import (
+    ConstantArray,
+    ConstantExpr,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantPointerInt,
+    ConstantString,
+    ConstantUndef,
+    GlobalVariable,
+    Value,
+)
+
+
+class TestConstantInt:
+    def test_formatting(self):
+        assert ConstantInt(i32, 42).ref() == "42"
+        assert ConstantInt(i32, -7).typed_ref() == "i32 -7"
+
+    def test_i1_formats_as_bool(self):
+        assert ConstantInt(i1, 1).ref() == "true"
+        assert ConstantInt(i1, 0).ref() == "false"
+
+    def test_value_wrapped_to_width(self):
+        assert ConstantInt(i8, 300).value == 44
+        assert ConstantInt(i8, -300).value == -44
+
+    def test_equality_and_hash(self):
+        assert ConstantInt(i32, 5) == ConstantInt(i32, 5)
+        assert ConstantInt(i32, 5) != ConstantInt(i64, 5)
+        assert hash(ConstantInt(i32, 5)) == hash(ConstantInt(i32, 5))
+
+    def test_requires_int_type(self):
+        with pytest.raises(TypeError):
+            ConstantInt(double, 1)  # type: ignore[arg-type]
+
+    def test_is_zero(self):
+        assert ConstantInt(i32, 0).is_zero()
+        assert not ConstantInt(i32, 1).is_zero()
+
+
+class TestConstantFloat:
+    def test_roundtrip_bits(self):
+        c = ConstantFloat(double, 0.5)
+        assert float(c.ref().split()[0]) == 0.5 or c.ref().startswith("0x")
+
+    def test_nan_formats_as_hex(self):
+        c = ConstantFloat(double, float("nan"))
+        assert c.ref().startswith("0x")
+
+    def test_equality_is_bitwise(self):
+        assert ConstantFloat(double, 0.0) != ConstantFloat(double, -0.0)
+        assert ConstantFloat(double, 1.5) == ConstantFloat(double, 1.5)
+
+
+class TestPointerConstants:
+    def test_null(self):
+        null = ConstantNull()
+        assert null.ref() == "null"
+        assert null.typed_ref() == "ptr null"
+        assert null.is_zero()
+
+    def test_inttoptr_constant(self):
+        c = ConstantPointerInt(3)
+        assert c.ref() == "inttoptr (i64 3 to ptr)"
+        assert c.typed_ref() == "ptr inttoptr (i64 3 to ptr)"
+
+    def test_inttoptr_equality(self):
+        assert ConstantPointerInt(3) == ConstantPointerInt(3)
+        assert ConstantPointerInt(3) != ConstantPointerInt(4)
+
+    def test_undef(self):
+        u = ConstantUndef(i32)
+        assert u.ref() == "undef"
+        assert u == ConstantUndef(i32)
+        assert u != ConstantUndef(i64)
+
+
+class TestConstantString:
+    def test_from_text_null_terminates(self):
+        c = ConstantString.from_text("ab")
+        assert c.data == b"ab\x00"
+        assert c.type.count == 3
+
+    def test_text_strips_terminator(self):
+        assert ConstantString.from_text("hello").text() == "hello"
+
+    def test_ref_escapes_non_printable(self):
+        c = ConstantString(b"a\x00")
+        assert c.ref() == 'c"a\\00"'
+
+    def test_ref_escapes_quote_and_backslash(self):
+        c = ConstantString(b'"\\')
+        assert c.ref() == 'c"\\22\\5C"'
+
+
+class TestConstantExpr:
+    def test_gep_formatting(self):
+        from repro.llvmir.types import ArrayType
+
+        gv = GlobalVariable("0", ConstantString.from_text("x"))
+        expr = ConstantExpr(
+            "getelementptr",
+            ptr,
+            [gv, ConstantInt(i32, 0), ConstantInt(i32, 0)],
+            extra=(ArrayType(2, i8),),
+        )
+        assert "getelementptr inbounds ([2 x i8], ptr @0, i32 0, i32 0)" == expr.ref()
+
+
+class TestUseDef:
+    def test_users_tracked(self):
+        a = ConstantInt(i32, 1)
+        b = ConstantInt(i32, 2)
+        inst = BinaryInst("add", a, b)
+        assert inst in a.users
+        assert inst in b.users
+
+    def test_same_operand_twice_counts_twice(self):
+        v = Value(i32, "x")
+        inst = BinaryInst("add", v, v)
+        assert v.num_uses == 2
+        inst.drop_all_references()
+        assert v.num_uses == 0
+
+    def test_replace_all_uses_with(self):
+        old = Value(i32, "old")
+        new = Value(i32, "new")
+        inst = BinaryInst("add", old, ConstantInt(i32, 1))
+        old.replace_all_uses_with(new)
+        assert inst.lhs is new
+        assert not old.is_used()
+        assert inst in new.users
+
+    def test_replace_both_occurrences(self):
+        old = Value(i32, "old")
+        new = Value(i32, "new")
+        inst = BinaryInst("mul", old, old)
+        old.replace_all_uses_with(new)
+        assert inst.lhs is new and inst.rhs is new
+        assert new.num_uses == 2
+
+    def test_rauw_self_is_noop(self):
+        v = Value(i32, "v")
+        BinaryInst("add", v, v)
+        v.replace_all_uses_with(v)
+        assert v.num_uses == 2
+
+    def test_unnamed_value_ref_raises(self):
+        with pytest.raises(ValueError):
+            Value(i32).ref()
+
+
+class TestGlobalVariable:
+    def test_ref(self):
+        gv = GlobalVariable("tag", ConstantString.from_text("x"))
+        assert gv.ref() == "@tag"
+
+    def test_quoted_name(self):
+        gv = GlobalVariable("weird name", None)
+        assert gv.ref() == '@"weird name"'
+
+    def test_value_type(self):
+        gv = GlobalVariable("s", ConstantString.from_text("ab"))
+        assert gv.value_type is not None
+        assert gv.value_type.count == 3

@@ -1,0 +1,167 @@
+"""Unit tests for the module verifier: each violation class is caught."""
+
+import pytest
+
+from repro.llvmir import VerificationError, parse_assembly, verify_module
+from repro.llvmir.block import BasicBlock
+from repro.llvmir.builder import IRBuilder
+from repro.llvmir.instructions import (
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CondBranchInst,
+    PhiInst,
+    ReturnInst,
+)
+from repro.llvmir.module import Module
+from repro.llvmir.types import FunctionType, i1, i32, i64, void
+from repro.llvmir.values import ConstantInt
+
+
+def fresh_fn(return_type=void, params=()):
+    m = Module()
+    fn = m.define_function("f", FunctionType(return_type, list(params)))
+    return m, fn
+
+
+class TestVerifier:
+    def test_clean_module_passes(self):
+        m, fn = fresh_fn()
+        fn.create_block("entry").append(ReturnInst())
+        verify_module(m)
+
+    def test_missing_terminator(self):
+        m, fn = fresh_fn()
+        block = fn.create_block("entry")
+        block.append(BinaryInst("add", ConstantInt(i32, 1), ConstantInt(i32, 2)))
+        with pytest.raises(VerificationError, match="lacks a terminator"):
+            verify_module(m)
+
+    def test_terminator_in_middle(self):
+        m, fn = fresh_fn()
+        block = fn.create_block("entry")
+        block.append(ReturnInst())
+        block.append(ReturnInst())
+        with pytest.raises(VerificationError, match="middle"):
+            verify_module(m)
+
+    def test_branch_to_foreign_block(self):
+        m, fn = fresh_fn()
+        stranger = BasicBlock("elsewhere")
+        fn.create_block("entry").append(BranchInst(stranger))
+        with pytest.raises(VerificationError, match="foreign block"):
+            verify_module(m)
+
+    def test_operand_not_defined_in_function(self):
+        m, fn = fresh_fn()
+        m2, fn2 = fresh_fn()
+        block2 = fn2.create_block("entry")
+        other = block2.append(
+            BinaryInst("add", ConstantInt(i32, 1), ConstantInt(i32, 2))
+        )
+        block2.append(ReturnInst())
+        block = fn.create_block("entry")
+        block.append(BinaryInst("add", other, ConstantInt(i32, 3)))
+        block.append(ReturnInst())
+        with pytest.raises(VerificationError, match="not\\s+defined"):
+            verify_module(m)
+
+    def test_return_type_mismatch(self):
+        m, fn = fresh_fn(return_type=i32)
+        fn.create_block("entry").append(ReturnInst(ConstantInt(i64, 1)))
+        with pytest.raises(VerificationError, match="return type"):
+            verify_module(m)
+
+    def test_value_return_from_void(self):
+        m, fn = fresh_fn()
+        fn.create_block("entry").append(ReturnInst(ConstantInt(i32, 1)))
+        with pytest.raises(VerificationError, match="void function"):
+            verify_module(m)
+
+    def test_cond_branch_on_non_i1(self):
+        m, fn = fresh_fn()
+        a = fn.create_block("entry")
+        b = fn.create_block("b")
+        b.append(ReturnInst())
+        a.append(CondBranchInst(ConstantInt(i32, 1), b, b))
+        with pytest.raises(VerificationError, match="non-i1"):
+            verify_module(m)
+
+    def test_phi_covering_wrong_predecessors(self):
+        m, fn = fresh_fn()
+        entry = fn.create_block("entry")
+        target = fn.create_block("t")
+        entry.append(BranchInst(target))
+        phi = PhiInst(i32)  # no incoming arms at all
+        target.append(phi)
+        target.append(ReturnInst())
+        with pytest.raises(VerificationError, match="phi"):
+            verify_module(m)
+
+    def test_phi_after_non_phi(self):
+        m, fn = fresh_fn()
+        entry = fn.create_block("entry")
+        target = fn.create_block("t")
+        entry.append(BranchInst(target))
+        add = target.append(
+            BinaryInst("add", ConstantInt(i32, 1), ConstantInt(i32, 2))
+        )
+        phi = PhiInst(i32)
+        phi.add_incoming(ConstantInt(i32, 0), entry)
+        target.append(phi)
+        target.append(ReturnInst())
+        with pytest.raises(VerificationError, match="phi after non-phi"):
+            verify_module(m)
+
+    def test_call_arity_mismatch(self):
+        m, fn = fresh_fn()
+        callee = m.declare_function("g", FunctionType(void, [i32, i32]))
+        block = fn.create_block("entry")
+        call = CallInst.__new__(CallInst)
+        # bypass the constructor's own check to exercise the verifier
+        from repro.llvmir.instructions import Instruction
+
+        Instruction.__init__(call, void, [ConstantInt(i32, 1)])
+        call.callee = callee
+        call.arg_attrs = ((),)
+        call.tail = False
+        callee.callers.add(call)
+        block.append(call)
+        block.append(ReturnInst())
+        with pytest.raises(VerificationError, match="args"):
+            verify_module(m)
+
+    def test_call_arg_type_mismatch(self):
+        src = """
+        declare void @g(i64)
+        define void @f() {
+        entry:
+          call void @g(i64 1)
+          ret void
+        }
+        """
+        m = parse_assembly(src)
+        call = m.get_function("f").entry_block.instructions[0]
+        call.set_operand(0, ConstantInt(i32, 1))
+        with pytest.raises(VerificationError, match="arg type"):
+            verify_module(m)
+
+    def test_store_to_non_pointer(self):
+        src = """
+        define void @f() {
+        entry:
+          %p = alloca i32
+          store i32 1, ptr %p
+          ret void
+        }
+        """
+        m = parse_assembly(src)
+        store = m.get_function("f").entry_block.instructions[1]
+        store.set_operand(1, ConstantInt(i64, 4))
+        with pytest.raises(VerificationError, match="non-pointer"):
+            verify_module(m)
+
+    def test_declarations_skipped(self):
+        m = Module()
+        m.declare_function("g", FunctionType(void, []))
+        verify_module(m)

@@ -1,0 +1,201 @@
+"""Unit tests for constant folding and simplification identities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llvmir import parse_assembly, verify_module
+from repro.llvmir.instructions import ReturnInst
+from repro.llvmir.values import ConstantFloat, ConstantInt, ConstantNull
+from repro.passes import ConstantFoldPass
+
+
+def fold(src):
+    m = parse_assembly(src)
+    ConstantFoldPass().run_on_module(m)
+    verify_module(m)
+    return m
+
+
+def returned_constant(m, name="f"):
+    term = m.get_function(name).entry_block.terminator
+    assert isinstance(term, ReturnInst)
+    return term.return_value
+
+
+class TestIntegerFolding:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("add i32 3, 4", 7),
+            ("sub i32 3, 4", -1),
+            ("mul i32 6, 7", 42),
+            ("sdiv i32 -7, 2", -3),  # C-style truncation toward zero
+            ("udiv i32 7, 2", 3),
+            ("srem i32 -7, 2", -1),
+            ("urem i32 7, 3", 1),
+            ("and i32 12, 10", 8),
+            ("or i32 12, 10", 14),
+            ("xor i32 12, 10", 6),
+            ("shl i32 1, 5", 32),
+            ("lshr i32 -1, 28", 15),
+            ("ashr i32 -8, 2", -2),
+        ],
+    )
+    def test_binary_folds(self, expr, expected):
+        m = fold(f"define i32 @f() {{\nentry:\n  %x = {expr}\n  ret i32 %x\n}}")
+        assert returned_constant(m).value == expected
+
+    def test_add_wraps(self):
+        m = fold(
+            "define i8 @f() {\nentry:\n  %x = add i8 127, 1\n  ret i8 %x\n}"
+        )
+        assert returned_constant(m).value == -128
+
+    def test_div_by_zero_not_folded(self):
+        m = fold(
+            "define i32 @f() {\nentry:\n  %x = sdiv i32 1, 0\n  ret i32 %x\n}"
+        )
+        # stays an instruction: folding must not hide the trap
+        assert not isinstance(returned_constant(m), ConstantInt)
+
+
+class TestIcmpFolding:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("icmp eq i32 3, 3", 1),
+            ("icmp ne i32 3, 3", 0),
+            ("icmp slt i32 -1, 0", 1),
+            ("icmp ult i32 -1, 0", 0),  # -1 is max unsigned
+            ("icmp sge i32 5, 5", 1),
+            ("icmp ugt i32 2, 3", 0),
+        ],
+    )
+    def test_icmp(self, expr, expected):
+        m = fold(f"define i1 @f() {{\nentry:\n  %x = {expr}\n  ret i1 %x\n}}")
+        assert returned_constant(m).value in (expected, -expected)
+
+    def test_pointer_icmp(self):
+        m = fold(
+            "define i1 @f() {\nentry:\n"
+            "  %x = icmp eq ptr null, inttoptr (i64 1 to ptr)\n"
+            "  ret i1 %x\n}"
+        )
+        assert returned_constant(m).value == 0
+
+
+class TestFloatAndCasts:
+    def test_fadd(self):
+        m = fold(
+            "define double @f() {\nentry:\n"
+            "  %x = fadd double 1.5, 2.5\n  ret double %x\n}"
+        )
+        assert returned_constant(m).value == 4.0
+
+    def test_sitofp(self):
+        m = fold(
+            "define double @f() {\nentry:\n"
+            "  %x = sitofp i32 3 to double\n  ret double %x\n}"
+        )
+        assert returned_constant(m).value == 3.0
+
+    def test_zext(self):
+        m = fold(
+            "define i64 @f() {\nentry:\n"
+            "  %x = zext i8 -1 to i64\n  ret i64 %x\n}"
+        )
+        assert returned_constant(m).value == 255
+
+    def test_sext(self):
+        m = fold(
+            "define i64 @f() {\nentry:\n"
+            "  %x = sext i8 -1 to i64\n  ret i64 %x\n}"
+        )
+        assert returned_constant(m).value == -1
+
+    def test_trunc(self):
+        m = fold(
+            "define i8 @f() {\nentry:\n"
+            "  %x = trunc i32 257 to i8\n  ret i8 %x\n}"
+        )
+        assert returned_constant(m).value == 1
+
+    def test_inttoptr_becomes_static_address(self):
+        m = fold(
+            "define ptr @f() {\nentry:\n"
+            "  %x = inttoptr i64 3 to ptr\n  ret ptr %x\n}"
+        )
+        from repro.llvmir.values import ConstantPointerInt
+
+        got = returned_constant(m)
+        assert isinstance(got, ConstantPointerInt) and got.address == 3
+
+    def test_inttoptr_zero_becomes_null(self):
+        m = fold(
+            "define ptr @f() {\nentry:\n"
+            "  %x = inttoptr i64 0 to ptr\n  ret ptr %x\n}"
+        )
+        assert isinstance(returned_constant(m), ConstantNull)
+
+
+class TestIdentities:
+    @pytest.mark.parametrize(
+        "expr",
+        ["add i32 %a, 0", "add i32 0, %a", "mul i32 %a, 1", "sub i32 %a, 0",
+         "or i32 %a, 0", "xor i32 %a, 0", "shl i32 %a, 0", "sdiv i32 %a, 1"],
+    )
+    def test_identity_returns_operand(self, expr):
+        m = fold(
+            f"define i32 @f(i32 %a) {{\nentry:\n  %x = {expr}\n  ret i32 %x\n}}"
+        )
+        fn = m.get_function("f")
+        assert fn.entry_block.terminator.return_value is fn.arguments[0]
+
+    def test_mul_by_zero(self):
+        m = fold(
+            "define i32 @f(i32 %a) {\nentry:\n  %x = mul i32 %a, 0\n  ret i32 %x\n}"
+        )
+        assert returned_constant(m).value == 0
+
+    def test_sub_self_is_zero(self):
+        m = fold(
+            "define i32 @f(i32 %a) {\nentry:\n  %x = sub i32 %a, %a\n  ret i32 %x\n}"
+        )
+        assert returned_constant(m).value == 0
+
+    def test_chain_folds_transitively(self):
+        m = fold(
+            """
+            define i32 @f() {
+            entry:
+              %a = add i32 1, 2
+              %b = mul i32 %a, %a
+              %c = sub i32 %b, 4
+              ret i32 %c
+            }
+            """
+        )
+        assert returned_constant(m).value == 5
+
+
+@given(
+    op=st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]),
+    a=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    b=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+)
+@settings(max_examples=80, deadline=None)
+def test_fold_matches_interpreter(op, a, b):
+    """Folding and the runtime interpreter must agree on every binop."""
+    from repro.runtime.interpreter import Interpreter
+    from repro.sim.statevector import StatevectorSimulator
+
+    src = (
+        f"define i32 @f() {{\nentry:\n  %x = {op} i32 {a}, {b}\n  ret i32 %x\n}}"
+    )
+    m = parse_assembly(src)
+    interp_value = Interpreter(m, StatevectorSimulator(0)).call_function(
+        m.get_function("f"), []
+    )
+    folded_m = fold(src)
+    assert returned_constant(folded_m).value == interp_value

@@ -1,0 +1,168 @@
+"""Unit tests for constant propagation + branch folding."""
+
+from repro.llvmir import parse_assembly, print_module, verify_module
+from repro.llvmir.instructions import BranchInst, CondBranchInst
+from repro.passes import ConstantPropagationPass, DeadCodeEliminationPass
+
+
+def run(src):
+    m = parse_assembly(src)
+    ConstantPropagationPass().run_on_module(m)
+    verify_module(m)
+    return m
+
+
+class TestBranchFolding:
+    def test_true_branch_folded(self):
+        m = run(
+            """
+            define i32 @f() {
+            entry:
+              br i1 true, label %a, label %b
+            a:
+              ret i32 1
+            b:
+              ret i32 2
+            }
+            """
+        )
+        term = m.get_function("f").entry_block.terminator
+        assert isinstance(term, BranchInst)
+        assert term.target.name == "a"
+
+    def test_computed_condition_folds(self):
+        m = run(
+            """
+            define i32 @f() {
+            entry:
+              %c = icmp slt i32 3, 10
+              br i1 %c, label %a, label %b
+            a:
+              ret i32 1
+            b:
+              ret i32 2
+            }
+            """
+        )
+        term = m.get_function("f").entry_block.terminator
+        assert isinstance(term, BranchInst) and term.target.name == "a"
+
+    def test_dead_edge_phi_pruned(self):
+        m = run(
+            """
+            define i32 @f() {
+            entry:
+              br i1 false, label %a, label %b
+            a:
+              br label %join
+            b:
+              br label %join
+            join:
+              %r = phi i32 [ 1, %a ], [ 2, %b ]
+              ret i32 %r
+            }
+            """
+        )
+        # DCE removes the unreachable arm's block (pruning the phi arm);
+        # a second propagation round then collapses the single-arm phi --
+        # the iterate-to-fixpoint structure the pipelines rely on.
+        DeadCodeEliminationPass().run_on_module(m)
+        ConstantPropagationPass().run_on_module(m)
+        verify_module(m)
+        fn = m.get_function("f")
+        join = next(b for b in fn.blocks if b.name == "join")
+        ret = join.terminator
+        assert ret.return_value.value == 2
+
+    def test_switch_folding(self):
+        m = run(
+            """
+            define i32 @f() {
+            entry:
+              switch i32 1, label %d [ i32 0, label %a
+                                       i32 1, label %b ]
+            a:
+              ret i32 10
+            b:
+              ret i32 20
+            d:
+              ret i32 30
+            }
+            """
+        )
+        term = m.get_function("f").entry_block.terminator
+        assert isinstance(term, BranchInst) and term.target.name == "b"
+
+    def test_switch_default_taken(self):
+        m = run(
+            """
+            define i32 @f() {
+            entry:
+              switch i32 99, label %d [ i32 0, label %a ]
+            a:
+              ret i32 10
+            d:
+              ret i32 30
+            }
+            """
+        )
+        term = m.get_function("f").entry_block.terminator
+        assert isinstance(term, BranchInst) and term.target.name == "d"
+
+    def test_non_constant_branch_untouched(self):
+        m = run(
+            """
+            define i32 @f(i1 %c) {
+            entry:
+              br i1 %c, label %a, label %b
+            a:
+              ret i32 1
+            b:
+              ret i32 2
+            }
+            """
+        )
+        assert isinstance(m.get_function("f").entry_block.terminator, CondBranchInst)
+
+
+class TestPhiCollapse:
+    def test_single_value_phi_removed(self):
+        m = run(
+            """
+            define i32 @f(i1 %c) {
+            entry:
+              br i1 %c, label %a, label %b
+            a:
+              br label %join
+            b:
+              br label %join
+            join:
+              %r = phi i32 [ 7, %a ], [ 7, %b ]
+              ret i32 %r
+            }
+            """
+        )
+        fn = m.get_function("f")
+        join = next(b for b in fn.blocks if b.name == "join")
+        assert not join.phis()
+        assert join.terminator.return_value.value == 7
+
+    def test_distinct_phi_kept(self):
+        m = run(
+            """
+            define i32 @f(i1 %c) {
+            entry:
+              br i1 %c, label %a, label %b
+            a:
+              br label %join
+            b:
+              br label %join
+            join:
+              %r = phi i32 [ 1, %a ], [ 2, %b ]
+              ret i32 %r
+            }
+            """
+        )
+        fn = m.get_function("f")
+        join = next(b for b in fn.blocks if b.name == "join")
+        assert len(join.phis()) == 1

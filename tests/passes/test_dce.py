@@ -1,0 +1,128 @@
+"""Unit tests for dead code elimination."""
+
+from repro.llvmir import parse_assembly, verify_module
+from repro.passes import DeadCodeEliminationPass
+
+
+def run(src):
+    m = parse_assembly(src)
+    changed = DeadCodeEliminationPass().run_on_module(m)
+    verify_module(m)
+    return m, changed
+
+
+class TestDeadInstructions:
+    def test_unused_pure_instruction_removed(self):
+        m, changed = run(
+            """
+            define void @f() {
+            entry:
+              %dead = add i32 1, 2
+              ret void
+            }
+            """
+        )
+        assert changed
+        assert len(m.get_function("f").entry_block.instructions) == 1
+
+    def test_transitive_chain_removed(self):
+        m, _ = run(
+            """
+            define void @f() {
+            entry:
+              %a = add i32 1, 2
+              %b = mul i32 %a, 3
+              %c = sub i32 %b, %a
+              ret void
+            }
+            """
+        )
+        assert len(m.get_function("f").entry_block.instructions) == 1
+
+    def test_call_kept_even_if_unused(self):
+        m, _ = run(
+            """
+            declare i64 @opaque()
+            define void @f() {
+            entry:
+              %x = call i64 @opaque()
+              ret void
+            }
+            """
+        )
+        assert len(m.get_function("f").entry_block.instructions) == 2
+
+    def test_store_kept(self):
+        m, _ = run(
+            """
+            define void @f() {
+            entry:
+              %p = alloca i32
+              store i32 1, ptr %p
+              ret void
+            }
+            """
+        )
+        assert len(m.get_function("f").entry_block.instructions) == 3
+
+    def test_used_instruction_kept(self):
+        m, changed = run(
+            """
+            define i32 @f() {
+            entry:
+              %x = add i32 1, 2
+              ret i32 %x
+            }
+            """
+        )
+        assert not changed
+
+
+class TestUnreachableBlocks:
+    def test_dead_block_removed(self):
+        m, changed = run(
+            """
+            define void @f() {
+            entry:
+              ret void
+            dead:
+              ret void
+            }
+            """
+        )
+        assert changed
+        assert len(m.get_function("f").blocks) == 1
+
+    def test_dead_cycle_removed(self):
+        m, _ = run(
+            """
+            define void @f() {
+            entry:
+              ret void
+            a:
+              br label %b
+            b:
+              br label %a
+            }
+            """
+        )
+        assert len(m.get_function("f").blocks) == 1
+
+    def test_phi_arm_from_dead_block_pruned(self):
+        m, _ = run(
+            """
+            define i32 @f() {
+            entry:
+              br label %join
+            dead:
+              br label %join
+            join:
+              %r = phi i32 [ 1, %entry ], [ 2, %dead ]
+              ret i32 %r
+            }
+            """
+        )
+        fn = m.get_function("f")
+        join = next(b for b in fn.blocks if b.name == "join")
+        phi = join.phis()[0]
+        assert len(phi.incoming) == 1

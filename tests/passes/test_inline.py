@@ -1,0 +1,190 @@
+"""Unit tests for function inlining."""
+
+from repro.llvmir import parse_assembly, verify_module
+from repro.llvmir.instructions import CallInst
+from repro.passes import InlinePass
+from repro.runtime.interpreter import Interpreter
+from repro.sim.statevector import StatevectorSimulator
+
+
+def run(src, **kwargs):
+    m = parse_assembly(src)
+    changed = InlinePass(**kwargs).run_on_module(m)
+    verify_module(m)
+    return m, changed
+
+
+def execute(m, fn_name, args=()):
+    fn = m.get_function(fn_name)
+    return Interpreter(m, StatevectorSimulator(0)).call_function(fn, list(args))
+
+
+def user_calls(fn):
+    return [
+        i
+        for i in fn.instructions()
+        if isinstance(i, CallInst) and not (i.callee.name or "").startswith("__quantum__")
+    ]
+
+
+class TestBasicInlining:
+    SRC = """
+    define i32 @square(i32 %x) {
+    entry:
+      %r = mul i32 %x, %x
+      ret i32 %r
+    }
+    define i32 @f(i32 %a) {
+    entry:
+      %s = call i32 @square(i32 %a)
+      %t = add i32 %s, 1
+      ret i32 %t
+    }
+    """
+
+    def test_call_removed(self):
+        m, changed = run(self.SRC)
+        assert changed
+        assert not user_calls(m.get_function("f"))
+
+    def test_semantics_preserved(self):
+        m, _ = run(self.SRC)
+        assert execute(m, "f", [5]) == 26
+
+    def test_declarations_not_inlined(self):
+        m, changed = run(
+            """
+            declare i32 @ext(i32)
+            define i32 @f(i32 %a) {
+            entry:
+              %s = call i32 @ext(i32 %a)
+              ret i32 %s
+            }
+            """
+        )
+        assert not changed
+
+
+class TestControlFlowInlining:
+    SRC = """
+    define i32 @abs(i32 %x) {
+    entry:
+      %neg = icmp slt i32 %x, 0
+      br i1 %neg, label %flip, label %keep
+    flip:
+      %m = sub i32 0, %x
+      ret i32 %m
+    keep:
+      ret i32 %x
+    }
+    define i32 @f(i32 %a, i32 %b) {
+    entry:
+      %x = call i32 @abs(i32 %a)
+      %y = call i32 @abs(i32 %b)
+      %s = add i32 %x, %y
+      ret i32 %s
+    }
+    """
+
+    def test_multi_return_callee(self):
+        m, changed = run(self.SRC)
+        assert changed
+        assert not user_calls(m.get_function("f"))
+        assert execute(m, "f", [-3, 4]) == 7
+        assert execute(m, "f", [3, -4]) == 7
+
+    def test_phi_created_for_multiple_returns(self):
+        m, _ = run(self.SRC)
+        fn = m.get_function("f")
+        phis = [i for i in fn.instructions() if i.opcode == "phi"]
+        assert len(phis) == 2  # one per inlined call
+
+
+class TestInliningLimits:
+    def test_recursive_not_inlined(self):
+        m, changed = run(
+            """
+            define i32 @fact(i32 %n) {
+            entry:
+              %stop = icmp sle i32 %n, 1
+              br i1 %stop, label %base, label %rec
+            base:
+              ret i32 1
+            rec:
+              %n1 = sub i32 %n, 1
+              %sub = call i32 @fact(i32 %n1)
+              %r = mul i32 %n, %sub
+              ret i32 %r
+            }
+            define i32 @f() {
+            entry:
+              %v = call i32 @fact(i32 5)
+              ret i32 %v
+            }
+            """
+        )
+        assert not changed
+        assert execute(m, "f") == 120
+
+    def test_size_threshold(self):
+        body = "\n".join(f"  %v{i} = add i32 %x, {i}" for i in range(30))
+        src = f"""
+        define i32 @big(i32 %x) {{
+        entry:
+        {body}
+          ret i32 %v29
+        }}
+        define i32 @f(i32 %a) {{
+        entry:
+          %s = call i32 @big(i32 %a)
+          ret i32 %s
+        }}
+        """
+        m, changed = run(src, size_threshold=10)
+        assert not changed
+
+    def test_nested_inlining_to_fixpoint(self):
+        m, changed = run(
+            """
+            define i32 @inner(i32 %x) {
+            entry:
+              %r = add i32 %x, 1
+              ret i32 %r
+            }
+            define i32 @outer(i32 %x) {
+            entry:
+              %a = call i32 @inner(i32 %x)
+              %b = call i32 @inner(i32 %a)
+              ret i32 %b
+            }
+            define i32 @f(i32 %x) {
+            entry:
+              %v = call i32 @outer(i32 %x)
+              ret i32 %v
+            }
+            """
+        )
+        assert changed
+        assert not user_calls(m.get_function("f"))
+        assert execute(m, "f", [10]) == 12
+
+    def test_quantum_calls_survive_inlining(self):
+        m, changed = run(
+            """
+            declare void @__quantum__qis__h__body(ptr)
+            define void @helper() {
+            entry:
+              call void @__quantum__qis__h__body(ptr null)
+              ret void
+            }
+            define void @main() {
+            entry:
+              call void @helper()
+              ret void
+            }
+            """
+        )
+        assert changed
+        from repro.analysis.dataflow import quantum_call_sites
+
+        assert len(quantum_call_sites(m.get_function("main"))) == 1

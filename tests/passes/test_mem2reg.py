@@ -1,0 +1,211 @@
+"""Unit tests for mem2reg SSA promotion."""
+
+from repro.llvmir import parse_assembly, verify_module
+from repro.llvmir.instructions import AllocaInst, LoadInst, PhiInst, StoreInst
+from repro.passes import Mem2RegPass
+from repro.runtime.interpreter import Interpreter
+from repro.sim.statevector import StatevectorSimulator
+
+
+def run(src):
+    m = parse_assembly(src)
+    changed = Mem2RegPass().run_on_module(m)
+    verify_module(m)
+    return m, changed
+
+
+def execute(m, fn_name="f", args=()):
+    fn = m.get_function(fn_name)
+    return Interpreter(m, StatevectorSimulator(0)).call_function(fn, list(args))
+
+
+class TestStraightLine:
+    def test_simple_promotion(self):
+        m, changed = run(
+            """
+            define i32 @f() {
+            entry:
+              %p = alloca i32
+              store i32 42, ptr %p
+              %v = load i32, ptr %p
+              ret i32 %v
+            }
+            """
+        )
+        assert changed
+        fn = m.get_function("f")
+        opcodes = [i.opcode for i in fn.instructions()]
+        assert "alloca" not in opcodes
+        assert "load" not in opcodes
+        assert "store" not in opcodes
+        assert execute(m) == 42
+
+    def test_multiple_stores_last_wins(self):
+        m, _ = run(
+            """
+            define i32 @f() {
+            entry:
+              %p = alloca i32
+              store i32 1, ptr %p
+              store i32 2, ptr %p
+              %v = load i32, ptr %p
+              ret i32 %v
+            }
+            """
+        )
+        assert execute(m) == 2
+
+    def test_store_only_slot_dropped(self):
+        m, changed = run(
+            """
+            define void @f() {
+            entry:
+              %p = alloca i32
+              store i32 1, ptr %p
+              ret void
+            }
+            """
+        )
+        assert changed
+        assert len(m.get_function("f").entry_block.instructions) == 1
+
+
+class TestControlFlow:
+    DIAMOND = """
+    define i32 @f(i1 %c) {
+    entry:
+      %p = alloca i32
+      store i32 0, ptr %p
+      br i1 %c, label %then, label %else
+    then:
+      store i32 1, ptr %p
+      br label %join
+    else:
+      store i32 2, ptr %p
+      br label %join
+    join:
+      %v = load i32, ptr %p
+      ret i32 %v
+    }
+    """
+
+    def test_diamond_inserts_phi(self):
+        m, _ = run(self.DIAMOND)
+        fn = m.get_function("f")
+        join = next(b for b in fn.blocks if b.name == "join")
+        assert isinstance(join.instructions[0], PhiInst)
+
+    def test_diamond_semantics(self):
+        m, _ = run(self.DIAMOND)
+        assert execute(m, args=[1]) == 1
+        assert execute(m, args=[0]) == 2
+
+    def test_loop_counter_promotion(self):
+        src = """
+        define i32 @f() {
+        entry:
+          %i = alloca i32
+          store i32 0, ptr %i
+          br label %header
+        header:
+          %v = load i32, ptr %i
+          %c = icmp slt i32 %v, 5
+          br i1 %c, label %body, label %exit
+        body:
+          %v2 = load i32, ptr %i
+          %n = add i32 %v2, 1
+          store i32 %n, ptr %i
+          br label %header
+        exit:
+          %r = load i32, ptr %i
+          ret i32 %r
+        }
+        """
+        m, _ = run(src)
+        fn = m.get_function("f")
+        header = next(b for b in fn.blocks if b.name == "header")
+        assert isinstance(header.instructions[0], PhiInst)
+        assert execute(m) == 5
+
+    def test_load_before_store_yields_undef_but_verifies(self):
+        m, _ = run(
+            """
+            define i32 @f() {
+            entry:
+              %p = alloca i32
+              %v = load i32, ptr %p
+              store i32 1, ptr %p
+              ret i32 %v
+            }
+            """
+        )
+        verify_module(m)  # undef is a legal operand
+
+
+class TestNonPromotable:
+    def test_escaping_alloca_kept(self):
+        m, changed = run(
+            """
+            declare void @use(ptr)
+            define void @f() {
+            entry:
+              %p = alloca i32
+              call void @use(ptr %p)
+              ret void
+            }
+            """
+        )
+        assert not changed
+        assert any(isinstance(i, AllocaInst) for i in m.get_function("f").instructions())
+
+    def test_aggregate_alloca_kept(self):
+        m, changed = run(
+            """
+            define void @f() {
+            entry:
+              %p = alloca [4 x i32]
+              ret void
+            }
+            """
+        )
+        assert not changed
+
+    def test_gep_user_blocks_promotion(self):
+        m, changed = run(
+            """
+            define i32 @f() {
+            entry:
+              %p = alloca i32
+              %q = getelementptr i32, ptr %p, i64 0
+              store i32 1, ptr %q
+              %v = load i32, ptr %q
+              ret i32 %v
+            }
+            """
+        )
+        assert not changed
+
+    def test_mixed_promotable_and_not(self):
+        m, changed = run(
+            """
+            define void @use(ptr %p) {
+            entry:
+              ret void
+            }
+            define i32 @f() {
+            entry:
+              %a = alloca i32
+              %b = alloca i32
+              store i32 7, ptr %a
+              call void @use(ptr %b)
+              %v = load i32, ptr %a
+              ret i32 %v
+            }
+            """
+        )
+        assert changed
+        allocas = [
+            i for i in m.get_function("f").instructions() if isinstance(i, AllocaInst)
+        ]
+        assert len(allocas) == 1
+        assert execute(m) == 7

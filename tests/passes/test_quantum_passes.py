@@ -1,0 +1,412 @@
+"""Unit tests for the quantum-specific passes."""
+
+import math
+
+import pytest
+
+from repro.analysis.dataflow import quantum_call_sites
+from repro.llvmir import parse_assembly, verify_module
+from repro.llvmir.values import ConstantFloat, ConstantInt, ConstantNull, ConstantPointerInt
+from repro.passes.quantum import (
+    AddressLoweringError,
+    DynamicAddressRaisingPass,
+    GateCancellationPass,
+    QubitCountInferencePass,
+    RotationMergingPass,
+    StaticAddressLoweringPass,
+    infer_counts,
+)
+from repro.passes.quantum.address_lowering import lowering_pipeline
+from repro.qir import SimpleModule
+from repro.runtime import run_shots
+
+
+def build(gates, num_qubits=3, num_results=0, addressing="static"):
+    sm = SimpleModule("t", num_qubits, num_results, addressing=addressing)
+    for gate in gates:
+        name, qubits, params = gate[0], gate[1], gate[2] if len(gate) > 2 else ()
+        sm.qis.gate(name, qubits, params)
+    return parse_assembly(sm.ir())
+
+
+def gate_names(m, entry="main"):
+    # "__quantum__qis__x__body".split("__") == ["", "quantum", "qis", "x", "body"]
+    return [
+        c.callee.name.split("__")[3]
+        for c in quantum_call_sites(m.get_function(entry))
+    ]
+
+
+class TestGateCancellation:
+    def test_hh_cancels(self):
+        m = build([("h", [0]), ("h", [0])])
+        assert GateCancellationPass().run_on_module(m)
+        assert gate_names(m) == []
+
+    def test_xx_cancels(self):
+        m = build([("x", [1]), ("x", [1])])
+        GateCancellationPass().run_on_module(m)
+        assert gate_names(m) == []
+
+    def test_cnot_cnot_cancels(self):
+        m = build([("cnot", [0, 1]), ("cnot", [0, 1])])
+        GateCancellationPass().run_on_module(m)
+        assert gate_names(m) == []
+
+    def test_cnot_reversed_operands_kept(self):
+        m = build([("cnot", [0, 1]), ("cnot", [1, 0])])
+        assert not GateCancellationPass().run_on_module(m)
+        assert len(gate_names(m)) == 2
+
+    def test_adjoint_pair_cancels(self):
+        m = build([("t", [0]), ("t_adj", [0])])
+        GateCancellationPass().run_on_module(m)
+        assert gate_names(m) == []
+
+    def test_s_s_does_not_cancel(self):
+        m = build([("s", [0]), ("s", [0])])
+        assert not GateCancellationPass().run_on_module(m)
+
+    def test_intervening_gate_blocks_cancellation(self):
+        m = build([("h", [0]), ("x", [0]), ("h", [0])])
+        assert not GateCancellationPass().run_on_module(m)
+        assert len(gate_names(m)) == 3
+
+    def test_gate_on_other_qubit_does_not_block(self):
+        m = build([("h", [0]), ("x", [1]), ("h", [0])])
+        GateCancellationPass().run_on_module(m)
+        assert gate_names(m) == ["x"]
+
+    def test_overlapping_two_qubit_blocks(self):
+        m = build([("h", [0]), ("cnot", [0, 1]), ("h", [0])])
+        assert not GateCancellationPass().run_on_module(m)
+
+    def test_cascading_cancellation(self):
+        m = build([("x", [0]), ("h", [0]), ("h", [0]), ("x", [0])])
+        GateCancellationPass().run_on_module(m)
+        assert gate_names(m) == []
+
+    def test_measurement_blocks_window(self):
+        sm = SimpleModule("t", 1, 1)
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        sm.qis.h(0)
+        m = parse_assembly(sm.ir())
+        assert not GateCancellationPass().run_on_module(m)
+
+
+class TestRotationMerging:
+    def test_rz_pair_merges(self):
+        m = build([("rz", [0], [0.3]), ("rz", [0], [0.4])])
+        assert RotationMergingPass().run_on_module(m)
+        calls = quantum_call_sites(m.get_function("main"))
+        assert len(calls) == 1
+        angle = calls[0].operands[0]
+        assert isinstance(angle, ConstantFloat)
+        assert math.isclose(angle.value, 0.7)
+
+    def test_zero_sum_drops_both(self):
+        m = build([("rz", [0], [0.5]), ("rz", [0], [-0.5])])
+        RotationMergingPass().run_on_module(m)
+        assert gate_names(m) == []
+
+    def test_different_axes_kept(self):
+        m = build([("rx", [0], [0.3]), ("rz", [0], [0.4])])
+        assert not RotationMergingPass().run_on_module(m)
+
+    def test_different_qubits_kept(self):
+        m = build([("rz", [0], [0.3]), ("rz", [1], [0.4])])
+        assert not RotationMergingPass().run_on_module(m)
+
+    def test_triple_merge(self):
+        m = build([("rz", [0], [0.1]), ("rz", [0], [0.2]), ("rz", [0], [0.3])])
+        RotationMergingPass().run_on_module(m)
+        calls = quantum_call_sites(m.get_function("main"))
+        assert len(calls) == 1
+        assert math.isclose(calls[0].operands[0].value, 0.6)
+
+    def test_semantics_preserved(self):
+        sm = SimpleModule("t", 1, 1)
+        sm.qis.h(0)
+        sm.qis.rz(0.7, 0)
+        sm.qis.rz(0.9, 0)
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        text = sm.ir()
+        before = run_shots(text, shots=3000, seed=5).counts
+        m = parse_assembly(text)
+        RotationMergingPass().run_on_module(m)
+        after = run_shots(m, shots=3000, seed=5).counts
+        for key in set(before) | set(after):
+            assert abs(before.get(key, 0) - after.get(key, 0)) < 200
+
+
+class TestQubitCountInference:
+    def test_static_addresses(self):
+        m = build([("h", [0]), ("cnot", [2, 4])], num_qubits=5)
+        counts = infer_counts(m.get_function("main"))
+        assert counts.num_qubits == 5
+
+    def test_results_counted(self):
+        sm = SimpleModule("t", 2, 3)
+        sm.qis.mz(0, 2)
+        m = parse_assembly(sm.ir())
+        counts = infer_counts(m.get_function("main"))
+        assert counts.num_results == 3
+
+    def test_dynamic_allocation_counted(self):
+        sm = SimpleModule("t", 4, 0, addressing="dynamic")
+        sm.qis.h(0)
+        m = parse_assembly(sm.ir())
+        counts = infer_counts(m.get_function("main"))
+        assert counts.num_qubits == 4
+
+    def test_pass_writes_attributes(self):
+        m = build([("h", [0]), ("x", [6])], num_qubits=7)
+        fn = m.get_function("main")
+        fn.attributes.pop("required_num_qubits", None)
+        fn.attribute_group.attributes.pop("required_num_qubits", None)
+        assert QubitCountInferencePass().run_on_module(m)
+        assert fn.get_attribute("required_num_qubits") == "7"
+
+
+class TestAddressLowering:
+    def _dynamic_bell(self):
+        sm = SimpleModule("bell", 2, 2, addressing="dynamic")
+        sm.qis.h(0)
+        sm.qis.cnot(0, 1)
+        sm.qis.mz(0, 0)
+        sm.qis.mz(1, 1)
+        sm.record_output()
+        return parse_assembly(sm.ir())
+
+    def test_removes_all_rt_qubit_calls(self):
+        m = self._dynamic_bell()
+        lowering_pipeline().run(m)
+        verify_module(m)
+        fn = m.get_function("main")
+        names = [c.callee.name for c in quantum_call_sites(fn)]
+        assert not any("qubit_allocate" in n or "element_ptr" in n for n in names)
+
+    def test_qis_args_become_constants(self):
+        m = self._dynamic_bell()
+        lowering_pipeline().run(m)
+        fn = m.get_function("main")
+        for call in quantum_call_sites(fn):
+            if "qis" in (call.callee.name or ""):
+                for arg in call.operands:
+                    assert isinstance(
+                        arg, (ConstantNull, ConstantPointerInt)
+                    ), arg
+
+    def test_module_flag_updated(self):
+        m = self._dynamic_bell()
+        lowering_pipeline().run(m)
+        flag = m.get_module_flag("dynamic_qubit_management")
+        assert isinstance(flag, ConstantInt) and flag.value == 0
+
+    def test_semantics_preserved(self):
+        sm = SimpleModule("x", 3, 3, addressing="dynamic")
+        sm.qis.h(0)
+        sm.qis.cnot(0, 1)
+        sm.qis.cnot(1, 2)
+        for i in range(3):
+            sm.qis.mz(i, i)
+        sm.record_output()
+        text = sm.ir()
+        before = run_shots(text, shots=500, seed=4).counts
+        m = parse_assembly(text)
+        lowering_pipeline().run(m)
+        after = run_shots(m, shots=500, seed=4).counts
+        assert before == after
+
+    def test_non_constant_index_rejected(self):
+        src = """
+        define void @main(i64 %i) {
+        entry:
+          %a = call ptr @__quantum__rt__qubit_allocate_array(i64 2)
+          %q = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %a, i64 %i)
+          call void @__quantum__qis__h__body(ptr %q)
+          ret void
+        }
+        declare ptr @__quantum__rt__qubit_allocate_array(i64)
+        declare ptr @__quantum__rt__array_get_element_ptr_1d(ptr, i64)
+        declare void @__quantum__qis__h__body(ptr)
+        """
+        m = parse_assembly(src)
+        with pytest.raises(AddressLoweringError, match="non-constant"):
+            StaticAddressLoweringPass().run_on_module(m)
+
+    def test_out_of_bounds_index_rejected(self):
+        src = """
+        define void @main() {
+        entry:
+          %a = call ptr @__quantum__rt__qubit_allocate_array(i64 2)
+          %q = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %a, i64 5)
+          call void @__quantum__qis__h__body(ptr %q)
+          ret void
+        }
+        declare ptr @__quantum__rt__qubit_allocate_array(i64)
+        declare ptr @__quantum__rt__array_get_element_ptr_1d(ptr, i64)
+        declare void @__quantum__qis__h__body(ptr)
+        """
+        m = parse_assembly(src)
+        with pytest.raises(AddressLoweringError, match="out of"):
+            StaticAddressLoweringPass().run_on_module(m)
+
+    def test_singleton_allocation_lowered(self):
+        src = """
+        define void @main() {
+        entry:
+          %q = call ptr @__quantum__rt__qubit_allocate()
+          call void @__quantum__qis__h__body(ptr %q)
+          call void @__quantum__rt__qubit_release(ptr %q)
+          ret void
+        }
+        declare ptr @__quantum__rt__qubit_allocate()
+        declare void @__quantum__qis__h__body(ptr)
+        declare void @__quantum__rt__qubit_release(ptr)
+        """
+        m = parse_assembly(src)
+        assert StaticAddressLoweringPass().run_on_module(m)
+        verify_module(m)
+        fn = m.get_function("main")
+        names = [c.callee.name for c in quantum_call_sites(fn)]
+        assert names == ["__quantum__qis__h__body"]
+
+
+class TestAddressRaising:
+    def test_static_becomes_dynamic(self):
+        sm = SimpleModule("bell", 2, 2, addressing="static")
+        sm.qis.h(0)
+        sm.qis.cnot(0, 1)
+        sm.qis.mz(0, 0)
+        sm.qis.mz(1, 1)
+        sm.record_output()
+        m = parse_assembly(sm.ir())
+        assert DynamicAddressRaisingPass().run_on_module(m)
+        verify_module(m)
+        names = [c.callee.name for c in quantum_call_sites(m.get_function("main"))]
+        assert "__quantum__rt__qubit_allocate_array" in names
+        assert "__quantum__rt__qubit_release_array" in names
+        assert "__quantum__rt__array_get_element_ptr_1d" in names
+
+    def test_module_flag_updated(self):
+        sm = SimpleModule("t", 1, 0)
+        sm.qis.h(0)
+        m = parse_assembly(sm.ir())
+        DynamicAddressRaisingPass().run_on_module(m)
+        flag = m.get_module_flag("dynamic_qubit_management")
+        assert isinstance(flag, ConstantInt) and flag.value != 0
+
+    def test_round_trip_semantics(self):
+        sm = SimpleModule("t", 2, 2)
+        sm.qis.h(0)
+        sm.qis.cnot(0, 1)
+        sm.qis.mz(0, 0)
+        sm.qis.mz(1, 1)
+        sm.record_output()
+        text = sm.ir()
+        before = run_shots(text, shots=400, seed=6).counts
+        m = parse_assembly(text)
+        DynamicAddressRaisingPass().run_on_module(m)
+        raised = run_shots(m, shots=400, seed=6).counts
+        lowering_pipeline().run(m)
+        lowered = run_shots(m, shots=400, seed=6).counts
+        assert before == raised == lowered
+
+    def test_no_static_addresses_noop(self):
+        sm = SimpleModule("t", 2, 0, addressing="dynamic")
+        sm.qis.h(0)
+        m = parse_assembly(sm.ir())
+        assert not DynamicAddressRaisingPass().run_on_module(m)
+
+
+class TestAddressReuse:
+    """The reuse_released ablation: register-allocation-style recycling."""
+
+    CHURN = """
+    define void @main() #0 {{
+    entry:
+    {body}
+      ret void
+    }}
+    declare ptr @__quantum__rt__qubit_allocate()
+    declare void @__quantum__rt__qubit_release(ptr)
+    declare void @__quantum__qis__x__body(ptr)
+    declare void @__quantum__qis__mz__body(ptr, ptr writeonly)
+    attributes #0 = {{ "entry_point" }}
+    """
+
+    def _churn(self, rounds):
+        lines = []
+        for i in range(rounds):
+            lines.append(f"  %q{i} = call ptr @__quantum__rt__qubit_allocate()")
+            lines.append(f"  call void @__quantum__qis__x__body(ptr %q{i})")
+            result = "null" if i == 0 else f"inttoptr (i64 {i} to ptr)"
+            lines.append(
+                f"  call void @__quantum__qis__mz__body(ptr %q{i}, "
+                f"ptr writeonly {result})"
+            )
+            lines.append(f"  call void @__quantum__rt__qubit_release(ptr %q{i})")
+        return self.CHURN.format(body="\n".join(lines))
+
+    def test_first_fit_uses_total_count(self):
+        from repro.llvmir import parse_assembly, verify_module
+
+        m = parse_assembly(self._churn(6))
+        StaticAddressLoweringPass(reuse_released=False).run_on_module(m)
+        verify_module(m)
+        assert m.get_function("main").get_attribute("required_num_qubits") == "6"
+
+    def test_reuse_uses_peak_width(self):
+        from repro.llvmir import parse_assembly, verify_module
+
+        m = parse_assembly(self._churn(6))
+        StaticAddressLoweringPass(reuse_released=True).run_on_module(m)
+        verify_module(m)
+        assert m.get_function("main").get_attribute("required_num_qubits") == "1"
+
+    def test_reuse_inserts_resets(self):
+        from repro.llvmir import parse_assembly
+
+        m = parse_assembly(self._churn(4))
+        StaticAddressLoweringPass(reuse_released=True).run_on_module(m)
+        names = [c.callee.name for c in quantum_call_sites(m.get_function("main"))]
+        assert names.count("__quantum__qis__reset__body") == 4
+
+    def test_reuse_preserves_semantics(self):
+        from repro.llvmir import parse_assembly
+
+        text = self._churn(5)
+        before = run_shots(text, shots=30, seed=7).counts
+        m = parse_assembly(text)
+        StaticAddressLoweringPass(reuse_released=True).run_on_module(m)
+        after = run_shots(m, shots=30, seed=7).counts
+        assert before == after == {"11111": 30}
+
+    def test_reuse_disabled_on_multiblock(self):
+        from repro.llvmir import parse_assembly
+
+        src = """
+        define void @main() #0 {
+        entry:
+          %q0 = call ptr @__quantum__rt__qubit_allocate()
+          call void @__quantum__qis__x__body(ptr %q0)
+          call void @__quantum__rt__qubit_release(ptr %q0)
+          br label %next
+        next:
+          %q1 = call ptr @__quantum__rt__qubit_allocate()
+          call void @__quantum__qis__x__body(ptr %q1)
+          call void @__quantum__rt__qubit_release(ptr %q1)
+          ret void
+        }
+        declare ptr @__quantum__rt__qubit_allocate()
+        declare void @__quantum__rt__qubit_release(ptr)
+        declare void @__quantum__qis__x__body(ptr)
+        attributes #0 = { "entry_point" }
+        """
+        m = parse_assembly(src)
+        StaticAddressLoweringPass(reuse_released=True).run_on_module(m)
+        # Fallback to first-fit: two distinct addresses.
+        assert m.get_function("main").get_attribute("required_num_qubits") == "2"

@@ -1,0 +1,143 @@
+"""Unit tests for CFG simplification."""
+
+from repro.llvmir import parse_assembly, verify_module
+from repro.llvmir.instructions import BranchInst
+from repro.passes import SimplifyCFGPass
+
+
+def run(src):
+    m = parse_assembly(src)
+    SimplifyCFGPass().run_on_module(m)
+    verify_module(m)
+    return m
+
+
+class TestMerging:
+    def test_straight_line_chain_merges(self):
+        m = run(
+            """
+            define i32 @f() {
+            entry:
+              %a = add i32 1, 2
+              br label %next
+            next:
+              %b = mul i32 %a, 3
+              br label %last
+            last:
+              ret i32 %b
+            }
+            """
+        )
+        fn = m.get_function("f")
+        assert len(fn.blocks) == 1
+        assert len(fn.entry_block.instructions) == 3
+
+    def test_block_with_two_preds_not_merged(self):
+        m = run(
+            """
+            define void @f(i1 %c) {
+            entry:
+              br i1 %c, label %a, label %b
+            a:
+              br label %join
+            b:
+              br label %join
+            join:
+              ret void
+            }
+            """
+        )
+        # a/b are empty forwarders: they get skipped, join survives
+        fn = m.get_function("f")
+        assert any(b.name == "join" for b in fn.blocks) or len(fn.blocks) == 1
+
+    def test_single_pred_phi_collapsed_on_merge(self):
+        m = run(
+            """
+            define i32 @f() {
+            entry:
+              br label %next
+            next:
+              %p = phi i32 [ 5, %entry ]
+              ret i32 %p
+            }
+            """
+        )
+        fn = m.get_function("f")
+        assert len(fn.blocks) == 1
+        assert fn.entry_block.terminator.return_value.value == 5
+
+
+class TestForwarders:
+    def test_empty_forwarder_skipped(self):
+        m = run(
+            """
+            define void @f(i1 %c) {
+            entry:
+              br i1 %c, label %fwd, label %out
+            fwd:
+              br label %out
+            out:
+              ret void
+            }
+            """
+        )
+        fn = m.get_function("f")
+        # skip the forwarder -> identical cond arms -> dedupe -> merge:
+        # the whole function collapses to a single returning block.
+        assert len(fn.blocks) == 1
+        assert fn.entry_block.terminator.opcode == "ret"
+
+    def test_forwarder_with_target_phi_kept(self):
+        m = run(
+            """
+            define i32 @f(i1 %c) {
+            entry:
+              br i1 %c, label %fwd, label %other
+            fwd:
+              br label %join
+            other:
+              br label %join
+            join:
+              %r = phi i32 [ 1, %fwd ], [ 2, %other ]
+              ret i32 %r
+            }
+            """
+        )
+        fn = m.get_function("f")
+        join = next(b for b in fn.blocks if b.name == "join")
+        assert len(join.phis()) == 1  # semantics preserved
+
+
+class TestCondDedup:
+    def test_same_target_cond_branch_simplified(self):
+        m = run(
+            """
+            define void @f(i1 %c) {
+            entry:
+              br i1 %c, label %next, label %next
+            next:
+              ret void
+            }
+            """
+        )
+        fn = m.get_function("f")
+        assert len(fn.blocks) == 1  # simplified then merged
+
+
+class TestLoopSafety:
+    def test_self_loop_untouched(self):
+        m = run(
+            """
+            define void @f(i1 %c) {
+            entry:
+              br label %spin
+            spin:
+              br i1 %c, label %spin, label %out
+            out:
+              ret void
+            }
+            """
+        )
+        fn = m.get_function("f")
+        assert any(b in b.successors() for b in fn.blocks)

@@ -1,0 +1,213 @@
+"""Unit tests for the QASM2 exporter and the QASM3 subset parser."""
+
+import math
+
+import pytest
+
+from repro.qasm import Qasm3ParseError, circuit_to_qasm2, parse_qasm2, parse_qasm3
+from repro.workloads import bell_circuit, ghz_circuit, qft_circuit, random_circuit
+
+
+class TestQasm2Exporter:
+    def test_bell_matches_fig1(self):
+        text = circuit_to_qasm2(bell_circuit())
+        assert "OPENQASM 2.0;" in text
+        assert 'include "qelib1.inc";' in text
+        assert "qreg q[2];" in text
+        assert "creg c[2];" in text
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "measure q[0] -> c[0];" in text
+
+    def test_symbolic_angles(self):
+        from repro.circuit import Circuit
+
+        c = Circuit()
+        c.qreg(1, "q")
+        c.rz(math.pi / 2, 0)
+        c.rz(-math.pi, 0)
+        c.rz(3 * math.pi / 4, 0)
+        text = circuit_to_qasm2(c)
+        assert "rz(pi/2) q[0];" in text
+        assert "rz(-pi) q[0];" in text
+        assert "rz(3*pi/4) q[0];" in text
+
+    def test_conditional_export(self):
+        from repro.circuit import Circuit, GateOperation
+
+        c = Circuit()
+        q = c.qreg(2, "q")
+        cr = c.creg(1, "c")
+        c.measure(0, 0)
+        c.c_if(cr, 1, GateOperation("x", [q[1]]))
+        text = circuit_to_qasm2(c)
+        assert "if(c==1) x q[1];" in text
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: bell_circuit(),
+            lambda: ghz_circuit(4),
+            lambda: qft_circuit(3, measure=True),
+            lambda: random_circuit(3, 5, seed=0),
+        ],
+        ids=["bell", "ghz", "qft", "random"],
+    )
+    def test_roundtrip_through_parser(self, factory):
+        circuit = factory()
+        text = circuit_to_qasm2(circuit)
+        back = parse_qasm2(text)
+        assert len(back) == len(circuit)
+        for a, b in zip(circuit.operations, back.operations):
+            assert type(a) is type(b)
+            if hasattr(a, "params"):
+                assert a.params == pytest.approx(b.params)
+
+
+class TestQasm3Parser:
+    def test_declarations(self):
+        c = parse_qasm3("OPENQASM 3;\nqubit[3] q;\nbit[3] c;")
+        assert c.num_qubits == 3 and c.num_clbits == 3
+
+    def test_scalar_declaration(self):
+        c = parse_qasm3("OPENQASM 3;\nqubit q;\nbit b;")
+        assert c.num_qubits == 1 and c.num_clbits == 1
+
+    def test_measure_assignment(self):
+        c = parse_qasm3(
+            "OPENQASM 3;\nqubit[1] q;\nbit[1] c;\nh q[0];\nc[0] = measure q[0];"
+        )
+        assert c.count_ops() == {"h": 1, "measure": 1}
+
+    def test_for_loop_unrolled_by_parser(self):
+        c = parse_qasm3(
+            "OPENQASM 3;\nqubit[5] q;\nfor uint i in [0:4] { h q[i]; }"
+        )
+        assert c.count_ops()["h"] == 5
+
+    def test_loop_variable_in_arithmetic(self):
+        c = parse_qasm3(
+            "OPENQASM 3;\nqubit[4] q;\nfor uint i in [0:2] { cx q[i], q[i+1]; }"
+        )
+        pairs = [
+            (c.qubit_index(op.qubits[0]), c.qubit_index(op.qubits[1]))
+            for op in c.operations
+        ]
+        assert pairs == [(0, 1), (1, 2), (2, 3)]
+
+    def test_loop_in_gate_params(self):
+        c = parse_qasm3(
+            "OPENQASM 3;\nqubit[1] q;\nfor uint i in [1:3] { rz(i/2) q[0]; }"
+        )
+        assert [op.params[0] for op in c.operations] == [0.5, 1.0, 1.5]
+
+    def test_if_block(self):
+        c = parse_qasm3(
+            "OPENQASM 3;\nqubit[2] q;\nbit[2] c;\n"
+            "c[0] = measure q[0];\nif (c[0] == 1) { x q[1]; }"
+        )
+        assert c.count_ops()["if"] == 1
+
+    def test_nested_control_flow_rejected(self):
+        with pytest.raises(Qasm3ParseError, match="nested"):
+            parse_qasm3(
+                "OPENQASM 3;\nqubit[1] q;\nbit[1] c;\n"
+                "if (c == 1) { for uint i in [0:1] { h q[0]; } }"
+            )
+
+    def test_version_checked(self):
+        with pytest.raises(Qasm3ParseError, match="version 3"):
+            parse_qasm3("OPENQASM 2.0;\n")
+
+    def test_loop_bound_guard(self):
+        with pytest.raises(Qasm3ParseError, match="too large"):
+            parse_qasm3(
+                "OPENQASM 3;\nqubit[1] q;\nfor uint i in [0:2000000] { h q[0]; }"
+            )
+
+    def test_semantics_match_qasm2(self):
+        """The same program through both language frontends."""
+        from repro.circuit import run_circuit
+
+        q2 = parse_qasm2(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[3];\ncreg c[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n"
+            "measure q -> c;"
+        )
+        q3 = parse_qasm3(
+            "OPENQASM 3;\nqubit[3] q;\nbit[3] c;\nh q[0];\n"
+            "cx q[0], q[1];\ncx q[1], q[2];\n"
+            "for uint i in [0:2] { c[i] = measure q[i]; }"
+        )
+        a = run_circuit(q2, shots=500, seed=7)
+        b = run_circuit(q3, shots=500, seed=7)
+        assert a == b
+
+
+class TestQasm3Exporter:
+    def test_bell(self):
+        from repro.qasm import circuit_to_qasm3
+
+        text = circuit_to_qasm3(bell_circuit())
+        assert "OPENQASM 3;" in text
+        assert "qubit[2] q;" in text
+        assert "bit[2] c;" in text
+        assert "c[0] = measure q[0];" in text
+
+    def test_roundtrip_through_own_parser(self):
+        from repro.qasm import circuit_to_qasm3
+
+        circuit = ghz_circuit(4)
+        back = parse_qasm3(circuit_to_qasm3(circuit))
+        assert len(back) == len(circuit)
+        assert back.count_ops() == circuit.count_ops()
+
+    def test_conditional_export(self):
+        from repro.circuit import Circuit, GateOperation
+        from repro.qasm import circuit_to_qasm3
+
+        c = Circuit()
+        q = c.qreg(2, "q")
+        cr = c.creg(1, "c")
+        c.measure(0, 0)
+        c.c_if(cr, 1, GateOperation("x", [q[1]]))
+        text = circuit_to_qasm3(c)
+        assert "if (c == 1) { x q[1]; }" in text
+        back = parse_qasm3(text)
+        assert back.count_ops()["if"] == 1
+
+    def test_rotations_roundtrip(self):
+        from repro.circuit import Circuit
+        from repro.qasm import circuit_to_qasm3
+
+        c = Circuit()
+        c.qreg(1, "q")
+        c.rz(math.pi / 4, 0)
+        c.rx(0.37, 0)
+        back = parse_qasm3(circuit_to_qasm3(c))
+        assert back.operations[0].params[0] == pytest.approx(math.pi / 4)
+        assert back.operations[1].params[0] == pytest.approx(0.37)
+
+    def test_reset_and_barrier(self):
+        from repro.circuit import Circuit
+        from repro.qasm import circuit_to_qasm3
+
+        c = Circuit()
+        c.qreg(2, "q")
+        c.reset(0)
+        c.barrier(0, 1)
+        text = circuit_to_qasm3(c)
+        assert "reset q[0];" in text
+        assert "barrier q[0], q[1];" in text
+
+    def test_qasm2_to_qasm3_migration(self):
+        """The Sec. II-A -> II-B migration, through the circuit IR."""
+        from repro.qasm import circuit_to_qasm3
+
+        q2 = parse_qasm2(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;"
+        )
+        q3_text = circuit_to_qasm3(q2)
+        back = parse_qasm3(q3_text)
+        assert back.count_ops() == q2.count_ops()

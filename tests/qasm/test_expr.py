@@ -1,0 +1,64 @@
+"""Unit tests for OpenQASM parameter-expression evaluation."""
+
+import math
+
+import pytest
+
+from repro.qasm.expr import ExprError, evaluate_expression
+
+
+def ev(tokens, bindings=None):
+    return evaluate_expression(tokens, bindings)
+
+
+class TestExpressions:
+    def test_literal(self):
+        assert ev(["2.5"]) == 2.5
+
+    def test_pi(self):
+        assert ev(["pi"]) == math.pi
+
+    def test_precedence(self):
+        assert ev(["2", "+", "3", "*", "4"]) == 14
+
+    def test_parentheses(self):
+        assert ev(["(", "2", "+", "3", ")", "*", "4"]) == 20
+
+    def test_division(self):
+        assert ev(["pi", "/", "2"]) == math.pi / 2
+
+    def test_unary_minus(self):
+        assert ev(["-", "pi"]) == -math.pi
+        assert ev(["2", "*", "-", "3"]) == -6
+
+    def test_power_right_associative(self):
+        assert ev(["2", "^", "3", "^", "2"]) == 512
+
+    def test_functions(self):
+        assert ev(["sin", "(", "0", ")"]) == 0
+        assert ev(["cos", "(", "0", ")"]) == 1
+        assert ev(["sqrt", "(", "4", ")"]) == 2
+        assert ev(["ln", "(", "1", ")"]) == 0
+
+    def test_bindings(self):
+        assert ev(["theta", "/", "2"], {"theta": math.pi}) == math.pi / 2
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ExprError, match="unknown symbol"):
+            ev(["tau"])
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExprError):
+            ev(["1", "/", "0"])
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ExprError):
+            ev(["1", "2"])
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ExprError):
+            ev(["(", "1"])
+
+    def test_empty(self):
+        with pytest.raises(ExprError):
+            ev([])

@@ -1,0 +1,175 @@
+"""Unit tests for the OpenQASM 2.0 parser."""
+
+import math
+
+import pytest
+
+from repro.qasm import QasmParseError, parse_qasm2
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def parse(body):
+    return parse_qasm2(HEADER + body)
+
+
+class TestDeclarations:
+    def test_registers(self):
+        c = parse("qreg q[3];\ncreg c[2];")
+        assert c.num_qubits == 3 and c.num_clbits == 2
+
+    def test_version_checked(self):
+        with pytest.raises(QasmParseError, match="version 2"):
+            parse_qasm2("OPENQASM 3.0;\n")
+
+    def test_unknown_include(self):
+        with pytest.raises(QasmParseError, match="include"):
+            parse_qasm2('OPENQASM 2.0;\ninclude "mylib.inc";\n')
+
+    def test_missing_semicolon(self):
+        with pytest.raises(QasmParseError):
+            parse("qreg q[2]")
+
+
+class TestGateApplications:
+    def test_fig1_bell(self):
+        c = parse(
+            "qreg q[2];\ncreg c[2];\nh q[0];\ncx q[0], q[1];\nmeasure q -> c;"
+        )
+        assert c.count_ops() == {"h": 1, "cnot": 1, "measure": 2}
+
+    def test_parameterised_gate(self):
+        c = parse("qreg q[1];\nrz(pi/2) q[0];")
+        assert c.operations[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_multi_param_gate(self):
+        c = parse("qreg q[1];\nu3(pi, pi/2, 0.5) q[0];")
+        theta, phi, lam = c.operations[0].params
+        assert theta == pytest.approx(math.pi)
+        assert phi == pytest.approx(math.pi / 2)
+        assert lam == 0.5
+
+    def test_builtin_U_and_CX(self):
+        c = parse("qreg q[2];\nU(0.1,0.2,0.3) q[0];\nCX q[0], q[1];")
+        assert c.operations[0].name == "u3"
+        assert c.operations[1].name == "cnot"
+
+    def test_u2_expansion(self):
+        c = parse("qreg q[1];\nu2(0, pi) q[0];")
+        op = c.operations[0]
+        assert op.name == "u3"
+        assert op.params[0] == pytest.approx(math.pi / 2)
+
+    def test_register_broadcast(self):
+        c = parse("qreg q[3];\nh q;")
+        assert c.count_ops()["h"] == 3
+
+    def test_two_register_broadcast(self):
+        c = parse("qreg a[3];\nqreg b[3];\ncx a, b;")
+        assert c.count_ops()["cnot"] == 3
+        pairs = [(c.qubit_index(op.qubits[0]), c.qubit_index(op.qubits[1])) for op in c]
+        assert pairs == [(0, 3), (1, 4), (2, 5)]
+
+    def test_scalar_broadcast_against_register(self):
+        c = parse("qreg a[1];\nqreg b[3];\ncx a[0], b;")
+        assert c.count_ops()["cnot"] == 3
+
+    def test_broadcast_size_mismatch(self):
+        with pytest.raises(QasmParseError, match="broadcast"):
+            parse("qreg a[2];\nqreg b[3];\ncx a, b;")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(QasmParseError, match="out of range"):
+            parse("qreg q[2];\nh q[5];")
+
+    def test_unknown_gate(self):
+        with pytest.raises(QasmParseError, match="unknown gate"):
+            parse("qreg q[1];\nwarp q[0];")
+
+    def test_alias_gates(self):
+        c = parse("qreg q[1];\nsdg q[0];\ntdg q[0];\nid q[0];")
+        names = [op.name for op in c]
+        assert names == ["s_adj", "t_adj", "i"]
+
+
+class TestMeasureResetBarrier:
+    def test_single_measure(self):
+        c = parse("qreg q[2];\ncreg c[2];\nmeasure q[1] -> c[0];")
+        op = c.operations[0]
+        assert c.qubit_index(op.qubit) == 1
+        assert c.clbit_index(op.clbit) == 0
+
+    def test_measure_width_mismatch(self):
+        with pytest.raises(QasmParseError, match="mismatch"):
+            parse("qreg q[3];\ncreg c[2];\nmeasure q -> c;")
+
+    def test_reset_broadcast(self):
+        c = parse("qreg q[3];\nreset q;")
+        assert c.count_ops()["reset"] == 3
+
+    def test_barrier(self):
+        c = parse("qreg q[2];\nbarrier q[0], q[1];")
+        assert c.count_ops()["barrier"] == 1
+
+
+class TestGateDefinitions:
+    def test_simple_definition(self):
+        c = parse(
+            "gate bell a, b { h a; cx a, b; }\n"
+            "qreg q[2];\nbell q[0], q[1];"
+        )
+        assert c.count_ops() == {"h": 1, "cnot": 1}
+
+    def test_parameterised_definition(self):
+        c = parse(
+            "gate rot(t) a { rz(t/2) a; ry(t) a; }\n"
+            "qreg q[1];\nrot(pi) q[0];"
+        )
+        assert c.operations[0].params[0] == pytest.approx(math.pi / 2)
+        assert c.operations[1].params[0] == pytest.approx(math.pi)
+
+    def test_nested_definition(self):
+        c = parse(
+            "gate layer a, b { h a; h b; }\n"
+            "gate entangle a, b { layer a, b; cx a, b; }\n"
+            "qreg q[2];\nentangle q[0], q[1];"
+        )
+        assert c.count_ops() == {"h": 2, "cnot": 1}
+
+    def test_definition_broadcasts(self):
+        c = parse("gate dbl a { h a; h a; }\nqreg q[3];\ndbl q;")
+        assert c.count_ops()["h"] == 6
+
+    def test_arity_mismatch(self):
+        with pytest.raises(QasmParseError):
+            parse("gate bell a, b { h a; }\nqreg q[2];\nbell q[0];")
+
+    def test_opaque_skipped(self):
+        c = parse("opaque magic a, b;\nqreg q[2];\nh q[0];")
+        assert c.count_ops() == {"h": 1}
+
+
+class TestConditionals:
+    def test_if_gate(self):
+        c = parse(
+            "qreg q[2];\ncreg c[2];\nmeasure q[0] -> c[0];\nif (c==1) x q[1];"
+        )
+        assert c.count_ops()["if"] == 1
+        cond = c.operations[-1]
+        assert cond.value == 1
+
+    def test_if_with_unknown_register(self):
+        with pytest.raises(QasmParseError, match="unknown classical"):
+            parse("qreg q[1];\nif (nope==1) x q[0];")
+
+    def test_if_reset(self):
+        c = parse("qreg q[1];\ncreg c[1];\nif (c==1) reset q[0];")
+        assert c.count_ops()["if"] == 1
+
+
+class TestComments:
+    def test_line_and_block_comments(self):
+        c = parse(
+            "// line comment\nqreg q[1];\n/* block\ncomment */\nh q[0];"
+        )
+        assert c.count_ops() == {"h": 1}

@@ -1,0 +1,140 @@
+"""Unit tests for the PyQIR-style SimpleModule / BasicQisBuilder."""
+
+import pytest
+
+from repro.llvmir import parse_assembly, verify_module
+from repro.qir import AdaptiveProfile, BaseProfile, SimpleModule, validate_profile
+from repro.qir.builder import static_qubit, static_result
+from repro.llvmir.values import ConstantNull, ConstantPointerInt
+
+
+class TestStaticAddressing:
+    def test_qubit_zero_is_null(self):
+        assert isinstance(static_qubit(0), ConstantNull)
+
+    def test_nonzero_is_inttoptr(self):
+        q = static_qubit(3)
+        assert isinstance(q, ConstantPointerInt) and q.address == 3
+
+    def test_emitted_text_matches_paper_example6(self):
+        sm = SimpleModule("bell", 2, 2, addressing="static")
+        sm.qis.h(0)
+        sm.qis.cnot(0, 1)
+        sm.qis.mz(0, 0)
+        sm.qis.mz(1, 1)
+        text = sm.ir()
+        assert "call void @__quantum__qis__h__body(ptr null)" in text
+        assert (
+            "call void @__quantum__qis__cnot__body(ptr null, "
+            "ptr inttoptr (i64 1 to ptr))" in text
+        )
+        assert (
+            "call void @__quantum__qis__mz__body(ptr null, ptr writeonly null)"
+            in text
+        )
+        assert "qubit_allocate" not in text
+
+    def test_no_rt_calls_in_static_mode(self):
+        sm = SimpleModule("t", 2, 0, addressing="static")
+        sm.qis.h(0)
+        assert "__quantum__rt__qubit" not in sm.ir()
+
+
+class TestDynamicAddressing:
+    def test_emits_fig1_pattern(self):
+        sm = SimpleModule("bell", 2, 2, addressing="dynamic")
+        sm.qis.h(0)
+        text = sm.ir()
+        assert "alloca ptr" in text
+        assert "call ptr @__quantum__rt__qubit_allocate_array(i64 2)" in text
+        assert "call ptr @__quantum__rt__array_get_element_ptr_1d" in text
+        assert "call void @__quantum__rt__qubit_release_array" in text
+
+    def test_each_use_reloads_pointer(self):
+        sm = SimpleModule("t", 2, 0, addressing="dynamic")
+        sm.qis.h(0)
+        sm.qis.h(1)
+        text = sm.ir()
+        # two gate uses -> two loads (plus the release's load)
+        assert text.count("load ptr, ptr %q") == 3
+
+    def test_module_flags_reflect_addressing(self):
+        dynamic = parse_assembly(SimpleModule("a", 1, 0, addressing="dynamic").ir())
+        static = parse_assembly(SimpleModule("b", 1, 0, addressing="static").ir())
+        assert dynamic.get_module_flag("dynamic_qubit_management").value != 0
+        assert static.get_module_flag("dynamic_qubit_management").value == 0
+
+
+class TestBuilderApi:
+    def test_invalid_addressing_mode(self):
+        with pytest.raises(ValueError):
+            SimpleModule("t", 1, 0, addressing="telepathic")
+
+    def test_qubit_index_range_checked(self):
+        sm = SimpleModule("t", 2, 1)
+        with pytest.raises(IndexError):
+            sm.qubit(2)
+        with pytest.raises(IndexError):
+            sm.result(1)
+
+    def test_rotation_params_emitted_as_doubles(self):
+        sm = SimpleModule("t", 1, 0)
+        sm.qis.rz(0.5, 0)
+        text = sm.ir()
+        assert "__quantum__qis__rz__body(double" in text
+
+    def test_all_gate_methods(self):
+        sm = SimpleModule("t", 3, 0)
+        qis = sm.qis
+        qis.h(0); qis.x(0); qis.y(0); qis.z(0); qis.s(0); qis.s_adj(0)
+        qis.t(0); qis.t_adj(0); qis.rx(0.1, 0); qis.ry(0.2, 0); qis.rz(0.3, 0)
+        qis.cnot(0, 1); qis.cz(0, 1); qis.swap(0, 1); qis.ccx(0, 1, 2)
+        qis.reset(0)
+        m = parse_assembly(sm.ir())
+        verify_module(m)
+        from repro.analysis.dataflow import quantum_call_sites
+
+        assert len(quantum_call_sites(m.get_function("main"))) == 16
+
+    def test_record_output_structure(self):
+        sm = SimpleModule("t", 1, 2)
+        sm.qis.mz(0, 0)
+        sm.record_output(labels=["first", "second"])
+        text = sm.ir()
+        assert "array_record_output(i64 2" in text
+        assert text.count("call void @__quantum__rt__result_record_output") == 2
+        assert 'c"first\\00"' in text
+
+    def test_ir_is_idempotent(self):
+        sm = SimpleModule("t", 1, 0)
+        sm.qis.h(0)
+        assert sm.ir() == sm.ir()
+
+    def test_output_verifies_and_conforms(self):
+        sm = SimpleModule("t", 2, 2, addressing="static")
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        sm.record_output()
+        m = parse_assembly(sm.ir())
+        verify_module(m)
+        assert validate_profile(m, BaseProfile) == []
+
+    def test_if_result_builds_diamond(self):
+        sm = SimpleModule("t", 2, 1, profile=AdaptiveProfile)
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        sm.qis.if_result(0, one=lambda: sm.qis.x(1), zero=lambda: sm.qis.z(1))
+        m = parse_assembly(sm.ir())
+        verify_module(m)
+        fn = m.get_function("main")
+        assert len(fn.blocks) == 4
+        assert validate_profile(m, AdaptiveProfile) == []
+
+    def test_entry_point_attributes(self):
+        sm = SimpleModule("t", 5, 3)
+        m = parse_assembly(sm.ir())
+        fn = m.get_function("main")
+        assert fn.is_entry_point
+        assert fn.get_attribute("required_num_qubits") == "5"
+        assert fn.get_attribute("required_num_results") == "3"
+        assert fn.get_attribute("qir_profiles") == "base_profile"

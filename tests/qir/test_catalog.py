@@ -1,0 +1,89 @@
+"""Unit tests for the QIS/RT function catalogue."""
+
+import pytest
+
+from repro.llvmir.types import FunctionType, double, i1, i64, ptr, void
+from repro.qir.catalog import (
+    QIS_GATES,
+    RT_FUNCTIONS,
+    is_qis_function,
+    is_quantum_function,
+    is_rt_function,
+    parse_qis_name,
+    qis_function_name,
+    qis_signature,
+    rt_signature,
+)
+
+
+class TestNaming:
+    def test_body_variant(self):
+        assert qis_function_name("h") == "__quantum__qis__h__body"
+
+    def test_adjoint_gates_map_to_adj_variant(self):
+        assert qis_function_name("s_adj") == "__quantum__qis__s__adj"
+        assert qis_function_name("t_adj") == "__quantum__qis__t__adj"
+
+    def test_aliases_resolve(self):
+        assert qis_function_name("cx") == "__quantum__qis__cnot__body"
+        assert qis_function_name("sdg") == "__quantum__qis__s__adj"
+
+    def test_parse_known(self):
+        entry = parse_qis_name("__quantum__qis__cnot__body")
+        assert entry is not None
+        assert entry.gate == "cnot" and entry.num_qubits == 2
+
+    def test_parse_unknown_returns_none(self):
+        assert parse_qis_name("__quantum__qis__flux_capacitor__body") is None
+        assert parse_qis_name("not_a_qis_function") is None
+
+    def test_namespace_predicates(self):
+        assert is_qis_function("__quantum__qis__h__body")
+        assert is_rt_function("__quantum__rt__initialize")
+        assert is_quantum_function("__quantum__rt__initialize")
+        assert not is_quantum_function("printf")
+
+
+class TestSignatures:
+    def test_gate_signature(self):
+        sig = qis_signature("__quantum__qis__cnot__body")
+        assert sig == FunctionType(void, [ptr, ptr])
+
+    def test_rotation_signature_params_first(self):
+        sig = qis_signature("__quantum__qis__rz__body")
+        assert sig == FunctionType(void, [double, ptr])
+
+    def test_mz_takes_result(self):
+        sig = qis_signature("__quantum__qis__mz__body")
+        assert sig == FunctionType(void, [ptr, ptr])
+
+    def test_m_returns_result(self):
+        sig = qis_signature("__quantum__qis__m__body")
+        assert sig == FunctionType(ptr, [ptr])
+
+    def test_read_result_returns_i1(self):
+        sig = qis_signature("__quantum__qis__read_result__body")
+        assert sig == FunctionType(i1, [ptr])
+
+    def test_unknown_signature_raises(self):
+        with pytest.raises(KeyError):
+            qis_signature("__quantum__qis__nope__body")
+
+    def test_rt_signatures(self):
+        assert rt_signature("__quantum__rt__qubit_allocate_array") == FunctionType(
+            ptr, [i64]
+        )
+        assert rt_signature("__quantum__rt__result_record_output") == FunctionType(
+            void, [ptr, ptr]
+        )
+        with pytest.raises(KeyError):
+            rt_signature("__quantum__rt__teleport")
+
+    def test_every_catalogue_entry_signature_builds(self):
+        for name, entry in QIS_GATES.items():
+            sig = entry.signature()
+            assert isinstance(sig, FunctionType), name
+
+    def test_catalogue_covers_core_gates(self):
+        for gate in ("h", "x", "y", "z", "cnot", "cz", "swap", "rz", "rx", "ry", "ccx"):
+            assert f"__quantum__qis__{gate}__body" in QIS_GATES

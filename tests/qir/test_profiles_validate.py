@@ -1,0 +1,185 @@
+"""Unit tests for profile definitions and conformance validation."""
+
+import pytest
+
+from repro.llvmir import parse_assembly
+from repro.qir import (
+    AdaptiveProfile,
+    BaseProfile,
+    FullProfile,
+    SimpleModule,
+    profile_by_name,
+    validate_profile,
+)
+from repro.qir.profiles import AdaptiveProfileF
+from repro.qir.validate import ProfileError, check_profile
+
+
+def rules(violations):
+    return {v.rule for v in violations}
+
+
+class TestProfileRegistry:
+    def test_lookup(self):
+        assert profile_by_name("base_profile") is BaseProfile
+        assert profile_by_name("adaptive_profile") is AdaptiveProfile
+        assert profile_by_name("full") is FullProfile
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            profile_by_name("hyper_profile")
+
+    def test_capability_ordering(self):
+        # base < adaptive < full in expressiveness
+        assert not BaseProfile.allow_multiple_blocks
+        assert AdaptiveProfile.allow_multiple_blocks
+        assert not AdaptiveProfile.allow_loops
+        assert FullProfile.allow_loops
+
+
+def base_module():
+    sm = SimpleModule("t", 2, 2, addressing="static")
+    sm.qis.h(0)
+    sm.qis.cnot(0, 1)
+    sm.qis.mz(0, 0)
+    sm.qis.mz(1, 1)
+    sm.record_output()
+    return parse_assembly(sm.ir())
+
+
+def adaptive_module():
+    sm = SimpleModule("t", 2, 2, addressing="static", profile=AdaptiveProfile)
+    sm.qis.h(0)
+    sm.qis.mz(0, 0)
+    sm.qis.if_result(0, one=lambda: sm.qis.x(1))
+    sm.qis.mz(1, 1)
+    return parse_assembly(sm.ir())
+
+
+class TestBaseProfileValidation:
+    def test_conformant_module_passes(self):
+        assert validate_profile(base_module(), BaseProfile) == []
+
+    def test_check_profile_raises_on_violations(self):
+        with pytest.raises(ProfileError):
+            check_profile(adaptive_module(), BaseProfile)
+
+    def test_control_flow_rejected(self):
+        violations = validate_profile(adaptive_module(), BaseProfile)
+        assert "control-flow" in rules(violations)
+
+    def test_result_feedback_rejected(self):
+        violations = validate_profile(adaptive_module(), BaseProfile)
+        assert "result-feedback" in rules(violations)
+
+    def test_dynamic_qubits_rejected(self):
+        sm = SimpleModule("t", 2, 2, addressing="dynamic")
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        m = parse_assembly(sm.ir())
+        violations = validate_profile(m, BaseProfile)
+        assert "dynamic-qubits" in rules(violations)
+        assert "memory" in rules(violations)  # the alloca/store/load chain
+
+    def test_dynamic_results_rejected(self):
+        sm = SimpleModule("t", 1, 0, addressing="static")
+        sm.qis.m(0)
+        m = parse_assembly(sm.ir())
+        assert "dynamic-results" in rules(validate_profile(m, BaseProfile))
+
+    def test_int_computation_rejected(self):
+        src = """
+        define void @main() #0 {
+        entry:
+          %x = add i64 1, 2
+          ret void
+        }
+        attributes #0 = { "entry_point" "qir_profiles"="base_profile" "required_num_qubits"="0" }
+        !llvm.module.flags = !{!0}
+        !0 = !{i32 1, !"qir_major_version", i32 1}
+        """
+        m = parse_assembly(src)
+        assert "int-computation" in rules(validate_profile(m, BaseProfile))
+
+    def test_missing_entry_point_attr(self):
+        src = """
+        define void @main() {
+        entry:
+          ret void
+        }
+        """
+        m = parse_assembly(src)
+        violations = validate_profile(m, BaseProfile)
+        assert "entry-point" in rules(violations)
+        assert "module-flags" in rules(violations)
+
+    def test_user_function_rejected(self):
+        src = """
+        define void @helper() {
+        entry:
+          ret void
+        }
+        define void @main() #0 {
+        entry:
+          call void @helper()
+          ret void
+        }
+        attributes #0 = { "entry_point" "qir_profiles"="base_profile" "required_num_qubits"="0" }
+        !llvm.module.flags = !{!0}
+        !0 = !{i32 1, !"qir_major_version", i32 1}
+        """
+        m = parse_assembly(src)
+        violations = validate_profile(m, BaseProfile)
+        assert "user-functions" in rules(violations)
+        assert "calls" in rules(violations)
+
+
+class TestAdaptiveProfileValidation:
+    def test_adaptive_module_conforms(self):
+        assert validate_profile(adaptive_module(), AdaptiveProfile) == []
+
+    def test_loops_rejected_by_adaptive(self):
+        from repro.workloads.qir_programs import counted_loop_qir
+
+        m = parse_assembly(counted_loop_qir(4))
+        violations = validate_profile(m, AdaptiveProfile)
+        assert "loops" in rules(violations)
+        assert "memory" in rules(violations)
+
+    def test_float_computation_needs_rif(self):
+        src = """
+        define void @main() #0 {
+        entry:
+          %x = fadd double 1.0, 2.0
+          ret void
+        }
+        attributes #0 = { "entry_point" "qir_profiles"="adaptive_profile" "required_num_qubits"="0" }
+        !llvm.module.flags = !{!0}
+        !0 = !{i32 1, !"qir_major_version", i32 1}
+        """
+        m = parse_assembly(src)
+        assert "float-computation" in rules(validate_profile(m, AdaptiveProfile))
+        assert validate_profile(m, AdaptiveProfileF) == []
+
+    def test_unrolled_loop_becomes_base_conformant(self):
+        from repro.passes import unroll_pipeline
+        from repro.workloads.qir_programs import counted_loop_qir
+
+        m = parse_assembly(counted_loop_qir(4))
+        assert validate_profile(m, BaseProfile) != []
+        unroll_pipeline().run(m)
+        remaining = validate_profile(m, BaseProfile)
+        assert remaining == []
+
+
+class TestFullProfile:
+    def test_everything_allowed(self):
+        from repro.workloads.qir_programs import counted_loop_qir
+
+        m = parse_assembly(counted_loop_qir(4))
+        assert validate_profile(m, FullProfile) == []
+
+    def test_violation_str_is_informative(self):
+        violations = validate_profile(adaptive_module(), BaseProfile)
+        text = str(violations[0])
+        assert "main" in text and "[" in text

@@ -1,0 +1,123 @@
+"""Tests for the deferred-measurement sampling fast path."""
+
+import pytest
+
+from repro.qir import AdaptiveProfile, SimpleModule
+from repro.runtime import QirRuntime
+from repro.runtime.sampling_fastpath import FastPathUnsupported
+from repro.sim import NoiseModel
+from repro.sim.sampling import counts_to_probabilities, total_variation_distance
+from repro.workloads.qec import teleportation_qir
+from repro.workloads.qir_programs import bell_qir, ghz_qir
+
+
+class TestApplicability:
+    def test_base_profile_static_uses_fast_path(self):
+        result = QirRuntime(seed=1).run_shots(bell_qir("static"), shots=100)
+        assert result.used_fast_path
+
+    def test_dynamic_addressing_uses_fast_path(self):
+        # release-after-measure is tolerated (skipped, not reset)
+        result = QirRuntime(seed=1).run_shots(bell_qir("dynamic"), shots=100)
+        assert result.used_fast_path
+
+    def test_adaptive_feedback_falls_back(self):
+        result = QirRuntime(seed=2).run_shots(teleportation_qir(), shots=50)
+        assert not result.used_fast_path
+        assert all(bits[0] == "0" for bits in result.counts)
+
+    def test_gate_after_measurement_falls_back(self):
+        sm = SimpleModule("t", 1, 2)
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        sm.qis.x(0)  # touches a measured qubit
+        sm.qis.mz(0, 1)
+        result = QirRuntime(seed=3).run_shots(sm.ir(), shots=50)
+        assert not result.used_fast_path
+        # semantics: second measurement is the flip of the first
+        assert set(result.counts) <= {"01", "10"}
+
+    def test_remeasurement_falls_back(self):
+        sm = SimpleModule("t", 1, 2)
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        sm.qis.mz(0, 1)
+        result = QirRuntime(seed=4).run_shots(sm.ir(), shots=50)
+        assert not result.used_fast_path
+        assert set(result.counts) <= {"00", "11"}  # repeated outcome agrees
+
+    def test_reset_after_measurement_falls_back(self):
+        sm = SimpleModule("t", 2, 2)
+        sm.qis.h(0)
+        sm.qis.mz(0, 0)
+        sm.qis.reset(0)
+        sm.qis.mz(1, 1)
+        assert not QirRuntime(seed=5).run_shots(sm.ir(), shots=20).used_fast_path
+
+    def test_noise_disables_fast_path(self):
+        result = QirRuntime(
+            seed=6, noise=NoiseModel(depolarizing_1q=0.05)
+        ).run_shots(bell_qir("static"), shots=50)
+        assert not result.used_fast_path
+
+    def test_stabilizer_backend_disables_fast_path(self):
+        result = QirRuntime(seed=7, backend="stabilizer").run_shots(
+            bell_qir("static"), shots=50
+        )
+        assert not result.used_fast_path
+
+    def test_sampling_never(self):
+        result = QirRuntime(seed=8).run_shots(
+            bell_qir("static"), shots=50, sampling="never"
+        )
+        assert not result.used_fast_path
+
+    def test_sampling_require_raises_on_feedback(self):
+        with pytest.raises(FastPathUnsupported):
+            QirRuntime(seed=9).run_shots(
+                teleportation_qir(), shots=10, sampling="require"
+            )
+
+    def test_unknown_sampling_mode(self):
+        with pytest.raises(ValueError):
+            QirRuntime().run_shots(bell_qir("static"), shots=1, sampling="maybe")
+
+
+class TestCorrectness:
+    def test_matches_per_shot_distribution(self):
+        text = ghz_qir(5, "static")
+        fast = counts_to_probabilities(
+            QirRuntime(seed=10).run_shots(text, shots=3000, sampling="require").counts
+        )
+        slow = counts_to_probabilities(
+            QirRuntime(seed=11).run_shots(text, shots=3000, sampling="never").counts
+        )
+        assert set(fast) == set(slow) == {"00000", "11111"}
+        assert total_variation_distance(fast, slow) < 0.05
+
+    def test_partial_measurement(self):
+        sm = SimpleModule("t", 3, 2)
+        sm.qis.x(2)
+        sm.qis.h(0)
+        sm.qis.mz(2, 1)
+        sm.qis.mz(0, 0)
+        result = QirRuntime(seed=12).run_shots(sm.ir(), shots=80, sampling="require")
+        assert set(result.counts) <= {"10", "11"}
+
+    def test_sparse_result_indices(self):
+        sm = SimpleModule("t", 2, 4)
+        sm.qis.x(0)
+        sm.qis.mz(0, 3)  # only result 3 written
+        result = QirRuntime(seed=13).run_shots(sm.ir(), shots=10, sampling="require")
+        assert result.counts == {"1000": 10}
+
+    def test_no_measurements(self):
+        sm = SimpleModule("t", 1, 0)
+        sm.qis.h(0)
+        result = QirRuntime(seed=14).run_shots(sm.ir(), shots=10, sampling="require")
+        assert result.counts == {"": 10}
+
+    def test_seeded_reproducibility(self):
+        a = QirRuntime(seed=15).run_shots(bell_qir("static"), shots=200).counts
+        b = QirRuntime(seed=15).run_shots(bell_qir("static"), shots=200).counts
+        assert a == b

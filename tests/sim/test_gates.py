@@ -1,0 +1,125 @@
+"""Unit + property tests for the gate catalogue."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.gates import (
+    ADJOINT,
+    GATE_SET,
+    canonical_name,
+    controlled,
+    gate_matrix,
+    get_gate,
+    is_clifford_gate,
+)
+
+
+class TestCatalogue:
+    def test_every_gate_has_square_unitary(self):
+        for name, spec in GATE_SET.items():
+            params = [0.37] * spec.num_params
+            matrix = gate_matrix(name, params)
+            dim = 2**spec.num_qubits
+            assert matrix.shape == (dim, dim)
+            assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-12), name
+
+    def test_hermitian_gates_are_self_inverse(self):
+        for name, spec in GATE_SET.items():
+            if spec.hermitian:
+                matrix = gate_matrix(name)
+                assert np.allclose(matrix @ matrix, np.eye(matrix.shape[0]), atol=1e-12), name
+
+    def test_adjoint_pairs_multiply_to_identity(self):
+        for a, b in ADJOINT.items():
+            ma, mb = gate_matrix(a), gate_matrix(b)
+            assert np.allclose(ma @ mb, np.eye(2), atol=1e-12), (a, b)
+
+    def test_aliases(self):
+        assert canonical_name("cx") == "cnot"
+        assert canonical_name("sdg") == "s_adj"
+        assert canonical_name("CX") == "cnot"
+        assert canonical_name("toffoli") == "ccx"
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            get_gate("warp")
+
+    def test_param_arity_enforced(self):
+        with pytest.raises(ValueError):
+            gate_matrix("rz", [])
+        with pytest.raises(ValueError):
+            gate_matrix("h", [0.1])
+
+    def test_clifford_classification(self):
+        assert is_clifford_gate("h")
+        assert is_clifford_gate("cx")
+        assert not is_clifford_gate("t")
+        assert not is_clifford_gate("rz")
+        assert not is_clifford_gate("ccx")
+
+
+class TestSpecificMatrices:
+    def test_hadamard(self):
+        h = gate_matrix("h")
+        s = 1 / math.sqrt(2)
+        assert np.allclose(h, [[s, s], [s, -s]])
+
+    def test_cnot_flips_on_control_one(self):
+        cx = gate_matrix("cnot")
+        # basis order: |control, target> with control the leading qubit
+        assert np.allclose(cx @ [0, 0, 1, 0], [0, 0, 0, 1])
+        assert np.allclose(cx @ [0, 1, 0, 0], [0, 1, 0, 0])
+
+    def test_rz_at_zero_is_identity(self):
+        assert np.allclose(gate_matrix("rz", [0.0]), np.eye(2))
+
+    def test_rz_composition(self):
+        a = gate_matrix("rz", [0.3]) @ gate_matrix("rz", [0.4])
+        assert np.allclose(a, gate_matrix("rz", [0.7]))
+
+    def test_t_squared_is_s(self):
+        assert np.allclose(gate_matrix("t") @ gate_matrix("t"), gate_matrix("s"))
+
+    def test_u3_covers_ry(self):
+        theta = 0.9
+        assert np.allclose(
+            gate_matrix("u3", [theta, 0.0, 0.0]), gate_matrix("ry", [theta])
+        )
+
+    def test_controlled_builder(self):
+        cz = controlled(np.diag([1, -1]).astype(complex))
+        assert np.allclose(cz, np.diag([1, 1, 1, -1]))
+
+    def test_double_controlled(self):
+        ccx = controlled(gate_matrix("x"), 2)
+        assert np.allclose(ccx, gate_matrix("ccx"))
+
+    def test_swap(self):
+        sw = gate_matrix("swap")
+        assert np.allclose(sw @ [0, 1, 0, 0], [0, 0, 1, 0])
+
+
+@given(
+    name=st.sampled_from(["rx", "ry", "rz", "p"]),
+    theta=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_rotation_inverse_property(name, theta):
+    m = gate_matrix(name, [theta]) @ gate_matrix(name, [-theta])
+    assert np.allclose(m, np.eye(2), atol=1e-10)
+
+
+@given(
+    name=st.sampled_from(["rx", "ry", "rz", "p", "rzz", "cp"]),
+    a=st.floats(min_value=-5, max_value=5, allow_nan=False),
+    b=st.floats(min_value=-5, max_value=5, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_rotation_additivity_property(name, a, b):
+    """The merge rule used by RotationMergingPass: angles add exactly."""
+    combined = gate_matrix(name, [a]) @ gate_matrix(name, [b])
+    assert np.allclose(combined, gate_matrix(name, [a + b]), atol=1e-10)

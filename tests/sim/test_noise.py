@@ -1,0 +1,144 @@
+"""Unit tests for the stochastic Pauli noise wrapper."""
+
+import pytest
+
+from repro.sim import NoiseModel, NoisyBackend, StabilizerSimulator, StatevectorSimulator
+
+
+class TestNoiseModel:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(depolarizing_1q=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(readout_error=-0.1)
+
+    def test_trivial_detection(self):
+        assert NoiseModel().is_trivial
+        assert not NoiseModel(depolarizing_1q=0.01).is_trivial
+
+
+class TestNoisyBackend:
+    def test_zero_noise_is_transparent(self):
+        clean = StatevectorSimulator(2, seed=1)
+        noisy = NoisyBackend(StatevectorSimulator(2, seed=1), NoiseModel(), seed=2)
+        clean.apply_gate("h", [0])
+        noisy.apply_gate("h", [0])
+        assert clean.probability_of_one(0) == noisy.inner.probability_of_one(0)
+        assert noisy.injected_paulis == 0
+
+    def test_full_depolarizing_injects_always(self):
+        noisy = NoisyBackend(
+            StatevectorSimulator(1, seed=3),
+            NoiseModel(depolarizing_1q=1.0),
+            seed=4,
+        )
+        for _ in range(10):
+            noisy.apply_gate("i", [0])
+        assert noisy.injected_paulis == 10
+
+    def test_two_qubit_channel_hits_both_qubits(self):
+        noisy = NoisyBackend(
+            StatevectorSimulator(2, seed=5),
+            NoiseModel(depolarizing_2q=1.0),
+            seed=6,
+        )
+        noisy.apply_gate("cnot", [0, 1])
+        assert noisy.injected_paulis == 2
+
+    def test_readout_error_flips_report_not_state(self):
+        noisy = NoisyBackend(
+            StatevectorSimulator(1, seed=7),
+            NoiseModel(readout_error=1.0),
+            seed=8,
+        )
+        # state |0>: reported outcome must be 1, state stays |0>
+        assert noisy.measure(0) == 1
+        assert noisy.inner.probability_of_one(0) == pytest.approx(0.0)
+        assert noisy.flipped_readouts == 1
+
+    def test_reset_error(self):
+        noisy = NoisyBackend(
+            StatevectorSimulator(1, seed=9),
+            NoiseModel(reset_error=1.0),
+            seed=10,
+        )
+        noisy.reset(0)
+        assert noisy.inner.probability_of_one(0) == pytest.approx(1.0)
+
+    def test_composes_with_stabilizer_backend(self):
+        noisy = NoisyBackend(
+            StabilizerSimulator(3, seed=11),
+            NoiseModel(depolarizing_1q=0.5),
+            seed=12,
+        )
+        for _ in range(20):
+            noisy.apply_gate("h", [0])
+            noisy.apply_gate("cnot", [0, 1])
+        assert noisy.injected_paulis > 0
+        assert noisy.measure(2) in (0, 1)
+
+    def test_allocation_delegates(self):
+        noisy = NoisyBackend(StatevectorSimulator(0), NoiseModel(), seed=0)
+        slot = noisy.allocate_qubit()
+        assert noisy.num_qubits == 1
+        noisy.release_qubit(slot)
+
+    def test_error_rate_statistics(self):
+        noisy = NoisyBackend(
+            StatevectorSimulator(1, seed=13),
+            NoiseModel(depolarizing_1q=0.25),
+            seed=14,
+        )
+        trials = 2000
+        for _ in range(trials):
+            noisy.apply_gate("i", [0])
+        rate = noisy.injected_paulis / trials
+        assert 0.2 < rate < 0.3
+
+
+class TestNoisyRuntime:
+    def test_runtime_accepts_noise(self):
+        from repro.qir import SimpleModule
+        from repro.runtime import QirRuntime
+
+        sm = SimpleModule("t", 1, 1)
+        sm.qis.x(0)
+        sm.qis.mz(0, 0)
+        text = sm.ir()
+
+        clean = QirRuntime(seed=1).run_shots(text, shots=300).counts
+        assert clean == {"1": 300}
+
+        noisy = QirRuntime(
+            seed=1, noise=NoiseModel(depolarizing_1q=0.2)
+        ).run_shots(text, shots=300).counts
+        assert noisy.get("0", 0) > 10  # errors actually appear
+
+    def test_noise_suppressed_by_repetition_code(self):
+        from repro.runtime import QirRuntime
+        from repro.workloads import repetition_code_qir
+
+        p = 0.08
+        noise = NoiseModel(depolarizing_1q=p, depolarizing_2q=p)
+        shots = 800
+
+        encoded = QirRuntime(backend="stabilizer", seed=2, noise=noise).run_shots(
+            repetition_code_qir(3), shots=shots
+        )
+        logical_errors = sum(
+            n for bits, n in encoded.counts.items()
+            if bits[:3].count("1") > 1  # majority of data bits flipped
+        )
+
+        from repro.qir import SimpleModule
+
+        sm = SimpleModule("bare", 1, 1)
+        sm.qis.x(0)
+        sm.qis.x(0)
+        sm.qis.mz(0, 0)
+        bare = QirRuntime(backend="stabilizer", seed=3, noise=noise).run_shots(
+            sm.ir(), shots=shots
+        )
+        bare_errors = sum(n for bits, n in bare.counts.items() if bits == "1")
+
+        assert logical_errors < bare_errors

@@ -1,0 +1,218 @@
+"""Unit + cross-validation tests for the CHP stabilizer simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stabilizer import StabilizerSimulator
+from repro.sim.statevector import StatevectorSimulator
+
+
+class TestBasics:
+    def test_fresh_qubits_measure_zero(self):
+        sim = StabilizerSimulator(3, seed=0)
+        assert [sim.measure(q) for q in range(3)] == [0, 0, 0]
+
+    def test_x_gives_one(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.apply_gate("x", [0])
+        assert sim.measure(0) == 1
+
+    def test_z_phase_invisible_in_z_basis(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.apply_gate("z", [0])
+        assert sim.measure(0) == 0
+
+    def test_hzh_is_x(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.apply_gate("h", [0])
+        sim.apply_gate("z", [0])
+        sim.apply_gate("h", [0])
+        assert sim.measure(0) == 1
+
+    def test_ss_is_z(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.apply_gate("h", [0])
+        sim.apply_gate("s", [0])
+        sim.apply_gate("s", [0])
+        sim.apply_gate("h", [0])
+        assert sim.measure(0) == 1
+
+    def test_s_adj_inverts_s(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.apply_gate("h", [0])
+        sim.apply_gate("s", [0])
+        sim.apply_gate("s_adj", [0])
+        sim.apply_gate("h", [0])
+        assert sim.measure(0) == 0
+
+    def test_y_flips_in_z_basis(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.apply_gate("y", [0])
+        assert sim.measure(0) == 1
+
+    def test_swap(self):
+        sim = StabilizerSimulator(2, seed=0)
+        sim.apply_gate("x", [0])
+        sim.apply_gate("swap", [0, 1])
+        assert sim.measure(0) == 0
+        assert sim.measure(1) == 1
+
+    def test_parameterised_gate_rejected(self):
+        sim = StabilizerSimulator(1)
+        with pytest.raises(ValueError):
+            sim.apply_gate("rz", [0], [0.3])
+
+    def test_non_clifford_rejected(self):
+        sim = StabilizerSimulator(1)
+        with pytest.raises(ValueError, match="not Clifford"):
+            sim.apply_gate("t", [0])
+
+
+class TestEntanglement:
+    def test_bell_correlations(self):
+        agree = 0
+        for seed in range(50):
+            sim = StabilizerSimulator(2, seed=seed)
+            sim.apply_gate("h", [0])
+            sim.apply_gate("cnot", [0, 1])
+            a, b = sim.measure(0), sim.measure(1)
+            assert a == b
+            agree += a
+        assert 10 < agree < 40  # both outcomes occur
+
+    def test_ghz_wide(self):
+        sim = StabilizerSimulator(500, seed=7)
+        sim.apply_gate("h", [0])
+        for i in range(499):
+            sim.apply_gate("cnot", [i, i + 1])
+        outcomes = {sim.measure(q) for q in range(500)}
+        assert len(outcomes) == 1  # all identical
+
+    def test_cz_equivalent_to_h_cnot_h(self):
+        for seed in range(10):
+            a = StabilizerSimulator(2, seed=seed)
+            a.apply_gate("h", [0])
+            a.apply_gate("h", [1])
+            a.apply_gate("cz", [0, 1])
+            a.apply_gate("h", [1])
+            b = StabilizerSimulator(2, seed=seed)
+            b.apply_gate("h", [0])
+            b.apply_gate("cnot", [0, 1])
+            assert a.measure(0) == b.measure(0)
+            assert a.measure(1) == b.measure(1)
+
+
+class TestAllocation:
+    def test_grow_beyond_initial_capacity(self):
+        sim = StabilizerSimulator(1, seed=0)
+        for _ in range(20):
+            sim.allocate_qubit()
+        assert sim.num_qubits == 21
+        assert sim.measure(20) == 0
+
+    def test_growth_preserves_state(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.apply_gate("x", [0])
+        for _ in range(10):
+            sim.allocate_qubit()
+        assert sim.measure(0) == 1
+
+    def test_release_reuse(self):
+        sim = StabilizerSimulator(0, seed=0)
+        a = sim.allocate_qubit()
+        sim.apply_gate("x", [a])
+        sim.release_qubit(a)
+        b = sim.allocate_qubit()
+        assert a == b
+        assert sim.measure(b) == 0
+
+    def test_sample_restores_state(self):
+        sim = StabilizerSimulator(2, seed=3)
+        sim.apply_gate("h", [0])
+        sim.apply_gate("cnot", [0, 1])
+        counts = sim.sample(100)
+        assert set(counts) <= {"00", "11"}
+        # sampling must not have collapsed the live tableau
+        counts2 = sim.sample(100)
+        assert set(counts2) <= {"00", "11"}
+        assert len(counts2) == 2 or len(counts) == 2
+
+
+_CLIFFORD_OPS = ["h", "s", "x", "z", "y", "s_adj", "cnot", "cz", "swap"]
+
+
+@st.composite
+def clifford_circuit(draw, num_qubits=4, max_len=15):
+    ops = []
+    n = draw(st.integers(min_value=1, max_value=max_len))
+    for _ in range(n):
+        gate = draw(st.sampled_from(_CLIFFORD_OPS))
+        if gate in ("cnot", "cz", "swap"):
+            a = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            b = draw(
+                st.integers(min_value=0, max_value=num_qubits - 1).filter(
+                    lambda x: x != a
+                )
+            )
+            ops.append((gate, [a, b]))
+        else:
+            q = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            ops.append((gate, [q]))
+    return ops
+
+
+@given(clifford_circuit())
+@settings(max_examples=50, deadline=None)
+def test_marginals_match_statevector(ops):
+    """Property: per-qubit outcome probabilities agree with the dense sim.
+
+    Deterministic outcomes must match exactly; random ones must be 50/50 in
+    the statevector probabilities.
+    """
+    n = 4
+    sv = StatevectorSimulator(n)
+    for gate, qubits in ops:
+        sv.apply_gate(gate, qubits)
+
+    for qubit in range(n):
+        p1 = sv.probability_of_one(qubit)
+        st_sim = StabilizerSimulator(n, seed=123)
+        for gate, qubits in ops:
+            st_sim.apply_gate(gate, qubits)
+        outcome = st_sim.measure(qubit)
+        if p1 < 1e-9:
+            assert outcome == 0
+        elif p1 > 1 - 1e-9:
+            assert outcome == 1
+        else:
+            assert abs(p1 - 0.5) < 1e-9  # stabilizer states are 0/0.5/1
+
+
+@given(clifford_circuit(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_post_measurement_correlations_match(ops, measured_qubit):
+    """After measuring one qubit, remaining marginals must agree between
+    backends when conditioned on the same outcome (via postselection)."""
+    n = 4
+    sv = StatevectorSimulator(n)
+    stab = StabilizerSimulator(n, seed=9)
+    for gate, qubits in ops:
+        sv.apply_gate(gate, qubits)
+        stab.apply_gate(gate, qubits)
+    outcome = stab.measure(measured_qubit)
+    try:
+        sv.postselect(measured_qubit, outcome)
+    except FloatingPointError:
+        # statevector says this outcome has probability 0 -> contradiction
+        raise AssertionError(
+            f"stabilizer produced impossible outcome {outcome}"
+        ) from None
+    for qubit in range(n):
+        if qubit == measured_qubit:
+            continue
+        p1 = sv.probability_of_one(qubit)
+        if p1 < 1e-9 or p1 > 1 - 1e-9:
+            assert stab.measure(qubit) == round(p1)
+            break  # only check the first deterministic qubit (measuring mutates)

@@ -1,0 +1,238 @@
+"""Unit + property tests for the statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.gates import gate_matrix
+from repro.sim.statevector import StatevectorSimulator
+
+
+class TestBasics:
+    def test_initial_state(self):
+        sim = StatevectorSimulator(2)
+        assert sim.amplitude(0) == 1
+        assert sim.norm() == pytest.approx(1.0)
+
+    def test_x_flips(self):
+        sim = StatevectorSimulator(1)
+        sim.apply_gate("x", [0])
+        assert abs(sim.amplitude(1)) == pytest.approx(1.0)
+
+    def test_h_superposition(self):
+        sim = StatevectorSimulator(1)
+        sim.apply_gate("h", [0])
+        assert sim.probability_of_one(0) == pytest.approx(0.5)
+
+    def test_bell_state(self):
+        sim = StatevectorSimulator(2)
+        sim.apply_gate("h", [0])
+        sim.apply_gate("cnot", [0, 1])
+        probs = sim.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[3] == pytest.approx(0.5)
+        assert probs[1] == probs[2] == pytest.approx(0.0)
+
+    def test_little_endian_convention(self):
+        # X on qubit 2 of three sets basis index 4.
+        sim = StatevectorSimulator(3)
+        sim.apply_gate("x", [2])
+        assert abs(sim.amplitude(4)) == pytest.approx(1.0)
+
+    def test_cnot_control_order(self):
+        sim = StatevectorSimulator(2)
+        sim.apply_gate("x", [1])
+        sim.apply_gate("cnot", [1, 0])  # control=1, target=0
+        assert abs(sim.amplitude(3)) == pytest.approx(1.0)
+
+    def test_ccx(self):
+        sim = StatevectorSimulator(3)
+        sim.apply_gate("x", [0])
+        sim.apply_gate("x", [1])
+        sim.apply_gate("ccx", [0, 1, 2])
+        assert abs(sim.amplitude(7)) == pytest.approx(1.0)
+
+    def test_duplicate_targets_rejected(self):
+        sim = StatevectorSimulator(2)
+        with pytest.raises(ValueError):
+            sim.apply_gate("cnot", [0, 0])
+
+    def test_out_of_range_qubit(self):
+        sim = StatevectorSimulator(1)
+        with pytest.raises(IndexError):
+            sim.apply_gate("x", [3])
+
+    def test_matrix_shape_checked(self):
+        sim = StatevectorSimulator(2)
+        with pytest.raises(ValueError):
+            sim.apply_matrix(np.eye(2), [0, 1])
+
+    def test_max_qubits_guard(self):
+        with pytest.raises(ValueError):
+            StatevectorSimulator(30, max_qubits=26)
+
+
+class TestMeasurement:
+    def test_deterministic_outcomes(self):
+        sim = StatevectorSimulator(1, seed=0)
+        assert sim.measure(0) == 0
+        sim.apply_gate("x", [0])
+        assert sim.measure(0) == 1
+
+    def test_collapse(self):
+        sim = StatevectorSimulator(1, seed=3)
+        sim.apply_gate("h", [0])
+        outcome = sim.measure(0)
+        # post-measurement state is the observed basis state
+        assert sim.probability_of_one(0) == pytest.approx(float(outcome))
+
+    def test_entangled_collapse(self):
+        sim = StatevectorSimulator(2, seed=5)
+        sim.apply_gate("h", [0])
+        sim.apply_gate("cnot", [0, 1])
+        a = sim.measure(0)
+        b = sim.measure(1)
+        assert a == b
+
+    def test_postselect(self):
+        sim = StatevectorSimulator(1)
+        sim.apply_gate("h", [0])
+        p = sim.postselect(0, 1)
+        assert p == pytest.approx(0.5)
+        assert sim.probability_of_one(0) == pytest.approx(1.0)
+
+    def test_postselect_impossible(self):
+        sim = StatevectorSimulator(1)
+        with pytest.raises(FloatingPointError):
+            sim.postselect(0, 1)
+
+    def test_reset(self):
+        sim = StatevectorSimulator(1, seed=1)
+        sim.apply_gate("x", [0])
+        sim.reset(0)
+        assert sim.probability_of_one(0) == pytest.approx(0.0)
+
+    def test_measurement_statistics(self):
+        sim = StatevectorSimulator(1, seed=11)
+        ones = 0
+        for _ in range(400):
+            s = StatevectorSimulator(1, seed=None)
+            s.apply_gate("h", [0])
+            ones += s.measure(0)
+        assert 130 < ones < 270
+
+    def test_sample_histogram(self):
+        sim = StatevectorSimulator(2, seed=2)
+        sim.apply_gate("h", [0])
+        sim.apply_gate("cnot", [0, 1])
+        counts = sim.sample(1000)
+        assert set(counts) == {"00", "11"}
+        assert 400 < counts["00"] < 600
+
+
+class TestAllocation:
+    def test_grow_on_allocate(self):
+        sim = StatevectorSimulator(0)
+        a = sim.allocate_qubit()
+        b = sim.allocate_qubit()
+        assert (a, b) == (0, 1)
+        assert sim.num_qubits == 2
+        assert abs(sim.amplitude(0)) == pytest.approx(1.0)
+
+    def test_allocation_preserves_state(self):
+        sim = StatevectorSimulator(0)
+        q0 = sim.allocate_qubit()
+        sim.apply_gate("x", [q0])
+        sim.allocate_qubit()
+        # |01> in 2-qubit space (qubit0 = 1)
+        assert abs(sim.amplitude(1)) == pytest.approx(1.0)
+
+    def test_release_and_reuse(self):
+        sim = StatevectorSimulator(0)
+        a = sim.allocate_qubit()
+        sim.apply_gate("x", [a])
+        sim.release_qubit(a)
+        b = sim.allocate_qubit()
+        assert b == a  # slot reused
+        assert sim.probability_of_one(b) == pytest.approx(0.0)
+
+    def test_double_release_rejected(self):
+        sim = StatevectorSimulator(1)
+        sim.release_qubit(0)
+        with pytest.raises(ValueError):
+            sim.release_qubit(0)
+
+    def test_memory_guard_on_growth(self):
+        sim = StatevectorSimulator(0, max_qubits=3)
+        for _ in range(3):
+            sim.allocate_qubit()
+        with pytest.raises(MemoryError):
+            sim.allocate_qubit()
+
+
+@st.composite
+def random_ops(draw, num_qubits=3, max_len=10):
+    ops = []
+    n = draw(st.integers(min_value=1, max_value=max_len))
+    for _ in range(n):
+        kind = draw(st.sampled_from(["h", "x", "s", "t", "rz", "cnot", "cz"]))
+        if kind in ("cnot", "cz"):
+            a = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            b = draw(
+                st.integers(min_value=0, max_value=num_qubits - 1).filter(
+                    lambda x: x != a
+                )
+            )
+            ops.append((kind, [a, b], []))
+        elif kind == "rz":
+            q = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            theta = draw(st.floats(min_value=-3, max_value=3, allow_nan=False))
+            ops.append((kind, [q], [theta]))
+        else:
+            q = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            ops.append((kind, [q], []))
+    return ops
+
+
+@given(random_ops())
+@settings(max_examples=60, deadline=None)
+def test_norm_preserved_property(ops):
+    sim = StatevectorSimulator(3)
+    for name, qubits, params in ops:
+        sim.apply_gate(name, qubits, params)
+    assert sim.norm() == pytest.approx(1.0, abs=1e-9)
+
+
+@given(random_ops())
+@settings(max_examples=40, deadline=None)
+def test_matches_dense_matrix_reference(ops):
+    """Tensor-contraction kernels agree with explicit kron-product math."""
+    n = 3
+    sim = StatevectorSimulator(n)
+    reference = np.zeros(2**n, dtype=complex)
+    reference[0] = 1.0
+    for name, qubits, params in ops:
+        sim.apply_gate(name, qubits, params)
+        reference = _dense_apply(reference, gate_matrix(name, params), qubits, n)
+    assert np.allclose(sim.state, reference, atol=1e-10)
+
+
+def _dense_apply(state, matrix, qubits, n):
+    """Reference implementation: build the full 2^n matrix by index algebra."""
+    full = np.zeros((2**n, 2**n), dtype=complex)
+    k = len(qubits)
+    for col in range(2**n):
+        # extract the sub-index for the targeted qubits (qubits[0] = MSB)
+        sub = 0
+        for qubit in qubits:
+            sub = (sub << 1) | ((col >> qubit) & 1)
+        for sub_out in range(2**k):
+            row = col
+            for bit_pos, qubit in enumerate(qubits):
+                bit = (sub_out >> (k - 1 - bit_pos)) & 1
+                row = (row & ~(1 << qubit)) | (bit << qubit)
+            full[row, col] += matrix[sub_out, sub]
+    return full @ state

@@ -1,0 +1,169 @@
+"""Tests for the end-to-end compilation driver."""
+
+import pytest
+
+from repro.circuit.routing import CouplingMap
+from repro.compiler import CompilationError, Target, compile_program
+from repro.hybrid.latency import SUPERCONDUCTING_FPGA, DeviceModel
+from repro.qir import AdaptiveProfile, BaseProfile
+from repro.runtime import run_shots
+from repro.workloads import bell_circuit, qft_circuit
+
+QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+h q[0];
+h q[0];
+cx q[0],q[1];
+measure q -> c;
+"""
+
+QASM3 = """OPENQASM 3;
+qubit[3] q;
+bit[3] c;
+for uint i in [0:2] { h q[i]; }
+c[0] = measure q[0];
+"""
+
+
+class TestFrontendDetection:
+    def test_qasm2_source(self):
+        result = compile_program(QASM)
+        assert result.ok
+        assert "OpenQASM 2" in result.stage_log[0]
+
+    def test_qasm3_source(self):
+        result = compile_program(QASM3)
+        assert result.ok
+        assert "OpenQASM 3" in result.stage_log[0]
+
+    def test_qir_source(self):
+        from repro.workloads.qir_programs import bell_qir
+
+        result = compile_program(bell_qir("static"))
+        assert result.ok
+        assert "textual QIR" in result.stage_log[0]
+
+    def test_circuit_source(self):
+        result = compile_program(bell_circuit())
+        assert result.ok
+
+    def test_module_source(self):
+        from repro.llvmir import parse_assembly
+        from repro.workloads.qir_programs import bell_qir
+
+        result = compile_program(parse_assembly(bell_qir("static")))
+        assert result.ok
+
+    def test_garbage_source(self):
+        with pytest.raises(CompilationError, match="frontend"):
+            compile_program("definitely not a program")
+
+
+class TestStages:
+    def test_peephole_counts_removed_gates(self):
+        result = compile_program(QASM)  # h;h;h collapses to one h
+        assert result.gates_removed == 2
+        assert result.circuit.count_ops()["h"] == 1
+
+    def test_optimization_can_be_disabled(self):
+        result = compile_program(QASM, optimize=False)
+        assert result.gates_removed == 0
+        assert result.circuit.count_ops()["h"] == 3
+
+    def test_routing_stage(self):
+        circuit = qft_circuit(4, measure=True)
+        target = Target(coupling=CouplingMap.line(4))
+        result = compile_program(circuit, target)
+        assert result.swaps_inserted > 0
+        assert result.ok
+
+    def test_routing_failure_raises(self):
+        from repro.circuit import Circuit
+
+        c = Circuit()
+        c.qreg(3, "q")
+        c.ccx(0, 1, 2)
+        with pytest.raises(CompilationError, match="routing"):
+            compile_program(c, Target(coupling=CouplingMap.line(3)))
+
+    def test_profile_violations_reported_not_raised(self):
+        from repro.circuit import Circuit, GateOperation
+
+        c = Circuit()
+        q = c.qreg(2, "q")
+        cr = c.creg(1, "c")
+        c.measure(0, 0)
+        c.c_if(cr, 1, GateOperation("x", [q[1]]))
+        result = compile_program(c, Target(profile=AdaptiveProfile))
+        assert result.ok
+        # Forcing base profile on a conditional circuit fails at emission.
+        with pytest.raises(CompilationError, match="emission"):
+            compile_program(c, Target(profile=BaseProfile))
+
+    def test_feasibility_stage(self):
+        result = compile_program(
+            bell_circuit(), Target(device=SUPERCONDUCTING_FPGA)
+        )
+        assert result.feasibility is not None
+        assert result.feasibility.feasible
+
+    def test_stage_log_is_complete(self):
+        result = compile_program(
+            qft_circuit(3, measure=True),
+            Target(coupling=CouplingMap.line(3), device=DeviceModel()),
+        )
+        text = " ".join(result.stage_log)
+        for marker in ("frontend", "peephole", "routing", "profile", "feasibility"):
+            assert marker in text
+
+
+class TestEndToEnd:
+    def test_compiled_output_executes(self):
+        result = compile_program(QASM)
+        counts = run_shots(result.qir, shots=400, seed=1).counts
+        assert set(counts) == {"00", "11"}
+
+    def test_routed_output_executes_identically(self):
+        circuit = qft_circuit(3, measure=True)
+        plain = compile_program(circuit)
+        routed = compile_program(circuit, Target(coupling=CouplingMap.line(3)))
+        from repro.sim.sampling import (
+            counts_to_probabilities,
+            total_variation_distance,
+        )
+
+        a = counts_to_probabilities(run_shots(plain.qir, 2500, seed=2).counts)
+        b = counts_to_probabilities(run_shots(routed.qir, 2500, seed=3).counts)
+        assert total_variation_distance(a, b) < 0.1
+
+    def test_dynamic_addressing_target(self):
+        result = compile_program(QASM, Target(addressing="dynamic"))
+        assert "qubit_allocate_array" in result.qir
+        assert result.ok
+
+    def test_full_stack_qasm3_to_hardware_qir(self):
+        result = compile_program(
+            QASM3,
+            Target(coupling=CouplingMap.line(3), device=SUPERCONDUCTING_FPGA),
+        )
+        assert result.ok
+        counts = run_shots(result.qir, shots=200, seed=4).counts
+        assert sum(counts.values()) == 200
+
+
+class TestCommutingOptimizer:
+    def test_commuting_mode_removes_more(self):
+        from repro.circuit import Circuit
+
+        c = Circuit()
+        c.qreg(2, "q")
+        c.t(0)
+        c.cx(0, 1)
+        c.tdg(0)
+        plain = compile_program(c, optimize=True)
+        smart = compile_program(c, optimize="commuting")
+        assert smart.gates_removed > plain.gates_removed
+        assert len(smart.circuit) == 1

@@ -1,0 +1,46 @@
+"""Smoke tests: the runnable examples must execute end to end.
+
+The slowest examples (VQE's optimisation loop, Grover at full shots) are
+exercised by their own unit/bench coverage; here we run the quick ones
+exactly as a user would.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(name, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", [name])
+    runpy.run_path(f"examples/{name}", run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example("quickstart.py", monkeypatch, capsys)
+        assert "base-profile violations: static=0" in out
+        assert "counts over 1000 shots" in out
+
+    def test_compile_flow(self, monkeypatch, capsys):
+        out = run_example("compile_flow.py", monkeypatch, capsys)
+        assert "feasibility: ok" in out
+        assert "GHZ outcomes carry" in out
+
+    def test_qec_feedback(self, monkeypatch, capsys):
+        out = run_example("qec_feedback.py", monkeypatch, capsys)
+        assert out.count("corrected") >= 4
+        assert "REJECTED" in out
+
+    def test_ising_dynamics(self, monkeypatch, capsys):
+        out = run_example("ising_dynamics.py", monkeypatch, capsys)
+        assert "after rotation merging" in out
+
+    def test_grover(self, monkeypatch, capsys):
+        out = run_example("grover_search.py", monkeypatch, capsys)
+        assert "P(success)" in out
+
+    def test_qasm_migration(self, monkeypatch, capsys):
+        out = run_example("qasm_migration.py", monkeypatch, capsys)
+        assert "round trip: OK" in out

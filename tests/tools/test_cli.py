@@ -1,0 +1,221 @@
+"""Tests for the qir-run / qir-opt / qir-translate command-line tools."""
+
+import pytest
+
+from repro.tools.qir_opt import main as opt_main
+from repro.tools.qir_run import main as run_main
+from repro.tools.qir_translate import main as translate_main
+from repro.workloads.qir_programs import bell_qir, counted_loop_qir
+
+
+@pytest.fixture
+def bell_file(tmp_path):
+    path = tmp_path / "bell.ll"
+    path.write_text(bell_qir("static"))
+    return str(path)
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.ll"
+    path.write_text(counted_loop_qir(4))
+    return str(path)
+
+
+QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q -> c;
+"""
+
+
+class TestQirRun:
+    def test_single_shot_prints_output_records(self, bell_file, capsys):
+        assert run_main([bell_file, "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OUTPUT\tARRAY\t2")
+        assert out.count("OUTPUT\tRESULT") == 2
+
+    def test_multi_shot_histogram(self, bell_file, capsys):
+        assert run_main([bell_file, "--shots", "200", "--seed", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        counts = {k: int(v) for k, v in (line.split("\t") for line in lines)}
+        assert set(counts) == {"00", "11"}
+        assert sum(counts.values()) == 200
+
+    def test_stabilizer_backend(self, bell_file, capsys):
+        assert run_main(
+            [bell_file, "--backend", "stabilizer", "--shots", "20", "--seed", "3"]
+        ) == 0
+
+    def test_noise_flags(self, bell_file, capsys):
+        assert run_main(
+            [bell_file, "--shots", "100", "--seed", "4", "--noise-readout", "0.5"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) >= 3  # readout noise breaks the 00/11 correlation
+
+    def test_missing_file(self, capsys):
+        assert run_main(["/nonexistent/file.ll"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ll"
+        bad.write_text("this is not IR")
+        assert run_main([str(bad)]) == 1
+
+    def test_runtime_error_exit_code(self, tmp_path, capsys):
+        src = """
+        define void @main() #0 {
+        entry:
+          call void @__quantum__rt__fail(ptr null)
+          ret void
+        }
+        declare void @__quantum__rt__fail(ptr)
+        attributes #0 = { "entry_point" }
+        """
+        path = tmp_path / "fail.ll"
+        path.write_text(src)
+        assert run_main([str(path)]) == 2
+
+    def test_stdin_input(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(bell_qir("static")))
+        assert run_main(["-", "--seed", "5"]) == 0
+
+
+class TestQirOpt:
+    def test_pipeline_unroll(self, loop_file, capsys):
+        assert opt_main([loop_file, "--pipeline", "unroll"]) == 0
+        out = capsys.readouterr().out
+        assert "br " not in out
+        assert out.count("__quantum__qis__h__body(ptr") == 5  # 4 calls + declare
+
+    def test_individual_passes(self, loop_file, capsys):
+        assert opt_main([loop_file, "-p", "mem2reg,constprop,dce"]) == 0
+        out = capsys.readouterr().out
+        assert "alloca" not in out
+
+    def test_unknown_pass(self, loop_file, capsys):
+        assert opt_main([loop_file, "-p", "hyperdrive"]) == 1
+
+    def test_passes_and_pipeline_conflict(self, loop_file):
+        assert opt_main([loop_file, "-p", "dce", "--pipeline", "o1"]) == 1
+
+    def test_validation_failure_exit_code(self, loop_file):
+        assert opt_main([loop_file, "--validate", "base_profile"]) == 3
+
+    def test_lower_static_then_validates(self, loop_file, capsys):
+        assert (
+            opt_main(
+                [loop_file, "--pipeline", "lower-static", "--validate", "base_profile"]
+            )
+            == 0
+        )
+
+    def test_output_file(self, loop_file, tmp_path, capsys):
+        out_path = tmp_path / "out.ll"
+        assert opt_main(
+            [loop_file, "--pipeline", "unroll", "-o", str(out_path)]
+        ) == 0
+        from repro.llvmir import parse_assembly, verify_module
+
+        verify_module(parse_assembly(out_path.read_text()))
+
+    def test_stats_flag(self, loop_file, capsys):
+        assert opt_main([loop_file, "--pipeline", "o1", "--stats"]) == 0
+        assert "constprop" in capsys.readouterr().err
+
+    def test_noop_invocation_roundtrips(self, bell_file, capsys):
+        assert opt_main([bell_file]) == 0
+        out = capsys.readouterr().out
+        assert "__quantum__qis__h__body" in out
+
+
+class TestQirTranslate:
+    def test_qasm2_to_qir(self, tmp_path, capsys):
+        path = tmp_path / "bell.qasm"
+        path.write_text(QASM)
+        assert translate_main([str(path), "--to", "qir"]) == 0
+        out = capsys.readouterr().out
+        assert "__quantum__qis__cnot__body" in out
+
+    def test_qir_to_qasm2(self, bell_file, capsys):
+        assert translate_main([bell_file, "--to", "qasm2"]) == 0
+        out = capsys.readouterr().out
+        assert "OPENQASM 2.0;" in out
+        assert "cx q[0],q[1];" in out
+
+    def test_format_inference(self, tmp_path, capsys):
+        qasm3 = tmp_path / "p.qasm"
+        qasm3.write_text(
+            "OPENQASM 3;\nqubit[2] q;\nbit[2] c;\n"
+            "for uint i in [0:1] { h q[i]; }\nc[0] = measure q[0];"
+        )
+        assert translate_main([str(qasm3), "--to", "qir"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("call void @__quantum__qis__h__body") == 2
+
+    def test_dynamic_addressing_output(self, tmp_path, capsys):
+        path = tmp_path / "bell.qasm"
+        path.write_text(QASM)
+        assert translate_main(
+            [str(path), "--to", "qir", "--addressing", "dynamic"]
+        ) == 0
+        assert "qubit_allocate_array" in capsys.readouterr().out
+
+    def test_adaptive_qir_to_qasm2(self, tmp_path, capsys):
+        from repro.workloads.qec import teleportation_qir
+
+        path = tmp_path / "teleport.ll"
+        path.write_text(teleportation_qir())
+        assert translate_main([str(path), "--to", "qasm2"]) == 0
+        out = capsys.readouterr().out
+        assert "if(" in out  # conditionals survive as QASM2 ifs
+
+    def test_untranslatable_input(self, tmp_path, capsys):
+        path = tmp_path / "loop.ll"
+        path.write_text(counted_loop_qir(4))
+        assert translate_main([str(path), "--to", "qasm2"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_roundtrip_via_files(self, tmp_path, capsys):
+        qasm_path = tmp_path / "bell.qasm"
+        qasm_path.write_text(QASM)
+        qir_path = tmp_path / "bell.ll"
+        assert translate_main(
+            [str(qasm_path), "--to", "qir", "-o", str(qir_path)]
+        ) == 0
+        assert translate_main([str(qir_path), "--to", "qasm2"]) == 0
+        out = capsys.readouterr().out
+        assert "h q[0];" in out
+
+
+class TestReuseLoweringPipeline:
+    def test_lower_static_reuse_via_cli(self, tmp_path, capsys):
+        churn = []
+        for i in range(4):
+            churn.append(f"  %q{i} = call ptr @__quantum__rt__qubit_allocate()")
+            churn.append(f"  call void @__quantum__qis__h__body(ptr %q{i})")
+            churn.append(f"  call void @__quantum__rt__qubit_release(ptr %q{i})")
+        src = (
+            "define void @main() #0 {\nentry:\n"
+            + "\n".join(churn)
+            + "\n  ret void\n}\n"
+            "declare ptr @__quantum__rt__qubit_allocate()\n"
+            "declare void @__quantum__rt__qubit_release(ptr)\n"
+            "declare void @__quantum__qis__h__body(ptr)\n"
+            'attributes #0 = { "entry_point" }\n'
+        )
+        path = tmp_path / "churn.ll"
+        path.write_text(src)
+        assert opt_main([str(path), "--pipeline", "lower-static-reuse"]) == 0
+        out = capsys.readouterr().out
+        assert '"required_num_qubits"="1"' in out
+        assert opt_main([str(path), "--pipeline", "lower-static"]) == 0
+        out = capsys.readouterr().out
+        assert '"required_num_qubits"="4"' in out

@@ -1,0 +1,256 @@
+"""Unit tests for the workload generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import run_circuit, statevector_of
+from repro.llvmir import parse_assembly, verify_module
+from repro.qir import AdaptiveProfile, BaseProfile, validate_profile
+from repro.runtime import run_shots
+from repro.workloads import (
+    bell_circuit,
+    counted_loop_qir,
+    ghz_circuit,
+    grover_circuit,
+    qft_circuit,
+    random_circuit,
+    repetition_code_qir,
+    teleportation_qir,
+)
+
+
+class TestCircuits:
+    def test_bell(self):
+        counts = run_circuit(bell_circuit(), shots=300, seed=0)
+        assert set(counts) == {"00", "11"}
+
+    def test_ghz_statevector(self):
+        state = statevector_of(ghz_circuit(4, measure=False))
+        assert abs(state[0]) == pytest.approx(2**-0.5)
+        assert abs(state[-1]) == pytest.approx(2**-0.5)
+
+    def test_ghz_size_one(self):
+        counts = run_circuit(ghz_circuit(1), shots=100, seed=1)
+        assert set(counts) == {"0", "1"}
+
+    def test_qft_of_zero_is_uniform(self):
+        state = statevector_of(qft_circuit(3))
+        assert np.allclose(np.abs(state), 2**-1.5, atol=1e-10)
+
+    def test_qft_inverse_recovers_basis_state(self):
+        circuit = qft_circuit(3)
+        roundtrip = circuit.compose(circuit.inverse())
+        state = statevector_of(roundtrip)
+        assert abs(state[0]) == pytest.approx(1.0)
+
+    def test_qft_frequency_encoding(self):
+        # QFT|k> has amplitudes exp(2*pi*i*j*k / 2^n) / sqrt(2^n)
+        from repro.circuit import Circuit
+
+        prep = Circuit()
+        prep.qreg(3, "q")
+        prep.x(0)  # |001> = k=1
+        full = prep.compose(qft_circuit(3))
+        state = statevector_of(full)
+        expected = np.exp(2j * np.pi * np.arange(8) / 8) / math.sqrt(8)
+        # global phase free comparison
+        ratio = state / expected
+        assert np.allclose(ratio, ratio[0], atol=1e-9)
+
+    @pytest.mark.parametrize("marked", [0, 3, 5, 7])
+    def test_grover_amplifies_marked_state(self, marked):
+        circuit = grover_circuit(3, marked)
+        counts = run_circuit(circuit, shots=400, seed=marked)
+        target = format(marked, "03b")
+        hits = sum(v for k, v in counts.items() if k[-3:] == target)
+        assert hits / 400 > 0.7
+
+    def test_grover_validates_input(self):
+        with pytest.raises(ValueError):
+            grover_circuit(3, 8)
+        with pytest.raises(ValueError):
+            grover_circuit(1, 0)
+
+    def test_random_circuit_reproducible(self):
+        a = random_circuit(4, 6, seed=13)
+        b = random_circuit(4, 6, seed=13)
+        assert a.operations == b.operations
+
+    def test_random_clifford_only(self):
+        circuit = random_circuit(4, 8, seed=5, clifford_only=True)
+        assert circuit.is_clifford()
+
+    def test_random_depth_scales_ops(self):
+        shallow = random_circuit(4, 2, seed=1, measure=False)
+        deep = random_circuit(4, 20, seed=1, measure=False)
+        assert len(deep) > len(shallow) * 5
+
+
+class TestQirPrograms:
+    def test_counted_loop_is_full_profile_until_unrolled(self):
+        m = parse_assembly(counted_loop_qir(5))
+        verify_module(m)
+        assert validate_profile(m, BaseProfile) != []
+
+    def test_counted_loop_executes(self):
+        result = run_shots(counted_loop_qir(3), shots=100, seed=3)
+        assert sum(result.counts.values()) == 100
+        assert len(result.counts) == 8  # H on all three: uniform
+
+    def test_counted_loop_step(self):
+        from repro.runtime import execute
+
+        result = execute(counted_loop_qir(3, gate="x", measure=True, step=1), seed=0)
+        assert result.result_bits == [1, 1, 1]
+
+
+class TestQec:
+    @pytest.mark.parametrize("error", [None, 0, 1, 2])
+    @pytest.mark.parametrize("logical_one", [False, True])
+    def test_single_errors_corrected(self, error, logical_one):
+        text = repetition_code_qir(3, inject_error=error, logical_one=logical_one)
+        counts = run_shots(text, shots=20, seed=1).counts
+        expected = "111" if logical_one else "000"
+        assert all(bits[:3] == expected for bits in counts), counts
+
+    @pytest.mark.parametrize("error", [0, 2, 4])
+    def test_distance_five(self, error):
+        text = repetition_code_qir(5, inject_error=error)
+        counts = run_shots(text, shots=10, seed=2).counts
+        assert all(bits[:5] == "00000" for bits in counts), counts
+
+    def test_distance_two_corrects_first_qubit(self):
+        text = repetition_code_qir(2, inject_error=0)
+        counts = run_shots(text, shots=10, seed=3).counts
+        assert all(bits[:2] == "00" for bits in counts)
+
+    def test_conforms_to_adaptive_profile(self):
+        m = parse_assembly(repetition_code_qir(3, classical_work=4))
+        assert validate_profile(m, AdaptiveProfile) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            repetition_code_qir(1)
+        with pytest.raises(ValueError):
+            repetition_code_qir(3, inject_error=5)
+        with pytest.raises(ValueError):
+            repetition_code_qir(3, classical_work=-1)
+
+    def test_teleportation_identity(self):
+        counts = run_shots(teleportation_qir(), shots=100, seed=4).counts
+        assert all(bits[0] == "0" for bits in counts)
+
+    def test_teleportation_arbitrary_state(self):
+        counts = run_shots(teleportation_qir(1.234), shots=100, seed=5).counts
+        assert all(bits[0] == "0" for bits in counts)
+
+    def test_teleportation_uses_all_corrections(self):
+        counts = run_shots(teleportation_qir(), shots=400, seed=6).counts
+        # the two Bell bits should take all four values
+        assert len(counts) == 4
+
+
+class TestTrotterIsing:
+    def test_overlap_with_exact_evolution(self):
+        import numpy as np
+        from scipy.linalg import expm
+
+        from repro.workloads import trotter_ising_circuit
+
+        n, coupling, field, dt, steps = 3, 1.0, 0.7, 0.05, 8
+        circuit = trotter_ising_circuit(
+            n, steps, dt, coupling, field, measure=False
+        )
+        state = statevector_of(circuit)
+
+        Z = np.diag([1.0, -1.0])
+        X = np.array([[0.0, 1.0], [1.0, 0.0]])
+        I = np.eye(2)
+
+        def op(single, site):
+            m = np.array([[1.0]])
+            for k in range(n):
+                m = np.kron(single if k == site else I, m)
+            return m
+
+        hamiltonian = sum(
+            -coupling * op(Z, i) @ op(Z, i + 1) for i in range(n - 1)
+        ) + sum(-field * op(X, i) for i in range(n))
+        exact = expm(-1j * hamiltonian * dt * steps) @ np.eye(2**n)[:, 0]
+        assert abs(np.vdot(exact, state)) > 0.995
+
+    def test_zero_layers_skipped(self):
+        from repro.workloads import trotter_ising_circuit
+
+        no_field = trotter_ising_circuit(3, 2, field=0.0, measure=False)
+        assert "rx" not in no_field.count_ops()
+        no_coupling = trotter_ising_circuit(3, 2, coupling=0.0, measure=False)
+        assert "rzz" not in no_coupling.count_ops()
+
+    def test_validation(self):
+        from repro.workloads import trotter_ising_circuit
+
+        with pytest.raises(ValueError):
+            trotter_ising_circuit(1, 1)
+        with pytest.raises(ValueError):
+            trotter_ising_circuit(2, 0)
+
+    def test_rx_layers_merge_across_steps(self):
+        from repro.frontend import export_circuit_text
+        from repro.passes.quantum import RotationMergingPass
+        from repro.workloads import trotter_ising_circuit
+
+        circuit = trotter_ising_circuit(
+            3, 5, coupling=0.0, field=1.0, measure=False
+        )
+        m = parse_assembly(export_circuit_text(circuit, record_output=False))
+        assert RotationMergingPass().run_on_module(m)
+        from repro.analysis.dataflow import quantum_call_sites
+
+        assert len(quantum_call_sites(m.entry_points()[0])) == 3
+
+
+class TestMultiRoundQec:
+    def test_three_rounds_correct_injected_error(self):
+        text = repetition_code_qir(3, inject_error=1, rounds=3)
+        counts = run_shots(text, shots=20, seed=1).counts
+        for bits in counts:
+            assert bits[:3] == "000"  # data corrected
+            assert bits[-2:] == "11"  # round-0 syndromes fired
+            assert bits[3:-2] == "0000"  # later rounds quiet
+
+    def test_result_layout(self):
+        from repro.llvmir import parse_assembly
+        from repro.passes.quantum import infer_counts
+
+        m = parse_assembly(repetition_code_qir(3, rounds=4))
+        counts = infer_counts(m.entry_points()[0])
+        assert counts.num_results == 4 * 2 + 3
+
+    def test_ancillas_reset_between_rounds(self):
+        text = repetition_code_qir(3, rounds=2)
+        assert text.count("__quantum__qis__reset__body") >= 2
+
+    def test_rounds_validation(self):
+        with pytest.raises(ValueError):
+            repetition_code_qir(3, rounds=0)
+
+    def test_adaptive_profile_conformance(self):
+        from repro.llvmir import parse_assembly
+
+        m = parse_assembly(repetition_code_qir(3, rounds=3, classical_work=2))
+        assert validate_profile(m, AdaptiveProfile) == []
+
+    def test_feedback_regions_scale_with_rounds(self):
+        from repro.hybrid import partition_function
+        from repro.llvmir import parse_assembly
+
+        one = partition_function(
+            parse_assembly(repetition_code_qir(3, rounds=1)).entry_points()[0]
+        )
+        three = partition_function(
+            parse_assembly(repetition_code_qir(3, rounds=3)).entry_points()[0]
+        )
+        assert len(three.regions) >= 3 * len(one.regions) - 2
