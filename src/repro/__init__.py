@@ -42,7 +42,8 @@ from repro.qir import (
     SimpleModule,
     validate_profile,
 )
-from repro.runtime import QirRuntime, execute, run_shots
+from repro.resilience import FallbackChain, FaultPlan, RetryPolicy
+from repro.runtime import QirRuntime, ShotsResult, execute, run_shots
 from repro.sim import NoiseModel, StabilizerSimulator, StatevectorSimulator
 from repro.hybrid import DeviceModel, check_feasibility, partition_function
 from repro.compiler import CompilationResult, Target, compile_program
@@ -70,8 +71,12 @@ __all__ = [
     "SimpleModule",
     "validate_profile",
     "QirRuntime",
+    "ShotsResult",
     "execute",
     "run_shots",
+    "FallbackChain",
+    "FaultPlan",
+    "RetryPolicy",
     "NoiseModel",
     "StabilizerSimulator",
     "StatevectorSimulator",

@@ -1,0 +1,53 @@
+"""Resilient execution for the QIR runtime (paper, Section IV).
+
+The paper frames runtime integration as the hardest QIR adoption step: a
+runtime must survive programs that trap, run away, or exceed backend
+capability.  This package makes every such failure mode *injectable*
+(:class:`FaultPlan` / :class:`FaultInjector`), *recoverable*
+(:class:`RetryPolicy`, :class:`FallbackChain`) and *observable*
+(:class:`ShotFailure`, partial-result fields on
+:class:`~repro.runtime.execute.ShotsResult`).
+
+Wiring lives in :meth:`repro.runtime.execute.QirRuntime.run_shots`::
+
+    from repro import run_shots
+    from repro.resilience import FaultPlan, RetryPolicy
+
+    plan = FaultPlan.poison([7, 123, 999], site="gate")
+    result = run_shots(qir_text, shots=1000, seed=1,
+                       fault_plan=plan, retry=RetryPolicy(max_attempts=1))
+    assert result.successful_shots == 997 and len(result.failed_shots) == 3
+"""
+
+from repro.resilience.faults import (
+    PERSISTENT,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    FaultyBackend,
+    InjectorStats,
+    ShotFaultContext,
+)
+from repro.resilience.fallback import (
+    BackendLevel,
+    FallbackChain,
+    program_is_clifford,
+)
+from repro.resilience.report import ShotFailure, render_failure_report
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "PERSISTENT",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyBackend",
+    "InjectorStats",
+    "ShotFaultContext",
+    "BackendLevel",
+    "FallbackChain",
+    "program_is_clifford",
+    "ShotFailure",
+    "render_failure_report",
+    "RetryPolicy",
+]

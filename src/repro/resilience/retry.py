@@ -1,0 +1,80 @@
+"""Per-shot retry with exponential backoff and per-error-class gating.
+
+The policy answers two questions for the executor: *should this failed
+attempt be retried?* (class-based: transient infrastructure errors yes,
+deterministic traps no) and *how long to wait before the retry?*
+(exponential backoff with optional deterministic jitter).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, FrozenSet, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.errors import QirRuntimeError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts a shot gets, and which errors earn a retry.
+
+    * ``max_attempts`` -- total attempts per shot (1 = no retries);
+    * ``backoff_base`` / ``backoff_factor`` / ``backoff_max`` -- the delay
+      before attempt *n+1* is ``base * factor**(n-1)``, capped at ``max``;
+      the default base of 0 disables sleeping (simulation-friendly);
+    * ``jitter`` -- fraction of the delay added as seeded random jitter,
+      decorrelating retry storms without losing reproducibility;
+    * ``retry_codes`` / ``no_retry_codes`` -- per-error-code overrides on
+      top of each error class's own ``retryable`` flag.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    jitter: float = 0.0
+    retry_codes: FrozenSet[str] = frozenset()
+    no_retry_codes: FrozenSet[str] = frozenset()
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+
+    def is_retryable(self, error: "QirRuntimeError") -> bool:
+        code = getattr(error, "code", None)
+        if code in self.no_retry_codes:
+            return False
+        if code in self.retry_codes:
+            return True
+        return bool(getattr(error, "retryable", False))
+
+    def should_retry(self, error: "QirRuntimeError", attempt: int) -> bool:
+        """``attempt`` is the 1-based count of attempts already made."""
+        if attempt >= self.max_attempts:
+            return False
+        return self.is_retryable(error)
+
+    def backoff(self, attempt: int, rng: Optional[np.random.Generator] = None) -> float:
+        """Delay in seconds before retrying after the ``attempt``-th failure."""
+        if self.backoff_base <= 0.0:
+            return 0.0
+        delay = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max,
+        )
+        if self.jitter > 0.0 and rng is not None:
+            delay *= 1.0 + self.jitter * float(rng.random())
+        return delay
+
+    def wait(self, attempt: int, rng: Optional[np.random.Generator] = None) -> float:
+        delay = self.backoff(attempt, rng)
+        if delay > 0.0:
+            self.sleep(delay)
+        return delay

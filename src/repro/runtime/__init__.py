@@ -18,7 +18,13 @@ attribute or *on the fly* when first touched.
 """
 
 from repro.runtime.errors import (
+    BackendFaultError,
+    ERROR_CODES,
+    ErrorContext,
+    InvalidPointerError,
+    OutputCorruptionError,
     QirRuntimeError,
+    QubitAllocationError,
     StepLimitExceeded,
     TrapError,
     UnboundFunctionError,
@@ -35,10 +41,22 @@ from repro.runtime.qubit_manager import QubitManager
 from repro.runtime.results import ResultStore
 from repro.runtime.output import OutputRecord, OutputRecorder
 from repro.runtime.interpreter import Interpreter
-from repro.runtime.execute import ExecutionResult, QirRuntime, execute, run_shots
+from repro.runtime.execute import (
+    ExecutionResult,
+    QirRuntime,
+    ShotsResult,
+    execute,
+    run_shots,
+)
 
 __all__ = [
+    "BackendFaultError",
+    "ERROR_CODES",
+    "ErrorContext",
+    "InvalidPointerError",
+    "OutputCorruptionError",
     "QirRuntimeError",
+    "QubitAllocationError",
     "StepLimitExceeded",
     "TrapError",
     "UnboundFunctionError",
@@ -54,6 +72,7 @@ __all__ = [
     "OutputRecorder",
     "Interpreter",
     "ExecutionResult",
+    "ShotsResult",
     "QirRuntime",
     "execute",
     "run_shots",

@@ -4,17 +4,30 @@ Measurement collapses simulator state, so -- exactly like the QIR
 Alliance's ``qir-runner`` -- multi-shot execution re-interprets the program
 per shot with fresh simulator state and aggregates the recorded outputs
 into a histogram.
+
+Resilient execution (see :mod:`repro.resilience`): ``run_shots`` accepts a
+:class:`~repro.resilience.retry.RetryPolicy` (per-shot retry with backoff),
+a :class:`~repro.resilience.faults.FaultPlan` (seeded fault injection for
+exercising failure paths), and a
+:class:`~repro.resilience.fallback.FallbackChain` (backend demotion).  In
+resilient mode a failing shot never destroys the run: the result carries
+the aggregated successes plus structured per-shot failure records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.llvmir.module import Module
 from repro.llvmir.parser import parse_assembly
+from repro.resilience.fallback import BackendLevel, FallbackChain, program_is_clifford
+from repro.resilience.faults import FaultInjector, FaultPlan, FaultyBackend, ShotFaultContext
+from repro.resilience.report import ShotFailure, render_failure_report
+from repro.resilience.retry import RetryPolicy
+from repro.runtime.errors import QirRuntimeError
 from repro.runtime.interpreter import Interpreter, InterpreterStats
 from repro.runtime.output import OutputRecord
 from repro.runtime.sampling_fastpath import (
@@ -47,21 +60,59 @@ class ExecutionResult:
 
 @dataclass
 class ShotsResult:
-    """Aggregate over many shots."""
+    """Aggregate over many shots.
+
+    ``counts`` holds the successful shots only, with bitstring keys in
+    stable (sorted) order.  ``shots`` is the number *requested*; use
+    ``successful_shots`` as the denominator for rates so a partially
+    failed run does not skew downstream statistics.
+    """
 
     counts: Dict[str, int]
     shots: int
     per_shot_stats: List[InterpreterStats] = field(default_factory=list)
     used_fast_path: bool = False
+    # -- partial-result recovery (resilient mode) -----------------------------
+    failed_shots: List[ShotFailure] = field(default_factory=list)
+    per_error_counts: Dict[str, int] = field(default_factory=dict)
+    degraded: bool = False
+    backend_shot_counts: Dict[str, int] = field(default_factory=dict)
+    fallback_history: List[str] = field(default_factory=list)
+    retried_shots: int = 0
+
+    @property
+    def total_shots(self) -> int:
+        """Shots requested (successes + failures)."""
+        return self.shots
+
+    @property
+    def successful_shots(self) -> int:
+        return self.shots - len(self.failed_shots)
 
     def probabilities(self) -> Dict[str, float]:
-        return {k: v / self.shots for k, v in self.counts.items()}
+        denominator = self.successful_shots
+        if denominator <= 0:
+            return {}
+        return {k: v / denominator for k, v in self.counts.items()}
+
+    def failure_report(self) -> str:
+        return render_failure_report(
+            self.failed_shots,
+            self.per_error_counts,
+            self.degraded,
+            self.fallback_history,
+        )
 
 
 def _as_module(program: ModuleLike) -> Module:
     if isinstance(program, str):
         return parse_assembly(program)
     return program
+
+
+def _sorted_counts(counts: Dict[str, int]) -> Dict[str, int]:
+    """Stable bitstring ordering so reports and diffs are deterministic."""
+    return dict(sorted(counts.items()))
 
 
 def _make_backend(
@@ -110,22 +161,52 @@ class QirRuntime:
         self.noise = noise
         self._rng = np.random.default_rng(seed)
 
+    # -- single-shot ---------------------------------------------------------
     def execute(
         self, program: ModuleLike, entry: Optional[str] = None
     ) -> ExecutionResult:
         """Run a single shot and return its full execution record."""
         module = _as_module(program)
+        level = BackendLevel(self.backend_name, noisy=True)
+        return self._run_single(module, entry, level, ctx=None)
+
+    def _effective_noise(self, level: BackendLevel) -> Optional[NoiseModel]:
+        if not level.noisy:
+            return None
+        return self.noise
+
+    def _level_label(self, level: BackendLevel) -> str:
+        noise = self._effective_noise(level)
+        if noise is not None and not noise.is_trivial:
+            return f"{level.backend}+noise"
+        return level.backend
+
+    def _run_single(
+        self,
+        module: Module,
+        entry: Optional[str],
+        level: BackendLevel,
+        ctx: Optional[ShotFaultContext],
+    ) -> ExecutionResult:
         backend = _make_backend(
-            self.backend_name,
+            level.backend,
             int(self._rng.integers(2**63)),
             self.max_qubits,
-            self.noise,
+            self._effective_noise(level),
         )
+        step_limit = self.step_limit
+        fault_hook = None
+        if ctx is not None and not ctx.is_inert:
+            backend = FaultyBackend(backend, ctx)
+            step_limit = ctx.step_limit(self.step_limit)
+            if ctx.wants_intrinsic_hook:
+                fault_hook = ctx.intrinsic_hook
         interp = Interpreter(
             module,
             backend,
-            step_limit=self.step_limit,
+            step_limit=step_limit,
             allow_on_the_fly_qubits=self.allow_on_the_fly_qubits,
+            fault_hook=fault_hook,
         )
         value = interp.run(entry)
         bits = interp.output.result_bits()
@@ -134,6 +215,8 @@ class QirRuntime:
         if not bits and interp.results.max_static_index >= 0:
             table = interp.results.static_bits(interp.results.max_static_index + 1)
             bits = [table[i] for i in sorted(table)]
+        if ctx is not None and not ctx.is_inert:
+            bits = ctx.mangle_bits(bits)
         bitstring = "".join(str(b) for b in reversed(bits))
         return ExecutionResult(
             output_records=list(interp.output.records),
@@ -144,6 +227,7 @@ class QirRuntime:
             return_value=value,
         )
 
+    # -- multi-shot ----------------------------------------------------------
     def run_shots(
         self,
         program: ModuleLike,
@@ -151,6 +235,10 @@ class QirRuntime:
         entry: Optional[str] = None,
         keep_stats: bool = False,
         sampling: str = "auto",
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        fallback: Optional[FallbackChain] = None,
+        collect_failures: bool = False,
     ) -> ShotsResult:
         """Run many shots (parsing once) and histogram the result bitstrings.
 
@@ -162,10 +250,32 @@ class QirRuntime:
           circuit feedback, re-measurement, noise, non-statevector backend);
         * ``"never"`` -- always interpret per shot (the qir-runner model);
         * ``"require"`` -- fast path or raise :class:`FastPathUnsupported`.
+
+        Passing any of ``retry`` / ``fault_plan`` / ``fallback`` (or
+        ``collect_failures=True``) selects the *resilient* per-shot loop:
+        failures are retried per ``retry``, the backend may be demoted per
+        ``fallback``, and shots that still fail are returned as structured
+        records on the result instead of raising.
         """
         if sampling not in ("auto", "never", "require"):
             raise ValueError(f"unknown sampling mode {sampling!r}")
         module = _as_module(program)
+
+        resilient = (
+            retry is not None
+            or fault_plan is not None
+            or fallback is not None
+            or collect_failures
+        )
+        if resilient:
+            if sampling == "require":
+                raise FastPathUnsupported(
+                    "sampling fast path is per-run, not per-shot; it cannot "
+                    "inject, retry, or degrade individual shots"
+                )
+            return self._run_shots_resilient(
+                module, shots, entry, keep_stats, retry, fault_plan, fallback
+            )
 
         can_try = (
             sampling != "never"
@@ -176,7 +286,9 @@ class QirRuntime:
         if can_try:
             try:
                 counts = self._run_shots_sampled(module, shots, entry)
-                return ShotsResult(counts=counts, shots=shots, used_fast_path=True)
+                return ShotsResult(
+                    counts=_sorted_counts(counts), shots=shots, used_fast_path=True
+                )
             except FastPathUnsupported:
                 if sampling == "require":
                     raise
@@ -186,14 +298,104 @@ class QirRuntime:
                 "noise, and keep_stats=False"
             )
 
-        counts = {}
+        counts: Dict[str, int] = {}
         all_stats: List[InterpreterStats] = []
         for _ in range(shots):
             result = self.execute(module, entry)
             counts[result.bitstring] = counts.get(result.bitstring, 0) + 1
             if keep_stats:
                 all_stats.append(result.stats)
-        return ShotsResult(counts=counts, shots=shots, per_shot_stats=all_stats)
+        return ShotsResult(
+            counts=_sorted_counts(counts), shots=shots, per_shot_stats=all_stats
+        )
+
+    def _run_shots_resilient(
+        self,
+        module: Module,
+        shots: int,
+        entry: Optional[str],
+        keep_stats: bool,
+        retry: Optional[RetryPolicy],
+        fault_plan: Optional[FaultPlan],
+        fallback: Optional[FallbackChain],
+    ) -> ShotsResult:
+        policy = retry if retry is not None else RetryPolicy(max_attempts=1)
+        injector = FaultInjector(fault_plan) if fault_plan is not None else None
+        chain = fallback if fallback is not None else FallbackChain(
+            [BackendLevel(self.backend_name, noisy=True)]
+        )
+        chain.set_program_is_clifford(program_is_clifford(module))
+
+        counts: Dict[str, int] = {}
+        all_stats: List[InterpreterStats] = []
+        failures: List[ShotFailure] = []
+        per_error: Dict[str, int] = {}
+        backend_counts: Dict[str, int] = {}
+        retried = 0
+
+        for shot in range(shots):
+            ctx = injector.context(shot) if injector is not None else None
+            total_attempts = 0
+            while True:
+                level = chain.current
+                result, error, attempts = self._attempt_shot(
+                    module, entry, level, ctx, policy
+                )
+                total_attempts += attempts
+                if error is None:
+                    assert result is not None
+                    chain.note_success()
+                    label = self._level_label(level)
+                    counts[result.bitstring] = counts.get(result.bitstring, 0) + 1
+                    backend_counts[label] = backend_counts.get(label, 0) + 1
+                    if total_attempts > 1:
+                        retried += 1
+                    if keep_stats:
+                        all_stats.append(result.stats)
+                    break
+                if chain.note_failure(error):
+                    continue  # demoted: replay this shot on the new level
+                failure = ShotFailure.from_error(
+                    shot, error, total_attempts, self._level_label(level)
+                )
+                failures.append(failure)
+                per_error[failure.code] = per_error.get(failure.code, 0) + 1
+                break
+
+        return ShotsResult(
+            counts=_sorted_counts(counts),
+            shots=shots,
+            per_shot_stats=all_stats,
+            failed_shots=failures,
+            per_error_counts=dict(sorted(per_error.items())),
+            degraded=chain.degraded,
+            backend_shot_counts=dict(sorted(backend_counts.items())),
+            fallback_history=list(chain.history),
+            retried_shots=retried,
+        )
+
+    def _attempt_shot(
+        self,
+        module: Module,
+        entry: Optional[str],
+        level: BackendLevel,
+        ctx: Optional[ShotFaultContext],
+        policy: RetryPolicy,
+    ) -> Tuple[Optional[ExecutionResult], Optional[QirRuntimeError], int]:
+        """Run one shot with per-attempt retry; returns (result, error, attempts)."""
+        noisy = self._effective_noise(level) is not None
+        last_error: Optional[QirRuntimeError] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if ctx is not None:
+                ctx.begin_attempt(attempt - 1, level.backend, noisy)
+            try:
+                return self._run_single(module, entry, level, ctx), None, attempt
+            except QirRuntimeError as error:
+                last_error = error
+                if not policy.should_retry(error, attempt):
+                    return None, error, attempt
+                policy.wait(attempt, self._rng)
+        return None, last_error, policy.max_attempts
 
     def _run_shots_sampled(
         self, module: Module, shots: int, entry: Optional[str]
@@ -232,8 +434,22 @@ def run_shots(
     backend: str = "statevector",
     seed: Optional[int] = None,
     entry: Optional[str] = None,
+    keep_stats: bool = False,
+    sampling: str = "auto",
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    fallback: Optional[FallbackChain] = None,
+    collect_failures: bool = False,
     **kwargs,
 ) -> ShotsResult:
     return QirRuntime(backend=backend, seed=seed, **kwargs).run_shots(
-        program, shots, entry
+        program,
+        shots,
+        entry,
+        keep_stats=keep_stats,
+        sampling=sampling,
+        retry=retry,
+        fault_plan=fault_plan,
+        fallback=fallback,
+        collect_failures=collect_failures,
     )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.llvmir.block import BasicBlock
 from repro.llvmir.function import Function
@@ -50,6 +50,7 @@ from repro.llvmir.values import (
 )
 from repro.qir.catalog import QIS_PREFIX
 from repro.runtime.errors import (
+    ErrorContext,
     QirRuntimeError,
     StepLimitExceeded,
     TrapError,
@@ -87,6 +88,13 @@ def _flat_cell_count(type_: IRType) -> int:
     return 1
 
 
+def _inst_summary(inst: Instruction) -> str:
+    """Short instruction label for error contexts (no full IR printing)."""
+    if isinstance(inst, CallInst):
+        return f"call @{inst.callee.name}"
+    return type(inst).__name__
+
+
 class Interpreter:
     def __init__(
         self,
@@ -94,10 +102,14 @@ class Interpreter:
         backend: SimulatorBackend,
         step_limit: int = 10_000_000,
         allow_on_the_fly_qubits: bool = True,
+        fault_hook: Optional[Callable[[str], None]] = None,
     ):
         self.module = module
         self.backend = backend
         self.step_limit = step_limit
+        # Resilience hook: called with each declared __quantum__* name so a
+        # fault injector can poison intrinsic dispatch (see repro.resilience).
+        self.fault_hook = fault_hook
         self.qubits = QubitManager(backend, allow_on_the_fly=allow_on_the_fly_qubits)
         self.results = ResultStore()
         self.output = OutputRecorder()
@@ -149,6 +161,8 @@ class Interpreter:
 
     def _call_declared(self, fn: Function, args: List[object]) -> object:
         name = fn.name or ""
+        if self.fault_hook is not None:
+            self.fault_hook(name)
         if name.startswith(QIS_PREFIX):
             return dispatch_qis(self, name, args)
         intrinsic = RT_INTRINSICS.get(name)
@@ -182,7 +196,8 @@ class Interpreter:
                 self.stats.steps += 1
                 if self.stats.steps > self.step_limit:
                     raise StepLimitExceeded(
-                        f"exceeded {self.step_limit} interpreter steps"
+                        f"exceeded {self.step_limit} interpreter steps",
+                        context=ErrorContext(fn.name, block.name, _inst_summary(inst)),
                     )
 
                 if isinstance(inst, ReturnInst):
@@ -210,9 +225,19 @@ class Interpreter:
                     self.stats.branches += 1
                     break
                 if isinstance(inst, UnreachableInst):
-                    raise TrapError(f"reached 'unreachable' in @{fn.name}")
+                    raise TrapError(
+                        f"reached 'unreachable' in @{fn.name}",
+                        context=ErrorContext(fn.name, block.name, "unreachable"),
+                    )
 
-                result = self._execute(inst, frame)
+                try:
+                    result = self._execute(inst, frame)
+                except QirRuntimeError as error:
+                    # Deepest frame wins: attach_context is a no-op once set.
+                    error.attach_context(
+                        ErrorContext(fn.name, block.name, _inst_summary(inst))
+                    )
+                    raise
                 if not inst.type.is_void:
                     frame[inst] = result
             else:

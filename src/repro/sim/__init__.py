@@ -20,7 +20,7 @@ from repro.sim.gates import (
     gate_matrix,
     is_clifford_gate,
 )
-from repro.sim.backend import SimulatorBackend
+from repro.sim.backend import DelegatingBackend, SimulatorBackend
 from repro.sim.noise import NoiseModel, NoisyBackend
 from repro.sim.statevector import StatevectorSimulator
 from repro.sim.stabilizer import StabilizerSimulator
@@ -33,6 +33,7 @@ __all__ = [
     "gate_matrix",
     "is_clifford_gate",
     "SimulatorBackend",
+    "DelegatingBackend",
     "NoiseModel",
     "NoisyBackend",
     "StatevectorSimulator",

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Protocol, Sequence, runtime_checkable
 
+__all__ = ["SimulatorBackend", "DelegatingBackend"]
+
 
 @runtime_checkable
 class SimulatorBackend(Protocol):
@@ -37,3 +39,41 @@ class SimulatorBackend(Protocol):
     def reset(self, qubit: int) -> None:
         """Measure and, if 1, flip back to |0>."""
         ...
+
+
+class DelegatingBackend:
+    """Base class for backend *decorators* (noise injection, fault
+    injection, deferred measurement): forwards the whole
+    :class:`SimulatorBackend` surface to ``inner`` so subclasses override
+    only the operations they intercept.  Decorators compose -- a fault
+    wrapper around a noisy wrapper around a simulator is a valid stack.
+    """
+
+    def __init__(self, inner: SimulatorBackend):
+        self.inner = inner
+
+    @property
+    def num_qubits(self) -> int:
+        return self.inner.num_qubits
+
+    def allocate_qubit(self) -> int:
+        return self.inner.allocate_qubit()
+
+    def release_qubit(self, slot: int) -> None:
+        self.inner.release_qubit(slot)
+
+    def ensure_qubits(self, count: int) -> None:
+        ensure = getattr(self.inner, "ensure_qubits", None)
+        if ensure is not None:
+            ensure(count)
+
+    def apply_gate(
+        self, name: str, qubits: Sequence[int], params: Sequence[float] = ()
+    ) -> None:
+        self.inner.apply_gate(name, qubits, params)
+
+    def measure(self, qubit: int) -> int:
+        return self.inner.measure(qubit)
+
+    def reset(self, qubit: int) -> None:
+        self.inner.reset(qubit)

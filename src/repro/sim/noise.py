@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.sim.backend import SimulatorBackend
+from repro.sim.backend import DelegatingBackend, SimulatorBackend
 
 _PAULIS = ("x", "y", "z")
 
@@ -56,7 +56,7 @@ class NoiseModel:
         )
 
 
-class NoisyBackend:
+class NoisyBackend(DelegatingBackend):
     """A :class:`SimulatorBackend` decorator injecting stochastic errors."""
 
     def __init__(
@@ -65,27 +65,12 @@ class NoisyBackend:
         noise: NoiseModel,
         seed: Optional[int] = None,
     ):
-        self.inner = inner
+        super().__init__(inner)
         self.noise = noise
         self._rng = np.random.default_rng(seed)
         # statistics for tests/benchmarks
         self.injected_paulis = 0
         self.flipped_readouts = 0
-
-    @property
-    def num_qubits(self) -> int:
-        return self.inner.num_qubits
-
-    def allocate_qubit(self) -> int:
-        return self.inner.allocate_qubit()
-
-    def release_qubit(self, slot: int) -> None:
-        self.inner.release_qubit(slot)
-
-    def ensure_qubits(self, count: int) -> None:
-        ensure = getattr(self.inner, "ensure_qubits", None)
-        if ensure is not None:
-            ensure(count)
 
     def apply_gate(
         self, name: str, qubits: Sequence[int], params: Sequence[float] = ()

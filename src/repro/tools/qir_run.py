@@ -6,6 +6,13 @@ Examples::
     qir-run program.ll --shots 1000         # histogram over 1000 shots
     qir-run program.ll --backend stabilizer --seed 7
     qir-run program.ll --noise-1q 0.01 --noise-readout 0.02
+    qir-run program.ll --shots 1000 --retries 3 --fallback \\
+        --inject-fault gate,p=0.01,failures=2
+
+Exit codes distinguish failure origins: 0 = success (including partial
+success with a failure report), 1 = the *program* trapped (``unreachable``
+or ``__quantum__rt__fail``), 2 = input could not be read/parsed/verified,
+3 = the runtime infrastructure failed.
 """
 
 from __future__ import annotations
@@ -15,8 +22,14 @@ import sys
 from typing import List, Optional
 
 from repro.llvmir import parse_assembly, verify_module
-from repro.runtime import QirRuntime
+from repro.resilience import FallbackChain, FaultPlan, RetryPolicy, ShotFailure
+from repro.runtime import QirRuntime, QirRuntimeError, TrapError
 from repro.sim import NoiseModel
+
+EXIT_OK = 0
+EXIT_TRAP = 1
+EXIT_PARSE = 2
+EXIT_INFRA = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +55,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="readout flip probability")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the IR verifier")
+    resilience = parser.add_argument_group("resilience")
+    resilience.add_argument("--retries", type=int, default=1, metavar="N",
+                            help="attempts per shot (default 1: fail fast)")
+    resilience.add_argument("--backoff-base", type=float, default=0.0,
+                            help="base retry delay in seconds (exponential)")
+    resilience.add_argument("--fallback", action="store_true",
+                            help="demote the backend on repeated failure "
+                                 "(noisy->clean, statevector->stabilizer)")
+    resilience.add_argument("--inject-fault", action="append", default=[],
+                            metavar="SPEC",
+                            help="seeded fault injection, e.g. "
+                                 "'gate,p=0.01,failures=2' (repeatable)")
+    resilience.add_argument("--fault-seed", type=int, default=0,
+                            help="seed for the fault plan (default 0)")
     return parser
 
 
@@ -52,6 +79,11 @@ def _read_input(path: str) -> str:
         return handle.read()
 
 
+def _print_failures(failures: List[ShotFailure]) -> None:
+    for failure in failures:
+        print(failure.render(), file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -60,23 +92,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             verify_module(module)
     except (OSError, ValueError) as error:
         print(f"qir-run: error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_PARSE
+
+    try:
+        fault_plan = (
+            FaultPlan.parse(args.inject_fault, seed=args.fault_seed)
+            if args.inject_fault
+            else None
+        )
+    except ValueError as error:
+        print(f"qir-run: error: {error}", file=sys.stderr)
+        return EXIT_PARSE
+    if args.retries < 1:
+        print("qir-run: error: --retries must be >= 1", file=sys.stderr)
+        return EXIT_PARSE
 
     noise = NoiseModel(
         depolarizing_1q=args.noise_1q,
         depolarizing_2q=args.noise_2q,
         readout_error=args.noise_readout,
     )
+    has_noise = not noise.is_trivial
     runtime = QirRuntime(
         backend=args.backend,
         seed=args.seed,
         max_qubits=args.max_qubits,
         allow_on_the_fly_qubits=not args.no_on_the_fly,
-        noise=None if noise.is_trivial else noise,
+        noise=noise if has_noise else None,
     )
 
+    resilient = args.retries > 1 or fault_plan is not None or args.fallback
+
     try:
-        if args.shots <= 1:
+        if args.shots <= 1 and not resilient:
             result = runtime.execute(module, entry=args.entry)
             for message in result.messages:
                 print(f"INFO\t{message}")
@@ -85,19 +133,46 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(output)
             elif result.bitstring:
                 print(f"RESULTS\t{result.bitstring}")
-        else:
-            shots_result = runtime.run_shots(
-                module, shots=args.shots, entry=args.entry
-            )
-            width = max((len(k) for k in shots_result.counts), default=0)
-            for bits, count in sorted(
-                shots_result.counts.items(), key=lambda kv: -kv[1]
-            ):
-                print(f"{bits:>{width}}\t{count}")
-    except Exception as error:  # runtime errors are user-facing here
-        print(f"qir-run: runtime error: {error}", file=sys.stderr)
-        return 2
-    return 0
+            return EXIT_OK
+
+        retry = RetryPolicy(max_attempts=args.retries, backoff_base=args.backoff_base)
+        fallback = (
+            FallbackChain.default(args.backend, noisy=has_noise)
+            if args.fallback
+            else None
+        )
+        shots_result = runtime.run_shots(
+            module,
+            shots=max(1, args.shots),
+            entry=args.entry,
+            retry=retry if resilient else None,
+            fault_plan=fault_plan,
+            fallback=fallback,
+            collect_failures=resilient,
+        )
+        width = max((len(k) for k in shots_result.counts), default=0)
+        for bits, count in sorted(
+            shots_result.counts.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            print(f"{bits:>{width}}\t{count}")
+        report = shots_result.failure_report()
+        if report:
+            print(report, file=sys.stderr)
+        if shots_result.successful_shots > 0:
+            return EXIT_OK
+        # Every shot failed: classify by the dominant failure kind.
+        if all(f.code == TrapError.code for f in shots_result.failed_shots):
+            return EXIT_TRAP
+        return EXIT_INFRA
+    except TrapError as error:
+        print(f"qir-run: trap: {error.describe()}", file=sys.stderr)
+        return EXIT_TRAP
+    except QirRuntimeError as error:
+        print(f"qir-run: runtime error: {error.describe()}", file=sys.stderr)
+        return EXIT_INFRA
+    except Exception as error:  # internal failures are infra, not traps
+        print(f"qir-run: internal error: {error}", file=sys.stderr)
+        return EXIT_INFRA
 
 
 if __name__ == "__main__":  # pragma: no cover

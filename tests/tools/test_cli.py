@@ -59,15 +59,15 @@ class TestQirRun:
         assert len(lines) >= 3  # readout noise breaks the 00/11 correlation
 
     def test_missing_file(self, capsys):
-        assert run_main(["/nonexistent/file.ll"]) == 1
+        assert run_main(["/nonexistent/file.ll"]) == 2
         assert "error" in capsys.readouterr().err
 
     def test_parse_error(self, tmp_path, capsys):
         bad = tmp_path / "bad.ll"
         bad.write_text("this is not IR")
-        assert run_main([str(bad)]) == 1
+        assert run_main([str(bad)]) == 2
 
-    def test_runtime_error_exit_code(self, tmp_path, capsys):
+    def test_trap_exit_code(self, tmp_path, capsys):
         src = """
         define void @main() #0 {
         entry:
@@ -79,13 +79,95 @@ class TestQirRun:
         """
         path = tmp_path / "fail.ll"
         path.write_text(src)
-        assert run_main([str(path)]) == 2
+        assert run_main([str(path)]) == 1
+        assert "trap" in capsys.readouterr().err
+
+    def test_infra_error_exit_code(self, tmp_path, capsys):
+        src = """
+        define void @main() #0 {
+        entry:
+          call void @__quantum__rt__bogus(ptr null)
+          ret void
+        }
+        declare void @__quantum__rt__bogus(ptr)
+        attributes #0 = { "entry_point" }
+        """
+        path = tmp_path / "unbound.ll"
+        path.write_text(src)
+        assert run_main([str(path), "--no-verify"]) == 3
+        assert "QIR003" in capsys.readouterr().err
 
     def test_stdin_input(self, capsys, monkeypatch):
         import io
 
         monkeypatch.setattr("sys.stdin", io.StringIO(bell_qir("static")))
         assert run_main(["-", "--seed", "5"]) == 0
+
+
+class TestQirRunResilience:
+    def test_inject_fault_partial_results(self, bell_file, capsys):
+        assert run_main(
+            [bell_file, "--shots", "50", "--seed", "6",
+             "--inject-fault", "gate,shots=3:9"]
+        ) == 0
+        captured = capsys.readouterr()
+        counts = {
+            k: int(v)
+            for k, v in (line.split("\t") for line in captured.out.strip().splitlines())
+        }
+        assert sum(counts.values()) == 48
+        assert captured.err.count("FAIL\t") == 2
+        assert "code=QIR010" in captured.err
+
+    def test_retries_recover_transient_faults(self, bell_file, capsys):
+        assert run_main(
+            [bell_file, "--shots", "50", "--seed", "6", "--retries", "3",
+             "--inject-fault", "gate,shots=3:9,failures=2"]
+        ) == 0
+        captured = capsys.readouterr()
+        counts = {
+            k: int(v)
+            for k, v in (line.split("\t") for line in captured.out.strip().splitlines())
+        }
+        assert sum(counts.values()) == 50
+        assert "FAIL" not in captured.err
+
+    def test_fallback_flag_degrades_to_stabilizer(self, bell_file, capsys):
+        assert run_main(
+            [bell_file, "--shots", "40", "--seed", "6", "--fallback",
+             "--retries", "2",
+             "--inject-fault", "gate,backend=statevector"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "DEGRADED" in captured.err
+        counts = {
+            k: int(v)
+            for k, v in (line.split("\t") for line in captured.out.strip().splitlines())
+        }
+        # The default chain demotes after 2 consecutive failures, so exactly
+        # one shot is lost before the stabilizer takes over.
+        assert sum(counts.values()) == 39
+        assert captured.err.count("FAIL\t") == 1
+        assert set(counts) <= {"00", "11"}
+
+    def test_all_shots_trapped_exits_one(self, tmp_path, capsys):
+        src = """
+        define void @main() #0 {
+        entry:
+          call void @__quantum__rt__fail(ptr null)
+          ret void
+        }
+        declare void @__quantum__rt__fail(ptr)
+        attributes #0 = { "entry_point" }
+        """
+        path = tmp_path / "fail.ll"
+        path.write_text(src)
+        assert run_main([str(path), "--shots", "5", "--retries", "2"]) == 1
+        assert capsys.readouterr().err.count("FAIL\t") == 5
+
+    def test_bad_fault_spec_is_usage_error(self, bell_file, capsys):
+        assert run_main([bell_file, "--inject-fault", "gate,nope=1"]) == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestQirOpt:
