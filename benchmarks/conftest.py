@@ -3,9 +3,23 @@
 Every benchmark file reproduces one experiment from DESIGN.md's index and
 asserts its *shape* claim (who wins / how it scales), in addition to the
 pytest-benchmark timing rows.
+
+Machine-readable trajectory: benchmarks call :func:`record_bench` with a
+group name and the numbers backing their shape claim; at session end each
+group is written to ``BENCH_<group>.json`` at the repository root, giving
+later PRs a comparable baseline (the ISSUE-2 observability layer is the
+first producer via ``bench_obs.py``).
 """
 
+import json
+import os
+import platform
+from typing import Dict, List
+
 import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_BENCH_RECORDS: Dict[str, List[dict]] = {}
 
 
 def report(title: str, rows, header=None) -> None:
@@ -16,3 +30,21 @@ def report(title: str, rows, header=None) -> None:
         print("  " + " | ".join(str(h) for h in header))
     for row in rows:
         print("  " + " | ".join(str(c) for c in row))
+
+
+def record_bench(group: str, name: str, **fields) -> None:
+    """Queue one machine-readable benchmark record for ``BENCH_<group>.json``."""
+    _BENCH_RECORDS.setdefault(group, []).append({"name": name, **fields})
+
+
+def pytest_sessionfinish(session, exitstatus):
+    for group, records in _BENCH_RECORDS.items():
+        payload = {
+            "group": group,
+            "python": platform.python_version(),
+            "records": records,
+        }
+        path = os.path.join(_REPO_ROOT, f"BENCH_{group}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,42 @@
+
+define void @main() #0 {
+entry:
+  %i = alloca i64, align 8
+  store i64 0, ptr %i, align 8
+  br label %for.header
+
+for.header:
+  %0 = load i64, ptr %i, align 8
+  %cond = icmp slt i64 %0, 10
+  br i1 %cond, label %body, label %exit
+
+body:
+  %1 = load i64, ptr %i, align 8
+  %q = inttoptr i64 %1 to ptr
+  call void @__quantum__qis__h__body(ptr %q)
+  %2 = load i64, ptr %i, align 8
+  %3 = add nsw i64 %2, 1
+  store i64 %3, ptr %i, align 8
+  br label %for.header
+
+exit:
+  call void @__quantum__qis__mz__body(ptr null, ptr writeonly null)
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 1 to ptr), ptr writeonly inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 2 to ptr), ptr writeonly inttoptr (i64 2 to ptr))
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 3 to ptr), ptr writeonly inttoptr (i64 3 to ptr))
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 4 to ptr), ptr writeonly inttoptr (i64 4 to ptr))
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 5 to ptr), ptr writeonly inttoptr (i64 5 to ptr))
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 6 to ptr), ptr writeonly inttoptr (i64 6 to ptr))
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 7 to ptr), ptr writeonly inttoptr (i64 7 to ptr))
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 8 to ptr), ptr writeonly inttoptr (i64 8 to ptr))
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 9 to ptr), ptr writeonly inttoptr (i64 9 to ptr))
+  ret void
+}
+
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr writeonly)
+
+attributes #0 = { "entry_point" "qir_profiles"="full" "required_num_qubits"="10" "required_num_results"="10" }
+
+!llvm.module.flags = !{!0}
+!0 = !{i32 1, !"qir_major_version", i32 1}

@@ -33,6 +33,7 @@ from repro.frontend import (
     parse_base_profile,
 )
 from repro.llvmir import parse_assembly, print_module, verify_module
+from repro.obs import NULL_OBSERVER, MetricsRegistry, Observer, Tracer, render_profile
 from repro.qasm import circuit_to_qasm2, parse_qasm2, parse_qasm3
 from repro.qir import (
     AdaptiveProfile,
@@ -61,6 +62,11 @@ __all__ = [
     "parse_assembly",
     "print_module",
     "verify_module",
+    "NULL_OBSERVER",
+    "MetricsRegistry",
+    "Observer",
+    "Tracer",
+    "render_profile",
     "circuit_to_qasm2",
     "parse_qasm2",
     "parse_qasm3",

@@ -106,8 +106,15 @@ class _Forward(Value):
 
 
 class Parser:
-    def __init__(self, source: str, module_name: str = "module"):
-        self.tokens = Lexer(source).tokenize()
+    def __init__(
+        self,
+        source: str,
+        module_name: str = "module",
+        tokens: Optional[List[Token]] = None,
+    ):
+        # A caller that already lexed (e.g. to time lexing separately, see
+        # parse_assembly's observer path) can hand the token stream in.
+        self.tokens = tokens if tokens is not None else Lexer(source).tokenize()
         self.index = 0
         self.module = Module(module_name)
         # Metadata bookkeeping: numbered nodes may be referenced before they
@@ -973,6 +980,35 @@ class Parser:
                 self.module.named_metadata[name] = nodes
 
 
-def parse_assembly(source: str, module_name: str = "module") -> Module:
-    """Parse ``.ll`` text into a :class:`Module`."""
-    return Parser(source, module_name).parse_module()
+def parse_assembly(
+    source: str, module_name: str = "module", observer=None
+) -> Module:
+    """Parse ``.ll`` text into a :class:`Module`.
+
+    ``observer`` (a :class:`repro.obs.Observer`) records Example-3 profile
+    data -- lex/parse spans plus bytes, token counts and throughput.  The
+    default ``None`` takes the uninstrumented path.
+    """
+    if observer is None or not observer.enabled:
+        return Parser(source, module_name).parse_module()
+
+    from time import perf_counter
+
+    with observer.span("parse_assembly", module=module_name, bytes=len(source)):
+        t0 = perf_counter()
+        with observer.span("lex"):
+            tokens = Lexer(source).tokenize()
+        t1 = perf_counter()
+        with observer.span("parse", tokens=len(tokens)):
+            module = Parser(source, module_name, tokens=tokens).parse_module()
+        t2 = perf_counter()
+    observer.inc("parse.modules")
+    observer.inc("parse.bytes", len(source))
+    observer.inc("parse.tokens", len(tokens))
+    observer.inc("parse.lex_seconds", t1 - t0)
+    observer.inc("parse.parse_seconds", t2 - t1)
+    total = t2 - t0
+    if total > 0:
+        observer.set_gauge("parse.bytes_per_second", len(source) / total)
+        observer.set_gauge("parse.tokens_per_second", len(tokens) / total)
+    return module

@@ -1,0 +1,51 @@
+"""Observability for the QIR toolchain: tracing, metrics, profiling.
+
+The paper's adoption argument rests on knowing *where* a toolchain spends
+its effort -- parsing and printing the IR (Example 3), transforming it
+(Example 4), and executing it against a simulator (Example 5).  This
+package is the measurement substrate for all three:
+
+* :mod:`~repro.obs.tracer` -- nested wall-clock spans with tags, exported
+  as JSONL or the Chrome ``trace_event`` format (load in ``chrome://tracing``
+  / Perfetto);
+* :mod:`~repro.obs.metrics` -- a registry of counters, gauges and
+  fixed-bucket histograms with a stable snapshot-to-dict/JSON API;
+* :mod:`~repro.obs.observer` -- the :class:`Observer` facade that the
+  parser, pass manager, runtime and resilience layers accept, plus the
+  :data:`NULL_OBSERVER` no-op default whose overhead is guarded by
+  ``benchmarks/bench_obs.py``;
+* :mod:`~repro.obs.profile` -- the human-readable ``--profile`` table;
+* :mod:`~repro.obs.cli` -- shared ``--trace`` / ``--metrics`` /
+  ``--profile`` argparse plumbing for ``qir-run`` and ``qir-opt``.
+
+Everything here is dependency-free (stdlib only) so the hot paths it
+instruments never pay an import tax.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+    parse_metric_key,
+)
+from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer, as_observer
+from repro.obs.profile import render_profile
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_key",
+    "parse_metric_key",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "as_observer",
+    "render_profile",
+    "Span",
+    "Tracer",
+]

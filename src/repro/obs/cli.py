@@ -1,0 +1,58 @@
+"""Shared ``--trace`` / ``--metrics`` / ``--profile`` argparse plumbing.
+
+Both ``qir-run`` and ``qir-opt`` expose the same three flags; any of them
+turns the no-op default observer into a real one for the invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, Optional
+
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.profile import render_profile
+
+
+def add_observability_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a span trace: .jsonl -> one Chrome trace_event per "
+             "line, anything else -> a bracketed Chrome trace JSON "
+             "(load either in chrome://tracing / Perfetto)",
+    )
+    group.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the metrics snapshot (counters/gauges/histograms) as JSON",
+    )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="print a human-readable profile table to stderr on exit",
+    )
+
+
+def observer_from_args(args: argparse.Namespace) -> Observer:
+    """A real observer when any flag was given, the shared no-op otherwise."""
+    if args.trace or args.metrics or args.profile:
+        return Observer()
+    return NULL_OBSERVER
+
+
+def emit_observability(
+    args: argparse.Namespace,
+    observer: Observer,
+    stream: Optional[IO[str]] = None,
+) -> None:
+    """Flush trace/metrics files and the profile table (no-op when disabled)."""
+    if not observer.enabled:
+        return
+    stream = stream if stream is not None else sys.stderr
+    if args.trace:
+        observer.tracer.write(args.trace)
+    if args.metrics:
+        observer.metrics.write_json(args.metrics)
+    if args.profile:
+        table = render_profile(observer)
+        if table:
+            print(table, file=stream)

@@ -1,0 +1,183 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Metric instances are cheap mutable cells; the registry owns the namespace.
+A metric is addressed by *name* plus optional *labels*, flattened into a
+stable key -- ``runtime.intrinsic_calls{intrinsic=__quantum__qis__h__body}``
+-- so snapshots are plain ``dict``\\ s that diff and serialise cleanly.
+
+Snapshot layout (all keys sorted)::
+
+    {
+      "counters":   {key: number},
+      "gauges":     {key: number},
+      "histograms": {key: {"count": n, "sum": s, "min": ..., "max": ...,
+                           "mean": ..., "buckets": {"0.001": n, ..., "+Inf": n}}},
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
+
+# Latency buckets in seconds: 10us .. 10s, decade-and-half steps.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0,
+)
+
+
+def metric_key(name: str, labels: Optional[Dict[str, object]] = None) -> str:
+    """``name{k=v,...}`` with label keys sorted; just ``name`` when unlabeled."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`metric_key` (labels come back as strings)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+class Counter:
+    """Monotonically increasing value (ints or float seconds)."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.value: float = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.key} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.value: float = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def add(self, amount: Union[int, float]) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum/min/max.
+
+    ``bounds`` are upper bucket edges; an implicit ``+Inf`` bucket catches
+    the tail, so ``len(counts) == len(bounds) + 1``.
+    """
+
+    __slots__ = ("key", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, key: str, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS):
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bucket bounds must be sorted")
+        self.key = key
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        buckets = {repr(b): n for b, n in zip(self.bounds, self.counts)}
+        buckets["+Inf"] = self.counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create namespace for all three metric kinds."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- access ---------------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = metric_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter(key)
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = metric_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge(key)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        key = metric_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(key, bounds)
+        return metric
+
+    # -- snapshot -------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].snapshot() for k in sorted(self._histograms)
+            },
+        }
+
+    def write_json(self, destination: Union[str, IO[str]]) -> None:
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as handle:
+                self.write_json(handle)
+            return
+        json.dump(self.snapshot(), destination, indent=2, sort_keys=True)
+        destination.write("\n")
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -9,7 +9,15 @@ Quantum passes (the ones a *quantum* tool adds on top, Sec. III-B and
 IV-A) live in :mod:`repro.passes.quantum`.
 """
 
-from repro.passes.manager import FunctionPass, ModulePass, PassManager, PassResult
+from repro.passes.manager import (
+    FunctionPass,
+    ModulePass,
+    PassManager,
+    PassResult,
+    PassRunRecord,
+    count_instructions,
+    run_passes,
+)
 from repro.passes.constant_fold import ConstantFoldPass
 from repro.passes.constprop import ConstantPropagationPass
 from repro.passes.dce import DeadCodeEliminationPass
@@ -24,6 +32,9 @@ __all__ = [
     "ModulePass",
     "PassManager",
     "PassResult",
+    "PassRunRecord",
+    "count_instructions",
+    "run_passes",
     "ConstantFoldPass",
     "ConstantPropagationPass",
     "DeadCodeEliminationPass",

@@ -1,13 +1,42 @@
-"""Pass manager: ordered pipelines with optional verify-between-passes."""
+"""Pass manager: ordered pipelines with optional verify-between-passes.
+
+Observability (paper Ex. 4): pass an ``observer`` (see :mod:`repro.obs`)
+to record, per pass execution, wall time, instruction counts before and
+after, and whether the pass rewrote anything -- as spans in the trace,
+labeled metrics (``passes.seconds{pass=...}``), and structured
+:class:`PassRunRecord` rows on the returned :class:`PassResult`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from time import perf_counter
+from typing import Dict, List, Sequence, Union
 
 from repro.llvmir.function import Function
 from repro.llvmir.module import Module
 from repro.llvmir.verifier import verify_module
+
+
+def count_instructions(module: Module) -> int:
+    """Total instruction count across defined functions (profile metric)."""
+    return sum(len(fn) for fn in module.defined_functions())
+
+
+@dataclass(frozen=True)
+class PassRunRecord:
+    """One pass execution inside one pipeline iteration."""
+
+    pass_name: str
+    iteration: int
+    seconds: float
+    instructions_before: int
+    instructions_after: int
+    changed: bool
+
+    @property
+    def instructions_delta(self) -> int:
+        return self.instructions_after - self.instructions_before
 
 
 @dataclass
@@ -17,6 +46,12 @@ class PassResult:
     changed: bool = False
     per_pass: Dict[str, bool] = field(default_factory=dict)
     iterations: int = 1
+    # Populated only when an observer was attached to the run (profiling
+    # costs an instruction recount per pass, so it is opt-in).
+    per_pass_stats: List[PassRunRecord] = field(default_factory=list)
+
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.per_pass_stats)
 
 
 class ModulePass:
@@ -50,7 +85,8 @@ class PassManager:
     """Run a pipeline, optionally to fixpoint, verifying between passes.
 
     ``verify_each`` mirrors ``opt -verify-each``: catches a pass corrupting
-    the IR immediately rather than in a downstream consumer.
+    the IR immediately rather than in a downstream consumer.  ``observer``
+    (overridable per ``run``) turns on per-pass profiling.
     """
 
     def __init__(
@@ -58,19 +94,41 @@ class PassManager:
         passes: Sequence[ModulePass],
         verify_each: bool = False,
         max_iterations: int = 1,
+        observer=None,
     ):
         self.passes = list(passes)
         self.verify_each = verify_each
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
         self.max_iterations = max_iterations
+        self.observer = observer
 
-    def run(self, module: Module) -> PassResult:
+    def run(self, module: Module, observer=None) -> PassResult:
+        obs = observer if observer is not None else self.observer
+        profiled = obs is not None and obs.enabled
         result = PassResult()
+        if not profiled:
+            return self._run_inner(module, None, result)
+        with obs.span(
+            "pass_pipeline",
+            passes=len(self.passes),
+            max_iterations=self.max_iterations,
+        ) as span:
+            self._run_inner(module, obs, result)
+            span.tag("iterations", result.iterations)
+            span.tag("changed", result.changed)
+        return result
+
+    def _run_inner(self, module: Module, obs, result: PassResult) -> PassResult:
         for iteration in range(self.max_iterations):
             iteration_changed = False
             for pass_ in self.passes:
-                changed = pass_.run_on_module(module)
+                if obs is not None:
+                    changed = self._run_one_profiled(
+                        pass_, module, iteration, obs, result
+                    )
+                else:
+                    changed = pass_.run_on_module(module)
                 result.per_pass[pass_.name] = result.per_pass.get(pass_.name, False) or changed
                 iteration_changed |= changed
                 if self.verify_each:
@@ -81,6 +139,56 @@ class PassManager:
                 break
         return result
 
+    def _run_one_profiled(
+        self,
+        pass_: ModulePass,
+        module: Module,
+        iteration: int,
+        obs,
+        result: PassResult,
+    ) -> bool:
+        before = count_instructions(module)
+        span = obs.span(f"pass:{pass_.name}", iteration=iteration, before=before)
+        with span:
+            t0 = perf_counter()
+            changed = pass_.run_on_module(module)
+            seconds = perf_counter() - t0
+        after = count_instructions(module)
+        span.tag("after", after).tag("changed", changed)
+        result.per_pass_stats.append(
+            PassRunRecord(pass_.name, iteration, seconds, before, after, changed)
+        )
+        labels = {"pass": pass_.name}
+        obs.inc("passes.runs", 1, **labels)
+        obs.inc("passes.seconds", seconds, **labels)
+        if changed:
+            obs.inc("passes.changed", 1, **labels)
+        if before != after:
+            obs.inc("passes.instructions_delta_abs", abs(after - before), **labels)
+        obs.set_gauge("passes.instructions", after)
+        return changed
+
     def __repr__(self) -> str:
         names = ", ".join(p.name for p in self.passes)
         return f"<PassManager [{names}]>"
+
+
+def run_passes(
+    module: Module,
+    passes: Union[PassManager, Sequence[ModulePass]],
+    *,
+    verify_each: bool = False,
+    max_iterations: int = 1,
+    observer=None,
+) -> PassResult:
+    """Convenience entry point: run passes (or a ready manager) over a module.
+
+    >>> run_passes(module, [Mem2RegPass(), DeadCodeEliminationPass()],
+    ...            observer=obs)
+    """
+    if isinstance(passes, PassManager):
+        return passes.run(module, observer=observer)
+    manager = PassManager(
+        list(passes), verify_each=verify_each, max_iterations=max_iterations
+    )
+    return manager.run(module, observer=observer)

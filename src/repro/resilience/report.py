@@ -52,13 +52,25 @@ class ShotFailure:
         return line
 
 
+def render_timing_line(wall_seconds: float, successful_shots: int) -> str:
+    """``TIMING`` stderr line: total wall time and successful-shot rate."""
+    rate = successful_shots / wall_seconds if wall_seconds > 0 else 0.0
+    return f"TIMING\twall={wall_seconds:.3f}s\tshots/sec={rate:.1f}"
+
+
 def render_failure_report(
     failures: List[ShotFailure],
     per_error_counts: Dict[str, int],
     degraded: bool,
     history: Optional[List[str]] = None,
+    wall_seconds: float = 0.0,
+    successful_shots: int = 0,
 ) -> str:
-    """Human/CLI-facing multi-line report (empty string when clean)."""
+    """Human/CLI-facing multi-line report (empty string when clean).
+
+    When timing is known (``wall_seconds > 0``) a ``TIMING`` line closes
+    the report so a partial-failure run still answers "how fast was it?".
+    """
     if not failures and not degraded:
         return ""
     lines = [f.render() for f in failures]
@@ -67,4 +79,6 @@ def render_failure_report(
         lines.append(f"ERRORS\t{summary}")
     if degraded:
         lines.append("DEGRADED\t" + ("; ".join(history) if history else "backend fallback engaged"))
+    if wall_seconds > 0:
+        lines.append(render_timing_line(wall_seconds, successful_shots))
     return "\n".join(lines)

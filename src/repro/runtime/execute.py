@@ -17,12 +17,14 @@ the aggregated successes plus structured per-shot failure records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.llvmir.module import Module
 from repro.llvmir.parser import parse_assembly
+from repro.obs.observer import as_observer
 from repro.resilience.fallback import BackendLevel, FallbackChain, program_is_clifford
 from repro.resilience.faults import FaultInjector, FaultPlan, FaultyBackend, ShotFaultContext
 from repro.resilience.report import ShotFailure, render_failure_report
@@ -72,6 +74,12 @@ class ShotsResult:
     shots: int
     per_shot_stats: List[InterpreterStats] = field(default_factory=list)
     used_fast_path: bool = False
+    # -- observability (repro.obs) --------------------------------------------
+    wall_seconds: float = 0.0
+    # Per-backend InterpreterStats aggregation (keep_stats=True in resilient
+    # mode): after a FallbackChain demotion the work done on each rung of
+    # the ladder stays attributable.
+    per_backend_stats: Dict[str, InterpreterStats] = field(default_factory=dict)
     # -- partial-result recovery (resilient mode) -----------------------------
     failed_shots: List[ShotFailure] = field(default_factory=list)
     per_error_counts: Dict[str, int] = field(default_factory=dict)
@@ -95,12 +103,25 @@ class ShotsResult:
             return {}
         return {k: v / denominator for k, v in self.counts.items()}
 
+    @property
+    def shots_per_second(self) -> float:
+        """Successful-shot throughput over the measured wall time."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.successful_shots / self.wall_seconds
+
+    def aggregated_stats(self) -> InterpreterStats:
+        """Sum of per-shot stats (requires ``keep_stats=True``)."""
+        return InterpreterStats.aggregate(self.per_shot_stats)
+
     def failure_report(self) -> str:
         return render_failure_report(
             self.failed_shots,
             self.per_error_counts,
             self.degraded,
             self.fallback_history,
+            wall_seconds=self.wall_seconds,
+            successful_shots=self.successful_shots,
         )
 
 
@@ -152,6 +173,7 @@ class QirRuntime:
         max_qubits: int = 26,
         allow_on_the_fly_qubits: bool = True,
         noise: Optional[NoiseModel] = None,
+        observer=None,
     ):
         self.backend_name = backend
         self.seed = seed
@@ -159,6 +181,9 @@ class QirRuntime:
         self.max_qubits = max_qubits
         self.allow_on_the_fly_qubits = allow_on_the_fly_qubits
         self.noise = noise
+        # Observability (repro.obs): the default is the shared no-op whose
+        # hot-path cost is a single attribute check (bench_obs.py guards it).
+        self.observer = as_observer(observer)
         self._rng = np.random.default_rng(seed)
 
     # -- single-shot ---------------------------------------------------------
@@ -207,8 +232,11 @@ class QirRuntime:
             step_limit=step_limit,
             allow_on_the_fly_qubits=self.allow_on_the_fly_qubits,
             fault_hook=fault_hook,
+            observer=self.observer,
         )
         value = interp.run(entry)
+        if self.observer.enabled:
+            self._fold_intrinsic_metrics(interp.stats)
         bits = interp.output.result_bits()
         # If the program recorded no output, fall back to the static result
         # table so base-profile programs without an epilogue still report.
@@ -226,6 +254,14 @@ class QirRuntime:
             stats=interp.stats,
             return_value=value,
         )
+
+    def _fold_intrinsic_metrics(self, stats: InterpreterStats) -> None:
+        """Roll a shot's per-intrinsic profile into the observer's metrics."""
+        obs = self.observer
+        for name, n in stats.intrinsic_calls.items():
+            obs.inc("runtime.intrinsic_calls", n, intrinsic=name)
+        for name, s in stats.intrinsic_seconds.items():
+            obs.inc("runtime.intrinsic_seconds", s, intrinsic=name)
 
     # -- multi-shot ----------------------------------------------------------
     def run_shots(
@@ -259,6 +295,42 @@ class QirRuntime:
         """
         if sampling not in ("auto", "never", "require"):
             raise ValueError(f"unknown sampling mode {sampling!r}")
+        obs = self.observer
+        t0 = perf_counter()
+        if obs.enabled:
+            with obs.span("run_shots", shots=shots, sampling=sampling) as span:
+                result = self._run_shots_impl(
+                    program, shots, entry, keep_stats, sampling,
+                    retry, fault_plan, fallback, collect_failures,
+                )
+                span.tag("fast_path", result.used_fast_path)
+        else:
+            result = self._run_shots_impl(
+                program, shots, entry, keep_stats, sampling,
+                retry, fault_plan, fallback, collect_failures,
+            )
+        result.wall_seconds = perf_counter() - t0
+        if obs.enabled:
+            obs.inc("runtime.shots.requested", shots)
+            path = "runtime.shots.fastpath" if result.used_fast_path else "runtime.shots.per_shot"
+            obs.inc(path, shots)
+            obs.observe("runtime.run_seconds", result.wall_seconds)
+            if result.wall_seconds > 0:
+                obs.set_gauge("runtime.shots_per_second", result.shots_per_second)
+        return result
+
+    def _run_shots_impl(
+        self,
+        program: ModuleLike,
+        shots: int,
+        entry: Optional[str],
+        keep_stats: bool,
+        sampling: str,
+        retry: Optional[RetryPolicy],
+        fault_plan: Optional[FaultPlan],
+        fallback: Optional[FallbackChain],
+        collect_failures: bool,
+    ) -> ShotsResult:
         module = _as_module(program)
 
         resilient = (
@@ -300,8 +372,15 @@ class QirRuntime:
 
         counts: Dict[str, int] = {}
         all_stats: List[InterpreterStats] = []
+        obs = self.observer
+        profiled = obs.enabled
         for _ in range(shots):
-            result = self.execute(module, entry)
+            if profiled:
+                s0 = perf_counter()
+                result = self.execute(module, entry)
+                obs.observe("runtime.shot_seconds", perf_counter() - s0)
+            else:
+                result = self.execute(module, entry)
             counts[result.bitstring] = counts.get(result.bitstring, 0) + 1
             if keep_stats:
                 all_stats.append(result.stats)
@@ -328,14 +407,18 @@ class QirRuntime:
 
         counts: Dict[str, int] = {}
         all_stats: List[InterpreterStats] = []
+        per_backend_stats: Dict[str, InterpreterStats] = {}
         failures: List[ShotFailure] = []
         per_error: Dict[str, int] = {}
         backend_counts: Dict[str, int] = {}
         retried = 0
+        obs = self.observer
+        profiled = obs.enabled
 
         for shot in range(shots):
             ctx = injector.context(shot) if injector is not None else None
             total_attempts = 0
+            s0 = perf_counter() if profiled else 0.0
             while True:
                 level = chain.current
                 result, error, attempts = self._attempt_shot(
@@ -350,22 +433,40 @@ class QirRuntime:
                     backend_counts[label] = backend_counts.get(label, 0) + 1
                     if total_attempts > 1:
                         retried += 1
+                        if profiled:
+                            obs.inc("resilience.retried_shots")
                     if keep_stats:
                         all_stats.append(result.stats)
+                        bucket = per_backend_stats.get(label)
+                        if bucket is None:
+                            bucket = per_backend_stats[label] = InterpreterStats()
+                        bucket.merge(result.stats)
                     break
                 if chain.note_failure(error):
+                    if profiled:
+                        obs.inc("resilience.demotions")
                     continue  # demoted: replay this shot on the new level
                 failure = ShotFailure.from_error(
                     shot, error, total_attempts, self._level_label(level)
                 )
                 failures.append(failure)
                 per_error[failure.code] = per_error.get(failure.code, 0) + 1
+                if profiled:
+                    obs.inc("resilience.shot_failures", code=failure.code)
                 break
+            if profiled:
+                obs.observe("runtime.shot_seconds", perf_counter() - s0)
+                if total_attempts > 1:
+                    obs.inc("resilience.retry_attempts", total_attempts - 1)
+
+        if profiled and injector is not None:
+            obs.inc("resilience.faults_injected", injector.stats.faults_raised)
 
         return ShotsResult(
             counts=_sorted_counts(counts),
             shots=shots,
             per_shot_stats=all_stats,
+            per_backend_stats=dict(sorted(per_backend_stats.items())),
             failed_shots=failures,
             per_error_counts=dict(sorted(per_error.items())),
             degraded=chain.degraded,
@@ -410,10 +511,13 @@ class QirRuntime:
             backend,  # type: ignore[arg-type]
             step_limit=self.step_limit,
             allow_on_the_fly_qubits=self.allow_on_the_fly_qubits,
+            observer=self.observer,
         )
         results = DeferredResultStore()
         interp.results = results
         interp.run(entry)
+        if self.observer.enabled:
+            self._fold_intrinsic_metrics(interp.stats)
         return sample_counts_from(backend, results, shots)
 
 

@@ -10,7 +10,8 @@ programs may factor subroutines).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.llvmir.block import BasicBlock
@@ -80,6 +81,32 @@ class InterpreterStats:
     gates: int = 0
     measurements: int = 0
     branches: int = 0
+    # Per-intrinsic profile (Ex. 5): populated only when the interpreter
+    # runs with an enabled observer -- the per-call clock reads are not
+    # free, so the default path skips them entirely.
+    intrinsic_calls: Dict[str, int] = field(default_factory=dict)
+    intrinsic_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "InterpreterStats") -> "InterpreterStats":
+        """Accumulate ``other`` into self (for per-backend aggregation)."""
+        self.steps += other.steps
+        self.quantum_calls += other.quantum_calls
+        self.classical_calls += other.classical_calls
+        self.gates += other.gates
+        self.measurements += other.measurements
+        self.branches += other.branches
+        for name, n in other.intrinsic_calls.items():
+            self.intrinsic_calls[name] = self.intrinsic_calls.get(name, 0) + n
+        for name, s in other.intrinsic_seconds.items():
+            self.intrinsic_seconds[name] = self.intrinsic_seconds.get(name, 0.0) + s
+        return self
+
+    @classmethod
+    def aggregate(cls, stats: "List[InterpreterStats]") -> "InterpreterStats":
+        total = cls()
+        for item in stats:
+            total.merge(item)
+        return total
 
 
 def _flat_cell_count(type_: IRType) -> int:
@@ -103,6 +130,7 @@ class Interpreter:
         step_limit: int = 10_000_000,
         allow_on_the_fly_qubits: bool = True,
         fault_hook: Optional[Callable[[str], None]] = None,
+        observer=None,
     ):
         self.module = module
         self.backend = backend
@@ -110,6 +138,10 @@ class Interpreter:
         # Resilience hook: called with each declared __quantum__* name so a
         # fault injector can poison intrinsic dispatch (see repro.resilience).
         self.fault_hook = fault_hook
+        # Profiling (repro.obs): when an enabled observer is attached, each
+        # declared-intrinsic dispatch is timed into stats.intrinsic_*.
+        self.observer = observer
+        self._profile_intrinsics = observer is not None and observer.enabled
         self.qubits = QubitManager(backend, allow_on_the_fly=allow_on_the_fly_qubits)
         self.results = ResultStore()
         self.output = OutputRecorder()
@@ -163,6 +195,20 @@ class Interpreter:
         name = fn.name or ""
         if self.fault_hook is not None:
             self.fault_hook(name)
+        if not self._profile_intrinsics:
+            return self._dispatch_declared(name, args)
+        t0 = perf_counter()
+        try:
+            return self._dispatch_declared(name, args)
+        finally:
+            elapsed = perf_counter() - t0
+            stats = self.stats
+            stats.intrinsic_calls[name] = stats.intrinsic_calls.get(name, 0) + 1
+            stats.intrinsic_seconds[name] = (
+                stats.intrinsic_seconds.get(name, 0.0) + elapsed
+            )
+
+    def _dispatch_declared(self, name: str, args: List[object]) -> object:
         if name.startswith(QIS_PREFIX):
             return dispatch_qis(self, name, args)
         intrinsic = RT_INTRINSICS.get(name)

@@ -6,6 +6,8 @@ Examples::
     qir-opt program.ll --pipeline unroll          # Example 4's recipe
     qir-opt program.ll --pipeline lower-static    # dynamic -> static (Sec. IV-A)
     qir-opt program.ll --validate base_profile
+    qir-opt program.ll --pipeline unroll --profile --trace t.json
+
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.llvmir import parse_assembly, print_module, verify_module
+from repro.obs.cli import add_observability_args, emit_observability, observer_from_args
 from repro.passes import (
     ConstantFoldPass,
     ConstantPropagationPass,
@@ -80,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="verify the module between passes")
     parser.add_argument("--stats", action="store_true",
                         help="print per-pass changed flags to stderr")
+    add_observability_args(parser)
     return parser
 
 
@@ -92,13 +96,21 @@ def _read_input(path: str) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    observer = observer_from_args(args)
+    try:
+        return _run(args, observer)
+    finally:
+        emit_observability(args, observer)
+
+
+def _run(args: argparse.Namespace, observer) -> int:
     if args.passes and args.pipeline:
         print("qir-opt: error: choose either --passes or --pipeline",
               file=sys.stderr)
         return 1
 
     try:
-        module = parse_assembly(_read_input(args.input))
+        module = parse_assembly(_read_input(args.input), observer=observer)
         verify_module(module)
     except (OSError, ValueError) as error:
         print(f"qir-opt: error: {error}", file=sys.stderr)
@@ -121,7 +133,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         manager = PassManager([], verify_each=False)
 
     try:
-        result = manager.run(module)
+        result = manager.run(module, observer=observer)
         verify_module(module)
     except ValueError as error:
         print(f"qir-opt: transform error: {error}", file=sys.stderr)

@@ -8,6 +8,7 @@ Examples::
     qir-run program.ll --noise-1q 0.01 --noise-readout 0.02
     qir-run program.ll --shots 1000 --retries 3 --fallback \\
         --inject-fault gate,p=0.01,failures=2
+    qir-run program.ll --shots 1000 --profile --trace t.jsonl --metrics m.json
 
 Exit codes distinguish failure origins: 0 = success (including partial
 success with a failure report), 1 = the *program* trapped (``unreachable``
@@ -22,7 +23,9 @@ import sys
 from typing import List, Optional
 
 from repro.llvmir import parse_assembly, verify_module
+from repro.obs.cli import add_observability_args, emit_observability, observer_from_args
 from repro.resilience import FallbackChain, FaultPlan, RetryPolicy, ShotFailure
+from repro.resilience.report import render_timing_line
 from repro.runtime import QirRuntime, QirRuntimeError, TrapError
 from repro.sim import NoiseModel
 
@@ -55,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="readout flip probability")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the IR verifier")
+    parser.add_argument("--opt", default=None, metavar="PIPELINE",
+                        help="run a qir-opt pipeline before executing "
+                             "(same names as qir-opt --pipeline)")
     resilience = parser.add_argument_group("resilience")
     resilience.add_argument("--retries", type=int, default=1, metavar="N",
                             help="attempts per shot (default 1: fail fast)")
@@ -69,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "'gate,p=0.01,failures=2' (repeatable)")
     resilience.add_argument("--fault-seed", type=int, default=0,
                             help="seed for the fault plan (default 0)")
+    add_observability_args(parser)
     return parser
 
 
@@ -86,13 +93,41 @@ def _print_failures(failures: List[ShotFailure]) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    observer = observer_from_args(args)
     try:
-        module = parse_assembly(_read_input(args.input))
+        return _run(args, observer)
+    finally:
+        # Trace/metrics/profile are flushed even on failure exits: a run
+        # that died halfway is exactly the one worth inspecting.
+        emit_observability(args, observer)
+
+
+def _run(args: argparse.Namespace, observer) -> int:
+    try:
+        module = parse_assembly(_read_input(args.input), observer=observer)
         if not args.no_verify:
             verify_module(module)
     except (OSError, ValueError) as error:
         print(f"qir-run: error: {error}", file=sys.stderr)
         return EXIT_PARSE
+
+    if args.opt is not None:
+        # The lli workflow: optimise, then execute -- sharing the observer
+        # so one invocation profiles parse -> passes -> runtime end to end.
+        from repro.tools.qir_opt import PIPELINES
+
+        factory = PIPELINES.get(args.opt)
+        if factory is None:
+            print(f"qir-run: error: unknown pipeline {args.opt!r}; "
+                  f"choose from {', '.join(sorted(PIPELINES))}", file=sys.stderr)
+            return EXIT_PARSE
+        try:
+            factory().run(module, observer=observer)
+            if not args.no_verify:
+                verify_module(module)
+        except ValueError as error:
+            print(f"qir-run: transform error: {error}", file=sys.stderr)
+            return EXIT_PARSE
 
     try:
         fault_plan = (
@@ -119,6 +154,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_qubits=args.max_qubits,
         allow_on_the_fly_qubits=not args.no_on_the_fly,
         noise=noise if has_noise else None,
+        observer=observer,
     )
 
     resilient = args.retries > 1 or fault_plan is not None or args.fallback
@@ -157,7 +193,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{bits:>{width}}\t{count}")
         report = shots_result.failure_report()
         if report:
-            print(report, file=sys.stderr)
+            print(report, file=sys.stderr)  # ends with its own TIMING line
+        else:
+            print(
+                render_timing_line(
+                    shots_result.wall_seconds, shots_result.successful_shots
+                ),
+                file=sys.stderr,
+            )
         if shots_result.successful_shots > 0:
             return EXIT_OK
         # Every shot failed: classify by the dominant failure kind.

@@ -1,0 +1,106 @@
+"""Metrics registry: counters, gauges, histograms, keys, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, metric_key, parse_metric_key
+from repro.obs.metrics import Histogram
+
+
+class TestKeys:
+    def test_unlabeled_key_is_name(self):
+        assert metric_key("runtime.shots") == "runtime.shots"
+
+    def test_labels_sorted_and_roundtrip(self):
+        key = metric_key("passes.seconds", {"pass": "dce", "a": 1})
+        assert key == "passes.seconds{a=1,pass=dce}"
+        name, labels = parse_metric_key(key)
+        assert name == "passes.seconds"
+        assert labels == {"a": "1", "pass": "dce"}
+
+    def test_parse_unlabeled(self):
+        assert parse_metric_key("plain") == ("plain", {})
+
+
+class TestCountersAndGauges:
+    def test_counter_get_or_create_and_inc(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.snapshot()["counters"]["hits"] == 5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("hits").inc(-1)
+
+    def test_labeled_counters_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("calls", intrinsic="h").inc(2)
+        registry.counter("calls", intrinsic="mz").inc(3)
+        counters = registry.snapshot()["counters"]
+        assert counters["calls{intrinsic=h}"] == 2
+        assert counters["calls{intrinsic=mz}"] == 3
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("rate").set(10)
+        registry.gauge("rate").set(7)
+        assert registry.snapshot()["gauges"]["rate"] == 7
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        histogram = Histogram("lat", bounds=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 5
+        assert snap["buckets"]["0.001"] == 1
+        assert snap["buckets"]["0.01"] == 2
+        assert snap["buckets"]["0.1"] == 1
+        assert snap["buckets"]["+Inf"] == 1
+        assert snap["min"] == 0.0005
+        assert snap["max"] == 5.0
+        assert snap["mean"] == pytest.approx(sum((0.0005, 0.005, 0.005, 0.05, 5.0)) / 5)
+
+    def test_boundary_value_goes_to_its_bucket(self):
+        histogram = Histogram("lat", bounds=(1.0, 2.0))
+        histogram.observe(1.0)  # <= 1.0 bucket (bisect_left)
+        assert histogram.snapshot()["buckets"]["1.0"] == 1
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(1.0, 0.5))
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("empty").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None
+        assert snap["max"] is None
+        assert snap["mean"] == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_keys_sorted_and_json_serialisable(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.002)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        path = tmp_path / "m.json"
+        registry.write_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["counters"] == {"a": 1, "b": 1}
+        assert loaded["gauges"]["g"] == 1.5
+        assert loaded["histograms"]["h"]["count"] == 1
+
+    def test_len_counts_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        registry.histogram("c")
+        assert len(registry) == 3

@@ -1,0 +1,129 @@
+"""Tracer: nesting, timing, tags, and both export formats."""
+
+import json
+
+from repro.obs import Span, Tracer
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step=0.001):
+        self.now = 100.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("work", kind="test") as span:
+            pass
+        assert isinstance(span, Span)
+        assert len(tracer) == 1
+        event = tracer.events[0]
+        assert event["name"] == "work"
+        assert event["ph"] == "X"
+        assert event["args"] == {"kind": "test"}
+        assert event["dur"] > 0
+
+    def test_monotonic_timestamps_in_microseconds(self):
+        clock = FakeClock(step=0.5)  # 0.5s per read
+        tracer = Tracer(clock=clock)
+        with tracer.span("a"):
+            pass
+        event = tracer.events[0]
+        # enter reads once, exit reads once -> duration is one step = 0.5s.
+        assert event["dur"] == 500_000.0
+
+    def test_nesting_depth_tracked(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.depth == 0
+        assert inner.depth == 1
+        # Inner closes first, so it is recorded first.
+        assert [e["name"] for e in tracer.events] == ["inner", "outer"]
+        # Chrome reconstructs nesting from containment: inner within outer.
+        inner_ev, outer_ev = tracer.events
+        assert outer_ev["ts"] <= inner_ev["ts"]
+        assert outer_ev["ts"] + outer_ev["dur"] >= inner_ev["ts"] + inner_ev["dur"]
+
+    def test_exception_closes_span_and_tags_error(self):
+        tracer = Tracer(clock=FakeClock())
+        try:
+            with tracer.span("fails"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        event = tracer.events[0]
+        assert event["args"]["error"] == "RuntimeError"
+        assert tracer._depth == 0  # no depth leak
+
+    def test_tag_after_entry(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("work") as span:
+            span.tag("result", 42)
+        assert tracer.events[0]["args"]["result"] == 42
+
+    def test_non_jsonable_tags_coerced(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("work", obj=object()):
+            pass
+        args = tracer.events[0]["args"]
+        assert isinstance(args["obj"], str)
+
+    def test_instant_event(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.instant("marker", shot=3)
+        event = tracer.events[0]
+        assert event["ph"] == "i"
+        assert event["args"]["shot"] == 3
+
+
+class TestExport:
+    def _traced(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer", n=1):
+            with tracer.span("inner"):
+                pass
+        return tracer
+
+    def test_jsonl_lines_each_valid_json(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "t.jsonl"
+        tracer.write_jsonl(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            event = json.loads(line)
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_chrome_document_loads(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "t.json"
+        tracer.write_chrome(str(path))
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+        assert len(document["traceEvents"]) == 2
+        assert all(e["ph"] in ("X", "i") for e in document["traceEvents"])
+
+    def test_write_dispatches_on_extension(self, tmp_path):
+        tracer = self._traced()
+        jsonl = tmp_path / "a.jsonl"
+        chrome = tmp_path / "a.json"
+        tracer.write(str(jsonl))
+        tracer.write(str(chrome))
+        assert len(jsonl.read_text().strip().splitlines()) == 2
+        assert "traceEvents" in json.loads(chrome.read_text())
+
+    def test_total_time_filters_by_name(self):
+        tracer = self._traced()
+        assert tracer.total_time_us("inner") > 0
+        assert tracer.total_time_us() >= tracer.total_time_us("inner")
+        assert tracer.total_time_us("absent") == 0

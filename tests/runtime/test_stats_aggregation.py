@@ -1,0 +1,131 @@
+"""InterpreterStats lifecycle under resilient execution (ISSUE 2 satellite).
+
+PR 1 left two gaps: stats were only spot-checked for single shots, and a
+FallbackChain demotion silently mixed work done on different backends into
+one flat list.  These tests pin down both: counts survive per-shot
+retries, and ``ShotsResult.per_backend_stats`` attributes interpreter work
+to the backend that actually did it.
+"""
+
+import pytest
+
+from repro.resilience import FallbackChain, FaultPlan, FaultRule, RetryPolicy
+from repro.runtime import QirRuntime, run_shots
+from repro.runtime.interpreter import InterpreterStats
+from repro.workloads.qir_programs import bell_qir, ghz_qir
+
+
+class TestMergeAndAggregate:
+    def test_merge_accumulates_scalars_and_dicts(self):
+        a = InterpreterStats(steps=10, gates=2, measurements=1,
+                             intrinsic_calls={"h": 2}, intrinsic_seconds={"h": 0.5})
+        b = InterpreterStats(steps=5, gates=3, branches=4,
+                             intrinsic_calls={"h": 1, "mz": 2},
+                             intrinsic_seconds={"mz": 0.25})
+        a.merge(b)
+        assert a.steps == 15
+        assert a.gates == 5
+        assert a.measurements == 1
+        assert a.branches == 4
+        assert a.intrinsic_calls == {"h": 3, "mz": 2}
+        assert a.intrinsic_seconds == {"h": 0.5, "mz": 0.25}
+
+    def test_aggregate_empty_list(self):
+        total = InterpreterStats.aggregate([])
+        assert total.steps == 0 and total.gates == 0
+
+    def test_shots_result_aggregated_stats(self):
+        result = QirRuntime(seed=1).run_shots(
+            bell_qir("static"), shots=4, sampling="never", keep_stats=True
+        )
+        total = result.aggregated_stats()
+        assert total.gates == sum(s.gates for s in result.per_shot_stats)
+        assert total.gates == 4 * result.per_shot_stats[0].gates
+
+
+class TestStatsSurviveRetries:
+    def test_counts_kept_for_every_shot_despite_transient_faults(self):
+        # Every shot's first attempt fails at the gate site; the retry
+        # succeeds.  The recorded stats must describe the SUCCESSFUL
+        # attempt -- full gate/measurement counts, not the aborted one.
+        plan = FaultPlan(
+            rules=(FaultRule(site="gate", probability=1.0, failures=1),), seed=9
+        )
+        result = run_shots(
+            bell_qir("static"), shots=8, seed=9,
+            fault_plan=plan, retry=RetryPolicy(max_attempts=3),
+            keep_stats=True,
+        )
+        assert result.successful_shots == 8
+        assert result.retried_shots == 8
+        assert len(result.per_shot_stats) == 8
+        clean = QirRuntime(seed=9).run_shots(
+            bell_qir("static"), shots=1, sampling="never", keep_stats=True
+        )
+        expected = clean.per_shot_stats[0]
+        for stats in result.per_shot_stats:
+            assert stats.gates == expected.gates
+            assert stats.measurements == expected.measurements
+            assert stats.steps == expected.steps
+
+    def test_failed_shots_contribute_no_stats(self):
+        plan = FaultPlan.poison([1, 3], site="gate")
+        result = run_shots(
+            bell_qir("static"), shots=5, seed=2,
+            fault_plan=plan, retry=RetryPolicy(max_attempts=1),
+            keep_stats=True,
+        )
+        assert result.successful_shots == 3
+        assert len(result.per_shot_stats) == 3
+
+
+class TestPerBackendAggregation:
+    def test_demotion_splits_stats_by_backend(self):
+        # Persistent statevector-only fault: after demote_after=1 failures
+        # the Clifford GHZ program is replayed on the stabilizer backend.
+        ghz = ghz_qir(3)
+        plan = FaultPlan(rules=(FaultRule(site="gate", backend="statevector"),))
+        chain = FallbackChain(["statevector", "stabilizer"], demote_after=1)
+        result = run_shots(
+            ghz, shots=10, seed=4, fault_plan=plan, fallback=chain,
+            retry=RetryPolicy(max_attempts=2), keep_stats=True,
+        )
+        assert result.degraded
+        assert result.successful_shots == 10
+        assert set(result.per_backend_stats) == {"stabilizer"}
+        stabilizer = result.per_backend_stats["stabilizer"]
+        assert stabilizer.gates == sum(s.gates for s in result.per_shot_stats)
+        assert result.backend_shot_counts == {"stabilizer": 10}
+
+    def test_noisy_demotion_attributes_both_levels(self):
+        from repro.sim import NoiseModel
+
+        # Fault fires only while the backend is noisy; after demotion the
+        # clean statevector level serves the remaining shots.
+        plan = FaultPlan(
+            rules=(FaultRule(site="gate", only_noisy=True, probability=0.5),),
+            seed=11,
+        )
+        chain = FallbackChain.default("statevector", noisy=True, demote_after=2)
+        runtime = QirRuntime(seed=11, noise=NoiseModel(depolarizing_1q=0.01))
+        result = runtime.run_shots(
+            bell_qir("static"), shots=30, fault_plan=plan, fallback=chain,
+            retry=RetryPolicy(max_attempts=1), keep_stats=True,
+        )
+        assert result.degraded
+        labels = set(result.per_backend_stats)
+        assert "statevector" in labels  # post-demotion clean level
+        # Per-backend totals partition the flat per-shot list exactly.
+        total_gates = sum(s.gates for s in result.per_shot_stats)
+        split_gates = sum(s.gates for s in result.per_backend_stats.values())
+        assert split_gates == total_gates
+        shots_attributed = sum(result.backend_shot_counts.values())
+        assert shots_attributed == result.successful_shots
+
+    def test_per_backend_stats_empty_without_keep_stats(self):
+        plan = FaultPlan.poison([0], site="gate")
+        result = run_shots(
+            bell_qir("static"), shots=3, seed=2,
+            fault_plan=plan, retry=RetryPolicy(max_attempts=1),
+        )
+        assert result.per_backend_stats == {}

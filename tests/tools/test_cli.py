@@ -170,6 +170,121 @@ class TestQirRunResilience:
         assert "error" in capsys.readouterr().err
 
 
+class TestQirRunObservability:
+    def test_profile_table_on_stderr(self, bell_file, capsys):
+        assert run_main([bell_file, "--shots", "10", "--seed", "7",
+                         "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "== qir profile ==" in err
+        assert "-- parse --" in err
+        assert "-- runtime --" in err
+        assert "-- intrinsics --" in err
+        assert "__quantum__qis__h__body" in err
+
+    def test_trace_file_is_chrome_loadable(self, bell_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.json"
+        assert run_main([bell_file, "--shots", "5", "--seed", "7",
+                         "--trace", str(trace)]) == 0
+        document = json.loads(trace.read_text())
+        names = [e["name"] for e in document["traceEvents"]]
+        assert "parse_assembly" in names
+        assert "run_shots" in names
+
+    def test_trace_jsonl_extension(self, bell_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        assert run_main([bell_file, "--seed", "7", "--trace", str(trace)]) == 0
+        lines = trace.read_text().strip().splitlines()
+        assert lines
+        assert all(json.loads(line)["ph"] in ("X", "i") for line in lines)
+
+    def test_metrics_file_structure(self, bell_file, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "m.json"
+        assert run_main([bell_file, "--shots", "10", "--seed", "7",
+                         "--metrics", str(metrics)]) == 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["runtime.shots.requested"] == 10
+        assert any(k.startswith("runtime.intrinsic_calls{")
+                   for k in snapshot["counters"])
+        assert "runtime.run_seconds" in snapshot["histograms"]
+
+    def test_opt_flag_runs_pipeline_before_execution(self, loop_file, tmp_path,
+                                                     capsys):
+        import json
+
+        metrics = tmp_path / "m.json"
+        assert run_main([loop_file, "--opt", "unroll", "--seed", "7",
+                         "--metrics", str(metrics)]) == 0
+        snapshot = json.loads(metrics.read_text())
+        pass_keys = [k for k in snapshot["counters"]
+                     if k.startswith("passes.runs{")]
+        assert any("loop-unroll" in k for k in pass_keys)
+        assert any(k.startswith("runtime.intrinsic_calls{")
+                   for k in snapshot["counters"])
+
+    def test_unknown_opt_pipeline_is_usage_error(self, bell_file, capsys):
+        assert run_main([bell_file, "--opt", "warpdrive"]) == 2
+        assert "unknown pipeline" in capsys.readouterr().err
+
+    def test_timing_line_on_multi_shot(self, bell_file, capsys):
+        assert run_main([bell_file, "--shots", "20", "--seed", "7"]) == 0
+        err = capsys.readouterr().err
+        assert "TIMING\twall=" in err
+        assert "shots/sec=" in err
+
+    def test_single_shot_has_no_timing_line(self, bell_file, capsys):
+        assert run_main([bell_file, "--seed", "7"]) == 0
+        assert "TIMING" not in capsys.readouterr().err
+
+    def test_failure_report_includes_timing(self, bell_file, capsys):
+        assert run_main(
+            [bell_file, "--shots", "20", "--seed", "6",
+             "--inject-fault", "gate,shots=1:2"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "FAIL\t" in err
+        assert err.count("TIMING\twall=") == 1
+
+    def test_no_flags_means_no_observer_files(self, bell_file, capsys):
+        assert run_main([bell_file, "--shots", "5", "--seed", "7"]) == 0
+        assert "== qir profile ==" not in capsys.readouterr().err
+
+
+class TestQirOptObservability:
+    def test_profile_table_shows_passes(self, loop_file, capsys):
+        assert opt_main([loop_file, "--pipeline", "unroll", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "== qir profile ==" in err
+        assert "-- passes --" in err
+        assert "loop-unroll" in err
+
+    def test_trace_and_metrics_files(self, loop_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        assert opt_main([loop_file, "--pipeline", "o1",
+                         "--trace", str(trace),
+                         "--metrics", str(metrics)]) == 0
+        document = json.loads(trace.read_text())
+        assert any(e["name"].startswith("pass:")
+                   for e in document["traceEvents"])
+        snapshot = json.loads(metrics.read_text())
+        assert any(k.startswith("passes.seconds{")
+                   for k in snapshot["counters"])
+
+    def test_profile_written_even_on_validation_failure(self, loop_file,
+                                                        capsys):
+        assert opt_main([loop_file, "--validate", "base_profile",
+                         "--profile"]) == 3
+        assert "== qir profile ==" in capsys.readouterr().err
+
+
 class TestQirOpt:
     def test_pipeline_unroll(self, loop_file, capsys):
         assert opt_main([loop_file, "--pipeline", "unroll"]) == 0
