@@ -6,20 +6,24 @@ pytest-benchmark timing rows.
 
 Machine-readable trajectory: benchmarks call :func:`record_bench` with a
 group name and the numbers backing their shape claim; at session end each
-group is written to ``BENCH_<group>.json`` at the repository root, giving
-later PRs a comparable baseline (the ISSUE-2 observability layer is the
-first producer via ``bench_obs.py``).
+group is written to ``BENCH_<group>.json`` at the repository root as a
+schema-versioned :class:`repro.obs.snapshot.BenchSnapshot` -- the same
+format ``qir-bench run`` emits, so ``qir-bench diff`` can gate any of
+them against a previous run.  Timings should come from
+:func:`repro.obs.snapshot.measure` (median-of-k with warmup, re-exported
+here as :func:`measure_median`): single-sample timings are what produced
+the negative ``overhead_fraction`` values in early ``BENCH_obs.json``
+files.
 """
 
-import json
 import os
-import platform
-from typing import Dict, List
+from typing import Dict, Optional
 
-import pytest
+from repro.obs.snapshot import BenchRecord, BenchSnapshot, TimingStats
+from repro.obs.snapshot import measure as measure_median  # noqa: F401 (re-export)
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-_BENCH_RECORDS: Dict[str, List[dict]] = {}
+_SNAPSHOTS: Dict[str, BenchSnapshot] = {}
 
 
 def report(title: str, rows, header=None) -> None:
@@ -32,19 +36,41 @@ def report(title: str, rows, header=None) -> None:
         print("  " + " | ".join(str(c) for c in row))
 
 
-def record_bench(group: str, name: str, **fields) -> None:
-    """Queue one machine-readable benchmark record for ``BENCH_<group>.json``."""
-    _BENCH_RECORDS.setdefault(group, []).append({"name": name, **fields})
+def record_bench(
+    group: str,
+    name: str,
+    value: float,
+    unit: str = "",
+    direction: str = "lower",
+    stats: Optional[TimingStats] = None,
+    **metadata,
+) -> None:
+    """Queue one benchmark record for ``BENCH_<group>.json``.
+
+    Pass the :class:`TimingStats` from :func:`measure_median` as ``stats``
+    to persist the min/median/max spread alongside the headline ``value``.
+    """
+    snapshot = _SNAPSHOTS.setdefault(group, BenchSnapshot(group=group))
+    if stats is not None:
+        snapshot.add(
+            BenchRecord(
+                name=name,
+                value=value,
+                unit=unit,
+                direction=direction,
+                min=stats.min,
+                median=stats.median,
+                max=stats.max,
+                k=stats.k,
+                metadata=dict(metadata),
+            )
+        )
+    else:
+        snapshot.record(
+            name, value, unit, direction=direction, metadata=dict(metadata)
+        )
 
 
 def pytest_sessionfinish(session, exitstatus):
-    for group, records in _BENCH_RECORDS.items():
-        payload = {
-            "group": group,
-            "python": platform.python_version(),
-            "records": records,
-        }
-        path = os.path.join(_REPO_ROOT, f"BENCH_{group}.json")
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+    for group, snapshot in _SNAPSHOTS.items():
+        snapshot.write_json(os.path.join(_REPO_ROOT, f"BENCH_{group}.json"))

@@ -16,7 +16,13 @@ package is the measurement substrate for all three:
   ``benchmarks/bench_obs.py``;
 * :mod:`~repro.obs.profile` -- the human-readable ``--profile`` table;
 * :mod:`~repro.obs.cli` -- shared ``--trace`` / ``--metrics`` /
-  ``--profile`` argparse plumbing for ``qir-run`` and ``qir-opt``.
+  ``--profile`` argparse plumbing for ``qir-run`` and ``qir-opt``;
+* :mod:`~repro.obs.snapshot` -- schema-versioned :class:`BenchSnapshot`
+  records (median-of-k timings + environment fingerprint), the durable
+  form that makes runs comparable across commits;
+* :mod:`~repro.obs.regress` -- snapshot diffing with direction-aware
+  relative thresholds, producing the pass/fail :class:`RegressionReport`
+  behind ``qir-bench diff``.
 
 Everything here is dependency-free (stdlib only) so the hot paths it
 instruments never pay an import tax.
@@ -32,6 +38,20 @@ from repro.obs.metrics import (
 )
 from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer, as_observer
 from repro.obs.profile import render_profile
+from repro.obs.regress import (
+    EXIT_REGRESSION,
+    RecordDelta,
+    RegressionReport,
+    diff_snapshots,
+)
+from repro.obs.snapshot import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    BenchSnapshot,
+    TimingStats,
+    environment_fingerprint,
+    measure,
+)
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
@@ -46,6 +66,16 @@ __all__ = [
     "Observer",
     "as_observer",
     "render_profile",
+    "EXIT_REGRESSION",
+    "RecordDelta",
+    "RegressionReport",
+    "diff_snapshots",
+    "SCHEMA_VERSION",
+    "BenchRecord",
+    "BenchSnapshot",
+    "TimingStats",
+    "environment_fingerprint",
+    "measure",
     "Span",
     "Tracer",
 ]

@@ -161,6 +161,18 @@ class MetricsRegistry:
             metric = self._histograms[key] = Histogram(key, bounds)
         return metric
 
+    def value(self, key: str, default: Optional[float] = None) -> Optional[float]:
+        """Current value of a counter or gauge by its flattened key.
+
+        Lookup helper for consumers that read metrics back out (qir-bench
+        pulls ``runtime.shots.fastpath`` / ``pass.budget_bust`` counters);
+        histograms are not scalars, so they are not reachable here.
+        """
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._gauges.get(key)
+        return metric.value if metric is not None else default
+
     # -- snapshot -------------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         return {

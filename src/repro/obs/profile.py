@@ -100,6 +100,17 @@ def render_profile(observer: Observer, title: str = "qir profile") -> str:
             lines.append(f"  {key[len('passes.'):]:<22}{_fmt(gauges.pop(key))}")
         out += _section("passes", lines)
 
+    # -- budget busts (continuous-performance gate) ---------------------------
+    bust_lines: List[str] = []
+    for key in sorted(k for k in list(counters) if k.startswith("pass.budget_bust")):
+        _, labels = parse_metric_key(key)
+        count = counters.pop(key)
+        bust_lines.append(
+            f"  WARNING pass '{labels.get('pass', '?')}' busted its "
+            f"{labels.get('kind', '?')} budget x{_fmt(count)}"
+        )
+    out += _section("budget busts", bust_lines)
+
     # -- runtime (Ex. 5) ------------------------------------------------------
     runtime_lines: List[str] = []
     for key in sorted(k for k in list(counters) if k.startswith("runtime.shots")):

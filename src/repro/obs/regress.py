@@ -1,0 +1,238 @@
+"""Regression gating: diff two :class:`~repro.obs.snapshot.BenchSnapshot`\\ s.
+
+The differ is direction-aware: a record whose ``direction`` is ``lower``
+(seconds) regresses when the current value exceeds baseline by more than
+the relative threshold; a ``higher`` record (throughput, speedup ratio)
+regresses when it falls short by more than the threshold.  Thresholds are
+configurable globally and per record name, so a noisy record can carry a
+looser gate without loosening the whole suite.
+
+The product is a :class:`RegressionReport` whose ``exit_code`` follows
+the ``qir-bench`` contract: 0 when every shared record passes, 4
+(:data:`EXIT_REGRESSION`) when any record regressed.  Records present on
+only one side are reported (``new`` / ``missing``) but never fail the
+gate -- a growing suite must not brick its own CI on the first run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, IO, List, Optional
+
+from repro.obs.snapshot import BenchSnapshot
+
+EXIT_OK = 0
+EXIT_REGRESSION = 4
+
+DEFAULT_THRESHOLD = 0.25
+
+# Delta statuses, in severity order for the rendered table.
+STATUS_REGRESSION = "regression"
+STATUS_PASS = "pass"
+STATUS_IMPROVED = "improved"
+STATUS_NEW = "new"
+STATUS_MISSING = "missing"
+_STATUS_ORDER = (STATUS_REGRESSION, STATUS_MISSING, STATUS_NEW, STATUS_PASS, STATUS_IMPROVED)
+
+
+@dataclass(frozen=True)
+class RecordDelta:
+    """One record's baseline-vs-current comparison."""
+
+    name: str
+    unit: str
+    direction: str
+    status: str
+    baseline: Optional[float] = None
+    current: Optional[float] = None
+    change: Optional[float] = None  # signed relative change vs baseline
+    threshold: Optional[float] = None
+
+    @property
+    def regressed(self) -> bool:
+        return self.status == STATUS_REGRESSION
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "direction": self.direction,
+            "status": self.status,
+            "baseline": self.baseline,
+            "current": self.current,
+            "change": self.change,
+            "threshold": self.threshold,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of one snapshot diff (render as table or JSON)."""
+
+    deltas: List[RecordDelta] = field(default_factory=list)
+    threshold: float = DEFAULT_THRESHOLD
+    environment_changed: bool = False
+    environment_diff: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def regressions(self) -> List[RecordDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_OK if self.passed else EXIT_REGRESSION
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "passed": self.passed,
+            "exit_code": self.exit_code,
+            "threshold": self.threshold,
+            "environment_changed": self.environment_changed,
+            "environment_diff": self.environment_diff,
+            "regressions": len(self.regressions),
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+    def write_json(self, destination: IO[str]) -> None:
+        json.dump(self.to_dict(), destination, indent=2, sort_keys=True)
+        destination.write("\n")
+
+    def render(self) -> str:
+        """Per-record human table (the stderr half of ``qir-bench diff``)."""
+        header = ("record", "unit", "baseline", "current", "change", "status")
+        rows: List[tuple] = []
+        ordered = sorted(
+            self.deltas, key=lambda d: (_STATUS_ORDER.index(d.status), d.name)
+        )
+        for d in ordered:
+            rows.append(
+                (
+                    d.name,
+                    d.unit or "-",
+                    _fmt(d.baseline),
+                    _fmt(d.current),
+                    f"{d.change * 100:+.1f}%" if d.change is not None else "-",
+                    d.status,
+                )
+            )
+        widths = [max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+                  for i in range(len(header))]
+        lines = [f"== qir-bench diff (threshold {self.threshold * 100:.0f}%) =="]
+        if self.environment_changed:
+            changed = ", ".join(
+                f"{k}: {v['baseline']} -> {v['current']}"
+                for k, v in sorted(self.environment_diff.items())
+            )
+            lines.append(f"  WARNING environment changed ({changed})")
+        lines.append("  " + "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        for row in rows:
+            lines.append("  " + "  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        verdict = "PASS" if self.passed else f"FAIL ({len(self.regressions)} regression(s))"
+        lines.append(f"  -> {verdict}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3f}"
+    return f"{value:.6f}"
+
+
+def diff_snapshots(
+    baseline: BenchSnapshot,
+    current: BenchSnapshot,
+    threshold: float = DEFAULT_THRESHOLD,
+    per_record_thresholds: Optional[Dict[str, float]] = None,
+) -> RegressionReport:
+    """Compare ``current`` against ``baseline`` with relative thresholds.
+
+    ``per_record_thresholds`` maps record names to overriding thresholds;
+    every other shared record uses the global ``threshold``.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    overrides = per_record_thresholds or {}
+    base_records = baseline.by_name()
+    cur_records = current.by_name()
+    deltas: List[RecordDelta] = []
+
+    for name in sorted(set(base_records) | set(cur_records)):
+        base = base_records.get(name)
+        cur = cur_records.get(name)
+        if base is None:
+            assert cur is not None
+            deltas.append(
+                RecordDelta(name, cur.unit, cur.direction, STATUS_NEW, current=cur.value)
+            )
+            continue
+        if cur is None:
+            deltas.append(
+                RecordDelta(
+                    name, base.unit, base.direction, STATUS_MISSING, baseline=base.value
+                )
+            )
+            continue
+        limit = overrides.get(name, threshold)
+        change = _relative_change(base.value, cur.value)
+        status = _judge(base.direction, change, limit)
+        deltas.append(
+            RecordDelta(
+                name,
+                cur.unit,
+                base.direction,
+                status,
+                baseline=base.value,
+                current=cur.value,
+                change=change,
+                threshold=limit,
+            )
+        )
+
+    env_diff = _environment_diff(baseline.environment, current.environment)
+    return RegressionReport(
+        deltas=deltas,
+        threshold=threshold,
+        environment_changed=bool(env_diff),
+        environment_diff=env_diff,
+    )
+
+
+def _relative_change(baseline: float, current: float) -> Optional[float]:
+    if baseline == 0:
+        return None if current == 0 else float("inf") if current > 0 else float("-inf")
+    return (current - baseline) / abs(baseline)
+
+
+def _judge(direction: str, change: Optional[float], limit: float) -> str:
+    if change is None:
+        return STATUS_PASS
+    if direction == "lower":
+        if change > limit:
+            return STATUS_REGRESSION
+        return STATUS_IMPROVED if change < -limit else STATUS_PASS
+    # direction == "higher"
+    if change < -limit:
+        return STATUS_REGRESSION
+    return STATUS_IMPROVED if change > limit else STATUS_PASS
+
+
+def _environment_diff(
+    baseline: Dict[str, object], current: Dict[str, object]
+) -> Dict[str, object]:
+    diff: Dict[str, object] = {}
+    for key in sorted(set(baseline) | set(current)):
+        b, c = baseline.get(key), current.get(key)
+        if b != c:
+            diff[key] = {"baseline": b, "current": c}
+    return diff

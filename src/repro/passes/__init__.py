@@ -10,6 +10,8 @@ IV-A) live in :mod:`repro.passes.quantum`.
 """
 
 from repro.passes.manager import (
+    Budget,
+    BudgetBust,
     FunctionPass,
     ModulePass,
     PassManager,
@@ -28,6 +30,8 @@ from repro.passes.inline import InlinePass
 from repro.passes.pipeline import default_pipeline, o1_pipeline, unroll_pipeline
 
 __all__ = [
+    "Budget",
+    "BudgetBust",
     "FunctionPass",
     "ModulePass",
     "PassManager",

@@ -5,13 +5,21 @@ to record, per pass execution, wall time, instruction counts before and
 after, and whether the pass rewrote anything -- as spans in the trace,
 labeled metrics (``passes.seconds{pass=...}``), and structured
 :class:`PassRunRecord` rows on the returned :class:`PassResult`.
+
+Time budgets (the continuous-performance gate): a pipeline may declare a
+:class:`Budget` per pass name -- a ceiling on the wall time of one pass
+execution and on how many pipeline iterations the pass may run in.
+Busts never abort the run; they land as :class:`BudgetBust` rows on the
+result, as ``pass.budget_bust{pass=...,kind=...}`` counters on the
+observer, and (via ``qir-opt --profile`` / ``qir-bench check --strict``)
+as human-visible warnings or a failing exit code.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.llvmir.function import Function
 from repro.llvmir.module import Module
@@ -39,6 +47,78 @@ class PassRunRecord:
         return self.instructions_after - self.instructions_before
 
 
+@dataclass(frozen=True)
+class Budget:
+    """Per-pass performance budget.
+
+    ``max_seconds`` caps the wall time of a *single* pass execution (one
+    run inside one pipeline iteration); ``max_iterations`` caps how many
+    pipeline iterations the pass may execute in before it is considered
+    non-converging.  Either limit may be ``None`` (unbudgeted).
+    """
+
+    max_seconds: Optional[float] = None
+    max_iterations: Optional[int] = None
+
+    def check(self, pass_name: str, iteration: int, seconds: float) -> List["BudgetBust"]:
+        busts: List[BudgetBust] = []
+        if self.max_seconds is not None and seconds > self.max_seconds:
+            busts.append(
+                BudgetBust(pass_name, "seconds", self.max_seconds, seconds, iteration)
+            )
+        if self.max_iterations is not None and iteration + 1 > self.max_iterations:
+            busts.append(
+                BudgetBust(
+                    pass_name, "iterations", self.max_iterations, iteration + 1, iteration
+                )
+            )
+        return busts
+
+
+@dataclass(frozen=True)
+class BudgetBust:
+    """One budget violation (never fatal; surfaced by profile/bench tools)."""
+
+    pass_name: str
+    kind: str  # "seconds" | "iterations"
+    limit: float
+    actual: float
+    iteration: int
+
+    def render(self) -> str:
+        if self.kind == "seconds":
+            return (
+                f"budget bust: pass '{self.pass_name}' took {self.actual:.6f}s "
+                f"(> {self.limit:.6f}s limit, iteration {self.iteration})"
+            )
+        return (
+            f"budget bust: pass '{self.pass_name}' still running in iteration "
+            f"{int(self.actual)} (> {int(self.limit)} iteration limit)"
+        )
+
+
+def budgets_from_specs(specs: Sequence[str]) -> Dict[str, Budget]:
+    """Parse ``PASS=SECONDS`` budget specs (the CLI ``--budget`` syntax).
+
+    >>> budgets_from_specs(["dce=0.5", "loop-unroll=2.0"])
+    {'dce': Budget(max_seconds=0.5, ...), 'loop-unroll': ...}
+    """
+    budgets: Dict[str, Budget] = {}
+    for spec in specs:
+        name, sep, value = spec.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ValueError(f"invalid budget spec {spec!r} (expected PASS=SECONDS)")
+        try:
+            seconds = float(value)
+        except ValueError:
+            raise ValueError(f"invalid budget seconds in {spec!r}") from None
+        if seconds < 0:
+            raise ValueError(f"budget seconds must be >= 0 in {spec!r}")
+        budgets[name] = Budget(max_seconds=seconds)
+    return budgets
+
+
 @dataclass
 class PassResult:
     """What one pipeline run did."""
@@ -49,6 +129,9 @@ class PassResult:
     # Populated only when an observer was attached to the run (profiling
     # costs an instruction recount per pass, so it is opt-in).
     per_pass_stats: List[PassRunRecord] = field(default_factory=list)
+    # Budget violations (populated whenever the manager declares budgets,
+    # with or without an observer -- the timing pair is cheap).
+    budget_busts: List[BudgetBust] = field(default_factory=list)
 
     def total_seconds(self) -> float:
         return sum(r.seconds for r in self.per_pass_stats)
@@ -95,6 +178,7 @@ class PassManager:
         verify_each: bool = False,
         max_iterations: int = 1,
         observer=None,
+        budgets: Optional[Dict[str, Budget]] = None,
     ):
         self.passes = list(passes)
         self.verify_each = verify_each
@@ -102,6 +186,7 @@ class PassManager:
             raise ValueError("max_iterations must be >= 1")
         self.max_iterations = max_iterations
         self.observer = observer
+        self.budgets: Dict[str, Budget] = dict(budgets) if budgets else {}
 
     def run(self, module: Module, observer=None) -> PassResult:
         obs = observer if observer is not None else self.observer
@@ -126,6 +211,14 @@ class PassManager:
                 if obs is not None:
                     changed = self._run_one_profiled(
                         pass_, module, iteration, obs, result
+                    )
+                elif pass_.name in self.budgets:
+                    # Budgeted but unprofiled: time the pass (one clock
+                    # pair) so busts are still caught, skip the rest.
+                    t0 = perf_counter()
+                    changed = pass_.run_on_module(module)
+                    self._check_budget(
+                        pass_.name, iteration, perf_counter() - t0, None, result
                     )
                 else:
                     changed = pass_.run_on_module(module)
@@ -166,7 +259,27 @@ class PassManager:
         if before != after:
             obs.inc("passes.instructions_delta_abs", abs(after - before), **labels)
         obs.set_gauge("passes.instructions", after)
+        self._check_budget(pass_.name, iteration, seconds, obs, result)
         return changed
+
+    def _check_budget(
+        self,
+        pass_name: str,
+        iteration: int,
+        seconds: float,
+        obs,
+        result: PassResult,
+    ) -> None:
+        budget = self.budgets.get(pass_name)
+        if budget is None:
+            return
+        for bust in budget.check(pass_name, iteration, seconds):
+            result.budget_busts.append(bust)
+            if obs is not None:
+                obs.inc(
+                    "pass.budget_bust", 1,
+                    **{"pass": pass_name, "kind": bust.kind},
+                )
 
     def __repr__(self) -> str:
         names = ", ".join(p.name for p in self.passes)
@@ -180,6 +293,7 @@ def run_passes(
     verify_each: bool = False,
     max_iterations: int = 1,
     observer=None,
+    budgets: Optional[Dict[str, Budget]] = None,
 ) -> PassResult:
     """Convenience entry point: run passes (or a ready manager) over a module.
 
@@ -189,6 +303,9 @@ def run_passes(
     if isinstance(passes, PassManager):
         return passes.run(module, observer=observer)
     manager = PassManager(
-        list(passes), verify_each=verify_each, max_iterations=max_iterations
+        list(passes),
+        verify_each=verify_each,
+        max_iterations=max_iterations,
+        budgets=budgets,
     )
     return manager.run(module, observer=observer)

@@ -4,23 +4,41 @@
 counter out of memory, unroll, fold the per-iteration induction values,
 and flatten the CFG -- after which a quantum tool "sees only the ten
 individual Hadamard gates".
+
+The o1/unroll pipelines carry default per-pass :class:`Budget`
+declarations (the ROADMAP "per-pass time budgets" item): generous
+ceilings that a healthy pass never hits, so a bust in ``qir-opt
+--profile`` or ``qir-bench check`` is a real anomaly, not noise.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Optional
 
 from repro.passes.constant_fold import ConstantFoldPass
 from repro.passes.constprop import ConstantPropagationPass
 from repro.passes.dce import DeadCodeEliminationPass
 from repro.passes.inline import InlinePass
-from repro.passes.manager import PassManager
+from repro.passes.manager import Budget, PassManager
 from repro.passes.mem2reg import Mem2RegPass
 from repro.passes.simplify_cfg import SimplifyCFGPass
 from repro.passes.unroll import LoopUnrollPass
 
+# One pass execution on a benchmark-sized module should finish well under
+# a second; the iteration ceiling matches the pipelines' max_iterations
+# so it only fires when a pass keeps rewriting at the fixpoint limit.
+DEFAULT_PASS_BUDGET = Budget(max_seconds=1.0, max_iterations=4)
 
-def o1_pipeline(verify_each: bool = False) -> PassManager:
+
+def _default_budgets(manager: PassManager) -> Dict[str, Budget]:
+    return {pass_.name: DEFAULT_PASS_BUDGET for pass_ in manager.passes}
+
+
+def o1_pipeline(
+    verify_each: bool = False, budgets: Optional[Dict[str, Budget]] = None
+) -> PassManager:
     """Cheap cleanup: folding, propagation, DCE, CFG simplification."""
-    return PassManager(
+    manager = PassManager(
         [
             ConstantFoldPass(),
             ConstantPropagationPass(),
@@ -30,13 +48,17 @@ def o1_pipeline(verify_each: bool = False) -> PassManager:
         verify_each=verify_each,
         max_iterations=4,
     )
+    manager.budgets = budgets if budgets is not None else _default_budgets(manager)
+    return manager
 
 
 def unroll_pipeline(
-    verify_each: bool = False, max_trip_count: int = 4096
+    verify_each: bool = False,
+    max_trip_count: int = 4096,
+    budgets: Optional[Dict[str, Budget]] = None,
 ) -> PassManager:
     """mem2reg + full unrolling + cleanup (Example 4)."""
-    return PassManager(
+    manager = PassManager(
         [
             Mem2RegPass(),
             ConstantPropagationPass(),
@@ -50,6 +72,8 @@ def unroll_pipeline(
         verify_each=verify_each,
         max_iterations=4,
     )
+    manager.budgets = budgets if budgets is not None else _default_budgets(manager)
+    return manager
 
 
 def default_pipeline(verify_each: bool = False) -> PassManager:

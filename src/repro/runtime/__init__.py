@@ -43,9 +43,11 @@ from repro.runtime.output import OutputRecord, OutputRecorder
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.execute import (
     ExecutionResult,
+    FastpathComparison,
     QirRuntime,
     ShotsResult,
     execute,
+    measure_fastpath_speedup,
     run_shots,
 )
 
@@ -72,8 +74,10 @@ __all__ = [
     "OutputRecorder",
     "Interpreter",
     "ExecutionResult",
+    "FastpathComparison",
     "ShotsResult",
     "QirRuntime",
     "execute",
+    "measure_fastpath_speedup",
     "run_shots",
 ]

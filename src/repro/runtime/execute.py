@@ -105,7 +105,13 @@ class ShotsResult:
 
     @property
     def shots_per_second(self) -> float:
-        """Successful-shot throughput over the measured wall time."""
+        """Successful-shot throughput over the measured wall time.
+
+        Coarse clocks can report ``wall_seconds == 0`` for very fast runs
+        (notably the sampling fast path); the convention -- shared with
+        ``render_timing_line`` and the ``runtime.shots_per_second`` gauge
+        -- is to report ``0.0`` ("not measurable"), never ``inf``/``nan``.
+        """
         if self.wall_seconds <= 0.0:
             return 0.0
         return self.successful_shots / self.wall_seconds
@@ -519,6 +525,86 @@ class QirRuntime:
         if self.observer.enabled:
             self._fold_intrinsic_metrics(interp.stats)
         return sample_counts_from(backend, results, shots)
+
+
+@dataclass(frozen=True)
+class FastpathComparison:
+    """Measured sampled-fastpath vs per-shot cost for one workload.
+
+    ``speedup`` is the win factor of the deferred-measurement fast path
+    over per-shot re-interpretation (>1 means the fast path is faster);
+    ``None`` when the fast-path timing was below clock resolution, so the
+    ratio would be meaningless (the ``shots_per_second`` convention).
+    """
+
+    shots: int
+    repeats: int
+    fastpath_seconds: float
+    per_shot_seconds: float
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.fastpath_seconds <= 0.0:
+            return None
+        return self.per_shot_seconds / self.fastpath_seconds
+
+    @property
+    def fastpath_shots_per_second(self) -> float:
+        if self.fastpath_seconds <= 0.0:
+            return 0.0
+        return self.shots / self.fastpath_seconds
+
+    @property
+    def per_shot_shots_per_second(self) -> float:
+        if self.per_shot_seconds <= 0.0:
+            return 0.0
+        return self.shots / self.per_shot_seconds
+
+
+def measure_fastpath_speedup(
+    program: ModuleLike,
+    shots: int = 200,
+    repeats: int = 5,
+    warmup: int = 1,
+    seed: Optional[int] = None,
+    runtime: Optional[QirRuntime] = None,
+    workload: Optional[str] = None,
+) -> FastpathComparison:
+    """Median-of-k fastpath-vs-per-shot timing (ROADMAP "fastpath win tracking").
+
+    Runs the same program through ``sampling="require"`` and
+    ``sampling="never"`` ``repeats`` times each (after ``warmup`` untimed
+    rounds) and reports the median wall times.  Raises
+    :class:`FastPathUnsupported` when the program cannot take the fast
+    path at all.  When the runtime carries an enabled observer, the ratio
+    also lands as a ``runtime.fastpath_speedup`` gauge (labeled by
+    ``workload`` when given) so profile output and metrics snapshots see
+    the same number the bench records.
+    """
+    from repro.obs.snapshot import measure
+
+    rt = runtime if runtime is not None else QirRuntime(seed=seed)
+    module = _as_module(program)
+    fast = measure(
+        lambda: rt.run_shots(module, shots=shots, sampling="require"),
+        repeats=repeats,
+        warmup=warmup,
+    )
+    slow = measure(
+        lambda: rt.run_shots(module, shots=shots, sampling="never"),
+        repeats=repeats,
+        warmup=warmup,
+    )
+    comparison = FastpathComparison(
+        shots=shots,
+        repeats=repeats,
+        fastpath_seconds=fast.median,
+        per_shot_seconds=slow.median,
+    )
+    if rt.observer.enabled and comparison.speedup is not None:
+        labels = {"workload": workload} if workload else {}
+        rt.observer.set_gauge("runtime.fastpath_speedup", comparison.speedup, **labels)
+    return comparison
 
 
 def execute(

@@ -1,0 +1,334 @@
+"""qir-bench: the continuous-performance harness (run / diff / check).
+
+Turns the observability layer's instrumentation into enforced
+guarantees: ``run`` executes a declared suite of standard workloads and
+writes a schema-versioned :class:`~repro.obs.snapshot.BenchSnapshot`;
+``diff`` compares two snapshots with configurable relative thresholds
+and fails (exit 4) on regression; ``check`` runs the budgeted pass
+pipelines and -- under ``--strict`` -- fails on any per-pass budget
+bust.
+
+Examples::
+
+    qir-bench run -o a.json                     # full suite, medians of k=5
+    qir-bench run -o a.json --repeats 3 --shots 50 --suite parse,runtime
+    qir-bench diff a.json b.json --threshold 0.25
+    qir-bench diff a.json b.json --json > report.json
+    qir-bench check --strict
+    qir-bench check --strict --budget loop-unroll=1e-9   # seeded bust
+
+Exit codes: 0 = success, 2 = bad input (unreadable/unparseable snapshot,
+bad spec), 4 = regression detected (``diff``) or budget bust under
+``--strict`` (``check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.llvmir.parser import parse_assembly
+from repro.obs.observer import Observer
+from repro.obs.regress import (
+    DEFAULT_THRESHOLD,
+    EXIT_REGRESSION,
+    RegressionReport,
+    diff_snapshots,
+)
+from repro.obs.snapshot import BenchRecord, BenchSnapshot, TimingStats, measure
+from repro.passes.manager import BudgetBust, budgets_from_specs
+from repro.passes.pipeline import o1_pipeline, unroll_pipeline
+from repro.runtime.execute import QirRuntime, measure_fastpath_speedup
+from repro.workloads.qir_programs import counted_loop_qir, ghz_qir, qft_qir
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+
+SUITES = ("parse", "passes", "runtime")
+
+# The pipelines `check` exercises, each over the workload that stresses it.
+CHECK_PIPELINES: Dict[str, Callable] = {
+    "o1": o1_pipeline,
+    "unroll": unroll_pipeline,
+}
+
+
+def _generated_workloads() -> Dict[str, str]:
+    """The declared always-available parse workloads (no files needed)."""
+    return {
+        "ghz12": ghz_qir(12, addressing="static"),
+        "qft8": qft_qir(8, addressing="static"),
+        "counted_loop16": counted_loop_qir(16),
+    }
+
+
+def _example_workloads(examples_dir: str) -> Dict[str, str]:
+    """``examples/*.ll`` sources keyed by stem; empty when the dir is absent."""
+    out: Dict[str, str] = {}
+    for path in sorted(glob.glob(os.path.join(examples_dir, "*.ll"))):
+        name = os.path.splitext(os.path.basename(path))[0]
+        with open(path, "r", encoding="utf-8") as handle:
+            out[f"example_{name}"] = handle.read()
+    return out
+
+
+# -- run ----------------------------------------------------------------------
+
+def _bench_parse(
+    snapshot: BenchSnapshot, workloads: Dict[str, str], repeats: int
+) -> None:
+    for name, text in workloads.items():
+        # One observed parse for the token count (the throughput numerator).
+        observer = Observer()
+        parse_assembly(text, observer=observer)
+        tokens = observer.metrics.value("parse.tokens", 0.0) or 0.0
+        stats = measure(lambda t=text: parse_assembly(t), repeats=repeats)
+        snapshot.add(
+            BenchRecord.from_stats(
+                f"parse.{name}.seconds", stats,
+                unit="seconds", direction="lower",
+                bytes=len(text), tokens=int(tokens),
+            )
+        )
+        if stats.median > 0:
+            snapshot.record(
+                f"parse.{name}.tokens_per_second",
+                tokens / stats.median,
+                unit="tokens/sec",
+                direction="higher",
+                k=stats.k,
+            )
+
+
+def _measure_pipeline(
+    text: str, factory: Callable, repeats: int, warmup: int = 1
+) -> Tuple[TimingStats, List[BudgetBust], int]:
+    """Median-of-k pipeline timing on fresh modules (passes mutate the IR)."""
+    samples: List[float] = []
+    busts: List[BudgetBust] = []
+    iterations = 0
+    for index in range(warmup + repeats):
+        module = parse_assembly(text)
+        manager = factory()
+        t0 = perf_counter()
+        result = manager.run(module)
+        elapsed = perf_counter() - t0
+        if index >= warmup:
+            samples.append(elapsed)
+            busts.extend(result.budget_busts)
+            iterations = result.iterations
+    return TimingStats(tuple(samples)), busts, iterations
+
+
+def _bench_passes(snapshot: BenchSnapshot, repeats: int) -> None:
+    workloads = {"counted_loop16": counted_loop_qir(16)}
+    for wl_name, text in workloads.items():
+        for pipe_name, factory in CHECK_PIPELINES.items():
+            stats, busts, iterations = _measure_pipeline(text, factory, repeats)
+            snapshot.add(
+                BenchRecord.from_stats(
+                    f"passes.{pipe_name}.{wl_name}.seconds", stats,
+                    unit="seconds", direction="lower",
+                    iterations=iterations, budget_busts=len(busts),
+                )
+            )
+
+
+def _bench_runtime(snapshot: BenchSnapshot, shots: int, repeats: int) -> None:
+    workloads = {"ghz10": ghz_qir(10, addressing="static")}
+    for name, text in workloads.items():
+        comparison = measure_fastpath_speedup(
+            text, shots=shots, repeats=repeats, seed=7, workload=name
+        )
+        snapshot.record(
+            f"runtime.ex5.{name}.per_shot_shots_per_second",
+            comparison.per_shot_shots_per_second,
+            unit="shots/sec", direction="higher", k=repeats,
+            metadata={"shots": shots},
+        )
+        snapshot.record(
+            f"runtime.ex5.{name}.fastpath_shots_per_second",
+            comparison.fastpath_shots_per_second,
+            unit="shots/sec", direction="higher", k=repeats,
+            metadata={"shots": shots},
+        )
+        # The ROADMAP "sampled-fastpath win tracking" number: how much the
+        # deferred-measurement path wins over per-shot re-interpretation.
+        if comparison.speedup is not None:
+            snapshot.record(
+                f"runtime.ex5.{name}.fastpath_speedup",
+                comparison.speedup,
+                unit="ratio", direction="higher", k=repeats,
+                metadata={"shots": shots},
+            )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    suites = [s.strip() for s in args.suite.split(",") if s.strip()]
+    for suite in suites:
+        if suite not in SUITES:
+            print(f"qir-bench: error: unknown suite {suite!r}; "
+                  f"choose from {', '.join(SUITES)}", file=sys.stderr)
+            return EXIT_USAGE
+    if args.repeats < 1:
+        print("qir-bench: error: --repeats must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+
+    snapshot = BenchSnapshot(group="qir-bench")
+    if "parse" in suites:
+        workloads = _generated_workloads()
+        workloads.update(_example_workloads(args.examples_dir))
+        _bench_parse(snapshot, workloads, args.repeats)
+    if "passes" in suites:
+        _bench_passes(snapshot, args.repeats)
+    if "runtime" in suites:
+        _bench_runtime(snapshot, args.shots, args.repeats)
+
+    if args.output:
+        snapshot.write_json(args.output)
+    else:
+        snapshot.write_json(sys.stdout)
+    # Human summary on stderr so `-o -`-style piping stays clean.
+    print(f"== qir-bench run (k={args.repeats}, shots={args.shots}) ==",
+          file=sys.stderr)
+    for record in sorted(snapshot.records, key=lambda r: r.name):
+        spread = (
+            f"  [{record.min:.6f} .. {record.max:.6f}]"
+            if record.min is not None and record.max is not None
+            else ""
+        )
+        print(f"  {record.name:<48}{record.value:>14.6f} {record.unit}{spread}",
+              file=sys.stderr)
+    return EXIT_OK
+
+
+# -- diff ---------------------------------------------------------------------
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    try:
+        overrides = {}
+        for spec in args.record_threshold:
+            name, sep, value = spec.partition("=")
+            if not sep or not name:
+                raise ValueError(
+                    f"invalid --record-threshold {spec!r} (expected NAME=FRACTION)"
+                )
+            overrides[name.strip()] = float(value)
+        baseline = BenchSnapshot.load(args.baseline)
+        current = BenchSnapshot.load(args.current)
+        report = diff_snapshots(
+            baseline, current,
+            threshold=args.threshold,
+            per_record_thresholds=overrides,
+        )
+    except (OSError, ValueError) as error:
+        print(f"qir-bench: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    print(report.render(), file=sys.stderr)
+    if args.json:
+        report.write_json(sys.stdout)
+    return report.exit_code
+
+
+# -- check --------------------------------------------------------------------
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    try:
+        overrides = budgets_from_specs(args.budget)
+    except ValueError as error:
+        print(f"qir-bench: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    pipelines = args.pipeline or sorted(CHECK_PIPELINES)
+    for name in pipelines:
+        if name not in CHECK_PIPELINES:
+            print(f"qir-bench: error: unknown pipeline {name!r}; "
+                  f"choose from {', '.join(sorted(CHECK_PIPELINES))}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+
+    text = counted_loop_qir(16)
+    observer = Observer()
+    all_busts: List[Tuple[str, BudgetBust]] = []
+    for name in pipelines:
+        manager = CHECK_PIPELINES[name]()
+        # CLI overrides tighten (or create) individual pass budgets while
+        # the pipeline's own defaults keep covering everything else.
+        manager.budgets.update(overrides)
+        module = parse_assembly(text)
+        result = manager.run(module, observer=observer)
+        for bust in result.budget_busts:
+            all_busts.append((name, bust))
+
+    for pipeline_name, bust in all_busts:
+        print(f"qir-bench: check: [{pipeline_name}] {bust.render()}",
+              file=sys.stderr)
+    if all_busts:
+        verdict = "FAIL" if args.strict else "WARN"
+        print(f"qir-bench: check: {verdict}: {len(all_busts)} budget bust(s) "
+              f"across {', '.join(pipelines)}", file=sys.stderr)
+        return EXIT_REGRESSION if args.strict else EXIT_OK
+    print(f"qir-bench: check: PASS: no budget busts across "
+          f"{', '.join(pipelines)}", file=sys.stderr)
+    return EXIT_OK
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qir-bench", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the benchmark suite, write a snapshot")
+    run.add_argument("-o", "--output", default=None,
+                     help="snapshot JSON file (default stdout)")
+    run.add_argument("--repeats", type=int, default=5,
+                     help="timed repetitions per record (median-of-k, default 5)")
+    run.add_argument("--shots", type=int, default=200,
+                     help="shots per runtime workload (default 200)")
+    run.add_argument("--suite", default=",".join(SUITES),
+                     help=f"comma-separated suites (default {','.join(SUITES)})")
+    run.add_argument("--examples-dir", default="examples",
+                     help="directory of .ll parse workloads (skipped if absent)")
+    run.set_defaults(func=_cmd_run)
+
+    diff = sub.add_parser("diff", help="diff two snapshots; exit 4 on regression")
+    diff.add_argument("baseline", help="baseline snapshot JSON")
+    diff.add_argument("current", help="current snapshot JSON")
+    diff.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                      help="relative regression threshold "
+                           f"(default {DEFAULT_THRESHOLD})")
+    diff.add_argument("--record-threshold", action="append", default=[],
+                      metavar="NAME=FRACTION",
+                      help="per-record threshold override (repeatable)")
+    diff.add_argument("--json", action="store_true",
+                      help="also write the report as JSON to stdout")
+    diff.set_defaults(func=_cmd_diff)
+
+    check = sub.add_parser(
+        "check", help="run budgeted pipelines; --strict fails on busts"
+    )
+    check.add_argument("--strict", action="store_true",
+                       help="exit 4 when any pass busts its budget")
+    check.add_argument("--budget", action="append", default=[],
+                       metavar="PASS=SECONDS",
+                       help="override a per-pass seconds budget (repeatable)")
+    check.add_argument("--pipeline", action="append", default=[],
+                       choices=sorted(CHECK_PIPELINES),
+                       help="pipeline(s) to check (default: all)")
+    check.set_defaults(func=_cmd_check)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

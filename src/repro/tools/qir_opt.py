@@ -31,6 +31,7 @@ from repro.passes import (
     o1_pipeline,
     unroll_pipeline,
 )
+from repro.passes.manager import budgets_from_specs
 from repro.passes.quantum import (
     DynamicAddressRaisingPass,
     GateCancellationPass,
@@ -83,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="verify the module between passes")
     parser.add_argument("--stats", action="store_true",
                         help="print per-pass changed flags to stderr")
+    parser.add_argument("--budget", action="append", default=[],
+                        metavar="PASS=SECONDS",
+                        help="per-pass time budget override; busts are "
+                             "printed as warnings and show up in --profile "
+                             "output (repeatable)")
     add_observability_args(parser)
     return parser
 
@@ -132,12 +138,22 @@ def _run(args: argparse.Namespace, observer) -> int:
     else:
         manager = PassManager([], verify_each=False)
 
+    if args.budget:
+        try:
+            manager.budgets.update(budgets_from_specs(args.budget))
+        except ValueError as error:
+            print(f"qir-opt: error: {error}", file=sys.stderr)
+            return 1
+
     try:
         result = manager.run(module, observer=observer)
         verify_module(module)
     except ValueError as error:
         print(f"qir-opt: transform error: {error}", file=sys.stderr)
         return 2
+
+    for bust in result.budget_busts:
+        print(f"qir-opt: warning: {bust.render()}", file=sys.stderr)
 
     if args.stats:
         for pass_name, changed in result.per_pass.items():

@@ -104,3 +104,38 @@ class TestSnapshot:
         registry.gauge("b")
         registry.histogram("c")
         assert len(registry) == 3
+
+
+class TestSnapshotDeterminism:
+    """Key ordering is insertion-independent (ISSUE 3 satellite)."""
+
+    def _interleaved(self, order):
+        registry = MetricsRegistry()
+        for kind, name in order:
+            if kind == "c":
+                registry.counter(name, **{"pass": "dce"}).inc()
+            elif kind == "h":
+                registry.histogram(name).observe(0.01)
+            else:
+                registry.gauge(name).set(1)
+        return registry.snapshot()
+
+    def test_interleaved_updates_snapshot_identically(self):
+        forward = [("c", "passes.runs"), ("h", "runtime.shot_seconds"),
+                   ("c", "parse.tokens"), ("g", "parse.tokens_per_second"),
+                   ("h", "runtime.run_seconds"), ("c", "runtime.shots.fastpath")]
+        snap_a = self._interleaved(forward)
+        snap_b = self._interleaved(list(reversed(forward)))
+        assert snap_a == snap_b
+        assert list(snap_a["counters"]) == sorted(snap_a["counters"])
+        assert list(snap_a["histograms"]) == sorted(snap_a["histograms"])
+        assert json.dumps(snap_a, sort_keys=True) == json.dumps(snap_b, sort_keys=True)
+
+    def test_value_lookup_helper(self):
+        registry = MetricsRegistry()
+        registry.counter("runtime.shots.fastpath").inc(200)
+        registry.gauge("runtime.fastpath_speedup").set(24.0)
+        assert registry.value("runtime.shots.fastpath") == 200
+        assert registry.value("runtime.fastpath_speedup") == 24.0
+        assert registry.value("absent") is None
+        assert registry.value("absent", 0.0) == 0.0

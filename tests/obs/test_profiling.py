@@ -179,3 +179,33 @@ class TestProfileRenderer:
     def test_empty_observer_renders_empty(self):
         assert render_profile(Observer()) == ""
         assert render_profile(NULL_OBSERVER) == ""
+
+
+class TestProfileRendererEdgeCases:
+    """render_profile with empty registry/tracer (ISSUE 3 satellite)."""
+
+    def test_empty_metrics_with_nonempty_tracer_renders_empty(self):
+        observer = Observer()
+        with observer.span("only_a_span"):
+            pass
+        assert len(observer.tracer) > 0
+        assert render_profile(observer) == ""
+
+    def test_metrics_without_recognised_sections_land_in_other(self):
+        observer = Observer()
+        observer.inc("custom.counter", 3)
+        table = render_profile(observer)
+        assert "-- other --" in table
+        assert "custom.counter" in table
+
+    def test_budget_bust_counters_render_as_warnings(self):
+        observer = Observer()
+        observer.inc("pass.budget_bust", 2, **{"pass": "dce", "kind": "seconds"})
+        table = render_profile(observer)
+        assert "-- budget busts --" in table
+        assert "WARNING pass 'dce' busted its seconds budget x2" in table
+
+    def test_custom_title(self):
+        observer = Observer()
+        observer.inc("parse.tokens", 10)
+        assert render_profile(observer, title="my tool").startswith("== my tool ==")

@@ -1,0 +1,135 @@
+"""Regression gate: direction-aware snapshot diffing and the 0/4 contract."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.regress import (
+    EXIT_OK,
+    EXIT_REGRESSION,
+    diff_snapshots,
+)
+from repro.obs.snapshot import BenchSnapshot
+
+
+def snap(**records):
+    """BenchSnapshot from name=(value, unit, direction) tuples."""
+    snapshot = BenchSnapshot(group="test", environment={"python": "3.11"})
+    for name, (value, unit, direction) in records.items():
+        snapshot.record(name, value, unit, direction=direction)
+    return snapshot
+
+
+class TestDiff:
+    def test_identical_snapshots_pass(self):
+        a = snap(x=(1.0, "seconds", "lower"))
+        report = diff_snapshots(a, snap(x=(1.0, "seconds", "lower")))
+        assert report.passed
+        assert report.exit_code == EXIT_OK
+        assert report.deltas[0].status == "pass"
+
+    def test_lower_direction_regresses_upward(self):
+        base = snap(x=(1.0, "seconds", "lower"))
+        cur = snap(x=(1.3, "seconds", "lower"))
+        report = diff_snapshots(base, cur, threshold=0.25)
+        assert not report.passed
+        assert report.exit_code == EXIT_REGRESSION
+        assert report.deltas[0].change == pytest.approx(0.3)
+
+    def test_lower_direction_improvement_flagged_not_failed(self):
+        report = diff_snapshots(
+            snap(x=(1.0, "seconds", "lower")), snap(x=(0.5, "seconds", "lower"))
+        )
+        assert report.passed
+        assert report.deltas[0].status == "improved"
+
+    def test_higher_direction_regresses_downward(self):
+        base = snap(r=(100.0, "shots/sec", "higher"))
+        cur = snap(r=(60.0, "shots/sec", "higher"))
+        report = diff_snapshots(base, cur, threshold=0.25)
+        assert report.exit_code == EXIT_REGRESSION
+
+    def test_higher_direction_gain_passes(self):
+        base = snap(r=(100.0, "shots/sec", "higher"))
+        cur = snap(r=(200.0, "shots/sec", "higher"))
+        report = diff_snapshots(base, cur)
+        assert report.passed
+        assert report.deltas[0].status == "improved"
+
+    def test_within_threshold_passes(self):
+        report = diff_snapshots(
+            snap(x=(1.0, "seconds", "lower")),
+            snap(x=(1.2, "seconds", "lower")),
+            threshold=0.25,
+        )
+        assert report.passed
+
+    def test_per_record_threshold_override(self):
+        base = snap(noisy=(1.0, "seconds", "lower"), tight=(1.0, "seconds", "lower"))
+        cur = snap(noisy=(1.4, "seconds", "lower"), tight=(1.4, "seconds", "lower"))
+        report = diff_snapshots(
+            base, cur, threshold=0.25, per_record_thresholds={"noisy": 0.5}
+        )
+        statuses = {d.name: d.status for d in report.deltas}
+        assert statuses == {"noisy": "pass", "tight": "regression"}
+
+    def test_new_and_missing_records_never_fail(self):
+        base = snap(old=(1.0, "seconds", "lower"))
+        cur = snap(new=(1.0, "seconds", "lower"))
+        report = diff_snapshots(base, cur)
+        assert report.passed
+        statuses = {d.name: d.status for d in report.deltas}
+        assert statuses == {"old": "missing", "new": "new"}
+
+    def test_zero_baseline_is_inf_change_but_judged(self):
+        report = diff_snapshots(
+            snap(x=(0.0, "seconds", "lower")), snap(x=(1.0, "seconds", "lower"))
+        )
+        # 0 -> 1 on a lower-is-better record is an infinite regression.
+        assert report.exit_code == EXIT_REGRESSION
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            diff_snapshots(snap(), snap(), threshold=-0.1)
+
+    def test_environment_change_flagged(self):
+        base = snap(x=(1.0, "seconds", "lower"))
+        cur = snap(x=(1.0, "seconds", "lower"))
+        cur.environment = {"python": "3.12"}
+        report = diff_snapshots(base, cur)
+        assert report.environment_changed
+        assert report.environment_diff["python"] == {
+            "baseline": "3.11", "current": "3.12",
+        }
+        assert report.passed  # informational, not a failure
+
+
+class TestReportOutput:
+    def test_render_has_per_record_rows_and_verdict(self):
+        report = diff_snapshots(
+            snap(a=(1.0, "seconds", "lower"), b=(10.0, "shots/sec", "higher")),
+            snap(a=(2.0, "seconds", "lower"), b=(10.0, "shots/sec", "higher")),
+        )
+        table = report.render()
+        assert "a" in table and "b" in table
+        assert "regression" in table
+        assert "FAIL (1 regression(s))" in table
+        # Regressions sort to the top of the table.
+        assert table.index("regression") < table.index("pass")
+
+    def test_render_pass_verdict(self):
+        table = diff_snapshots(snap(), snap()).render()
+        assert "-> PASS" in table
+
+    def test_json_report(self):
+        report = diff_snapshots(
+            snap(a=(1.0, "seconds", "lower")), snap(a=(2.0, "seconds", "lower"))
+        )
+        buffer = io.StringIO()
+        report.write_json(buffer)
+        payload = json.loads(buffer.getvalue())
+        assert payload["passed"] is False
+        assert payload["exit_code"] == EXIT_REGRESSION
+        assert payload["regressions"] == 1
+        assert payload["deltas"][0]["name"] == "a"

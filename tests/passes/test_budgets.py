@@ -1,0 +1,132 @@
+"""Per-pass time budgets: declaration, bust detection, metrics surfacing."""
+
+import pytest
+
+from repro.llvmir import parse_assembly
+from repro.obs import Observer
+from repro.passes import (
+    Budget,
+    ConstantPropagationPass,
+    DeadCodeEliminationPass,
+    PassManager,
+    o1_pipeline,
+    run_passes,
+    unroll_pipeline,
+)
+from repro.passes.manager import BudgetBust, budgets_from_specs
+from repro.workloads.qir_programs import counted_loop_qir
+
+
+def _module():
+    return parse_assembly(counted_loop_qir(6))
+
+
+class TestBudgetChecks:
+    def test_seconds_bust(self):
+        budget = Budget(max_seconds=0.001)
+        busts = budget.check("dce", 0, seconds=0.5)
+        assert len(busts) == 1
+        assert busts[0].kind == "seconds"
+        assert busts[0].limit == 0.001
+        assert busts[0].actual == 0.5
+
+    def test_iterations_bust(self):
+        budget = Budget(max_iterations=2)
+        assert budget.check("dce", 1, 0.0) == []  # iteration 2 of 2: fine
+        busts = budget.check("dce", 2, 0.0)  # iteration 3: over
+        assert busts[0].kind == "iterations"
+
+    def test_unbudgeted_dimensions_never_bust(self):
+        assert Budget().check("dce", 99, 1e9) == []
+
+    def test_render_mentions_pass_and_kind(self):
+        bust = BudgetBust("loop-unroll", "seconds", 0.01, 0.5, 0)
+        text = bust.render()
+        assert "loop-unroll" in text and "0.5" in text
+
+
+class TestManagerIntegration:
+    def test_generous_budget_no_busts(self):
+        result = run_passes(
+            _module(),
+            [ConstantPropagationPass(), DeadCodeEliminationPass()],
+            budgets={"dce": Budget(max_seconds=60.0)},
+            observer=Observer(),
+        )
+        assert result.budget_busts == []
+
+    def test_tiny_budget_busts_with_observer(self):
+        observer = Observer()
+        result = run_passes(
+            _module(),
+            [ConstantPropagationPass(), DeadCodeEliminationPass()],
+            budgets={"dce": Budget(max_seconds=0.0)},
+            observer=observer,
+        )
+        assert result.budget_busts
+        assert all(b.pass_name == "dce" for b in result.budget_busts)
+        counters = observer.snapshot()["counters"]
+        key = "pass.budget_bust{kind=seconds,pass=dce}"
+        assert counters[key] == len(result.budget_busts)
+
+    def test_busts_detected_without_observer(self):
+        # Budget timing is independent of profiling: a budgeted pass gets
+        # a clock pair even on an unobserved run.
+        result = run_passes(
+            _module(),
+            [ConstantPropagationPass()],
+            budgets={"constprop": Budget(max_seconds=0.0)},
+        )
+        assert result.budget_busts
+        assert result.per_pass_stats == []  # profiling stayed off
+
+    def test_unbudgeted_pass_untouched(self):
+        result = run_passes(
+            _module(),
+            [ConstantPropagationPass(), DeadCodeEliminationPass()],
+            budgets={"dce": Budget(max_seconds=0.0)},
+        )
+        assert {b.pass_name for b in result.budget_busts} == {"dce"}
+
+    def test_iteration_budget_via_manager(self):
+        # max_iterations=1 on a pass inside a 4-iteration fixpoint loop:
+        # any second-iteration execution is a bust.
+        manager = PassManager(
+            [ConstantPropagationPass(), DeadCodeEliminationPass()],
+            max_iterations=4,
+            budgets={"dce": Budget(max_iterations=1)},
+        )
+        result = manager.run(_module())
+        if result.iterations > 1:
+            assert any(b.kind == "iterations" for b in result.budget_busts)
+
+
+class TestPipelineDefaults:
+    @pytest.mark.parametrize("factory", [o1_pipeline, unroll_pipeline])
+    def test_pipelines_declare_budgets_for_every_pass(self, factory):
+        manager = factory()
+        assert set(manager.budgets) == {p.name for p in manager.passes}
+        for budget in manager.budgets.values():
+            assert budget.max_seconds is not None
+            assert budget.max_iterations == manager.max_iterations
+
+    def test_default_budgets_do_not_bust_on_benchmark_workload(self):
+        result = unroll_pipeline().run(_module(), observer=Observer())
+        assert result.budget_busts == []
+
+    def test_budget_override_parameter(self):
+        manager = o1_pipeline(budgets={"dce": Budget(max_seconds=0.0)})
+        result = manager.run(_module(), observer=Observer())
+        assert {b.pass_name for b in result.budget_busts} == {"dce"}
+
+
+class TestBudgetSpecs:
+    def test_parse_specs(self):
+        budgets = budgets_from_specs(["dce=0.5", "loop-unroll=2"])
+        assert budgets["dce"].max_seconds == 0.5
+        assert budgets["loop-unroll"].max_seconds == 2.0
+
+    @pytest.mark.parametrize("spec", ["dce", "=1.0", "dce=abc", "dce=-1"])
+    def test_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            budgets_from_specs([spec])

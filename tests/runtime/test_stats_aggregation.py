@@ -129,3 +129,45 @@ class TestPerBackendAggregation:
             fault_plan=plan, retry=RetryPolicy(max_attempts=1),
         )
         assert result.per_backend_stats == {}
+
+
+class TestShotsPerSecondGuard:
+    """ShotsResult.shots_per_second on coarse clocks (ISSUE 3 satellite)."""
+
+    def test_zero_wall_seconds_reports_zero_not_inf(self):
+        from repro.runtime import ShotsResult
+
+        result = ShotsResult(counts={"0": 5}, shots=5, wall_seconds=0.0)
+        assert result.shots_per_second == 0.0
+
+    def test_negative_wall_seconds_reports_zero(self):
+        from repro.runtime import ShotsResult
+
+        result = ShotsResult(counts={"0": 5}, shots=5, wall_seconds=-1e-9)
+        assert result.shots_per_second == 0.0
+
+    def test_positive_wall_seconds_uses_successful_shots(self):
+        from repro.resilience import ShotFailure
+        from repro.runtime import ShotsResult
+        from repro.runtime.errors import TrapError
+
+        result = ShotsResult(counts={"0": 8}, shots=10, wall_seconds=2.0)
+        result.failed_shots.extend(
+            ShotFailure.from_error(i, TrapError("boom"), 1, "statevector")
+            for i in range(2)
+        )
+        assert result.shots_per_second == 4.0  # 8 successes / 2s
+
+    def test_real_run_is_finite(self):
+        import math
+
+        result = run_shots(bell_qir("static"), shots=20, seed=3)
+        assert math.isfinite(result.shots_per_second)
+        assert result.shots_per_second >= 0.0
+
+    def test_timing_line_zero_wall_matches_convention(self):
+        from repro.resilience.report import render_timing_line
+
+        line = render_timing_line(0.0, 100)
+        assert "inf" not in line
+        assert "shots/sec=0.0" in line

@@ -1,0 +1,194 @@
+"""End-to-end tests for the qir-bench CLI (run / diff / check)."""
+
+import json
+
+import pytest
+
+from repro.obs.snapshot import SCHEMA_VERSION
+from repro.tools.qir_bench import main as bench_main
+from repro.tools.qir_opt import main as opt_main
+from repro.workloads.qir_programs import bell_qir
+
+
+@pytest.fixture
+def snapshot_file(tmp_path):
+    """A real (fast) suite run written to disk."""
+    path = str(tmp_path / "a.json")
+    code = bench_main(
+        ["run", "-o", path, "--repeats", "2", "--shots", "10",
+         "--examples-dir", str(tmp_path / "missing")]
+    )
+    assert code == 0
+    return path
+
+
+class TestRun:
+    def test_writes_schema_versioned_snapshot(self, snapshot_file, capsys):
+        payload = json.loads(open(snapshot_file).read())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["group"] == "qir-bench"
+        assert "python" in payload["environment"]
+        names = [r["name"] for r in payload["records"]]
+        # All three suites contributed.
+        assert any(n.startswith("parse.") for n in names)
+        assert any(n.startswith("passes.o1.") for n in names)
+        assert any(n.startswith("passes.unroll.") for n in names)
+        assert any(n.startswith("runtime.ex5.") for n in names)
+        # Median-of-k spread and units on every timing record.
+        for record in payload["records"]:
+            assert record["unit"]
+            if record["name"].endswith(".seconds"):
+                assert record["k"] == 2
+                assert record["min"] <= record["median"] <= record["max"]
+
+    def test_records_fastpath_speedup_ratio(self, snapshot_file):
+        payload = json.loads(open(snapshot_file).read())
+        by_name = {r["name"]: r for r in payload["records"]}
+        record = by_name["runtime.ex5.ghz10.fastpath_speedup"]
+        assert record["unit"] == "ratio"
+        assert record["direction"] == "higher"
+        assert record["value"] > 1.0  # sampling beats per-shot re-interpretation
+
+    def test_examples_dir_parsed_when_present(self, tmp_path, capsys):
+        (tmp_path / "bell.ll").write_text(bell_qir("static"))
+        out = str(tmp_path / "snap.json")
+        assert bench_main(
+            ["run", "-o", out, "--repeats", "1", "--suite", "parse",
+             "--examples-dir", str(tmp_path)]
+        ) == 0
+        names = [r["name"] for r in json.loads(open(out).read())["records"]]
+        assert "parse.example_bell.seconds" in names
+        assert "parse.example_bell.tokens_per_second" in names
+
+    def test_stdout_when_no_output_file(self, capsys):
+        assert bench_main(
+            ["run", "--repeats", "1", "--suite", "passes",
+             "--examples-dir", "does-not-exist"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["schema_version"] == SCHEMA_VERSION
+        assert "qir-bench run" in captured.err
+
+    def test_unknown_suite_rejected(self, capsys):
+        assert bench_main(["run", "--suite", "nonsense"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_self_diff_passes_with_table(self, snapshot_file, capsys):
+        assert bench_main(["diff", snapshot_file, snapshot_file]) == 0
+        err = capsys.readouterr().err
+        assert "qir-bench diff" in err
+        assert "-> PASS" in err
+
+    def test_regression_exits_4_with_table(self, snapshot_file, tmp_path, capsys):
+        payload = json.loads(open(snapshot_file).read())
+        for record in payload["records"]:
+            if record["name"] == "passes.unroll.counted_loop16.seconds":
+                record["value"] *= 3
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(payload))
+        assert bench_main(
+            ["diff", snapshot_file, str(worse), "--threshold", "0.25"]
+        ) == 4
+        err = capsys.readouterr().err
+        assert "regression" in err
+        assert "passes.unroll.counted_loop16.seconds" in err
+
+    def test_json_on_request(self, snapshot_file, capsys):
+        assert bench_main(["diff", snapshot_file, snapshot_file, "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["passed"] is True
+        assert payload["exit_code"] == 0
+
+    def test_record_threshold_override_rescues_noisy_record(
+        self, snapshot_file, tmp_path, capsys
+    ):
+        payload = json.loads(open(snapshot_file).read())
+        for record in payload["records"]:
+            if record["name"] == "passes.o1.counted_loop16.seconds":
+                record["value"] *= 2
+        noisy = tmp_path / "noisy.json"
+        noisy.write_text(json.dumps(payload))
+        assert bench_main(["diff", snapshot_file, str(noisy)]) == 4
+        assert bench_main(
+            ["diff", snapshot_file, str(noisy),
+             "--record-threshold", "passes.o1.counted_loop16.seconds=2.0"]
+        ) == 0
+
+    def test_unreadable_snapshot_is_usage_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert bench_main(["diff", missing, missing]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_legacy_unversioned_json_rejected(self, tmp_path, capsys):
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps({"group": "obs", "records": []}))
+        assert bench_main(["diff", str(legacy), str(legacy)]) == 2
+        assert "schema_version" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_default_budgets_pass(self, capsys):
+        assert bench_main(["check", "--strict"]) == 0
+        assert "PASS" in capsys.readouterr().err
+
+    def test_seeded_bust_fails_strict(self, capsys):
+        assert bench_main(
+            ["check", "--strict", "--budget", "loop-unroll=0.0"]
+        ) == 4
+        err = capsys.readouterr().err
+        assert "budget bust" in err
+        assert "loop-unroll" in err
+        assert "FAIL" in err
+
+    def test_seeded_bust_warns_without_strict(self, capsys):
+        assert bench_main(["check", "--budget", "loop-unroll=0.0"]) == 0
+        assert "WARN" in capsys.readouterr().err
+
+    def test_pipeline_selection(self, capsys):
+        # A loop-unroll bust cannot fire in the o1 pipeline (no such pass).
+        assert bench_main(
+            ["check", "--strict", "--pipeline", "o1",
+             "--budget", "loop-unroll=0.0"]
+        ) == 0
+
+    def test_bad_budget_spec_is_usage_error(self, capsys):
+        assert bench_main(["check", "--budget", "nonsense"]) == 2
+
+
+class TestQirOptBudgetSurface:
+    def test_seeded_bust_warns_in_profile_output(self, tmp_path, capsys):
+        from repro.workloads.qir_programs import counted_loop_qir
+
+        path = tmp_path / "loop.ll"
+        path.write_text(counted_loop_qir(4))
+        assert opt_main(
+            [str(path), "--pipeline", "unroll", "--profile",
+             "--budget", "loop-unroll=0.0", "-o", str(tmp_path / "out.ll")]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "qir-opt: warning: budget bust" in err
+        assert "-- budget busts --" in err  # the --profile table section
+        assert "loop-unroll" in err
+
+    def test_no_warning_within_budget(self, tmp_path, capsys):
+        from repro.workloads.qir_programs import counted_loop_qir
+
+        path = tmp_path / "loop.ll"
+        path.write_text(counted_loop_qir(4))
+        assert opt_main(
+            [str(path), "--pipeline", "unroll", "--profile",
+             "-o", str(tmp_path / "out.ll")]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "budget bust" not in err
+
+    def test_bad_budget_spec_rejected(self, tmp_path, capsys):
+        from repro.workloads.qir_programs import counted_loop_qir
+
+        path = tmp_path / "loop.ll"
+        path.write_text(counted_loop_qir(4))
+        assert opt_main([str(path), "--budget", "bad-spec"]) == 1
+        assert "invalid budget spec" in capsys.readouterr().err
