@@ -18,6 +18,7 @@ Snapshot layout (all keys sorted)::
 from __future__ import annotations
 
 import json
+import threading
 from bisect import bisect_left
 from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
 
@@ -127,26 +128,36 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create namespace for all three metric kinds."""
+    """Get-or-create namespace for all three metric kinds.
+
+    Metric *creation* takes a lock so concurrent get-or-create from
+    scheduler worker threads cannot drop a cell (schedulers fold most
+    metrics on the merging thread, but interpreter-level observers may
+    still fire from workers).  The fast path -- the metric already
+    exists -- stays a plain dict read.
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- access ---------------------------------------------------------------
     def counter(self, name: str, **labels: object) -> Counter:
         key = metric_key(name, labels)
         metric = self._counters.get(key)
         if metric is None:
-            metric = self._counters[key] = Counter(key)
+            with self._lock:
+                metric = self._counters.setdefault(key, Counter(key))
         return metric
 
     def gauge(self, name: str, **labels: object) -> Gauge:
         key = metric_key(name, labels)
         metric = self._gauges.get(key)
         if metric is None:
-            metric = self._gauges[key] = Gauge(key)
+            with self._lock:
+                metric = self._gauges.setdefault(key, Gauge(key))
         return metric
 
     def histogram(
@@ -158,7 +169,8 @@ class MetricsRegistry:
         key = metric_key(name, labels)
         metric = self._histograms.get(key)
         if metric is None:
-            metric = self._histograms[key] = Histogram(key, bounds)
+            with self._lock:
+                metric = self._histograms.setdefault(key, Histogram(key, bounds))
         return metric
 
     def value(self, key: str, default: Optional[float] = None) -> Optional[float]:

@@ -78,6 +78,19 @@ def render_profile(observer: Observer, title: str = "qir profile") -> str:
         parse_lines.append(f"  {key[len('parse.'):]:<22}{_fmt(gauges.pop(key))}")
     out += _section("parse", parse_lines)
 
+    # -- compile & cache (plan / QirSession) ----------------------------------
+    cache_lines: List[str] = []
+    for key in sorted(
+        k for k in list(counters) if k.startswith("cache.") or k.startswith("plan.")
+    ):
+        cache_lines.append(f"  {key:<28}{_fmt(counters.pop(key))}")
+    for key in sorted(k for k in list(histograms) if k.startswith("plan.")):
+        h = histograms.pop(key)
+        cache_lines.append(
+            f"  {key:<28}count={h['count']} mean={_fmt(h['mean'])}s"
+        )
+    out += _section("compile & cache", cache_lines)
+
     # -- passes (Ex. 4) -------------------------------------------------------
     runs = _labeled(counters, "passes.runs", "pass")
     changed = _labeled(counters, "passes.changed", "pass")
@@ -110,6 +123,21 @@ def render_profile(observer: Observer, title: str = "qir profile") -> str:
             f"{labels.get('kind', '?')} budget x{_fmt(count)}"
         )
     out += _section("budget busts", bust_lines)
+
+    # -- scheduler (execute phase) --------------------------------------------
+    sched_runs = _labeled(counters, "runtime.scheduler.runs", "scheduler")
+    sched_falls = _labeled(counters, "runtime.scheduler.batched_fallback", "reason")
+    sched_lines: List[str] = []
+    for name in sorted(sched_runs):
+        sched_lines.append(f"  runs[{name}]{'':<14}{_fmt(sched_runs[name])}")
+    for key in sorted(k for k in list(counters) if k.startswith("runtime.scheduler.")):
+        short = key[len("runtime.scheduler."):]
+        sched_lines.append(f"  {short:<22}{_fmt(counters.pop(key))}")
+    for reason in sorted(sched_falls):
+        sched_lines.append(
+            f"  batched fell back to serial x{_fmt(sched_falls[reason])}: {reason}"
+        )
+    out += _section("scheduler", sched_lines)
 
     # -- runtime (Ex. 5) ------------------------------------------------------
     runtime_lines: List[str] = []

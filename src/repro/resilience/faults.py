@@ -25,6 +25,7 @@ or other rules -- so failure sets are exactly reproducible.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -215,11 +216,28 @@ class InjectorStats:
 
 
 class FaultInjector:
-    """Turns a :class:`FaultPlan` into per-shot contexts and keeps stats."""
+    """Turns a :class:`FaultPlan` into per-shot contexts and keeps stats.
+
+    Stats mutation goes through the ``note_*`` methods under a lock:
+    shot contexts may fire from scheduler worker threads concurrently
+    (see :mod:`repro.runtime.schedulers`)."""
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self.stats = InjectorStats()
+        self._lock = threading.Lock()
+
+    def note_fault_raised(self) -> None:
+        with self._lock:
+            self.stats.faults_raised += 1
+
+    def note_record_corrupted(self) -> None:
+        with self._lock:
+            self.stats.records_corrupted += 1
+
+    def note_timeout_armed(self) -> None:
+        with self._lock:
+            self.stats.timeouts_armed += 1
 
     def context(self, shot: int) -> "ShotFaultContext":
         applicable = [
@@ -268,7 +286,7 @@ class ShotFaultContext:
         rule = self._armed.get(site)
         if rule is None:
             return
-        self._injector.stats.faults_raised += 1
+        self._injector.note_fault_raised()
         raise rule.make_error(self.shot, self._attempt)
 
     def intrinsic_hook(self, name: str) -> None:
@@ -279,7 +297,7 @@ class ShotFaultContext:
         if rule is None and name.endswith("_record_output"):
             rule = self._armed.get("output")
         if rule is not None:
-            self._injector.stats.faults_raised += 1
+            self._injector.note_fault_raised()
             raise rule.make_error(self.shot, self._attempt)
 
     @property
@@ -295,7 +313,7 @@ class ShotFaultContext:
         rule = self._armed.get("timeout")
         if rule is None:
             return default
-        self._injector.stats.timeouts_armed += 1
+        self._injector.note_timeout_armed()
         return max(0, rule.param)
 
     def mangle_bits(self, bits: List[int]) -> List[int]:
@@ -303,7 +321,7 @@ class ShotFaultContext:
         rule = self._armed.get("corrupt_output")
         if rule is None or rule.error != "corrupt" or not bits:
             return bits
-        self._injector.stats.records_corrupted += 1
+        self._injector.note_record_corrupted()
         mangled = list(bits)
         mangled[0] ^= 1
         return mangled

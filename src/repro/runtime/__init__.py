@@ -41,6 +41,15 @@ from repro.runtime.qubit_manager import QubitManager
 from repro.runtime.results import ResultStore
 from repro.runtime.output import OutputRecord, OutputRecorder
 from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import ExecutionPlan, compile_plan, content_hash, plan_key
+from repro.runtime.schedulers import (
+    SCHEDULERS,
+    BatchedScheduler,
+    SerialScheduler,
+    ShotOutcome,
+    ThreadedScheduler,
+    get_scheduler,
+)
 from repro.runtime.execute import (
     ExecutionResult,
     FastpathComparison,
@@ -50,6 +59,7 @@ from repro.runtime.execute import (
     measure_fastpath_speedup,
     run_shots,
 )
+from repro.runtime.session import QirSession
 
 __all__ = [
     "BackendFaultError",
@@ -73,10 +83,21 @@ __all__ = [
     "OutputRecord",
     "OutputRecorder",
     "Interpreter",
+    "ExecutionPlan",
+    "compile_plan",
+    "content_hash",
+    "plan_key",
+    "SCHEDULERS",
+    "SerialScheduler",
+    "ThreadedScheduler",
+    "BatchedScheduler",
+    "ShotOutcome",
+    "get_scheduler",
     "ExecutionResult",
     "FastpathComparison",
     "ShotsResult",
     "QirRuntime",
+    "QirSession",
     "execute",
     "measure_fastpath_speedup",
     "run_shots",

@@ -5,6 +5,20 @@ Alliance's ``qir-runner`` -- multi-shot execution re-interprets the program
 per shot with fresh simulator state and aggregates the recorded outputs
 into a histogram.
 
+Architecturally this module is now a thin front over the two-phase stack:
+
+* the **compile phase** (:mod:`repro.runtime.plan`) turns source into a
+  frozen :class:`~repro.runtime.plan.ExecutionPlan` (``run_shots`` accepts
+  one anywhere it accepts source, skipping the frontend entirely);
+* the **execute phase** (:mod:`repro.runtime.schedulers`) runs the shots
+  through a pluggable :class:`ShotScheduler` -- ``serial`` (default),
+  ``threaded`` (``jobs=N`` workers), or ``batched`` (one vectorised
+  statevector evolution) -- all of which reproduce identical ``counts``
+  for the same ``seed=`` thanks to spawned per-shot seeding.
+
+For cross-call caching of parsed modules and compiled plans, use
+:class:`repro.runtime.session.QirSession`.
+
 Resilient execution (see :mod:`repro.resilience`): ``run_shots`` accepts a
 :class:`~repro.resilience.retry.RetryPolicy` (per-shot retry with backoff),
 a :class:`~repro.resilience.faults.FaultPlan` (seeded fault injection for
@@ -16,9 +30,9 @@ the aggregated successes plus structured per-shot failure records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -26,141 +40,50 @@ from repro.llvmir.module import Module
 from repro.llvmir.parser import parse_assembly
 from repro.obs.observer import as_observer
 from repro.resilience.fallback import BackendLevel, FallbackChain, program_is_clifford
-from repro.resilience.faults import FaultInjector, FaultPlan, FaultyBackend, ShotFaultContext
-from repro.resilience.report import ShotFailure, render_failure_report
+from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.resilience.retry import RetryPolicy
-from repro.runtime.errors import QirRuntimeError
-from repro.runtime.interpreter import Interpreter, InterpreterStats
-from repro.runtime.output import OutputRecord
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import ExecutionPlan, _analyze_entry
 from repro.runtime.sampling_fastpath import (
     DeferredMeasurementBackend,
     DeferredResultStore,
     FastPathUnsupported,
     sample_counts_from,
 )
-from repro.sim.noise import NoiseModel, NoisyBackend
-from repro.sim.stabilizer import StabilizerSimulator
+from repro.runtime.schedulers import (
+    ChainGuard,
+    ExecutionResult,
+    ShotExecutor,
+    ShotTask,
+    ShotsResult,
+    build_shots_result,
+    fastpath_sequence,
+    fold_intrinsic_stats,
+    get_scheduler,
+    sorted_counts as _sorted_counts,
+)
+from repro.sim.noise import NoiseModel
 from repro.sim.statevector import StatevectorSimulator
 
-ModuleLike = Union[Module, str]
+ModuleLike = Union[Module, str, ExecutionPlan]
 
-
-@dataclass
-class ExecutionResult:
-    """Outcome of one shot."""
-
-    output_records: List[OutputRecord]
-    result_bits: List[int]
-    bitstring: str
-    messages: List[str]
-    stats: InterpreterStats
-    return_value: object = None
-
-    def render_output(self) -> str:
-        return "\n".join(r.render() for r in self.output_records)
-
-
-@dataclass
-class ShotsResult:
-    """Aggregate over many shots.
-
-    ``counts`` holds the successful shots only, with bitstring keys in
-    stable (sorted) order.  ``shots`` is the number *requested*; use
-    ``successful_shots`` as the denominator for rates so a partially
-    failed run does not skew downstream statistics.
-    """
-
-    counts: Dict[str, int]
-    shots: int
-    per_shot_stats: List[InterpreterStats] = field(default_factory=list)
-    used_fast_path: bool = False
-    # -- observability (repro.obs) --------------------------------------------
-    wall_seconds: float = 0.0
-    # Per-backend InterpreterStats aggregation (keep_stats=True in resilient
-    # mode): after a FallbackChain demotion the work done on each rung of
-    # the ladder stays attributable.
-    per_backend_stats: Dict[str, InterpreterStats] = field(default_factory=dict)
-    # -- partial-result recovery (resilient mode) -----------------------------
-    failed_shots: List[ShotFailure] = field(default_factory=list)
-    per_error_counts: Dict[str, int] = field(default_factory=dict)
-    degraded: bool = False
-    backend_shot_counts: Dict[str, int] = field(default_factory=dict)
-    fallback_history: List[str] = field(default_factory=list)
-    retried_shots: int = 0
-
-    @property
-    def total_shots(self) -> int:
-        """Shots requested (successes + failures)."""
-        return self.shots
-
-    @property
-    def successful_shots(self) -> int:
-        return self.shots - len(self.failed_shots)
-
-    def probabilities(self) -> Dict[str, float]:
-        denominator = self.successful_shots
-        if denominator <= 0:
-            return {}
-        return {k: v / denominator for k, v in self.counts.items()}
-
-    @property
-    def shots_per_second(self) -> float:
-        """Successful-shot throughput over the measured wall time.
-
-        Coarse clocks can report ``wall_seconds == 0`` for very fast runs
-        (notably the sampling fast path); the convention -- shared with
-        ``render_timing_line`` and the ``runtime.shots_per_second`` gauge
-        -- is to report ``0.0`` ("not measurable"), never ``inf``/``nan``.
-        """
-        if self.wall_seconds <= 0.0:
-            return 0.0
-        return self.successful_shots / self.wall_seconds
-
-    def aggregated_stats(self) -> InterpreterStats:
-        """Sum of per-shot stats (requires ``keep_stats=True``)."""
-        return InterpreterStats.aggregate(self.per_shot_stats)
-
-    def failure_report(self) -> str:
-        return render_failure_report(
-            self.failed_shots,
-            self.per_error_counts,
-            self.degraded,
-            self.fallback_history,
-            wall_seconds=self.wall_seconds,
-            successful_shots=self.successful_shots,
-        )
+__all__ = [
+    "ExecutionResult",
+    "ShotsResult",
+    "QirRuntime",
+    "FastpathComparison",
+    "execute",
+    "run_shots",
+    "measure_fastpath_speedup",
+]
 
 
 def _as_module(program: ModuleLike) -> Module:
+    if isinstance(program, ExecutionPlan):
+        return program.module
     if isinstance(program, str):
         return parse_assembly(program)
     return program
-
-
-def _sorted_counts(counts: Dict[str, int]) -> Dict[str, int]:
-    """Stable bitstring ordering so reports and diffs are deterministic."""
-    return dict(sorted(counts.items()))
-
-
-def _make_backend(
-    name: str,
-    seed: Optional[int],
-    max_qubits: int,
-    noise: Optional[NoiseModel] = None,
-):
-    if name == "statevector":
-        backend = StatevectorSimulator(0, seed=seed, max_qubits=max_qubits)
-    elif name == "stabilizer":
-        backend = StabilizerSimulator(0, seed=seed)
-    else:
-        raise ValueError(f"unknown backend {name!r}")
-    if noise is not None and not noise.is_trivial:
-        # The wrapper needs its own stream: seeding it identically to the
-        # inner simulator would correlate error injection with measurement
-        # outcomes (their first random draws would coincide).
-        noise_seed = None if seed is None else (seed ^ 0x9E3779B97F4A7C15) & (2**63 - 1)
-        return NoisyBackend(backend, noise, seed=noise_seed)
-    return backend
 
 
 class QirRuntime:
@@ -169,6 +92,10 @@ class QirRuntime:
     >>> rt = QirRuntime(backend="statevector", seed=7)
     >>> result = rt.execute(qir_text)
     >>> counts = rt.run_shots(qir_text, shots=1000).counts
+
+    ``scheduler``/``jobs`` pick the default execute-phase strategy for
+    ``run_shots`` (overridable per call): ``serial``, ``threaded``
+    (``jobs`` workers), or ``batched`` (vectorised multi-shot evolution).
     """
 
     def __init__(
@@ -180,6 +107,8 @@ class QirRuntime:
         allow_on_the_fly_qubits: bool = True,
         noise: Optional[NoiseModel] = None,
         observer=None,
+        scheduler: str = "serial",
+        jobs: int = 1,
     ):
         self.backend_name = backend
         self.seed = seed
@@ -190,84 +119,38 @@ class QirRuntime:
         # Observability (repro.obs): the default is the shared no-op whose
         # hot-path cost is a single attribute check (bench_obs.py guards it).
         self.observer = as_observer(observer)
+        self.default_scheduler = scheduler
+        self.default_jobs = jobs
+        get_scheduler(scheduler, jobs)  # validate the combination eagerly
         self._rng = np.random.default_rng(seed)
+
+    def _make_executor(self) -> ShotExecutor:
+        # Built per call so runtime attribute mutation (tests swap noise
+        # models and observers in place) keeps taking effect.
+        return ShotExecutor(
+            self.backend_name,
+            self.noise,
+            self.step_limit,
+            self.max_qubits,
+            self.allow_on_the_fly_qubits,
+            self.observer,
+        )
 
     # -- single-shot ---------------------------------------------------------
     def execute(
         self, program: ModuleLike, entry: Optional[str] = None
     ) -> ExecutionResult:
         """Run a single shot and return its full execution record."""
+        if isinstance(program, ExecutionPlan) and entry is None:
+            entry = program.entry
         module = _as_module(program)
         level = BackendLevel(self.backend_name, noisy=True)
-        return self._run_single(module, entry, level, ctx=None)
-
-    def _effective_noise(self, level: BackendLevel) -> Optional[NoiseModel]:
-        if not level.noisy:
-            return None
-        return self.noise
-
-    def _level_label(self, level: BackendLevel) -> str:
-        noise = self._effective_noise(level)
-        if noise is not None and not noise.is_trivial:
-            return f"{level.backend}+noise"
-        return level.backend
-
-    def _run_single(
-        self,
-        module: Module,
-        entry: Optional[str],
-        level: BackendLevel,
-        ctx: Optional[ShotFaultContext],
-    ) -> ExecutionResult:
-        backend = _make_backend(
-            level.backend,
-            int(self._rng.integers(2**63)),
-            self.max_qubits,
-            self._effective_noise(level),
+        result = self._make_executor().run_single(
+            module, entry, level, None, int(self._rng.integers(2**63))
         )
-        step_limit = self.step_limit
-        fault_hook = None
-        if ctx is not None and not ctx.is_inert:
-            backend = FaultyBackend(backend, ctx)
-            step_limit = ctx.step_limit(self.step_limit)
-            if ctx.wants_intrinsic_hook:
-                fault_hook = ctx.intrinsic_hook
-        interp = Interpreter(
-            module,
-            backend,
-            step_limit=step_limit,
-            allow_on_the_fly_qubits=self.allow_on_the_fly_qubits,
-            fault_hook=fault_hook,
-            observer=self.observer,
-        )
-        value = interp.run(entry)
         if self.observer.enabled:
-            self._fold_intrinsic_metrics(interp.stats)
-        bits = interp.output.result_bits()
-        # If the program recorded no output, fall back to the static result
-        # table so base-profile programs without an epilogue still report.
-        if not bits and interp.results.max_static_index >= 0:
-            table = interp.results.static_bits(interp.results.max_static_index + 1)
-            bits = [table[i] for i in sorted(table)]
-        if ctx is not None and not ctx.is_inert:
-            bits = ctx.mangle_bits(bits)
-        bitstring = "".join(str(b) for b in reversed(bits))
-        return ExecutionResult(
-            output_records=list(interp.output.records),
-            result_bits=bits,
-            bitstring=bitstring,
-            messages=list(interp.messages),
-            stats=interp.stats,
-            return_value=value,
-        )
-
-    def _fold_intrinsic_metrics(self, stats: InterpreterStats) -> None:
-        """Roll a shot's per-intrinsic profile into the observer's metrics."""
-        obs = self.observer
-        for name, n in stats.intrinsic_calls.items():
-            obs.inc("runtime.intrinsic_calls", n, intrinsic=name)
-        for name, s in stats.intrinsic_seconds.items():
-            obs.inc("runtime.intrinsic_seconds", s, intrinsic=name)
+            fold_intrinsic_stats(self.observer, result.stats)
+        return result
 
     # -- multi-shot ----------------------------------------------------------
     def run_shots(
@@ -281,6 +164,8 @@ class QirRuntime:
         fault_plan: Optional[FaultPlan] = None,
         fallback: Optional[FallbackChain] = None,
         collect_failures: bool = False,
+        scheduler: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> ShotsResult:
         """Run many shots (parsing once) and histogram the result bitstrings.
 
@@ -293,33 +178,50 @@ class QirRuntime:
         * ``"never"`` -- always interpret per shot (the qir-runner model);
         * ``"require"`` -- fast path or raise :class:`FastPathUnsupported`.
 
+        ``scheduler`` / ``jobs`` override the runtime's default execute
+        strategy for this call.  The ``batched`` scheduler never takes the
+        sampling fast path (it exists for the programs the fast path
+        rejects), so ``sampling="require"`` with it raises.
+
         Passing any of ``retry`` / ``fault_plan`` / ``fallback`` (or
         ``collect_failures=True``) selects the *resilient* per-shot loop:
         failures are retried per ``retry``, the backend may be demoted per
         ``fallback``, and shots that still fail are returned as structured
-        records on the result instead of raising.
+        records on the result instead of raising.  Resilience is per-shot,
+        so the batched scheduler degrades to the per-shot loop for it.
         """
         if sampling not in ("auto", "never", "require"):
             raise ValueError(f"unknown sampling mode {sampling!r}")
+        scheduler_name = scheduler if scheduler is not None else self.default_scheduler
+        jobs_n = jobs if jobs is not None else self.default_jobs
+        sched = get_scheduler(scheduler_name, jobs_n)
         obs = self.observer
         t0 = perf_counter()
         if obs.enabled:
-            with obs.span("run_shots", shots=shots, sampling=sampling) as span:
+            with obs.span(
+                "run_shots", shots=shots, sampling=sampling, scheduler=scheduler_name
+            ) as span:
                 result = self._run_shots_impl(
                     program, shots, entry, keep_stats, sampling,
-                    retry, fault_plan, fallback, collect_failures,
+                    retry, fault_plan, fallback, collect_failures, sched,
                 )
                 span.tag("fast_path", result.used_fast_path)
         else:
             result = self._run_shots_impl(
                 program, shots, entry, keep_stats, sampling,
-                retry, fault_plan, fallback, collect_failures,
+                retry, fault_plan, fallback, collect_failures, sched,
             )
         result.wall_seconds = perf_counter() - t0
         if obs.enabled:
             obs.inc("runtime.shots.requested", shots)
-            path = "runtime.shots.fastpath" if result.used_fast_path else "runtime.shots.per_shot"
+            if result.used_fast_path:
+                path = "runtime.shots.fastpath"
+            elif result.scheduler == "batched":
+                path = "runtime.shots.batched"
+            else:
+                path = "runtime.shots.per_shot"
             obs.inc(path, shots)
+            obs.inc("runtime.scheduler.runs", scheduler=result.scheduler)
             obs.observe("runtime.run_seconds", result.wall_seconds)
             if result.wall_seconds > 0:
                 obs.set_gauge("runtime.shots_per_second", result.shots_per_second)
@@ -336,7 +238,11 @@ class QirRuntime:
         fault_plan: Optional[FaultPlan],
         fallback: Optional[FallbackChain],
         collect_failures: bool,
+        sched,
     ) -> ShotsResult:
+        plan = program if isinstance(program, ExecutionPlan) else None
+        if plan is not None and entry is None:
+            entry = plan.entry
         module = _as_module(program)
 
         resilient = (
@@ -345,185 +251,109 @@ class QirRuntime:
             or fallback is not None
             or collect_failures
         )
-        if resilient:
-            if sampling == "require":
-                raise FastPathUnsupported(
-                    "sampling fast path is per-run, not per-shot; it cannot "
-                    "inject, retry, or degrade individual shots"
-                )
-            return self._run_shots_resilient(
-                module, shots, entry, keep_stats, retry, fault_plan, fallback
+        if resilient and sampling == "require":
+            raise FastPathUnsupported(
+                "sampling fast path is per-run, not per-shot; it cannot "
+                "inject, retry, or degrade individual shots"
             )
 
-        can_try = (
-            sampling != "never"
-            and self.backend_name == "statevector"
-            and (self.noise is None or self.noise.is_trivial)
-            and not keep_stats
-        )
+        if sched.name == "batched":
+            if sampling == "require":
+                raise FastPathUnsupported(
+                    "the batched scheduler never takes the sampling fast path "
+                    "(it exists for the per-shot programs the fast path "
+                    "rejects); use scheduler='serial' or 'threaded'"
+                )
+            can_try = False
+        else:
+            can_try = (
+                not resilient
+                and sampling != "never"
+                and self.backend_name == "statevector"
+                and (self.noise is None or self.noise.is_trivial)
+                and not keep_stats
+            )
+        # One root per run, drawn *before* any fast-path attempt so the
+        # stream position -- and therefore every spawned per-shot seed --
+        # is identical across sampling modes and schedulers.  Serial,
+        # threaded, and batched execution of the same program with the
+        # same runtime seed produce identical counts.
+        root = np.random.SeedSequence(int(self._rng.integers(2**63)))
+
         if can_try:
             try:
-                counts = self._run_shots_sampled(module, shots, entry)
+                counts = self._run_shots_sampled(
+                    module, shots, entry, fastpath_sequence(root)
+                )
                 return ShotsResult(
                     counts=_sorted_counts(counts), shots=shots, used_fast_path=True
                 )
             except FastPathUnsupported:
                 if sampling == "require":
                     raise
-        elif sampling == "require":
+        elif sampling == "require" and not resilient:
             raise FastPathUnsupported(
                 "sampling fast path requires the statevector backend, no "
                 "noise, and keep_stats=False"
             )
 
-        counts: Dict[str, int] = {}
-        all_stats: List[InterpreterStats] = []
-        obs = self.observer
-        profiled = obs.enabled
-        for _ in range(shots):
-            if profiled:
-                s0 = perf_counter()
-                result = self.execute(module, entry)
-                obs.observe("runtime.shot_seconds", perf_counter() - s0)
-            else:
-                result = self.execute(module, entry)
-            counts[result.bitstring] = counts.get(result.bitstring, 0) + 1
-            if keep_stats:
-                all_stats.append(result.stats)
-        return ShotsResult(
-            counts=_sorted_counts(counts), shots=shots, per_shot_stats=all_stats
-        )
+        executor = self._make_executor()
+        policy = retry if retry is not None else RetryPolicy(max_attempts=1)
+        injector = FaultInjector(fault_plan) if fault_plan is not None else None
+        if resilient:
+            chain = fallback if fallback is not None else FallbackChain(
+                [BackendLevel(self.backend_name, noisy=True)]
+            )
+            clifford = plan.is_clifford if plan is not None else program_is_clifford(module)
+            chain.set_program_is_clifford(clifford)
+        else:
+            # Single-level chain: demotion is impossible, failures raise.
+            chain = FallbackChain([BackendLevel(self.backend_name, noisy=True)])
 
-    def _run_shots_resilient(
+        required_qubits = plan.required_qubits if plan is not None else None
+        if required_qubits is None and sched.name == "batched":
+            required_qubits = _analyze_entry(module, entry)[2]
+
+        task = ShotTask(
+            executor=executor,
+            module=module,
+            entry=entry,
+            shots=shots,
+            root=root,
+            policy=policy,
+            injector=injector,
+            chain=ChainGuard(chain),
+            keep_stats=keep_stats,
+            resilient=resilient,
+            timed=self.observer.enabled,
+            required_qubits=required_qubits,
+        )
+        outcomes = sched.run(task)
+        effective = getattr(sched, "effective", sched.name)
+        return build_shots_result(task, outcomes, effective)
+
+    def _run_shots_sampled(
         self,
         module: Module,
         shots: int,
         entry: Optional[str],
-        keep_stats: bool,
-        retry: Optional[RetryPolicy],
-        fault_plan: Optional[FaultPlan],
-        fallback: Optional[FallbackChain],
-    ) -> ShotsResult:
-        policy = retry if retry is not None else RetryPolicy(max_attempts=1)
-        injector = FaultInjector(fault_plan) if fault_plan is not None else None
-        chain = fallback if fallback is not None else FallbackChain(
-            [BackendLevel(self.backend_name, noisy=True)]
-        )
-        chain.set_program_is_clifford(program_is_clifford(module))
-
-        counts: Dict[str, int] = {}
-        all_stats: List[InterpreterStats] = []
-        per_backend_stats: Dict[str, InterpreterStats] = {}
-        failures: List[ShotFailure] = []
-        per_error: Dict[str, int] = {}
-        backend_counts: Dict[str, int] = {}
-        retried = 0
-        obs = self.observer
-        profiled = obs.enabled
-
-        for shot in range(shots):
-            ctx = injector.context(shot) if injector is not None else None
-            total_attempts = 0
-            s0 = perf_counter() if profiled else 0.0
-            while True:
-                level = chain.current
-                result, error, attempts = self._attempt_shot(
-                    module, entry, level, ctx, policy
-                )
-                total_attempts += attempts
-                if error is None:
-                    assert result is not None
-                    chain.note_success()
-                    label = self._level_label(level)
-                    counts[result.bitstring] = counts.get(result.bitstring, 0) + 1
-                    backend_counts[label] = backend_counts.get(label, 0) + 1
-                    if total_attempts > 1:
-                        retried += 1
-                        if profiled:
-                            obs.inc("resilience.retried_shots")
-                    if keep_stats:
-                        all_stats.append(result.stats)
-                        bucket = per_backend_stats.get(label)
-                        if bucket is None:
-                            bucket = per_backend_stats[label] = InterpreterStats()
-                        bucket.merge(result.stats)
-                    break
-                if chain.note_failure(error):
-                    if profiled:
-                        obs.inc("resilience.demotions")
-                    continue  # demoted: replay this shot on the new level
-                failure = ShotFailure.from_error(
-                    shot, error, total_attempts, self._level_label(level)
-                )
-                failures.append(failure)
-                per_error[failure.code] = per_error.get(failure.code, 0) + 1
-                if profiled:
-                    obs.inc("resilience.shot_failures", code=failure.code)
-                break
-            if profiled:
-                obs.observe("runtime.shot_seconds", perf_counter() - s0)
-                if total_attempts > 1:
-                    obs.inc("resilience.retry_attempts", total_attempts - 1)
-
-        if profiled and injector is not None:
-            obs.inc("resilience.faults_injected", injector.stats.faults_raised)
-
-        return ShotsResult(
-            counts=_sorted_counts(counts),
-            shots=shots,
-            per_shot_stats=all_stats,
-            per_backend_stats=dict(sorted(per_backend_stats.items())),
-            failed_shots=failures,
-            per_error_counts=dict(sorted(per_error.items())),
-            degraded=chain.degraded,
-            backend_shot_counts=dict(sorted(backend_counts.items())),
-            fallback_history=list(chain.history),
-            retried_shots=retried,
-        )
-
-    def _attempt_shot(
-        self,
-        module: Module,
-        entry: Optional[str],
-        level: BackendLevel,
-        ctx: Optional[ShotFaultContext],
-        policy: RetryPolicy,
-    ) -> Tuple[Optional[ExecutionResult], Optional[QirRuntimeError], int]:
-        """Run one shot with per-attempt retry; returns (result, error, attempts)."""
-        noisy = self._effective_noise(level) is not None
-        last_error: Optional[QirRuntimeError] = None
-        for attempt in range(1, policy.max_attempts + 1):
-            if ctx is not None:
-                ctx.begin_attempt(attempt - 1, level.backend, noisy)
-            try:
-                return self._run_single(module, entry, level, ctx), None, attempt
-            except QirRuntimeError as error:
-                last_error = error
-                if not policy.should_retry(error, attempt):
-                    return None, error, attempt
-                policy.wait(attempt, self._rng)
-        return None, last_error, policy.max_attempts
-
-    def _run_shots_sampled(
-        self, module: Module, shots: int, entry: Optional[str]
-    ) -> Dict[str, int]:
+        seed: np.random.SeedSequence,
+    ) -> dict:
         """One evolution + joint sampling (see runtime.sampling_fastpath)."""
-        inner = StatevectorSimulator(
-            0, seed=int(self._rng.integers(2**63)), max_qubits=self.max_qubits
-        )
+        inner = StatevectorSimulator(0, seed=seed, max_qubits=self.max_qubits)
         backend = DeferredMeasurementBackend(inner)
+        results = DeferredResultStore()
         interp = Interpreter(
             module,
             backend,  # type: ignore[arg-type]
             step_limit=self.step_limit,
             allow_on_the_fly_qubits=self.allow_on_the_fly_qubits,
             observer=self.observer,
+            results=results,
         )
-        results = DeferredResultStore()
-        interp.results = results
         interp.run(entry)
         if self.observer.enabled:
-            self._fold_intrinsic_metrics(interp.stats)
+            fold_intrinsic_stats(self.observer, interp.stats)
         return sample_counts_from(backend, results, shots)
 
 
@@ -574,24 +404,29 @@ def measure_fastpath_speedup(
 
     Runs the same program through ``sampling="require"`` and
     ``sampling="never"`` ``repeats`` times each (after ``warmup`` untimed
-    rounds) and reports the median wall times.  Raises
-    :class:`FastPathUnsupported` when the program cannot take the fast
-    path at all.  When the runtime carries an enabled observer, the ratio
-    also lands as a ``runtime.fastpath_speedup`` gauge (labeled by
-    ``workload`` when given) so profile output and metrics snapshots see
-    the same number the bench records.
+    rounds) and reports the median wall times.  The program is compiled
+    once through a :class:`~repro.runtime.session.QirSession`, so
+    repetitions measure pure execution cost -- the parse counters stay
+    flat across the timed rounds.  Raises :class:`FastPathUnsupported`
+    when the program cannot take the fast path at all.  When the runtime
+    carries an enabled observer, the ratio also lands as a
+    ``runtime.fastpath_speedup`` gauge (labeled by ``workload`` when
+    given) so profile output and metrics snapshots see the same number
+    the bench records.
     """
     from repro.obs.snapshot import measure
+    from repro.runtime.session import QirSession
 
     rt = runtime if runtime is not None else QirRuntime(seed=seed)
-    module = _as_module(program)
+    session = QirSession(runtime=rt)
+    plan = session.compile(program)
     fast = measure(
-        lambda: rt.run_shots(module, shots=shots, sampling="require"),
+        lambda: rt.run_shots(plan, shots=shots, sampling="require"),
         repeats=repeats,
         warmup=warmup,
     )
     slow = measure(
-        lambda: rt.run_shots(module, shots=shots, sampling="never"),
+        lambda: rt.run_shots(plan, shots=shots, sampling="never"),
         repeats=repeats,
         warmup=warmup,
     )
@@ -630,6 +465,8 @@ def run_shots(
     fault_plan: Optional[FaultPlan] = None,
     fallback: Optional[FallbackChain] = None,
     collect_failures: bool = False,
+    scheduler: Optional[str] = None,
+    jobs: Optional[int] = None,
     **kwargs,
 ) -> ShotsResult:
     return QirRuntime(backend=backend, seed=seed, **kwargs).run_shots(
@@ -642,4 +479,6 @@ def run_shots(
         fault_plan=fault_plan,
         fallback=fallback,
         collect_failures=collect_failures,
+        scheduler=scheduler,
+        jobs=jobs,
     )

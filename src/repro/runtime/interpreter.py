@@ -131,6 +131,7 @@ class Interpreter:
         allow_on_the_fly_qubits: bool = True,
         fault_hook: Optional[Callable[[str], None]] = None,
         observer=None,
+        results: Optional[ResultStore] = None,
     ):
         self.module = module
         self.backend = backend
@@ -143,7 +144,9 @@ class Interpreter:
         self.observer = observer
         self._profile_intrinsics = observer is not None and observer.enabled
         self.qubits = QubitManager(backend, allow_on_the_fly=allow_on_the_fly_qubits)
-        self.results = ResultStore()
+        # Pluggable result store: the sampling fast path and the batched
+        # scheduler substitute stores with deferred/vectorised semantics.
+        self.results = results if results is not None else ResultStore()
         self.output = OutputRecorder()
         self.messages: List[str] = []
         self.stats = InterpreterStats()

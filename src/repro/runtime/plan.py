@@ -1,0 +1,234 @@
+"""The compile phase: parse -> verify -> passes -> analysis -> ExecutionPlan.
+
+The paper's execution story is "link a runtime, then run" (``lli``-style),
+which conflates two phases with very different cost profiles: *compiling*
+a QIR program (frontend + optimisation + static analysis -- expensive,
+shot-independent) and *executing* it (per-shot simulation).  QIR-Alliance
+tooling and the dataflow-IR line of work treat the program as a compiled
+artifact that is analysed once and executed many times; this module is
+that artifact.
+
+An :class:`ExecutionPlan` is the frozen output of one compilation:
+
+* the parsed (and optionally pass-optimised, verified) module,
+* a **content-hash identity** -- ``source_hash`` is the SHA-256 of the
+  textual IR, and :attr:`ExecutionPlan.key` extends it with the pipeline
+  name, backend, and entry point, so a plan cache
+  (:class:`~repro.runtime.session.QirSession`) can answer "have I
+  compiled exactly this configuration before?" without re-parsing,
+* precomputed entry-point / profile / Clifford analysis so the execute
+  phase (:mod:`repro.runtime.schedulers`) never re-derives them per shot.
+
+Plans are immutable by convention: the execute phase treats the module as
+read-only, which is what makes one plan safely shareable across repeated
+``run_shots`` calls and across scheduler worker threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Optional, Tuple, Union
+
+from repro.llvmir.module import Module
+from repro.llvmir.parser import parse_assembly
+from repro.llvmir.printer import print_module
+from repro.llvmir.verifier import verify_module
+from repro.obs.observer import as_observer
+from repro.resilience.fallback import program_is_clifford
+
+PipelineLike = Union[None, str, Callable]
+
+
+def content_hash(program: Union[str, Module]) -> str:
+    """SHA-256 identity of a program's textual IR.
+
+    Text sources hash directly; in-memory modules hash their printed
+    form, so a module and its round-tripped text agree only when the
+    printer is the source of both -- callers that care about cache hits
+    should prefer passing the original text.
+    """
+    text = program if isinstance(program, str) else print_module(program)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def plan_key(
+    source_hash: str,
+    pipeline: Optional[str],
+    backend: str,
+    entry: Optional[str],
+) -> str:
+    """The plan cache key: content hash + pipeline name + backend (+ entry)."""
+    return f"{source_hash}:{pipeline or '-'}:{backend}:{entry or '-'}"
+
+
+def _resolve_pipeline(pipeline: PipelineLike) -> Tuple[Optional[str], Optional[Callable]]:
+    """Normalise a pipeline argument to ``(name, factory)``.
+
+    Accepts ``None``, a name from the qir-opt registry, or a callable
+    returning a configured :class:`~repro.passes.manager.PassManager`.
+    """
+    if pipeline is None:
+        return None, None
+    if callable(pipeline):
+        name = getattr(pipeline, "__name__", "custom")
+        return name, pipeline
+    # Imported lazily: the tools layer imports the runtime, so a top-level
+    # import here would close a package cycle.
+    from repro.tools.qir_opt import PIPELINES
+
+    factory = PIPELINES.get(str(pipeline))
+    if factory is None:
+        raise ValueError(
+            f"unknown pipeline {pipeline!r}; choose from {', '.join(sorted(PIPELINES))}"
+        )
+    return str(pipeline), factory
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A compiled QIR program, frozen for repeated execution.
+
+    The execute phase treats ``module`` as read-only; everything else is
+    precomputed static analysis.  ``key`` is the cache identity
+    (content hash + pipeline + backend + entry).
+    """
+
+    module: Module = field(repr=False)
+    source_hash: str
+    key: str
+    backend: str = "statevector"
+    pipeline: Optional[str] = None
+    entry: Optional[str] = None
+    # -- static analysis -------------------------------------------------------
+    entry_point: Optional[str] = None
+    profile: Optional[str] = None
+    required_qubits: Optional[int] = None
+    required_results: Optional[int] = None
+    is_clifford: bool = False
+    # -- provenance ------------------------------------------------------------
+    compile_seconds: float = 0.0
+    verified: bool = False
+
+    @property
+    def short_hash(self) -> str:
+        return self.source_hash[:12]
+
+    def describe(self) -> str:
+        parts = [
+            f"plan {self.short_hash}",
+            f"backend={self.backend}",
+            f"pipeline={self.pipeline or '-'}",
+            f"entry={self.entry_point or self.entry or '?'}",
+        ]
+        if self.required_qubits is not None:
+            parts.append(f"qubits={self.required_qubits}")
+        if self.is_clifford:
+            parts.append("clifford")
+        return " ".join(parts)
+
+
+def _analyze_entry(
+    module: Module, entry: Optional[str]
+) -> Tuple[Optional[str], Optional[str], Optional[int], Optional[int]]:
+    """Resolve the entry point and read its attributes -- tolerant: an
+    unresolvable entry stays ``None`` and the interpreter raises its usual
+    error at execution time, keeping compile-phase behaviour additive."""
+    fn = None
+    if entry is not None:
+        candidate = module.get_function(entry)
+        if candidate is not None and not candidate.is_declaration:
+            fn = candidate
+    else:
+        entry_points = module.entry_points()
+        if len(entry_points) == 1:
+            fn = entry_points[0]
+        elif not entry_points:
+            defined = module.defined_functions()
+            if len(defined) == 1:
+                fn = defined[0]
+    if fn is None:
+        return None, None, None, None
+
+    def _int_attr(key: str) -> Optional[int]:
+        value = fn.get_attribute(key)
+        try:
+            return int(value) if value is not None else None
+        except (TypeError, ValueError):
+            return None
+
+    return (
+        fn.name,
+        fn.get_attribute("qir_profiles"),
+        _int_attr("required_num_qubits"),
+        _int_attr("required_num_results"),
+    )
+
+
+def compile_plan(
+    program: Union[str, Module],
+    *,
+    pipeline: PipelineLike = None,
+    backend: str = "statevector",
+    entry: Optional[str] = None,
+    verify: bool = True,
+    observer=None,
+    module: Optional[Module] = None,
+    source_hash: Optional[str] = None,
+) -> ExecutionPlan:
+    """Compile one program into a frozen :class:`ExecutionPlan`.
+
+    ``module``/``source_hash`` let a caching front door (QirSession) hand
+    in an already-parsed module for the pipeline-free case; otherwise the
+    program is parsed (and hashed) here.  Passing ``pipeline`` always
+    compiles a *fresh* parse even when ``module`` is given, because passes
+    mutate IR in place and a cached pristine module must stay pristine.
+    """
+    obs = as_observer(observer)
+    t0 = perf_counter()
+    with obs.span("plan.compile", backend=backend, pipeline=str(pipeline or "-")):
+        pipeline_name, factory = _resolve_pipeline(pipeline)
+        digest = source_hash
+        if digest is None:
+            digest = content_hash(program)
+        if module is not None and factory is None:
+            compiled = module
+        elif isinstance(program, Module):
+            # A caller handing in a Module accepts in-place optimisation
+            # (the established qir-run --opt behaviour).
+            compiled = program
+        else:
+            # Pipelines mutate IR in place: run them on a private parse so
+            # any cached pristine module stays pristine.
+            compiled = parse_assembly(program, observer=obs)
+        if verify:
+            verify_module(compiled)
+        if factory is not None:
+            with obs.span("plan.passes", pipeline=pipeline_name):
+                factory().run(compiled, observer=obs)
+            if verify:
+                verify_module(compiled)
+        entry_point, profile, req_qubits, req_results = _analyze_entry(
+            compiled, entry
+        )
+        clifford = program_is_clifford(compiled)
+    elapsed = perf_counter() - t0
+    if obs.enabled:
+        obs.inc("plan.compiled", pipeline=pipeline_name or "-", backend=backend)
+        obs.observe("plan.compile_seconds", elapsed)
+    return ExecutionPlan(
+        module=compiled,
+        source_hash=digest,
+        key=plan_key(digest, pipeline_name, backend, entry),
+        backend=backend,
+        pipeline=pipeline_name,
+        entry=entry,
+        entry_point=entry_point,
+        profile=profile,
+        required_qubits=req_qubits,
+        required_results=req_results,
+        is_clifford=clifford,
+        compile_seconds=elapsed,
+        verified=verify,
+    )

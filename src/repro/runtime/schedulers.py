@@ -1,0 +1,801 @@
+"""The execute phase: pluggable shot schedulers over a compiled program.
+
+The compile phase (:mod:`repro.runtime.plan`) produces a frozen,
+read-only artifact; this module spends it.  A :class:`ShotScheduler`
+turns "run N shots of this module" into per-shot tasks:
+
+* :class:`SerialScheduler` -- the historical in-order loop;
+* :class:`ThreadedScheduler` -- N workers over the embarrassingly
+  parallel shot loop (``ShotsResult`` merging is order-independent, and
+  per-shot outcomes are re-sorted by shot index so results are
+  deterministic regardless of completion order);
+* :class:`BatchedScheduler` -- one vectorised multi-shot statevector
+  evolution (:class:`~repro.sim.statevector.BatchedStatevectorSimulator`)
+  for non-Clifford per-shot workloads where the deferred-measurement
+  sampling fast path is inapplicable (mid-circuit reset, re-measurement,
+  gates after measurement).  Programs with *classical feedback* on a
+  measurement abort with :class:`BatchedUnsupported` and fall back to the
+  per-shot loop.
+
+Determinism: every shot's RNG is derived from a spawned child seed --
+``SeedSequence(entropy=root, spawn_key=(shot, attempt))`` -- never from a
+shared stream, so serial, threaded, and batched execution of the same
+program with the same seed produce identical ``counts``.
+
+Resilience (retry / fault injection / backend fallback) hooks in at the
+per-shot *task* level, so every scheduler gets the same semantics: a
+failing shot is retried per policy, the shared
+:class:`~repro.resilience.fallback.FallbackChain` is consulted under a
+lock (demotions happen exactly once per rung even under concurrency),
+and unrecovered failures become structured records on the result.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.llvmir.module import Module
+from repro.resilience.fallback import BackendLevel, FallbackChain
+from repro.resilience.faults import FaultInjector, FaultyBackend, ShotFaultContext
+from repro.resilience.report import ShotFailure, render_failure_report
+from repro.resilience.retry import RetryPolicy
+from repro.runtime.errors import QirRuntimeError
+from repro.runtime.interpreter import Interpreter, InterpreterStats
+from repro.runtime.output import OutputRecord
+from repro.runtime.results import ResultStore
+from repro.runtime.values import IntPtr
+from repro.sim.noise import NoiseModel, NoisyBackend
+from repro.sim.stabilizer import StabilizerSimulator
+from repro.sim.statevector import BatchedStatevectorSimulator, StatevectorSimulator
+
+SCHEDULERS = ("serial", "threaded", "batched")
+
+SeedLike = Union[int, np.random.SeedSequence, None]
+
+#: spawn_key component reserved for retry-backoff jitter streams, far above
+#: any realistic attempt index so it can never collide with one.
+_BACKOFF_KEY = 0x7FFF0001
+
+#: spawn_key component for the sampling fast path's one-evolution seed.
+_FASTPATH_KEY = 0x7FFF0002
+
+
+def fastpath_sequence(root: np.random.SeedSequence) -> np.random.SeedSequence:
+    """The sampling fast path's seed, spawned off the run's root.
+
+    Deriving it from the root (instead of drawing another value from the
+    runtime's stream) keeps the stream position identical whether or not
+    a fast-path attempt happens first -- so a rejected attempt cannot
+    shift the per-shot seeds, and every scheduler sees the same root.
+    """
+    return np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=tuple(root.spawn_key) + (_FASTPATH_KEY,)
+    )
+
+#: Overall amplitude budget for one batched chunk (~128 MiB of complex128).
+_BATCH_AMPLITUDE_BUDGET = 1 << 23
+_BATCH_CHUNK_CAP = 1024
+
+
+def shot_sequence(
+    root: np.random.SeedSequence, shot: int, attempt: int
+) -> np.random.SeedSequence:
+    """The spawned child seed for one (shot, attempt) pair.
+
+    A pure function of ``(root, shot, attempt)`` -- independent of
+    execution order, thread interleaving, retries of *other* shots, and
+    scheduler choice -- which is the whole determinism story: any
+    scheduler computing the same pairs derives the same RNG streams.
+    """
+    return np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=tuple(root.spawn_key) + (shot, attempt)
+    )
+
+
+def _noise_sequence(seed: SeedLike) -> SeedLike:
+    """A decorrelated stream for the noise wrapper (see _make_backend)."""
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.SeedSequence(
+            entropy=seed.entropy, spawn_key=tuple(seed.spawn_key) + (1,)
+        )
+    if seed is None:
+        return None
+    return (int(seed) ^ 0x9E3779B97F4A7C15) & (2**63 - 1)
+
+
+def _make_backend(
+    name: str,
+    seed: SeedLike,
+    max_qubits: int,
+    noise: Optional[NoiseModel] = None,
+):
+    if name == "statevector":
+        backend = StatevectorSimulator(0, seed=seed, max_qubits=max_qubits)
+    elif name == "stabilizer":
+        backend = StabilizerSimulator(0, seed=seed)
+    else:
+        raise ValueError(f"unknown backend {name!r}")
+    if noise is not None and not noise.is_trivial:
+        # The wrapper needs its own stream: seeding it identically to the
+        # inner simulator would correlate error injection with measurement
+        # outcomes (their first random draws would coincide).
+        return NoisyBackend(backend, noise, seed=_noise_sequence(seed))
+    return backend
+
+
+def sorted_counts(counts: Dict[str, int]) -> Dict[str, int]:
+    """Stable bitstring ordering so reports and diffs are deterministic."""
+    return dict(sorted(counts.items()))
+
+
+# -- results ------------------------------------------------------------------
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one shot."""
+
+    output_records: List[OutputRecord]
+    result_bits: List[int]
+    bitstring: str
+    messages: List[str]
+    stats: InterpreterStats
+    return_value: object = None
+
+    def render_output(self) -> str:
+        return "\n".join(r.render() for r in self.output_records)
+
+
+@dataclass
+class ShotsResult:
+    """Aggregate over many shots.
+
+    ``counts`` holds the successful shots only, with bitstring keys in
+    stable (sorted) order.  ``shots`` is the number *requested*; use
+    ``successful_shots`` as the denominator for rates so a partially
+    failed run does not skew downstream statistics.
+    """
+
+    counts: Dict[str, int]
+    shots: int
+    per_shot_stats: List[InterpreterStats] = field(default_factory=list)
+    used_fast_path: bool = False
+    # -- observability (repro.obs) --------------------------------------------
+    wall_seconds: float = 0.0
+    # Per-backend InterpreterStats aggregation (keep_stats=True in resilient
+    # mode): after a FallbackChain demotion the work done on each rung of
+    # the ladder stays attributable.
+    per_backend_stats: Dict[str, InterpreterStats] = field(default_factory=dict)
+    # -- partial-result recovery (resilient mode) -----------------------------
+    failed_shots: List[ShotFailure] = field(default_factory=list)
+    per_error_counts: Dict[str, int] = field(default_factory=dict)
+    degraded: bool = False
+    backend_shot_counts: Dict[str, int] = field(default_factory=dict)
+    fallback_history: List[str] = field(default_factory=list)
+    retried_shots: int = 0
+    # -- execute phase (repro.runtime.schedulers) -----------------------------
+    scheduler: str = "serial"
+
+    @property
+    def total_shots(self) -> int:
+        """Shots requested (successes + failures)."""
+        return self.shots
+
+    @property
+    def successful_shots(self) -> int:
+        return self.shots - len(self.failed_shots)
+
+    def probabilities(self) -> Dict[str, float]:
+        denominator = self.successful_shots
+        if denominator <= 0:
+            return {}
+        return {k: v / denominator for k, v in self.counts.items()}
+
+    @property
+    def shots_per_second(self) -> float:
+        """Successful-shot throughput over the measured wall time.
+
+        Coarse clocks can report ``wall_seconds == 0`` for very fast runs
+        (notably the sampling fast path); the convention -- shared with
+        ``render_timing_line`` and the ``runtime.shots_per_second`` gauge
+        -- is to report ``0.0`` ("not measurable"), never ``inf``/``nan``.
+        """
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.successful_shots / self.wall_seconds
+
+    def aggregated_stats(self) -> InterpreterStats:
+        """Sum of per-shot stats (requires ``keep_stats=True``)."""
+        return InterpreterStats.aggregate(self.per_shot_stats)
+
+    def failure_report(self) -> str:
+        return render_failure_report(
+            self.failed_shots,
+            self.per_error_counts,
+            self.degraded,
+            self.fallback_history,
+            wall_seconds=self.wall_seconds,
+            successful_shots=self.successful_shots,
+        )
+
+
+# -- per-shot execution -------------------------------------------------------
+
+
+@dataclass
+class ShotOutcome:
+    """One shot's contribution to the merge, whichever worker produced it."""
+
+    shot: int
+    bitstring: Optional[str] = None
+    backend_label: str = ""
+    attempts: int = 1
+    seconds: Optional[float] = None
+    stats: Optional[InterpreterStats] = None
+    failure: Optional[ShotFailure] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.failure is None
+
+
+class ChainGuard:
+    """Thread-safe facade over a shared :class:`FallbackChain`.
+
+    All mutation happens under one lock, so consecutive-failure counting
+    stays coherent and each rung of the ladder is demoted at most once no
+    matter how many workers observe failures concurrently.
+    """
+
+    def __init__(self, chain: FallbackChain):
+        self._chain = chain
+        self._lock = threading.Lock()
+        self._initial_history = len(chain.history)
+
+    @property
+    def current(self) -> BackendLevel:
+        with self._lock:
+            return self._chain.current
+
+    def note_success(self) -> None:
+        with self._lock:
+            self._chain.note_success()
+
+    def note_failure(self, error: QirRuntimeError) -> bool:
+        with self._lock:
+            return self._chain.note_failure(error)
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return self._chain.degraded
+
+    @property
+    def history(self) -> List[str]:
+        with self._lock:
+            return list(self._chain.history)
+
+    @property
+    def demotions_this_run(self) -> int:
+        with self._lock:
+            return len(self._chain.history) - self._initial_history
+
+
+class ShotExecutor:
+    """Executes single shots for one runtime configuration.
+
+    Stateless between shots (every per-shot RNG comes in as an explicit
+    seed), which is what makes it shareable across scheduler workers.
+    """
+
+    def __init__(
+        self,
+        backend_name: str,
+        noise: Optional[NoiseModel],
+        step_limit: int,
+        max_qubits: int,
+        allow_on_the_fly_qubits: bool,
+        observer,
+    ):
+        self.backend_name = backend_name
+        self.noise = noise
+        self.step_limit = step_limit
+        self.max_qubits = max_qubits
+        self.allow_on_the_fly_qubits = allow_on_the_fly_qubits
+        self.observer = observer
+
+    # -- configuration helpers ------------------------------------------------
+    def effective_noise(self, level: BackendLevel) -> Optional[NoiseModel]:
+        if not level.noisy:
+            return None
+        return self.noise
+
+    def level_label(self, level: BackendLevel) -> str:
+        noise = self.effective_noise(level)
+        if noise is not None and not noise.is_trivial:
+            return f"{level.backend}+noise"
+        return level.backend
+
+    # -- single attempt -------------------------------------------------------
+    def run_single(
+        self,
+        module: Module,
+        entry: Optional[str],
+        level: BackendLevel,
+        ctx: Optional[ShotFaultContext],
+        seed: SeedLike,
+    ) -> ExecutionResult:
+        backend = _make_backend(
+            level.backend, seed, self.max_qubits, self.effective_noise(level)
+        )
+        step_limit = self.step_limit
+        fault_hook = None
+        if ctx is not None and not ctx.is_inert:
+            backend = FaultyBackend(backend, ctx)
+            step_limit = ctx.step_limit(self.step_limit)
+            if ctx.wants_intrinsic_hook:
+                fault_hook = ctx.intrinsic_hook
+        interp = Interpreter(
+            module,
+            backend,
+            step_limit=step_limit,
+            allow_on_the_fly_qubits=self.allow_on_the_fly_qubits,
+            fault_hook=fault_hook,
+            observer=self.observer,
+        )
+        value = interp.run(entry)
+        bits = interp.output.result_bits()
+        # If the program recorded no output, fall back to the static result
+        # table so base-profile programs without an epilogue still report.
+        if not bits and interp.results.max_static_index >= 0:
+            table = interp.results.static_bits(interp.results.max_static_index + 1)
+            bits = [table[i] for i in sorted(table)]
+        if ctx is not None and not ctx.is_inert:
+            bits = ctx.mangle_bits(bits)
+        bitstring = "".join(str(b) for b in reversed(bits))
+        return ExecutionResult(
+            output_records=list(interp.output.records),
+            result_bits=bits,
+            bitstring=bitstring,
+            messages=list(interp.messages),
+            stats=interp.stats,
+            return_value=value,
+        )
+
+    # -- one shot with retry --------------------------------------------------
+    def attempt_shot(
+        self,
+        module: Module,
+        entry: Optional[str],
+        level: BackendLevel,
+        ctx: Optional[ShotFaultContext],
+        policy: RetryPolicy,
+        root: np.random.SeedSequence,
+        shot: int,
+        attempt_offset: int,
+    ) -> Tuple[Optional[ExecutionResult], Optional[QirRuntimeError], int]:
+        """Run one shot with per-attempt retry; returns (result, error, attempts).
+
+        ``attempt_offset`` keeps attempt indices -- and therefore spawned
+        seeds -- globally increasing for a shot across fallback demotions.
+        """
+        noisy = self.effective_noise(level) is not None
+        last_error: Optional[QirRuntimeError] = None
+        backoff_rng = None
+        for attempt in range(1, policy.max_attempts + 1):
+            index = attempt_offset + attempt - 1
+            if ctx is not None:
+                ctx.begin_attempt(index, level.backend, noisy)
+            seed = shot_sequence(root, shot, index)
+            try:
+                return self.run_single(module, entry, level, ctx, seed), None, attempt
+            except QirRuntimeError as error:
+                last_error = error
+                if not policy.should_retry(error, attempt):
+                    return None, error, attempt
+                if backoff_rng is None:
+                    backoff_rng = np.random.default_rng(
+                        shot_sequence(root, shot, _BACKOFF_KEY)
+                    )
+                policy.wait(attempt, backoff_rng)
+        return None, last_error, policy.max_attempts
+
+    def run_shot(
+        self,
+        module: Module,
+        entry: Optional[str],
+        shot: int,
+        root: np.random.SeedSequence,
+        chain: ChainGuard,
+        injector: Optional[FaultInjector],
+        policy: RetryPolicy,
+        keep_result_stats: bool,
+        collect: bool,
+        timed: bool,
+    ) -> ShotOutcome:
+        """The per-shot task: retry, fallback, and failure collection.
+
+        With ``collect=False`` (the plain, non-resilient path) the first
+        unrecovered error propagates to the caller, matching the
+        historical fail-fast semantics.
+        """
+        ctx = injector.context(shot) if injector is not None else None
+        total_attempts = 0
+        t0 = perf_counter() if timed else 0.0
+        while True:
+            level = chain.current
+            result, error, attempts = self.attempt_shot(
+                module, entry, level, ctx, policy, root, shot, total_attempts
+            )
+            total_attempts += attempts
+            if error is None:
+                assert result is not None
+                chain.note_success()
+                return ShotOutcome(
+                    shot=shot,
+                    bitstring=result.bitstring,
+                    backend_label=self.level_label(level),
+                    attempts=total_attempts,
+                    seconds=(perf_counter() - t0) if timed else None,
+                    stats=result.stats if keep_result_stats else None,
+                )
+            if chain.note_failure(error):
+                continue  # demoted: replay this shot on the new level
+            if not collect:
+                raise error
+            failure = ShotFailure.from_error(
+                shot, error, total_attempts, self.level_label(level)
+            )
+            return ShotOutcome(
+                shot=shot,
+                backend_label=self.level_label(level),
+                attempts=total_attempts,
+                seconds=(perf_counter() - t0) if timed else None,
+                failure=failure,
+            )
+
+
+@dataclass
+class ShotTask:
+    """Everything a scheduler needs to run one multi-shot request."""
+
+    executor: ShotExecutor
+    module: Module
+    entry: Optional[str]
+    shots: int
+    root: np.random.SeedSequence
+    policy: RetryPolicy
+    injector: Optional[FaultInjector]
+    chain: ChainGuard
+    keep_stats: bool
+    resilient: bool
+    timed: bool
+    required_qubits: Optional[int] = None
+
+    def run_one(self, shot: int) -> ShotOutcome:
+        # Outcome stats are kept whenever the run is profiled (the merge
+        # folds intrinsic metrics from them) or the caller asked for them.
+        keep = self.keep_stats or self.timed
+        return self.executor.run_shot(
+            self.module,
+            self.entry,
+            shot,
+            self.root,
+            self.chain,
+            self.injector,
+            self.policy,
+            keep,
+            collect=self.resilient,
+            timed=self.timed,
+        )
+
+
+# -- schedulers ---------------------------------------------------------------
+
+
+class SerialScheduler:
+    """The historical in-order loop (one shot at a time)."""
+
+    name = "serial"
+    jobs = 1
+
+    def run(self, task: ShotTask) -> List[ShotOutcome]:
+        return [task.run_one(shot) for shot in range(task.shots)]
+
+
+class ThreadedScheduler:
+    """N workers over the shot loop.
+
+    Shots are embarrassingly parallel: each one builds its own backend
+    from its own spawned seed, resilience state is shared behind
+    :class:`ChainGuard`, and the merge re-sorts outcomes by shot index --
+    so the result is bit-identical to :class:`SerialScheduler` for the
+    same seed.  (Python threads overlap NumPy kernels, not interpreter
+    bytecode; the win grows with statevector width.)
+    """
+
+    name = "threaded"
+
+    def __init__(self, jobs: int = 4):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def run(self, task: ShotTask) -> List[ShotOutcome]:
+        if task.shots <= 1 or self.jobs == 1:
+            return SerialScheduler().run(task)
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            # pool.map preserves submission order and re-raises the first
+            # in-order exception, matching serial fail-fast semantics.
+            return list(pool.map(task.run_one, range(task.shots)))
+
+
+class BatchedScheduler:
+    """One vectorised evolution of all shots at once (chunked for memory).
+
+    Applies when the per-shot loop would otherwise dominate: statevector
+    backend, no noise, no per-shot resilience, no per-shot stats.  The
+    moment the program does something one shared instruction stream
+    cannot express per member -- classical feedback on an outcome,
+    dynamic `m`-style results -- the attempt aborts with
+    :class:`BatchedUnsupported` and the task falls back to the per-shot
+    path, so batched execution is sound by construction (the same
+    optimistic-abort design as the sampling fast path).
+    """
+
+    name = "batched"
+    jobs = 1
+
+    def __init__(self) -> None:
+        #: What actually ran: stays "batched" on success, flips to
+        #: "serial" when the task was ineligible or the batch aborted.
+        self.effective = "batched"
+
+    def run(self, task: ShotTask) -> List[ShotOutcome]:
+        executor = task.executor
+        obs = executor.observer
+        reason = self._ineligible_reason(task)
+        if reason is None:
+            try:
+                return run_batched(task)
+            except BatchedUnsupported as abort:
+                reason = str(abort)
+        if obs.enabled:
+            obs.inc("runtime.scheduler.batched_fallback", reason=reason)
+        self.effective = "serial"
+        return SerialScheduler().run(task)
+
+    @staticmethod
+    def _ineligible_reason(task: ShotTask) -> Optional[str]:
+        executor = task.executor
+        if executor.backend_name != "statevector":
+            return "non-statevector backend"
+        if executor.noise is not None and not executor.noise.is_trivial:
+            return "noise model"
+        if task.resilient:
+            return "per-shot resilience"
+        if task.keep_stats:
+            return "keep_stats"
+        return None
+
+
+def get_scheduler(name: str, jobs: int = 1):
+    """Resolve a scheduler by name (the ``--scheduler`` CLI contract)."""
+    if name not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {', '.join(SCHEDULERS)}"
+        )
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if name == "serial":
+        if jobs > 1:
+            raise ValueError(
+                "jobs > 1 requires --scheduler threaded (serial runs one shot "
+                "at a time)"
+            )
+        return SerialScheduler()
+    if name == "threaded":
+        return ThreadedScheduler(jobs=max(2, jobs) if jobs > 1 else 2)
+    return BatchedScheduler()
+
+
+# -- batched execution --------------------------------------------------------
+
+
+class BatchedUnsupported(Exception):
+    """Raised mid-execution when the program cannot run as one batch."""
+
+
+class BatchedResultStore(ResultStore):
+    """Result store for batched runs: static results hold per-member
+    outcome *vectors*; reading one back (classical feedback) aborts the
+    batch, while the output-recording epilogue (``read_default``) is
+    tolerated -- mirroring the sampling fast path's DeferredResultStore."""
+
+    def new_dynamic(self, value):  # noqa: D102 - see class docstring
+        raise BatchedUnsupported("dynamic (m-style) results")
+
+    def write(self, pointer: object, value) -> None:
+        if not isinstance(pointer, IntPtr):
+            raise BatchedUnsupported("dynamic result pointers")
+        super().write(pointer, value)
+
+    def read(self, pointer: object):
+        value = super().read(pointer)
+        if isinstance(value, np.ndarray):
+            raise BatchedUnsupported("program feeds back on a measurement result")
+        return value
+
+    def read_default(self, pointer: object, default: int = 0) -> int:
+        # Output recording only; per-member values are reconstructed by
+        # the batch runner from the stored vectors.
+        return default
+
+    def member_bitstring(self, member: int) -> str:
+        """Member's bitstring, highest result index leftmost (the shared
+        rendering convention of the per-shot path and the fast path)."""
+        if self.max_static_index < 0:
+            return ""
+        bits = []
+        for address in range(self.max_static_index, -1, -1):
+            value = self._static.get(address, 0)
+            if isinstance(value, np.ndarray):
+                bits.append(str(int(value[member])))
+            else:
+                bits.append(str(int(value)))
+        return "".join(bits)
+
+
+def batch_chunk_size(shots: int, required_qubits: Optional[int]) -> int:
+    """How many members one batched evolution should carry.
+
+    Bounded by an overall amplitude budget (so wide registers get small
+    chunks) and a hard cap; unknown widths use a conservative guess.
+    """
+    width = required_qubits if required_qubits is not None else 12
+    chunk = max(1, _BATCH_AMPLITUDE_BUDGET >> max(0, width))
+    return max(1, min(shots, chunk, _BATCH_CHUNK_CAP))
+
+
+def run_batched(task: ShotTask) -> List[ShotOutcome]:
+    """Evolve all shots as chunked batches; one interpreter run per chunk.
+
+    Member ``i`` of the batch draws from the same spawned seed the serial
+    scheduler would hand shot ``i``'s backend, so counts are identical.
+    """
+    executor = task.executor
+    obs = executor.observer
+    chunk_size = batch_chunk_size(task.shots, task.required_qubits)
+    outcomes: List[ShotOutcome] = []
+    start = 0
+    while start < task.shots:
+        size = min(chunk_size, task.shots - start)
+        seeds = [
+            shot_sequence(task.root, start + member, 0) for member in range(size)
+        ]
+        backend = BatchedStatevectorSimulator(
+            size, seeds=seeds, max_qubits=executor.max_qubits
+        )
+        results = BatchedResultStore()
+        interp = Interpreter(
+            task.module,
+            backend,  # type: ignore[arg-type]
+            step_limit=executor.step_limit,
+            allow_on_the_fly_qubits=executor.allow_on_the_fly_qubits,
+            observer=executor.observer,
+            results=results,
+        )
+        interp.run(task.entry)
+        if obs.enabled:
+            obs.inc("runtime.scheduler.batched_chunks")
+            fold_intrinsic_stats(obs, interp.stats)
+        for member in range(size):
+            outcomes.append(
+                ShotOutcome(
+                    shot=start + member,
+                    bitstring=results.member_bitstring(member),
+                    backend_label=executor.backend_name,
+                )
+            )
+        start += size
+    return outcomes
+
+
+# -- merging ------------------------------------------------------------------
+
+
+def fold_intrinsic_stats(obs, stats: InterpreterStats) -> None:
+    """Roll per-intrinsic profile counters into the observer's metrics."""
+    for name, n in stats.intrinsic_calls.items():
+        obs.inc("runtime.intrinsic_calls", n, intrinsic=name)
+    for name, s in stats.intrinsic_seconds.items():
+        obs.inc("runtime.intrinsic_seconds", s, intrinsic=name)
+
+
+def build_shots_result(
+    task: ShotTask, outcomes: List[ShotOutcome], scheduler_name: str
+) -> ShotsResult:
+    """Deterministic order-independent merge of per-shot outcomes.
+
+    All observer metric writes happen here, on the scheduling thread, so
+    worker threads never touch shared metric state.
+    """
+    outcomes = sorted(outcomes, key=lambda o: o.shot)
+    obs = task.executor.observer
+    profiled = obs.enabled
+
+    counts: Dict[str, int] = {}
+    all_stats: List[InterpreterStats] = []
+    per_backend_stats: Dict[str, InterpreterStats] = {}
+    failures: List[ShotFailure] = []
+    per_error: Dict[str, int] = {}
+    backend_counts: Dict[str, int] = {}
+    retried = 0
+
+    for outcome in outcomes:
+        if profiled:
+            if outcome.seconds is not None:
+                obs.observe("runtime.shot_seconds", outcome.seconds)
+            if outcome.stats is not None:
+                fold_intrinsic_stats(obs, outcome.stats)
+            if outcome.attempts > 1:
+                obs.inc("resilience.retry_attempts", outcome.attempts - 1)
+        if outcome.failure is not None:
+            failures.append(outcome.failure)
+            code = outcome.failure.code
+            per_error[code] = per_error.get(code, 0) + 1
+            if profiled:
+                obs.inc("resilience.shot_failures", code=code)
+            continue
+        assert outcome.bitstring is not None
+        counts[outcome.bitstring] = counts.get(outcome.bitstring, 0) + 1
+        if outcome.attempts > 1:
+            retried += 1
+            if profiled:
+                obs.inc("resilience.retried_shots")
+        if task.resilient:
+            label = outcome.backend_label
+            backend_counts[label] = backend_counts.get(label, 0) + 1
+            if task.keep_stats and outcome.stats is not None:
+                bucket = per_backend_stats.get(label)
+                if bucket is None:
+                    bucket = per_backend_stats[label] = InterpreterStats()
+                bucket.merge(outcome.stats)
+        if task.keep_stats and outcome.stats is not None:
+            all_stats.append(outcome.stats)
+
+    if profiled:
+        demotions = task.chain.demotions_this_run
+        if demotions:
+            obs.inc("resilience.demotions", demotions)
+        if task.injector is not None:
+            obs.inc(
+                "resilience.faults_injected", task.injector.stats.faults_raised
+            )
+
+    if not task.resilient:
+        return ShotsResult(
+            counts=sorted_counts(counts),
+            shots=task.shots,
+            per_shot_stats=all_stats,
+            scheduler=scheduler_name,
+        )
+    return ShotsResult(
+        counts=sorted_counts(counts),
+        shots=task.shots,
+        per_shot_stats=all_stats,
+        per_backend_stats=dict(sorted(per_backend_stats.items())),
+        failed_shots=failures,
+        per_error_counts=dict(sorted(per_error.items())),
+        degraded=task.chain.degraded,
+        backend_shot_counts=dict(sorted(backend_counts.items())),
+        fallback_history=task.chain.history,
+        retried_shots=retried,
+        scheduler=scheduler_name,
+    )

@@ -1,0 +1,248 @@
+"""QirSession: the compile-once/execute-many front door.
+
+The paper's execution model re-runs the whole frontend on every call; a
+server-style deployment (the ROADMAP's millions-of-users north star)
+cannot afford that.  A :class:`QirSession` owns two content-hash-keyed
+LRU caches:
+
+* a **module cache** (``source_hash -> parsed Module``), so re-parsing
+  the same text is a dict hit;
+* a **plan cache** (``source_hash:pipeline:backend:entry ->
+  ExecutionPlan``), so repeated ``run_shots`` calls on the same source
+  skip parse, verify, pass pipeline, and static analysis entirely.
+
+Both caches report ``cache.{module,plan}.{hit,miss}`` counters and
+``session.cache_*`` spans through the runtime's observer, so profile
+output answers "did the second call actually skip the frontend?".
+
+Thread-safety: lookups and insertions happen under one lock, and cached
+plans are frozen (the execute phase treats their modules as read-only),
+so one session can serve concurrent callers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Union
+
+from repro.llvmir.module import Module
+from repro.runtime.execute import ExecutionResult, QirRuntime, ShotsResult
+from repro.runtime.plan import (
+    ExecutionPlan,
+    PipelineLike,
+    compile_plan,
+    content_hash,
+    plan_key,
+)
+
+ProgramLike = Union[str, Module, ExecutionPlan]
+
+
+class QirSession:
+    """A caching execution session over one :class:`QirRuntime`.
+
+    >>> session = QirSession(seed=7)
+    >>> session.run_shots(qir_text, shots=100)   # compiles
+    >>> session.run_shots(qir_text, shots=100)   # plan cache hit: no parse
+
+    Construct with an existing runtime (``QirSession(runtime=rt)``) or
+    with :class:`QirRuntime` keyword arguments, which are forwarded.
+    """
+
+    def __init__(
+        self,
+        runtime: Optional[QirRuntime] = None,
+        *,
+        module_cache_size: int = 32,
+        plan_cache_size: int = 32,
+        **runtime_kwargs,
+    ):
+        if runtime is not None and runtime_kwargs:
+            raise ValueError(
+                "pass either an existing runtime or QirRuntime kwargs, not both"
+            )
+        self.runtime = runtime if runtime is not None else QirRuntime(**runtime_kwargs)
+        self.observer = self.runtime.observer
+        if module_cache_size < 1 or plan_cache_size < 1:
+            raise ValueError("cache sizes must be >= 1")
+        self._module_cache_size = module_cache_size
+        self._plan_cache_size = plan_cache_size
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._plans: "OrderedDict[str, ExecutionPlan]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._stats = {
+            "module": {"hits": 0, "misses": 0},
+            "plan": {"hits": 0, "misses": 0},
+        }
+
+    # -- module cache ---------------------------------------------------------
+    def parse(self, program: Union[str, Module]) -> Module:
+        """Parse (or fetch the cached parse of) a program's text.
+
+        Module instances pass through untouched -- the caller already
+        owns the parse, and hashing would require printing it.
+        """
+        if isinstance(program, Module):
+            return program
+        digest = content_hash(program)
+        return self._parse_cached(program, digest)
+
+    def _parse_cached(self, text: str, digest: str) -> Module:
+        obs = self.observer
+        with self._lock:
+            module = self._modules.get(digest)
+            if module is not None:
+                self._modules.move_to_end(digest)
+                self._stats["module"]["hits"] += 1
+        if module is not None:
+            if obs.enabled:
+                obs.inc("cache.module.hit")
+            return module
+        if obs.enabled:
+            obs.inc("cache.module.miss")
+            with obs.span("session.cache_parse", hash=digest[:12]):
+                module = self._do_parse(text)
+        else:
+            module = self._do_parse(text)
+        with self._lock:
+            self._stats["module"]["misses"] += 1
+            self._modules[digest] = module
+            while len(self._modules) > self._module_cache_size:
+                self._modules.popitem(last=False)
+        return module
+
+    def _do_parse(self, text: str) -> Module:
+        from repro.llvmir.parser import parse_assembly
+
+        return parse_assembly(text, observer=self.observer)
+
+    # -- plan cache -----------------------------------------------------------
+    def compile(
+        self,
+        program: ProgramLike,
+        *,
+        pipeline: PipelineLike = None,
+        entry: Optional[str] = None,
+        verify: bool = True,
+    ) -> ExecutionPlan:
+        """Compile a program to an :class:`ExecutionPlan`, LRU-cached.
+
+        An :class:`ExecutionPlan` passes through unchanged.  Callable
+        pipelines bypass the cache (their identity is not content-
+        addressable); named pipelines and the pipeline-free default are
+        cached under ``content hash + pipeline + backend + entry``.
+        """
+        if isinstance(program, ExecutionPlan):
+            return program
+        obs = self.observer
+        cacheable = pipeline is None or isinstance(pipeline, str)
+        digest = content_hash(program)
+        key = plan_key(
+            digest,
+            pipeline if isinstance(pipeline, str) else None,
+            self.runtime.backend_name,
+            entry,
+        )
+        if cacheable:
+            with self._lock:
+                plan = self._plans.get(key)
+                if plan is not None:
+                    self._plans.move_to_end(key)
+                    self._stats["plan"]["hits"] += 1
+            if plan is not None:
+                if obs.enabled:
+                    obs.inc("cache.plan.hit")
+                return plan
+            if obs.enabled:
+                obs.inc("cache.plan.miss")
+
+        # Pipeline-free compiles reuse the cached pristine parse; pipeline
+        # compiles always parse privately (passes mutate IR in place).
+        module = None
+        if pipeline is None and isinstance(program, str):
+            module = self._parse_cached(program, digest)
+        if obs.enabled:
+            with obs.span("session.cache_compile", hash=digest[:12]):
+                plan = self._compile(program, pipeline, entry, verify, module, digest)
+        else:
+            plan = self._compile(program, pipeline, entry, verify, module, digest)
+        if cacheable:
+            with self._lock:
+                self._stats["plan"]["misses"] += 1
+                self._plans[key] = plan
+                while len(self._plans) > self._plan_cache_size:
+                    self._plans.popitem(last=False)
+        return plan
+
+    def _compile(
+        self,
+        program: Union[str, Module],
+        pipeline: PipelineLike,
+        entry: Optional[str],
+        verify: bool,
+        module: Optional[Module],
+        digest: str,
+    ) -> ExecutionPlan:
+        return compile_plan(
+            program,
+            pipeline=pipeline,
+            backend=self.runtime.backend_name,
+            entry=entry,
+            verify=verify,
+            observer=self.observer,
+            module=module,
+            source_hash=digest,
+        )
+
+    # -- execution ------------------------------------------------------------
+    def run_shots(
+        self,
+        program: ProgramLike,
+        shots: int = 1024,
+        entry: Optional[str] = None,
+        *,
+        pipeline: PipelineLike = None,
+        **kwargs,
+    ) -> ShotsResult:
+        """Compile (cached) then run; kwargs pass to ``QirRuntime.run_shots``."""
+        plan = self.compile(program, pipeline=pipeline, entry=entry)
+        return self.runtime.run_shots(plan, shots, entry, **kwargs)
+
+    def execute(
+        self,
+        program: ProgramLike,
+        entry: Optional[str] = None,
+        *,
+        pipeline: PipelineLike = None,
+    ) -> ExecutionResult:
+        plan = self.compile(program, pipeline=pipeline, entry=entry)
+        return self.runtime.execute(plan, entry)
+
+    # -- introspection --------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/size/capacity per cache (for the profile table)."""
+        with self._lock:
+            return {
+                "module": {
+                    "hits": self._stats["module"]["hits"],
+                    "misses": self._stats["module"]["misses"],
+                    "size": len(self._modules),
+                    "capacity": self._module_cache_size,
+                },
+                "plan": {
+                    "hits": self._stats["plan"]["hits"],
+                    "misses": self._stats["plan"]["misses"],
+                    "size": len(self._plans),
+                    "capacity": self._plan_cache_size,
+                },
+            }
+
+    def clear_caches(self) -> None:
+        with self._lock:
+            self._modules.clear()
+            self._plans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._modules) + len(self._plans)

@@ -17,13 +17,58 @@ Design notes (following the HPC guide's advice):
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.sim.gates import gate_matrix
 
 _ATOL = 1e-12
+
+SeedLike = Union[int, np.random.SeedSequence, None]
+
+
+def _two_qubit_update(view: np.ndarray, matrix: np.ndarray, q0_is_high: bool) -> None:
+    """Apply a 4x4 unitary through a ``(..., 2, ..., 2, ...)`` view.
+
+    ``view`` has the *high* target qubit on axis -4 and the *low* one on
+    axis -2 (batch and spectator axes elsewhere).  The arithmetic is a
+    fixed-order elementwise expansion -- the same expression evaluates
+    identically for the scalar simulator and the batched one, which is
+    what lets serial and batched schedulers reproduce bit-identical
+    amplitudes (and therefore identical counts) from the same seeds.
+    """
+    s = [
+        view[..., 0, :, 0, :].copy(),
+        view[..., 0, :, 1, :].copy(),
+        view[..., 1, :, 0, :].copy(),
+        view[..., 1, :, 1, :].copy(),
+    ]
+    # Matrix index ordering puts qubits[0] in the leading (most significant)
+    # position; map each (bit_high, bit_low) slice to its matrix index.
+    if q0_is_high:
+        order = [0, 1, 2, 3]  # (b_q0, b_q1) == (b_high, b_low)
+    else:
+        order = [0, 2, 1, 3]  # qubits[0] is the low axis: swap middle rows
+    src = [s[order[0]], s[order[1]], s[order[2]], s[order[3]]]
+    for out_index in range(4):
+        row = matrix[out_index]
+        combined = row[0] * src[0] + row[1] * src[1] + row[2] * src[2] + row[3] * src[3]
+        slot = order[out_index]
+        view[..., slot >> 1, :, slot & 1, :] = combined
+
+
+def _apply_dense(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], n: int
+) -> np.ndarray:
+    """General k-qubit tensordot path on one flat state (k >= 3)."""
+    k = len(qubits)
+    psi = state.reshape((2,) * n)
+    axes = [n - 1 - q for q in qubits]
+    tensor = matrix.reshape((2,) * (2 * k))
+    psi = np.tensordot(tensor, psi, axes=(list(range(k, 2 * k)), axes))
+    psi = np.moveaxis(psi, list(range(k)), axes)
+    return np.ascontiguousarray(psi).reshape(-1)
 
 
 class StatevectorSimulator:
@@ -147,15 +192,19 @@ class StatevectorSimulator:
             view[:, 1, :] = new_b
             return
 
-        psi = self._state.reshape((2,) * n)
-        axes = [n - 1 - q for q in qubits]
-        tensor = matrix.reshape((2,) * (2 * k))
-        # Contract gate input indices (the trailing k axes of `tensor`)
-        # against the target axes of psi.
-        psi = np.tensordot(tensor, psi, axes=(list(range(k, 2 * k)), axes))
-        # tensordot moved the k output axes to the front; put them back.
-        psi = np.moveaxis(psi, list(range(k)), axes)
-        self._state = np.ascontiguousarray(psi).reshape(-1)
+        if k == 2:
+            # Fast path: elementwise 4-slice expansion (no tensordot, no
+            # copy of the full state back and forth).  Shared arithmetic
+            # with BatchedStatevectorSimulator -- see _two_qubit_update.
+            hi, lo = max(qubits), min(qubits)
+            low = 1 << lo
+            mid = 1 << (hi - lo - 1)
+            high = len(self._state) // (4 * low * mid)
+            view = self._state.reshape(high, 2, mid, 2, low)
+            _two_qubit_update(view, matrix, q0_is_high=qubits[0] == hi)
+            return
+
+        self._state = _apply_dense(self._state, matrix, qubits, n)
 
     def apply_gate(
         self, name: str, qubits: Sequence[int], params: Sequence[float] = ()
@@ -213,3 +262,190 @@ class StatevectorSimulator:
             bits = "".join(str((int(basis) >> q) & 1) for q in reversed(qubits))
             histogram[bits] = histogram.get(bits, 0) + 1
         return histogram
+
+
+class BatchedStatevectorSimulator:
+    """``batch`` independent statevectors evolving under one instruction
+    stream (the BatchedScheduler's entry point, ROADMAP "batched multi-shot").
+
+    The state is a single ``(batch, 2**n)`` array; every gate applies to
+    all members in one vectorised operation, so the per-instruction Python
+    overhead -- which dominates per-shot re-interpretation for small
+    registers -- is paid once per *batch* instead of once per shot.
+    Measurements genuinely collapse each member against its own RNG
+    stream, so (unlike the deferred-measurement sampling fast path)
+    mid-circuit resets, re-measurement, and gates after measurement are
+    all supported; only *classical feedback* on an outcome is not, since
+    one instruction stream cannot branch differently per member.
+
+    Determinism contract: member ``i`` seeded with seed ``s`` draws the
+    exact uniform sequence -- and applies bit-identical gate arithmetic --
+    that a scalar :class:`StatevectorSimulator` seeded with ``s`` would,
+    so batched counts reproduce serial per-shot counts exactly.
+    """
+
+    def __init__(
+        self,
+        batch: int,
+        num_qubits: int = 0,
+        seeds: Optional[Sequence[SeedLike]] = None,
+        max_qubits: int = 26,
+    ):
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if seeds is not None and len(seeds) != batch:
+            raise ValueError(f"need {batch} seeds, got {len(seeds)}")
+        if num_qubits < 0:
+            raise ValueError("num_qubits must be non-negative")
+        if num_qubits > max_qubits:
+            raise ValueError(
+                f"{num_qubits} qubits exceeds max_qubits={max_qubits}"
+            )
+        self.batch = batch
+        self.max_qubits = max_qubits
+        self._num_qubits = num_qubits
+        seed_list = list(seeds) if seeds is not None else [None] * batch
+        self._rngs = [np.random.default_rng(s) for s in seed_list]
+        self._state = np.zeros((batch, 1 << num_qubits), dtype=np.complex128)
+        self._state[:, 0] = 1.0
+        self._free_slots: List[int] = []
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    def member_state(self, member: int) -> np.ndarray:
+        """One member's amplitude array (a view; do not mutate)."""
+        return self._state[member]
+
+    def _member_axis_view(self, member: int, qubit: int) -> np.ndarray:
+        low = 1 << qubit
+        high = self._state.shape[1] // (2 * low)
+        return self._state[member].reshape(high, 2, low)
+
+    def probability_of_one(self, member: int, qubit: int) -> float:
+        """Member ``i``'s P(bit=1): the same reduction over the same slice
+        a scalar simulator performs, so the float is bit-identical."""
+        self._check_qubit(qubit)
+        view = self._member_axis_view(member, qubit)
+        return float(np.sum(np.abs(view[:, 1, :]) ** 2))
+
+    # -- allocation -------------------------------------------------------------
+    def allocate_qubit(self) -> int:
+        if self._free_slots:
+            return self._free_slots.pop()
+        if self._num_qubits >= self.max_qubits:
+            raise MemoryError(f"cannot grow beyond max_qubits={self.max_qubits}")
+        width = self._state.shape[1]
+        new = np.zeros((self.batch, width * 2), dtype=np.complex128)
+        new[:, :width] = self._state
+        self._state = new
+        slot = self._num_qubits
+        self._num_qubits += 1
+        return slot
+
+    def release_qubit(self, slot: int) -> None:
+        self._check_qubit(slot)
+        self.reset(slot)
+        if slot in self._free_slots:
+            raise ValueError(f"double release of qubit slot {slot}")
+        self._free_slots.append(slot)
+
+    def ensure_qubits(self, count: int) -> None:
+        while self._num_qubits < count:
+            self.allocate_qubit()
+
+    # -- gate application -------------------------------------------------------
+    def _check_qubit(self, qubit: int) -> None:
+        if not 0 <= qubit < self._num_qubits:
+            raise IndexError(
+                f"qubit {qubit} out of range (have {self._num_qubits})"
+            )
+
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        k = len(qubits)
+        if matrix.shape != (1 << k, 1 << k):
+            raise ValueError(f"matrix shape {matrix.shape} does not match {k} qubits")
+        for q in qubits:
+            self._check_qubit(q)
+        if len(set(qubits)) != k:
+            raise ValueError(f"duplicate target qubits: {qubits}")
+
+        if k == 1:
+            low = 1 << qubits[0]
+            high = self._state.shape[1] // (2 * low)
+            view = self._state.reshape(self.batch, high, 2, low)
+            a = view[:, :, 0, :]
+            b = view[:, :, 1, :]
+            new_a = matrix[0, 0] * a + matrix[0, 1] * b
+            new_b = matrix[1, 0] * a + matrix[1, 1] * b
+            view[:, :, 0, :] = new_a
+            view[:, :, 1, :] = new_b
+            return
+        if k == 2:
+            hi, lo = max(qubits), min(qubits)
+            low = 1 << lo
+            mid = 1 << (hi - lo - 1)
+            high = self._state.shape[1] // (4 * low * mid)
+            view = self._state.reshape(self.batch, high, 2, mid, 2, low)
+            _two_qubit_update(view, matrix, q0_is_high=qubits[0] == hi)
+            return
+        # Rare k >= 3 gates: per-member dense application, sharing the
+        # scalar simulator's code path so amplitudes stay bit-identical.
+        n = self._num_qubits
+        for member in range(self.batch):
+            self._state[member] = _apply_dense(
+                self._state[member], matrix, qubits, n
+            )
+
+    def apply_gate(
+        self, name: str, qubits: Sequence[int], params: Sequence[float] = ()
+    ) -> None:
+        self.apply_matrix(gate_matrix(name, params), list(qubits))
+
+    def _apply_x_member(self, member: int, qubit: int) -> None:
+        view = self._member_axis_view(member, qubit)
+        a = view[:, 0, :].copy()
+        view[:, 0, :] = view[:, 1, :]
+        view[:, 1, :] = a
+
+    # -- measurement -------------------------------------------------------------
+    def measure(self, qubit: int) -> np.ndarray:
+        """Measure all members; returns a ``(batch,)`` array of outcomes.
+
+        Each member draws from its own RNG and collapses independently --
+        the per-member equivalent of ``StatevectorSimulator.measure``.
+        """
+        self._check_qubit(qubit)
+        outcomes = np.empty(self.batch, dtype=np.int64)
+        for member in range(self.batch):
+            p1 = self.probability_of_one(member, qubit)
+            outcome = int(self._rngs[member].random() < p1)
+            self._collapse_member(member, qubit, outcome, p1)
+            outcomes[member] = outcome
+        return outcomes
+
+    def _collapse_member(
+        self, member: int, qubit: int, outcome: int, p1: float
+    ) -> None:
+        prob = p1 if outcome else 1.0 - p1
+        if prob < _ATOL:
+            raise FloatingPointError(
+                f"collapse onto outcome {outcome} with probability ~0"
+            )
+        view = self._member_axis_view(member, qubit)
+        view[:, 1 - outcome, :] = 0.0
+        self._state[member] *= 1.0 / math.sqrt(prob)
+
+    def reset(self, qubit: int) -> None:
+        self._check_qubit(qubit)
+        for member in range(self.batch):
+            p1 = self.probability_of_one(member, qubit)
+            if p1 > _ATOL and p1 < 1.0 - _ATOL:
+                outcome = int(self._rngs[member].random() < p1)
+                self._collapse_member(member, qubit, outcome, p1)
+            else:
+                outcome = int(p1 >= 0.5)
+            if outcome == 1:
+                self._apply_x_member(member, qubit)

@@ -43,7 +43,13 @@ from repro.obs.snapshot import BenchRecord, BenchSnapshot, TimingStats, measure
 from repro.passes.manager import BudgetBust, budgets_from_specs
 from repro.passes.pipeline import o1_pipeline, unroll_pipeline
 from repro.runtime.execute import QirRuntime, measure_fastpath_speedup
-from repro.workloads.qir_programs import counted_loop_qir, ghz_qir, qft_qir
+from repro.runtime.session import QirSession
+from repro.workloads.qir_programs import (
+    counted_loop_qir,
+    ghz_qir,
+    qft_qir,
+    reset_chain_qir,
+)
 
 EXIT_OK = 0
 EXIT_USAGE = 2
@@ -167,6 +173,60 @@ def _bench_runtime(snapshot: BenchSnapshot, shots: int, repeats: int) -> None:
             )
 
 
+def _bench_schedulers(snapshot: BenchSnapshot, shots: int, repeats: int) -> None:
+    """Compile-once/execute-many scheduler records (ROADMAP: parallel shots).
+
+    ``reset_chain_qir`` is the non-Clifford mid-circuit-reset workload the
+    sampling fast path rejects, so every scheduler really pays per-shot
+    cost -- the regression gate watches that threaded and batched keep
+    beating serial on it.
+    """
+    text = reset_chain_qir(3, rounds=3)
+    jobs = max(2, min(4, os.cpu_count() or 2))
+
+    def timed(scheduler: str, jobs: int = 1) -> TimingStats:
+        runtime = QirRuntime(seed=7)
+        plan = QirSession(runtime=runtime).compile(text)
+        return measure(
+            lambda: runtime.run_shots(
+                plan, shots=shots, scheduler=scheduler, jobs=jobs
+            ),
+            repeats=repeats,
+        )
+
+    serial = timed("serial")
+    threaded = timed("threaded", jobs=jobs)
+    batched = timed("batched")
+
+    snapshot.add(
+        BenchRecord.from_stats(
+            "runtime.scheduler.serial_seconds", serial,
+            unit="seconds", direction="lower", shots=shots,
+        )
+    )
+    if serial.median > 0:
+        snapshot.record(
+            "runtime.scheduler.serial_shots_per_second",
+            shots / serial.median,
+            unit="shots/sec", direction="higher", k=repeats,
+            metadata={"shots": shots},
+        )
+    if threaded.median > 0:
+        snapshot.record(
+            "runtime.scheduler.threaded_speedup",
+            serial.median / threaded.median,
+            unit="ratio", direction="higher", k=repeats,
+            metadata={"shots": shots, "jobs": jobs},
+        )
+    if batched.median > 0:
+        snapshot.record(
+            "runtime.scheduler.batched_speedup",
+            serial.median / batched.median,
+            unit="ratio", direction="higher", k=repeats,
+            metadata={"shots": shots},
+        )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     suites = [s.strip() for s in args.suite.split(",") if s.strip()]
     for suite in suites:
@@ -187,6 +247,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _bench_passes(snapshot, args.repeats)
     if "runtime" in suites:
         _bench_runtime(snapshot, args.shots, args.repeats)
+        _bench_schedulers(snapshot, args.shots, args.repeats)
 
     if args.output:
         snapshot.write_json(args.output)

@@ -22,11 +22,10 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.llvmir import parse_assembly, verify_module
 from repro.obs.cli import add_observability_args, emit_observability, observer_from_args
 from repro.resilience import FallbackChain, FaultPlan, RetryPolicy, ShotFailure
 from repro.resilience.report import render_timing_line
-from repro.runtime import QirRuntime, QirRuntimeError, TrapError
+from repro.runtime import QirRuntime, QirRuntimeError, QirSession, TrapError
 from repro.sim import NoiseModel
 
 EXIT_OK = 0
@@ -61,6 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--opt", default=None, metavar="PIPELINE",
                         help="run a qir-opt pipeline before executing "
                              "(same names as qir-opt --pipeline)")
+    execution = parser.add_argument_group("execution")
+    execution.add_argument("--scheduler",
+                           choices=["serial", "threaded", "batched"],
+                           default="serial",
+                           help="shot scheduler: serial (default), threaded "
+                                "(--jobs workers), or batched (vectorised "
+                                "multi-shot statevector evolution)")
+    execution.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker threads for --scheduler threaded")
     resilience = parser.add_argument_group("resilience")
     resilience.add_argument("--retries", type=int, default=1, metavar="N",
                             help="attempts per shot (default 1: fail fast)")
@@ -103,31 +111,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _run(args: argparse.Namespace, observer) -> int:
-    try:
-        module = parse_assembly(_read_input(args.input), observer=observer)
-        if not args.no_verify:
-            verify_module(module)
-    except (OSError, ValueError) as error:
-        print(f"qir-run: error: {error}", file=sys.stderr)
+    if args.jobs < 1:
+        print("qir-run: error: --jobs must be >= 1", file=sys.stderr)
+        return EXIT_PARSE
+    if args.jobs > 1 and args.scheduler == "serial":
+        print(
+            "qir-run: error: --jobs > 1 requires --scheduler threaded "
+            "(the serial scheduler runs one shot at a time)",
+            file=sys.stderr,
+        )
         return EXIT_PARSE
 
-    if args.opt is not None:
-        # The lli workflow: optimise, then execute -- sharing the observer
-        # so one invocation profiles parse -> passes -> runtime end to end.
-        from repro.tools.qir_opt import PIPELINES
-
-        factory = PIPELINES.get(args.opt)
-        if factory is None:
-            print(f"qir-run: error: unknown pipeline {args.opt!r}; "
-                  f"choose from {', '.join(sorted(PIPELINES))}", file=sys.stderr)
-            return EXIT_PARSE
-        try:
-            factory().run(module, observer=observer)
-            if not args.no_verify:
-                verify_module(module)
-        except ValueError as error:
-            print(f"qir-run: transform error: {error}", file=sys.stderr)
-            return EXIT_PARSE
+    try:
+        source = _read_input(args.input)
+    except OSError as error:
+        print(f"qir-run: error: {error}", file=sys.stderr)
+        return EXIT_PARSE
 
     try:
         fault_plan = (
@@ -157,11 +156,27 @@ def _run(args: argparse.Namespace, observer) -> int:
         observer=observer,
     )
 
+    # The lli workflow, compile-once style: parse -> verify -> optional
+    # pipeline happen in the session's compile phase, sharing the observer
+    # so one invocation profiles parse -> passes -> runtime end to end (and
+    # the --profile table shows the cache.{module,plan}.* counters).
+    session = QirSession(runtime=runtime)
+    try:
+        plan = session.compile(
+            source,
+            pipeline=args.opt,
+            entry=args.entry,
+            verify=not args.no_verify,
+        )
+    except ValueError as error:
+        print(f"qir-run: error: {error}", file=sys.stderr)
+        return EXIT_PARSE
+
     resilient = args.retries > 1 or fault_plan is not None or args.fallback
 
     try:
         if args.shots <= 1 and not resilient:
-            result = runtime.execute(module, entry=args.entry)
+            result = runtime.execute(plan, entry=args.entry)
             for message in result.messages:
                 print(f"INFO\t{message}")
             output = result.render_output()
@@ -178,13 +193,15 @@ def _run(args: argparse.Namespace, observer) -> int:
             else None
         )
         shots_result = runtime.run_shots(
-            module,
+            plan,
             shots=max(1, args.shots),
             entry=args.entry,
             retry=retry if resilient else None,
             fault_plan=fault_plan,
             fallback=fallback,
             collect_failures=resilient,
+            scheduler=args.scheduler,
+            jobs=args.jobs,
         )
         width = max((len(k) for k in shots_result.counts), default=0)
         for bits, count in sorted(

@@ -97,6 +97,57 @@ attributes #0 = {{ "entry_point" "qir_profiles"="full" "required_num_qubits"="{n
 """
 
 
+def reset_chain_qir(num_qubits: int = 2, rounds: int = 3, angle: float = 0.7) -> str:
+    """Rotation + mid-circuit reset/re-measure chain: the batched scheduler's
+    home turf.
+
+    Each round rotates every qubit by a (non-Clifford) ``ry`` angle,
+    measures it into its static result slot, then resets it -- so the
+    program re-measures the same slots every round.  The deferred-
+    measurement sampling fast path rejects this shape (gates and resets
+    after measurement), and the stabilizer backend cannot take it either
+    (arbitrary rotations), which leaves per-shot interpretation -- exactly
+    the loop ``BatchedScheduler`` vectorises.  No classical feedback, so
+    the batch never aborts.
+    """
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    lines: List[str] = []
+    for r in range(rounds):
+        last = r == rounds - 1
+        for i in range(num_qubits):
+            q = "null" if i == 0 else f"inttoptr (i64 {i} to ptr)"
+            res = "null" if i == 0 else f"inttoptr (i64 {i} to ptr)"
+            theta = angle * (r + 1) + 0.1 * i
+            lines.append(
+                f"  call void @__quantum__qis__ry__body(double {theta!r}, ptr {q})"
+            )
+            lines.append(
+                f"  call void @__quantum__qis__mz__body(ptr {q}, ptr writeonly {res})"
+            )
+            if not last:
+                lines.append(f"  call void @__quantum__qis__reset__body(ptr {q})")
+    body = "\n".join(lines)
+    return f"""
+define void @main() #0 {{
+entry:
+{body}
+  ret void
+}}
+
+declare void @__quantum__qis__ry__body(double, ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr writeonly)
+declare void @__quantum__qis__reset__body(ptr)
+
+attributes #0 = {{ "entry_point" "qir_profiles"="base_profile" "required_num_qubits"="{num_qubits}" "required_num_results"="{num_qubits}" }}
+
+!llvm.module.flags = !{{!0}}
+!0 = !{{i32 1, !"qir_major_version", i32 1}}
+"""
+
+
 def vqe_ansatz_qir(angles: Sequence[float], measure_basis: str = "zz") -> str:
     """One VQE iteration's circuit: a 2-qubit hardware-efficient ansatz.
 

@@ -1,0 +1,271 @@
+"""The execute phase: scheduler selection, determinism, and resilience
+semantics under concurrency (serial / threaded / batched)."""
+
+import pytest
+
+from repro.obs.observer import Observer
+from repro.resilience import (
+    FallbackChain,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+)
+from repro.runtime import (
+    BatchedScheduler,
+    QirRuntime,
+    SerialScheduler,
+    ThreadedScheduler,
+    get_scheduler,
+    run_shots,
+)
+from repro.runtime.errors import BackendFaultError
+from repro.runtime.sampling_fastpath import FastPathUnsupported
+from repro.runtime.schedulers import batch_chunk_size
+from repro.workloads.qir_programs import bell_qir, ghz_qir, qft_qir, reset_chain_qir
+
+FEEDBACK_PROGRAM = """
+define void @main() #0 {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  %b = call i1 @__quantum__qis__read_result__body(ptr null)
+  br i1 %b, label %flip, label %exit
+
+flip:
+  call void @__quantum__qis__x__body(ptr null)
+  br label %exit
+
+exit:
+  call void @__quantum__qis__mz__body(ptr null, ptr inttoptr (i64 1 to ptr))
+  ret void
+}
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__x__body(ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+declare i1 @__quantum__qis__read_result__body(ptr)
+attributes #0 = { "entry_point" "required_num_qubits"="1" "required_num_results"="2" }
+"""
+
+
+def counts_for(text, scheduler, *, seed=123, shots=200, jobs=1, **kwargs):
+    rt = QirRuntime(seed=seed)
+    return rt.run_shots(
+        text, shots=shots, scheduler=scheduler, jobs=jobs, **kwargs
+    )
+
+
+class TestGetScheduler:
+    def test_resolves_each_name(self):
+        assert isinstance(get_scheduler("serial"), SerialScheduler)
+        assert isinstance(get_scheduler("threaded", 4), ThreadedScheduler)
+        assert isinstance(get_scheduler("batched"), BatchedScheduler)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            get_scheduler("quantum")
+
+    def test_jobs_with_serial_raises(self):
+        with pytest.raises(ValueError, match="threaded"):
+            get_scheduler("serial", jobs=4)
+
+    def test_nonpositive_jobs_raises(self):
+        with pytest.raises(ValueError):
+            get_scheduler("threaded", jobs=0)
+
+    def test_runtime_validates_defaults_eagerly(self):
+        with pytest.raises(ValueError, match="threaded"):
+            QirRuntime(scheduler="serial", jobs=4)
+
+
+class TestCrossSchedulerDeterminism:
+    """Acceptance: same seed -> identical counts on every scheduler."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [bell_qir("static"), qft_qir(3), reset_chain_qir(2, rounds=2)],
+        ids=["bell", "qft3", "reset_chain"],
+    )
+    def test_counts_are_identical_across_schedulers(self, text):
+        serial = counts_for(text, "serial", sampling="never")
+        threaded = counts_for(text, "threaded", jobs=3, sampling="never")
+        batched = counts_for(text, "batched")
+        assert serial.counts == threaded.counts == batched.counts
+        assert sum(serial.counts.values()) == 200
+
+    def test_rejected_fastpath_attempt_does_not_shift_seeds(self):
+        # Under sampling="auto" serial/threaded *attempt* the fast path on
+        # this program and get rejected; batched never attempts it.  The
+        # attempt must not consume from the runtime's seed stream, or the
+        # schedulers would diverge.
+        text = reset_chain_qir(2, rounds=2)
+        auto_serial = counts_for(text, "serial")
+        never_serial = counts_for(text, "serial", sampling="never")
+        batched = counts_for(text, "batched")
+        assert auto_serial.counts == never_serial.counts == batched.counts
+
+    def test_result_reports_the_scheduler_that_ran(self):
+        text = reset_chain_qir(2, rounds=2)
+        assert counts_for(text, "serial").scheduler == "serial"
+        assert counts_for(text, "threaded", jobs=2).scheduler == "threaded"
+        assert counts_for(text, "batched").scheduler == "batched"
+
+    def test_threaded_with_one_job_degrades_to_serial_loop(self):
+        text = bell_qir("static")
+        one = counts_for(text, "threaded", jobs=1, sampling="never")
+        many = counts_for(text, "threaded", jobs=4, sampling="never")
+        assert one.counts == many.counts
+
+    def test_module_level_wrapper_accepts_scheduler(self):
+        result = run_shots(
+            bell_qir("static"), shots=50, seed=5,
+            scheduler="threaded", jobs=2, sampling="never",
+        )
+        assert sum(result.counts.values()) == 50
+
+
+class TestBatchedScheduler:
+    def test_never_takes_the_sampling_fastpath(self):
+        result = counts_for(bell_qir("static"), "batched")
+        assert not result.used_fast_path
+        assert result.scheduler == "batched"
+
+    def test_sampling_require_raises(self):
+        with pytest.raises(FastPathUnsupported, match="batched"):
+            counts_for(bell_qir("static"), "batched", sampling="require")
+
+    def test_chunk_size_respects_the_amplitude_budget(self):
+        assert batch_chunk_size(100, 4) == 100
+        assert batch_chunk_size(5000, 4) == 1024  # hard cap
+        assert batch_chunk_size(10, 24) == 1      # wide register: tiny chunks
+        assert batch_chunk_size(10, None) >= 1    # unknown width is safe
+
+    def test_chunked_execution_matches_serial(self, monkeypatch):
+        import repro.runtime.schedulers as schedulers
+
+        monkeypatch.setattr(schedulers, "_BATCH_CHUNK_CAP", 8)
+        text = reset_chain_qir(2, rounds=2)
+        observer = Observer()
+        rt = QirRuntime(seed=123, observer=observer)
+        batched = rt.run_shots(text, shots=40, scheduler="batched")
+        serial = QirRuntime(seed=123).run_shots(text, shots=40, sampling="never")
+        assert batched.counts == serial.counts
+        assert observer.metrics.value("runtime.scheduler.batched_chunks") == 5
+
+    @pytest.mark.parametrize(
+        "kwargs,reason",
+        [
+            ({"keep_stats": True}, "keep_stats"),
+            ({"collect_failures": True}, "per-shot resilience"),
+        ],
+    )
+    def test_static_ineligibility_falls_back_to_serial(self, kwargs, reason):
+        observer = Observer()
+        rt = QirRuntime(seed=1, observer=observer)
+        result = rt.run_shots(
+            bell_qir("static"), shots=20, scheduler="batched",
+            sampling="never", **kwargs,
+        )
+        assert result.scheduler == "serial"
+        assert sum(result.counts.values()) == 20
+        key = "runtime.scheduler.batched_fallback{reason=" + reason + "}"
+        assert observer.metrics.value(key) == 1
+
+    def test_stabilizer_backend_falls_back_to_serial(self):
+        rt = QirRuntime(backend="stabilizer", seed=1)
+        result = rt.run_shots(bell_qir("static"), shots=20, scheduler="batched")
+        assert result.scheduler == "serial"
+        assert sum(result.counts.values()) == 20
+
+    def test_classical_feedback_aborts_the_batch(self):
+        observer = Observer()
+        rt = QirRuntime(seed=3, observer=observer)
+        result = rt.run_shots(FEEDBACK_PROGRAM, shots=30, scheduler="batched")
+        assert result.scheduler == "serial"
+        assert sum(result.counts.values()) == 30
+        counters = observer.snapshot()["counters"]
+        fallbacks = {
+            k: v
+            for k, v in counters.items()
+            if k.startswith("runtime.scheduler.batched_fallback")
+        }
+        assert len(fallbacks) == 1
+        (key,) = fallbacks
+        assert "feeds back" in key
+        # The serial fallback really ran the feedback: the conditional x
+        # zeroes the qubit whenever r0 was 1, so the second measurement is
+        # always 0 (without feedback, "11" would appear).
+        assert set(result.counts) <= {"00", "01"}
+
+    def test_batched_counts_metrics(self):
+        observer = Observer()
+        rt = QirRuntime(seed=9, observer=observer)
+        rt.run_shots(reset_chain_qir(2, rounds=2), shots=25, scheduler="batched")
+        metrics = observer.metrics
+        assert metrics.value("runtime.shots.batched") == 25
+        assert metrics.value("runtime.scheduler.runs{scheduler=batched}") == 1
+
+
+class TestThreadedResilience:
+    """Satellite: fault injection / retry / fallback under concurrency."""
+
+    def test_poisoned_shots_fail_identically_to_serial(self):
+        plan = FaultPlan.poison([3, 9, 17], site="gate")
+        kwargs = dict(
+            shots=40, fault_plan=plan, retry=RetryPolicy(max_attempts=1),
+        )
+        threaded = QirRuntime(seed=1).run_shots(
+            bell_qir("static"), scheduler="threaded", jobs=4, **kwargs
+        )
+        serial = QirRuntime(seed=1).run_shots(bell_qir("static"), **kwargs)
+
+        assert sorted(f.shot for f in threaded.failed_shots) == [3, 9, 17]
+        assert threaded.per_error_counts == {BackendFaultError.code: 3}
+        assert threaded.successful_shots == 37
+        assert sum(threaded.counts.values()) == 37
+        assert threaded.counts == serial.counts
+        assert not threaded.degraded
+
+    def test_transient_faults_recovered_by_retry(self):
+        plan = FaultPlan.poison([2, 11, 23], site="gate", failures=1)
+        result = QirRuntime(seed=1).run_shots(
+            bell_qir("static"), shots=40,
+            scheduler="threaded", jobs=4,
+            fault_plan=plan, retry=RetryPolicy(max_attempts=3),
+        )
+        assert result.successful_shots == 40
+        assert not result.failed_shots
+        assert result.retried_shots == 3
+
+    def test_fallback_demotes_exactly_once_under_concurrency(self):
+        observer = Observer()
+        plan = FaultPlan(rules=(FaultRule(site="gate", backend="statevector"),))
+        chain = FallbackChain(["statevector", "stabilizer"], demote_after=1)
+        rt = QirRuntime(seed=2, observer=observer)
+        result = rt.run_shots(
+            ghz_qir(3), shots=120,
+            scheduler="threaded", jobs=4,
+            fault_plan=plan, fallback=chain, retry=RetryPolicy(max_attempts=2),
+        )
+        assert result.degraded
+        assert result.successful_shots == 120
+        # Every shot replayed onto the demoted rung; the ladder moved once.
+        assert result.backend_shot_counts == {"stabilizer": 120}
+        assert len(result.fallback_history) == 1
+        assert observer.metrics.value("resilience.demotions") == 1
+
+    def test_no_double_counting_under_concurrency(self):
+        plan = FaultPlan.random(probability=0.2, seed=5, site="gate")
+        result = QirRuntime(seed=7).run_shots(
+            bell_qir("static"), shots=100,
+            scheduler="threaded", jobs=6,
+            fault_plan=plan, retry=RetryPolicy(max_attempts=1),
+        )
+        assert result.successful_shots + len(result.failed_shots) == 100
+        assert sum(result.counts.values()) == result.successful_shots
+        assert sum(result.per_error_counts.values()) == len(result.failed_shots)
+
+    def test_counts_keys_stay_sorted(self):
+        result = QirRuntime(seed=4).run_shots(
+            qft_qir(3), shots=150, scheduler="threaded", jobs=3, sampling="never"
+        )
+        assert list(result.counts) == sorted(result.counts)

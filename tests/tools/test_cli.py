@@ -5,7 +5,7 @@ import pytest
 from repro.tools.qir_opt import main as opt_main
 from repro.tools.qir_run import main as run_main
 from repro.tools.qir_translate import main as translate_main
-from repro.workloads.qir_programs import bell_qir, counted_loop_qir
+from repro.workloads.qir_programs import bell_qir, counted_loop_qir, reset_chain_qir
 
 
 @pytest.fixture
@@ -168,6 +168,46 @@ class TestQirRunResilience:
     def test_bad_fault_spec_is_usage_error(self, bell_file, capsys):
         assert run_main([bell_file, "--inject-fault", "gate,nope=1"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestQirRunSchedulers:
+    def test_threaded_scheduler_histogram(self, bell_file, capsys):
+        assert run_main([bell_file, "--shots", "100", "--seed", "2",
+                         "--scheduler", "threaded", "--jobs", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        counts = {k: int(v) for k, v in (line.split("\t") for line in lines)}
+        assert sum(counts.values()) == 100
+
+    def test_schedulers_agree_on_counts(self, tmp_path, capsys):
+        # reset_chain is fastpath-ineligible, so every scheduler really
+        # runs per-shot (or batched) execution and counts must agree.
+        path = tmp_path / "chain.ll"
+        path.write_text(reset_chain_qir(2, rounds=2))
+        outputs = []
+        for flags in (["--scheduler", "serial"],
+                      ["--scheduler", "threaded", "--jobs", "2"],
+                      ["--scheduler", "batched"]):
+            assert run_main([str(path), "--shots", "80", "--seed", "5",
+                             *flags]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_jobs_with_serial_is_usage_error(self, bell_file, capsys):
+        assert run_main([bell_file, "--shots", "10", "--jobs", "4"]) == 2
+        assert "--scheduler threaded" in capsys.readouterr().err
+
+    def test_nonpositive_jobs_is_usage_error(self, bell_file, capsys):
+        assert run_main([bell_file, "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_profile_shows_cache_and_scheduler_sections(self, bell_file, capsys):
+        assert run_main([bell_file, "--shots", "20", "--seed", "7",
+                         "--scheduler", "batched", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "-- compile & cache --" in err
+        assert "cache.plan.miss" in err
+        assert "-- scheduler --" in err
+        assert "runs[batched]" in err
 
 
 class TestQirRunObservability:

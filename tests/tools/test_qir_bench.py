@@ -49,6 +49,20 @@ class TestRun:
         assert record["direction"] == "higher"
         assert record["value"] > 1.0  # sampling beats per-shot re-interpretation
 
+    def test_records_scheduler_speedups(self, snapshot_file):
+        # Acceptance: batched multi-shot evolution beats per-shot serial
+        # interpretation on the non-Clifford reset-chain workload.
+        payload = json.loads(open(snapshot_file).read())
+        by_name = {r["name"]: r for r in payload["records"]}
+        batched = by_name["runtime.scheduler.batched_speedup"]
+        assert batched["unit"] == "ratio"
+        assert batched["direction"] == "higher"
+        assert batched["value"] > 1.0
+        threaded = by_name["runtime.scheduler.threaded_speedup"]
+        assert threaded["direction"] == "higher"
+        assert threaded["metadata"]["jobs"] >= 2
+        assert by_name["runtime.scheduler.serial_shots_per_second"]["value"] > 0
+
     def test_examples_dir_parsed_when_present(self, tmp_path, capsys):
         (tmp_path / "bell.ll").write_text(bell_qir("static"))
         out = str(tmp_path / "snap.json")
