@@ -124,17 +124,30 @@ class RegressionReport:
                   for i in range(len(header))]
         lines = [f"== qir-bench diff (threshold {self.threshold * 100:.0f}%) =="]
         if self.environment_changed:
-            changed = ", ".join(
-                f"{k}: {v['baseline']} -> {v['current']}"
-                for k, v in sorted(self.environment_diff.items())
+            # One line per drifted fingerprint key: a "regression" against
+            # a different python/numpy/platform is apples to oranges, and
+            # the report itself must say which apple changed.
+            lines.append(
+                "  WARNING environment changed -- timings compare "
+                "different environments:"
             )
-            lines.append(f"  WARNING environment changed ({changed})")
+            for key, value in sorted(self.environment_diff.items()):
+                baseline = value.get("baseline") if isinstance(value, dict) else None
+                current = value.get("current") if isinstance(value, dict) else None
+                lines.append(
+                    f"    {key}: {_fmt_env(baseline)} -> {_fmt_env(current)}"
+                )
         lines.append("  " + "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
         for row in rows:
             lines.append("  " + "  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
         verdict = "PASS" if self.passed else f"FAIL ({len(self.regressions)} regression(s))"
         lines.append(f"  -> {verdict}")
         return "\n".join(lines)
+
+
+def _fmt_env(value: object) -> str:
+    """Fingerprint values for the delta block; absent keys show as '(absent)'."""
+    return "(absent)" if value is None else str(value)
 
 
 def _fmt(value: Optional[float]) -> str:

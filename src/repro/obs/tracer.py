@@ -93,6 +93,34 @@ class Tracer:
     def span(self, name: str, **tags: object) -> Span:
         return Span(self, name, tags)
 
+    def complete(
+        self,
+        name: str,
+        start: float,
+        seconds: float,
+        tid: int = 0,
+        **tags: object,
+    ) -> None:
+        """Record an interval measured elsewhere (e.g. in a worker process).
+
+        ``start`` is a value of this tracer's own clock (the caller notes
+        it before handing work off); ``seconds`` is the duration the
+        worker reported.  ``tid`` separates parallel tracks so folded
+        worker spans render side by side in the flame graph.
+        """
+        event: Dict[str, object] = {
+            "name": name,
+            "cat": str(tags.get("cat", "repro")),
+            "ph": "X",
+            "ts": round((start - self._origin) * 1e6, 3),
+            "dur": round(seconds * 1e6, 3),
+            "pid": 0,
+            "tid": tid,
+        }
+        if tags:
+            event["args"] = {k: _jsonable(v) for k, v in tags.items()}
+        self.events.append(event)
+
     def instant(self, name: str, **tags: object) -> None:
         """Record a zero-duration marker (Chrome ``ph: "i"``)."""
         event: Dict[str, object] = {

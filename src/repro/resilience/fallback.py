@@ -101,6 +101,19 @@ class FallbackChain:
             return self._clifford_ok
         return True
 
+    def worker_clone(self) -> "FallbackChain":
+        """A private copy for a scheduler worker process.
+
+        Same ladder, current position, and Clifford eligibility, but a
+        *fresh* history and failure count: the worker reports only the
+        demotions it performed itself, so the parent can merge worker
+        histories without double-counting its own (see the process
+        scheduler's per-worker demotion semantics)."""
+        clone = FallbackChain(self.levels, demote_after=self.demote_after)
+        clone._index = self._index
+        clone._clifford_ok = self._clifford_ok
+        return clone
+
     # -- state -------------------------------------------------------------------
     @property
     def current(self) -> BackendLevel:

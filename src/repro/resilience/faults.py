@@ -227,9 +227,11 @@ class FaultInjector:
         self.stats = InjectorStats()
         self._lock = threading.Lock()
 
-    def note_fault_raised(self) -> None:
+    def note_fault_raised(self, count: int = 1) -> None:
+        """Count raised faults (``count`` lets a scheduler merge a whole
+        worker process's tally in one call)."""
         with self._lock:
-            self.stats.faults_raised += 1
+            self.stats.faults_raised += count
 
     def note_record_corrupted(self) -> None:
         with self._lock:

@@ -41,22 +41,33 @@ from repro.runtime.qubit_manager import QubitManager
 from repro.runtime.results import ResultStore
 from repro.runtime.output import OutputRecord, OutputRecorder
 from repro.runtime.interpreter import Interpreter
-from repro.runtime.plan import ExecutionPlan, compile_plan, content_hash, plan_key
+from repro.runtime.plan import (
+    ExecutionPlan,
+    PlanDecodeError,
+    compile_plan,
+    content_hash,
+    plan_key,
+)
+from repro.runtime.plancache import PlanCache, default_cache_dir
 from repro.runtime.schedulers import (
     SCHEDULERS,
     BatchedScheduler,
+    ProcessScheduler,
     SerialScheduler,
     ShotOutcome,
     ThreadedScheduler,
     get_scheduler,
+    partition_shots,
 )
 from repro.runtime.execute import (
     ExecutionResult,
     FastpathComparison,
     QirRuntime,
+    SchedulerComparison,
     ShotsResult,
     execute,
     measure_fastpath_speedup,
+    measure_scheduler_speedup,
     run_shots,
 )
 from repro.runtime.session import QirSession
@@ -84,6 +95,9 @@ __all__ = [
     "OutputRecorder",
     "Interpreter",
     "ExecutionPlan",
+    "PlanDecodeError",
+    "PlanCache",
+    "default_cache_dir",
     "compile_plan",
     "content_hash",
     "plan_key",
@@ -91,14 +105,18 @@ __all__ = [
     "SerialScheduler",
     "ThreadedScheduler",
     "BatchedScheduler",
+    "ProcessScheduler",
     "ShotOutcome",
     "get_scheduler",
+    "partition_shots",
     "ExecutionResult",
     "FastpathComparison",
+    "SchedulerComparison",
     "ShotsResult",
     "QirRuntime",
     "QirSession",
     "execute",
     "measure_fastpath_speedup",
+    "measure_scheduler_speedup",
     "run_shots",
 ]

@@ -12,8 +12,9 @@ Architecturally this module is now a thin front over the two-phase stack:
   one anywhere it accepts source, skipping the frontend entirely);
 * the **execute phase** (:mod:`repro.runtime.schedulers`) runs the shots
   through a pluggable :class:`ShotScheduler` -- ``serial`` (default),
-  ``threaded`` (``jobs=N`` workers), or ``batched`` (one vectorised
-  statevector evolution) -- all of which reproduce identical ``counts``
+  ``threaded`` (``jobs=N`` workers), ``batched`` (one vectorised
+  statevector evolution), or ``process`` (``jobs=N`` worker processes
+  fed serialized plans) -- all of which reproduce identical ``counts``
   for the same ``seed=`` thanks to spawned per-shot seeding.
 
 For cross-call caching of parsed modules and compiled plans, use
@@ -43,7 +44,7 @@ from repro.resilience.fallback import BackendLevel, FallbackChain, program_is_cl
 from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.resilience.retry import RetryPolicy
 from repro.runtime.interpreter import Interpreter
-from repro.runtime.plan import ExecutionPlan, _analyze_entry
+from repro.runtime.plan import ExecutionPlan, _analyze_entry, compile_plan
 from repro.runtime.sampling_fastpath import (
     DeferredMeasurementBackend,
     DeferredResultStore,
@@ -72,9 +73,11 @@ __all__ = [
     "ShotsResult",
     "QirRuntime",
     "FastpathComparison",
+    "SchedulerComparison",
     "execute",
     "run_shots",
     "measure_fastpath_speedup",
+    "measure_scheduler_speedup",
 ]
 
 
@@ -181,7 +184,10 @@ class QirRuntime:
         ``scheduler`` / ``jobs`` override the runtime's default execute
         strategy for this call.  The ``batched`` scheduler never takes the
         sampling fast path (it exists for the programs the fast path
-        rejects), so ``sampling="require"`` with it raises.
+        rejects), so ``sampling="require"`` with it raises.  The
+        ``process`` scheduler ships the compiled plan to worker processes
+        as :meth:`ExecutionPlan.to_bytes` payloads; raw text/``Module``
+        programs are compiled (without re-verification) to make one.
 
         Passing any of ``retry`` / ``fault_plan`` / ``fallback`` (or
         ``collect_failures=True``) selects the *resilient* per-shot loop:
@@ -314,6 +320,17 @@ class QirRuntime:
         if required_qubits is None and sched.name == "batched":
             required_qubits = _analyze_entry(module, entry)[2]
 
+        # Process workers need the program as bytes.  A compiled plan
+        # serializes directly; raw programs get a lightweight plan (no
+        # re-verify -- the parent already ran its own checks, and workers
+        # re-validate integrity via the embedded module hash).
+        plan_bytes = None
+        if sched.name == "process":
+            worker_plan = plan if plan is not None else compile_plan(
+                module, backend=self.backend_name, entry=entry, verify=False
+            )
+            plan_bytes = worker_plan.to_bytes()
+
         task = ShotTask(
             executor=executor,
             module=module,
@@ -327,6 +344,7 @@ class QirRuntime:
             resilient=resilient,
             timed=self.observer.enabled,
             required_qubits=required_qubits,
+            plan_bytes=plan_bytes,
         )
         outcomes = sched.run(task)
         effective = getattr(sched, "effective", sched.name)
@@ -439,6 +457,87 @@ def measure_fastpath_speedup(
     if rt.observer.enabled and comparison.speedup is not None:
         labels = {"workload": workload} if workload else {}
         rt.observer.set_gauge("runtime.fastpath_speedup", comparison.speedup, **labels)
+    return comparison
+
+
+@dataclass(frozen=True)
+class SchedulerComparison:
+    """Measured scheduler-vs-serial cost for one per-shot workload.
+
+    ``speedup`` is the win factor of the scheduler over the serial loop
+    (>1 means the scheduler is faster); ``None`` when the scheduled
+    timing was below clock resolution (the ``shots_per_second``
+    convention).  On single-core machines expect ~1 or below for
+    ``process`` -- the CI perf gate runs on multi-core runners.
+    """
+
+    scheduler: str
+    jobs: int
+    shots: int
+    repeats: int
+    serial_seconds: float
+    scheduled_seconds: float
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.scheduled_seconds <= 0.0:
+            return None
+        return self.serial_seconds / self.scheduled_seconds
+
+
+def measure_scheduler_speedup(
+    program: ModuleLike,
+    scheduler: str = "process",
+    jobs: int = 2,
+    shots: int = 128,
+    repeats: int = 3,
+    warmup: int = 1,
+    seed: Optional[int] = None,
+    runtime: Optional[QirRuntime] = None,
+    workload: Optional[str] = None,
+) -> SchedulerComparison:
+    """Median-of-k scheduler-vs-serial timing (ROADMAP "process execution").
+
+    Both arms run ``sampling="never"`` (the schedulers exist for the
+    per-shot loop; the fast path would short-circuit them both) on one
+    shared compiled plan, so the ratio isolates pure execute-phase cost.
+    When the runtime carries an enabled observer the ratio lands as a
+    ``runtime.scheduler.<name>_speedup`` gauge (labeled by ``workload``
+    when given), the same number ``qir-bench`` records.
+    """
+    from repro.obs.snapshot import measure
+    from repro.runtime.session import QirSession
+
+    rt = runtime if runtime is not None else QirRuntime(seed=seed)
+    session = QirSession(runtime=rt)
+    plan = session.compile(program)
+    serial = measure(
+        lambda: rt.run_shots(
+            plan, shots=shots, sampling="never", scheduler="serial", jobs=1
+        ),
+        repeats=repeats,
+        warmup=warmup,
+    )
+    scheduled = measure(
+        lambda: rt.run_shots(
+            plan, shots=shots, sampling="never", scheduler=scheduler, jobs=jobs
+        ),
+        repeats=repeats,
+        warmup=warmup,
+    )
+    comparison = SchedulerComparison(
+        scheduler=scheduler,
+        jobs=jobs,
+        shots=shots,
+        repeats=repeats,
+        serial_seconds=serial.median,
+        scheduled_seconds=scheduled.median,
+    )
+    if rt.observer.enabled and comparison.speedup is not None:
+        labels = {"workload": workload} if workload else {}
+        rt.observer.set_gauge(
+            f"runtime.scheduler.{scheduler}_speedup", comparison.speedup, **labels
+        )
     return comparison
 
 

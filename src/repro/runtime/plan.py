@@ -27,6 +27,7 @@ read-only, which is what makes one plan safely shareable across repeated
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Optional, Tuple, Union
@@ -39,6 +40,18 @@ from repro.obs.observer import as_observer
 from repro.resilience.fallback import program_is_clifford
 
 PipelineLike = Union[None, str, Callable]
+
+#: Wire-format version of :meth:`ExecutionPlan.to_bytes`.  Bump on any
+#: incompatible layout change; decoders reject newer versions, and the
+#: disk cache (:mod:`repro.runtime.plancache`) keys on it so a format
+#: bump silently invalidates every persisted plan.
+PLAN_WIRE_VERSION = 1
+
+
+class PlanDecodeError(ValueError):
+    """A serialized plan could not be decoded (corrupt, truncated, or
+    written by a newer wire format).  Callers holding the original source
+    should treat this as a cache miss and recompile."""
 
 
 def content_hash(program: Union[str, Module]) -> str:
@@ -127,6 +140,96 @@ class ExecutionPlan:
         if self.is_clifford:
             parts.append("clifford")
         return " ".join(parts)
+
+    # -- serialization ---------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize the plan for another process (or the disk cache).
+
+        The module travels as its printed IR plus a SHA-256 of that text,
+        so a decoder can prove integrity before parsing; every analysis
+        field rides along verbatim, which is the point -- a deserialized
+        plan skips verify, passes, and analysis entirely.  Note the
+        printed text is the *compiled* module (post-pipeline), while
+        ``source_hash`` stays the identity of the original source.
+        """
+        module_text = print_module(self.module)
+        payload = {
+            "wire_version": PLAN_WIRE_VERSION,
+            "module_text": module_text,
+            "module_sha256": hashlib.sha256(
+                module_text.encode("utf-8")
+            ).hexdigest(),
+            "source_hash": self.source_hash,
+            "key": self.key,
+            "backend": self.backend,
+            "pipeline": self.pipeline,
+            "entry": self.entry,
+            "entry_point": self.entry_point,
+            "profile": self.profile,
+            "required_qubits": self.required_qubits,
+            "required_results": self.required_results,
+            "is_clifford": self.is_clifford,
+            "compile_seconds": self.compile_seconds,
+            "verified": self.verified,
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ExecutionPlan":
+        """Decode a plan serialized by :meth:`to_bytes`.
+
+        Raises :class:`PlanDecodeError` on anything suspect -- malformed
+        JSON, a newer wire version, a module text whose hash does not
+        match -- never a half-reconstructed plan.  The module text is
+        re-parsed (cheap next to verify + passes + analysis, which are
+        all skipped because their results ride in the payload).
+        """
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise PlanDecodeError(f"not a serialized plan: {error}") from error
+        if not isinstance(payload, dict):
+            raise PlanDecodeError("not a serialized plan: expected a JSON object")
+        version = payload.get("wire_version")
+        if not isinstance(version, int):
+            raise PlanDecodeError("serialized plan is missing wire_version")
+        if version > PLAN_WIRE_VERSION:
+            raise PlanDecodeError(
+                f"plan wire_version {version} is newer than supported "
+                f"({PLAN_WIRE_VERSION}); recompile from source"
+            )
+        text = payload.get("module_text")
+        if not isinstance(text, str):
+            raise PlanDecodeError("serialized plan is missing module_text")
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        if digest != payload.get("module_sha256"):
+            raise PlanDecodeError(
+                "module text does not match its recorded hash (corrupt entry)"
+            )
+        try:
+            module = parse_assembly(text)
+        except Exception as error:
+            raise PlanDecodeError(
+                f"serialized module text failed to parse: {error}"
+            ) from error
+        try:
+            return cls(
+                module=module,
+                source_hash=str(payload["source_hash"]),
+                key=str(payload["key"]),
+                backend=str(payload.get("backend", "statevector")),
+                pipeline=payload.get("pipeline"),
+                entry=payload.get("entry"),
+                entry_point=payload.get("entry_point"),
+                profile=payload.get("profile"),
+                required_qubits=payload.get("required_qubits"),
+                required_results=payload.get("required_results"),
+                is_clifford=bool(payload.get("is_clifford", False)),
+                compile_seconds=float(payload.get("compile_seconds", 0.0)),
+                verified=bool(payload.get("verified", False)),
+            )
+        except KeyError as error:
+            raise PlanDecodeError(f"serialized plan is missing {error}") from error
 
 
 def _analyze_entry(

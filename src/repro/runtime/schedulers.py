@@ -15,25 +15,38 @@ turns "run N shots of this module" into per-shot tasks:
   sampling fast path is inapplicable (mid-circuit reset, re-measurement,
   gates after measurement).  Programs with *classical feedback* on a
   measurement abort with :class:`BatchedUnsupported` and fall back to the
-  per-shot loop.
+  per-shot loop;
+* :class:`ProcessScheduler` -- N worker *processes* over contiguous shot
+  chunks, for the pure-Python-bound workloads where the GIL caps
+  :class:`ThreadedScheduler` (threads only overlap NumPy kernels).
+  Workers receive the compiled program as a *serialized*
+  :class:`~repro.runtime.plan.ExecutionPlan` (``to_bytes``), never
+  re-running verify/passes/analysis.
 
 Determinism: every shot's RNG is derived from a spawned child seed --
 ``SeedSequence(entropy=root, spawn_key=(shot, attempt))`` -- never from a
-shared stream, so serial, threaded, and batched execution of the same
-program with the same seed produce identical ``counts``.
+shared stream, so serial, threaded, batched, and process execution of the
+same program with the same seed produce identical ``counts``.
 
 Resilience (retry / fault injection / backend fallback) hooks in at the
 per-shot *task* level, so every scheduler gets the same semantics: a
 failing shot is retried per policy, the shared
 :class:`~repro.resilience.fallback.FallbackChain` is consulted under a
 lock (demotions happen exactly once per rung even under concurrency),
-and unrecovered failures become structured records on the result.
+and unrecovered failures become structured records on the result.  The
+one documented divergence is process fallback: workers cannot share a
+lock across process boundaries, so each worker demotes *its own* clone
+of the chain (fault decisions stay deterministic per shot), and the
+merge ORs the ``degraded`` flags and concatenates histories in worker
+order -- a demotion in any worker marks the whole run degraded, but
+shots in other workers may still have run on the original rung.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple, Union
@@ -41,8 +54,14 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.llvmir.module import Module
+from repro.obs.observer import NULL_OBSERVER
 from repro.resilience.fallback import BackendLevel, FallbackChain
-from repro.resilience.faults import FaultInjector, FaultyBackend, ShotFaultContext
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyBackend,
+    ShotFaultContext,
+)
 from repro.resilience.report import ShotFailure, render_failure_report
 from repro.resilience.retry import RetryPolicy
 from repro.runtime.errors import QirRuntimeError
@@ -54,7 +73,7 @@ from repro.sim.noise import NoiseModel, NoisyBackend
 from repro.sim.stabilizer import StabilizerSimulator
 from repro.sim.statevector import BatchedStatevectorSimulator, StatevectorSimulator
 
-SCHEDULERS = ("serial", "threaded", "batched")
+SCHEDULERS = ("serial", "threaded", "batched", "process")
 
 SeedLike = Union[int, np.random.SeedSequence, None]
 
@@ -257,6 +276,10 @@ class ChainGuard:
         self._chain = chain
         self._lock = threading.Lock()
         self._initial_history = len(chain.history)
+        # Worker-process merge state (see ProcessScheduler): demotions
+        # performed inside worker clones, folded back in worker order.
+        self._worker_degraded = False
+        self._worker_history: List[str] = []
 
     @property
     def current(self) -> BackendLevel:
@@ -271,20 +294,35 @@ class ChainGuard:
         with self._lock:
             return self._chain.note_failure(error)
 
+    def worker_chain(self) -> FallbackChain:
+        """A picklable clone for one worker process (empty history)."""
+        with self._lock:
+            return self._chain.worker_clone()
+
+    def absorb_worker(self, degraded: bool, history: List[str]) -> None:
+        """Fold one worker clone's demotion record into the merged view."""
+        with self._lock:
+            self._worker_degraded = self._worker_degraded or degraded
+            self._worker_history.extend(history)
+
     @property
     def degraded(self) -> bool:
         with self._lock:
-            return self._chain.degraded
+            return self._chain.degraded or self._worker_degraded
 
     @property
     def history(self) -> List[str]:
         with self._lock:
-            return list(self._chain.history)
+            return list(self._chain.history) + list(self._worker_history)
 
     @property
     def demotions_this_run(self) -> int:
         with self._lock:
-            return len(self._chain.history) - self._initial_history
+            return (
+                len(self._chain.history)
+                - self._initial_history
+                + len(self._worker_history)
+            )
 
 
 class ShotExecutor:
@@ -477,6 +515,10 @@ class ShotTask:
     resilient: bool
     timed: bool
     required_qubits: Optional[int] = None
+    #: Serialized ExecutionPlan for process workers (set by the runtime
+    #: whenever the process scheduler is selected); workers deserialize
+    #: this instead of re-running the compile phase.
+    plan_bytes: Optional[bytes] = None
 
     def run_one(self, shot: int) -> ShotOutcome:
         # Outcome stats are kept whenever the run is profiled (the merge
@@ -534,6 +576,264 @@ class ThreadedScheduler:
             # pool.map preserves submission order and re-raises the first
             # in-order exception, matching serial fail-fast semantics.
             return list(pool.map(task.run_one, range(task.shots)))
+
+
+# -- process execution --------------------------------------------------------
+
+
+@dataclass
+class _WorkerChunk:
+    """Everything one worker process needs, all of it picklable.
+
+    The program travels as serialized plan bytes; resilience state as a
+    lock-free :meth:`~repro.resilience.fallback.FallbackChain.worker_clone`
+    and the raw :class:`FaultPlan` (per-shot fault decisions are pure
+    functions of ``(plan.seed, rule, shot)``, so per-worker injectors
+    reconstruct the exact failure set any other scheduler would see).
+    """
+
+    index: int
+    start: int
+    stop: int
+    plan_bytes: bytes
+    entry: Optional[str]
+    backend_name: str
+    noise: Optional[NoiseModel]
+    step_limit: int
+    max_qubits: int
+    allow_on_the_fly_qubits: bool
+    policy: RetryPolicy
+    fault_plan: Optional[FaultPlan]
+    chain: FallbackChain
+    keep_stats: bool
+    resilient: bool
+    root: np.random.SeedSequence
+
+
+@dataclass
+class _WorkerReport:
+    """One worker's merged contribution, shipped back to the parent."""
+
+    index: int
+    outcomes: List[ShotOutcome]
+    degraded: bool
+    history: List[str]
+    faults_raised: int
+    seconds: float
+    #: Fail-fast mode only: the first error this worker's chunk hit (the
+    #: chunk stops there, mirroring the serial loop's early exit).
+    error: Optional[QirRuntimeError] = None
+    error_shot: int = -1
+
+
+def _run_worker_chunk(chunk: _WorkerChunk) -> _WorkerReport:
+    """The worker-process entry point: deserialize the plan, run a
+    contiguous shot range, report outcomes plus resilience deltas.
+
+    Must stay a module-level function (spawn pickles it by reference).
+    Workers run unobserved -- metric folding happens in the parent's
+    order-independent merge, same as the threaded scheduler.
+    """
+    # Imported here, not at module top: plan.py imports nothing from this
+    # module at call time, but keeping the worker's import surface explicit
+    # makes the spawn path's cost visible in one place.
+    from repro.runtime.plan import ExecutionPlan
+
+    t0 = perf_counter()
+    plan = ExecutionPlan.from_bytes(chunk.plan_bytes)
+    executor = ShotExecutor(
+        chunk.backend_name,
+        chunk.noise,
+        chunk.step_limit,
+        chunk.max_qubits,
+        chunk.allow_on_the_fly_qubits,
+        NULL_OBSERVER,
+    )
+    guard = ChainGuard(chunk.chain)
+    injector = (
+        FaultInjector(chunk.fault_plan) if chunk.fault_plan is not None else None
+    )
+    outcomes: List[ShotOutcome] = []
+    error: Optional[QirRuntimeError] = None
+    error_shot = -1
+    for shot in range(chunk.start, chunk.stop):
+        try:
+            outcomes.append(
+                executor.run_shot(
+                    plan.module,
+                    chunk.entry,
+                    shot,
+                    chunk.root,
+                    guard,
+                    injector,
+                    chunk.policy,
+                    chunk.keep_stats,
+                    collect=chunk.resilient,
+                    timed=False,
+                )
+            )
+        except QirRuntimeError as exc:
+            # Fail-fast (non-resilient) semantics: stop the chunk at its
+            # first failure; the parent raises the globally-first one.
+            error = exc
+            error_shot = shot
+            break
+    return _WorkerReport(
+        index=chunk.index,
+        outcomes=outcomes,
+        degraded=chunk.chain.degraded,
+        history=list(chunk.chain.history),
+        faults_raised=injector.stats.faults_raised if injector is not None else 0,
+        seconds=perf_counter() - t0,
+        error=error,
+        error_shot=error_shot,
+    )
+
+
+def partition_shots(shots: int, workers: int) -> List[Tuple[int, int]]:
+    """Split ``range(shots)`` into at most ``workers`` contiguous chunks.
+
+    Early chunks get the remainder, so sizes differ by at most one and
+    every shot index appears exactly once -- the determinism story does
+    not depend on the split (seeds are pure functions of shot index),
+    only completeness does.
+    """
+    if shots < 1:
+        return []
+    workers = max(1, min(workers, shots))
+    base, extra = divmod(shots, workers)
+    chunks: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(workers):
+        size = base + (1 if index < extra else 0)
+        chunks.append((start, start + size))
+        start += size
+    return chunks
+
+
+def _default_start_method() -> str:
+    """Prefer ``fork`` where available (no per-worker interpreter boot or
+    re-import cost); ``spawn`` elsewhere.  Workers never rely on inherited
+    state either way -- everything arrives via the pickled chunk."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+class ProcessScheduler:
+    """N worker processes over contiguous shot chunks.
+
+    The GIL escape hatch: for pure-Python-bound per-shot workloads
+    (small registers, interpreter-dominated cost) threads buy almost
+    nothing -- ``runtime.scheduler.threaded_speedup`` hovers near 1 --
+    while processes scale with cores.  Each worker deserializes the
+    compiled :class:`~repro.runtime.plan.ExecutionPlan` from bytes
+    (parse of printed IR only; verify, passes, and analysis never
+    re-run), executes its chunk with the same spawned per-shot seeds
+    every other scheduler uses, and ships outcomes back for the shared
+    order-independent merge -- so counts are bit-identical to serial
+    for a fixed seed.
+
+    Resilience: retry and fault injection are per-shot-deterministic and
+    behave exactly as in serial.  Backend fallback degrades to
+    *per-worker* demotion (documented in the module docstring): each
+    worker demotes its own chain clone, and the merged result ORs the
+    ``degraded`` flags and concatenates histories in worker order.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int = 2, start_method: Optional[str] = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.start_method = start_method or _default_start_method()
+        #: What actually ran: flips to "serial" when the pool would be
+        #: pointless (one shot, or one worker).
+        self.effective = "process"
+
+    def run(self, task: ShotTask) -> List[ShotOutcome]:
+        if task.shots <= 1 or self.jobs == 1:
+            self.effective = "serial"
+            return SerialScheduler().run(task)
+        if task.plan_bytes is None:
+            raise ValueError(
+                "process scheduler needs task.plan_bytes (a serialized "
+                "ExecutionPlan); run it through QirRuntime.run_shots"
+            )
+        chunks = [
+            _WorkerChunk(
+                index=index,
+                start=start,
+                stop=stop,
+                plan_bytes=task.plan_bytes,
+                entry=task.entry,
+                backend_name=task.executor.backend_name,
+                noise=task.executor.noise,
+                step_limit=task.executor.step_limit,
+                max_qubits=task.executor.max_qubits,
+                allow_on_the_fly_qubits=task.executor.allow_on_the_fly_qubits,
+                policy=task.policy,
+                fault_plan=task.injector.plan if task.injector is not None else None,
+                chain=task.chain.worker_chain(),
+                keep_stats=task.keep_stats or task.timed,
+                resilient=task.resilient,
+                root=task.root,
+            )
+            for index, (start, stop) in enumerate(
+                partition_shots(task.shots, self.jobs)
+            )
+        ]
+        obs = task.executor.observer
+        pool_start = perf_counter()
+        context = multiprocessing.get_context(self.start_method)
+        with ProcessPoolExecutor(
+            max_workers=len(chunks), mp_context=context
+        ) as pool:
+            reports = list(pool.map(_run_worker_chunk, chunks))
+        return self._merge(task, reports, obs, pool_start)
+
+    def _merge(
+        self,
+        task: ShotTask,
+        reports: List[_WorkerReport],
+        obs,
+        pool_start: float,
+    ) -> List[ShotOutcome]:
+        """Fold worker reports into the parent's shared state.
+
+        Worker-*index* order (not completion order), so histories and
+        metric folds are deterministic regardless of pool scheduling.
+        """
+        outcomes: List[ShotOutcome] = []
+        first_error: Optional[QirRuntimeError] = None
+        first_error_shot = -1
+        for report in sorted(reports, key=lambda r: r.index):
+            outcomes.extend(report.outcomes)
+            task.chain.absorb_worker(report.degraded, report.history)
+            if task.injector is not None and report.faults_raised:
+                task.injector.note_fault_raised(report.faults_raised)
+            if report.error is not None and (
+                first_error is None or report.error_shot < first_error_shot
+            ):
+                first_error = report.error
+                first_error_shot = report.error_shot
+            if obs.enabled:
+                obs.inc("runtime.scheduler.process_chunks")
+                obs.tracer.complete(
+                    "process.worker",
+                    start=pool_start,
+                    seconds=report.seconds,
+                    tid=report.index + 1,
+                    worker=report.index,
+                    shots=len(report.outcomes),
+                )
+        if first_error is not None:
+            # Each chunk stops at its own first failure, so the minimum
+            # failing shot across chunks is the globally first one -- the
+            # exact error the serial loop would have raised.
+            raise first_error
+        return outcomes
 
 
 class BatchedScheduler:
@@ -602,6 +902,8 @@ def get_scheduler(name: str, jobs: int = 1):
         return SerialScheduler()
     if name == "threaded":
         return ThreadedScheduler(jobs=max(2, jobs) if jobs > 1 else 2)
+    if name == "process":
+        return ProcessScheduler(jobs=max(2, jobs) if jobs > 1 else 2)
     return BatchedScheduler()
 
 

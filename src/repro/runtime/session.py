@@ -15,6 +15,14 @@ Both caches report ``cache.{module,plan}.{hit,miss}`` counters and
 ``session.cache_*`` spans through the runtime's observer, so profile
 output answers "did the second call actually skip the frontend?".
 
+Below the in-process LRU sits an optional **disk tier**
+(:class:`~repro.runtime.plancache.PlanCache`): pass
+``plan_cache_dir=`` (or set the ``QIR_PLAN_CACHE`` environment
+variable) and compiled plans persist across processes -- a fresh
+process warm-starts with a ``cache.plan_disk.hit`` instead of
+re-running the frontend.  Lookup order is memory LRU, then disk, then
+compile (writing through to both tiers).
+
 Thread-safety: lookups and insertions happen under one lock, and cached
 plans are frozen (the execute phase treats their modules as read-only),
 so one session can serve concurrent callers.
@@ -22,6 +30,7 @@ so one session can serve concurrent callers.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Union
@@ -35,6 +44,7 @@ from repro.runtime.plan import (
     content_hash,
     plan_key,
 )
+from repro.runtime.plancache import CACHE_ENV, PlanCache
 
 ProgramLike = Union[str, Module, ExecutionPlan]
 
@@ -56,6 +66,7 @@ class QirSession:
         *,
         module_cache_size: int = 32,
         plan_cache_size: int = 32,
+        plan_cache_dir: Optional[str] = None,
         **runtime_kwargs,
     ):
         if runtime is not None and runtime_kwargs:
@@ -66,6 +77,16 @@ class QirSession:
         self.observer = self.runtime.observer
         if module_cache_size < 1 or plan_cache_size < 1:
             raise ValueError("cache sizes must be >= 1")
+        # Disk tier: explicit argument wins; otherwise the QIR_PLAN_CACHE
+        # environment variable opts in.  Sessions without either stay
+        # purely in-process (hermetic for tests and libraries).
+        if plan_cache_dir is None:
+            plan_cache_dir = os.environ.get(CACHE_ENV, "").strip() or None
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(plan_cache_dir, observer=self.observer)
+            if plan_cache_dir
+            else None
+        )
         self._module_cache_size = module_cache_size
         self._plan_cache_size = plan_cache_size
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
@@ -156,6 +177,17 @@ class QirSession:
                 return plan
             if obs.enabled:
                 obs.inc("cache.plan.miss")
+            # Disk tier (warm start): a plan compiled by *another* process
+            # deserializes here instead of re-running the frontend.
+            if self.plan_cache is not None:
+                if obs.enabled:
+                    with obs.span("session.cache_disk_read", hash=digest[:12]):
+                        plan = self.plan_cache.get(key)
+                else:
+                    plan = self.plan_cache.get(key)
+                if plan is not None:
+                    self._remember(key, plan)
+                    return plan
 
         # Pipeline-free compiles reuse the cached pristine parse; pipeline
         # compiles always parse privately (passes mutate IR in place).
@@ -168,12 +200,21 @@ class QirSession:
         else:
             plan = self._compile(program, pipeline, entry, verify, module, digest)
         if cacheable:
-            with self._lock:
-                self._stats["plan"]["misses"] += 1
-                self._plans[key] = plan
-                while len(self._plans) > self._plan_cache_size:
-                    self._plans.popitem(last=False)
+            self._remember(key, plan)
+            if self.plan_cache is not None:
+                if obs.enabled:
+                    with obs.span("session.cache_disk_write", hash=digest[:12]):
+                        self.plan_cache.put(key, plan)
+                else:
+                    self.plan_cache.put(key, plan)
         return plan
+
+    def _remember(self, key: str, plan: ExecutionPlan) -> None:
+        with self._lock:
+            self._stats["plan"]["misses"] += 1
+            self._plans[key] = plan
+            while len(self._plans) > self._plan_cache_size:
+                self._plans.popitem(last=False)
 
     def _compile(
         self,
@@ -223,7 +264,7 @@ class QirSession:
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
         """Hit/miss/size/capacity per cache (for the profile table)."""
         with self._lock:
-            return {
+            stats = {
                 "module": {
                     "hits": self._stats["module"]["hits"],
                     "misses": self._stats["module"]["misses"],
@@ -237,8 +278,19 @@ class QirSession:
                     "capacity": self._plan_cache_size,
                 },
             }
+        if self.plan_cache is not None:
+            disk = self.plan_cache.stats
+            stats["plan_disk"] = {
+                "hits": disk["hits"],
+                "misses": disk["misses"],
+                "size": len(self.plan_cache),
+                "capacity": self.plan_cache.max_entries,
+            }
+        return stats
 
     def clear_caches(self) -> None:
+        """Empty the in-process tiers; the disk tier (shared with other
+        processes) is cleared explicitly via ``self.plan_cache.clear()``."""
         with self._lock:
             self._modules.clear()
             self._plans.clear()

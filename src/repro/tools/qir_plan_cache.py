@@ -1,0 +1,89 @@
+"""qir-plan-cache: inspect and maintain the persistent ExecutionPlan cache.
+
+The disk tier (:mod:`repro.runtime.plancache`) is shared by every process
+pointed at the same directory; this tool is the operator's view of it::
+
+    qir-plan-cache list                    # entries in the default dir
+    qir-plan-cache list --dir /tmp/plans   # ... or an explicit one
+    qir-plan-cache path                    # print the resolved directory
+    qir-plan-cache clear                   # delete every cached plan
+
+The directory resolves exactly as at runtime: ``--dir`` wins, then the
+``QIR_PLAN_CACHE`` environment variable, then ``~/.cache/qir-repro/plans``.
+
+Exit codes: 0 = success, 2 = bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import datetime
+from typing import List, Optional
+
+from repro.runtime.plancache import PlanCache, default_cache_dir
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qir-plan-cache", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="cache directory (default: $QIR_PLAN_CACHE or "
+             "~/.cache/qir-repro/plans)",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list cached plans, newest first")
+    sub.add_parser("path", help="print the resolved cache directory")
+    sub.add_parser("clear", help="delete every cached plan")
+    return parser
+
+
+def _human_size(size: int) -> str:
+    if size >= 1 << 20:
+        return f"{size / (1 << 20):.1f}M"
+    if size >= 1 << 10:
+        return f"{size / (1 << 10):.1f}K"
+    return f"{size}B"
+
+
+def _list(cache: PlanCache) -> int:
+    entries = cache.entries()
+    if not entries:
+        print(f"qir-plan-cache: empty ({cache.directory})")
+        return EXIT_OK
+    print(f"{'HASH':<14}{'BACKEND':<14}{'PIPELINE':<12}{'SIZE':>8}  WRITTEN")
+    for entry in entries:
+        written = datetime.fromtimestamp(entry.mtime).strftime("%Y-%m-%d %H:%M:%S")
+        print(
+            f"{entry.short_hash:<14}{entry.backend:<14}"
+            f"{(entry.pipeline or '-'):<12}{_human_size(entry.size_bytes):>8}"
+            f"  {written}"
+        )
+    print(f"{len(entries)} plan(s) in {cache.directory}")
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_usage(sys.stderr)
+        return EXIT_USAGE
+    if args.command == "path":
+        print(args.dir if args.dir else default_cache_dir())
+        return EXIT_OK
+    cache = PlanCache(args.dir)
+    if args.command == "list":
+        return _list(cache)
+    removed = cache.clear()
+    print(f"qir-plan-cache: removed {removed} plan(s) from {cache.directory}")
+    return EXIT_OK
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

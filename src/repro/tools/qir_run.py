@@ -62,13 +62,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "(same names as qir-opt --pipeline)")
     execution = parser.add_argument_group("execution")
     execution.add_argument("--scheduler",
-                           choices=["serial", "threaded", "batched"],
+                           choices=["serial", "threaded", "batched", "process"],
                            default="serial",
                            help="shot scheduler: serial (default), threaded "
-                                "(--jobs workers), or batched (vectorised "
-                                "multi-shot statevector evolution)")
+                                "(--jobs worker threads), batched (vectorised "
+                                "multi-shot statevector evolution), or process "
+                                "(--jobs worker processes fed serialized plans)")
     execution.add_argument("--jobs", type=int, default=1, metavar="N",
-                           help="worker threads for --scheduler threaded")
+                           help="workers for --scheduler threaded/process")
+    execution.add_argument("--plan-cache", default=None, metavar="DIR",
+                           help="persist compiled plans under DIR so later "
+                                "processes warm-start (also honours the "
+                                "QIR_PLAN_CACHE environment variable); "
+                                "reports 'plan-cache: hit|miss' on stderr")
     resilience = parser.add_argument_group("resilience")
     resilience.add_argument("--retries", type=int, default=1, metavar="N",
                             help="attempts per shot (default 1: fail fast)")
@@ -121,6 +127,15 @@ def _run(args: argparse.Namespace, observer) -> int:
             file=sys.stderr,
         )
         return EXIT_PARSE
+    if args.jobs == 1 and args.scheduler in ("threaded", "process"):
+        # Symmetric to the rejection above: one worker IS the serial loop,
+        # so normalize instead of paying pool startup for nothing.
+        print(
+            f"qir-run: note: --scheduler {args.scheduler} with --jobs 1 "
+            "runs serially (one worker is the serial loop)",
+            file=sys.stderr,
+        )
+        args.scheduler = "serial"
 
     try:
         source = _read_input(args.input)
@@ -160,7 +175,7 @@ def _run(args: argparse.Namespace, observer) -> int:
     # pipeline happen in the session's compile phase, sharing the observer
     # so one invocation profiles parse -> passes -> runtime end to end (and
     # the --profile table shows the cache.{module,plan}.* counters).
-    session = QirSession(runtime=runtime)
+    session = QirSession(runtime=runtime, plan_cache_dir=args.plan_cache)
     try:
         plan = session.compile(
             source,
@@ -171,6 +186,15 @@ def _run(args: argparse.Namespace, observer) -> int:
     except ValueError as error:
         print(f"qir-run: error: {error}", file=sys.stderr)
         return EXIT_PARSE
+    if session.plan_cache is not None:
+        # One greppable line for scripts (the CI smoke step relies on it):
+        # a warm second process reports 'hit' and skipped the frontend.
+        disk = session.plan_cache.stats
+        print(
+            f"qir-run: plan-cache: {'hit' if disk['hits'] else 'miss'} "
+            f"({session.plan_cache.directory})",
+            file=sys.stderr,
+        )
 
     resilient = args.retries > 1 or fault_plan is not None or args.fallback
 

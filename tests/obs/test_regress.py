@@ -133,3 +133,26 @@ class TestReportOutput:
         assert payload["exit_code"] == EXIT_REGRESSION
         assert payload["regressions"] == 1
         assert payload["deltas"][0]["name"] == "a"
+
+
+class TestEnvironmentDeltaRendering:
+    def test_render_lists_each_drifted_key(self):
+        base = snap(x=(1.0, "seconds", "lower"))
+        cur = snap(x=(1.0, "seconds", "lower"))
+        cur.environment = {"python": "3.12", "numpy": "2.1.0"}
+        table = diff_snapshots(base, cur).render()
+        assert "WARNING environment changed" in table
+        assert "python: 3.11 -> 3.12" in table
+        assert "numpy: (absent) -> 2.1.0" in table
+
+    def test_render_shows_removed_keys_as_absent(self):
+        base = snap(x=(1.0, "seconds", "lower"))
+        cur = snap(x=(1.0, "seconds", "lower"))
+        cur.environment = {}
+        table = diff_snapshots(base, cur).render()
+        assert "python: 3.11 -> (absent)" in table
+
+    def test_unchanged_environment_renders_no_warning(self):
+        base = snap(x=(1.0, "seconds", "lower"))
+        table = diff_snapshots(base, snap(x=(1.0, "seconds", "lower"))).render()
+        assert "environment changed" not in table

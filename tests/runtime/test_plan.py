@@ -138,3 +138,74 @@ attributes #0 = { "entry_point" }
         text = plan.describe()
         assert plan.short_hash in text
         assert "backend=statevector" in text
+
+
+class TestPlanWireFormat:
+    """Tentpole: to_bytes/from_bytes round-trips for process workers and
+    the disk cache."""
+
+    def test_round_trip_preserves_identity_and_analysis(self):
+        from repro.runtime import ExecutionPlan
+
+        plan = compile_plan(bell_qir("static"), pipeline="o1")
+        clone = ExecutionPlan.from_bytes(plan.to_bytes())
+        assert clone.source_hash == plan.source_hash
+        assert clone.key == plan.key
+        assert clone.backend == plan.backend
+        assert clone.pipeline == plan.pipeline
+        assert clone.entry_point == plan.entry_point
+        assert clone.profile == plan.profile
+        assert clone.required_qubits == plan.required_qubits
+        assert clone.required_results == plan.required_results
+        assert clone.is_clifford == plan.is_clifford
+        assert clone.verified == plan.verified
+
+    def test_round_trip_module_prints_identically(self):
+        from repro.llvmir.printer import print_module
+        from repro.runtime import ExecutionPlan
+
+        plan = compile_plan(counted_loop_qir(4), pipeline="unroll")
+        clone = ExecutionPlan.from_bytes(plan.to_bytes())
+        # The post-pipeline module survives byte-for-byte: the decoder
+        # must never re-run (or need) the pass pipeline.
+        assert print_module(clone.module) == print_module(plan.module)
+
+    def test_round_trip_executes_identically(self):
+        from repro.runtime import ExecutionPlan, QirRuntime
+
+        plan = compile_plan(bell_qir("static"))
+        clone = ExecutionPlan.from_bytes(plan.to_bytes())
+        a = QirRuntime(seed=5).run_shots(plan, shots=30, sampling="never")
+        b = QirRuntime(seed=5).run_shots(clone, shots=30, sampling="never")
+        assert a.counts == b.counts
+
+    def test_garbage_bytes_raise_decode_error(self):
+        from repro.runtime import ExecutionPlan, PlanDecodeError
+
+        with pytest.raises(PlanDecodeError, match="not a serialized plan"):
+            ExecutionPlan.from_bytes(b"\x00\x01 not json")
+        with pytest.raises(PlanDecodeError, match="JSON object"):
+            ExecutionPlan.from_bytes(b'["a", "list"]')
+
+    def test_tampered_module_text_raises(self):
+        import json as json_mod
+
+        from repro.runtime import ExecutionPlan, PlanDecodeError
+
+        plan = compile_plan(bell_qir("static"))
+        payload = json_mod.loads(plan.to_bytes())
+        payload["module_text"] += "\n; tampered"
+        with pytest.raises(PlanDecodeError, match="hash"):
+            ExecutionPlan.from_bytes(json_mod.dumps(payload).encode())
+
+    def test_newer_wire_version_rejected(self):
+        import json as json_mod
+
+        from repro.runtime import ExecutionPlan, PlanDecodeError
+        from repro.runtime.plan import PLAN_WIRE_VERSION
+
+        plan = compile_plan(bell_qir("static"))
+        payload = json_mod.loads(plan.to_bytes())
+        payload["wire_version"] = PLAN_WIRE_VERSION + 1
+        with pytest.raises(PlanDecodeError, match="newer than supported"):
+            ExecutionPlan.from_bytes(json_mod.dumps(payload).encode())

@@ -1,0 +1,204 @@
+"""The disk tier: PlanCache, the QirSession wiring, and qir-plan-cache."""
+
+import os
+
+import pytest
+
+from repro.obs.observer import Observer
+from repro.runtime import PlanCache, QirSession, compile_plan, default_cache_dir
+from repro.runtime.plancache import CACHE_ENV, environment_tag
+from repro.tools.qir_plan_cache import main as plan_cache_main
+from repro.workloads.qir_programs import bell_qir, counted_loop_qir
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return PlanCache(str(tmp_path / "plans"))
+
+
+class TestPlanCache:
+    def test_miss_on_empty_directory(self, cache):
+        assert cache.get("no-such-key") is None
+        assert cache.stats["misses"] == 1
+        assert cache.stats["hits"] == 0
+
+    def test_put_get_round_trip(self, cache):
+        plan = compile_plan(bell_qir("static"))
+        path = cache.put(plan.key, plan)
+        assert path is not None and os.path.exists(path)
+        loaded = cache.get(plan.key)
+        assert loaded is not None
+        assert loaded.key == plan.key
+        assert loaded.source_hash == plan.source_hash
+        assert cache.stats == {"hits": 1, "misses": 0, "evictions": 0, "corrupt": 0}
+
+    def test_corrupt_entry_deleted_and_counted(self, cache):
+        plan = compile_plan(bell_qir("static"))
+        path = cache.put(plan.key, plan)
+        with open(path, "wb") as handle:
+            handle.write(b"definitely not a plan")
+        assert cache.get(plan.key) is None
+        assert not os.path.exists(path)
+        assert cache.stats["corrupt"] == 1
+        assert cache.stats["misses"] == 1
+
+    def test_key_mismatch_treated_as_corrupt(self, cache):
+        # A file copied to the wrong address must not be served.
+        plan = compile_plan(bell_qir("static"))
+        wrong_key = plan.key + ":tampered"
+        target = cache.path_for(wrong_key)
+        os.makedirs(cache.directory, exist_ok=True)
+        with open(target, "wb") as handle:
+            handle.write(plan.to_bytes())
+        assert cache.get(wrong_key) is None
+        assert cache.stats["corrupt"] == 1
+        assert not os.path.exists(target)
+
+    def test_observer_counters(self, tmp_path):
+        obs = Observer()
+        cache = PlanCache(str(tmp_path), observer=obs)
+        plan = compile_plan(bell_qir("static"))
+        cache.get(plan.key)
+        cache.put(plan.key, plan)
+        cache.get(plan.key)
+        counters = obs.snapshot()["counters"]
+        assert counters["cache.plan_disk.miss"] == 1
+        assert counters["cache.plan_disk.hit"] == 1
+
+    def test_eviction_drops_oldest(self, tmp_path):
+        cache = PlanCache(str(tmp_path), max_entries=2)
+        plans = [
+            compile_plan(counted_loop_qir(n), pipeline="unroll") for n in (2, 3, 4)
+        ]
+        paths = []
+        for stamp, plan in enumerate(plans):
+            path = cache.put(plan.key, plan)
+            paths.append(path)
+            # mtime decides eviction order; make it deterministic.
+            os.utime(path, (stamp, stamp))
+        assert len(cache) == 2
+        assert cache.stats["evictions"] == 1
+        assert not os.path.exists(paths[0])
+        assert os.path.exists(paths[2])
+
+    def test_entries_clear_and_len(self, cache):
+        plan = compile_plan(bell_qir("static"), pipeline="o1")
+        cache.put(plan.key, plan)
+        entries = cache.entries()
+        assert len(entries) == 1
+        assert entries[0].key == plan.key
+        assert entries[0].pipeline == "o1"
+        assert entries[0].short_hash == plan.source_hash[:12]
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.entries() == []
+
+    def test_environment_tag_qualifies_address(self, cache):
+        # Same key, different environment tag -> different file, so a
+        # python/numpy upgrade silently invalidates old entries.
+        plan = compile_plan(bell_qir("static"))
+        cache.put(plan.key, plan)
+        other = PlanCache(cache.directory)
+        other._env_tag = environment_tag({"python": "99.0"})
+        assert other.path_for(plan.key) != cache.path_for(plan.key)
+        assert other.get(plan.key) is None
+        assert other.stats["misses"] == 1
+
+    def test_bad_max_entries_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            PlanCache(str(tmp_path), max_entries=0)
+
+
+class TestSessionDiskTier:
+    def test_fresh_session_warm_starts_from_disk(self, tmp_path):
+        text = bell_qir("static")
+        first = QirSession(seed=1, plan_cache_dir=str(tmp_path))
+        first.compile(text, pipeline="o1")
+        # A new session simulates a new process: memory LRU is empty,
+        # so the plan must come back from disk, not a recompile.
+        second = QirSession(seed=1, plan_cache_dir=str(tmp_path))
+        plan = second.compile(text, pipeline="o1")
+        stats = second.cache_stats()
+        assert stats["plan_disk"]["hits"] == 1
+        assert stats["plan_disk"]["misses"] == 0
+        counts = second.runtime.run_shots(plan, shots=20, sampling="never").counts
+        direct = QirSession(seed=1).run_shots(text, shots=20,
+                                              pipeline="o1",
+                                              sampling="never").counts
+        assert counts == direct
+
+    def test_disk_hit_populates_memory_lru(self, tmp_path):
+        text = bell_qir("static")
+        QirSession(plan_cache_dir=str(tmp_path)).compile(text)
+        session = QirSession(plan_cache_dir=str(tmp_path))
+        session.compile(text)
+        session.compile(text)
+        stats = session.cache_stats()
+        assert stats["plan_disk"]["hits"] == 1  # only the first lookup
+        assert stats["plan"]["hits"] == 1       # the second stayed in memory
+
+    def test_disk_counters_on_observer(self, tmp_path):
+        obs = Observer()
+        from repro.runtime import QirRuntime
+
+        text = bell_qir("static")
+        QirSession(plan_cache_dir=str(tmp_path)).compile(text)
+        session = QirSession(
+            runtime=QirRuntime(observer=obs), plan_cache_dir=str(tmp_path)
+        )
+        session.compile(text)
+        counters = obs.snapshot()["counters"]
+        assert counters["cache.plan_disk.hit"] == 1
+
+    def test_env_variable_opts_in(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        session = QirSession()
+        assert session.plan_cache is not None
+        assert session.plan_cache.directory == str(tmp_path)
+        assert default_cache_dir() == str(tmp_path)
+        session.compile(bell_qir("static"))
+        assert len(session.plan_cache) == 1
+
+    def test_no_dir_means_no_disk_tier(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        session = QirSession()
+        assert session.plan_cache is None
+        assert "plan_disk" not in session.cache_stats()
+
+    def test_callable_pipeline_bypasses_disk(self, tmp_path):
+        class _NoopPasses:
+            def run(self, module, observer=None):
+                return []
+
+        session = QirSession(plan_cache_dir=str(tmp_path))
+        session.compile(bell_qir("static"), pipeline=_NoopPasses)
+        assert len(session.plan_cache) == 0
+
+
+class TestPlanCacheCli:
+    def test_no_command_is_usage_error(self, capsys):
+        assert plan_cache_main([]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_path_prints_resolved_directory(self, tmp_path, capsys):
+        assert plan_cache_main(["--dir", str(tmp_path), "path"]) == 0
+        assert capsys.readouterr().out.strip() == str(tmp_path)
+
+    def test_list_empty_then_populated(self, tmp_path, capsys):
+        directory = str(tmp_path / "plans")
+        assert plan_cache_main(["--dir", directory, "list"]) == 0
+        assert "empty" in capsys.readouterr().out
+        QirSession(plan_cache_dir=directory).compile(
+            bell_qir("static"), pipeline="o1"
+        )
+        assert plan_cache_main(["--dir", directory, "list"]) == 0
+        out = capsys.readouterr().out
+        assert "BACKEND" in out and "o1" in out
+        assert "1 plan(s)" in out
+
+    def test_clear_deletes_entries(self, tmp_path, capsys):
+        directory = str(tmp_path)
+        QirSession(plan_cache_dir=directory).compile(bell_qir("static"))
+        assert plan_cache_main(["--dir", directory, "clear"]) == 0
+        assert "1" in capsys.readouterr().out
+        assert PlanCache(directory).entries() == []

@@ -269,3 +269,294 @@ class TestThreadedResilience:
             qft_qir(3), shots=150, scheduler="threaded", jobs=3, sampling="never"
         )
         assert list(result.counts) == sorted(result.counts)
+
+
+class TestProcessScheduler:
+    """Tentpole: worker processes over serialized plans, bit-identical to
+    serial for a fixed seed."""
+
+    def test_get_scheduler_resolves_process(self):
+        from repro.runtime import ProcessScheduler
+
+        sched = get_scheduler("process", 4)
+        assert isinstance(sched, ProcessScheduler)
+        assert sched.jobs == 4
+
+    @pytest.mark.parametrize(
+        "text",
+        [bell_qir("static"), qft_qir(3), reset_chain_qir(2, rounds=2)],
+        ids=["bell", "qft3", "reset_chain"],
+    )
+    def test_counts_are_identical_to_serial(self, text):
+        serial = counts_for(text, "serial", shots=60, sampling="never")
+        process = counts_for(text, "process", shots=60, jobs=3, sampling="never")
+        assert serial.counts == process.counts
+        assert sum(process.counts.values()) == 60
+        assert process.scheduler == "process"
+
+    def test_fastpath_still_wins_under_auto_sampling(self):
+        # The fast path is per-run, not per-shot: when it applies, no pool
+        # is spawned and every scheduler produces the same counts.
+        auto = counts_for(bell_qir("static"), "process", shots=60, jobs=3)
+        serial = counts_for(bell_qir("static"), "serial", shots=60)
+        assert auto.used_fast_path
+        assert auto.counts == serial.counts
+
+    def test_one_job_degrades_to_serial_loop(self):
+        # get_scheduler mirrors the threaded convention (jobs=1 still gets
+        # a 2-worker pool); a directly built 1-worker scheduler skips the
+        # pool entirely and reports the serial loop it actually ran.
+        from repro.runtime import ProcessScheduler
+
+        one = counts_for(
+            bell_qir("static"), "process", shots=30, jobs=1, sampling="never"
+        )
+        many = counts_for(
+            bell_qir("static"), "process", shots=30, jobs=4, sampling="never"
+        )
+        assert one.counts == many.counts
+        sched = ProcessScheduler(jobs=1)
+        assert sched.effective == "process"  # until it runs
+
+    def test_single_shot_degrades_to_serial(self):
+        result = counts_for(
+            bell_qir("static"), "process", shots=1, jobs=4, sampling="never"
+        )
+        assert result.scheduler == "serial"
+        assert sum(result.counts.values()) == 1
+
+    def test_missing_plan_bytes_raises(self):
+        import numpy as np
+
+        from repro.obs.observer import NULL_OBSERVER
+        from repro.resilience.fallback import BackendLevel
+        from repro.runtime import ProcessScheduler
+        from repro.runtime.schedulers import ChainGuard, ShotExecutor, ShotTask
+
+        task = ShotTask(
+            executor=ShotExecutor(
+                "statevector", None, 1000, 4, True, NULL_OBSERVER
+            ),
+            module=None, entry=None, shots=8,
+            root=np.random.SeedSequence(1),
+            policy=RetryPolicy(max_attempts=1), injector=None,
+            chain=ChainGuard(
+                FallbackChain([BackendLevel("statevector", noisy=True)])
+            ),
+            keep_stats=False, resilient=False, timed=False,
+        )
+        with pytest.raises(ValueError, match="plan_bytes"):
+            ProcessScheduler(jobs=2).run(task)
+
+    def test_spawn_start_method_matches_fork_counts(self):
+        # Drive the scheduler directly so the test controls start_method
+        # (the public API always uses the platform default).
+        import numpy as np
+
+        from repro.obs.observer import NULL_OBSERVER
+        from repro.resilience.fallback import BackendLevel
+        from repro.runtime import ProcessScheduler, compile_plan
+        from repro.runtime.schedulers import ChainGuard, ShotExecutor, ShotTask
+
+        plan = compile_plan(bell_qir("static"))
+
+        def counts_with(start_method):
+            from collections import Counter
+
+            task = ShotTask(
+                executor=ShotExecutor(
+                    "statevector", None, 1_000_000, 4, True, NULL_OBSERVER
+                ),
+                module=plan.module, entry=plan.entry, shots=24,
+                root=np.random.SeedSequence(11),
+                policy=RetryPolicy(max_attempts=1), injector=None,
+                chain=ChainGuard(
+                    FallbackChain([BackendLevel("statevector", noisy=True)])
+                ),
+                keep_stats=False, resilient=False, timed=False,
+                plan_bytes=plan.to_bytes(),
+            )
+            sched = ProcessScheduler(jobs=2, start_method=start_method)
+            return Counter(o.bitstring for o in sched.run(task))
+
+        assert counts_with("spawn") == counts_with("fork")
+
+    def test_partition_covers_every_shot_exactly_once(self):
+        from repro.runtime import partition_shots
+
+        for shots, workers in [(10, 3), (2, 8), (7, 7), (100, 4), (1, 1)]:
+            chunks = partition_shots(shots, workers)
+            covered = [s for start, stop in chunks for s in range(start, stop)]
+            assert covered == list(range(shots))
+            sizes = [stop - start for start, stop in chunks]
+            assert max(sizes) - min(sizes) <= 1
+        assert partition_shots(0, 4) == []
+
+    def test_process_chunk_metrics_and_worker_spans(self):
+        observer = Observer()
+        rt = QirRuntime(seed=3, observer=observer)
+        rt.run_shots(
+            bell_qir("static"), shots=20,
+            scheduler="process", jobs=2, sampling="never",
+        )
+        assert observer.metrics.value("runtime.scheduler.process_chunks") == 2
+        assert observer.metrics.value(
+            "runtime.scheduler.runs{scheduler=process}"
+        ) == 1
+        workers = [
+            e for e in observer.tracer.events if e["name"] == "process.worker"
+        ]
+        assert len(workers) == 2
+        assert {e["tid"] for e in workers} == {1, 2}
+
+    def test_fail_fast_raises_first_shot_error(self):
+        from repro.runtime.errors import StepLimitExceeded
+
+        rt = QirRuntime(seed=1, step_limit=3)
+        with pytest.raises(StepLimitExceeded):
+            rt.run_shots(
+                bell_qir("static"), shots=20,
+                scheduler="process", jobs=3, sampling="never",
+            )
+
+
+class TestProcessResilience:
+    """Resilience semantics across process boundaries."""
+
+    def test_poisoned_shots_fail_identically_to_serial(self):
+        plan = FaultPlan.poison([3, 9, 17], site="gate")
+        kwargs = dict(
+            shots=40, fault_plan=plan, retry=RetryPolicy(max_attempts=1),
+        )
+        process = QirRuntime(seed=1).run_shots(
+            bell_qir("static"), scheduler="process", jobs=4, **kwargs
+        )
+        serial = QirRuntime(seed=1).run_shots(bell_qir("static"), **kwargs)
+
+        assert sorted(f.shot for f in process.failed_shots) == [3, 9, 17]
+        assert process.per_error_counts == {BackendFaultError.code: 3}
+        assert process.counts == serial.counts
+        assert not process.degraded
+
+    def test_transient_faults_recovered_by_retry(self):
+        plan = FaultPlan.poison([2, 11, 23], site="gate", failures=1)
+        result = QirRuntime(seed=1).run_shots(
+            bell_qir("static"), shots=40,
+            scheduler="process", jobs=4,
+            fault_plan=plan, retry=RetryPolicy(max_attempts=3),
+        )
+        assert result.successful_shots == 40
+        assert result.retried_shots == 3
+
+    def test_fault_tallies_merge_from_workers(self):
+        observer = Observer()
+        plan = FaultPlan.poison([2, 11, 23], site="gate", failures=1)
+        rt = QirRuntime(seed=1, observer=observer)
+        rt.run_shots(
+            bell_qir("static"), shots=40,
+            scheduler="process", jobs=4,
+            fault_plan=plan, retry=RetryPolicy(max_attempts=3),
+        )
+        assert observer.metrics.value("resilience.faults_injected") == 3
+
+    def test_per_worker_fallback_merges_degraded_flag_and_history(self):
+        # Documented divergence: each worker demotes its own chain clone,
+        # so the merged run is degraded and carries each worker's history.
+        plan = FaultPlan(rules=(FaultRule(site="gate", backend="statevector"),))
+        chain = FallbackChain(["statevector", "stabilizer"], demote_after=1)
+        result = QirRuntime(seed=2).run_shots(
+            ghz_qir(3), shots=30,
+            scheduler="process", jobs=3,
+            fault_plan=plan, fallback=chain, retry=RetryPolicy(max_attempts=2),
+        )
+        assert result.degraded
+        assert result.successful_shots == 30
+        # Every worker demoted its own clone once.
+        assert len(result.fallback_history) == 3
+        assert all("stabilizer" in entry for entry in result.fallback_history)
+        assert result.backend_shot_counts.get("stabilizer", 0) >= 27
+
+
+class TestMergeStability:
+    """Satellite: ShotsResult merging must not depend on completion order."""
+
+    def _task_and_outcomes(self):
+        import numpy as np
+
+        from repro.obs.observer import NULL_OBSERVER
+        from repro.resilience.fallback import BackendLevel
+        from repro.resilience.report import ShotFailure
+        from repro.runtime.errors import BackendFaultError, TrapError
+        from repro.runtime.schedulers import (
+            ChainGuard,
+            ShotExecutor,
+            ShotOutcome,
+            ShotTask,
+        )
+
+        task = ShotTask(
+            executor=ShotExecutor(
+                "statevector", None, 1000, 4, True, NULL_OBSERVER
+            ),
+            module=None, entry=None, shots=12,
+            root=np.random.SeedSequence(0),
+            policy=RetryPolicy(max_attempts=1), injector=None,
+            chain=ChainGuard(
+                FallbackChain([BackendLevel("statevector", noisy=True)])
+            ),
+            keep_stats=False, resilient=True, timed=False,
+        )
+        outcomes = []
+        for shot in range(12):
+            if shot in (2, 5, 9):
+                error = (
+                    TrapError("boom") if shot == 5 else BackendFaultError("io")
+                )
+                outcomes.append(
+                    ShotOutcome(
+                        shot=shot, backend_label="statevector", attempts=1,
+                        failure=ShotFailure.from_error(
+                            shot, error, 1, "statevector"
+                        ),
+                    )
+                )
+            else:
+                outcomes.append(
+                    ShotOutcome(
+                        shot=shot,
+                        bitstring="11" if shot % 3 else "00",
+                        backend_label="statevector",
+                        attempts=2 if shot == 7 else 1,
+                    )
+                )
+        return task, outcomes
+
+    def test_shuffled_outcomes_merge_identically(self):
+        import random
+
+        from repro.runtime.schedulers import build_shots_result
+
+        task, outcomes = self._task_and_outcomes()
+        reference = build_shots_result(task, list(outcomes), "process")
+        for round_seed in range(8):
+            shuffled = list(outcomes)
+            random.Random(round_seed).shuffle(shuffled)
+            result = build_shots_result(task, shuffled, "process")
+            assert result.counts == reference.counts
+            assert result.per_error_counts == reference.per_error_counts
+            assert [f.shot for f in result.failed_shots] == [
+                f.shot for f in reference.failed_shots
+            ]
+            assert result.degraded == reference.degraded
+            assert result.backend_shot_counts == reference.backend_shot_counts
+            assert result.retried_shots == reference.retried_shots
+
+    def test_failed_shot_records_come_back_in_shot_order(self):
+        import random
+
+        from repro.runtime.schedulers import build_shots_result
+
+        task, outcomes = self._task_and_outcomes()
+        random.Random(99).shuffle(outcomes)
+        result = build_shots_result(task, outcomes, "process")
+        assert [f.shot for f in result.failed_shots] == [2, 5, 9]

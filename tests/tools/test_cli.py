@@ -456,3 +456,73 @@ class TestReuseLoweringPipeline:
         assert opt_main([str(path), "--pipeline", "lower-static"]) == 0
         out = capsys.readouterr().out
         assert '"required_num_qubits"="4"' in out
+
+
+class TestQirRunProcessScheduler:
+    def test_process_scheduler_histogram(self, bell_file, capsys):
+        assert run_main([bell_file, "--shots", "60", "--seed", "2",
+                         "--scheduler", "process", "--jobs", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        counts = {k: int(v) for k, v in (line.split("\t") for line in lines)}
+        assert set(counts) == {"00", "11"}
+        assert sum(counts.values()) == 60
+
+    def test_process_counts_match_serial(self, tmp_path, capsys):
+        path = tmp_path / "chain.ll"
+        path.write_text(reset_chain_qir(2, rounds=2))
+        outputs = []
+        for flags in (["--scheduler", "serial"],
+                      ["--scheduler", "process", "--jobs", "3"]):
+            assert run_main([str(path), "--shots", "45", "--seed", "5",
+                             *flags]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    @pytest.mark.parametrize("scheduler", ["process", "threaded"])
+    def test_one_job_normalizes_to_serial_with_note(
+        self, scheduler, bell_file, capsys
+    ):
+        # Satellite fix: --jobs 1 used to be a usage error for process /
+        # threaded while serial accepted it -- now it runs serially and
+        # says so, instead of spinning up a one-worker pool.
+        assert run_main([bell_file, "--shots", "30", "--seed", "2",
+                         "--scheduler", scheduler, "--jobs", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "runs serially" in captured.err
+        lines = captured.out.strip().splitlines()
+        counts = {k: int(v) for k, v in (line.split("\t") for line in lines)}
+        assert sum(counts.values()) == 30
+
+    def test_one_job_serial_counts_match_plain_serial(self, bell_file, capsys):
+        assert run_main([bell_file, "--shots", "30", "--seed", "9",
+                         "--scheduler", "process", "--jobs", "1"]) == 0
+        degraded = capsys.readouterr().out
+        assert run_main([bell_file, "--shots", "30", "--seed", "9"]) == 0
+        assert capsys.readouterr().out == degraded
+
+
+class TestQirRunPlanCache:
+    def test_miss_then_hit_across_invocations(self, bell_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "plans")
+        assert run_main([bell_file, "--shots", "10", "--seed", "3",
+                         "--plan-cache", cache_dir]) == 0
+        first = capsys.readouterr().err
+        assert f"plan-cache: miss ({cache_dir})" in first
+        assert run_main([bell_file, "--shots", "10", "--seed", "3",
+                         "--plan-cache", cache_dir]) == 0
+        second = capsys.readouterr().err
+        assert f"plan-cache: hit ({cache_dir})" in second
+
+    def test_cached_run_output_is_identical(self, loop_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "plans")
+        args = [loop_file, "--shots", "20", "--seed", "4", "--opt", "unroll",
+                "--plan-cache", cache_dir]
+        assert run_main(args) == 0
+        cold = capsys.readouterr().out
+        assert run_main(args) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_no_flag_means_no_cache_lines(self, bell_file, capsys, monkeypatch):
+        monkeypatch.delenv("QIR_PLAN_CACHE", raising=False)
+        assert run_main([bell_file, "--shots", "10", "--seed", "3"]) == 0
+        assert "plan-cache" not in capsys.readouterr().err

@@ -63,6 +63,30 @@ class TestRun:
         assert threaded["metadata"]["jobs"] >= 2
         assert by_name["runtime.scheduler.serial_shots_per_second"]["value"] > 0
 
+    def test_records_process_speedup(self, snapshot_file):
+        # Presence and shape only: the >1.0 win needs a multi-core
+        # machine and is enforced by the CI regression gate, not here.
+        payload = json.loads(open(snapshot_file).read())
+        by_name = {r["name"]: r for r in payload["records"]}
+        record = by_name["runtime.scheduler.process_speedup"]
+        assert record["unit"] == "ratio"
+        assert record["direction"] == "higher"
+        assert record["value"] > 0
+        assert record["metadata"]["jobs"] >= 2
+
+    def test_records_plan_cache_warm_speedup(self, snapshot_file):
+        payload = json.loads(open(snapshot_file).read())
+        by_name = {r["name"]: r for r in payload["records"]}
+        warm = by_name["runtime.plan.disk_warm_speedup"]
+        assert warm["unit"] == "ratio"
+        assert warm["direction"] == "higher"
+        assert warm["metadata"]["pipeline"] == "unroll"
+        # Deserialization skips parse+verify+passes+analysis, so the warm
+        # path wins even on a loaded single-core machine.
+        assert warm["value"] > 1.0
+        assert by_name["runtime.plan.cold_compile_seconds"]["value"] > 0
+        assert by_name["runtime.plan.disk_warm_seconds"]["value"] > 0
+
     def test_examples_dir_parsed_when_present(self, tmp_path, capsys):
         (tmp_path / "bell.ll").write_text(bell_qir("static"))
         out = str(tmp_path / "snap.json")
