@@ -604,6 +604,31 @@ class Parser:
         opcode = tok.text
 
         inst: Instruction
+        try:
+            inst = self._dispatch_instruction(opcode, tok, locals_, get_block)
+        except TypeError as error:
+            # Instruction constructors type-check their operands (operand
+            # mismatch, wrong arity) with TypeError; at parse time that is
+            # a *source* problem and must surface as a structured
+            # diagnostic, not an internal exception.
+            raise ParseError(f"invalid {opcode!r} instruction: {error}", tok)
+
+        if result_name is not None:
+            if inst.type.is_void:
+                raise ParseError(f"void instruction cannot be named %{result_name}", tok)
+            inst.name = result_name
+            placeholder = locals_.get(result_name)
+            if isinstance(placeholder, _Forward):
+                placeholder.replace_all_uses_with(inst)
+            elif placeholder is not None:
+                raise ParseError(f"redefinition of %{result_name}", tok)
+            locals_[result_name] = inst
+        return inst
+
+    def _dispatch_instruction(
+        self, opcode: str, tok, locals_, get_block
+    ) -> Instruction:
+        inst: Instruction
         if opcode in BINARY_OPCODES:
             inst = self._parse_binary(opcode, locals_)
         elif opcode == "icmp":
@@ -637,17 +662,6 @@ class Parser:
             inst = UnreachableInst()
         else:
             raise ParseError(f"unsupported instruction {opcode!r}", tok)
-
-        if result_name is not None:
-            if inst.type.is_void:
-                raise ParseError(f"void instruction cannot be named %{result_name}", tok)
-            inst.name = result_name
-            placeholder = locals_.get(result_name)
-            if isinstance(placeholder, _Forward):
-                placeholder.replace_all_uses_with(inst)
-            elif placeholder is not None:
-                raise ParseError(f"redefinition of %{result_name}", tok)
-            locals_[result_name] = inst
         return inst
 
     def _parse_binary(self, opcode: str, locals_) -> BinaryInst:

@@ -185,6 +185,23 @@ class MetricsRegistry:
             metric = self._gauges.get(key)
         return metric.value if metric is not None else default
 
+    def values_with_prefix(self, prefix: str) -> Dict[str, float]:
+        """All counter/gauge values whose key starts with ``prefix``.
+
+        Subsystem read-back helper: the process scheduler's supervision
+        counters live under ``scheduler.worker.``, and both the CI chaos
+        smoke and ``qir-bench`` pull the whole family in one call instead
+        of guessing individual keys.
+        """
+        out: Dict[str, float] = {}
+        for key, metric in self._counters.items():
+            if key.startswith(prefix):
+                out[key] = metric.value
+        for key, metric in self._gauges.items():
+            if key.startswith(prefix):
+                out.setdefault(key, metric.value)
+        return dict(sorted(out.items()))
+
     # -- snapshot -------------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         return {

@@ -139,6 +139,13 @@ def render_profile(observer: Observer, title: str = "qir profile") -> str:
         )
     out += _section("scheduler", sched_lines)
 
+    # -- supervision (process-scheduler worker watchdog) ----------------------
+    sup_lines: List[str] = []
+    for key in sorted(k for k in list(counters) if k.startswith("scheduler.worker.")):
+        short = key[len("scheduler.worker."):]
+        sup_lines.append(f"  {short:<22}{_fmt(counters.pop(key))}")
+    out += _section("supervision", sup_lines)
+
     # -- runtime (Ex. 5) ------------------------------------------------------
     runtime_lines: List[str] = []
     for key in sorted(k for k in list(counters) if k.startswith("runtime.shots")):

@@ -21,12 +21,15 @@ Wiring lives in :meth:`repro.runtime.execute.QirRuntime.run_shots`::
 
 from repro.resilience.faults import (
     PERSISTENT,
+    PROCESS_SITES,
     FaultInjector,
     FaultPlan,
     FaultRule,
     FaultyBackend,
     InjectorStats,
+    ProcessFaultDecision,
     ShotFaultContext,
+    corrupt_bytes,
 )
 from repro.resilience.fallback import (
     BackendLevel,
@@ -38,12 +41,15 @@ from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "PERSISTENT",
+    "PROCESS_SITES",
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
     "FaultyBackend",
     "InjectorStats",
+    "ProcessFaultDecision",
     "ShotFaultContext",
+    "corrupt_bytes",
     "BackendLevel",
     "FallbackChain",
     "program_is_clifford",

@@ -11,6 +11,13 @@ failing shot there.  Two demotions matter in this stack (ISSUE tentpole):
 
 Deterministic traps never demote: a program bug follows the program to
 any backend.
+
+Backends are not the only ladder.  The process scheduler's supervisor
+demotes *schedulers* the same way (``scheduler:process ->
+scheduler:threaded -> scheduler:serial`` after repeated worker
+failures) and reports those steps through the same degraded/history
+channel (its ``ChainGuard.note_scheduler_demotion``), so one failure
+report shows both kinds of demotion in the order they happened.
 """
 
 from __future__ import annotations

@@ -16,11 +16,24 @@ site                      where it fires
 ``output``                any ``__quantum__rt__*_record_output`` intrinsic
 ``timeout``               shrinks the interpreter step budget for the attempt
 ``corrupt_output``        silently flips the first recorded result bit
+``worker_crash``          process-scheduler worker dies mid-chunk (``os._exit``)
+``worker_hang``           worker stops heartbeating and sleeps forever
+``ipc_corrupt``           worker returns mangled bytes instead of its report
 ========================  =====================================================
 
 Determinism: whether a rule poisons shot *k* is a pure function of
 ``(plan.seed, rule index, k)`` -- independent of execution order, retries,
 or other rules -- so failure sets are exactly reproducible.
+
+The three ``worker_*``/``ipc_*`` sites are **process-level**: they model
+the machinery around the interpreter failing, not the shot itself, so
+they are consulted only by the process scheduler's worker loop (see
+:mod:`repro.runtime.schedulers`) and are inert under the serial,
+threaded, and batched schedulers.  Their ``failures`` field counts
+*dispatch rounds* instead of attempts: ``failures=1`` crashes the first
+dispatch of a poisoned chunk and lets the re-dispatch succeed, while the
+default :data:`PERSISTENT` keeps killing workers until the supervisor's
+circuit breaker demotes the whole run off the process scheduler.
 """
 
 from __future__ import annotations
@@ -40,6 +53,32 @@ if TYPE_CHECKING:  # pragma: no cover
 PERSISTENT = -1
 
 _ERROR_CLASSES = ("backend", "alloc", "trap", "timeout", "corrupt")
+
+#: Sites consulted by the process scheduler's worker loop, never by
+#: per-shot ``check()`` -- see the module docstring.
+PROCESS_SITES = ("worker_crash", "worker_hang", "ipc_corrupt")
+
+
+def corrupt_bytes(data: bytes, seed: int = 0, flips: int = 16) -> bytes:
+    """Deterministically mangle *data*: flip up to ``flips`` seeded bits.
+
+    Shared between the chaos layer (a worker returning a corrupted IPC
+    payload) and the plan-cache tooling's tests (``qir-plan-cache list
+    --verify`` against corrupted cache files), so both exercise the same
+    corruption shape.  Always changes at least one byte of non-empty
+    input.
+    """
+    if not data:
+        return b"\x00"
+    rng = np.random.default_rng((seed, len(data)))
+    mangled = bytearray(data)
+    for _ in range(max(1, flips)):
+        position = int(rng.integers(0, len(mangled)))
+        bit = 1 << int(rng.integers(0, 8))
+        mangled[position] ^= bit
+    if bytes(mangled) == data:  # the flips cancelled out; force a change
+        mangled[0] ^= 0x01
+    return bytes(mangled)
 
 
 @dataclass(frozen=True)
@@ -207,6 +246,64 @@ class FaultPlan:
                     hit.add(shot)
         return frozenset(hit)
 
+    @property
+    def has_process_faults(self) -> bool:
+        return any(rule.site in PROCESS_SITES for rule in self.rules)
+
+    @property
+    def has_hang_faults(self) -> bool:
+        return any(rule.site == "worker_hang" for rule in self.rules)
+
+    def process_decision(
+        self, start: int, stop: int, round_index: int
+    ) -> "ProcessFaultDecision":
+        """Resolve the process-level fate of the chunk ``[start, stop)``.
+
+        Pure function of ``(plan, chunk range, dispatch round)``: a worker
+        computes its own fate without coordination, and the parent can
+        predict it in tests.  ``failures`` gates on *round*, so a
+        transient rule stops firing once the chunk has been re-dispatched
+        that many times.
+        """
+        crash_shot: Optional[int] = None
+        hang_shot: Optional[int] = None
+        corrupt_report = False
+        for index, rule in enumerate(self.rules):
+            if rule.site not in PROCESS_SITES:
+                continue
+            if rule.failures != PERSISTENT and round_index >= rule.failures:
+                continue  # transient fault already spent its rounds
+            for shot in range(start, stop):
+                if not rule.applies_to_shot(shot, self.seed, index):
+                    continue
+                if rule.site == "worker_crash":
+                    if crash_shot is None or shot < crash_shot:
+                        crash_shot = shot
+                elif rule.site == "worker_hang":
+                    if hang_shot is None or shot < hang_shot:
+                        hang_shot = shot
+                else:  # ipc_corrupt poisons the whole report, any shot triggers
+                    corrupt_report = True
+                break  # first poisoned shot in range decides for this rule
+        return ProcessFaultDecision(crash_shot, hang_shot, corrupt_report)
+
+
+@dataclass(frozen=True)
+class ProcessFaultDecision:
+    """What the chaos layer does to one dispatched worker chunk."""
+
+    crash_shot: Optional[int] = None
+    hang_shot: Optional[int] = None
+    corrupt_report: bool = False
+
+    @property
+    def is_inert(self) -> bool:
+        return (
+            self.crash_shot is None
+            and self.hang_shot is None
+            and not self.corrupt_report
+        )
+
 
 @dataclass
 class InjectorStats:
@@ -242,10 +339,16 @@ class FaultInjector:
             self.stats.timeouts_armed += 1
 
     def context(self, shot: int) -> "ShotFaultContext":
+        # Process-level sites are the worker loop's business (see
+        # FaultPlan.process_decision); keeping them out of the per-shot
+        # context means a worker-chaos plan leaves every interpreter
+        # attempt untouched, which is what makes re-dispatched counts
+        # bit-identical to a serial run.
         applicable = [
             rule
             for index, rule in enumerate(self.plan.rules)
-            if rule.applies_to_shot(shot, self.plan.seed, index)
+            if rule.site not in PROCESS_SITES
+            and rule.applies_to_shot(shot, self.plan.seed, index)
         ]
         return ShotFaultContext(self, shot, applicable)
 

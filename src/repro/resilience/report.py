@@ -65,18 +65,25 @@ def render_failure_report(
     history: Optional[List[str]] = None,
     wall_seconds: float = 0.0,
     successful_shots: int = 0,
+    supervision: Optional[str] = None,
 ) -> str:
     """Human/CLI-facing multi-line report (empty string when clean).
 
     When timing is known (``wall_seconds > 0``) a ``TIMING`` line closes
     the report so a partial-failure run still answers "how fast was it?".
+    ``supervision`` is the process scheduler's worker-failure summary
+    (:meth:`~repro.runtime.schedulers.SupervisionRecord.summary`); a run
+    that recovered from worker loss reports it even when every shot
+    ultimately succeeded.
     """
-    if not failures and not degraded:
+    if not failures and not degraded and not supervision:
         return ""
     lines = [f.render() for f in failures]
     if per_error_counts:
         summary = " ".join(f"{code}={n}" for code, n in sorted(per_error_counts.items()))
         lines.append(f"ERRORS\t{summary}")
+    if supervision:
+        lines.append(f"SUPERVISOR\t{supervision}")
     if degraded:
         lines.append("DEGRADED\t" + ("; ".join(history) if history else "backend fallback engaged"))
     if wall_seconds > 0:

@@ -23,11 +23,15 @@ from repro.runtime.errors import (
     ErrorContext,
     InvalidPointerError,
     OutputCorruptionError,
+    PoolStartupError,
     QirRuntimeError,
     QubitAllocationError,
+    SchedulerExhaustedError,
     StepLimitExceeded,
     TrapError,
     UnboundFunctionError,
+    WorkerCrashError,
+    WorkerTimeoutError,
 )
 from repro.runtime.values import (
     ArrayHandle,
@@ -55,6 +59,7 @@ from repro.runtime.schedulers import (
     ProcessScheduler,
     SerialScheduler,
     ShotOutcome,
+    SupervisionRecord,
     ThreadedScheduler,
     get_scheduler,
     partition_shots,
@@ -78,11 +83,15 @@ __all__ = [
     "ErrorContext",
     "InvalidPointerError",
     "OutputCorruptionError",
+    "PoolStartupError",
     "QirRuntimeError",
     "QubitAllocationError",
+    "SchedulerExhaustedError",
     "StepLimitExceeded",
     "TrapError",
     "UnboundFunctionError",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
     "ArrayHandle",
     "GlobalPtr",
     "IntPtr",
@@ -107,6 +116,7 @@ __all__ = [
     "BatchedScheduler",
     "ProcessScheduler",
     "ShotOutcome",
+    "SupervisionRecord",
     "get_scheduler",
     "partition_shots",
     "ExecutionResult",

@@ -120,6 +120,55 @@ class OutputCorruptionError(QirRuntimeError):
     retryable = True
 
 
+# -- process-level infrastructure (worker supervision) ------------------------
+#
+# The QIR02x band is reserved for the execute phase's *worker* failures:
+# a shot never misbehaved, the machinery running it did.  They are what
+# the ProcessScheduler's supervisor raises (or records in supervision
+# events) instead of leaking concurrent.futures internals.
+
+
+class WorkerCrashError(QirRuntimeError):
+    """A scheduler worker process died (e.g. ``BrokenProcessPool``).
+
+    Retryable by design: the lost chunk's shots are pure functions of
+    ``(root, shot, attempt)``, so re-dispatching them to a healthy
+    worker reproduces the exact outcomes the dead worker would have
+    produced.
+    """
+
+    code = "QIR020"
+    retryable = True
+
+
+class WorkerTimeoutError(QirRuntimeError):
+    """A scheduler worker stopped heartbeating within ``worker_timeout``."""
+
+    code = "QIR021"
+    retryable = True
+
+
+class PoolStartupError(QirRuntimeError):
+    """The worker pool could not start at all (spawn context unavailable,
+    process limits, manager startup failure).  Not retryable: the same
+    environment will refuse the same pool again; callers should fall
+    back to an in-process scheduler or surface the message.
+    """
+
+    code = "QIR022"
+    retryable = False
+
+
+class SchedulerExhaustedError(QirRuntimeError):
+    """Every rung of the scheduler demotion ladder (process -> threaded ->
+    serial) failed to complete the run.  Terminal: there is no cheaper
+    execution strategy left to try.
+    """
+
+    code = "QIR023"
+    retryable = False
+
+
 #: Stable code -> class registry (tests pin these so codes never drift).
 ERROR_CODES: Dict[str, Type[QirRuntimeError]] = {
     cls.code: cls
@@ -132,5 +181,9 @@ ERROR_CODES: Dict[str, Type[QirRuntimeError]] = {
         BackendFaultError,
         QubitAllocationError,
         OutputCorruptionError,
+        WorkerCrashError,
+        WorkerTimeoutError,
+        PoolStartupError,
+        SchedulerExhaustedError,
     )
 }

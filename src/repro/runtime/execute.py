@@ -169,6 +169,8 @@ class QirRuntime:
         collect_failures: bool = False,
         scheduler: Optional[str] = None,
         jobs: Optional[int] = None,
+        worker_timeout: Optional[float] = None,
+        max_worker_failures: Optional[int] = None,
     ) -> ShotsResult:
         """Run many shots (parsing once) and histogram the result bitstrings.
 
@@ -195,12 +197,24 @@ class QirRuntime:
         ``fallback``, and shots that still fail are returned as structured
         records on the result instead of raising.  Resilience is per-shot,
         so the batched scheduler degrades to the per-shot loop for it.
+
+        ``worker_timeout`` / ``max_worker_failures`` configure the process
+        scheduler's worker supervisor (heartbeat deadline in seconds, and
+        failed rounds before the circuit breaker demotes the run to the
+        threaded scheduler); both are rejected for other schedulers.  The
+        resulting :class:`~repro.runtime.schedulers.SupervisionRecord`
+        rides on ``result.supervision``.
         """
         if sampling not in ("auto", "never", "require"):
             raise ValueError(f"unknown sampling mode {sampling!r}")
         scheduler_name = scheduler if scheduler is not None else self.default_scheduler
         jobs_n = jobs if jobs is not None else self.default_jobs
-        sched = get_scheduler(scheduler_name, jobs_n)
+        sched = get_scheduler(
+            scheduler_name,
+            jobs_n,
+            worker_timeout=worker_timeout,
+            max_worker_failures=max_worker_failures,
+        )
         obs = self.observer
         t0 = perf_counter()
         if obs.enabled:
@@ -348,7 +362,9 @@ class QirRuntime:
         )
         outcomes = sched.run(task)
         effective = getattr(sched, "effective", sched.name)
-        return build_shots_result(task, outcomes, effective)
+        result = build_shots_result(task, outcomes, effective)
+        result.supervision = getattr(sched, "supervision", None)
+        return result
 
     def _run_shots_sampled(
         self,
@@ -566,6 +582,8 @@ def run_shots(
     collect_failures: bool = False,
     scheduler: Optional[str] = None,
     jobs: Optional[int] = None,
+    worker_timeout: Optional[float] = None,
+    max_worker_failures: Optional[int] = None,
     **kwargs,
 ) -> ShotsResult:
     return QirRuntime(backend=backend, seed=seed, **kwargs).run_shots(
@@ -580,4 +598,6 @@ def run_shots(
         collect_failures=collect_failures,
         scheduler=scheduler,
         jobs=jobs,
+        worker_timeout=worker_timeout,
+        max_worker_failures=max_worker_failures,
     )

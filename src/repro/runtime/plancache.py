@@ -82,6 +82,19 @@ def environment_tag(fingerprint: Optional[Dict[str, object]] = None) -> str:
 
 
 @dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of :meth:`PlanCache.verify`."""
+
+    ok: List[str]
+    corrupt: List[str]
+    deleted: bool
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt
+
+
+@dataclass(frozen=True)
 class CacheEntry:
     """One on-disk plan, as reported by :meth:`PlanCache.entries`."""
 
@@ -270,6 +283,48 @@ class PlanCache:
                 continue
         out.sort(key=lambda e: e.mtime, reverse=True)
         return out
+
+    def verify(self, delete: bool = True) -> "VerifyReport":
+        """Decode every cache file end-to-end and report the corrupt ones.
+
+        Deeper than :meth:`entries` (which only needs the JSON envelope):
+        each file goes through the full :meth:`ExecutionPlan.from_bytes`
+        wire-format decode, including the embedded module re-parse and
+        integrity hash, so a bit-flipped payload that still parses as
+        JSON is caught too.  With ``delete=True`` (the default, and the
+        ``qir-plan-cache list --verify`` behaviour) corrupt files are
+        removed so the next ``get`` misses cleanly instead of paying the
+        decode-and-drop cost at execution time.
+        """
+        ok: List[str] = []
+        corrupt: List[str] = []
+        try:
+            names = sorted(
+                n for n in os.listdir(self.directory)
+                if n.endswith(_SUFFIX) and not n.startswith(".tmp-")
+            )
+        except OSError:
+            return VerifyReport(ok=[], corrupt=[], deleted=False)
+        for name in names:
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, "rb") as handle:
+                    data = handle.read()
+            except OSError:
+                continue  # vanished underneath us: another process's business
+            try:
+                ExecutionPlan.from_bytes(data)
+            except PlanDecodeError:
+                corrupt.append(path)
+                if delete:
+                    self._drop_corrupt(path)
+                else:
+                    self.stats["corrupt"] += 1
+                    if self.observer.enabled:
+                        self.observer.inc("cache.plan_disk.corrupt")
+                continue
+            ok.append(path)
+        return VerifyReport(ok=ok, corrupt=corrupt, deleted=delete)
 
     def clear(self) -> int:
         """Delete every entry (any environment tag); returns the count."""

@@ -45,11 +45,14 @@ shots in other workers may still have run on the original rung.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Dict, List, Optional, Tuple, Union
+from time import perf_counter, sleep
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -60,11 +63,19 @@ from repro.resilience.faults import (
     FaultInjector,
     FaultPlan,
     FaultyBackend,
+    ProcessFaultDecision,
     ShotFaultContext,
+    corrupt_bytes,
 )
 from repro.resilience.report import ShotFailure, render_failure_report
 from repro.resilience.retry import RetryPolicy
-from repro.runtime.errors import QirRuntimeError
+from repro.runtime.errors import (
+    PoolStartupError,
+    QirRuntimeError,
+    SchedulerExhaustedError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
 from repro.runtime.interpreter import Interpreter, InterpreterStats
 from repro.runtime.output import OutputRecord
 from repro.runtime.results import ResultStore
@@ -200,6 +211,9 @@ class ShotsResult:
     retried_shots: int = 0
     # -- execute phase (repro.runtime.schedulers) -----------------------------
     scheduler: str = "serial"
+    #: Worker-supervision record of a process-scheduler run (None for the
+    #: in-process schedulers and for process runs normalized to serial).
+    supervision: Optional["SupervisionRecord"] = None
 
     @property
     def total_shots(self) -> int:
@@ -234,6 +248,9 @@ class ShotsResult:
         return InterpreterStats.aggregate(self.per_shot_stats)
 
     def failure_report(self) -> str:
+        supervision = None
+        if self.supervision is not None and self.supervision.worker_failures:
+            supervision = self.supervision.summary()
         return render_failure_report(
             self.failed_shots,
             self.per_error_counts,
@@ -241,7 +258,62 @@ class ShotsResult:
             self.fallback_history,
             wall_seconds=self.wall_seconds,
             successful_shots=self.successful_shots,
+            supervision=supervision,
         )
+
+
+# -- worker supervision -------------------------------------------------------
+
+
+@dataclass
+class SupervisionRecord:
+    """What the process scheduler's supervisor saw and did in one run.
+
+    The state machine (documented in DESIGN.md): **healthy** while every
+    dispatched chunk reports back; **degraded** once a worker crashed,
+    hung, or corrupted its report and the lost chunks were re-dispatched;
+    **demoted** when ``max_worker_failures`` failed rounds tripped the
+    circuit breaker and the remaining shots ran on a cheaper scheduler.
+    """
+
+    rounds: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    ipc_corruptions: int = 0
+    redispatches: int = 0
+    failed_rounds: int = 0
+    breaker_tripped: bool = False
+    demoted_to: Optional[str] = None
+    worker_timeout: Optional[float] = None
+    last_error_code: str = ""
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def worker_failures(self) -> int:
+        """Chunks lost to infrastructure, across all rounds."""
+        return self.crashes + self.hangs + self.ipc_corruptions
+
+    @property
+    def state(self) -> str:
+        """``healthy`` / ``degraded`` / ``demoted`` (see class docstring)."""
+        if self.demoted_to is not None:
+            return "demoted"
+        if self.worker_failures:
+            return "degraded"
+        return "healthy"
+
+    def note(self, event: str) -> None:
+        self.events.append(event)
+
+    def summary(self) -> str:
+        text = (
+            f"state={self.state} rounds={self.rounds} crashes={self.crashes} "
+            f"hangs={self.hangs} ipc_corrupt={self.ipc_corruptions} "
+            f"redispatched={self.redispatches}"
+        )
+        if self.demoted_to is not None:
+            text += f" demoted_to={self.demoted_to}"
+        return text
 
 
 # -- per-shot execution -------------------------------------------------------
@@ -305,6 +377,17 @@ class ChainGuard:
             self._worker_degraded = self._worker_degraded or degraded
             self._worker_history.extend(history)
 
+    def note_scheduler_demotion(self, entry: str) -> None:
+        """Record a *scheduler*-ladder demotion (process -> threaded ->
+        serial, see :class:`ProcessScheduler`) in the shared history.
+
+        Scheduler demotions ride the same history/degraded channel as
+        backend demotions so reports, metrics, and callers see one
+        unified degradation record."""
+        with self._lock:
+            self._worker_degraded = True
+            self._worker_history.append(entry)
+
     @property
     def degraded(self) -> bool:
         with self._lock:
@@ -323,6 +406,34 @@ class ChainGuard:
                 - self._initial_history
                 + len(self._worker_history)
             )
+
+
+class _BackoffStream:
+    """Per-shot retry-jitter RNG, created lazily on the first wait.
+
+    One stream per *shot*, shared across fallback demotions.
+    ``attempt_shot`` used to build its own generator per invocation, but
+    it is re-invoked after every fallback demotion (``attempt_offset``),
+    so the jitter sequence restarted mid-shot and retry timing depended
+    on the demotion history.  Holding the stream here makes the delay
+    sequence a pure function of ``(root, shot)`` -- reproducible in
+    tests regardless of how many rungs the shot visits -- while keeping
+    the clean path free of SeedSequence construction.
+    """
+
+    __slots__ = ("_root", "_shot", "_rng")
+
+    def __init__(self, root: np.random.SeedSequence, shot: int):
+        self._root = root
+        self._shot = shot
+        self._rng: Optional[np.random.Generator] = None
+
+    def generator(self) -> np.random.Generator:
+        if self._rng is None:
+            self._rng = np.random.default_rng(
+                shot_sequence(self._root, self._shot, _BACKOFF_KEY)
+            )
+        return self._rng
 
 
 class ShotExecutor:
@@ -417,15 +528,17 @@ class ShotExecutor:
         root: np.random.SeedSequence,
         shot: int,
         attempt_offset: int,
+        backoff: _BackoffStream,
     ) -> Tuple[Optional[ExecutionResult], Optional[QirRuntimeError], int]:
         """Run one shot with per-attempt retry; returns (result, error, attempts).
 
         ``attempt_offset`` keeps attempt indices -- and therefore spawned
-        seeds -- globally increasing for a shot across fallback demotions.
+        seeds -- globally increasing for a shot across fallback demotions,
+        and ``backoff`` carries the shot's one jitter stream across those
+        same demotions (see :class:`_BackoffStream`).
         """
         noisy = self.effective_noise(level) is not None
         last_error: Optional[QirRuntimeError] = None
-        backoff_rng = None
         for attempt in range(1, policy.max_attempts + 1):
             index = attempt_offset + attempt - 1
             if ctx is not None:
@@ -437,11 +550,7 @@ class ShotExecutor:
                 last_error = error
                 if not policy.should_retry(error, attempt):
                     return None, error, attempt
-                if backoff_rng is None:
-                    backoff_rng = np.random.default_rng(
-                        shot_sequence(root, shot, _BACKOFF_KEY)
-                    )
-                policy.wait(attempt, backoff_rng)
+                policy.wait(attempt, backoff.generator())
         return None, last_error, policy.max_attempts
 
     def run_shot(
@@ -465,11 +574,12 @@ class ShotExecutor:
         """
         ctx = injector.context(shot) if injector is not None else None
         total_attempts = 0
+        backoff = _BackoffStream(root, shot)
         t0 = perf_counter() if timed else 0.0
         while True:
             level = chain.current
             result, error, attempts = self.attempt_shot(
-                module, entry, level, ctx, policy, root, shot, total_attempts
+                module, entry, level, ctx, policy, root, shot, total_attempts, backoff
             )
             total_attempts += attempts
             if error is None:
@@ -608,6 +718,14 @@ class _WorkerChunk:
     keep_stats: bool
     resilient: bool
     root: np.random.SeedSequence
+    #: Dispatch round (0 on first dispatch, +1 per re-dispatch of this shot
+    #: range); gates transient process-level fault rules.
+    round_index: int = 0
+    #: Heartbeat channel (a multiprocessing.Manager dict proxy) when the
+    #: supervisor's watchdog is armed; None means run unwatched.
+    heartbeat: Optional[object] = None
+    #: Minimum seconds between heartbeat writes (IPC cost gate).
+    beat_interval: float = 0.0
 
 
 @dataclass
@@ -626,13 +744,22 @@ class _WorkerReport:
     error_shot: int = -1
 
 
-def _run_worker_chunk(chunk: _WorkerChunk) -> _WorkerReport:
+def _run_worker_chunk(chunk: _WorkerChunk) -> Union[_WorkerReport, bytes]:
     """The worker-process entry point: deserialize the plan, run a
     contiguous shot range, report outcomes plus resilience deltas.
 
     Must stay a module-level function (spawn pickles it by reference).
     Workers run unobserved -- metric folding happens in the parent's
     order-independent merge, same as the threaded scheduler.
+
+    Chaos hooks: a :class:`~repro.resilience.faults.FaultPlan` with
+    process-level sites decides this chunk's fate up front (a pure
+    function of the plan, the shot range, and the dispatch round).
+    ``worker_crash`` hard-exits before running the poisoned shot,
+    ``worker_hang`` stops heartbeating and sleeps until the supervisor
+    terminates the process, and ``ipc_corrupt`` ships mangled bytes
+    instead of the report.  None of them touch interpreter state, so the
+    shots a re-dispatched worker re-runs are bit-identical.
     """
     # Imported here, not at module top: plan.py imports nothing from this
     # module at call time, but keeping the worker's import surface explicit
@@ -640,6 +767,19 @@ def _run_worker_chunk(chunk: _WorkerChunk) -> _WorkerReport:
     from repro.runtime.plan import ExecutionPlan
 
     t0 = perf_counter()
+    decision = (
+        chunk.fault_plan.process_decision(chunk.start, chunk.stop, chunk.round_index)
+        if chunk.fault_plan is not None
+        else None
+    )
+    heartbeat = chunk.heartbeat
+    if heartbeat is not None:
+        try:
+            heartbeat[chunk.index] = 0  # "started" beat
+        except Exception:
+            heartbeat = None  # manager unreachable; run unwatched
+    beats = 0
+    last_beat = perf_counter()
     plan = ExecutionPlan.from_bytes(chunk.plan_bytes)
     executor = ShotExecutor(
         chunk.backend_name,
@@ -657,6 +797,24 @@ def _run_worker_chunk(chunk: _WorkerChunk) -> _WorkerReport:
     error: Optional[QirRuntimeError] = None
     error_shot = -1
     for shot in range(chunk.start, chunk.stop):
+        if decision is not None:
+            if shot == decision.crash_shot:
+                os._exit(86)  # simulated hard crash: no cleanup, no report
+            if shot == decision.hang_shot:
+                # Simulated wedge: no more heartbeats, just sleep until
+                # the supervisor's watchdog terminates us.  Bounded so an
+                # unsupervised run cannot hang forever.
+                sleep(3600.0)
+                os._exit(87)
+        if heartbeat is not None:
+            now = perf_counter()
+            if now - last_beat >= chunk.beat_interval:
+                beats += 1
+                try:
+                    heartbeat[chunk.index] = beats
+                except Exception:
+                    heartbeat = None
+                last_beat = now
         try:
             outcomes.append(
                 executor.run_shot(
@@ -678,7 +836,7 @@ def _run_worker_chunk(chunk: _WorkerChunk) -> _WorkerReport:
             error = exc
             error_shot = shot
             break
-    return _WorkerReport(
+    report = _WorkerReport(
         index=chunk.index,
         outcomes=outcomes,
         degraded=chunk.chain.degraded,
@@ -688,6 +846,13 @@ def _run_worker_chunk(chunk: _WorkerChunk) -> _WorkerReport:
         error=error,
         error_shot=error_shot,
     )
+    if decision is not None and decision.corrupt_report:
+        # The work was done; the IPC payload is what gets mangled.  The
+        # parent sees "not a _WorkerReport" and treats the chunk as lost.
+        return corrupt_bytes(
+            pickle.dumps(report), seed=chunk.fault_plan.seed ^ (chunk.index + 1)
+        )
+    return report
 
 
 def partition_shots(shots: int, workers: int) -> List[Tuple[int, int]]:
@@ -739,20 +904,62 @@ class ProcessScheduler:
     *per-worker* demotion (documented in the module docstring): each
     worker demotes its own chain clone, and the merged result ORs the
     ``degraded`` flags and concatenates histories in worker order.
+
+    Supervision (the DESIGN.md state machine): every dispatch round is
+    watched.  A worker that dies takes the whole ``ProcessPoolExecutor``
+    with it (``BrokenProcessPool``), a worker that stops heartbeating
+    within ``worker_timeout`` is terminated, and a worker whose IPC
+    payload fails to deserialize is distrusted -- in all three cases the
+    affected chunks are *lost*, not fatal: they are re-dispatched on a
+    fresh round, and because per-shot seeds are pure functions of
+    ``(root, shot, attempt)`` the re-run reproduces bit-identical
+    outcomes.  After ``max_worker_failures`` failed rounds a circuit
+    breaker stops paying pool-restart costs and demotes the remaining
+    shots ``process -> threaded -> serial``, recording the demotion in
+    the shared fallback history.  ``worker_timeout=None`` (the default)
+    skips the heartbeat channel entirely, so the clean path pays no
+    Manager/IPC overhead; it is auto-armed when a fault plan injects
+    ``worker_hang`` so a chaos run can never wedge.
     """
 
     name = "process"
 
-    def __init__(self, jobs: int = 2, start_method: Optional[str] = None):
+    #: Watchdog deadline auto-armed for worker_hang chaos runs (seconds).
+    AUTO_HANG_TIMEOUT = 10.0
+
+    #: Extra seconds granted before a worker's *first* heartbeat: process
+    #: startup (fork/spawn, plan deserialization) is the pool's cost, not
+    #: the worker's, and under load it can exceed a tight ``worker_timeout``
+    #: -- without the grace a slow-starting healthy worker reads as hung.
+    STARTUP_GRACE = 10.0
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        start_method: Optional[str] = None,
+        worker_timeout: Optional[float] = None,
+        max_worker_failures: int = 2,
+    ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if worker_timeout is not None and worker_timeout <= 0:
+            raise ValueError("worker_timeout must be > 0 seconds")
+        if max_worker_failures < 1:
+            raise ValueError("max_worker_failures must be >= 1")
         self.jobs = jobs
         self.start_method = start_method or _default_start_method()
+        self.worker_timeout = worker_timeout
+        self.max_worker_failures = max_worker_failures
         #: What actually ran: flips to "serial" when the pool would be
         #: pointless (one shot, or one worker).
         self.effective = "process"
+        #: :class:`SupervisionRecord` of the most recent supervised run
+        #: (None until one happens); the runtime attaches it to the
+        #: :class:`ShotsResult`.
+        self.supervision: Optional[SupervisionRecord] = None
 
     def run(self, task: ShotTask) -> List[ShotOutcome]:
+        self.supervision = None
         if task.shots <= 1 or self.jobs == 1:
             self.effective = "serial"
             return SerialScheduler().run(task)
@@ -761,37 +968,311 @@ class ProcessScheduler:
                 "process scheduler needs task.plan_bytes (a serialized "
                 "ExecutionPlan); run it through QirRuntime.run_shots"
             )
-        chunks = [
-            _WorkerChunk(
-                index=index,
-                start=start,
-                stop=stop,
-                plan_bytes=task.plan_bytes,
-                entry=task.entry,
-                backend_name=task.executor.backend_name,
-                noise=task.executor.noise,
-                step_limit=task.executor.step_limit,
-                max_qubits=task.executor.max_qubits,
-                allow_on_the_fly_qubits=task.executor.allow_on_the_fly_qubits,
-                policy=task.policy,
-                fault_plan=task.injector.plan if task.injector is not None else None,
-                chain=task.chain.worker_chain(),
-                keep_stats=task.keep_stats or task.timed,
-                resilient=task.resilient,
-                root=task.root,
-            )
-            for index, (start, stop) in enumerate(
-                partition_shots(task.shots, self.jobs)
-            )
-        ]
+        supervision = self.supervision = SupervisionRecord()
         obs = task.executor.observer
-        pool_start = perf_counter()
-        context = multiprocessing.get_context(self.start_method)
-        with ProcessPoolExecutor(
-            max_workers=len(chunks), mp_context=context
-        ) as pool:
-            reports = list(pool.map(_run_worker_chunk, chunks))
-        return self._merge(task, reports, obs, pool_start)
+        t0 = perf_counter()
+        try:
+            return self._run_supervised(task, supervision, obs, t0)
+        finally:
+            if obs.enabled:
+                obs.tracer.complete(
+                    "process.supervisor",
+                    start=t0,
+                    seconds=perf_counter() - t0,
+                    rounds=supervision.rounds,
+                    crashes=supervision.crashes,
+                    hangs=supervision.hangs,
+                    redispatches=supervision.redispatches,
+                    state=supervision.state,
+                )
+
+    # -- supervision internals ------------------------------------------------
+    def _effective_timeout(self, task: ShotTask) -> Optional[float]:
+        if self.worker_timeout is not None:
+            return self.worker_timeout
+        if task.injector is not None and task.injector.plan.has_hang_faults:
+            return self.AUTO_HANG_TIMEOUT
+        return None
+
+    def _new_pool(self, workers: int) -> ProcessPoolExecutor:
+        try:
+            context = multiprocessing.get_context(self.start_method)
+            return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        except (OSError, ValueError, RuntimeError, ImportError) as error:
+            raise PoolStartupError(
+                f"could not start the {self.start_method!r} worker pool "
+                f"({workers} worker(s)): {error}"
+            ) from error
+
+    def _make_chunk(
+        self,
+        task: ShotTask,
+        index: int,
+        start: int,
+        stop: int,
+        round_index: int,
+        heartbeat: Optional[object],
+        beat_interval: float,
+    ) -> _WorkerChunk:
+        return _WorkerChunk(
+            index=index,
+            start=start,
+            stop=stop,
+            plan_bytes=task.plan_bytes,
+            entry=task.entry,
+            backend_name=task.executor.backend_name,
+            noise=task.executor.noise,
+            step_limit=task.executor.step_limit,
+            max_qubits=task.executor.max_qubits,
+            allow_on_the_fly_qubits=task.executor.allow_on_the_fly_qubits,
+            policy=task.policy,
+            fault_plan=task.injector.plan if task.injector is not None else None,
+            chain=task.chain.worker_chain(),
+            keep_stats=task.keep_stats or task.timed,
+            resilient=task.resilient,
+            root=task.root,
+            round_index=round_index,
+            heartbeat=heartbeat,
+            beat_interval=beat_interval,
+        )
+
+    def _run_supervised(
+        self,
+        task: ShotTask,
+        supervision: SupervisionRecord,
+        obs,
+        t0: float,
+    ) -> List[ShotOutcome]:
+        timeout = supervision.worker_timeout = self._effective_timeout(task)
+        manager = None
+        heartbeat = None
+        beat_interval = 0.0
+        if timeout is not None:
+            try:
+                manager = multiprocessing.get_context(self.start_method).Manager()
+                heartbeat = manager.dict()
+            except Exception as error:
+                raise PoolStartupError(
+                    f"could not start the heartbeat manager: {error}"
+                ) from error
+            beat_interval = min(0.25, timeout / 4.0)
+        pending = partition_shots(task.shots, self.jobs)
+        reports: List[_WorkerReport] = []
+        missing: List[int] = []
+        next_index = 0
+        pool: Optional[ProcessPoolExecutor] = None
+        pool_broken = False
+        try:
+            while pending:
+                supervision.rounds += 1
+                round_index = supervision.rounds - 1
+                if pool is None or pool_broken:
+                    if pool is not None:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                    pool = self._new_pool(len(pending))
+                    pool_broken = False
+                chunks = []
+                for start, stop in pending:
+                    chunks.append(
+                        self._make_chunk(
+                            task, next_index, start, stop,
+                            round_index, heartbeat, beat_interval,
+                        )
+                    )
+                    next_index += 1
+                done_reports, lost, pool_broken = self._await_round(
+                    pool, chunks, timeout, supervision, obs
+                )
+                reports.extend(done_reports)
+                if any(r.error is not None for r in reports):
+                    # Fail-fast mode hit a program/runtime error: stop
+                    # supervising, let the merge raise it (re-dispatching
+                    # lost chunks would only delay the inevitable).
+                    break
+                if not lost:
+                    break
+                supervision.failed_rounds += 1
+                if supervision.failed_rounds >= self.max_worker_failures:
+                    supervision.breaker_tripped = True
+                    if obs.enabled:
+                        obs.inc("scheduler.worker.breaker_trip")
+                    missing = [s for start, stop in lost for s in range(start, stop)]
+                    break
+                supervision.redispatches += len(lost)
+                if obs.enabled:
+                    obs.inc("scheduler.worker.redispatch", len(lost))
+                pending = lost
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=not pool_broken, cancel_futures=True)
+            if manager is not None:
+                manager.shutdown()
+        outcomes = self._merge(task, reports, obs, t0)
+        if missing:
+            outcomes.extend(self._run_demoted(task, missing, supervision, obs))
+        return outcomes
+
+    def _await_round(
+        self,
+        pool: ProcessPoolExecutor,
+        chunks: List[_WorkerChunk],
+        timeout: Optional[float],
+        supervision: SupervisionRecord,
+        obs,
+    ) -> Tuple[List[_WorkerReport], List[Tuple[int, int]], bool]:
+        """Dispatch one round and watch it; returns (reports, lost, broken).
+
+        ``lost`` holds the shot ranges of chunks that produced no usable
+        report (crash, hang, corrupt IPC); ``broken`` means the pool must
+        be recreated before re-dispatching.
+        """
+        round_index = supervision.rounds - 1
+        try:
+            futures = {pool.submit(_run_worker_chunk, c): c for c in chunks}
+        except (OSError, RuntimeError, ValueError) as error:
+            raise PoolStartupError(
+                f"could not dispatch to the {self.start_method!r} worker "
+                f"pool: {error}"
+            ) from error
+        progress = {c.index: (-1, perf_counter()) for c in chunks}
+        hung: Set[int] = set()
+        not_done = set(futures)
+        poll = None if timeout is None else max(0.01, min(0.1, timeout / 4.0))
+        while not_done:
+            _, not_done = wait(not_done, timeout=poll)
+            if not not_done or timeout is None:
+                continue
+            now = perf_counter()
+            for future in not_done:
+                chunk = futures[future]
+                try:
+                    value = chunk.heartbeat[chunk.index]  # type: ignore[index]
+                except Exception:
+                    value = -1
+                last_value, since = progress[chunk.index]
+                if value != last_value:
+                    progress[chunk.index] = (value, now)
+                    continue
+                # A worker that has not beaten yet (value < 0) is still
+                # starting up; judge it against timeout + STARTUP_GRACE so
+                # slow pool spin-up is not mistaken for a hang.
+                deadline = timeout if value >= 0 else timeout + self.STARTUP_GRACE
+                if now - since > deadline:
+                    hung.add(chunk.index)
+            # Leave once every still-pending future is a detected hang:
+            # healthy workers get to finish while the wedged ones wait
+            # for the terminate below.
+            if hung and all(futures[f].index in hung for f in not_done):
+                break
+        if hung:
+            self._terminate_workers(pool)
+        reports: List[_WorkerReport] = []
+        lost: List[Tuple[int, int]] = []
+        broken = bool(hung)
+        for future, chunk in sorted(
+            futures.items(), key=lambda item: item[1].index
+        ):
+            span = f"shots {chunk.start}..{chunk.stop - 1}"
+            if not future.done():
+                future.cancel()
+                supervision.hangs += 1
+                supervision.last_error_code = WorkerTimeoutError.code
+                supervision.note(
+                    f"round {round_index}: worker {chunk.index} ({span}) "
+                    f"missed its {timeout:g}s heartbeat deadline"
+                )
+                if obs.enabled:
+                    obs.inc("scheduler.worker.hang")
+                lost.append((chunk.start, chunk.stop))
+                continue
+            try:
+                result = future.result(timeout=0)
+            except BrokenProcessPool:
+                broken = True
+                supervision.crashes += 1
+                supervision.last_error_code = WorkerCrashError.code
+                supervision.note(
+                    f"round {round_index}: worker {chunk.index} ({span}) "
+                    "lost to a worker-process crash"
+                )
+                if obs.enabled:
+                    obs.inc("scheduler.worker.crash")
+                lost.append((chunk.start, chunk.stop))
+                continue
+            # Any other exception is a worker *bug*, not lost infrastructure;
+            # it propagates exactly as the unsupervised pool.map did.
+            if isinstance(result, _WorkerReport):
+                reports.append(result)
+                continue
+            supervision.ipc_corruptions += 1
+            supervision.last_error_code = WorkerCrashError.code
+            supervision.note(
+                f"round {round_index}: worker {chunk.index} ({span}) "
+                "returned an undecodable report (IPC corruption)"
+            )
+            if obs.enabled:
+                obs.inc("scheduler.worker.ipc_corrupt")
+            lost.append((chunk.start, chunk.stop))
+        return reports, lost, broken
+
+    @staticmethod
+    def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+        """Kill every pool process (hung workers never exit on their own)."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def _run_demoted(
+        self,
+        task: ShotTask,
+        shots: List[int],
+        supervision: SupervisionRecord,
+        obs,
+    ) -> List[ShotOutcome]:
+        """The breaker tripped: finish the lost shots on cheaper rungs.
+
+        Threaded first (shares the parent's ChainGuard, so fallback
+        semantics actually *improve* over per-worker clones), then plain
+        serial.  :class:`QirRuntimeError` from a shot propagates -- that
+        is the program failing, same as serial fail-fast -- while
+        infrastructure errors walk down the ladder until
+        :class:`SchedulerExhaustedError` ends it.
+        """
+        code = supervision.last_error_code or WorkerCrashError.code
+        task.chain.note_scheduler_demotion(
+            f"scheduler:process -> scheduler:threaded (after {code}: "
+            f"{supervision.worker_failures} worker failure(s) in "
+            f"{supervision.failed_rounds} round(s))"
+        )
+        supervision.demoted_to = "threaded"
+        supervision.note(
+            f"breaker tripped after round {supervision.rounds - 1}: "
+            f"re-running {len(shots)} shot(s) on the threaded scheduler"
+        )
+        try:
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                return list(pool.map(task.run_one, shots))
+        except QirRuntimeError:
+            raise
+        except Exception as error:
+            task.chain.note_scheduler_demotion(
+                f"scheduler:threaded -> scheduler:serial "
+                f"(after {code}: {error})"
+            )
+            supervision.demoted_to = "serial"
+            supervision.note(f"threaded rung failed ({error}); trying serial")
+        try:
+            return [task.run_one(shot) for shot in shots]
+        except QirRuntimeError:
+            raise
+        except Exception as error:
+            raise SchedulerExhaustedError(
+                f"process, threaded, and serial schedulers all failed to "
+                f"complete {len(shots)} re-dispatched shot(s): {error}"
+            ) from error
 
     def _merge(
         self,
@@ -885,14 +1366,31 @@ class BatchedScheduler:
         return None
 
 
-def get_scheduler(name: str, jobs: int = 1):
-    """Resolve a scheduler by name (the ``--scheduler`` CLI contract)."""
+def get_scheduler(
+    name: str,
+    jobs: int = 1,
+    worker_timeout: Optional[float] = None,
+    max_worker_failures: Optional[int] = None,
+):
+    """Resolve a scheduler by name (the ``--scheduler`` CLI contract).
+
+    ``worker_timeout`` and ``max_worker_failures`` configure the process
+    scheduler's supervisor and are rejected for every other scheduler
+    (there are no worker processes to supervise).
+    """
     if name not in SCHEDULERS:
         raise ValueError(
             f"unknown scheduler {name!r}; choose from {', '.join(SCHEDULERS)}"
         )
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if name != "process" and (
+        worker_timeout is not None or max_worker_failures is not None
+    ):
+        raise ValueError(
+            "worker supervision options (worker_timeout / "
+            "max_worker_failures) require the process scheduler"
+        )
     if name == "serial":
         if jobs > 1:
             raise ValueError(
@@ -903,7 +1401,13 @@ def get_scheduler(name: str, jobs: int = 1):
     if name == "threaded":
         return ThreadedScheduler(jobs=max(2, jobs) if jobs > 1 else 2)
     if name == "process":
-        return ProcessScheduler(jobs=max(2, jobs) if jobs > 1 else 2)
+        return ProcessScheduler(
+            jobs=max(2, jobs) if jobs > 1 else 2,
+            worker_timeout=worker_timeout,
+            max_worker_failures=(
+                2 if max_worker_failures is None else max_worker_failures
+            ),
+        )
     return BatchedScheduler()
 
 

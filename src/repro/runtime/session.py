@@ -44,7 +44,7 @@ from repro.runtime.plan import (
     content_hash,
     plan_key,
 )
-from repro.runtime.plancache import CACHE_ENV, PlanCache
+from repro.runtime.plancache import CACHE_ENV, PlanCache, VerifyReport
 
 ProgramLike = Union[str, Module, ExecutionPlan]
 
@@ -287,6 +287,18 @@ class QirSession:
                 "capacity": self.plan_cache.max_entries,
             }
         return stats
+
+    def verify_plan_cache(self, delete: bool = True) -> Optional[VerifyReport]:
+        """Integrity-check the disk tier (see :meth:`PlanCache.verify`).
+
+        Returns ``None`` when the session has no disk tier.  Useful for
+        long-lived services that want to sweep corrupt entries on a
+        schedule instead of paying decode-and-drop misses at request
+        time (``qir-plan-cache list --verify`` is the CLI equivalent).
+        """
+        if self.plan_cache is None:
+            return None
+        return self.plan_cache.verify(delete=delete)
 
     def clear_caches(self) -> None:
         """Empty the in-process tiers; the disk tier (shared with other

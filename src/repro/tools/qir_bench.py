@@ -239,6 +239,61 @@ def _bench_schedulers(snapshot: BenchSnapshot, shots: int, repeats: int) -> None
         )
 
 
+def _bench_supervision(snapshot: BenchSnapshot, shots: int, repeats: int) -> None:
+    """Worker-crash recovery overhead (ROADMAP: supervised process pool).
+
+    Clean arm: a plain process-scheduler run.  Recovery arm: the same run
+    with a *transient* ``worker_crash`` injection (``failures=1``), so the
+    first dispatch round loses the pool and the supervisor redispatches
+    every chunk in round two.  The ratio is the wall-clock price of one
+    full crash-and-redispatch cycle -- the number the regression gate
+    watches so supervision stays cheap relative to the work it recovers.
+    """
+    from repro.resilience import FaultPlan
+
+    text = reset_chain_qir(3, rounds=3)
+    jobs = max(2, min(4, os.cpu_count() or 2))
+    plan_text = ["worker_crash,p=1.0,failures=1"]
+
+    def timed(fault_specs: Optional[List[str]], observer: Observer) -> TimingStats:
+        runtime = QirRuntime(seed=7, observer=observer)
+        plan = QirSession(runtime=runtime).compile(text)
+        fault_plan = FaultPlan.parse(fault_specs, seed=0) if fault_specs else None
+        return measure(
+            lambda: runtime.run_shots(
+                plan, shots=shots, scheduler="process", jobs=jobs,
+                fault_plan=fault_plan,
+            ),
+            repeats=repeats,
+        )
+
+    clean = timed(None, Observer())
+    recovery_observer = Observer()
+    recovery = timed(plan_text, recovery_observer)
+    supervision = recovery_observer.metrics.values_with_prefix("scheduler.worker.")
+    redispatched = int(supervision.get("scheduler.worker.redispatch", 0))
+
+    snapshot.add(
+        BenchRecord.from_stats(
+            "runtime.scheduler.crash_recovery_seconds", recovery,
+            unit="seconds", direction="lower",
+            shots=shots, jobs=jobs, redispatched=redispatched,
+        )
+    )
+    if clean.median > 0:
+        snapshot.record(
+            "runtime.scheduler.recovery_overhead",
+            recovery.median / clean.median,
+            unit="ratio", direction="lower", k=repeats,
+            metadata={
+                "shots": shots,
+                "jobs": jobs,
+                "redispatched": redispatched,
+                "crashes": int(supervision.get("scheduler.worker.crash", 0)),
+            },
+        )
+
+
 def _bench_plan_cache(snapshot: BenchSnapshot, repeats: int) -> None:
     """Disk-tier warm-start win (ROADMAP: cross-process plan cache).
 
@@ -311,6 +366,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if "runtime" in suites:
         _bench_runtime(snapshot, args.shots, args.repeats)
         _bench_schedulers(snapshot, args.shots, args.repeats)
+        _bench_supervision(snapshot, args.shots, args.repeats)
         _bench_plan_cache(snapshot, args.repeats)
 
     if args.output:

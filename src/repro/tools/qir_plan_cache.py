@@ -5,13 +5,20 @@ pointed at the same directory; this tool is the operator's view of it::
 
     qir-plan-cache list                    # entries in the default dir
     qir-plan-cache list --dir /tmp/plans   # ... or an explicit one
+    qir-plan-cache list --verify           # full decode; delete corrupt files
     qir-plan-cache path                    # print the resolved directory
     qir-plan-cache clear                   # delete every cached plan
 
 The directory resolves exactly as at runtime: ``--dir`` wins, then the
 ``QIR_PLAN_CACHE`` environment variable, then ``~/.cache/qir-repro/plans``.
 
-Exit codes: 0 = success, 2 = bad invocation.
+``list --verify`` runs every file through the full wire-format decode
+(:meth:`PlanCache.verify`), so bit-flipped payloads that still parse as
+JSON are caught; corrupt files are deleted (use ``--keep-corrupt`` to
+only report them).
+
+Exit codes: 0 = success (cache clean), 1 = corrupt entries found,
+2 = bad invocation.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from typing import List, Optional
 from repro.runtime.plancache import PlanCache, default_cache_dir
 
 EXIT_OK = 0
+EXIT_CORRUPT = 1
 EXIT_USAGE = 2
 
 
@@ -37,7 +45,16 @@ def build_parser() -> argparse.ArgumentParser:
              "~/.cache/qir-repro/plans)",
     )
     sub = parser.add_subparsers(dest="command")
-    sub.add_parser("list", help="list cached plans, newest first")
+    lister = sub.add_parser("list", help="list cached plans, newest first")
+    lister.add_argument(
+        "--verify", action="store_true",
+        help="decode every file end-to-end and delete corrupt ones "
+             "(exit 1 if any were corrupt)",
+    )
+    lister.add_argument(
+        "--keep-corrupt", action="store_true",
+        help="with --verify: report corrupt files without deleting them",
+    )
     sub.add_parser("path", help="print the resolved cache directory")
     sub.add_parser("clear", help="delete every cached plan")
     return parser
@@ -51,20 +68,37 @@ def _human_size(size: int) -> str:
     return f"{size}B"
 
 
-def _list(cache: PlanCache) -> int:
+def _list(cache: PlanCache, verify: bool = False, delete: bool = True) -> int:
+    if verify:
+        # Verify first: a corrupt file is deleted (unless --keep-corrupt)
+        # *before* the listing, so the table below shows what survives.
+        report = cache.verify(delete=delete)
+        for path in report.corrupt:
+            action = "deleted" if report.deleted else "kept"
+            print(f"CORRUPT\t{path}\t({action})", file=sys.stderr)
     entries = cache.entries()
     if not entries:
         print(f"qir-plan-cache: empty ({cache.directory})")
-        return EXIT_OK
-    print(f"{'HASH':<14}{'BACKEND':<14}{'PIPELINE':<12}{'SIZE':>8}  WRITTEN")
-    for entry in entries:
-        written = datetime.fromtimestamp(entry.mtime).strftime("%Y-%m-%d %H:%M:%S")
+    else:
+        print(f"{'HASH':<14}{'BACKEND':<14}{'PIPELINE':<12}{'SIZE':>8}  WRITTEN")
+        for entry in entries:
+            written = datetime.fromtimestamp(entry.mtime).strftime(
+                "%Y-%m-%d %H:%M:%S"
+            )
+            print(
+                f"{entry.short_hash:<14}{entry.backend:<14}"
+                f"{(entry.pipeline or '-'):<12}{_human_size(entry.size_bytes):>8}"
+                f"  {written}"
+            )
+        print(f"{len(entries)} plan(s) in {cache.directory}")
+    if verify:
+        state = "deleted" if delete else "kept"
         print(
-            f"{entry.short_hash:<14}{entry.backend:<14}"
-            f"{(entry.pipeline or '-'):<12}{_human_size(entry.size_bytes):>8}"
-            f"  {written}"
+            f"VERIFY\tok={len(report.ok)} corrupt={len(report.corrupt)}"
+            + (f" ({state})" if report.corrupt else "")
         )
-    print(f"{len(entries)} plan(s) in {cache.directory}")
+        if not report.clean:
+            return EXIT_CORRUPT
     return EXIT_OK
 
 
@@ -79,7 +113,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_OK
     cache = PlanCache(args.dir)
     if args.command == "list":
-        return _list(cache)
+        if args.keep_corrupt and not args.verify:
+            print(
+                "qir-plan-cache: error: --keep-corrupt requires --verify",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        return _list(cache, verify=args.verify, delete=not args.keep_corrupt)
     removed = cache.clear()
     print(f"qir-plan-cache: removed {removed} plan(s) from {cache.directory}")
     return EXIT_OK

@@ -70,6 +70,18 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(--jobs worker processes fed serialized plans)")
     execution.add_argument("--jobs", type=int, default=1, metavar="N",
                            help="workers for --scheduler threaded/process")
+    execution.add_argument("--worker-timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="process-scheduler watchdog: a worker that "
+                                "stops heartbeating for SECONDS is declared "
+                                "hung, terminated, and its chunk re-dispatched "
+                                "(default: off; auto-armed for worker_hang "
+                                "fault injection)")
+    execution.add_argument("--max-worker-failures", type=int, default=None,
+                           metavar="N",
+                           help="failed dispatch rounds before the process "
+                                "scheduler's circuit breaker demotes the run "
+                                "to the threaded scheduler (default 2)")
     execution.add_argument("--plan-cache", default=None, metavar="DIR",
                            help="persist compiled plans under DIR so later "
                                 "processes warm-start (also honours the "
@@ -127,6 +139,22 @@ def _run(args: argparse.Namespace, observer) -> int:
             file=sys.stderr,
         )
         return EXIT_PARSE
+    supervised = (
+        args.worker_timeout is not None or args.max_worker_failures is not None
+    )
+    if supervised and args.scheduler != "process":
+        print(
+            "qir-run: error: --worker-timeout/--max-worker-failures require "
+            "--scheduler process (there are no worker processes to supervise)",
+            file=sys.stderr,
+        )
+        return EXIT_PARSE
+    if args.worker_timeout is not None and args.worker_timeout <= 0:
+        print("qir-run: error: --worker-timeout must be > 0", file=sys.stderr)
+        return EXIT_PARSE
+    if args.max_worker_failures is not None and args.max_worker_failures < 1:
+        print("qir-run: error: --max-worker-failures must be >= 1", file=sys.stderr)
+        return EXIT_PARSE
     if args.jobs == 1 and args.scheduler in ("threaded", "process"):
         # Symmetric to the rejection above: one worker IS the serial loop,
         # so normalize instead of paying pool startup for nothing.
@@ -136,6 +164,8 @@ def _run(args: argparse.Namespace, observer) -> int:
             file=sys.stderr,
         )
         args.scheduler = "serial"
+        args.worker_timeout = None  # nothing to supervise in the serial loop
+        args.max_worker_failures = None
 
     try:
         source = _read_input(args.input)
@@ -226,6 +256,8 @@ def _run(args: argparse.Namespace, observer) -> int:
             collect_failures=resilient,
             scheduler=args.scheduler,
             jobs=args.jobs,
+            worker_timeout=args.worker_timeout,
+            max_worker_failures=args.max_worker_failures,
         )
         width = max((len(k) for k in shots_result.counts), default=0)
         for bits, count in sorted(

@@ -5,10 +5,19 @@ import os
 import pytest
 
 from repro.obs.observer import Observer
+from repro.resilience import corrupt_bytes
 from repro.runtime import PlanCache, QirSession, compile_plan, default_cache_dir
 from repro.runtime.plancache import CACHE_ENV, environment_tag
 from repro.tools.qir_plan_cache import main as plan_cache_main
 from repro.workloads.qir_programs import bell_qir, counted_loop_qir
+
+
+def _corrupt_file(path, seed=0):
+    """Flip bits in an on-disk plan with the chaos layer's generator."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(corrupt_bytes(data, seed=seed))
 
 
 @pytest.fixture()
@@ -109,6 +118,77 @@ class TestPlanCache:
             PlanCache(str(tmp_path), max_entries=0)
 
 
+class TestPlanCacheVerify:
+    def test_clean_cache_verifies_clean(self, cache):
+        plan = compile_plan(bell_qir("static"))
+        cache.put(plan.key, plan)
+        report = cache.verify()
+        assert report.clean
+        assert report.corrupt == []
+        assert len(report.ok) == 1
+        assert report.deleted
+
+    def test_corrupt_file_detected_and_deleted(self, cache):
+        plans = [
+            compile_plan(counted_loop_qir(n), pipeline="unroll") for n in (2, 3)
+        ]
+        paths = [cache.put(plan.key, plan) for plan in plans]
+        _corrupt_file(paths[0])
+        report = cache.verify()
+        assert not report.clean
+        assert report.corrupt == [paths[0]]
+        assert report.ok == [paths[1]]
+        assert not os.path.exists(paths[0])
+        assert os.path.exists(paths[1])
+        # A second sweep sees a clean cache.
+        assert cache.verify().clean
+
+    def test_verify_keep_leaves_file_and_counts(self, tmp_path):
+        obs = Observer()
+        cache = PlanCache(str(tmp_path), observer=obs)
+        plan = compile_plan(bell_qir("static"))
+        path = cache.put(plan.key, plan)
+        _corrupt_file(path, seed=3)
+        report = cache.verify(delete=False)
+        assert report.corrupt == [path]
+        assert not report.deleted
+        assert os.path.exists(path)
+        assert cache.stats["corrupt"] == 1
+        assert obs.snapshot()["counters"]["cache.plan_disk.corrupt"] == 1
+
+    def test_verify_catches_json_valid_bit_flips(self, cache):
+        # The envelope may still parse as JSON after a flip; verify goes
+        # through the full wire decode, so it is caught anyway.
+        plan = compile_plan(bell_qir("static"))
+        path = cache.put(plan.key, plan)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-10] + b"X" + data[-9:])
+        report = cache.verify()
+        assert report.corrupt == [path]
+
+    def test_verify_missing_directory_is_clean(self, tmp_path):
+        cache = PlanCache(str(tmp_path / "never-created"))
+        report = cache.verify()
+        assert report.clean
+        assert report.ok == []
+
+    def test_session_verify_plan_cache(self, tmp_path):
+        session = QirSession(plan_cache_dir=str(tmp_path))
+        session.compile(bell_qir("static"))
+        path = session.plan_cache.entries()[0].path
+        _corrupt_file(path)
+        report = session.verify_plan_cache()
+        assert report is not None
+        assert report.corrupt == [path]
+        assert len(session.plan_cache) == 0
+
+    def test_session_without_disk_tier_returns_none(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert QirSession().verify_plan_cache() is None
+
+
 class TestSessionDiskTier:
     def test_fresh_session_warm_starts_from_disk(self, tmp_path):
         text = bell_qir("static")
@@ -202,3 +282,46 @@ class TestPlanCacheCli:
         assert plan_cache_main(["--dir", directory, "clear"]) == 0
         assert "1" in capsys.readouterr().out
         assert PlanCache(directory).entries() == []
+
+    def test_list_verify_clean_cache(self, tmp_path, capsys):
+        directory = str(tmp_path)
+        QirSession(plan_cache_dir=directory).compile(bell_qir("static"))
+        assert plan_cache_main(["--dir", directory, "list", "--verify"]) == 0
+        captured = capsys.readouterr()
+        assert "VERIFY\tok=1 corrupt=0" in captured.out
+        assert "CORRUPT" not in captured.err
+
+    def test_list_verify_deletes_corrupt_and_exits_nonzero(
+        self, tmp_path, capsys
+    ):
+        directory = str(tmp_path)
+        session = QirSession(plan_cache_dir=directory)
+        session.compile(bell_qir("static"))
+        path = session.plan_cache.entries()[0].path
+        _corrupt_file(path)
+        assert plan_cache_main(["--dir", directory, "list", "--verify"]) == 1
+        captured = capsys.readouterr()
+        assert f"CORRUPT\t{path}\t(deleted)" in captured.err
+        assert "ok=0 corrupt=1 (deleted)" in captured.out
+        assert not os.path.exists(path)
+        # The sweep healed the cache: a second verify is clean.
+        assert plan_cache_main(["--dir", directory, "list", "--verify"]) == 0
+
+    def test_list_verify_keep_corrupt(self, tmp_path, capsys):
+        directory = str(tmp_path)
+        session = QirSession(plan_cache_dir=directory)
+        session.compile(bell_qir("static"))
+        path = session.plan_cache.entries()[0].path
+        _corrupt_file(path)
+        code = plan_cache_main(
+            ["--dir", directory, "list", "--verify", "--keep-corrupt"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert f"CORRUPT\t{path}\t(kept)" in captured.err
+        assert os.path.exists(path)
+
+    def test_keep_corrupt_requires_verify(self, tmp_path, capsys):
+        code = plan_cache_main(["--dir", str(tmp_path), "list", "--keep-corrupt"])
+        assert code == 2
+        assert "--keep-corrupt requires --verify" in capsys.readouterr().err

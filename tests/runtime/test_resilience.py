@@ -316,13 +316,80 @@ class TestRetryPolicy:
         assert result.successful_shots == 1
         assert slept == [pytest.approx(0.05)]
 
+    def test_backoff_jitter_survives_fallback_demotion(self):
+        """Regression: the jitter stream is one per *shot*, not one per
+        ``attempt_shot`` invocation.
+
+        The executor re-invokes ``attempt_shot`` after every fallback
+        demotion; the old code built a fresh generator from the same
+        reserved seed on each invocation, so post-demotion delays
+        replayed the pre-demotion draws.  The delay sequence must be the
+        pure function of ``(root, shot)``: consecutive draws from one
+        stream seeded at the reserved backoff key.
+        """
+        from repro.llvmir import parse_assembly as parse
+        from repro.obs.observer import NULL_OBSERVER
+        from repro.runtime.schedulers import (
+            _BACKOFF_KEY,
+            ChainGuard,
+            ShotExecutor,
+            shot_sequence,
+        )
+
+        root = np.random.SeedSequence(42)
+        delays = []
+        policy = RetryPolicy(
+            max_attempts=3, backoff_base=0.25, backoff_max=10.0,
+            jitter=1.0, sleep=delays.append,
+        )
+        # Fails for the first four global attempts regardless of backend:
+        # three on statevector (two waits), then one on the stabilizer
+        # rung after the demotion (one more wait), then recovers.
+        injector = FaultInjector(
+            FaultPlan(rules=(FaultRule(site="gate", failures=4),))
+        )
+        chain = FallbackChain(["statevector", "stabilizer"], demote_after=1)
+        chain.set_program_is_clifford(True)
+        executor = ShotExecutor(
+            "statevector", None, 1_000_000, 26, True, NULL_OBSERVER
+        )
+        outcome = executor.run_shot(
+            parse(ghz_qir(3)), None, 0, root, ChainGuard(chain), injector,
+            policy, False, collect=True, timed=False,
+        )
+
+        assert outcome.succeeded
+        assert outcome.backend_label == "stabilizer"
+        rng = np.random.default_rng(shot_sequence(root, 0, _BACKOFF_KEY))
+        expected = [policy.backoff(1, rng), policy.backoff(2, rng),
+                    policy.backoff(1, rng)]
+        assert delays == pytest.approx(expected)
+        # The third wait continues the stream -- with the old per-call
+        # generator it would have replayed the first draw exactly.
+        assert delays[2] != pytest.approx(delays[0])
+
 
 class TestErrorsAndResults:
     def test_error_codes_are_stable(self):
+        from repro.runtime.errors import (
+            PoolStartupError,
+            SchedulerExhaustedError,
+            WorkerCrashError,
+            WorkerTimeoutError,
+        )
+
         assert ERROR_CODES["QIR001"] is TrapError
         assert ERROR_CODES["QIR002"] is StepLimitExceeded
         assert ERROR_CODES["QIR010"] is BackendFaultError
-        assert len(ERROR_CODES) == 8
+        assert ERROR_CODES["QIR020"] is WorkerCrashError
+        assert ERROR_CODES["QIR021"] is WorkerTimeoutError
+        assert ERROR_CODES["QIR022"] is PoolStartupError
+        assert ERROR_CODES["QIR023"] is SchedulerExhaustedError
+        # Infra codes are retryable when a retry could plausibly succeed.
+        assert WorkerCrashError.retryable and WorkerTimeoutError.retryable
+        assert not PoolStartupError.retryable
+        assert not SchedulerExhaustedError.retryable
+        assert len(ERROR_CODES) == 12
 
     def test_trap_carries_context(self):
         src = """

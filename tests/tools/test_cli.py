@@ -501,6 +501,75 @@ class TestQirRunProcessScheduler:
         assert capsys.readouterr().out == degraded
 
 
+class TestQirRunSupervision:
+    def test_chaos_crash_run_matches_serial_bit_identically(
+        self, tmp_path, capsys
+    ):
+        # The CI chaos smoke in miniature: a process run that loses
+        # workers must finish with exit 0 and the same histogram as a
+        # serial run under the same fault plan (process sites are inert
+        # off-process, so the serial arm is the clean reference).
+        path = tmp_path / "chain.ll"
+        path.write_text(reset_chain_qir(2, rounds=2))
+        fault = "worker_crash,p=1.0,failures=1"
+        assert run_main([str(path), "--shots", "24", "--seed", "5",
+                         "--scheduler", "serial",
+                         "--inject-fault", fault]) == 0
+        serial = capsys.readouterr().out
+        assert run_main([str(path), "--shots", "24", "--seed", "5",
+                         "--scheduler", "process", "--jobs", "4",
+                         "--inject-fault", fault]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial
+        assert "SUPERVISOR\tstate=degraded" in captured.err
+
+    def test_chaos_run_metrics_record_redispatch(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "chain.ll"
+        path.write_text(reset_chain_qir(2, rounds=2))
+        metrics = tmp_path / "m.json"
+        assert run_main([str(path), "--shots", "16", "--seed", "3",
+                         "--scheduler", "process", "--jobs", "4",
+                         "--inject-fault", "worker_crash,p=1.0,failures=1",
+                         "--metrics", str(metrics)]) == 0
+        capsys.readouterr()
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["scheduler.worker.crash"] > 0
+        assert counters["scheduler.worker.redispatch"] > 0
+
+    def test_supervision_flags_require_process_scheduler(
+        self, bell_file, capsys
+    ):
+        assert run_main([bell_file, "--shots", "10",
+                         "--worker-timeout", "2.0"]) == 2
+        assert "require --scheduler process" in capsys.readouterr().err
+        assert run_main([bell_file, "--shots", "10", "--scheduler", "threaded",
+                         "--jobs", "2", "--max-worker-failures", "3"]) == 2
+        assert "require --scheduler process" in capsys.readouterr().err
+
+    def test_invalid_supervision_values_are_usage_errors(
+        self, bell_file, capsys
+    ):
+        assert run_main([bell_file, "--shots", "10", "--scheduler", "process",
+                         "--jobs", "2", "--worker-timeout", "0"]) == 2
+        assert "--worker-timeout must be > 0" in capsys.readouterr().err
+        assert run_main([bell_file, "--shots", "10", "--scheduler", "process",
+                         "--jobs", "2", "--max-worker-failures", "0"]) == 2
+        assert "--max-worker-failures must be >= 1" in capsys.readouterr().err
+
+    def test_supervision_flags_accepted_on_clean_run(self, tmp_path, capsys):
+        path = tmp_path / "chain.ll"
+        path.write_text(reset_chain_qir(2, rounds=2))
+        assert run_main([str(path), "--shots", "12", "--seed", "1",
+                         "--scheduler", "process", "--jobs", "2",
+                         "--worker-timeout", "30", "--max-worker-failures",
+                         "4"]) == 0
+        captured = capsys.readouterr()
+        # Healthy run: no supervisor complaint on stderr.
+        assert "SUPERVISOR" not in captured.err
+
+
 class TestQirRunPlanCache:
     def test_miss_then_hit_across_invocations(self, bell_file, tmp_path, capsys):
         cache_dir = str(tmp_path / "plans")
