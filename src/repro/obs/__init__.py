@@ -22,21 +22,36 @@ package is the measurement substrate for all three:
   form that makes runs comparable across commits;
 * :mod:`~repro.obs.regress` -- snapshot diffing with direction-aware
   relative thresholds, producing the pass/fail :class:`RegressionReport`
-  behind ``qir-bench diff``.
+  behind ``qir-bench diff``;
+* :mod:`~repro.obs.runctx` -- the :class:`RunContext` identity (ULID-style
+  ``run_id`` + labels) that ties one run's spans, metrics, worker
+  telemetry, and ledger row together;
+* :mod:`~repro.obs.ledger` -- the :class:`RunLedger`, an append-only
+  SQLite history of every run (read back with ``qir-ledger``).
 
 Everything here is dependency-free (stdlib only) so the hot paths it
 instruments never pay an import tax.
 """
 
+from repro.obs.ledger import (
+    LEDGER_ENV,
+    LedgerError,
+    RunLedger,
+    RunRecord,
+    ledger_dir_from_env,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
     metric_key,
+    openmetrics_name,
     parse_metric_key,
 )
 from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer, as_observer
+from repro.obs.runctx import RunContext, is_run_id, new_run_id
 from repro.obs.profile import render_profile
 from repro.obs.regress import (
     EXIT_REGRESSION,
@@ -55,12 +70,22 @@ from repro.obs.snapshot import (
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
+    "LEDGER_ENV",
+    "LedgerError",
+    "RunLedger",
+    "RunRecord",
+    "ledger_dir_from_env",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "escape_label_value",
     "metric_key",
+    "openmetrics_name",
     "parse_metric_key",
+    "RunContext",
+    "is_run_id",
+    "new_run_id",
     "NULL_OBSERVER",
     "NullObserver",
     "Observer",

@@ -24,7 +24,12 @@ def add_observability_args(parser: argparse.ArgumentParser) -> None:
     )
     group.add_argument(
         "--metrics", default=None, metavar="FILE",
-        help="write the metrics snapshot (counters/gauges/histograms) as JSON",
+        help="write the metrics snapshot (counters/gauges/histograms)",
+    )
+    group.add_argument(
+        "--metrics-format", default="json", choices=("json", "openmetrics"),
+        help="format for --metrics: json (the snapshot dict, default) or "
+             "openmetrics (Prometheus text exposition, scrape-ready)",
     )
     group.add_argument(
         "--profile", action="store_true",
@@ -51,7 +56,10 @@ def emit_observability(
     if args.trace:
         observer.tracer.write(args.trace)
     if args.metrics:
-        observer.metrics.write_json(args.metrics)
+        if getattr(args, "metrics_format", "json") == "openmetrics":
+            observer.metrics.write_openmetrics(args.metrics)
+        else:
+            observer.metrics.write_json(args.metrics)
     if args.profile:
         table = render_profile(observer)
         if table:

@@ -13,11 +13,18 @@ Snapshot layout (all keys sorted)::
       "histograms": {key: {"count": n, "sum": s, "min": ..., "max": ...,
                            "mean": ..., "buckets": {"0.001": n, ..., "+Inf": n}}},
     }
+
+Beyond the JSON snapshot, :meth:`MetricsRegistry.to_openmetrics` renders
+the same registry in the Prometheus/OpenMetrics text exposition format
+(``# TYPE`` families, ``_total`` counters, cumulative ``_bucket{le=...}``
+histograms, terminated by ``# EOF``), so any scrape-based collector can
+ingest a ``--metrics-format openmetrics`` artifact unchanged.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import threading
 from bisect import bisect_left
 from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
@@ -28,11 +35,49 @@ DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
 )
 
 
+def escape_label_value(value: object) -> str:
+    """Label-value escaping shared by flattened keys and OpenMetrics.
+
+    Backslash, double-quote, and newline are the three characters the
+    Prometheus text format escapes; escaping them in :func:`metric_key`
+    too keeps flattened keys single-line and makes the rendering
+    deterministic and golden-testable.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            else:
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
 def metric_key(name: str, labels: Optional[Dict[str, object]] = None) -> str:
-    """``name{k=v,...}`` with label keys sorted; just ``name`` when unlabeled."""
+    """``name{k=v,...}`` with label keys sorted; just ``name`` when unlabeled.
+
+    Label values are escaped (see :func:`escape_label_value`) so keys are
+    always single-line and render identically no matter who built them.
+    """
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    inner = ",".join(f"{k}={escape_label_value(labels[k])}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
 
 
@@ -45,8 +90,43 @@ def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
     for part in inner[:-1].split(","):
         if part:
             k, _, v = part.partition("=")
-            labels[k] = v
+            labels[k] = _unescape_label_value(v)
     return name, labels
+
+
+def openmetrics_name(name: str) -> str:
+    """A legal Prometheus metric name: ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+
+    The registry's dotted names (``runtime.shots.requested``) map to
+    underscores; anything else illegal is replaced the same way.
+    """
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not sanitized or not re.match(r"[a-zA-Z_:]", sanitized[0]):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _openmetrics_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _openmetrics_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{openmetrics_name(k)}="{escape_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
 
 
 class Counter:
@@ -219,6 +299,86 @@ class MetricsRegistry:
             return
         json.dump(self.snapshot(), destination, indent=2, sort_keys=True)
         destination.write("\n")
+
+    # -- OpenMetrics ----------------------------------------------------------
+    def to_openmetrics(self) -> str:
+        """The registry in Prometheus/OpenMetrics text exposition format.
+
+        * metric families are grouped under one ``# TYPE`` line each and
+          emitted in sorted family order, samples in sorted label order,
+          so the rendering is deterministic (golden-testable);
+        * counters get the OpenMetrics ``_total`` sample suffix;
+        * histogram buckets are emitted *cumulatively* with ``le=`` labels
+          (the registry stores per-bucket counts), plus ``_sum``/``_count``;
+        * label values are escaped per the text-format rules and the
+          document is terminated by ``# EOF``.
+        """
+        families: Dict[str, Tuple[str, List[str]]] = {}
+
+        def family(name: str, kind: str) -> Tuple[str, List[str]]:
+            fam = openmetrics_name(name)
+            slot = families.setdefault(fam, (kind, []))
+            if slot[0] != kind:
+                # Same sanitized name registered as a different kind:
+                # disambiguate rather than emit a self-contradictory family.
+                fam = f"{fam}_{kind}"
+                slot = families.setdefault(fam, (kind, []))
+            return fam, slot[1]
+
+        # Keys are iterated sorted, so samples land in each family's line
+        # list already ordered; histogram buckets must keep ascending
+        # ``le=`` order, so lines are never re-sorted after the fact.
+        for key in sorted(self._counters):
+            name, labels = parse_metric_key(key)
+            fam, lines = family(name, "counter")
+            lines.append(
+                f"{fam}_total{_openmetrics_labels(labels)} "
+                f"{_openmetrics_value(self._counters[key].value)}"
+            )
+        for key in sorted(self._gauges):
+            name, labels = parse_metric_key(key)
+            fam, lines = family(name, "gauge")
+            lines.append(
+                f"{fam}{_openmetrics_labels(labels)} "
+                f"{_openmetrics_value(self._gauges[key].value)}"
+            )
+        for key in sorted(self._histograms):
+            name, labels = parse_metric_key(key)
+            histogram = self._histograms[key]
+            fam, lines = family(name, "histogram")
+            cumulative = 0
+            for bound, count in zip(histogram.bounds, histogram.counts):
+                cumulative += count
+                le = f'le="{_openmetrics_value(bound)}"'
+                lines.append(
+                    f"{fam}_bucket{_openmetrics_labels(labels, le)} {cumulative}"
+                )
+            inf_le = 'le="+Inf"'
+            lines.append(
+                f"{fam}_bucket{_openmetrics_labels(labels, inf_le)} {histogram.count}"
+            )
+            lines.append(
+                f"{fam}_sum{_openmetrics_labels(labels)} "
+                f"{_openmetrics_value(histogram.total)}"
+            )
+            lines.append(
+                f"{fam}_count{_openmetrics_labels(labels)} {histogram.count}"
+            )
+
+        out: List[str] = []
+        for fam in sorted(families):
+            kind, lines = families[fam]
+            out.append(f"# TYPE {fam} {kind}")
+            out.extend(lines)
+        out.append("# EOF")
+        return "\n".join(out) + "\n"
+
+    def write_openmetrics(self, destination: Union[str, IO[str]]) -> None:
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as handle:
+                self.write_openmetrics(handle)
+            return
+        destination.write(self.to_openmetrics())
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)

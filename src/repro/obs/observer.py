@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Union
 
 from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from repro.obs.runctx import RunContext
 from repro.obs.tracer import Span, Tracer
 
 Number = Union[int, float]
@@ -30,6 +31,21 @@ class Observer:
     ):
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.run_context: Optional[RunContext] = None
+
+    # -- run identity ---------------------------------------------------------
+    def set_run_context(self, context: Optional[RunContext]) -> None:
+        """Bind (or clear) the current run's identity.
+
+        While bound, every span the tracer records carries ``run_id`` in
+        its args, and the registry holds a ``run.info`` gauge (value 1,
+        identity in the labels -- the Prometheus ``*_info`` idiom) so a
+        scraped snapshot can be joined to a ledger row.
+        """
+        self.run_context = context
+        self.tracer.run_id = context.run_id if context is not None else None
+        if context is not None:
+            self.metrics.gauge("run.info", **context.labels()).set(1)
 
     # -- tracing --------------------------------------------------------------
     def span(self, name: str, **tags: object) -> Span:
@@ -91,6 +107,10 @@ class NullObserver(Observer):
     def __init__(self) -> None:  # no tracer/metrics allocation
         self.tracer = None  # type: ignore[assignment]
         self.metrics = None  # type: ignore[assignment]
+        self.run_context = None
+
+    def set_run_context(self, context: Optional[RunContext]) -> None:
+        return None
 
     def span(self, name: str, **tags: object) -> _NullSpan:  # type: ignore[override]
         return _NULL_SPAN

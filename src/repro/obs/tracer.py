@@ -70,9 +70,7 @@ class Span:
         }
         if exc_type is not None:
             self.tags["error"] = exc_type.__name__
-        if self.tags:
-            event["args"] = {k: _jsonable(v) for k, v in self.tags.items()}
-        tracer.events.append(event)
+        tracer._append(event, self.tags)
 
 
 def _jsonable(value: object) -> object:
@@ -89,6 +87,18 @@ class Tracer:
         self._origin = clock()
         self._depth = 0
         self.events: List[Dict[str, object]] = []
+        #: Current run identity; while set, every recorded event's ``args``
+        #: carries it, so spans folded in from worker processes land in the
+        #: same logical trace as the parent's (see repro.obs.runctx).
+        self.run_id: Optional[str] = None
+
+    def _append(self, event: Dict[str, object], tags: Dict[str, object]) -> None:
+        if self.run_id is not None and "run_id" not in tags:
+            tags = dict(tags)
+            tags["run_id"] = self.run_id
+        if tags:
+            event["args"] = {k: _jsonable(v) for k, v in tags.items()}
+        self.events.append(event)
 
     def span(self, name: str, **tags: object) -> Span:
         return Span(self, name, tags)
@@ -117,9 +127,7 @@ class Tracer:
             "pid": 0,
             "tid": tid,
         }
-        if tags:
-            event["args"] = {k: _jsonable(v) for k, v in tags.items()}
-        self.events.append(event)
+        self._append(event, tags)
 
     def instant(self, name: str, **tags: object) -> None:
         """Record a zero-duration marker (Chrome ``ph: "i"``)."""
@@ -132,9 +140,7 @@ class Tracer:
             "tid": 0,
             "s": "g",
         }
-        if tags:
-            event["args"] = {k: _jsonable(v) for k, v in tags.items()}
-        self.events.append(event)
+        self._append(event, tags)
 
     # -- export ---------------------------------------------------------------
     def to_trace_events(self) -> List[Dict[str, object]]:

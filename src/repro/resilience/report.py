@@ -66,6 +66,7 @@ def render_failure_report(
     wall_seconds: float = 0.0,
     successful_shots: int = 0,
     supervision: Optional[str] = None,
+    run_id: str = "",
 ) -> str:
     """Human/CLI-facing multi-line report (empty string when clean).
 
@@ -74,11 +75,14 @@ def render_failure_report(
     ``supervision`` is the process scheduler's worker-failure summary
     (:meth:`~repro.runtime.schedulers.SupervisionRecord.summary`); a run
     that recovered from worker loss reports it even when every shot
-    ultimately succeeded.
+    ultimately succeeded.  A known ``run_id`` opens the report with a
+    ``RUN`` line so the failure text joins against the run ledger.
     """
     if not failures and not degraded and not supervision:
         return ""
     lines = [f.render() for f in failures]
+    if run_id:
+        lines.insert(0, f"RUN\trun_id={run_id}")
     if per_error_counts:
         summary = " ".join(f"{code}={n}" for code, n in sorted(per_error_counts.items()))
         lines.append(f"ERRORS\t{summary}")

@@ -40,6 +40,7 @@ import numpy as np
 from repro.llvmir.module import Module
 from repro.llvmir.parser import parse_assembly
 from repro.obs.observer import as_observer
+from repro.obs.runctx import RunContext
 from repro.resilience.fallback import BackendLevel, FallbackChain, program_is_clifford
 from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.resilience.retry import RetryPolicy
@@ -171,6 +172,7 @@ class QirRuntime:
         jobs: Optional[int] = None,
         worker_timeout: Optional[float] = None,
         max_worker_failures: Optional[int] = None,
+        run_context: Optional[RunContext] = None,
     ) -> ShotsResult:
         """Run many shots (parsing once) and histogram the result bitstrings.
 
@@ -204,6 +206,14 @@ class QirRuntime:
         threaded scheduler); both are rejected for other schedulers.  The
         resulting :class:`~repro.runtime.schedulers.SupervisionRecord`
         rides on ``result.supervision``.
+
+        ``run_context`` is the run's durable identity (see
+        :mod:`repro.obs.runctx`): pass one (``QirSession`` does, with the
+        plan key filled in) or let an observed run mint its own.  Its
+        ``run_id`` is stamped on every span, published as a ``run.info``
+        gauge, shipped to process workers, and returned on
+        ``result.run_id`` so callers can join traces, metrics, and ledger
+        rows.
         """
         if sampling not in ("auto", "never", "require"):
             raise ValueError(f"unknown sampling mode {sampling!r}")
@@ -216,6 +226,20 @@ class QirRuntime:
             max_worker_failures=max_worker_failures,
         )
         obs = self.observer
+        ctx: Optional[RunContext] = None
+        if run_context is not None or obs.enabled:
+            base = run_context if run_context is not None else RunContext()
+            labels: dict = {
+                "scheduler": scheduler_name,
+                "backend": self.backend_name,
+                "jobs": jobs_n,
+                "shots": shots,
+            }
+            if entry is not None:
+                labels["entry"] = entry
+            ctx = base.with_labels(**labels)
+            obs.set_run_context(ctx)
+        run_id = ctx.run_id if ctx is not None else ""
         t0 = perf_counter()
         if obs.enabled:
             with obs.span(
@@ -223,15 +247,16 @@ class QirRuntime:
             ) as span:
                 result = self._run_shots_impl(
                     program, shots, entry, keep_stats, sampling,
-                    retry, fault_plan, fallback, collect_failures, sched,
+                    retry, fault_plan, fallback, collect_failures, sched, run_id,
                 )
                 span.tag("fast_path", result.used_fast_path)
         else:
             result = self._run_shots_impl(
                 program, shots, entry, keep_stats, sampling,
-                retry, fault_plan, fallback, collect_failures, sched,
+                retry, fault_plan, fallback, collect_failures, sched, run_id,
             )
         result.wall_seconds = perf_counter() - t0
+        result.run_id = run_id
         if obs.enabled:
             obs.inc("runtime.shots.requested", shots)
             if result.used_fast_path:
@@ -259,6 +284,7 @@ class QirRuntime:
         fallback: Optional[FallbackChain],
         collect_failures: bool,
         sched,
+        run_id: str = "",
     ) -> ShotsResult:
         plan = program if isinstance(program, ExecutionPlan) else None
         if plan is not None and entry is None:
@@ -359,6 +385,7 @@ class QirRuntime:
             timed=self.observer.enabled,
             required_qubits=required_qubits,
             plan_bytes=plan_bytes,
+            run_id=run_id,
         )
         outcomes = sched.run(task)
         effective = getattr(sched, "effective", sched.name)
@@ -584,6 +611,7 @@ def run_shots(
     jobs: Optional[int] = None,
     worker_timeout: Optional[float] = None,
     max_worker_failures: Optional[int] = None,
+    run_context: Optional[RunContext] = None,
     **kwargs,
 ) -> ShotsResult:
     return QirRuntime(backend=backend, seed=seed, **kwargs).run_shots(
@@ -600,4 +628,5 @@ def run_shots(
         jobs=jobs,
         worker_timeout=worker_timeout,
         max_worker_failures=max_worker_failures,
+        run_context=run_context,
     )

@@ -198,6 +198,9 @@ class ShotsResult:
     used_fast_path: bool = False
     # -- observability (repro.obs) --------------------------------------------
     wall_seconds: float = 0.0
+    #: ULID-style identity of this run (see repro.obs.runctx); empty when
+    #: the run carried no RunContext (no observer, no ledger, none passed).
+    run_id: str = ""
     # Per-backend InterpreterStats aggregation (keep_stats=True in resilient
     # mode): after a FallbackChain demotion the work done on each rung of
     # the ladder stays attributable.
@@ -259,6 +262,7 @@ class ShotsResult:
             wall_seconds=self.wall_seconds,
             successful_shots=self.successful_shots,
             supervision=supervision,
+            run_id=self.run_id,
         )
 
 
@@ -629,6 +633,9 @@ class ShotTask:
     #: whenever the process scheduler is selected); workers deserialize
     #: this instead of re-running the compile phase.
     plan_bytes: Optional[bytes] = None
+    #: Run identity (repro.obs.runctx); rides the pickled _WorkerChunk into
+    #: process workers so their reports join the parent's trace and ledger.
+    run_id: str = ""
 
     def run_one(self, shot: int) -> ShotOutcome:
         # Outcome stats are kept whenever the run is profiled (the merge
@@ -726,6 +733,13 @@ class _WorkerChunk:
     heartbeat: Optional[object] = None
     #: Minimum seconds between heartbeat writes (IPC cost gate).
     beat_interval: float = 0.0
+    #: Run identity (repro.obs.runctx) of the dispatching run, so worker
+    #: telemetry joins the parent's trace/ledger.
+    run_id: str = ""
+    #: Parent's ``perf_counter()`` at dispatch.  Workers report their own
+    #: clock relative to this so the merge can rebase span timestamps;
+    #: 0.0 means "no rebase information" (older dispatchers, tests).
+    dispatch_clock: float = 0.0
 
 
 @dataclass
@@ -742,6 +756,13 @@ class _WorkerReport:
     #: chunk stops there, mirroring the serial loop's early exit).
     error: Optional[QirRuntimeError] = None
     error_shot: int = -1
+    #: Parent's dispatch clock echoed back, plus the worker's start time
+    #: relative to it (``worker_t0 - dispatch_clock``).  With a ``fork``
+    #: start method both processes share CLOCK_MONOTONIC, so the offset is
+    #: the real dispatch->start latency; the merge clamps implausible
+    #: values (``spawn`` does not guarantee a shared origin).
+    dispatch_clock: float = 0.0
+    start_offset: float = -1.0
 
 
 def _run_worker_chunk(chunk: _WorkerChunk) -> Union[_WorkerReport, bytes]:
@@ -845,6 +866,8 @@ def _run_worker_chunk(chunk: _WorkerChunk) -> Union[_WorkerReport, bytes]:
         seconds=perf_counter() - t0,
         error=error,
         error_shot=error_shot,
+        dispatch_clock=chunk.dispatch_clock,
+        start_offset=(t0 - chunk.dispatch_clock) if chunk.dispatch_clock else -1.0,
     )
     if decision is not None and decision.corrupt_report:
         # The work was done; the IPC payload is what gets mangled.  The
@@ -1034,6 +1057,8 @@ class ProcessScheduler:
             round_index=round_index,
             heartbeat=heartbeat,
             beat_interval=beat_interval,
+            run_id=task.run_id,
+            dispatch_clock=perf_counter(),
         )
 
     def _run_supervised(
@@ -1274,6 +1299,27 @@ class ProcessScheduler:
                 f"complete {len(shots)} re-dispatched shot(s): {error}"
             ) from error
 
+    @staticmethod
+    def _rebase_start(report: _WorkerReport, pool_start: float) -> float:
+        """The worker span's start on the *parent's* clock.
+
+        Workers time themselves on their own ``perf_counter``; folding
+        their spans in at ``pool_start`` made every worker appear to
+        start the instant the pool did.  The report carries the parent's
+        dispatch clock plus the worker's start offset from it -- real
+        dispatch latency under ``fork`` (shared CLOCK_MONOTONIC), clamped
+        away when implausible (``spawn`` clocks share no origin: a
+        negative offset, or one that would end the span in the future).
+        """
+        if report.dispatch_clock <= 0.0:
+            return pool_start
+        offset = report.start_offset
+        if offset >= 0.0 and (
+            report.dispatch_clock + offset + report.seconds <= perf_counter()
+        ):
+            return report.dispatch_clock + offset
+        return report.dispatch_clock
+
     def _merge(
         self,
         task: ShotTask,
@@ -1303,7 +1349,7 @@ class ProcessScheduler:
                 obs.inc("runtime.scheduler.process_chunks")
                 obs.tracer.complete(
                     "process.worker",
-                    start=pool_start,
+                    start=self._rebase_start(report, pool_start),
                     seconds=report.seconds,
                     tid=report.index + 1,
                     worker=report.index,

@@ -33,9 +33,12 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
+from time import perf_counter
 from typing import Dict, Optional, Union
 
 from repro.llvmir.module import Module
+from repro.obs.ledger import RunLedger, RunRecord, ledger_dir_from_env
+from repro.obs.runctx import RunContext
 from repro.runtime.execute import ExecutionResult, QirRuntime, ShotsResult
 from repro.runtime.plan import (
     ExecutionPlan,
@@ -67,6 +70,7 @@ class QirSession:
         module_cache_size: int = 32,
         plan_cache_size: int = 32,
         plan_cache_dir: Optional[str] = None,
+        ledger_dir: Optional[str] = None,
         **runtime_kwargs,
     ):
         if runtime is not None and runtime_kwargs:
@@ -86,6 +90,13 @@ class QirSession:
             PlanCache(plan_cache_dir, observer=self.observer)
             if plan_cache_dir
             else None
+        )
+        # Run ledger (repro.obs.ledger): same opt-in shape as the disk
+        # plan cache -- explicit argument, then the QIR_LEDGER variable.
+        if ledger_dir is None:
+            ledger_dir = ledger_dir_from_env()
+        self.ledger: Optional[RunLedger] = (
+            RunLedger(ledger_dir, observer=self.observer) if ledger_dir else None
         )
         self._module_cache_size = module_cache_size
         self._plan_cache_size = plan_cache_size
@@ -246,9 +257,76 @@ class QirSession:
         pipeline: PipelineLike = None,
         **kwargs,
     ) -> ShotsResult:
-        """Compile (cached) then run; kwargs pass to ``QirRuntime.run_shots``."""
+        """Compile (cached) then run; kwargs pass to ``QirRuntime.run_shots``.
+
+        The session is where a run's durable identity is minted: every
+        call builds a :class:`~repro.obs.runctx.RunContext` carrying the
+        plan key (the session knows it; the runtime does not) and, when
+        the session has a ledger, writes one
+        :class:`~repro.obs.ledger.RunRecord` row at run end -- including
+        an error row when the run raises.  Ledger writes are fail-open:
+        they can never break the run they record.
+        """
         plan = self.compile(program, pipeline=pipeline, entry=entry)
-        return self.runtime.run_shots(plan, shots, entry, **kwargs)
+        context = kwargs.pop("run_context", None)
+        if context is None:
+            context = RunContext()
+        if context.plan_key is None:
+            context = context.with_labels(plan_key=self._plan_key_of(plan, pipeline, entry))
+        # Fill in labels the ledger needs even when no observer is
+        # enabled (the runtime only refines the context it is handed).
+        context = context.with_labels(
+            scheduler=kwargs.get("scheduler") or self.runtime.default_scheduler,
+            backend=self.runtime.backend_name,
+            jobs=kwargs.get("jobs") or self.runtime.default_jobs,
+            entry=entry if entry is not None else plan.entry,
+            shots=shots,
+        )
+        if self.ledger is None:
+            return self.runtime.run_shots(
+                plan, shots, entry, run_context=context, **kwargs
+            )
+        t0 = perf_counter()
+        try:
+            result = self.runtime.run_shots(
+                plan, shots, entry, run_context=context, **kwargs
+            )
+        except Exception as error:
+            self.ledger.record(
+                RunRecord.from_error(
+                    context,
+                    error_code=getattr(error, "code", type(error).__name__),
+                    wall_seconds=perf_counter() - t0,
+                    counters=self._ledger_counters(),
+                )
+            )
+            raise
+        self.ledger.record(
+            RunRecord.from_result(context, result, counters=self._ledger_counters())
+        )
+        return result
+
+    def _plan_key_of(
+        self,
+        plan: ExecutionPlan,
+        pipeline: PipelineLike,
+        entry: Optional[str],
+    ) -> Optional[str]:
+        """The cache key this plan was (or would be) stored under."""
+        if not plan.source_hash:
+            return None
+        return plan_key(
+            plan.source_hash,
+            pipeline if isinstance(pipeline, str) else None,
+            self.runtime.backend_name,
+            entry,
+        )
+
+    def _ledger_counters(self) -> Dict[str, float]:
+        """The counters snapshot a ledger row embeds ({} unobserved)."""
+        if not self.observer.enabled:
+            return {}
+        return dict(self.observer.metrics.snapshot()["counters"])
 
     def execute(
         self,

@@ -39,6 +39,7 @@ from repro.obs.regress import (
     RegressionReport,
     diff_snapshots,
 )
+from repro.obs.runctx import new_run_id
 from repro.obs.snapshot import BenchRecord, BenchSnapshot, TimingStats, measure
 from repro.passes.manager import BudgetBust, budgets_from_specs
 from repro.passes.pipeline import o1_pipeline, unroll_pipeline
@@ -357,6 +358,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return EXIT_USAGE
 
     snapshot = BenchSnapshot(group="qir-bench")
+    # A bench invocation is a run like any other: stamping a run id into
+    # the environment metadata lets regressions join against ledger rows
+    # recorded on the same machine at the same time.
+    snapshot.environment["run_id"] = new_run_id()
     if "parse" in suites:
         workloads = _generated_workloads()
         workloads.update(_example_workloads(args.examples_dir))

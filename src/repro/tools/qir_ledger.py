@@ -1,0 +1,212 @@
+"""qir-ledger: read and maintain the durable run ledger.
+
+Every ``run_shots`` through a ledger-enabled :class:`QirSession` (or
+``qir-run --ledger DIR``) appends one row to an SQLite database under
+the ledger directory; this tool is the operator's view of it::
+
+    qir-ledger list                        # recent runs, newest first
+    qir-ledger --ledger /tmp/runs list     # ... in an explicit directory
+    qir-ledger show 01JG...                # one run, every column
+    qir-ledger top --by wall_seconds       # slowest runs first
+    qir-ledger top --by shots_per_second   # fastest
+    qir-ledger flaky                       # runs where infrastructure wobbled
+    qir-ledger gc --keep-days 30           # age out old rows
+
+The directory resolves exactly as at runtime: ``--ledger`` wins, then
+the ``QIR_LEDGER`` environment variable.  ``list``/``show``/``top``/
+``flaky`` accept ``--json`` for machine-readable output.
+
+Exit codes: 0 = success, 1 = not found (unknown run id, empty ledger),
+2 = bad invocation or unusable ledger.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import asdict
+from datetime import datetime
+from typing import List, Optional
+
+from repro.obs.ledger import (
+    LedgerError,
+    RunLedger,
+    RunRecord,
+    SORTABLE_COLUMNS,
+    ledger_dir_from_env,
+)
+
+EXIT_OK = 0
+EXIT_NOT_FOUND = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qir-ledger", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="ledger directory (default: $QIR_LEDGER)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    lister = sub.add_parser("list", help="recent runs, newest first")
+    lister.add_argument("--limit", type=int, default=20, metavar="N")
+    lister.add_argument("--json", action="store_true")
+
+    shower = sub.add_parser("show", help="every column of one run")
+    shower.add_argument("run_id", help="full run id (or a unique suffix)")
+    shower.add_argument("--json", action="store_true")
+
+    topper = sub.add_parser("top", help="runs ranked by one numeric column")
+    topper.add_argument(
+        "--by", default="wall_seconds", choices=SORTABLE_COLUMNS,
+    )
+    topper.add_argument("--limit", type=int, default=10, metavar="N")
+    topper.add_argument("--json", action="store_true")
+
+    flaky = sub.add_parser(
+        "flaky",
+        help="runs with redispatches, worker failures, demotions, or "
+             "degraded results",
+    )
+    flaky.add_argument("--limit", type=int, default=20, metavar="N")
+    flaky.add_argument("--json", action="store_true")
+
+    gc = sub.add_parser("gc", help="delete rows older than --keep-days")
+    gc.add_argument("--keep-days", type=float, required=True, metavar="N")
+
+    sub.add_parser("path", help="print the resolved ledger database path")
+    return parser
+
+
+def _when(timestamp: float) -> str:
+    return datetime.fromtimestamp(timestamp).strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _table(records: List[RunRecord]) -> str:
+    header = (
+        "RUN_ID", "FINISHED", "SCHED", "SHOTS", "OK", "FAIL",
+        "WALL_S", "SHOTS/S", "STATE",
+    )
+    rows = [header]
+    for r in records:
+        state = r.supervision_state or ("error" if r.error_code else "ok")
+        if r.error_code:
+            state = f"error:{r.error_code}"
+        rows.append((
+            r.run_id,
+            _when(r.finished_at),
+            r.scheduler,
+            str(r.shots),
+            str(r.successful_shots),
+            str(r.failed_shots),
+            f"{r.wall_seconds:.3f}",
+            f"{r.shots_per_second:.1f}",
+            state,
+        ))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in rows
+    )
+
+
+def _emit(records: List[RunRecord], as_json: bool) -> int:
+    if as_json:
+        print(json.dumps([asdict(r) for r in records], indent=2, sort_keys=True))
+        return EXIT_OK
+    if not records:
+        print("qir-ledger: no runs recorded", file=sys.stderr)
+        return EXIT_NOT_FOUND
+    print(_table(records))
+    return EXIT_OK
+
+
+def _show(ledger: RunLedger, run_id: str, as_json: bool) -> int:
+    record = ledger.get(run_id)
+    if record is None:
+        # Convenience: accept a unique id suffix (operators paste the
+        # short_id from logs); ambiguity is an error, not a guess.
+        matches = [
+            r for r in ledger.list_runs(limit=1000)
+            if r.run_id.endswith(run_id)
+        ]
+        if len(matches) == 1:
+            record = matches[0]
+        elif len(matches) > 1:
+            print(
+                f"qir-ledger: error: {run_id!r} matches "
+                f"{len(matches)} runs; use the full id",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+    if record is None:
+        print(f"qir-ledger: no run {run_id!r}", file=sys.stderr)
+        return EXIT_NOT_FOUND
+    if as_json:
+        print(json.dumps(asdict(record), indent=2, sort_keys=True))
+        return EXIT_OK
+    scalars = {
+        k: v for k, v in asdict(record).items()
+        if k not in ("demotions", "counters", "environment")
+    }
+    for key in sorted(scalars):
+        print(f"{key}\t{scalars[key]}")
+    for entry in record.demotions:
+        print(f"demotion\t{entry}")
+    for key in sorted(record.counters):
+        print(f"counter\t{key}\t{record.counters[key]}")
+    for key in sorted(record.environment):
+        print(f"environment\t{key}\t{record.environment[key]}")
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    directory = args.ledger if args.ledger else ledger_dir_from_env()
+    if not directory:
+        print(
+            "qir-ledger: error: no ledger directory (pass --ledger DIR or "
+            "set QIR_LEDGER)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    ledger = RunLedger(directory)
+    command = args.command or "list"
+    try:
+        if command == "path":
+            print(ledger.path)
+            return EXIT_OK
+        if command == "list":
+            limit = getattr(args, "limit", 20)
+            return _emit(ledger.list_runs(limit=limit), getattr(args, "json", False))
+        if command == "show":
+            return _show(ledger, args.run_id, args.json)
+        if command == "top":
+            return _emit(ledger.top(by=args.by, limit=args.limit), args.json)
+        if command == "flaky":
+            return _emit(ledger.flaky(limit=args.limit), args.json)
+        if command == "gc":
+            deleted = ledger.gc(args.keep_days)
+            print(f"qir-ledger: deleted {deleted} run(s)")
+            return EXIT_OK
+    except LedgerError as error:
+        print(f"qir-ledger: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except BrokenPipeError:
+        # `qir-ledger list | head` closes our stdout mid-write; point the
+        # descriptor at /dev/null so interpreter shutdown doesn't print a
+        # second traceback while flushing.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return EXIT_OK
+    parser.print_help(sys.stderr)  # pragma: no cover - argparse guards this
+    return EXIT_USAGE
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

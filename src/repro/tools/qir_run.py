@@ -87,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "processes warm-start (also honours the "
                                 "QIR_PLAN_CACHE environment variable); "
                                 "reports 'plan-cache: hit|miss' on stderr")
+    execution.add_argument("--ledger", default=None, metavar="DIR",
+                           help="append one durable row per multi-shot run "
+                                "to the run ledger under DIR (also honours "
+                                "the QIR_LEDGER environment variable); read "
+                                "it back with qir-ledger")
     resilience = parser.add_argument_group("resilience")
     resilience.add_argument("--retries", type=int, default=1, metavar="N",
                             help="attempts per shot (default 1: fail fast)")
@@ -205,7 +210,9 @@ def _run(args: argparse.Namespace, observer) -> int:
     # pipeline happen in the session's compile phase, sharing the observer
     # so one invocation profiles parse -> passes -> runtime end to end (and
     # the --profile table shows the cache.{module,plan}.* counters).
-    session = QirSession(runtime=runtime, plan_cache_dir=args.plan_cache)
+    session = QirSession(
+        runtime=runtime, plan_cache_dir=args.plan_cache, ledger_dir=args.ledger
+    )
     try:
         plan = session.compile(
             source,
@@ -246,10 +253,14 @@ def _run(args: argparse.Namespace, observer) -> int:
             if args.fallback
             else None
         )
-        shots_result = runtime.run_shots(
+        # Through the session, not the runtime: the session mints the
+        # run's durable identity (plan key included) and writes the
+        # ledger row at run end when --ledger / QIR_LEDGER is set.
+        shots_result = session.run_shots(
             plan,
             shots=max(1, args.shots),
             entry=args.entry,
+            pipeline=args.opt,
             retry=retry if resilient else None,
             fault_plan=fault_plan,
             fallback=fallback,
@@ -259,6 +270,13 @@ def _run(args: argparse.Namespace, observer) -> int:
             worker_timeout=args.worker_timeout,
             max_worker_failures=args.max_worker_failures,
         )
+        if session.ledger is not None and shots_result.run_id:
+            # One greppable line (the CI ledger smoke step relies on it).
+            print(
+                f"qir-run: run-id: {shots_result.run_id} "
+                f"({session.ledger.path})",
+                file=sys.stderr,
+            )
         width = max((len(k) for k in shots_result.counts), default=0)
         for bits, count in sorted(
             shots_result.counts.items(), key=lambda kv: (-kv[1], kv[0])

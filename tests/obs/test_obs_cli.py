@@ -1,0 +1,107 @@
+"""The shared observability argparse plumbing (repro.obs.cli)."""
+
+import argparse
+import io
+import json
+
+from repro.obs import NULL_OBSERVER, Observer
+from repro.obs.cli import (
+    add_observability_args,
+    emit_observability,
+    observer_from_args,
+)
+from repro.obs.profile import render_profile
+
+
+def parse(argv):
+    parser = argparse.ArgumentParser()
+    add_observability_args(parser)
+    return parser.parse_args(argv)
+
+
+class TestObserverFromArgs:
+    def test_no_flags_is_shared_null(self):
+        assert observer_from_args(parse([])) is NULL_OBSERVER
+
+    def test_any_flag_enables(self):
+        for argv in (["--trace", "t.json"], ["--metrics", "m.json"], ["--profile"]):
+            observer = observer_from_args(parse(argv))
+            assert observer.enabled
+            assert observer is not NULL_OBSERVER
+
+    def test_metrics_format_alone_does_not_enable(self):
+        # --metrics-format without --metrics writes nothing, so the hot
+        # path must stay on the no-op observer.
+        args = parse(["--metrics-format", "openmetrics"])
+        assert observer_from_args(args) is NULL_OBSERVER
+
+
+class TestEmitObservability:
+    def test_disabled_observer_writes_nothing(self, tmp_path):
+        target = tmp_path / "m.json"
+        args = parse(["--metrics", str(target)])
+        emit_observability(args, NULL_OBSERVER)
+        assert not target.exists()
+
+    def test_metrics_json_default(self, tmp_path):
+        target = tmp_path / "m.json"
+        args = parse(["--metrics", str(target)])
+        observer = observer_from_args(args)
+        observer.inc("parse.tokens", 42)
+        emit_observability(args, observer)
+        assert json.loads(target.read_text())["counters"]["parse.tokens"] == 42
+
+    def test_metrics_openmetrics_format(self, tmp_path):
+        target = tmp_path / "m.txt"
+        args = parse(["--metrics", str(target), "--metrics-format", "openmetrics"])
+        observer = observer_from_args(args)
+        observer.inc("parse.tokens", 42)
+        emit_observability(args, observer)
+        text = target.read_text()
+        assert "# TYPE parse_tokens counter" in text
+        assert "parse_tokens_total 42" in text
+        assert text.endswith("# EOF\n")
+
+    def test_trace_written_on_emit(self, tmp_path):
+        target = tmp_path / "t.json"
+        args = parse(["--trace", str(target)])
+        observer = observer_from_args(args)
+        with observer.span("unit.test"):
+            pass
+        emit_observability(args, observer)
+        document = json.loads(target.read_text())
+        events = (
+            document["traceEvents"] if isinstance(document, dict) else document
+        )
+        assert any(e.get("name") == "unit.test" for e in events)
+
+    def test_profile_printed_to_stream(self):
+        args = parse(["--profile"])
+        observer = observer_from_args(args)
+        observer.inc("parse.tokens", 7)
+        stream = io.StringIO()
+        emit_observability(args, observer, stream=stream)
+        assert "== qir profile ==" in stream.getvalue()
+
+    def test_profile_with_empty_registry_prints_nothing(self):
+        args = parse(["--profile"])
+        observer = observer_from_args(args)
+        stream = io.StringIO()
+        emit_observability(args, observer, stream=stream)
+        assert stream.getvalue() == ""
+
+
+class TestRenderProfileEdgeCases:
+    def test_histogram_only_registry_renders(self):
+        observer = Observer()
+        observer.observe("passes.seconds", 0.002, **{"pass": "dce"})
+        table = render_profile(observer)
+        assert table  # histogram-only input still produces a table
+        assert "dce" in table
+
+    def test_unicode_pass_names_render(self):
+        observer = Observer()
+        observer.inc("passes.runs", 1, **{"pass": "dcé-π"})
+        observer.observe("passes.seconds", 0.001, **{"pass": "dcé-π"})
+        table = render_profile(observer)
+        assert "dcé-π" in table

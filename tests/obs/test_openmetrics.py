@@ -1,0 +1,180 @@
+"""OpenMetrics text exposition: grammar round-trip, escaping, determinism."""
+
+import re
+
+import pytest
+
+from repro.obs import MetricsRegistry, escape_label_value, openmetrics_name
+
+# -- a small validating parser for the exposition grammar --------------------
+#
+# Validates the subset we emit: `# TYPE <name> <kind>` headers, sample lines
+# `<name>{<labels>} <value>`, a final `# EOF`.  Returns the parsed document
+# so tests can assert on structure, not string offsets.
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_TYPE_RE = re.compile(rf"^# TYPE ({_NAME}) (counter|gauge|histogram)$")
+_SAMPLE_RE = re.compile(rf"^({_NAME})(\{{.*\}})? (\S+)$")
+_LABEL_RE = re.compile(rf'({_NAME})="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text):
+    assert text.endswith("\n"), "exposition must end with a newline"
+    lines = text.rstrip("\n").split("\n")
+    assert lines[-1] == "# EOF", "exposition must terminate with # EOF"
+    families = {}
+    current = None
+    for line in lines[:-1]:
+        header = _TYPE_RE.match(line)
+        if header:
+            fam, kind = header.groups()
+            assert fam not in families, f"duplicate # TYPE for {fam}"
+            families[fam] = {"kind": kind, "samples": []}
+            current = fam
+            continue
+        sample = _SAMPLE_RE.match(line)
+        assert sample, f"unparseable sample line: {line!r}"
+        name, labelblock, value = sample.groups()
+        assert current is not None, f"sample before any # TYPE: {line!r}"
+        kind = families[current]["kind"]
+        suffixes = {
+            "counter": ("_total",),
+            "gauge": ("",),
+            "histogram": ("_bucket", "_sum", "_count"),
+        }[kind]
+        assert any(
+            name == current + suffix for suffix in suffixes
+        ), f"sample {name!r} does not belong to family {current!r} ({kind})"
+        labels = {}
+        if labelblock:
+            body = labelblock[1:-1]
+            matched = _LABEL_RE.findall(body)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in matched)
+            assert rebuilt == body, f"malformed label block: {labelblock!r}"
+            labels = dict(matched)
+        if value not in ("+Inf", "-Inf", "NaN"):
+            float(value)  # must be a number
+        families[current]["samples"].append((name, labels, value))
+    return families
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("runtime.shots.requested").inc(100)
+    registry.counter("passes.runs", **{"pass": "dce"}).inc(3)
+    registry.counter("passes.runs", **{"pass": "unroll"}).inc(1)
+    registry.gauge("runtime.shots_per_second").set(1234.5)
+    registry.histogram("runtime.shot_seconds", (0.001, 0.01, 0.1)).observe(0.005)
+    registry.histogram("runtime.shot_seconds", (0.001, 0.01, 0.1)).observe(0.05)
+    registry.histogram("runtime.shot_seconds", (0.001, 0.01, 0.1)).observe(5.0)
+    return registry
+
+
+class TestRoundTrip:
+    def test_document_parses(self):
+        families = parse_exposition(populated_registry().to_openmetrics())
+        assert set(families) == {
+            "runtime_shots_requested",
+            "passes_runs",
+            "runtime_shots_per_second",
+            "runtime_shot_seconds",
+        }
+        assert families["runtime_shots_requested"]["kind"] == "counter"
+        assert families["passes_runs"]["samples"] == [
+            ("passes_runs_total", {"pass": "dce"}, "3"),
+            ("passes_runs_total", {"pass": "unroll"}, "1"),
+        ]
+        assert families["runtime_shots_per_second"]["samples"] == [
+            ("runtime_shots_per_second", {}, "1234.5")
+        ]
+
+    def test_histogram_buckets_are_cumulative_and_ascending(self):
+        families = parse_exposition(populated_registry().to_openmetrics())
+        samples = families["runtime_shot_seconds"]["samples"]
+        buckets = [s for s in samples if s[0] == "runtime_shot_seconds_bucket"]
+        les = [labels["le"] for _, labels, _ in buckets]
+        assert les == ["0.001", "0.01", "0.1", "+Inf"]
+        counts = [int(value) for _, _, value in buckets]
+        assert counts == [0, 1, 2, 3]  # cumulative, ends at total count
+        by_name = {s[0]: s for s in samples if s[0] != "runtime_shot_seconds_bucket"}
+        assert by_name["runtime_shot_seconds_count"][2] == "3"
+        assert float(by_name["runtime_shot_seconds_sum"][2]) == pytest.approx(5.055)
+
+    def test_empty_registry_is_just_eof(self):
+        assert MetricsRegistry().to_openmetrics() == "# EOF\n"
+
+    def test_histogram_only_registry(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", (0.1,)).observe(0.05)
+        families = parse_exposition(registry.to_openmetrics())
+        assert families["lat"]["kind"] == "histogram"
+
+
+class TestDeterminismAndEscaping:
+    def test_rendering_is_deterministic(self):
+        a = populated_registry()
+        # Register the same metrics in a different order.
+        b = MetricsRegistry()
+        b.histogram("runtime.shot_seconds", (0.001, 0.01, 0.1)).observe(0.005)
+        b.histogram("runtime.shot_seconds", (0.001, 0.01, 0.1)).observe(0.05)
+        b.histogram("runtime.shot_seconds", (0.001, 0.01, 0.1)).observe(5.0)
+        b.gauge("runtime.shots_per_second").set(1234.5)
+        b.counter("passes.runs", **{"pass": "unroll"}).inc(1)
+        b.counter("passes.runs", **{"pass": "dce"}).inc(3)
+        b.counter("runtime.shots.requested").inc(100)
+        assert a.to_openmetrics() == b.to_openmetrics()
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "calls", intrinsic='weird "name"\nwith\\slash'
+        ).inc()
+        text = registry.to_openmetrics()
+        assert 'intrinsic="weird \\"name\\"\\nwith\\\\slash"' in text
+        families = parse_exposition(text)  # still grammatically valid
+        assert families["calls"]["samples"][0][1]["intrinsic"].startswith("weird")
+
+    def test_escape_label_value_golden(self):
+        assert escape_label_value('a"b\nc\\d') == 'a\\"b\\nc\\\\d'
+
+    def test_unicode_pass_name_survives(self):
+        registry = MetricsRegistry()
+        registry.counter("passes.runs", **{"pass": "dcé-π"}).inc()
+        families = parse_exposition(registry.to_openmetrics())
+        assert families["passes_runs"]["samples"][0][1]["pass"] == "dcé-π"
+
+    def test_kind_collision_disambiguated(self):
+        registry = MetricsRegistry()
+        registry.counter("rate.limit").inc(1)
+        registry.gauge("rate_limit").set(2)
+        families = parse_exposition(registry.to_openmetrics())
+        # Both sanitize to rate_limit; the later kind gets a suffix.
+        assert families["rate_limit"]["kind"] == "counter"
+        assert families["rate_limit_gauge"]["kind"] == "gauge"
+
+
+class TestNameSanitisation:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("runtime.shots.requested", "runtime_shots_requested"),
+            ("already_legal:name", "already_legal:name"),
+            ("0starts.with.digit", "_0starts_with_digit"),
+            ("", "_"),
+        ],
+    )
+    def test_openmetrics_name(self, raw, expected):
+        assert openmetrics_name(raw) == expected
+
+
+class TestWriteOpenmetrics:
+    def test_write_to_path(self, tmp_path):
+        target = tmp_path / "metrics.txt"
+        populated_registry().write_openmetrics(str(target))
+        assert target.read_text(encoding="utf-8").endswith("# EOF\n")
+
+    def test_write_to_handle(self, tmp_path):
+        target = tmp_path / "metrics.txt"
+        with open(target, "w", encoding="utf-8") as handle:
+            populated_registry().write_openmetrics(handle)
+        parse_exposition(target.read_text(encoding="utf-8"))

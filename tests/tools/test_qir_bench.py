@@ -28,6 +28,10 @@ class TestRun:
         assert payload["schema_version"] == SCHEMA_VERSION
         assert payload["group"] == "qir-bench"
         assert "python" in payload["environment"]
+        # The snapshot joins against ledger rows via its own run id.
+        from repro.obs.runctx import is_run_id
+
+        assert is_run_id(payload["environment"]["run_id"])
         names = [r["name"] for r in payload["records"]]
         # All three suites contributed.
         assert any(n.startswith("parse.") for n in names)

@@ -1,0 +1,201 @@
+"""Tests for the qir-ledger command-line tool."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.ledger import LEDGER_ENV, RunLedger, RunRecord
+from repro.obs.runctx import RunContext
+from repro.tools.qir_ledger import main as ledger_main
+
+
+@pytest.fixture
+def populated(tmp_path):
+    """A ledger directory with three runs: clean, slow, flaky."""
+    ledger = RunLedger(str(tmp_path))
+    base = time.time()
+    records = {}
+    for name, kwargs in (
+        ("clean", dict(wall_seconds=0.1, shots_per_second=1000.0)),
+        ("slow", dict(wall_seconds=5.0, shots_per_second=20.0)),
+        (
+            "flaky",
+            dict(
+                redispatches=2,
+                worker_failures=1,
+                supervision_state="degraded",
+                counters={"runtime.shots.requested": 100},
+                environment={"python": "3.x"},
+            ),
+        ),
+    ):
+        record = RunRecord(
+            run_id=RunContext().run_id,
+            started_at=base - 1,
+            finished_at=base + len(records),
+            scheduler="serial",
+            shots=100,
+            successful_shots=100,
+        )
+        for key, value in kwargs.items():
+            setattr(record, key, value)
+        assert ledger.record(record)
+        records[name] = record
+    return str(tmp_path), records
+
+
+class TestResolution:
+    def test_no_directory_is_usage_error(self, monkeypatch, capsys):
+        monkeypatch.delenv(LEDGER_ENV, raising=False)
+        assert ledger_main(["list"]) == 2
+        assert "no ledger directory" in capsys.readouterr().err
+
+    def test_env_fallback(self, populated, monkeypatch, capsys):
+        directory, _ = populated
+        monkeypatch.setenv(LEDGER_ENV, directory)
+        assert ledger_main(["list"]) == 0
+        assert "RUN_ID" in capsys.readouterr().out
+
+    def test_path_command(self, tmp_path, capsys):
+        assert ledger_main(["--ledger", str(tmp_path), "path"]) == 0
+        assert capsys.readouterr().out.strip().endswith("ledger.sqlite3")
+
+    def test_missing_ledger_is_usage_error(self, tmp_path, capsys):
+        assert ledger_main(["--ledger", str(tmp_path), "list"]) == 2
+        assert "no ledger at" in capsys.readouterr().err
+
+
+class TestList:
+    def test_default_command_is_list(self, populated, capsys):
+        directory, records = populated
+        assert ledger_main(["--ledger", directory]) == 0
+        out = capsys.readouterr().out
+        for record in records.values():
+            assert record.run_id in out
+
+    def test_newest_first(self, populated, capsys):
+        directory, records = populated
+        ledger_main(["--ledger", directory, "list"])
+        out = capsys.readouterr().out
+        assert out.index(records["flaky"].run_id) < out.index(
+            records["clean"].run_id
+        )
+
+    def test_json_output(self, populated, capsys):
+        directory, records = populated
+        assert ledger_main(["--ledger", directory, "list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["run_id"] for r in rows} == {
+            r.run_id for r in records.values()
+        }
+
+    def test_limit(self, populated, capsys):
+        directory, _ = populated
+        ledger_main(["--ledger", directory, "list", "--limit", "1", "--json"])
+        assert len(json.loads(capsys.readouterr().out)) == 1
+
+    def test_state_column(self, populated, capsys):
+        directory, _ = populated
+        ledger_main(["--ledger", directory, "list"])
+        out = capsys.readouterr().out
+        assert "degraded" in out
+        assert "ok" in out
+
+
+class TestShow:
+    def test_full_id(self, populated, capsys):
+        directory, records = populated
+        record = records["flaky"]
+        assert ledger_main(["--ledger", directory, "show", record.run_id]) == 0
+        out = capsys.readouterr().out
+        assert f"run_id\t{record.run_id}" in out
+        assert "counter\truntime.shots.requested\t100" in out
+        assert "environment\t" in out
+
+    def test_unique_suffix(self, populated, capsys):
+        directory, records = populated
+        record = records["clean"]
+        suffix = record.run_id[-10:]
+        assert ledger_main(["--ledger", directory, "show", suffix]) == 0
+        assert record.run_id in capsys.readouterr().out
+
+    def test_ambiguous_suffix_is_usage_error(self, tmp_path, capsys):
+        ledger = RunLedger(str(tmp_path))
+        now = time.time()
+        for i in range(2):
+            ledger.record(
+                RunRecord(
+                    run_id=f"{i}AMBIGUOUSSUFFIXSHAREDXYZ",
+                    started_at=now,
+                    finished_at=now,
+                )
+            )
+        code = ledger_main(["--ledger", str(tmp_path), "show", "SHAREDXYZ"])
+        assert code == 2
+        assert "matches 2 runs" in capsys.readouterr().err
+
+    def test_unknown_id_is_not_found(self, populated, capsys):
+        directory, _ = populated
+        assert ledger_main(["--ledger", directory, "show", "NOPE"]) == 1
+        assert "no run" in capsys.readouterr().err
+
+    def test_json_round_trips_counters(self, populated, capsys):
+        directory, records = populated
+        record = records["flaky"]
+        ledger_main(["--ledger", directory, "show", record.run_id, "--json"])
+        loaded = json.loads(capsys.readouterr().out)
+        assert loaded["counters"] == {"runtime.shots.requested": 100}
+        assert loaded["redispatches"] == 2
+
+
+class TestTopAndFlaky:
+    def test_top_by_wall_seconds(self, populated, capsys):
+        directory, records = populated
+        assert (
+            ledger_main(
+                ["--ledger", directory, "top", "--by", "wall_seconds", "--json"]
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["run_id"] == records["slow"].run_id
+
+    def test_top_rejects_unknown_column(self, populated, capsys):
+        directory, _ = populated
+        with pytest.raises(SystemExit):  # argparse choices
+            ledger_main(["--ledger", directory, "top", "--by", "nonsense"])
+
+    def test_flaky_lists_only_wobbled_runs(self, populated, capsys):
+        directory, records = populated
+        assert ledger_main(["--ledger", directory, "flaky", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["run_id"] for r in rows] == [records["flaky"].run_id]
+
+    def test_flaky_empty_is_not_found(self, tmp_path, capsys):
+        ledger = RunLedger(str(tmp_path))
+        now = time.time()
+        ledger.record(
+            RunRecord(run_id=RunContext().run_id, started_at=now, finished_at=now)
+        )
+        assert ledger_main(["--ledger", str(tmp_path), "flaky"]) == 1
+        assert "no runs" in capsys.readouterr().err
+
+
+class TestGc:
+    def test_gc_reports_deletions(self, tmp_path, capsys):
+        ledger = RunLedger(str(tmp_path))
+        now = time.time()
+        ledger.record(
+            RunRecord(
+                run_id=RunContext().run_id,
+                started_at=now - 20 * 86400,
+                finished_at=now - 20 * 86400,
+            )
+        )
+        ledger.record(
+            RunRecord(run_id=RunContext().run_id, started_at=now, finished_at=now)
+        )
+        assert ledger_main(["--ledger", str(tmp_path), "gc", "--keep-days", "5"]) == 0
+        assert "deleted 1 run(s)" in capsys.readouterr().out
+        assert len(ledger) == 1
