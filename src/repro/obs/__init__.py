@@ -27,7 +27,14 @@ package is the measurement substrate for all three:
   ``run_id`` + labels) that ties one run's spans, metrics, worker
   telemetry, and ledger row together;
 * :mod:`~repro.obs.ledger` -- the :class:`RunLedger`, an append-only
-  SQLite history of every run (read back with ``qir-ledger``).
+  SQLite history of every run (read back with ``qir-ledger``);
+* :mod:`~repro.obs.traceview` -- the inverse of the tracer: loads a
+  recorded trace (JSONL or Chrome document) back into a validated
+  :class:`Trace` span tree;
+* :mod:`~repro.obs.analytics` -- interprets a :class:`Trace`: self-time
+  rollups, critical-path extraction, per-worker utilization/imbalance,
+  collapsed-stack flamegraph export, and trace diffing (the engine
+  behind ``qir-trace``).
 
 Everything here is dependency-free (stdlib only) so the hot paths it
 instruments never pay an import tax.
@@ -68,6 +75,21 @@ from repro.obs.snapshot import (
     measure,
 )
 from repro.obs.tracer import Span, Tracer
+from repro.obs.traceview import Trace, TraceError, TraceSpan, ValidationIssue
+from repro.obs.analytics import (
+    NameRollup,
+    PathStep,
+    TraceDiff,
+    TraceSummary,
+    UtilizationReport,
+    WorkerStats,
+    collapsed_stacks,
+    critical_path,
+    diff_traces,
+    rollup,
+    summarize,
+    worker_utilization,
+)
 
 __all__ = [
     "LEDGER_ENV",
@@ -103,4 +125,20 @@ __all__ = [
     "measure",
     "Span",
     "Tracer",
+    "Trace",
+    "TraceError",
+    "TraceSpan",
+    "ValidationIssue",
+    "NameRollup",
+    "PathStep",
+    "TraceDiff",
+    "TraceSummary",
+    "UtilizationReport",
+    "WorkerStats",
+    "collapsed_stacks",
+    "critical_path",
+    "diff_traces",
+    "rollup",
+    "summarize",
+    "worker_utilization",
 ]

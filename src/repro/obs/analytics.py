@@ -1,0 +1,510 @@
+"""Trace analytics: where did the time actually go?
+
+Turns a loaded :class:`~repro.obs.traceview.Trace` into answers:
+
+* :func:`rollup` -- per-span-name totals: how often, how long, and how
+  much of it was *self* time (not attributable to a child span);
+* :func:`critical_path` -- the heaviest chain through the span forest.
+  Within each top-level span the walk descends into the most expensive
+  child; ``parallel`` children (worker intervals) compete too, so in a
+  process-scheduler trace the path runs straight through the *slowest
+  worker* -- the straggler that bounds wall-clock time;
+* :func:`worker_utilization` -- per-worker busy time, dispatch gap, and
+  utilization against the supervision window, plus the imbalance ratio
+  (slowest / median busy time) the work-stealing ROADMAP item needs as
+  evidence;
+* :func:`collapsed_stacks` -- flamegraph export in the collapsed-stack
+  format (``a;b;c <self_us>``) that ``flamegraph.pl`` and speedscope
+  both ingest;
+* :func:`diff_traces` -- per-name regressions between two traces, the
+  engine behind ``qir-trace diff``.
+
+Everything here is pure computation over the span tree -- no I/O, no
+clocks -- so the golden-file tests can assert exact numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.traceview import Trace, TraceSpan
+
+#: A worker whose busy time exceeds this multiple of the median is a
+#: straggler (the chunk the work-stealing queue would have rebalanced).
+STRAGGLER_FACTOR = 1.5
+
+
+# -- per-name rollups ---------------------------------------------------------
+
+
+@dataclass
+class NameRollup:
+    """Aggregate over every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_us: float = 0.0
+    self_us: float = 0.0
+    max_us: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_us": round(self.total_us, 3),
+            "self_us": round(self.self_us, 3),
+            "max_us": round(self.max_us, 3),
+        }
+
+
+def rollup(trace: Trace) -> List[NameRollup]:
+    """Per-name totals, heaviest self time first."""
+    table: Dict[str, NameRollup] = {}
+    for span in trace.spans:
+        entry = table.get(span.name)
+        if entry is None:
+            entry = table[span.name] = NameRollup(span.name)
+        entry.count += 1
+        entry.total_us += span.duration_us
+        entry.self_us += span.self_us
+        entry.max_us = max(entry.max_us, span.duration_us)
+    return sorted(table.values(), key=lambda r: (-r.self_us, r.name))
+
+
+# -- critical path ------------------------------------------------------------
+
+
+@dataclass
+class PathStep:
+    """One hop on the critical path."""
+
+    name: str
+    start_us: float
+    duration_us: float
+    depth: int
+    fraction: float  # of the whole trace's wall-clock extent
+    parallel: bool = False  # reached by crossing onto a worker track
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "start_us": round(self.start_us, 3),
+            "duration_us": round(self.duration_us, 3),
+            "depth": self.depth,
+            "fraction": round(self.fraction, 4),
+            "parallel": self.parallel,
+        }
+
+
+def critical_path(trace: Trace) -> List[PathStep]:
+    """The heaviest chain through each top-level span, in time order.
+
+    Top-level spans on the main track are sequential phases (parse ->
+    passes -> run), so each contributes its own descent.  At every node
+    the walk follows the most expensive child -- same-track children and
+    parallel worker intervals compete on duration, which is exactly the
+    "who bounds the wall clock" question: a straggling worker beats the
+    supervisor's own self time and the path dives into it.
+    """
+    wall = trace.duration_us or 1.0
+    steps: List[PathStep] = []
+    for root in trace.roots:
+        node: Optional[TraceSpan] = root
+        depth = 0
+        crossed = False
+        while node is not None:
+            steps.append(
+                PathStep(
+                    name=node.worker_label,
+                    start_us=node.start_us,
+                    duration_us=node.duration_us,
+                    depth=depth,
+                    fraction=node.duration_us / wall,
+                    parallel=crossed,
+                )
+            )
+            candidates = node.children + node.parallel
+            if not candidates:
+                break
+            heaviest = max(candidates, key=lambda s: s.duration_us)
+            crossed = crossed or heaviest in node.parallel
+            node = heaviest
+            depth += 1
+    return steps
+
+
+def render_critical_path(steps: List[PathStep]) -> str:
+    lines = []
+    for step in steps:
+        indent = "  " * step.depth + ("└ " if step.depth else "")
+        marker = " [worker track]" if step.parallel else ""
+        lines.append(
+            f"{indent}{step.name:<{max(1, 44 - len(indent))}} "
+            f"{step.duration_us / 1000.0:>10.3f} ms "
+            f"({step.fraction * 100.0:5.1f}%){marker}"
+        )
+    return "\n".join(lines)
+
+
+# -- worker utilization -------------------------------------------------------
+
+
+@dataclass
+class WorkerStats:
+    """One worker process's view of the supervision window."""
+
+    worker: int
+    spans: int = 0
+    shots: int = 0
+    chunks: List[str] = field(default_factory=list)
+    busy_us: float = 0.0
+    first_start_us: float = 0.0
+    last_end_us: float = 0.0
+    dispatch_gap_us: float = 0.0  # window start -> first span start
+    utilization: float = 0.0  # busy / window
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "worker": self.worker,
+            "spans": self.spans,
+            "shots": self.shots,
+            "chunks": list(self.chunks),
+            "busy_us": round(self.busy_us, 3),
+            "dispatch_gap_us": round(self.dispatch_gap_us, 3),
+            "utilization": round(self.utilization, 4),
+        }
+
+
+@dataclass
+class UtilizationReport:
+    """All workers against the supervision window."""
+
+    window_start_us: float
+    window_us: float
+    workers: List[WorkerStats]
+    imbalance: float  # slowest busy / median busy (1.0 when balanced)
+    stragglers: List[int]  # worker ids beyond STRAGGLER_FACTOR x median
+    idle_us: float  # summed per-worker window time not spent busy
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "window_us": round(self.window_us, 3),
+            "imbalance": round(self.imbalance, 4),
+            "stragglers": list(self.stragglers),
+            "idle_us": round(self.idle_us, 3),
+            "workers": [w.to_dict() for w in self.workers],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"window {self.window_us / 1000.0:.3f} ms  "
+            f"workers {len(self.workers)}  "
+            f"imbalance {self.imbalance:.2f}  "
+            f"idle {self.idle_us / 1000.0:.3f} ms"
+        ]
+        header = ("WORKER", "SPANS", "SHOTS", "BUSY_MS", "GAP_MS", "UTIL", "")
+        rows = [header]
+        for w in self.workers:
+            rows.append((
+                str(w.worker),
+                str(w.spans),
+                str(w.shots),
+                f"{w.busy_us / 1000.0:.3f}",
+                f"{w.dispatch_gap_us / 1000.0:.3f}",
+                f"{w.utilization * 100.0:.1f}%",
+                "straggler" if w.worker in self.stragglers else "",
+            ))
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        for row in rows:
+            lines.append(
+                "  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip()
+            )
+        return "\n".join(lines)
+
+
+def worker_utilization(trace: Trace) -> Optional[UtilizationReport]:
+    """Per-worker timelines, or ``None`` when no worker spans exist.
+
+    The window is the union of ``process.supervisor`` spans when present
+    (dispatch + watchdog + merge, the denominator a worker could in
+    principle have been busy for), else the workers' own extent.
+    """
+    spans = trace.worker_spans
+    if not spans:
+        return None
+    supervisors = trace.find("process.supervisor")
+    window_source = supervisors if supervisors else spans
+    window_start = min(s.start_us for s in window_source)
+    window_end = max(s.end_us for s in window_source)
+    # Re-dispatched rounds can outlive a short supervisor estimate; the
+    # window must cover every worker interval it judges.
+    window_start = min(window_start, min(s.start_us for s in spans))
+    window_end = max(window_end, max(s.end_us for s in spans))
+    window_us = max(0.0, window_end - window_start)
+
+    table: Dict[int, WorkerStats] = {}
+    for span in sorted(spans, key=lambda s: s.start_us):
+        try:
+            worker = int(span.args.get("worker", span.tid - 1))
+        except (TypeError, ValueError):
+            worker = span.tid - 1
+        stats = table.get(worker)
+        if stats is None:
+            stats = table[worker] = WorkerStats(
+                worker=worker,
+                first_start_us=span.start_us,
+                last_end_us=span.end_us,
+            )
+        stats.spans += 1
+        stats.busy_us += span.duration_us
+        stats.first_start_us = min(stats.first_start_us, span.start_us)
+        stats.last_end_us = max(stats.last_end_us, span.end_us)
+        try:
+            stats.shots += int(span.args.get("shots", 0))
+        except (TypeError, ValueError):
+            pass
+        chunk = span.args.get("chunk")
+        if chunk:
+            stats.chunks.append(str(chunk))
+
+    workers = sorted(table.values(), key=lambda w: w.worker)
+    idle = 0.0
+    for stats in workers:
+        stats.dispatch_gap_us = max(0.0, stats.first_start_us - window_start)
+        stats.utilization = stats.busy_us / window_us if window_us > 0 else 0.0
+        idle += max(0.0, window_us - stats.busy_us)
+    busy_median = median([w.busy_us for w in workers])
+    slowest = max(w.busy_us for w in workers)
+    imbalance = slowest / busy_median if busy_median > 0 else 1.0
+    stragglers = [
+        w.worker for w in workers if w.busy_us > STRAGGLER_FACTOR * busy_median
+    ]
+    return UtilizationReport(
+        window_start_us=window_start,
+        window_us=window_us,
+        workers=workers,
+        imbalance=imbalance,
+        stragglers=stragglers,
+        idle_us=idle,
+    )
+
+
+# -- flamegraph export --------------------------------------------------------
+
+
+def collapsed_stacks(trace: Trace) -> List[str]:
+    """Collapsed-stack lines (``frame;frame;frame <self_us>``).
+
+    One line per unique stack, value = integer self-time microseconds --
+    the input format of ``flamegraph.pl`` and speedscope's "collapsed"
+    importer.  Worker frames are disambiguated as ``process.worker#N`` so
+    parallel tracks render side by side instead of merging.
+    """
+    folded: Dict[Tuple[str, ...], int] = {}
+
+    def visit(span: TraceSpan, prefix: Tuple[str, ...]) -> None:
+        stack = prefix + (span.worker_label,)
+        value = int(round(span.self_us))
+        if value > 0 or not (span.children or span.parallel):
+            folded[stack] = folded.get(stack, 0) + value
+        for child in span.children:
+            visit(child, stack)
+        for worker in span.parallel:
+            visit(worker, stack)
+
+    for root in trace.roots:
+        visit(root, ())
+    return [
+        ";".join(stack) + f" {value}"
+        for stack, value in sorted(folded.items())
+    ]
+
+
+# -- summary ------------------------------------------------------------------
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``qir-trace summary`` prints, as one structure."""
+
+    spans: int
+    instants: int
+    duration_us: float
+    run_ids: List[str]
+    issues: List[str]
+    hotspots: List[NameRollup]
+    critical_path: List[PathStep]
+    workers: Optional[UtilizationReport]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spans": self.spans,
+            "instants": self.instants,
+            "duration_us": round(self.duration_us, 3),
+            "run_ids": list(self.run_ids),
+            "issues": list(self.issues),
+            "hotspots": [r.to_dict() for r in self.hotspots],
+            "critical_path": [s.to_dict() for s in self.critical_path],
+            "workers": self.workers.to_dict() if self.workers else None,
+        }
+
+
+def summarize(trace: Trace, hotspots: int = 10) -> TraceSummary:
+    return TraceSummary(
+        spans=len(trace.spans),
+        instants=len(trace.instants),
+        duration_us=trace.duration_us,
+        run_ids=trace.run_ids(),
+        issues=[issue.render() for issue in trace.issues],
+        hotspots=rollup(trace)[:hotspots],
+        critical_path=critical_path(trace),
+        workers=worker_utilization(trace),
+    )
+
+
+# -- diff ---------------------------------------------------------------------
+
+
+@dataclass
+class DiffRow:
+    """One span name's movement between two traces."""
+
+    name: str
+    base_total_us: float
+    current_total_us: float
+
+    @property
+    def delta_us(self) -> float:
+        return self.current_total_us - self.base_total_us
+
+    @property
+    def relative(self) -> Optional[float]:
+        """Fractional change, or None for a new/vanished name."""
+        if self.base_total_us <= 0.0:
+            return None
+        return self.delta_us / self.base_total_us
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "base_total_us": round(self.base_total_us, 3),
+            "current_total_us": round(self.current_total_us, 3),
+            "delta_us": round(self.delta_us, 3),
+            "relative": (
+                round(self.relative, 4) if self.relative is not None else None
+            ),
+        }
+
+
+@dataclass
+class TraceDiff:
+    """``qir-trace diff``'s payload: per-name movement plus gap deltas."""
+
+    base_run_id: str
+    current_run_id: str
+    base_duration_us: float
+    current_duration_us: float
+    rows: List[DiffRow]
+    base_dispatch_gap_us: float = 0.0
+    current_dispatch_gap_us: float = 0.0
+    base_imbalance: Optional[float] = None
+    current_imbalance: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "base_run_id": self.base_run_id,
+            "current_run_id": self.current_run_id,
+            "base_duration_us": round(self.base_duration_us, 3),
+            "current_duration_us": round(self.current_duration_us, 3),
+            "base_dispatch_gap_us": round(self.base_dispatch_gap_us, 3),
+            "current_dispatch_gap_us": round(self.current_dispatch_gap_us, 3),
+            "base_imbalance": self.base_imbalance,
+            "current_imbalance": self.current_imbalance,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def render(self) -> str:
+        def _label(run_id: str, fallback: str) -> str:
+            return run_id or fallback
+
+        base = _label(self.base_run_id, "baseline")
+        current = _label(self.current_run_id, "current")
+        wall_delta = self.current_duration_us - self.base_duration_us
+        pct = (
+            f" ({wall_delta / self.base_duration_us * 100.0:+.1f}%)"
+            if self.base_duration_us > 0
+            else ""
+        )
+        lines = [
+            f"trace diff: {base} -> {current}",
+            f"  wall: {self.base_duration_us / 1000.0:.3f} ms -> "
+            f"{self.current_duration_us / 1000.0:.3f} ms{pct}",
+        ]
+        gap_delta = self.current_dispatch_gap_us - self.base_dispatch_gap_us
+        if self.base_dispatch_gap_us or self.current_dispatch_gap_us:
+            gap_pct = (
+                f" ({gap_delta / self.base_dispatch_gap_us * 100.0:+.1f}%)"
+                if self.base_dispatch_gap_us > 0
+                else ""
+            )
+            lines.append(
+                f"  worker dispatch gaps: "
+                f"{self.base_dispatch_gap_us / 1000.0:.3f} ms -> "
+                f"{self.current_dispatch_gap_us / 1000.0:.3f} ms{gap_pct}"
+            )
+        if self.base_imbalance is not None and self.current_imbalance is not None:
+            lines.append(
+                f"  worker imbalance: {self.base_imbalance:.2f} -> "
+                f"{self.current_imbalance:.2f}"
+            )
+        for row in self.rows:
+            rel = row.relative
+            tag = f"{rel * 100.0:+.1f}%" if rel is not None else (
+                "new" if row.base_total_us <= 0 else "gone"
+            )
+            lines.append(
+                f"  {row.name:<40} {row.base_total_us / 1000.0:>10.3f} ms -> "
+                f"{row.current_total_us / 1000.0:>10.3f} ms  {tag}"
+            )
+        return "\n".join(lines)
+
+
+def diff_traces(base: Trace, current: Trace, limit: int = 20) -> TraceDiff:
+    """Explain where ``current`` spends differently from ``base``.
+
+    Rows are per-span-name *total* time deltas, largest absolute movement
+    first; worker dispatch gaps and imbalance ride alongside so a
+    scheduler regression ("run X spent +40% waiting to dispatch") is
+    visible even when no single span name moved.
+    """
+    base_totals = {r.name: r.total_us for r in rollup(base)}
+    current_totals = {r.name: r.total_us for r in rollup(current)}
+    rows = [
+        DiffRow(name, base_totals.get(name, 0.0), current_totals.get(name, 0.0))
+        for name in sorted(set(base_totals) | set(current_totals))
+    ]
+    rows.sort(key=lambda r: (-abs(r.delta_us), r.name))
+    base_util = worker_utilization(base)
+    current_util = worker_utilization(current)
+
+    def _gap(report: Optional[UtilizationReport]) -> float:
+        if report is None:
+            return 0.0
+        return sum(w.dispatch_gap_us for w in report.workers)
+
+    def _first(ids: List[str]) -> str:
+        return ids[0] if ids else ""
+
+    return TraceDiff(
+        base_run_id=_first(base.run_ids()),
+        current_run_id=_first(current.run_ids()),
+        base_duration_us=base.duration_us,
+        current_duration_us=current.duration_us,
+        rows=rows[:limit],
+        base_dispatch_gap_us=_gap(base_util),
+        current_dispatch_gap_us=_gap(current_util),
+        base_imbalance=base_util.imbalance if base_util else None,
+        current_imbalance=current_util.imbalance if current_util else None,
+    )

@@ -19,8 +19,9 @@ def add_observability_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--trace", default=None, metavar="FILE",
         help="write a span trace: .jsonl -> one Chrome trace_event per "
-             "line, anything else -> a bracketed Chrome trace JSON "
-             "(load either in chrome://tracing / Perfetto)",
+             "line, - -> JSONL on stdout, anything else -> a bracketed "
+             "Chrome trace JSON (load either in chrome://tracing / "
+             "Perfetto, or analyse with qir-trace)",
     )
     group.add_argument(
         "--metrics", default=None, metavar="FILE",
@@ -54,7 +55,13 @@ def emit_observability(
         return
     stream = stream if stream is not None else sys.stderr
     if args.trace:
-        observer.tracer.write(args.trace)
+        if args.trace == "-":
+            # The metrics-output convention: "-" streams to stdout, JSONL
+            # because it pipes line-by-line (qir-run ... --trace - | qir-trace
+            # summary -).
+            observer.tracer.write_jsonl(sys.stdout)
+        else:
+            observer.tracer.write(args.trace)
     if args.metrics:
         if getattr(args, "metrics_format", "json") == "openmetrics":
             observer.metrics.write_openmetrics(args.metrics)

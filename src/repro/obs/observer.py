@@ -32,6 +32,14 @@ class Observer:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.run_context: Optional[RunContext] = None
+        # Out-of-order span exits clamp tracer depth; surface each one as
+        # a counter so misuse shows up in metrics, not just in a corrupt
+        # trace.
+        self.tracer.on_depth_underflow = (
+            lambda name: self.metrics.counter(
+                "tracer.depth_underflow", span=name
+            ).inc()
+        )
 
     # -- run identity ---------------------------------------------------------
     def set_run_context(self, context: Optional[RunContext]) -> None:

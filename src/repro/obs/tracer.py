@@ -57,7 +57,14 @@ class Span:
     def __exit__(self, exc_type, exc, tb) -> None:
         tracer = self._tracer
         end = tracer._clock()
-        tracer._depth -= 1
+        if tracer._depth > 0:
+            tracer._depth -= 1
+        else:
+            # An exit with no matching live entry (threaded misuse, or a
+            # span exited twice).  Clamping keeps subsequent spans at
+            # sane depths instead of going negative forever; the counter
+            # makes the misuse visible instead of silent.
+            tracer._note_depth_underflow(self.name)
         self.duration_us = (end - self._t0) * 1e6
         event: Dict[str, object] = {
             "name": self.name,
@@ -86,11 +93,21 @@ class Tracer:
         self._clock = clock
         self._origin = clock()
         self._depth = 0
+        #: Spans that exited with no matching live entry (see
+        #: ``Span.__exit__``); mirrored into the ``tracer.depth_underflow``
+        #: counter when an :class:`~repro.obs.observer.Observer` owns us.
+        self.depth_underflows = 0
+        self.on_depth_underflow: Optional[Callable[[str], None]] = None
         self.events: List[Dict[str, object]] = []
         #: Current run identity; while set, every recorded event's ``args``
         #: carries it, so spans folded in from worker processes land in the
         #: same logical trace as the parent's (see repro.obs.runctx).
         self.run_id: Optional[str] = None
+
+    def _note_depth_underflow(self, name: str) -> None:
+        self.depth_underflows += 1
+        if self.on_depth_underflow is not None:
+            self.on_depth_underflow(name)
 
     def _append(self, event: Dict[str, object], tags: Dict[str, object]) -> None:
         if self.run_id is not None and "run_id" not in tags:

@@ -763,6 +763,12 @@ class _WorkerReport:
     #: values (``spawn`` does not guarantee a shared origin).
     dispatch_clock: float = 0.0
     start_offset: float = -1.0
+    #: The chunk's shot range and dispatch round, echoed back so the
+    #: merged ``process.worker`` span can say *which* shots this worker
+    #: interval covered (qir-trace workers reads these tags).
+    start: int = 0
+    stop: int = 0
+    round_index: int = 0
 
 
 def _run_worker_chunk(chunk: _WorkerChunk) -> Union[_WorkerReport, bytes]:
@@ -868,6 +874,9 @@ def _run_worker_chunk(chunk: _WorkerChunk) -> Union[_WorkerReport, bytes]:
         error_shot=error_shot,
         dispatch_clock=chunk.dispatch_clock,
         start_offset=(t0 - chunk.dispatch_clock) if chunk.dispatch_clock else -1.0,
+        start=chunk.start,
+        stop=chunk.stop,
+        round_index=chunk.round_index,
     )
     if decision is not None and decision.corrupt_report:
         # The work was done; the IPC payload is what gets mangled.  The
@@ -1354,6 +1363,8 @@ class ProcessScheduler:
                     tid=report.index + 1,
                     worker=report.index,
                     shots=len(report.outcomes),
+                    chunk=f"{report.start}..{max(report.start, report.stop - 1)}",
+                    round=report.round_index,
                 )
         if first_error is not None:
             # Each chunk stops at its own first failure, so the minimum

@@ -346,6 +346,53 @@ def _bench_plan_cache(snapshot: BenchSnapshot, repeats: int) -> None:
         )
 
 
+def _bench_trace_analytics(snapshot: BenchSnapshot, shots: int, repeats: int) -> None:
+    """Straggler evidence + analysis cost (ROADMAP: work stealing).
+
+    One traced process-scheduler run yields ``process.worker`` spans; the
+    imbalance ratio (slowest / median worker busy time) is the number the
+    work-stealing item needs as before/after evidence -- 1.0 is perfectly
+    balanced, and contiguous-chunk partitioning on a skewed workload
+    drifts above it.  The analyze timing guards the tooling itself:
+    ``qir-trace summary`` on a real trace must stay interactive.
+    """
+    from repro.obs.analytics import summarize, worker_utilization
+    from repro.obs.traceview import Trace
+
+    text = reset_chain_qir(3, rounds=3)
+    jobs = max(2, min(4, os.cpu_count() or 2))
+    observer = Observer()
+    runtime = QirRuntime(seed=7, observer=observer)
+    plan = QirSession(runtime=runtime).compile(text)
+    runtime.run_shots(plan, shots=shots, scheduler="process", jobs=jobs)
+    events = observer.tracer.to_trace_events()
+    trace = Trace.from_events(events)
+
+    report = worker_utilization(trace)
+    if report is not None:
+        snapshot.record(
+            "runtime.scheduler.worker_imbalance",
+            report.imbalance,
+            unit="ratio", direction="lower", k=1,
+            metadata={
+                "shots": shots,
+                "jobs": jobs,
+                "workers": len(report.workers),
+                "stragglers": len(report.stragglers),
+            },
+        )
+
+    # from_events is part of the measured cost: that is what qir-trace
+    # pays end to end (minus file I/O) on every invocation.
+    stats = measure(lambda: summarize(Trace.from_events(events)), repeats=repeats)
+    snapshot.add(
+        BenchRecord.from_stats(
+            "obs.trace.analyze_seconds", stats,
+            unit="seconds", direction="lower", spans=len(trace),
+        )
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     suites = [s.strip() for s in args.suite.split(",") if s.strip()]
     for suite in suites:
@@ -373,6 +420,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _bench_schedulers(snapshot, args.shots, args.repeats)
         _bench_supervision(snapshot, args.shots, args.repeats)
         _bench_plan_cache(snapshot, args.repeats)
+        _bench_trace_analytics(snapshot, args.shots, args.repeats)
 
     if args.output:
         snapshot.write_json(args.output)

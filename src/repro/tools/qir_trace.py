@@ -1,0 +1,243 @@
+"""qir-trace: interpret a recorded span trace.
+
+``qir-run --trace run.jsonl`` (or ``qir-opt --trace``) records where the
+time went; this tool answers the follow-up questions::
+
+    qir-trace summary run.jsonl            # spans, hotspots, issues
+    qir-trace critical-path run.jsonl      # the chain that bounds wall time
+    qir-trace workers run.jsonl            # per-worker busy/gap/imbalance
+    qir-trace flame run.jsonl -o run.folded
+    qir-trace diff base.jsonl head.jsonl   # what regressed, and where
+
+``flame`` emits collapsed stacks (``frame;frame <self_us>``) for
+``flamegraph.pl`` or speedscope.  ``diff`` joins both traces against the
+run ledger when one is configured (``--ledger`` or ``$QIR_LEDGER``), so
+the per-span deltas come annotated with what each run *was* (shots,
+scheduler, wall seconds).  Every subcommand accepts ``-`` to read the
+trace from stdin and ``--json`` for machine-readable output.
+
+Exit codes: 0 = success, 1 = nothing to report (e.g. ``workers`` on a
+serial trace), 2 = bad invocation or unreadable trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import IO, List, Optional
+
+from repro.obs.analytics import (
+    collapsed_stacks,
+    critical_path,
+    diff_traces,
+    render_critical_path,
+    summarize,
+    worker_utilization,
+)
+from repro.obs.ledger import LedgerError, RunLedger, ledger_dir_from_env
+from repro.obs.traceview import Trace, TraceError
+
+EXIT_OK = 0
+EXIT_NOT_FOUND = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qir-trace", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    def trace_arg(p: argparse.ArgumentParser, name: str = "trace") -> None:
+        p.add_argument(
+            name, help="trace file (JSONL or Chrome JSON), or - for stdin"
+        )
+
+    summary = sub.add_parser("summary", help="spans, hotspots, and issues")
+    trace_arg(summary)
+    summary.add_argument("--hotspots", type=int, default=10, metavar="N")
+    summary.add_argument("--json", action="store_true")
+
+    path = sub.add_parser(
+        "critical-path", help="the span chain that bounds wall-clock time"
+    )
+    trace_arg(path)
+    path.add_argument("--json", action="store_true")
+
+    workers = sub.add_parser(
+        "workers", help="per-worker utilization, gaps, and imbalance"
+    )
+    trace_arg(workers)
+    workers.add_argument("--json", action="store_true")
+
+    flame = sub.add_parser(
+        "flame", help="collapsed-stack flamegraph export (self-time us)"
+    )
+    trace_arg(flame)
+    flame.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write collapsed stacks here (default: stdout)",
+    )
+
+    diff = sub.add_parser(
+        "diff", help="explain where two traces spend time differently"
+    )
+    trace_arg(diff, "base")
+    trace_arg(diff, "current")
+    diff.add_argument("--limit", type=int, default=20, metavar="N")
+    diff.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="annotate run_ids from this ledger (default: $QIR_LEDGER)",
+    )
+    diff.add_argument("--json", action="store_true")
+    return parser
+
+
+def _load(source: str) -> Trace:
+    if source == "-":
+        return Trace.from_text(sys.stdin.read())
+    return Trace.load(source)
+
+
+def _summary(args: argparse.Namespace) -> int:
+    report = summarize(_load(args.trace), hotspots=args.hotspots)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return EXIT_OK
+    print(
+        f"spans {report.spans}  instants {report.instants}  "
+        f"wall {report.duration_us / 1000.0:.3f} ms"
+    )
+    if report.run_ids:
+        print(f"run_id {' '.join(report.run_ids)}")
+    for issue in report.issues:
+        print(f"issue: {issue}", file=sys.stderr)
+    if report.hotspots:
+        print("\nhotspots (self time):")
+        for entry in report.hotspots:
+            print(
+                f"  {entry.name:<40} x{entry.count:<4} "
+                f"self {entry.self_us / 1000.0:>10.3f} ms  "
+                f"total {entry.total_us / 1000.0:>10.3f} ms"
+            )
+    if report.critical_path:
+        print("\ncritical path:")
+        print(render_critical_path(report.critical_path))
+    if report.workers:
+        print("\nworkers:")
+        print(report.workers.render())
+    return EXIT_OK
+
+
+def _critical_path(args: argparse.Namespace) -> int:
+    steps = critical_path(_load(args.trace))
+    if args.json:
+        print(json.dumps([s.to_dict() for s in steps], indent=2))
+        return EXIT_OK
+    if not steps:
+        print("qir-trace: no spans on the critical path", file=sys.stderr)
+        return EXIT_NOT_FOUND
+    print(render_critical_path(steps))
+    return EXIT_OK
+
+
+def _workers(args: argparse.Namespace) -> int:
+    report = worker_utilization(_load(args.trace))
+    if report is None:
+        if args.json:
+            print("null")
+        else:
+            print(
+                "qir-trace: no process.worker spans (serial trace?)",
+                file=sys.stderr,
+            )
+        return EXIT_NOT_FOUND
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return EXIT_OK
+
+
+def _flame(args: argparse.Namespace) -> int:
+    lines = collapsed_stacks(_load(args.trace))
+    if not lines:
+        print("qir-trace: no spans to fold", file=sys.stderr)
+        return EXIT_NOT_FOUND
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return EXIT_OK
+
+
+def _ledger_rows(run_ids: List[str], directory: Optional[str]) -> dict:
+    """Ledger context for the run_ids a diff touches (best effort)."""
+    if not directory or not run_ids:
+        return {}
+    rows = {}
+    try:
+        ledger = RunLedger(directory)
+        for run_id in run_ids:
+            record = ledger.get(run_id)
+            if record is not None:
+                rows[run_id] = {
+                    "scheduler": record.scheduler,
+                    "jobs": record.jobs,
+                    "shots": record.shots,
+                    "wall_seconds": record.wall_seconds,
+                    "shots_per_second": record.shots_per_second,
+                    "supervision_state": record.supervision_state,
+                }
+    except LedgerError as error:
+        print(f"qir-trace: ledger unavailable: {error}", file=sys.stderr)
+    return rows
+
+
+def _diff(args: argparse.Namespace) -> int:
+    result = diff_traces(
+        _load(args.base), _load(args.current), limit=args.limit
+    )
+    directory = args.ledger if args.ledger else ledger_dir_from_env()
+    run_ids = [i for i in (result.base_run_id, result.current_run_id) if i]
+    ledger_rows = _ledger_rows(run_ids, directory)
+    if args.json:
+        payload = result.to_dict()
+        payload["ledger"] = ledger_rows
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return EXIT_OK
+    print(result.render())
+    for run_id, row in ledger_rows.items():
+        print(
+            f"  ledger {run_id}: {row['scheduler']} x{row['jobs']}, "
+            f"{row['shots']} shots, {row['wall_seconds']:.3f} s "
+            f"({row['shots_per_second']:.1f} shots/s)"
+        )
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not args.command:
+        parser.print_help(sys.stderr)
+        return EXIT_USAGE
+    handlers = {
+        "summary": _summary,
+        "critical-path": _critical_path,
+        "workers": _workers,
+        "flame": _flame,
+        "diff": _diff,
+    }
+    try:
+        return handlers[args.command](args)
+    except TraceError as error:
+        print(f"qir-trace: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

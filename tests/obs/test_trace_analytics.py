@@ -1,0 +1,248 @@
+"""Golden-number tests for repro.obs.analytics.
+
+The process-scheduler trace here is hand-written so every expected value
+is computable by inspection: three workers with busy times 40/50/90 ms
+give median 50, imbalance 90/50 = 1.8, and one straggler (worker 2,
+90 > 1.5 x 50) -- the acceptance numbers from the issue.
+"""
+
+import pytest
+
+from repro.obs.analytics import (
+    STRAGGLER_FACTOR,
+    collapsed_stacks,
+    critical_path,
+    diff_traces,
+    render_critical_path,
+    rollup,
+    summarize,
+    worker_utilization,
+)
+from repro.obs.traceview import Trace
+
+#: A run: parse (150us), then run_shots containing the supervisor with
+#: three workers (40/50/90 ms) plus 100us of merge work on the main track.
+GOLDEN_EVENTS = [
+    {"name": "parse", "ph": "X", "ts": 0.0, "dur": 150.0,
+     "pid": 0, "tid": 0, "args": {"run_id": "01GOLD"}},
+    {"name": "run_shots", "ph": "X", "ts": 160.0, "dur": 100000.0,
+     "pid": 0, "tid": 0, "args": {"run_id": "01GOLD"}},
+    {"name": "process.supervisor", "ph": "X", "ts": 200.0, "dur": 99000.0,
+     "pid": 0, "tid": 0},
+    {"name": "merge", "ph": "X", "ts": 95000.0, "dur": 100.0,
+     "pid": 0, "tid": 0},
+    {"name": "process.worker", "ph": "X", "ts": 1000.0, "dur": 40000.0,
+     "pid": 0, "tid": 1,
+     "args": {"worker": 0, "shots": 10, "chunk": "0..9", "round": 0}},
+    {"name": "process.worker", "ph": "X", "ts": 1200.0, "dur": 50000.0,
+     "pid": 0, "tid": 2,
+     "args": {"worker": 1, "shots": 10, "chunk": "10..19", "round": 0}},
+    {"name": "process.worker", "ph": "X", "ts": 1100.0, "dur": 90000.0,
+     "pid": 0, "tid": 3,
+     "args": {"worker": 2, "shots": 10, "chunk": "20..29", "round": 0}},
+]
+
+
+@pytest.fixture
+def golden():
+    return Trace.from_events(GOLDEN_EVENTS)
+
+
+class TestRollup:
+    def test_names_counts_and_totals(self, golden):
+        table = {r.name: r for r in rollup(golden)}
+        assert table["process.worker"].count == 3
+        assert table["process.worker"].total_us == pytest.approx(180000.0)
+        assert table["process.worker"].max_us == pytest.approx(90000.0)
+        assert table["parse"].count == 1
+
+    def test_self_time_subtracts_same_track_children_only(self, golden):
+        table = {r.name: r for r in rollup(golden)}
+        # run_shots contains the supervisor (99000us) on its own track.
+        assert table["run_shots"].self_us == pytest.approx(1000.0)
+        # The supervisor's only same-track child is merge (100us); the
+        # parallel workers do not subtract.
+        assert table["process.supervisor"].self_us == pytest.approx(98900.0)
+
+    def test_sorted_by_self_time(self, golden):
+        names = [r.name for r in rollup(golden)]
+        assert names[0] == "process.worker"
+        assert names.index("process.supervisor") < names.index("parse")
+
+
+class TestCriticalPath:
+    def test_path_runs_through_the_straggler(self, golden):
+        steps = critical_path(golden)
+        assert [s.name for s in steps] == [
+            "parse",
+            "run_shots",
+            "process.supervisor",
+            "process.worker#2",
+        ]
+        worker_step = steps[-1]
+        assert worker_step.parallel is True
+        assert worker_step.duration_us == pytest.approx(90000.0)
+
+    def test_depth_and_fraction(self, golden):
+        steps = critical_path(golden)
+        by_name = {s.name: s for s in steps}
+        assert by_name["parse"].depth == 0
+        assert by_name["run_shots"].depth == 0
+        assert by_name["process.worker#2"].depth == 2
+        wall = golden.duration_us
+        assert by_name["run_shots"].fraction == pytest.approx(100000.0 / wall)
+
+    def test_same_track_child_wins_when_heavier(self):
+        events = [
+            {"name": "root", "ph": "X", "ts": 0.0, "dur": 100.0},
+            {"name": "heavy", "ph": "X", "ts": 10.0, "dur": 80.0},
+            {"name": "light", "ph": "X", "ts": 91.0, "dur": 5.0},
+        ]
+        steps = critical_path(Trace.from_events(events))
+        assert [s.name for s in steps] == ["root", "heavy"]
+        assert all(not s.parallel for s in steps)
+
+    def test_render_marks_worker_tracks(self, golden):
+        text = render_critical_path(critical_path(golden))
+        assert "process.worker#2" in text
+        assert "[worker track]" in text
+
+    def test_empty_trace_path(self):
+        trace = Trace.from_events(
+            [{"name": "m", "ph": "i", "ts": 0.0, "pid": 0, "tid": 0}]
+        )
+        assert critical_path(trace) == []
+
+
+class TestWorkerUtilization:
+    def test_imbalance_is_slowest_over_median(self, golden):
+        report = worker_utilization(golden)
+        assert report.imbalance == pytest.approx(90000.0 / 50000.0)  # 1.8
+
+    def test_straggler_detection(self, golden):
+        report = worker_utilization(golden)
+        assert report.stragglers == [2]
+        assert 90000.0 > STRAGGLER_FACTOR * 50000.0
+
+    def test_window_is_the_supervisor_span(self, golden):
+        report = worker_utilization(golden)
+        assert report.window_start_us == pytest.approx(200.0)
+        assert report.window_us == pytest.approx(99000.0)
+
+    def test_per_worker_stats(self, golden):
+        report = worker_utilization(golden)
+        by_id = {w.worker: w for w in report.workers}
+        assert sorted(by_id) == [0, 1, 2]
+        w0 = by_id[0]
+        assert w0.busy_us == pytest.approx(40000.0)
+        assert w0.shots == 10
+        assert w0.chunks == ["0..9"]
+        assert w0.dispatch_gap_us == pytest.approx(800.0)  # 1000 - 200
+        assert w0.utilization == pytest.approx(40000.0 / 99000.0)
+
+    def test_balanced_workers_have_no_stragglers(self):
+        events = [
+            {"name": "process.worker", "ph": "X", "ts": 0.0, "dur": 100.0,
+             "pid": 0, "tid": 1, "args": {"worker": 0}},
+            {"name": "process.worker", "ph": "X", "ts": 0.0, "dur": 100.0,
+             "pid": 0, "tid": 2, "args": {"worker": 1}},
+        ]
+        report = worker_utilization(Trace.from_events(events))
+        assert report.imbalance == pytest.approx(1.0)
+        assert report.stragglers == []
+
+    def test_serial_trace_has_no_report(self):
+        trace = Trace.from_events(
+            [{"name": "run_shots", "ph": "X", "ts": 0.0, "dur": 10.0}]
+        )
+        assert worker_utilization(trace) is None
+
+    def test_render_table(self, golden):
+        text = worker_utilization(golden).render()
+        assert "imbalance 1.80" in text
+        assert "straggler" in text
+
+
+class TestCollapsedStacks:
+    def test_stack_lines_and_values(self, golden):
+        lines = collapsed_stacks(golden)
+        table = {}
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            table[stack] = int(value)
+        assert table["parse"] == 150
+        assert table["run_shots"] == 1000
+        assert table["run_shots;process.supervisor"] == 98900
+        assert (
+            table["run_shots;process.supervisor;process.worker#2"] == 90000
+        )
+
+    def test_values_are_integers_and_format_is_parseable(self, golden):
+        for line in collapsed_stacks(golden):
+            stack, value = line.rsplit(" ", 1)
+            assert stack
+            assert int(value) >= 0
+
+    def test_zero_self_parent_is_omitted(self):
+        events = [
+            {"name": "wrapper", "ph": "X", "ts": 0.0, "dur": 100.0},
+            {"name": "inner", "ph": "X", "ts": 0.0, "dur": 100.0},
+        ]
+        lines = collapsed_stacks(Trace.from_events(events))
+        assert lines == ["wrapper;inner 100"]
+
+
+class TestSummary:
+    def test_summary_bundle(self, golden):
+        summary = summarize(golden, hotspots=3)
+        assert summary.spans == 7
+        assert summary.run_ids == ["01GOLD"]
+        assert len(summary.hotspots) == 3
+        assert summary.workers.imbalance == pytest.approx(1.8)
+        payload = summary.to_dict()
+        assert payload["critical_path"][-1]["name"] == "process.worker#2"
+        assert payload["workers"]["imbalance"] == pytest.approx(1.8)
+
+    def test_summary_without_workers(self):
+        trace = Trace.from_events(
+            [{"name": "parse", "ph": "X", "ts": 0.0, "dur": 10.0}]
+        )
+        summary = summarize(trace)
+        assert summary.workers is None
+        assert summary.to_dict()["workers"] is None
+
+
+class TestDiff:
+    def test_diff_explains_regression(self, golden):
+        slower = [dict(e) for e in GOLDEN_EVENTS]
+        for event in slower:
+            event["args"] = dict(event.get("args") or {})
+            if event["args"].get("run_id"):
+                event["args"]["run_id"] = "01HEAD"
+            # Worker 2 gets 40% slower; everything else is unchanged.
+            if event["args"].get("worker") == 2:
+                event["dur"] = event["dur"] * 1.4
+        diff = diff_traces(golden, Trace.from_events(slower))
+        assert diff.base_run_id == "01GOLD"
+        assert diff.current_run_id == "01HEAD"
+        rows = {r.name: r for r in diff.rows}
+        assert rows["process.worker"].delta_us == pytest.approx(36000.0)
+        assert rows["parse"].delta_us == pytest.approx(0.0)
+        assert diff.rows[0].name == "process.worker"  # largest movement first
+        assert diff.base_imbalance == pytest.approx(1.8)
+        assert diff.current_imbalance == pytest.approx(126000.0 / 50000.0)
+
+    def test_diff_handles_new_and_vanished_names(self, golden):
+        other = Trace.from_events(
+            [{"name": "brand_new", "ph": "X", "ts": 0.0, "dur": 5.0}]
+        )
+        diff = diff_traces(golden, other)
+        rows = {r.name: r for r in diff.rows}
+        assert rows["brand_new"].base_total_us == 0.0
+        assert rows["brand_new"].relative is None
+        assert rows["parse"].current_total_us == 0.0
+
+    def test_render_mentions_gaps_and_imbalance(self, golden):
+        text = diff_traces(golden, golden).render()
+        assert "worker dispatch gaps" in text
+        assert "worker imbalance: 1.80 -> 1.80" in text

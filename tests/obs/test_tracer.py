@@ -127,3 +127,51 @@ class TestExport:
         assert tracer.total_time_us("inner") > 0
         assert tracer.total_time_us() >= tracer.total_time_us("inner")
         assert tracer.total_time_us("absent") == 0
+
+
+class TestDepthUnderflow:
+    """Out-of-order exits clamp depth at zero instead of corrupting it."""
+
+    def test_double_exit_clamps_depth(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.span("once")
+        span.__enter__()
+        span.__exit__(None, None, None)
+        span.__exit__(None, None, None)  # the misuse
+        assert tracer._depth == 0
+        assert tracer.depth_underflows == 1
+
+    def test_subsequent_spans_keep_sane_depths(self):
+        tracer = Tracer(clock=FakeClock())
+        stray = tracer.span("stray")
+        stray.__exit__(None, None, None)  # exit with no entry at all
+        assert tracer._depth == 0
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                assert inner.depth == 1
+        assert tracer.depth_underflows == 1
+
+    def test_callback_receives_span_name(self):
+        tracer = Tracer(clock=FakeClock())
+        seen = []
+        tracer.on_depth_underflow = seen.append
+        tracer.span("ghost").__exit__(None, None, None)
+        tracer.span("ghost").__exit__(None, None, None)
+        assert seen == ["ghost", "ghost"]
+        assert tracer.depth_underflows == 2
+
+    def test_observer_records_underflow_counter(self):
+        from repro.obs.observer import Observer
+
+        observer = Observer(tracer=Tracer(clock=FakeClock()))
+        observer.tracer.span("ghost").__exit__(None, None, None)
+        counters = observer.metrics.snapshot()["counters"]
+        assert counters["tracer.depth_underflow{span=ghost}"] == 1
+
+    def test_balanced_usage_never_underflows(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.depth_underflows == 0
+        assert tracer._depth == 0

@@ -1,0 +1,267 @@
+"""Tests for the trace model/loader (repro.obs.traceview).
+
+The loader is the inverse of the tracer: round-trip tests record spans
+with a real Tracer (fake clock) and assert the reconstructed tree matches
+the nesting that produced it; synthetic-event tests pin down validation
+behaviour on input no healthy tracer would write.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.tracer import Tracer
+from repro.obs.traceview import Trace, TraceError, TraceSpan
+
+
+class FakeClock:
+    def __init__(self, start=100.0, step=0.001):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _recorded_tracer():
+    """parse -> run_shots(interpret, interpret) on one tracer."""
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("parse"):
+        clock.advance(0.010)
+    with tracer.span("run_shots", shots=2):
+        for _ in range(2):
+            with tracer.span("interpret"):
+                clock.advance(0.002)
+        clock.advance(0.001)
+    return tracer
+
+
+class TestParsing:
+    def test_jsonl_round_trip(self):
+        tracer = _recorded_tracer()
+        buffer = io.StringIO()
+        tracer.write_jsonl(buffer)
+        trace = Trace.from_text(buffer.getvalue())
+        assert len(trace) == 4
+        assert not trace.issues
+
+    def test_chrome_document_round_trip(self):
+        tracer = _recorded_tracer()
+        buffer = io.StringIO()
+        tracer.write_chrome(buffer)
+        trace = Trace.from_text(buffer.getvalue())
+        assert len(trace) == 4
+        assert not trace.issues
+
+    def test_load_from_path_both_formats(self, tmp_path):
+        tracer = _recorded_tracer()
+        for name in ("t.jsonl", "t.json"):
+            path = tmp_path / name
+            tracer.write(str(path))
+            assert len(Trace.load(str(path))) == 4
+
+    def test_bare_event_list_and_single_event(self):
+        event = {"name": "a", "ph": "X", "ts": 0.0, "dur": 1.0}
+        assert len(Trace.from_text(json.dumps([event]))) == 1
+        assert len(Trace.from_text(json.dumps(event))) == 1
+
+    def test_instants_are_collected_not_treed(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        tracer.instant("marker", reason="test")
+        with tracer.span("work"):
+            clock.advance(0.001)
+        trace = Trace.from_events(tracer.to_trace_events())
+        assert len(trace) == 1
+        assert len(trace.instants) == 1
+        assert trace.instants[0]["name"] == "marker"
+
+    def test_unreadable_inputs_raise(self, tmp_path):
+        with pytest.raises(TraceError):
+            Trace.from_text("")
+        with pytest.raises(TraceError):
+            Trace.from_text("not json\nat all")
+        with pytest.raises(TraceError):
+            Trace.from_text('{"no_events": true}')
+        with pytest.raises(TraceError):
+            Trace.from_text('{"traceEvents": "nope"}')
+        with pytest.raises(TraceError):
+            Trace.load(str(tmp_path / "missing.jsonl"))
+
+    def test_interleaved_program_output_is_skipped_with_issue(self):
+        tracer = _recorded_tracer()
+        lines = ["00\t3", "11\t5"] + list(tracer.iter_jsonl())
+        trace = Trace.from_text("\n".join(lines))
+        assert len(trace) == 4
+        assert any(i.kind == "malformed_event" for i in trace.issues)
+
+    def test_malformed_event_object_is_an_issue(self):
+        trace = Trace.from_events(
+            [{"name": "ok", "ph": "X", "ts": 0.0, "dur": 1.0}, {"name": "no-ph"}]
+        )
+        assert len(trace) == 1
+        assert [i.kind for i in trace.issues] == ["malformed_event"]
+
+
+class TestTreeReconstruction:
+    def test_nesting_matches_recording(self):
+        trace = Trace.from_events(_recorded_tracer().to_trace_events())
+        assert [r.name for r in trace.roots] == ["parse", "run_shots"]
+        run = trace.roots[1]
+        assert [c.name for c in run.children] == ["interpret", "interpret"]
+        assert all(c.parent is run for c in run.children)
+
+    def test_self_time_excludes_children(self):
+        trace = Trace.from_events(_recorded_tracer().to_trace_events())
+        run = trace.roots[1]
+        child_total = sum(c.duration_us for c in run.children)
+        assert run.self_us == pytest.approx(run.duration_us - child_total)
+        leaf = run.children[0]
+        assert leaf.self_us == pytest.approx(leaf.duration_us)
+
+    def test_worker_tracks_attach_as_parallel(self):
+        events = [
+            {"name": "run_shots", "ph": "X", "ts": 0.0, "dur": 1000.0,
+             "pid": 0, "tid": 0},
+            {"name": "process.worker", "ph": "X", "ts": 100.0, "dur": 500.0,
+             "pid": 0, "tid": 1, "args": {"worker": 0}},
+            {"name": "process.worker", "ph": "X", "ts": 120.0, "dur": 700.0,
+             "pid": 0, "tid": 2, "args": {"worker": 1}},
+        ]
+        trace = Trace.from_events(events)
+        assert [r.name for r in trace.roots] == ["run_shots"]
+        run = trace.roots[0]
+        assert [w.args["worker"] for w in run.parallel] == [0, 1]
+        # Parallel children overlap each other; they never reduce self time.
+        assert run.self_us == pytest.approx(1000.0)
+        assert not trace.issues
+
+    def test_parallel_attaches_to_deepest_container(self):
+        events = [
+            {"name": "outer", "ph": "X", "ts": 0.0, "dur": 1000.0,
+             "pid": 0, "tid": 0},
+            {"name": "inner", "ph": "X", "ts": 100.0, "dur": 800.0,
+             "pid": 0, "tid": 0},
+            {"name": "process.worker", "ph": "X", "ts": 200.0, "dur": 300.0,
+             "pid": 0, "tid": 1, "args": {"worker": 0}},
+        ]
+        trace = Trace.from_events(events)
+        inner = trace.roots[0].children[0]
+        assert [w.name for w in inner.parallel] == ["process.worker"]
+
+    def test_uncontained_worker_span_is_a_root_without_issue(self):
+        # A worker span outliving every main-track span is expected under
+        # clock clamping; it becomes a root but is not flagged.
+        events = [
+            {"name": "process.worker", "ph": "X", "ts": 0.0, "dur": 10.0,
+             "pid": 0, "tid": 1, "args": {"worker": 0}},
+        ]
+        trace = Trace.from_events(events)
+        assert [r.name for r in trace.roots] == ["process.worker"]
+        assert not trace.issues
+
+    def test_uncontained_non_worker_track_is_flagged(self):
+        events = [
+            {"name": "main", "ph": "X", "ts": 0.0, "dur": 10.0,
+             "pid": 0, "tid": 0},
+            {"name": "stray", "ph": "X", "ts": 50.0, "dur": 10.0,
+             "pid": 0, "tid": 7},
+        ]
+        trace = Trace.from_events(events)
+        assert [i.kind for i in trace.issues] == ["orphan_track"]
+
+    def test_walk_covers_children_and_parallel(self):
+        events = [
+            {"name": "run", "ph": "X", "ts": 0.0, "dur": 100.0,
+             "pid": 0, "tid": 0},
+            {"name": "step", "ph": "X", "ts": 10.0, "dur": 20.0,
+             "pid": 0, "tid": 0},
+            {"name": "process.worker", "ph": "X", "ts": 40.0, "dur": 50.0,
+             "pid": 0, "tid": 1},
+        ]
+        trace = Trace.from_events(events)
+        assert [s.name for s in trace.roots[0].walk()] == [
+            "run", "step", "process.worker",
+        ]
+
+
+class TestValidation:
+    def test_negative_duration_is_flagged(self):
+        trace = Trace.from_events(
+            [{"name": "bad", "ph": "X", "ts": 5.0, "dur": -2.0}]
+        )
+        assert [i.kind for i in trace.issues] == ["negative_time"]
+
+    def test_negative_start_is_flagged(self):
+        trace = Trace.from_events(
+            [{"name": "bad", "ph": "X", "ts": -5.0, "dur": 2.0}]
+        )
+        assert [i.kind for i in trace.issues] == ["negative_time"]
+
+    def test_partial_overlap_is_flagged_and_treated_as_sibling(self):
+        events = [
+            {"name": "a", "ph": "X", "ts": 0.0, "dur": 100.0},
+            {"name": "b", "ph": "X", "ts": 50.0, "dur": 100.0},
+        ]
+        trace = Trace.from_events(events)
+        assert [i.kind for i in trace.issues] == ["overlap"]
+        assert [r.name for r in trace.roots] == ["a", "b"]
+
+    def test_rounding_slack_does_not_flag_overlap(self):
+        events = [
+            {"name": "parent", "ph": "X", "ts": 0.0, "dur": 100.0},
+            {"name": "child", "ph": "X", "ts": 10.0, "dur": 90.005},
+        ]
+        trace = Trace.from_events(events)
+        assert not trace.issues
+        assert [c.name for c in trace.roots[0].children] == ["child"]
+
+    def test_mixed_run_ids_are_flagged(self):
+        events = [
+            {"name": "a", "ph": "X", "ts": 0.0, "dur": 1.0,
+             "args": {"run_id": "01AAA"}},
+            {"name": "b", "ph": "X", "ts": 2.0, "dur": 1.0,
+             "args": {"run_id": "01BBB"}},
+        ]
+        trace = Trace.from_events(events)
+        assert [i.kind for i in trace.issues] == ["mixed_run_ids"]
+        assert trace.run_ids() == ["01AAA", "01BBB"]
+
+    def test_single_run_id_is_clean(self):
+        tracer = _recorded_tracer()
+        tracer.run_id = "01CCC"
+        with tracer.span("late"):
+            pass
+        trace = Trace.from_events(tracer.to_trace_events())
+        assert trace.run_ids() == ["01CCC"]
+        assert not any(i.kind == "mixed_run_ids" for i in trace.issues)
+
+
+class TestQueries:
+    def test_extent_and_find(self):
+        trace = Trace.from_events(_recorded_tracer().to_trace_events())
+        assert trace.duration_us == pytest.approx(
+            trace.end_us - trace.start_us
+        )
+        assert len(trace.find("interpret")) == 2
+        assert trace.find("nope") == []
+
+    def test_worker_label_disambiguates(self):
+        plain = TraceSpan(name="parse", start_us=0.0, duration_us=1.0)
+        worker = TraceSpan(
+            name="process.worker", start_us=0.0, duration_us=1.0,
+            args={"worker": 3},
+        )
+        untagged = TraceSpan(
+            name="process.worker", start_us=0.0, duration_us=1.0
+        )
+        assert plain.worker_label == "parse"
+        assert worker.worker_label == "process.worker#3"
+        assert untagged.worker_label == "process.worker"

@@ -290,6 +290,24 @@ class TestQirRunObservability:
         assert "FAIL\t" in err
         assert err.count("TIMING\twall=") == 1
 
+    def test_trace_dash_streams_jsonl_to_stdout(self, bell_file, capsys):
+        import json
+
+        assert run_main([bell_file, "--shots", "5", "--seed", "7",
+                         "--trace", "-"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        # Shot histogram lines first, then the trace JSONL appended.
+        events = []
+        for line in lines:
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue
+        names = [e["name"] for e in events]
+        assert "parse_assembly" in names
+        assert "run_shots" in names
+        assert all(e["ph"] in ("X", "i") for e in events)
+
     def test_no_flags_means_no_observer_files(self, bell_file, capsys):
         assert run_main([bell_file, "--shots", "5", "--seed", "7"]) == 0
         assert "== qir profile ==" not in capsys.readouterr().err
@@ -317,6 +335,22 @@ class TestQirOptObservability:
         snapshot = json.loads(metrics.read_text())
         assert any(k.startswith("passes.seconds{")
                    for k in snapshot["counters"])
+
+    def test_trace_dash_streams_jsonl_to_stdout(self, loop_file, capsys):
+        import json
+
+        assert opt_main([loop_file, "--pipeline", "unroll",
+                         "--trace", "-"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        # The printed module comes first; the trace JSONL is appended.
+        events = []
+        for line in lines:
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue
+        assert any(e["name"].startswith("pass:") for e in events)
+        assert all(e["ph"] in ("X", "i") for e in events)
 
     def test_profile_written_even_on_validation_failure(self, loop_file,
                                                         capsys):

@@ -67,6 +67,27 @@ class TestRun:
         assert threaded["metadata"]["jobs"] >= 2
         assert by_name["runtime.scheduler.serial_shots_per_second"]["value"] > 0
 
+    def test_records_worker_imbalance(self, snapshot_file):
+        # The work-stealing evidence: slowest / median worker busy time
+        # from a real traced process run; 1.0 means perfectly balanced.
+        payload = json.loads(open(snapshot_file).read())
+        by_name = {r["name"]: r for r in payload["records"]}
+        record = by_name["runtime.scheduler.worker_imbalance"]
+        assert record["unit"] == "ratio"
+        assert record["direction"] == "lower"
+        assert record["value"] >= 1.0
+        assert record["metadata"]["workers"] >= 2
+
+    def test_records_trace_analyze_seconds(self, snapshot_file):
+        payload = json.loads(open(snapshot_file).read())
+        by_name = {r["name"]: r for r in payload["records"]}
+        record = by_name["obs.trace.analyze_seconds"]
+        assert record["unit"] == "seconds"
+        assert record["direction"] == "lower"
+        assert record["k"] == 2
+        assert record["value"] > 0
+        assert record["metadata"]["spans"] > 0
+
     def test_records_process_speedup(self, snapshot_file):
         # Presence and shape only: the >1.0 win needs a multi-core
         # machine and is enforced by the CI regression gate, not here.
