@@ -187,6 +187,9 @@ class UtilizationReport:
     imbalance: float  # slowest busy / median busy (1.0 when balanced)
     stragglers: List[int]  # worker ids beyond STRAGGLER_FACTOR x median
     idle_us: float  # summed per-worker window time not spent busy
+    #: Validation findings (e.g. a worker with zero busy time, excluded
+    #: from the imbalance denominator) -- rendered, never silently eaten.
+    issues: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -194,6 +197,7 @@ class UtilizationReport:
             "imbalance": round(self.imbalance, 4),
             "stragglers": list(self.stragglers),
             "idle_us": round(self.idle_us, 3),
+            "issues": list(self.issues),
             "workers": [w.to_dict() for w in self.workers],
         }
 
@@ -204,6 +208,8 @@ class UtilizationReport:
             f"imbalance {self.imbalance:.2f}  "
             f"idle {self.idle_us / 1000.0:.3f} ms"
         ]
+        for issue in self.issues:
+            lines.append(f"issue: {issue}")
         header = ("WORKER", "SPANS", "SHOTS", "BUSY_MS", "GAP_MS", "UTIL", "")
         rows = [header]
         for w in self.workers:
@@ -275,11 +281,27 @@ def worker_utilization(trace: Trace) -> Optional[UtilizationReport]:
         stats.dispatch_gap_us = max(0.0, stats.first_start_us - window_start)
         stats.utilization = stats.busy_us / window_us if window_us > 0 else 0.0
         idle += max(0.0, window_us - stats.busy_us)
-    busy_median = median([w.busy_us for w in workers])
-    slowest = max(w.busy_us for w in workers)
+    # A worker that recorded spans but no busy time (crashed before its
+    # first chunk finished, or a degenerate trace) must not enter the
+    # imbalance denominator: a 0 in the median would let one dead worker
+    # halve the ratio -- or divide it to infinity -- while saying nothing
+    # about how well the live workers balanced.  Surface it instead.
+    issues: List[str] = []
+    busy_workers = [w for w in workers if w.busy_us > 0.0]
+    zero_busy = [w.worker for w in workers if w.busy_us <= 0.0]
+    if zero_busy:
+        names = ", ".join(str(w) for w in zero_busy)
+        issues.append(
+            f"worker(s) {names} recorded no busy time (crashed before the "
+            "first chunk completed?); excluded from the imbalance median"
+        )
+    busy_median = median([w.busy_us for w in busy_workers]) if busy_workers else 0.0
+    slowest = max((w.busy_us for w in busy_workers), default=0.0)
     imbalance = slowest / busy_median if busy_median > 0 else 1.0
     stragglers = [
-        w.worker for w in workers if w.busy_us > STRAGGLER_FACTOR * busy_median
+        w.worker
+        for w in busy_workers
+        if busy_median > 0 and w.busy_us > STRAGGLER_FACTOR * busy_median
     ]
     return UtilizationReport(
         window_start_us=window_start,
@@ -288,6 +310,96 @@ def worker_utilization(trace: Trace) -> Optional[UtilizationReport]:
         imbalance=imbalance,
         stragglers=stragglers,
         idle_us=idle,
+        issues=issues,
+    )
+
+
+# -- per-chunk dispatch rows --------------------------------------------------
+
+
+@dataclass
+class ChunkRow:
+    """One dispatched chunk, as the ``process.worker`` span tags tell it."""
+
+    chunk: str  # shot range, e.g. "0..4"
+    worker: int
+    shots: int
+    attempt: int  # the span's `round` tag: 0 first dispatch, +1 per requeue
+    steal: bool  # worker's second-or-later pull (self-scheduled rebalance)
+    start_us: float
+    duration_us: float
+
+    @property
+    def origin(self) -> str:
+        if self.attempt > 0:
+            return "requeued"
+        return "steal" if self.steal else "first"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "chunk": self.chunk,
+            "worker": self.worker,
+            "shots": self.shots,
+            "attempt": self.attempt,
+            "steal": self.steal,
+            "origin": self.origin,
+            "start_us": round(self.start_us, 3),
+            "duration_us": round(self.duration_us, 3),
+        }
+
+
+def chunk_rows(trace: Trace) -> List[ChunkRow]:
+    """Per-chunk dispatch rows from worker span tags, in dispatch order.
+
+    The queue scheduler tags every merged ``process.worker`` span with
+    ``chunk`` (shot range), ``worker``, ``round`` (dispatch attempt), and
+    ``steal``; this flattens them into the table behind
+    ``qir-trace workers --chunks``.  Spans without a ``chunk`` tag
+    (hand-built traces, older recordings) are skipped.
+    """
+
+    def _int(value: object, default: int = 0) -> int:
+        try:
+            return int(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return default
+
+    rows: List[ChunkRow] = []
+    for span in sorted(trace.worker_spans, key=lambda s: (s.start_us, s.tid)):
+        chunk = span.args.get("chunk")
+        if not chunk:
+            continue
+        rows.append(
+            ChunkRow(
+                chunk=str(chunk),
+                worker=_int(span.args.get("worker", span.tid - 1)),
+                shots=_int(span.args.get("shots", 0)),
+                attempt=_int(span.args.get("round", 0)),
+                steal=bool(span.args.get("steal", False)),
+                start_us=span.start_us,
+                duration_us=span.duration_us,
+            )
+        )
+    return rows
+
+
+def render_chunk_rows(rows: List[ChunkRow]) -> str:
+    header = ("CHUNK", "WORKER", "SHOTS", "ATTEMPT", "ORIGIN", "START_MS", "BUSY_MS")
+    table = [header]
+    for row in rows:
+        table.append((
+            row.chunk,
+            str(row.worker),
+            str(row.shots),
+            str(row.attempt),
+            row.origin,
+            f"{row.start_us / 1000.0:.3f}",
+            f"{row.duration_us / 1000.0:.3f}",
+        ))
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    return "\n".join(
+        "  ".join(c.ljust(widths[i]) for i, c in enumerate(r)).rstrip()
+        for r in table
     )
 
 

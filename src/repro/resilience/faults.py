@@ -30,8 +30,9 @@ the machinery around the interpreter failing, not the shot itself, so
 they are consulted only by the process scheduler's worker loop (see
 :mod:`repro.runtime.schedulers`) and are inert under the serial,
 threaded, and batched schedulers.  Their ``failures`` field counts
-*dispatch rounds* instead of attempts: ``failures=1`` crashes the first
-dispatch of a poisoned chunk and lets the re-dispatch succeed, while the
+*chunk dispatch attempts* instead of shot attempts: ``failures=1``
+crashes the first dispatch of a poisoned chunk and lets the re-queued
+dispatch succeed, while the
 default :data:`PERSISTENT` keeps killing workers until the supervisor's
 circuit breaker demotes the whole run off the process scheduler.
 """
@@ -255,15 +256,16 @@ class FaultPlan:
         return any(rule.site == "worker_hang" for rule in self.rules)
 
     def process_decision(
-        self, start: int, stop: int, round_index: int
+        self, start: int, stop: int, attempt: int
     ) -> "ProcessFaultDecision":
         """Resolve the process-level fate of the chunk ``[start, stop)``.
 
-        Pure function of ``(plan, chunk range, dispatch round)``: a worker
-        computes its own fate without coordination, and the parent can
-        predict it in tests.  ``failures`` gates on *round*, so a
-        transient rule stops firing once the chunk has been re-dispatched
-        that many times.
+        Pure function of ``(plan, chunk range, dispatch attempt)``: a
+        worker computes its own fate without coordination, and the parent
+        can predict it in tests.  ``failures`` gates on the chunk's
+        dispatch *attempt* (0 on first dispatch, +1 each time the work
+        queue re-enqueues it after a loss), so a transient rule stops
+        firing once the chunk has been re-dispatched that many times.
         """
         crash_shot: Optional[int] = None
         hang_shot: Optional[int] = None
@@ -271,8 +273,8 @@ class FaultPlan:
         for index, rule in enumerate(self.rules):
             if rule.site not in PROCESS_SITES:
                 continue
-            if rule.failures != PERSISTENT and round_index >= rule.failures:
-                continue  # transient fault already spent its rounds
+            if rule.failures != PERSISTENT and attempt >= rule.failures:
+                continue  # transient fault already spent its attempts
             for shot in range(start, stop):
                 if not rule.applies_to_shot(shot, self.seed, index):
                     continue

@@ -53,6 +53,13 @@ from repro.runtime.plan import (
     plan_key,
 )
 from repro.runtime.plancache import PlanCache, default_cache_dir
+from repro.runtime.dispatch import (
+    Chunk,
+    ChunkQueue,
+    QueueStats,
+    guided_chunks,
+    partition_shots,
+)
 from repro.runtime.schedulers import (
     SCHEDULERS,
     BatchedScheduler,
@@ -62,7 +69,6 @@ from repro.runtime.schedulers import (
     SupervisionRecord,
     ThreadedScheduler,
     get_scheduler,
-    partition_shots,
 )
 from repro.runtime.execute import (
     ExecutionResult,
@@ -118,6 +124,10 @@ __all__ = [
     "ShotOutcome",
     "SupervisionRecord",
     "get_scheduler",
+    "Chunk",
+    "ChunkQueue",
+    "QueueStats",
+    "guided_chunks",
     "partition_shots",
     "ExecutionResult",
     "FastpathComparison",

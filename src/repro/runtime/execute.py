@@ -172,6 +172,8 @@ class QirRuntime:
         jobs: Optional[int] = None,
         worker_timeout: Optional[float] = None,
         max_worker_failures: Optional[int] = None,
+        chunk_shots: Optional[int] = None,
+        min_chunk_shots: Optional[int] = None,
         run_context: Optional[RunContext] = None,
     ) -> ShotsResult:
         """Run many shots (parsing once) and histogram the result bitstrings.
@@ -207,6 +209,12 @@ class QirRuntime:
         resulting :class:`~repro.runtime.schedulers.SupervisionRecord`
         rides on ``result.supervision``.
 
+        ``chunk_shots`` / ``min_chunk_shots`` tune the shared work
+        queue's chunk sizing for the threaded and process schedulers
+        (fixed-size chunks, or the floor under guided sizing; see
+        :func:`repro.runtime.dispatch.guided_chunks`); rejected for the
+        serial and batched schedulers.
+
         ``run_context`` is the run's durable identity (see
         :mod:`repro.obs.runctx`): pass one (``QirSession`` does, with the
         plan key filled in) or let an observed run mint its own.  Its
@@ -224,6 +232,8 @@ class QirRuntime:
             jobs_n,
             worker_timeout=worker_timeout,
             max_worker_failures=max_worker_failures,
+            chunk_shots=chunk_shots,
+            min_chunk_shots=min_chunk_shots,
         )
         obs = self.observer
         ctx: Optional[RunContext] = None
@@ -611,6 +621,8 @@ def run_shots(
     jobs: Optional[int] = None,
     worker_timeout: Optional[float] = None,
     max_worker_failures: Optional[int] = None,
+    chunk_shots: Optional[int] = None,
+    min_chunk_shots: Optional[int] = None,
     run_context: Optional[RunContext] = None,
     **kwargs,
 ) -> ShotsResult:
@@ -628,5 +640,7 @@ def run_shots(
         jobs=jobs,
         worker_timeout=worker_timeout,
         max_worker_failures=max_worker_failures,
+        chunk_shots=chunk_shots,
+        min_chunk_shots=min_chunk_shots,
         run_context=run_context,
     )

@@ -5,10 +5,11 @@ read-only artifact; this module spends it.  A :class:`ShotScheduler`
 turns "run N shots of this module" into per-shot tasks:
 
 * :class:`SerialScheduler` -- the historical in-order loop;
-* :class:`ThreadedScheduler` -- N workers over the embarrassingly
-  parallel shot loop (``ShotsResult`` merging is order-independent, and
-  per-shot outcomes are re-sorted by shot index so results are
-  deterministic regardless of completion order);
+* :class:`ThreadedScheduler` -- N worker threads pulling self-scheduled
+  shot chunks off a shared :class:`~repro.runtime.dispatch.ChunkQueue`
+  (``ShotsResult`` merging is order-independent, and per-shot outcomes
+  are re-sorted by shot index so results are deterministic regardless
+  of completion order or which worker ran a chunk);
 * :class:`BatchedScheduler` -- one vectorised multi-shot statevector
   evolution (:class:`~repro.sim.statevector.BatchedStatevectorSimulator`)
   for non-Clifford per-shot workloads where the deferred-measurement
@@ -16,8 +17,10 @@ turns "run N shots of this module" into per-shot tasks:
   gates after measurement).  Programs with *classical feedback* on a
   measurement abort with :class:`BatchedUnsupported` and fall back to the
   per-shot loop;
-* :class:`ProcessScheduler` -- N worker *processes* over contiguous shot
-  chunks, for the pure-Python-bound workloads where the GIL caps
+* :class:`ProcessScheduler` -- N worker *processes* draining the same
+  chunk queue (the supervisor drains it into pool waves; the executor's
+  idle processes self-schedule the chunks within a wave), for the
+  pure-Python-bound workloads where the GIL caps
   :class:`ThreadedScheduler` (threads only overlap NumPy kernels).
   Workers receive the compiled program as a *serialized*
   :class:`~repro.runtime.plan.ExecutionPlan` (``to_bytes``), never
@@ -69,6 +72,7 @@ from repro.resilience.faults import (
 )
 from repro.resilience.report import ShotFailure, render_failure_report
 from repro.resilience.retry import RetryPolicy
+from repro.runtime.dispatch import Chunk, ChunkQueue
 from repro.runtime.errors import (
     PoolStartupError,
     QirRuntimeError,
@@ -669,7 +673,7 @@ class SerialScheduler:
 
 
 class ThreadedScheduler:
-    """N workers over the shot loop.
+    """N worker threads pulling chunks off a shared work queue.
 
     Shots are embarrassingly parallel: each one builds its own backend
     from its own spawned seed, resilience state is shared behind
@@ -677,22 +681,82 @@ class ThreadedScheduler:
     so the result is bit-identical to :class:`SerialScheduler` for the
     same seed.  (Python threads overlap NumPy kernels, not interpreter
     bytecode; the win grows with statevector width.)
+
+    Dispatch is self-scheduled: the shot range becomes a
+    :class:`~repro.runtime.dispatch.ChunkQueue` of guided-size chunks
+    and every worker loops ``pop -> run -> pop`` until the queue drains,
+    so a straggler thread holds one chunk, not a fixed N-th of the run.
+
+    Fail-fast (non-resilient) semantics match serial: each chunk stops
+    at its own first failing shot, so the minimum failing shot across
+    chunks is the globally first one -- exactly the error the serial
+    loop would have raised.
     """
 
     name = "threaded"
 
-    def __init__(self, jobs: int = 4):
+    def __init__(
+        self,
+        jobs: int = 4,
+        chunk_shots: Optional[int] = None,
+        min_chunk_shots: Optional[int] = None,
+    ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if chunk_shots is not None and chunk_shots < 1:
+            raise ValueError("chunk_shots must be >= 1")
+        if min_chunk_shots is not None and min_chunk_shots < 1:
+            raise ValueError("min_chunk_shots must be >= 1")
         self.jobs = jobs
+        self.chunk_shots = chunk_shots
+        self.min_chunk_shots = min_chunk_shots
 
     def run(self, task: ShotTask) -> List[ShotOutcome]:
         if task.shots <= 1 or self.jobs == 1:
             return SerialScheduler().run(task)
-        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-            # pool.map preserves submission order and re-raises the first
-            # in-order exception, matching serial fail-fast semantics.
-            return list(pool.map(task.run_one, range(task.shots)))
+        queue = ChunkQueue.for_shots(
+            task.shots, self.jobs, self.chunk_shots, self.min_chunk_shots
+        )
+        merge_lock = threading.Lock()
+        outcomes: List[ShotOutcome] = []
+        errors: List[Tuple[int, QirRuntimeError]] = []
+        pulls: List[int] = []
+
+        def pull_until_drained() -> None:
+            pulled = 0
+            local: List[ShotOutcome] = []
+            local_errors: List[Tuple[int, QirRuntimeError]] = []
+            while True:
+                chunk = queue.pop()
+                if chunk is None:
+                    break
+                pulled += 1
+                for shot in range(chunk.start, chunk.stop):
+                    try:
+                        local.append(task.run_one(shot))
+                    except QirRuntimeError as error:
+                        local_errors.append((shot, error))
+                        break  # chunk fail-fast: stop at its first failure
+            with merge_lock:
+                outcomes.extend(local)
+                errors.extend(local_errors)
+                pulls.append(pulled)
+
+        workers = min(self.jobs, len(queue))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(pull_until_drained) for _ in range(workers)]
+            for future in futures:
+                future.result()  # a non-QirRuntimeError here is a bug
+        if errors:
+            raise min(errors, key=lambda e: e[0])[1]
+        obs = task.executor.observer
+        if obs.enabled:
+            obs.inc("scheduler.queue.chunks", queue.stats.dispatched)
+            steals = sum(max(0, n - 1) for n in pulls)
+            if steals:
+                obs.inc("scheduler.queue.steal", steals)
+        outcomes.sort(key=lambda o: o.shot)
+        return outcomes
 
 
 # -- process execution --------------------------------------------------------
@@ -725,8 +789,10 @@ class _WorkerChunk:
     keep_stats: bool
     resilient: bool
     root: np.random.SeedSequence
-    #: Dispatch round (0 on first dispatch, +1 per re-dispatch of this shot
-    #: range); gates transient process-level fault rules.
+    #: This chunk's dispatch attempt (0 on first dispatch, +1 each time the
+    #: queue re-enqueues it after a loss); gates transient process-level
+    #: fault rules.  The field keeps its historical name so pickled chunks
+    #: and test fixtures stay valid across the round -> queue refactor.
     round_index: int = 0
     #: Heartbeat channel (a multiprocessing.Manager dict proxy) when the
     #: supervisor's watchdog is armed; None means run unwatched.
@@ -763,12 +829,45 @@ class _WorkerReport:
     #: values (``spawn`` does not guarantee a shared origin).
     dispatch_clock: float = 0.0
     start_offset: float = -1.0
-    #: The chunk's shot range and dispatch round, echoed back so the
+    #: The chunk's shot range and dispatch attempt, echoed back so the
     #: merged ``process.worker`` span can say *which* shots this worker
     #: interval covered (qir-trace workers reads these tags).
     start: int = 0
     stop: int = 0
     round_index: int = 0
+    #: The worker process's identity and how many chunks it had already
+    #: run (``seq``); the merge maps pids to stable worker ids and tags
+    #: ``seq > 0`` chunks as self-scheduled steals.
+    pid: int = 0
+    seq: int = 0
+
+
+#: How many chunks *this* process has run (always 0 in the parent: only
+#: worker processes call :func:`_run_worker_chunk`).  ``fork`` children
+#: inherit the parent's 0; ``spawn`` children re-import to 0.
+_WORKER_RUNS = 0
+
+#: One-slot per-process plan cache.  Workers that pull several chunks of
+#: the same run decode the serialized plan once, not once per chunk --
+#: the whole point of small self-scheduled chunks would otherwise drown
+#: in repeated parse cost.
+_WORKER_PLAN: Optional[Tuple[bytes, object]] = None
+
+
+def _worker_plan(plan_bytes: bytes):
+    """Decode (or reuse) this process's cached :class:`ExecutionPlan`."""
+    global _WORKER_PLAN
+    # Imported here, not at module top: plan.py imports nothing from this
+    # module at call time, but keeping the worker's import surface explicit
+    # makes the spawn path's cost visible in one place.
+    from repro.runtime.plan import ExecutionPlan
+
+    cached = _WORKER_PLAN
+    if cached is not None and cached[0] == plan_bytes:
+        return cached[1]
+    plan = ExecutionPlan.from_bytes(plan_bytes)
+    _WORKER_PLAN = (plan_bytes, plan)
+    return plan
 
 
 def _run_worker_chunk(chunk: _WorkerChunk) -> Union[_WorkerReport, bytes]:
@@ -781,18 +880,16 @@ def _run_worker_chunk(chunk: _WorkerChunk) -> Union[_WorkerReport, bytes]:
 
     Chaos hooks: a :class:`~repro.resilience.faults.FaultPlan` with
     process-level sites decides this chunk's fate up front (a pure
-    function of the plan, the shot range, and the dispatch round).
-    ``worker_crash`` hard-exits before running the poisoned shot,
-    ``worker_hang`` stops heartbeating and sleeps until the supervisor
-    terminates the process, and ``ipc_corrupt`` ships mangled bytes
-    instead of the report.  None of them touch interpreter state, so the
-    shots a re-dispatched worker re-runs are bit-identical.
+    function of the plan, the shot range, and the chunk's dispatch
+    attempt).  ``worker_crash`` hard-exits before running the poisoned
+    shot, ``worker_hang`` stops heartbeating and sleeps until the
+    supervisor terminates the process, and ``ipc_corrupt`` ships mangled
+    bytes instead of the report.  None of them touch interpreter state,
+    so the shots a re-enqueued chunk re-runs are bit-identical.
     """
-    # Imported here, not at module top: plan.py imports nothing from this
-    # module at call time, but keeping the worker's import surface explicit
-    # makes the spawn path's cost visible in one place.
-    from repro.runtime.plan import ExecutionPlan
-
+    global _WORKER_RUNS
+    seq = _WORKER_RUNS
+    _WORKER_RUNS += 1
     t0 = perf_counter()
     decision = (
         chunk.fault_plan.process_decision(chunk.start, chunk.stop, chunk.round_index)
@@ -807,7 +904,7 @@ def _run_worker_chunk(chunk: _WorkerChunk) -> Union[_WorkerReport, bytes]:
             heartbeat = None  # manager unreachable; run unwatched
     beats = 0
     last_beat = perf_counter()
-    plan = ExecutionPlan.from_bytes(chunk.plan_bytes)
+    plan = _worker_plan(chunk.plan_bytes)
     executor = ShotExecutor(
         chunk.backend_name,
         chunk.noise,
@@ -877,6 +974,8 @@ def _run_worker_chunk(chunk: _WorkerChunk) -> Union[_WorkerReport, bytes]:
         start=chunk.start,
         stop=chunk.stop,
         round_index=chunk.round_index,
+        pid=os.getpid(),
+        seq=seq,
     )
     if decision is not None and decision.corrupt_report:
         # The work was done; the IPC payload is what gets mangled.  The
@@ -885,27 +984,6 @@ def _run_worker_chunk(chunk: _WorkerChunk) -> Union[_WorkerReport, bytes]:
             pickle.dumps(report), seed=chunk.fault_plan.seed ^ (chunk.index + 1)
         )
     return report
-
-
-def partition_shots(shots: int, workers: int) -> List[Tuple[int, int]]:
-    """Split ``range(shots)`` into at most ``workers`` contiguous chunks.
-
-    Early chunks get the remainder, so sizes differ by at most one and
-    every shot index appears exactly once -- the determinism story does
-    not depend on the split (seeds are pure functions of shot index),
-    only completeness does.
-    """
-    if shots < 1:
-        return []
-    workers = max(1, min(workers, shots))
-    base, extra = divmod(shots, workers)
-    chunks: List[Tuple[int, int]] = []
-    start = 0
-    for index in range(workers):
-        size = base + (1 if index < extra else 0)
-        chunks.append((start, start + size))
-        start += size
-    return chunks
 
 
 def _default_start_method() -> str:
@@ -918,18 +996,23 @@ def _default_start_method() -> str:
 
 
 class ProcessScheduler:
-    """N worker processes over contiguous shot chunks.
+    """N worker processes draining a shared self-scheduled chunk queue.
 
     The GIL escape hatch: for pure-Python-bound per-shot workloads
     (small registers, interpreter-dominated cost) threads buy almost
     nothing -- ``runtime.scheduler.threaded_speedup`` hovers near 1 --
-    while processes scale with cores.  Each worker deserializes the
-    compiled :class:`~repro.runtime.plan.ExecutionPlan` from bytes
-    (parse of printed IR only; verify, passes, and analysis never
-    re-run), executes its chunk with the same spawned per-shot seeds
-    every other scheduler uses, and ships outcomes back for the shared
-    order-independent merge -- so counts are bit-identical to serial
-    for a fixed seed.
+    while processes scale with cores.  The shot range becomes a
+    :class:`~repro.runtime.dispatch.ChunkQueue` of guided-size chunks;
+    the supervisor drains the queue into the pool in *waves* (all
+    pending chunks submitted at once), and the executor's idle processes
+    self-schedule them -- a fast worker simply runs more chunks, so one
+    straggler caps a chunk, not an N-th of the run.  Each worker decodes
+    the compiled :class:`~repro.runtime.plan.ExecutionPlan` from bytes
+    once per process (parse of printed IR only; verify, passes, and
+    analysis never re-run), executes chunks with the same spawned
+    per-shot seeds every other scheduler uses, and ships outcomes back
+    for the shared order-independent merge -- so counts are
+    bit-identical to serial for a fixed seed.
 
     Resilience: retry and fault injection are per-shot-deterministic and
     behave exactly as in serial.  Backend fallback degrades to
@@ -937,21 +1020,24 @@ class ProcessScheduler:
     worker demotes its own chain clone, and the merged result ORs the
     ``degraded`` flags and concatenates histories in worker order.
 
-    Supervision (the DESIGN.md state machine): every dispatch round is
-    watched.  A worker that dies takes the whole ``ProcessPoolExecutor``
-    with it (``BrokenProcessPool``), a worker that stops heartbeating
-    within ``worker_timeout`` is terminated, and a worker whose IPC
-    payload fails to deserialize is distrusted -- in all three cases the
-    affected chunks are *lost*, not fatal: they are re-dispatched on a
-    fresh round, and because per-shot seeds are pure functions of
-    ``(root, shot, attempt)`` the re-run reproduces bit-identical
-    outcomes.  After ``max_worker_failures`` failed rounds a circuit
-    breaker stops paying pool-restart costs and demotes the remaining
-    shots ``process -> threaded -> serial``, recording the demotion in
-    the shared fallback history.  ``worker_timeout=None`` (the default)
-    skips the heartbeat channel entirely, so the clean path pays no
-    Manager/IPC overhead; it is auto-armed when a fault plan injects
-    ``worker_hang`` so a chaos run can never wedge.
+    Supervision (the DESIGN.md state machine) rides on queue state:
+    every dispatch wave is watched.  A worker that dies takes the whole
+    ``ProcessPoolExecutor`` with it (``BrokenProcessPool``), a worker
+    that stops heartbeating within ``worker_timeout`` is terminated, and
+    a worker whose IPC payload fails to deserialize is distrusted -- in
+    all three cases the affected chunks are *lost*, not fatal: each one
+    is simply re-enqueued with its dispatch ``attempt`` bumped, and
+    because per-shot seeds are pure functions of ``(root, shot,
+    attempt)`` the re-run reproduces bit-identical outcomes.  After
+    ``max_worker_failures`` failed waves a circuit breaker stops paying
+    pool-restart costs and demotes the remaining shots ``process ->
+    threaded -> serial``, recording the demotion in the shared fallback
+    history.  ``worker_timeout=None`` (the default) skips the heartbeat
+    channel entirely, so the clean path pays no Manager/IPC overhead;
+    it is auto-armed when a fault plan injects ``worker_hang`` so a
+    chaos run can never wedge.  The watchdog only judges chunks whose
+    worker has *started* (first heartbeat written): a chunk waiting in
+    the executor's queue is not hung, it just has not been pulled yet.
     """
 
     name = "process"
@@ -971,6 +1057,8 @@ class ProcessScheduler:
         start_method: Optional[str] = None,
         worker_timeout: Optional[float] = None,
         max_worker_failures: int = 2,
+        chunk_shots: Optional[int] = None,
+        min_chunk_shots: Optional[int] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -978,10 +1066,16 @@ class ProcessScheduler:
             raise ValueError("worker_timeout must be > 0 seconds")
         if max_worker_failures < 1:
             raise ValueError("max_worker_failures must be >= 1")
+        if chunk_shots is not None and chunk_shots < 1:
+            raise ValueError("chunk_shots must be >= 1")
+        if min_chunk_shots is not None and min_chunk_shots < 1:
+            raise ValueError("min_chunk_shots must be >= 1")
         self.jobs = jobs
         self.start_method = start_method or _default_start_method()
         self.worker_timeout = worker_timeout
         self.max_worker_failures = max_worker_failures
+        self.chunk_shots = chunk_shots
+        self.min_chunk_shots = min_chunk_shots
         #: What actually ran: flips to "serial" when the pool would be
         #: pointless (one shot, or one worker).
         self.effective = "process"
@@ -1040,16 +1134,14 @@ class ProcessScheduler:
         self,
         task: ShotTask,
         index: int,
-        start: int,
-        stop: int,
-        round_index: int,
+        item: Chunk,
         heartbeat: Optional[object],
         beat_interval: float,
     ) -> _WorkerChunk:
         return _WorkerChunk(
             index=index,
-            start=start,
-            stop=stop,
+            start=item.start,
+            stop=item.stop,
             plan_bytes=task.plan_bytes,
             entry=task.entry,
             backend_name=task.executor.backend_name,
@@ -1063,7 +1155,7 @@ class ProcessScheduler:
             keep_stats=task.keep_stats or task.timed,
             resilient=task.resilient,
             root=task.root,
-            round_index=round_index,
+            round_index=item.attempt,
             heartbeat=heartbeat,
             beat_interval=beat_interval,
             run_id=task.run_id,
@@ -1090,32 +1182,34 @@ class ProcessScheduler:
                     f"could not start the heartbeat manager: {error}"
                 ) from error
             beat_interval = min(0.25, timeout / 4.0)
-        pending = partition_shots(task.shots, self.jobs)
+        queue = ChunkQueue.for_shots(
+            task.shots, self.jobs, self.chunk_shots, self.min_chunk_shots
+        )
         reports: List[_WorkerReport] = []
         missing: List[int] = []
         next_index = 0
         pool: Optional[ProcessPoolExecutor] = None
         pool_broken = False
         try:
-            while pending:
+            while queue.pending:
                 supervision.rounds += 1
-                round_index = supervision.rounds - 1
+                wave = queue.take_all()
                 if pool is None or pool_broken:
                     if pool is not None:
                         pool.shutdown(wait=False, cancel_futures=True)
-                    pool = self._new_pool(len(pending))
+                    pool = self._new_pool(min(self.jobs, len(wave)))
                     pool_broken = False
-                chunks = []
-                for start, stop in pending:
-                    chunks.append(
+                dispatch = []
+                for item in wave:
+                    dispatch.append((
                         self._make_chunk(
-                            task, next_index, start, stop,
-                            round_index, heartbeat, beat_interval,
-                        )
-                    )
+                            task, next_index, item, heartbeat, beat_interval
+                        ),
+                        item,
+                    ))
                     next_index += 1
-                done_reports, lost, pool_broken = self._await_round(
-                    pool, chunks, timeout, supervision, obs
+                done_reports, lost, pool_broken = self._await_wave(
+                    pool, dispatch, timeout, supervision, obs
                 )
                 reports.extend(done_reports)
                 if any(r.error is not None for r in reports):
@@ -1130,55 +1224,75 @@ class ProcessScheduler:
                     supervision.breaker_tripped = True
                     if obs.enabled:
                         obs.inc("scheduler.worker.breaker_trip")
-                    missing = [s for start, stop in lost for s in range(start, stop)]
+                    missing = sorted(
+                        s for item in lost for s in range(item.start, item.stop)
+                    )
                     break
                 supervision.redispatches += len(lost)
                 if obs.enabled:
                     obs.inc("scheduler.worker.redispatch", len(lost))
-                pending = lost
+                for item in lost:
+                    queue.requeue(item)
         finally:
             if pool is not None:
                 pool.shutdown(wait=not pool_broken, cancel_futures=True)
             if manager is not None:
                 manager.shutdown()
-        outcomes = self._merge(task, reports, obs, t0)
+        outcomes = self._merge(task, reports, obs, t0, queue)
         if missing:
             outcomes.extend(self._run_demoted(task, missing, supervision, obs))
         return outcomes
 
-    def _await_round(
+    def _await_wave(
         self,
         pool: ProcessPoolExecutor,
-        chunks: List[_WorkerChunk],
+        dispatch: List[Tuple[_WorkerChunk, Chunk]],
         timeout: Optional[float],
         supervision: SupervisionRecord,
         obs,
-    ) -> Tuple[List[_WorkerReport], List[Tuple[int, int]], bool]:
-        """Dispatch one round and watch it; returns (reports, lost, broken).
+    ) -> Tuple[List[_WorkerReport], List[Chunk], bool]:
+        """Dispatch one queue wave and watch it; returns (reports, lost,
+        broken).
 
-        ``lost`` holds the shot ranges of chunks that produced no usable
-        report (crash, hang, corrupt IPC); ``broken`` means the pool must
-        be recreated before re-dispatching.
+        The whole wave is submitted at once -- the executor's idle
+        processes pull chunks as they free up, which *is* the
+        self-scheduling: a straggler holds one chunk while its peers
+        drain the rest.  ``lost`` holds the queue chunks that produced no
+        usable report (crash, hang, corrupt IPC) for re-enqueueing;
+        ``broken`` means the pool must be recreated before the next wave.
+
+        The heartbeat watchdog only judges chunks whose worker *started*
+        (wrote its first beat): a chunk still waiting in the executor's
+        queue is not hung.  A pool-wide stall backstop (no completion,
+        start, or beat for ``timeout + STARTUP_GRACE``) catches the case
+        where every process wedged before any chunk of the wave started.
         """
         round_index = supervision.rounds - 1
         try:
-            futures = {pool.submit(_run_worker_chunk, c): c for c in chunks}
+            futures = {
+                pool.submit(_run_worker_chunk, wchunk): (wchunk, item)
+                for wchunk, item in dispatch
+            }
         except (OSError, RuntimeError, ValueError) as error:
             raise PoolStartupError(
                 f"could not dispatch to the {self.start_method!r} worker "
                 f"pool: {error}"
             ) from error
-        progress = {c.index: (-1, perf_counter()) for c in chunks}
+        progress = {wchunk.index: (-1, perf_counter()) for wchunk, _ in dispatch}
         hung: Set[int] = set()
         not_done = set(futures)
+        last_progress = perf_counter()
         poll = None if timeout is None else max(0.01, min(0.1, timeout / 4.0))
         while not_done:
-            _, not_done = wait(not_done, timeout=poll)
+            done_now, not_done = wait(not_done, timeout=poll)
             if not not_done or timeout is None:
                 continue
             now = perf_counter()
+            if done_now:
+                last_progress = now
+            started_pending: List[int] = []
             for future in not_done:
-                chunk = futures[future]
+                chunk = futures[future][0]
                 try:
                     value = chunk.heartbeat[chunk.index]  # type: ignore[index]
                 except Exception:
@@ -1186,29 +1300,55 @@ class ProcessScheduler:
                 last_value, since = progress[chunk.index]
                 if value != last_value:
                     progress[chunk.index] = (value, now)
+                    last_progress = now
+                    if value >= 0:
+                        started_pending.append(chunk.index)
                     continue
-                # A worker that has not beaten yet (value < 0) is still
-                # starting up; judge it against timeout + STARTUP_GRACE so
-                # slow pool spin-up is not mistaken for a hang.
-                deadline = timeout if value >= 0 else timeout + self.STARTUP_GRACE
-                if now - since > deadline:
+                if value < 0:
+                    # Not started: still in the executor's queue (or the
+                    # pool is wedged pre-start -- the stall backstop
+                    # below owns that case, not a per-chunk deadline).
+                    continue
+                started_pending.append(chunk.index)
+                if now - since > timeout:
                     hung.add(chunk.index)
-            # Leave once every still-pending future is a detected hang:
-            # healthy workers get to finish while the wedged ones wait
-            # for the terminate below.
-            if hung and all(futures[f].index in hung for f in not_done):
+            # Leave once every started still-pending chunk is a detected
+            # hang: healthy workers get to finish (and drain the queued
+            # chunks they can reach) while the wedged ones wait for the
+            # terminate below.
+            if (
+                hung
+                and started_pending
+                and all(i in hung for i in started_pending)
+            ):
+                break
+            if now - last_progress > timeout + self.STARTUP_GRACE:
+                hung.update(
+                    started_pending
+                    or [futures[f][0].index for f in not_done]
+                )
                 break
         if hung:
             self._terminate_workers(pool)
         reports: List[_WorkerReport] = []
-        lost: List[Tuple[int, int]] = []
+        lost: List[Chunk] = []
         broken = bool(hung)
-        for future, chunk in sorted(
-            futures.items(), key=lambda item: item[1].index
+        for future, (chunk, item) in sorted(
+            futures.items(), key=lambda entry: entry[1][0].index
         ):
             span = f"shots {chunk.start}..{chunk.stop - 1}"
             if not future.done():
                 future.cancel()
+                lost.append(item)
+                if chunk.index not in hung:
+                    # Never started: the chunk goes straight back to the
+                    # queue without counting as a worker failure -- its
+                    # worker did nothing wrong, the pool died around it.
+                    supervision.note(
+                        f"round {round_index}: chunk {chunk.index} ({span}) "
+                        "returned to the queue undispatched"
+                    )
+                    continue
                 supervision.hangs += 1
                 supervision.last_error_code = WorkerTimeoutError.code
                 supervision.note(
@@ -1217,7 +1357,6 @@ class ProcessScheduler:
                 )
                 if obs.enabled:
                     obs.inc("scheduler.worker.hang")
-                lost.append((chunk.start, chunk.stop))
                 continue
             try:
                 result = future.result(timeout=0)
@@ -1231,7 +1370,7 @@ class ProcessScheduler:
                 )
                 if obs.enabled:
                     obs.inc("scheduler.worker.crash")
-                lost.append((chunk.start, chunk.stop))
+                lost.append(item)
                 continue
             # Any other exception is a worker *bug*, not lost infrastructure;
             # it propagates exactly as the unsupervised pool.map did.
@@ -1246,7 +1385,7 @@ class ProcessScheduler:
             )
             if obs.enabled:
                 obs.inc("scheduler.worker.ipc_corrupt")
-            lost.append((chunk.start, chunk.stop))
+            lost.append(item)
         return reports, lost, broken
 
     @staticmethod
@@ -1335,15 +1474,20 @@ class ProcessScheduler:
         reports: List[_WorkerReport],
         obs,
         pool_start: float,
+        queue: Optional[ChunkQueue] = None,
     ) -> List[ShotOutcome]:
         """Fold worker reports into the parent's shared state.
 
-        Worker-*index* order (not completion order), so histories and
+        Chunk-*index* order (not completion order), so histories and
         metric folds are deterministic regardless of pool scheduling.
+        Worker ids for span tags come from the reporting process's pid,
+        assigned in first-appearance order over that same deterministic
+        iteration -- many chunks, few workers, stable labels.
         """
         outcomes: List[ShotOutcome] = []
         first_error: Optional[QirRuntimeError] = None
         first_error_shot = -1
+        worker_ids: Dict[int, int] = {}
         for report in sorted(reports, key=lambda r: r.index):
             outcomes.extend(report.outcomes)
             task.chain.absorb_worker(report.degraded, report.history)
@@ -1355,17 +1499,26 @@ class ProcessScheduler:
                 first_error = report.error
                 first_error_shot = report.error_shot
             if obs.enabled:
+                worker = worker_ids.setdefault(report.pid, len(worker_ids))
                 obs.inc("runtime.scheduler.process_chunks")
                 obs.tracer.complete(
                     "process.worker",
                     start=self._rebase_start(report, pool_start),
                     seconds=report.seconds,
-                    tid=report.index + 1,
-                    worker=report.index,
+                    tid=worker + 1,
+                    worker=worker,
                     shots=len(report.outcomes),
                     chunk=f"{report.start}..{max(report.start, report.stop - 1)}",
                     round=report.round_index,
+                    steal=report.seq > 0,
                 )
+        if obs.enabled and queue is not None:
+            obs.inc("scheduler.queue.chunks", queue.stats.dispatched)
+            steals = sum(1 for r in reports if r.seq > 0)
+            if steals:
+                obs.inc("scheduler.queue.steal", steals)
+            if queue.stats.refills:
+                obs.inc("scheduler.queue.refill", queue.stats.refills)
         if first_error is not None:
             # Each chunk stops at its own first failure, so the minimum
             # failing shot across chunks is the globally first one -- the
@@ -1428,12 +1581,16 @@ def get_scheduler(
     jobs: int = 1,
     worker_timeout: Optional[float] = None,
     max_worker_failures: Optional[int] = None,
+    chunk_shots: Optional[int] = None,
+    min_chunk_shots: Optional[int] = None,
 ):
     """Resolve a scheduler by name (the ``--scheduler`` CLI contract).
 
     ``worker_timeout`` and ``max_worker_failures`` configure the process
     scheduler's supervisor and are rejected for every other scheduler
-    (there are no worker processes to supervise).
+    (there are no worker processes to supervise).  ``chunk_shots`` /
+    ``min_chunk_shots`` tune the work queue's chunk sizing and are
+    rejected for the serial and batched schedulers (no queue there).
     """
     if name not in SCHEDULERS:
         raise ValueError(
@@ -1448,6 +1605,13 @@ def get_scheduler(
             "worker supervision options (worker_timeout / "
             "max_worker_failures) require the process scheduler"
         )
+    if name not in ("threaded", "process") and (
+        chunk_shots is not None or min_chunk_shots is not None
+    ):
+        raise ValueError(
+            "chunk sizing options (chunk_shots / min_chunk_shots) require "
+            "the threaded or process scheduler"
+        )
     if name == "serial":
         if jobs > 1:
             raise ValueError(
@@ -1456,7 +1620,11 @@ def get_scheduler(
             )
         return SerialScheduler()
     if name == "threaded":
-        return ThreadedScheduler(jobs=max(2, jobs) if jobs > 1 else 2)
+        return ThreadedScheduler(
+            jobs=max(2, jobs) if jobs > 1 else 2,
+            chunk_shots=chunk_shots,
+            min_chunk_shots=min_chunk_shots,
+        )
     if name == "process":
         return ProcessScheduler(
             jobs=max(2, jobs) if jobs > 1 else 2,
@@ -1464,6 +1632,8 @@ def get_scheduler(
             max_worker_failures=(
                 2 if max_worker_failures is None else max_worker_failures
             ),
+            chunk_shots=chunk_shots,
+            min_chunk_shots=min_chunk_shots,
         )
     return BatchedScheduler()
 

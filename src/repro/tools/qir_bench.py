@@ -349,18 +349,28 @@ def _bench_plan_cache(snapshot: BenchSnapshot, repeats: int) -> None:
 def _bench_trace_analytics(snapshot: BenchSnapshot, shots: int, repeats: int) -> None:
     """Straggler evidence + analysis cost (ROADMAP: work stealing).
 
-    One traced process-scheduler run yields ``process.worker`` spans; the
-    imbalance ratio (slowest / median worker busy time) is the number the
-    work-stealing item needs as before/after evidence -- 1.0 is perfectly
-    balanced, and contiguous-chunk partitioning on a skewed workload
-    drifts above it.  The analyze timing guards the tooling itself:
-    ``qir-trace summary`` on a real trace must stay interactive.
+    Two traced process-scheduler runs, three records.  The clean
+    reset-chain run yields ``runtime.scheduler.worker_imbalance``
+    (slowest / median worker busy time; 1.0 is perfectly balanced) under
+    the shared work queue's guided self-scheduled chunks.  The *uneven*
+    run makes the queue's case: per-shot fault retries load the first
+    quarter of the shot range ~3x, then the same workload runs twice --
+    once pulling from the queue, once with ``chunk_shots =
+    ceil(shots/jobs)`` emulating the one-contiguous-range-per-worker
+    split the queue replaced -- and ``runtime.scheduler.queue_imbalance``
+    records the queue arm with the contiguous arm in its metadata, so
+    the diff gate can hold the improvement.  The analyze timing guards
+    the tooling itself: ``qir-trace summary`` on a real trace must stay
+    interactive.
     """
     from repro.obs.analytics import summarize, worker_utilization
     from repro.obs.traceview import Trace
+    from repro.resilience import FaultPlan, RetryPolicy
 
     text = reset_chain_qir(3, rounds=3)
     jobs = max(2, min(4, os.cpu_count() or 2))
+    snapshot.environment["scheduler_jobs"] = str(jobs)
+    snapshot.environment["chunk_sizing"] = "guided"
     observer = Observer()
     runtime = QirRuntime(seed=7, observer=observer)
     plan = QirSession(runtime=runtime).compile(text)
@@ -379,6 +389,41 @@ def _bench_trace_analytics(snapshot: BenchSnapshot, shots: int, repeats: int) ->
                 "jobs": jobs,
                 "workers": len(report.workers),
                 "stragglers": len(report.stragglers),
+            },
+        )
+
+    def uneven_imbalance(chunk_shots: Optional[int]) -> Optional[float]:
+        # Retried faults on the first quarter of the shot range make the
+        # early shots ~3x the cost of the rest -- exactly the skew that
+        # punishes a contiguous split (worker 0 owns all of it) and that
+        # self-scheduled chunks level out.
+        skewed = FaultPlan.poison(
+            range(max(1, shots // 4)), site="gate", failures=2, seed=11
+        )
+        arm_observer = Observer()
+        arm_runtime = QirRuntime(seed=7, observer=arm_observer)
+        arm_plan = QirSession(runtime=arm_runtime).compile(text)
+        arm_runtime.run_shots(
+            arm_plan, shots=shots, scheduler="process", jobs=jobs,
+            retry=RetryPolicy(max_attempts=3),
+            fault_plan=skewed, chunk_shots=chunk_shots,
+        )
+        arm_trace = Trace.from_events(arm_observer.tracer.to_trace_events())
+        arm_report = worker_utilization(arm_trace)
+        return None if arm_report is None else arm_report.imbalance
+
+    contiguous = uneven_imbalance(-(-shots // jobs))  # ceil(shots / jobs)
+    queued = uneven_imbalance(None)
+    if queued is not None:
+        snapshot.record(
+            "runtime.scheduler.queue_imbalance",
+            queued,
+            unit="ratio", direction="lower", k=1,
+            metadata={
+                "shots": shots,
+                "jobs": jobs,
+                "workload": "uneven (fault-retry skew on first quarter)",
+                "contiguous_imbalance": contiguous,
             },
         )
 

@@ -70,6 +70,19 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(--jobs worker processes fed serialized plans)")
     execution.add_argument("--jobs", type=int, default=1, metavar="N",
                            help="workers for --scheduler threaded/process")
+    execution.add_argument("--chunk-shots", type=int, default=None,
+                           metavar="K",
+                           help="fixed shots per work-queue chunk for "
+                                "--scheduler threaded/process (default: "
+                                "guided sizing — large chunks first, "
+                                "shrinking toward a floor; K = "
+                                "ceil(shots/jobs) reproduces the old "
+                                "one-chunk-per-worker contiguous split)")
+    execution.add_argument("--min-chunk-shots", type=int, default=None,
+                           metavar="F",
+                           help="floor for guided chunk sizing (raise it "
+                                "when per-chunk dispatch overhead rivals "
+                                "the cost of F shots)")
     execution.add_argument("--worker-timeout", type=float, default=None,
                            metavar="SECONDS",
                            help="process-scheduler watchdog: a worker that "
@@ -79,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "fault injection)")
     execution.add_argument("--max-worker-failures", type=int, default=None,
                            metavar="N",
-                           help="failed dispatch rounds before the process "
+                           help="failed dispatch waves before the process "
                                 "scheduler's circuit breaker demotes the run "
                                 "to the threaded scheduler (default 2)")
     execution.add_argument("--plan-cache", default=None, metavar="DIR",
@@ -160,6 +173,21 @@ def _run(args: argparse.Namespace, observer) -> int:
     if args.max_worker_failures is not None and args.max_worker_failures < 1:
         print("qir-run: error: --max-worker-failures must be >= 1", file=sys.stderr)
         return EXIT_PARSE
+    chunked = args.chunk_shots is not None or args.min_chunk_shots is not None
+    if chunked and args.scheduler not in ("threaded", "process"):
+        print(
+            "qir-run: error: --chunk-shots/--min-chunk-shots require "
+            "--scheduler threaded or process (only those pull from the "
+            "shared work queue)",
+            file=sys.stderr,
+        )
+        return EXIT_PARSE
+    if args.chunk_shots is not None and args.chunk_shots < 1:
+        print("qir-run: error: --chunk-shots must be >= 1", file=sys.stderr)
+        return EXIT_PARSE
+    if args.min_chunk_shots is not None and args.min_chunk_shots < 1:
+        print("qir-run: error: --min-chunk-shots must be >= 1", file=sys.stderr)
+        return EXIT_PARSE
     if args.jobs == 1 and args.scheduler in ("threaded", "process"):
         # Symmetric to the rejection above: one worker IS the serial loop,
         # so normalize instead of paying pool startup for nothing.
@@ -171,6 +199,8 @@ def _run(args: argparse.Namespace, observer) -> int:
         args.scheduler = "serial"
         args.worker_timeout = None  # nothing to supervise in the serial loop
         args.max_worker_failures = None
+        args.chunk_shots = None  # the serial loop has no work queue
+        args.min_chunk_shots = None
 
     try:
         source = _read_input(args.input)
@@ -269,6 +299,8 @@ def _run(args: argparse.Namespace, observer) -> int:
             jobs=args.jobs,
             worker_timeout=args.worker_timeout,
             max_worker_failures=args.max_worker_failures,
+            chunk_shots=args.chunk_shots,
+            min_chunk_shots=args.min_chunk_shots,
         )
         if session.ledger is not None and shots_result.run_id:
             # One greppable line (the CI ledger smoke step relies on it).

@@ -28,9 +28,11 @@ import sys
 from typing import IO, List, Optional
 
 from repro.obs.analytics import (
+    chunk_rows,
     collapsed_stacks,
     critical_path,
     diff_traces,
+    render_chunk_rows,
     render_critical_path,
     summarize,
     worker_utilization,
@@ -69,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
         "workers", help="per-worker utilization, gaps, and imbalance"
     )
     trace_arg(workers)
+    workers.add_argument(
+        "--chunks", action="store_true",
+        help="also list per-chunk dispatch rows: shot range, worker, "
+             "dispatch attempt, and origin (first pull / steal / requeued)",
+    )
     workers.add_argument("--json", action="store_true")
 
     flame = sub.add_parser(
@@ -143,7 +150,8 @@ def _critical_path(args: argparse.Namespace) -> int:
 
 
 def _workers(args: argparse.Namespace) -> int:
-    report = worker_utilization(_load(args.trace))
+    trace = _load(args.trace)
+    report = worker_utilization(trace)
     if report is None:
         if args.json:
             print("null")
@@ -153,10 +161,30 @@ def _workers(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return EXIT_NOT_FOUND
+    rows = chunk_rows(trace) if args.chunks else None
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        # The default JSON shape is unchanged; --chunks wraps it so the
+        # per-chunk rows ride alongside rather than inside the report.
+        if rows is None:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            payload = {
+                "workers": report.to_dict(),
+                "chunks": [row.to_dict() for row in rows],
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(report.render())
+        if rows is not None:
+            print()
+            if rows:
+                print(render_chunk_rows(rows))
+            else:
+                print(
+                    "qir-trace: no chunk tags on worker spans "
+                    "(pre-work-queue trace?)",
+                    file=sys.stderr,
+                )
     return EXIT_OK
 
 

@@ -162,6 +162,83 @@ class TestWorkerUtilization:
         assert "imbalance 1.80" in text
         assert "straggler" in text
 
+    def test_zero_busy_worker_is_excluded_from_the_median(self):
+        # Three live workers at 40/50/90 plus one dead (0 busy): the
+        # median must stay 50 (imbalance 1.8), not drop to 45 -- and the
+        # dead worker must be surfaced, not silently eaten.
+        events = list(GOLDEN_EVENTS) + [
+            {"name": "process.worker", "ph": "X", "ts": 1300.0, "dur": 0.0,
+             "pid": 0, "tid": 4,
+             "args": {"worker": 3, "shots": 0, "chunk": "30..39", "round": 0}},
+        ]
+        report = worker_utilization(Trace.from_events(events))
+        assert report.imbalance == pytest.approx(1.8)
+        assert report.stragglers == [2]
+        assert len(report.workers) == 4  # still listed in the table
+        assert len(report.issues) == 1
+        assert "worker(s) 3" in report.issues[0]
+        assert "no busy time" in report.issues[0]
+        assert report.issues == report.to_dict()["issues"]
+        assert f"issue: {report.issues[0]}" in report.render()
+
+    def test_all_zero_busy_degenerates_to_balanced(self):
+        events = [
+            {"name": "process.worker", "ph": "X", "ts": 0.0, "dur": 0.0,
+             "pid": 0, "tid": 1, "args": {"worker": 0}},
+            {"name": "process.worker", "ph": "X", "ts": 0.0, "dur": 0.0,
+             "pid": 0, "tid": 2, "args": {"worker": 1}},
+        ]
+        report = worker_utilization(Trace.from_events(events))
+        assert report.imbalance == pytest.approx(1.0)
+        assert report.stragglers == []
+        assert "worker(s) 0, 1" in report.issues[0]
+
+
+class TestChunkRows:
+    def test_rows_in_dispatch_order_with_origins(self):
+        from repro.obs.analytics import chunk_rows, render_chunk_rows
+
+        events = [
+            {"name": "process.worker", "ph": "X", "ts": 0.0, "dur": 50.0,
+             "pid": 0, "tid": 1,
+             "args": {"worker": 0, "shots": 5, "chunk": "0..4",
+                      "round": 0, "steal": False}},
+            {"name": "process.worker", "ph": "X", "ts": 10.0, "dur": 40.0,
+             "pid": 0, "tid": 2,
+             "args": {"worker": 1, "shots": 5, "chunk": "5..9",
+                      "round": 0, "steal": False}},
+            {"name": "process.worker", "ph": "X", "ts": 60.0, "dur": 30.0,
+             "pid": 0, "tid": 1,
+             "args": {"worker": 0, "shots": 3, "chunk": "10..12",
+                      "round": 0, "steal": True}},
+            {"name": "process.worker", "ph": "X", "ts": 70.0, "dur": 20.0,
+             "pid": 0, "tid": 2,
+             "args": {"worker": 1, "shots": 5, "chunk": "5..9",
+                      "round": 1, "steal": True}},
+        ]
+        rows = chunk_rows(Trace.from_events(events))
+        assert [r.chunk for r in rows] == ["0..4", "5..9", "10..12", "5..9"]
+        assert [r.origin for r in rows] == [
+            "first", "first", "steal", "requeued"
+        ]
+        assert rows[3].attempt == 1
+        assert rows[0].to_dict()["origin"] == "first"
+        text = render_chunk_rows(rows)
+        assert text.splitlines()[0].split() == [
+            "CHUNK", "WORKER", "SHOTS", "ATTEMPT", "ORIGIN",
+            "START_MS", "BUSY_MS",
+        ]
+        assert "requeued" in text
+
+    def test_untagged_spans_are_skipped(self):
+        from repro.obs.analytics import chunk_rows
+
+        events = [
+            {"name": "process.worker", "ph": "X", "ts": 0.0, "dur": 10.0,
+             "pid": 0, "tid": 1, "args": {"worker": 0}},
+        ]
+        assert chunk_rows(Trace.from_events(events)) == []
+
 
 class TestCollapsedStacks:
     def test_stack_lines_and_values(self, golden):

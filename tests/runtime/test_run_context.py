@@ -7,7 +7,7 @@ import pytest
 from repro.obs.observer import Observer
 from repro.obs.runctx import RunContext, is_run_id
 from repro.resilience import FaultPlan
-from repro.runtime import QirRuntime, QirSession
+from repro.runtime import QirRuntime, QirSession, guided_chunks
 from repro.runtime.schedulers import ProcessScheduler, ShotOutcome, _WorkerReport
 from repro.workloads.qir_programs import bell_qir
 
@@ -44,7 +44,7 @@ class TestRuntimePropagation:
         workers = [
             e for e in observer.tracer.events if e["name"] == "process.worker"
         ]
-        assert len(workers) == 2
+        assert len(workers) == len(guided_chunks(20, 2))
         assert all(e["args"]["run_id"] == result.run_id for e in workers)
 
     def test_caller_context_is_honoured(self):
@@ -129,7 +129,7 @@ class TestWorkerClockRebase:
             e for e in events if e["name"] == "process.supervisor"
         )
         workers = [e for e in events if e["name"] == "process.worker"]
-        assert len(workers) == 3
+        assert len(workers) == len(guided_chunks(30, 3))
         # Rebased starts sit inside the supervisor span, not all at its
         # start (the pre-rebase behaviour pinned every worker to t=0).
         for worker in workers:

@@ -393,21 +393,39 @@ class TestProcessScheduler:
         assert partition_shots(0, 4) == []
 
     def test_process_chunk_metrics_and_worker_spans(self):
+        from repro.runtime import guided_chunks
+
         observer = Observer()
         rt = QirRuntime(seed=3, observer=observer)
         rt.run_shots(
             bell_qir("static"), shots=20,
             scheduler="process", jobs=2, sampling="never",
         )
-        assert observer.metrics.value("runtime.scheduler.process_chunks") == 2
+        expected_chunks = len(guided_chunks(20, 2))
+        assert observer.metrics.value(
+            "runtime.scheduler.process_chunks"
+        ) == expected_chunks
+        assert observer.metrics.value(
+            "scheduler.queue.chunks"
+        ) == expected_chunks
         assert observer.metrics.value(
             "runtime.scheduler.runs{scheduler=process}"
         ) == 1
         workers = [
             e for e in observer.tracer.events if e["name"] == "process.worker"
         ]
-        assert len(workers) == 2
-        assert {e["tid"] for e in workers} == {1, 2}
+        assert len(workers) == expected_chunks
+        # Many chunks, at most `jobs` workers: pids map to stable tids.
+        assert {e["tid"] for e in workers} <= {1, 2}
+        # Every shot appears in exactly one chunk tag, and each span
+        # carries the queue-dispatch tags the trace analytics read.
+        covered = []
+        for event in workers:
+            lo, hi = event["args"]["chunk"].split("..")
+            covered.extend(range(int(lo), int(hi) + 1))
+            assert event["args"]["round"] == 0
+            assert "steal" in event["args"]
+        assert sorted(covered) == list(range(20))
 
     def test_fail_fast_raises_first_shot_error(self):
         from repro.runtime.errors import StepLimitExceeded
@@ -459,9 +477,15 @@ class TestProcessResilience:
         )
         assert observer.metrics.value("resilience.faults_injected") == 3
 
-    def test_per_worker_fallback_merges_degraded_flag_and_history(self):
-        # Documented divergence: each worker demotes its own chain clone,
-        # so the merged run is degraded and carries each worker's history.
+    def test_per_chunk_fallback_merges_degraded_flag_and_history(self):
+        # Documented divergence: every dispatched chunk demotes its own
+        # chain clone (clones cannot persist across chunks -- which
+        # backend serves a shot's attempt 0 must be a pure function of
+        # shot index, not of which process happened to pull the chunk),
+        # so the merged run is degraded and carries one history entry
+        # per chunk.
+        from repro.runtime import guided_chunks
+
         plan = FaultPlan(rules=(FaultRule(site="gate", backend="statevector"),))
         chain = FallbackChain(["statevector", "stabilizer"], demote_after=1)
         result = QirRuntime(seed=2).run_shots(
@@ -471,8 +495,8 @@ class TestProcessResilience:
         )
         assert result.degraded
         assert result.successful_shots == 30
-        # Every worker demoted its own clone once.
-        assert len(result.fallback_history) == 3
+        # Every chunk's chain clone demoted once.
+        assert len(result.fallback_history) == len(guided_chunks(30, 3))
         assert all("stabilizer" in entry for entry in result.fallback_history)
         assert result.backend_shot_counts.get("stabilizer", 0) >= 27
 

@@ -209,6 +209,45 @@ class TestQirRunSchedulers:
         assert "-- scheduler --" in err
         assert "runs[batched]" in err
 
+    def test_chunk_shots_keeps_counts_identical(self, tmp_path, capsys):
+        path = tmp_path / "chain.ll"
+        path.write_text(reset_chain_qir(2, rounds=2))
+        outputs = []
+        for flags in ([],
+                      ["--scheduler", "threaded", "--jobs", "2",
+                       "--chunk-shots", "7"],
+                      ["--scheduler", "threaded", "--jobs", "2",
+                       "--min-chunk-shots", "3"]):
+            assert run_main([str(path), "--shots", "40", "--seed", "5",
+                             *flags]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_chunk_knobs_require_a_queue_scheduler(self, bell_file, capsys):
+        assert run_main([bell_file, "--shots", "10",
+                         "--chunk-shots", "4"]) == 2
+        assert "--chunk-shots" in capsys.readouterr().err
+        assert run_main([bell_file, "--shots", "10",
+                         "--scheduler", "batched",
+                         "--min-chunk-shots", "2"]) == 2
+        assert "threaded or process" in capsys.readouterr().err
+
+    def test_nonpositive_chunk_sizes_are_usage_errors(self, bell_file, capsys):
+        assert run_main([bell_file, "--scheduler", "threaded",
+                         "--jobs", "2", "--chunk-shots", "0"]) == 2
+        assert "--chunk-shots must be >= 1" in capsys.readouterr().err
+        assert run_main([bell_file, "--scheduler", "threaded",
+                         "--jobs", "2", "--min-chunk-shots", "0"]) == 2
+        assert "--min-chunk-shots must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_one_normalizes_away_chunk_knobs(self, bell_file, capsys):
+        # The serial-normalization path must clear the queue knobs too,
+        # or run_shots would reject chunk sizing on the serial scheduler.
+        assert run_main([bell_file, "--shots", "10", "--seed", "2",
+                         "--scheduler", "threaded", "--jobs", "1",
+                         "--chunk-shots", "4"]) == 0
+        assert "runs serially" in capsys.readouterr().err
+
 
 class TestQirRunObservability:
     def test_profile_table_on_stderr(self, bell_file, capsys):

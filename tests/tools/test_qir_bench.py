@@ -78,6 +78,25 @@ class TestRun:
         assert record["value"] >= 1.0
         assert record["metadata"]["workers"] >= 2
 
+    def test_records_queue_imbalance_with_contiguous_baseline(
+        self, snapshot_file
+    ):
+        # The queue's case on the uneven (fault-retry skew) workload: the
+        # record is the queue arm, and the contiguous arm it replaced
+        # rides in the metadata so diffs can hold the improvement.
+        payload = json.loads(open(snapshot_file).read())
+        by_name = {r["name"]: r for r in payload["records"]}
+        record = by_name["runtime.scheduler.queue_imbalance"]
+        assert record["unit"] == "ratio"
+        assert record["direction"] == "lower"
+        assert record["value"] >= 1.0
+        assert record["metadata"]["contiguous_imbalance"] >= 1.0
+        assert "uneven" in record["metadata"]["workload"]
+        # Effective dispatch configuration is stamped into the
+        # environment block alongside the run id.
+        assert int(payload["environment"]["scheduler_jobs"]) >= 2
+        assert payload["environment"]["chunk_sizing"] == "guided"
+
     def test_records_trace_analyze_seconds(self, snapshot_file):
         payload = json.loads(open(snapshot_file).read())
         by_name = {r["name"]: r for r in payload["records"]}

@@ -114,6 +114,29 @@ class TestWorkers:
         assert trace_main(["workers", serial_file]) == 1
         assert "no process.worker spans" in capsys.readouterr().err
 
+    def test_chunks_table(self, golden_file, capsys):
+        assert trace_main(["workers", golden_file, "--chunks"]) == 0
+        out = capsys.readouterr().out
+        assert "CHUNK" in out and "ORIGIN" in out
+        assert "0..9" in out and "20..29" in out
+        assert "first" in out
+
+    def test_chunks_json_wraps_both_payloads(self, golden_file, capsys):
+        assert trace_main(
+            ["workers", golden_file, "--chunks", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workers"]["imbalance"] == pytest.approx(1.8)
+        chunks = payload["chunks"]
+        assert [c["chunk"] for c in chunks] == ["0..9", "20..29", "10..19"]
+        assert all(c["origin"] == "first" for c in chunks)
+
+    def test_json_shape_without_chunks_is_unchanged(self, golden_file, capsys):
+        assert trace_main(["workers", golden_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "chunks" not in payload  # top level stays the bare report
+        assert "imbalance" in payload
+
 
 class TestFlame:
     def test_stdout_collapsed_stacks(self, golden_file, capsys):
@@ -226,10 +249,22 @@ class TestEndToEnd:
 
         assert trace_main(["workers", str(trace), "--json"]) == 0
         workers = json.loads(capsys.readouterr().out)
-        assert len(workers["workers"]) == 2
+        assert 1 <= len(workers["workers"]) <= 2
         assert workers["imbalance"] >= 1.0
         assert all(w["chunks"] for w in workers["workers"])
         assert sum(w["shots"] for w in workers["workers"]) == 16
+
+        assert trace_main(
+            ["workers", str(trace), "--chunks", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        chunks = payload["chunks"]
+        covered = []
+        for row in chunks:
+            start, _, stop = row["chunk"].partition("..")
+            covered.extend(range(int(start), int(stop) + 1))
+            assert row["attempt"] == 0  # clean run: first dispatches only
+        assert sorted(covered) == list(range(16))
 
         assert trace_main(["flame", str(trace)]) == 0
         folded = capsys.readouterr().out
