@@ -78,6 +78,17 @@ def render_profile(observer: Observer, title: str = "qir profile") -> str:
         parse_lines.append(f"  {key[len('parse.'):]:<22}{_fmt(gauges.pop(key))}")
     out += _section("parse", parse_lines)
 
+    # -- specialization (fusion / Clifford prefix / distribution cache) -------
+    # Popped *before* the compile & cache section, which sweeps the whole
+    # plan.* / cache.* namespaces into one flat listing.
+    spec_lines: List[str] = []
+    _SPEC_PREFIXES = ("plan.fusion.", "plan.clifford_prefix.", "cache.distribution.")
+    for key in sorted(
+        k for k in list(counters) if k.startswith(_SPEC_PREFIXES)
+    ):
+        spec_lines.append(f"  {key:<28}{_fmt(counters.pop(key))}")
+    out += _section("specialization", spec_lines)
+
     # -- compile & cache (plan / QirSession) ----------------------------------
     cache_lines: List[str] = []
     for key in sorted(

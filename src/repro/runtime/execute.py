@@ -50,6 +50,7 @@ from repro.runtime.sampling_fastpath import (
     DeferredMeasurementBackend,
     DeferredResultStore,
     FastPathUnsupported,
+    distribution_from,
     sample_counts_from,
 )
 from repro.runtime.schedulers import (
@@ -75,10 +76,14 @@ __all__ = [
     "QirRuntime",
     "FastpathComparison",
     "SchedulerComparison",
+    "FusionComparison",
+    "DistributionComparison",
     "execute",
     "run_shots",
     "measure_fastpath_speedup",
     "measure_scheduler_speedup",
+    "measure_fusion_speedup",
+    "measure_distribution_speedup",
 ]
 
 
@@ -113,6 +118,8 @@ class QirRuntime:
         observer=None,
         scheduler: str = "serial",
         jobs: int = 1,
+        fusion: bool = True,
+        dist_cache: bool = True,
     ):
         self.backend_name = backend
         self.seed = seed
@@ -120,6 +127,12 @@ class QirRuntime:
         self.max_qubits = max_qubits
         self.allow_on_the_fly_qubits = allow_on_the_fly_qubits
         self.noise = noise
+        #: Plan specialization toggles (qir-run --no-fusion /
+        #: --no-dist-cache): ``fusion`` gates the fused kernel schedule in
+        #: the per-shot and batched paths; ``dist_cache`` gates both
+        #: serving from and capturing a plan's memoized distribution.
+        self.fusion = fusion
+        self.dist_cache = dist_cache
         # Observability (repro.obs): the default is the shared no-op whose
         # hot-path cost is a single attribute check (bench_obs.py guards it).
         self.observer = as_observer(observer)
@@ -336,11 +349,36 @@ class QirRuntime:
         # same runtime seed produce identical counts.
         root = np.random.SeedSequence(int(self._rng.integers(2**63)))
 
+        obs = self.observer
         if can_try:
+            # Warm tier: a plan whose first fast-path run memoized its
+            # terminal distribution serves repeat requests by seeded
+            # sampling alone.  The reserved fast-path sequence spawned
+            # from this run's root is the exact generator the cold path
+            # would have sampled with, so warm counts are bit-identical.
+            if plan is not None and self.dist_cache:
+                distribution = plan.distribution
+                if distribution is not None:
+                    if obs.enabled:
+                        obs.inc("cache.distribution.hit")
+                    counts = distribution.sample_counts(
+                        shots, fastpath_sequence(root)
+                    )
+                    return ShotsResult(
+                        counts=_sorted_counts(counts),
+                        shots=shots,
+                        used_fast_path=True,
+                        distribution_served=True,
+                    )
+                if obs.enabled:
+                    obs.inc("cache.distribution.miss")
             try:
-                counts = self._run_shots_sampled(
-                    module, shots, entry, fastpath_sequence(root)
+                capture = plan is not None and self.dist_cache
+                counts, distribution = self._run_shots_sampled(
+                    module, shots, entry, fastpath_sequence(root), capture
                 )
+                if distribution is not None and plan is not None:
+                    plan.attach_distribution(distribution)
                 return ShotsResult(
                     counts=_sorted_counts(counts), shots=shots, used_fast_path=True
                 )
@@ -396,6 +434,9 @@ class QirRuntime:
             required_qubits=required_qubits,
             plan_bytes=plan_bytes,
             run_id=run_id,
+            schedule=(
+                plan.fused if plan is not None and self.fusion else None
+            ),
         )
         outcomes = sched.run(task)
         effective = getattr(sched, "effective", sched.name)
@@ -409,8 +450,18 @@ class QirRuntime:
         shots: int,
         entry: Optional[str],
         seed: np.random.SeedSequence,
-    ) -> dict:
-        """One evolution + joint sampling (see runtime.sampling_fastpath)."""
+        capture: bool = False,
+    ) -> tuple:
+        """One evolution + joint sampling (see runtime.sampling_fastpath).
+
+        With ``capture=True`` the terminal distribution also comes back
+        (for plan memoization) -- but only when the evolution consumed no
+        RNG draws.  A mid-evolution draw (a reset or release of a
+        superposed qubit) shifts the generator's position, so a warm
+        replay sampling straight from the stored table would read a
+        different stream than this cold run did; such programs simply
+        stay uncached.
+        """
         inner = StatevectorSimulator(0, seed=seed, max_qubits=self.max_qubits)
         backend = DeferredMeasurementBackend(inner)
         results = DeferredResultStore()
@@ -422,10 +473,16 @@ class QirRuntime:
             observer=self.observer,
             results=results,
         )
+        state_before = inner._rng.bit_generator.state if capture else None
         interp.run(entry)
         if self.observer.enabled:
             fold_intrinsic_stats(self.observer, interp.stats)
-        return sample_counts_from(backend, results, shots)
+        distribution = None
+        if capture and inner._rng.bit_generator.state == state_before:
+            # Extracted before sampling: probabilities() reads amplitudes
+            # without touching the generator.
+            distribution = distribution_from(backend, results)
+        return sample_counts_from(backend, results, shots), distribution
 
 
 @dataclass(frozen=True)
@@ -590,6 +647,206 @@ def measure_scheduler_speedup(
         labels = {"workload": workload} if workload else {}
         rt.observer.set_gauge(
             f"runtime.scheduler.{scheduler}_speedup", comparison.speedup, **labels
+        )
+    return comparison
+
+
+@dataclass(frozen=True)
+class FusionComparison:
+    """Measured fused-vs-unfused per-shot cost for one workload.
+
+    ``speedup`` is the win factor of the fused kernel schedule over
+    per-gate interpretation (>1 means fusion is faster); ``None`` when
+    the fused timing was below clock resolution (the
+    ``shots_per_second`` convention -- never ``inf``/``nan``).
+    """
+
+    shots: int
+    repeats: int
+    fused_seconds: float
+    unfused_seconds: float
+    kernels: int
+    source_gates: int
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.fused_seconds <= 0.0:
+            return None
+        return self.unfused_seconds / self.fused_seconds
+
+    @property
+    def fused_shots_per_second(self) -> float:
+        if self.fused_seconds <= 0.0:
+            return 0.0
+        return self.shots / self.fused_seconds
+
+    @property
+    def unfused_shots_per_second(self) -> float:
+        if self.unfused_seconds <= 0.0:
+            return 0.0
+        return self.shots / self.unfused_seconds
+
+
+def measure_fusion_speedup(
+    program: ModuleLike,
+    shots: int = 64,
+    repeats: int = 3,
+    warmup: int = 1,
+    seed: Optional[int] = None,
+    runtime: Optional[QirRuntime] = None,
+    workload: Optional[str] = None,
+) -> FusionComparison:
+    """Median-of-k fused-vs-unfused timing (ROADMAP "faster kernels").
+
+    Both arms run ``sampling="never"`` (fusion lives in the per-shot and
+    batched paths; the sampling fast path would mask it) on one shared
+    compiled plan, toggling only the runtime's ``fusion`` flag.  Raises
+    ``ValueError`` when the plan has no fused schedule -- a benchmark
+    comparing identical code paths would report noise as signal.  With an
+    enabled observer the ratio lands as a ``runtime.fusion.speedup``
+    gauge, the number ``qir-bench`` records.
+    """
+    from repro.obs.snapshot import measure
+
+    rt = runtime if runtime is not None else QirRuntime(seed=seed)
+    plan = (
+        program
+        if isinstance(program, ExecutionPlan)
+        else compile_plan(program, backend=rt.backend_name, verify=False)
+    )
+    if plan.fused is None:
+        raise ValueError(
+            "program is not specializable (dynamic control flow or qubit "
+            "addressing); there is no fused schedule to measure"
+        )
+    saved = rt.fusion
+    try:
+        rt.fusion = True
+        fused = measure(
+            lambda: rt.run_shots(plan, shots=shots, sampling="never"),
+            repeats=repeats,
+            warmup=warmup,
+        )
+        rt.fusion = False
+        unfused = measure(
+            lambda: rt.run_shots(plan, shots=shots, sampling="never"),
+            repeats=repeats,
+            warmup=warmup,
+        )
+    finally:
+        rt.fusion = saved
+    comparison = FusionComparison(
+        shots=shots,
+        repeats=repeats,
+        fused_seconds=fused.median,
+        unfused_seconds=unfused.median,
+        kernels=plan.fused.kernels,
+        source_gates=plan.fused.source_gates,
+    )
+    if rt.observer.enabled and comparison.speedup is not None:
+        labels = {"workload": workload} if workload else {}
+        rt.observer.set_gauge(
+            "runtime.fusion.speedup", comparison.speedup, **labels
+        )
+    return comparison
+
+
+@dataclass(frozen=True)
+class DistributionComparison:
+    """Measured warm (distribution-served) vs cold fast-path cost.
+
+    ``speedup`` is the win factor of serving shots from a plan's
+    memoized distribution over re-running the fast-path evolution (>1
+    means warm serving is faster); ``None`` when the warm timing was
+    below clock resolution -- the same 0.0-not-``inf`` convention the
+    per-shot side of :class:`FastpathComparison` uses, applied to the
+    distribution-served side.
+    """
+
+    shots: int
+    repeats: int
+    warm_seconds: float
+    cold_seconds: float
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.warm_seconds <= 0.0:
+            return None
+        return self.cold_seconds / self.warm_seconds
+
+    @property
+    def warm_shots_per_second(self) -> float:
+        if self.warm_seconds <= 0.0:
+            return 0.0
+        return self.shots / self.warm_seconds
+
+    @property
+    def cold_shots_per_second(self) -> float:
+        if self.cold_seconds <= 0.0:
+            return 0.0
+        return self.shots / self.cold_seconds
+
+
+def measure_distribution_speedup(
+    program: ModuleLike,
+    shots: int = 512,
+    repeats: int = 5,
+    warmup: int = 1,
+    seed: Optional[int] = None,
+    runtime: Optional[QirRuntime] = None,
+    workload: Optional[str] = None,
+) -> DistributionComparison:
+    """Median-of-k warm-serve vs cold-fastpath timing.
+
+    The plan is warmed with one ``sampling="require"`` run (memoizing its
+    distribution), then the warm arm serves shots from the cached table
+    while the cold arm re-runs the full evolution with ``dist_cache``
+    off.  Raises ``ValueError`` when the program never becomes warm (its
+    evolution consumes RNG draws, or the support is too large to cache).
+    With an enabled observer the ratio lands as a
+    ``runtime.plan.dist_warm_speedup`` gauge, the number ``qir-bench``
+    records.
+    """
+    from repro.obs.snapshot import measure
+
+    rt = runtime if runtime is not None else QirRuntime(seed=seed)
+    plan = (
+        program
+        if isinstance(program, ExecutionPlan)
+        else compile_plan(program, backend=rt.backend_name, verify=False)
+    )
+    saved = rt.dist_cache
+    try:
+        rt.dist_cache = True
+        rt.run_shots(plan, shots=shots, sampling="require")
+        if plan.distribution is None:
+            raise ValueError(
+                "plan did not memoize a distribution (the evolution draws "
+                "from the RNG, or the outcome support is too large)"
+            )
+        warm = measure(
+            lambda: rt.run_shots(plan, shots=shots, sampling="require"),
+            repeats=repeats,
+            warmup=warmup,
+        )
+        rt.dist_cache = False
+        cold = measure(
+            lambda: rt.run_shots(plan, shots=shots, sampling="require"),
+            repeats=repeats,
+            warmup=warmup,
+        )
+    finally:
+        rt.dist_cache = saved
+    comparison = DistributionComparison(
+        shots=shots,
+        repeats=repeats,
+        warm_seconds=warm.median,
+        cold_seconds=cold.median,
+    )
+    if rt.observer.enabled and comparison.speedup is not None:
+        labels = {"workload": workload} if workload else {}
+        rt.observer.set_gauge(
+            "runtime.plan.dist_warm_speedup", comparison.speedup, **labels
         )
     return comparison
 

@@ -38,14 +38,19 @@ from repro.llvmir.printer import print_module
 from repro.llvmir.verifier import verify_module
 from repro.obs.observer import as_observer
 from repro.resilience.fallback import program_is_clifford
+from repro.runtime.sampling_fastpath import SampledDistribution
+from repro.sim.fusion import FusedProgram, specialize_module
 
 PipelineLike = Union[None, str, Callable]
 
 #: Wire-format version of :meth:`ExecutionPlan.to_bytes`.  Bump on any
-#: incompatible layout change; decoders reject newer versions, and the
-#: disk cache (:mod:`repro.runtime.plancache`) keys on it so a format
-#: bump silently invalidates every persisted plan.
-PLAN_WIRE_VERSION = 1
+#: incompatible layout change; decoders reject any *other* version --
+#: newer (unknown layout) and older (missing blocks) alike fail closed
+#: to a recompile -- and the disk cache
+#: (:mod:`repro.runtime.plancache`) keys on it so a format bump silently
+#: invalidates every persisted plan.  v2 added the optional cached
+#: sampling ``distribution`` block.
+PLAN_WIRE_VERSION = 2
 
 
 class PlanDecodeError(ValueError):
@@ -99,6 +104,17 @@ def _resolve_pipeline(pipeline: PipelineLike) -> Tuple[Optional[str], Optional[C
     return str(pipeline), factory
 
 
+class _DistributionCell:
+    """One mutable slot inside the otherwise-frozen plan.  Kept out of
+    equality/repr; exists so a warm distribution can attach to a plan
+    already held by session caches without rebuilding it."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[SampledDistribution] = None):
+        self.value = value
+
+
 @dataclass(frozen=True)
 class ExecutionPlan:
     """A compiled QIR program, frozen for repeated execution.
@@ -123,10 +139,31 @@ class ExecutionPlan:
     # -- provenance ------------------------------------------------------------
     compile_seconds: float = 0.0
     verified: bool = False
+    # -- specialization --------------------------------------------------------
+    #: Fused kernel schedule (derived analysis -- recomputed at compile
+    #: time and on decode, never serialized; ``None`` when the program is
+    #: not specializable or the backend is not the statevector).
+    fused: Optional[FusedProgram] = field(default=None, compare=False, repr=False)
+    #: Mutable cell holding the memoized sampling distribution.  The plan
+    #: itself stays frozen; the cell fills in at most once, after the
+    #: first successful fast-path run (see :meth:`attach_distribution`).
+    _dist: "_DistributionCell" = field(
+        default_factory=lambda: _DistributionCell(), compare=False, repr=False
+    )
 
     @property
     def short_hash(self) -> str:
         return self.source_hash[:12]
+
+    @property
+    def distribution(self) -> Optional[SampledDistribution]:
+        return self._dist.value
+
+    def attach_distribution(self, distribution: SampledDistribution) -> None:
+        """Memoize the fast path's terminal distribution (idempotent --
+        the first attachment wins; the plan's identity never changes)."""
+        if self._dist.value is None:
+            self._dist.value = distribution
 
     def describe(self) -> str:
         parts = [
@@ -171,6 +208,11 @@ class ExecutionPlan:
             "is_clifford": self.is_clifford,
             "compile_seconds": self.compile_seconds,
             "verified": self.verified,
+            "distribution": (
+                None
+                if self.distribution is None
+                else {"entries": self.distribution.to_entries()}
+            ),
         }
         return json.dumps(payload, sort_keys=True).encode("utf-8")
 
@@ -193,9 +235,12 @@ class ExecutionPlan:
         version = payload.get("wire_version")
         if not isinstance(version, int):
             raise PlanDecodeError("serialized plan is missing wire_version")
-        if version > PLAN_WIRE_VERSION:
+        if version != PLAN_WIRE_VERSION:
+            # Older payloads lack blocks this decoder expects (v2 added the
+            # distribution); newer ones may lay fields out differently.
+            # Either way the caller holds the source -- fail closed.
             raise PlanDecodeError(
-                f"plan wire_version {version} is newer than supported "
+                f"plan wire_version {version} does not match supported "
                 f"({PLAN_WIRE_VERSION}); recompile from source"
             )
         text = payload.get("module_text")
@@ -212,14 +257,32 @@ class ExecutionPlan:
             raise PlanDecodeError(
                 f"serialized module text failed to parse: {error}"
             ) from error
+        dist_block = payload.get("distribution")
+        distribution = None
+        if dist_block is not None:
+            # Fail closed: a malformed distribution means a corrupt entry,
+            # and serving bad probabilities silently is worse than a
+            # recompile.
+            if not isinstance(dist_block, dict):
+                raise PlanDecodeError("distribution block must be an object")
+            try:
+                distribution = SampledDistribution.from_entries(
+                    dist_block.get("entries")
+                )
+            except ValueError as error:
+                raise PlanDecodeError(
+                    f"corrupt distribution block: {error}"
+                ) from error
         try:
+            backend = str(payload.get("backend", "statevector"))
+            entry = payload.get("entry")
             return cls(
                 module=module,
                 source_hash=str(payload["source_hash"]),
                 key=str(payload["key"]),
-                backend=str(payload.get("backend", "statevector")),
+                backend=backend,
                 pipeline=payload.get("pipeline"),
-                entry=payload.get("entry"),
+                entry=entry,
                 entry_point=payload.get("entry_point"),
                 profile=payload.get("profile"),
                 required_qubits=payload.get("required_qubits"),
@@ -227,6 +290,15 @@ class ExecutionPlan:
                 is_clifford=bool(payload.get("is_clifford", False)),
                 compile_seconds=float(payload.get("compile_seconds", 0.0)),
                 verified=bool(payload.get("verified", False)),
+                # The fused schedule is derived analysis: recomputing it
+                # from the decoded module is cheap and avoids serializing
+                # NumPy matrices.
+                fused=(
+                    specialize_module(module, entry)
+                    if backend == "statevector"
+                    else None
+                ),
+                _dist=_DistributionCell(distribution),
             )
         except KeyError as error:
             raise PlanDecodeError(f"serialized plan is missing {error}") from error
@@ -316,10 +388,19 @@ def compile_plan(
             compiled, entry
         )
         clifford = program_is_clifford(compiled)
+        fused = (
+            specialize_module(compiled, entry)
+            if backend == "statevector"
+            else None
+        )
     elapsed = perf_counter() - t0
     if obs.enabled:
         obs.inc("plan.compiled", pipeline=pipeline_name or "-", backend=backend)
         obs.observe("plan.compile_seconds", elapsed)
+        if fused is not None:
+            obs.inc("plan.fusion.kernels", fused.kernels)
+            if fused.prefix_gates:
+                obs.inc("plan.clifford_prefix.gates", fused.prefix_gates)
     return ExecutionPlan(
         module=compiled,
         source_hash=digest,
@@ -334,4 +415,5 @@ def compile_plan(
         is_clifford=clifford,
         compile_seconds=elapsed,
         verified=verify,
+        fused=fused,
     )

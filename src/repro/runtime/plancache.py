@@ -105,6 +105,9 @@ class CacheEntry:
     pipeline: Optional[str]
     size_bytes: int
     mtime: float
+    #: Whether the entry carries a cached sampling distribution (the
+    #: warm-serve tier; ``qir-plan-cache list`` shows this as ``dist``).
+    has_distribution: bool = False
 
     @property
     def short_hash(self) -> str:
@@ -277,6 +280,7 @@ class PlanCache:
                         pipeline=payload.get("pipeline"),
                         size_bytes=stat.st_size,
                         mtime=stat.st_mtime,
+                        has_distribution=payload.get("distribution") is not None,
                     )
                 )
             except (OSError, ValueError):

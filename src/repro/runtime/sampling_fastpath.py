@@ -23,11 +23,20 @@ The EX5 benchmark ablates the two strategies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.runtime.results import ResultStore
 from repro.runtime.values import IntPtr
 from repro.sim.statevector import StatevectorSimulator
+
+#: Distributions with more nonzero outcomes than this are not cached --
+#: the wire payload would dwarf the module text and the warm win shrinks
+#: as the support grows anyway.
+MAX_CACHED_OUTCOMES = 4096
 
 
 class FastPathUnsupported(Exception):
@@ -128,6 +137,12 @@ def sample_counts_from(
         return {"": shots}
 
     raw = backend.inner.sample(shots, qubits=slots)
+    return _remap_counts(raw, slots, addresses)
+
+
+def _remap_counts(
+    raw: Dict[str, int], slots: Sequence[int], addresses: Sequence[int]
+) -> Dict[str, int]:
     # sample() renders bits as reversed(slots): bit 0 of the string is the
     # *last* slot in `slots`.
     max_address = max(addresses)
@@ -142,3 +157,117 @@ def sample_counts_from(
         )
         counts[rendered] = counts.get(rendered, 0) + count
     return counts
+
+
+# -- cached sampling distributions ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class SampledDistribution:
+    """The terminal output distribution of one fast-path evolution.
+
+    ``entries`` holds ``(bitstring, probability)`` pairs for every
+    *nonzero* basis outcome, **in basis-index order and unaggregated** --
+    two basis states of the full register may render the same bitstring
+    (unmeasured qubits) and must stay separate entries, because bit-exact
+    warm replay depends on the cumulative sums :meth:`sample_counts`
+    feeds the RNG matching the cold path's dense ones.  Dropping exact
+    zeros and keeping order preserves every partial sum (``x + 0.0 == x``)
+    and every ``searchsorted`` decision, so a warm plan serving shots
+    from this table is bit-identical to re-running the evolution, for
+    the same reserved fast-path seed.
+
+    Empty ``entries`` encodes the measurement-free program (the cold
+    path's ``{"": shots}``, no RNG consumed).
+    """
+
+    entries: Tuple[Tuple[str, float], ...]
+
+    def sample_counts(self, shots: int, seed) -> Dict[str, int]:
+        """Serve a shot histogram with zero simulation.
+
+        ``seed`` must be the run's reserved fast-path sequence
+        (:func:`~repro.runtime.schedulers.fastpath_sequence`) so warm
+        counts reproduce what the cold path would have drawn.
+        """
+        if not self.entries:
+            return {"": shots}
+        probs = np.asarray([p for _, p in self.entries], dtype=np.float64)
+        rng = np.random.default_rng(seed)
+        outcomes = rng.choice(len(probs), size=shots, p=probs)
+        counts: Dict[str, int] = {}
+        for index, count in zip(*np.unique(outcomes, return_counts=True)):
+            bits = self.entries[int(index)][0]
+            counts[bits] = counts.get(bits, 0) + int(count)
+        return counts
+
+    def to_entries(self) -> List[List[object]]:
+        return [[bits, prob] for bits, prob in self.entries]
+
+    @classmethod
+    def from_entries(cls, entries: object) -> "SampledDistribution":
+        """Decode and validate a wire-format entry list.  Raises
+        ``ValueError`` on anything suspect -- shape, types, negative or
+        non-finite probabilities, or a total that is not ~1.0."""
+        if not isinstance(entries, list):
+            raise ValueError("distribution entries must be a list")
+        pairs: List[Tuple[str, float]] = []
+        total = 0.0
+        for item in entries:
+            if not isinstance(item, (list, tuple)) or len(item) != 2:
+                raise ValueError("distribution entry must be a [bits, prob] pair")
+            bits, prob = item
+            if not isinstance(bits, str) or bits.strip("01"):
+                raise ValueError(f"distribution bitstring {bits!r} is not binary")
+            if isinstance(prob, bool) or not isinstance(prob, (int, float)):
+                raise ValueError("distribution probability must be a number")
+            prob = float(prob)
+            if not math.isfinite(prob) or prob <= 0.0:
+                raise ValueError(f"distribution probability {prob!r} out of range")
+            total += prob
+            pairs.append((bits, prob))
+        if pairs and abs(total - 1.0) > 1e-6:
+            raise ValueError(f"distribution sums to {total!r}, expected ~1.0")
+        return cls(entries=tuple(pairs))
+
+
+def distribution_from(
+    backend: DeferredMeasurementBackend,
+    results: DeferredResultStore,
+) -> Optional[SampledDistribution]:
+    """Extract the cacheable terminal distribution of one evolution.
+
+    Replicates exactly what :meth:`StatevectorSimulator.sample` feeds
+    ``Generator.choice`` -- including its conditional renormalisation --
+    then renders each nonzero basis outcome through the same
+    slot->address remap as :func:`sample_counts_from`.  Returns ``None``
+    when the support exceeds :data:`MAX_CACHED_OUTCOMES` (not worth
+    persisting) or the bookkeeping is inconsistent.
+    """
+    slots = backend.measured_slots
+    addresses = results.write_order
+    if len(slots) != len(addresses):
+        return None
+    if not slots:
+        return SampledDistribution(entries=())
+
+    probs = backend.inner.probabilities()
+    total = float(probs.sum())
+    if not math.isclose(total, 1.0, abs_tol=1e-9):
+        probs = probs / total
+    nonzero = np.flatnonzero(probs)
+    if len(nonzero) > MAX_CACHED_OUTCOMES:
+        return None
+    max_address = max(addresses)
+    entries: List[Tuple[str, float]] = []
+    for basis in nonzero:
+        basis = int(basis)
+        by_address = {}
+        for position, address in enumerate(addresses):
+            by_address[address] = str((basis >> slots[position]) & 1)
+        rendered = "".join(
+            by_address.get(address, "0")
+            for address in range(max_address, -1, -1)
+        )
+        entries.append((rendered, float(probs[basis])))
+    return SampledDistribution(entries=tuple(entries))

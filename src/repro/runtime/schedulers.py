@@ -84,6 +84,7 @@ from repro.runtime.interpreter import Interpreter, InterpreterStats
 from repro.runtime.output import OutputRecord
 from repro.runtime.results import ResultStore
 from repro.runtime.values import IntPtr
+from repro.sim.fusion import FusedProgram, run_fused, run_fused_batched
 from repro.sim.noise import NoiseModel, NoisyBackend
 from repro.sim.stabilizer import StabilizerSimulator
 from repro.sim.statevector import BatchedStatevectorSimulator, StatevectorSimulator
@@ -200,6 +201,9 @@ class ShotsResult:
     shots: int
     per_shot_stats: List[InterpreterStats] = field(default_factory=list)
     used_fast_path: bool = False
+    #: True when a warm plan's cached sampling distribution served these
+    #: counts with zero simulation (implies ``used_fast_path``).
+    distribution_served: bool = False
     # -- observability (repro.obs) --------------------------------------------
     wall_seconds: float = 0.0
     #: ULID-style identity of this run (see repro.obs.runctx); empty when
@@ -487,7 +491,10 @@ class ShotExecutor:
         level: BackendLevel,
         ctx: Optional[ShotFaultContext],
         seed: SeedLike,
+        schedule: Optional[FusedProgram] = None,
     ) -> ExecutionResult:
+        if schedule is not None and self._fusable(level, ctx):
+            return self._run_fused_single(schedule, seed)
         backend = _make_backend(
             level.backend, seed, self.max_qubits, self.effective_noise(level)
         )
@@ -525,6 +532,52 @@ class ShotExecutor:
             return_value=value,
         )
 
+    def _fusable(
+        self, level: BackendLevel, ctx: Optional[ShotFaultContext]
+    ) -> bool:
+        """Whether this attempt may take the fused kernel path.
+
+        Conservative on purpose: the fused executor models the clean
+        statevector semantics only, so anything that perturbs them --
+        another backend rung, real noise, an active fault context --
+        keeps the interpreter path.
+        """
+        if level.backend != "statevector":
+            return False
+        if ctx is not None and not ctx.is_inert:
+            return False
+        noise = self.effective_noise(level)
+        return noise is None or noise.is_trivial
+
+    def _run_fused_single(
+        self, schedule: FusedProgram, seed: SeedLike
+    ) -> ExecutionResult:
+        """One shot through the precompiled kernel schedule.
+
+        The simulator is seeded exactly like the interpreter path's
+        backend, and the schedule preserves the source's measure/reset
+        order, so the RNG draw sequence -- and therefore the outcome --
+        is bit-identical to an unfused run of the same ``(root, shot,
+        attempt)``.
+        """
+        backend = _make_backend("statevector", seed, self.max_qubits, None)
+        bits, bitstring = run_fused(schedule, backend)
+        # Coarse synthesized stats: the interpreter's per-instruction
+        # bookkeeping does not exist here, but gate/measurement totals
+        # keep profiled runs meaningful.
+        stats = InterpreterStats()
+        stats.gates = schedule.source_gates
+        stats.measurements = schedule.measurements
+        stats.quantum_calls = schedule.source_gates + schedule.measurements
+        return ExecutionResult(
+            output_records=[],
+            result_bits=bits,
+            bitstring=bitstring,
+            messages=[],
+            stats=stats,
+            return_value=None,
+        )
+
     # -- one shot with retry --------------------------------------------------
     def attempt_shot(
         self,
@@ -537,6 +590,7 @@ class ShotExecutor:
         shot: int,
         attempt_offset: int,
         backoff: _BackoffStream,
+        schedule: Optional[FusedProgram] = None,
     ) -> Tuple[Optional[ExecutionResult], Optional[QirRuntimeError], int]:
         """Run one shot with per-attempt retry; returns (result, error, attempts).
 
@@ -553,7 +607,11 @@ class ShotExecutor:
                 ctx.begin_attempt(index, level.backend, noisy)
             seed = shot_sequence(root, shot, index)
             try:
-                return self.run_single(module, entry, level, ctx, seed), None, attempt
+                return (
+                    self.run_single(module, entry, level, ctx, seed, schedule),
+                    None,
+                    attempt,
+                )
             except QirRuntimeError as error:
                 last_error = error
                 if not policy.should_retry(error, attempt):
@@ -573,6 +631,7 @@ class ShotExecutor:
         keep_result_stats: bool,
         collect: bool,
         timed: bool,
+        schedule: Optional[FusedProgram] = None,
     ) -> ShotOutcome:
         """The per-shot task: retry, fallback, and failure collection.
 
@@ -587,7 +646,16 @@ class ShotExecutor:
         while True:
             level = chain.current
             result, error, attempts = self.attempt_shot(
-                module, entry, level, ctx, policy, root, shot, total_attempts, backoff
+                module,
+                entry,
+                level,
+                ctx,
+                policy,
+                root,
+                shot,
+                total_attempts,
+                backoff,
+                schedule,
             )
             total_attempts += attempts
             if error is None:
@@ -640,6 +708,9 @@ class ShotTask:
     #: Run identity (repro.obs.runctx); rides the pickled _WorkerChunk into
     #: process workers so their reports join the parent's trace and ledger.
     run_id: str = ""
+    #: Fused kernel schedule from the plan's specialization pass; ``None``
+    #: disables fusion for this run (not specializable, or --no-fusion).
+    schedule: Optional[FusedProgram] = None
 
     def run_one(self, shot: int) -> ShotOutcome:
         # Outcome stats are kept whenever the run is profiled (the merge
@@ -656,6 +727,7 @@ class ShotTask:
             keep,
             collect=self.resilient,
             timed=self.timed,
+            schedule=self.schedule,
         )
 
 
@@ -806,6 +878,10 @@ class _WorkerChunk:
     #: clock relative to this so the merge can rebase span timestamps;
     #: 0.0 means "no rebase information" (older dispatchers, tests).
     dispatch_clock: float = 0.0
+    #: Whether workers may use the decoded plan's fused schedule (mirrors
+    #: the parent's fusion toggle; the schedule itself is recomputed from
+    #: the plan bytes, never pickled).
+    fused_enabled: bool = True
 
 
 @dataclass
@@ -952,6 +1028,7 @@ def _run_worker_chunk(chunk: _WorkerChunk) -> Union[_WorkerReport, bytes]:
                     chunk.keep_stats,
                     collect=chunk.resilient,
                     timed=False,
+                    schedule=plan.fused if chunk.fused_enabled else None,
                 )
             )
         except QirRuntimeError as exc:
@@ -1160,6 +1237,7 @@ class ProcessScheduler:
             beat_interval=beat_interval,
             run_id=task.run_id,
             dispatch_clock=perf_counter(),
+            fused_enabled=task.schedule is not None,
         )
 
     def _run_supervised(
@@ -1715,6 +1793,25 @@ def run_batched(task: ShotTask) -> List[ShotOutcome]:
         backend = BatchedStatevectorSimulator(
             size, seeds=seeds, max_qubits=executor.max_qubits
         )
+        if task.schedule is not None:
+            # Fused batched path: the kernel schedule replaces the whole
+            # interpreter walk, one pre-multiplied pass per kernel over
+            # the (batch, 2**n) array.  Per-member RNGs draw in the same
+            # member order as the interpreter's batched measure, so
+            # counts stay bit-identical.
+            strings = run_fused_batched(task.schedule, backend)
+            if obs.enabled:
+                obs.inc("runtime.scheduler.batched_chunks")
+            for member in range(size):
+                outcomes.append(
+                    ShotOutcome(
+                        shot=start + member,
+                        bitstring=strings[member],
+                        backend_label=executor.backend_name,
+                    )
+                )
+            start += size
+            continue
         results = BatchedResultStore()
         interp = Interpreter(
             task.module,

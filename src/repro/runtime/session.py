@@ -268,6 +268,7 @@ class QirSession:
         they can never break the run they record.
         """
         plan = self.compile(program, pipeline=pipeline, entry=entry)
+        had_distribution = plan.distribution is not None
         context = kwargs.pop("run_context", None)
         if context is None:
             context = RunContext()
@@ -283,9 +284,11 @@ class QirSession:
             shots=shots,
         )
         if self.ledger is None:
-            return self.runtime.run_shots(
+            result = self.runtime.run_shots(
                 plan, shots, entry, run_context=context, **kwargs
             )
+            self._persist_distribution(plan, pipeline, entry, had_distribution)
+            return result
         t0 = perf_counter()
         try:
             result = self.runtime.run_shots(
@@ -304,7 +307,35 @@ class QirSession:
         self.ledger.record(
             RunRecord.from_result(context, result, counters=self._ledger_counters())
         )
+        self._persist_distribution(plan, pipeline, entry, had_distribution)
         return result
+
+    def _persist_distribution(
+        self,
+        plan: ExecutionPlan,
+        pipeline: PipelineLike,
+        entry: Optional[str],
+        had_distribution: bool,
+    ) -> None:
+        """Write a plan back to the disk tier when a run just warmed it.
+
+        The memory LRU holds the live plan object (the attached
+        distribution is already visible there); only the serialized disk
+        entry is stale.  Re-putting refreshes it so *other* processes
+        warm-start with the distribution included."""
+        if self.plan_cache is None or had_distribution:
+            return
+        if plan.distribution is None:
+            return
+        key = self._plan_key_of(plan, pipeline, entry)
+        if key is None:
+            return
+        obs = self.observer
+        if obs.enabled:
+            with obs.span("session.cache_disk_write", hash=plan.short_hash):
+                self.plan_cache.put(key, plan)
+        else:
+            self.plan_cache.put(key, plan)
 
     def _plan_key_of(
         self,

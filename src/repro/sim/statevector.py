@@ -147,6 +147,18 @@ class StatevectorSimulator:
                 break
             self.allocate_qubit()
 
+    def load_state(self, amplitudes: np.ndarray) -> None:
+        """Replace the register with precomputed amplitudes (the
+        stabilizer->statevector handoff).  Length must match the current
+        allocation exactly; callers size the register first."""
+        amplitudes = np.asarray(amplitudes, dtype=np.complex128)
+        if amplitudes.shape != self._state.shape:
+            raise ValueError(
+                f"state of length {amplitudes.shape} does not fit a "
+                f"{self._num_qubits}-qubit register"
+            )
+        self._state = amplitudes.copy()
+
     # -- gate application -------------------------------------------------------
     def _check_qubit(self, qubit: int) -> None:
         if not 0 <= qubit < self._num_qubits:
@@ -355,6 +367,18 @@ class BatchedStatevectorSimulator:
     def ensure_qubits(self, count: int) -> None:
         while self._num_qubits < count:
             self.allocate_qubit()
+
+    def load_state(self, amplitudes: np.ndarray) -> None:
+        """Broadcast precomputed amplitudes to every member (the
+        stabilizer->statevector handoff; all members start identical and
+        diverge only at measurement)."""
+        amplitudes = np.asarray(amplitudes, dtype=np.complex128)
+        if amplitudes.shape != (self._state.shape[1],):
+            raise ValueError(
+                f"state of length {amplitudes.shape} does not fit a "
+                f"{self._num_qubits}-qubit register"
+            )
+        self._state = np.tile(amplitudes, (self.batch, 1))
 
     # -- gate application -------------------------------------------------------
     def _check_qubit(self, qubit: int) -> None:

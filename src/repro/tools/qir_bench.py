@@ -43,13 +43,19 @@ from repro.obs.runctx import new_run_id
 from repro.obs.snapshot import BenchRecord, BenchSnapshot, TimingStats, measure
 from repro.passes.manager import BudgetBust, budgets_from_specs
 from repro.passes.pipeline import o1_pipeline, unroll_pipeline
-from repro.runtime.execute import QirRuntime, measure_fastpath_speedup
+from repro.runtime.execute import (
+    QirRuntime,
+    measure_distribution_speedup,
+    measure_fastpath_speedup,
+    measure_fusion_speedup,
+)
 from repro.runtime.session import QirSession
 from repro.workloads.qir_programs import (
     counted_loop_qir,
     ghz_qir,
     qft_qir,
     reset_chain_qir,
+    rotation_ladder_qir,
 )
 
 EXIT_OK = 0
@@ -172,6 +178,60 @@ def _bench_runtime(snapshot: BenchSnapshot, shots: int, repeats: int) -> None:
                 unit="ratio", direction="higher", k=repeats,
                 metadata={"shots": shots},
             )
+
+
+def _bench_specialization(
+    snapshot: BenchSnapshot, shots: int, repeats: int
+) -> None:
+    """Plan-specialization wins (ROADMAP: faster simulator kernels).
+
+    Fusion arm: ``rotation_ladder_qir`` -- deep per-qubit rotation runs
+    that coalesce into one kernel per qubit, timed fused vs per-gate
+    interpretation with the sampling fast path disabled on both sides.
+    Distribution arm: a GHZ plan warmed through the sampling fast path,
+    then warm (memoized-distribution) serving vs cold re-evolution.  The
+    two ratios -- ``runtime.fusion.speedup`` and
+    ``runtime.plan.dist_warm_speedup`` -- are the regression gate's
+    specialization numbers.
+    """
+    ladder = rotation_ladder_qir(2, depth=48)
+    fusion = measure_fusion_speedup(
+        ladder, shots=min(shots, 64), repeats=repeats, seed=7,
+        workload="rotation_ladder",
+    )
+    snapshot.record(
+        "runtime.fusion.fused_shots_per_second",
+        fusion.fused_shots_per_second,
+        unit="shots/sec", direction="higher", k=repeats,
+        metadata={"shots": fusion.shots, "kernels": fusion.kernels,
+                  "source_gates": fusion.source_gates},
+    )
+    if fusion.speedup is not None:
+        snapshot.record(
+            "runtime.fusion.speedup",
+            fusion.speedup,
+            unit="ratio", direction="higher", k=repeats,
+            metadata={"shots": fusion.shots, "kernels": fusion.kernels,
+                      "source_gates": fusion.source_gates},
+        )
+
+    ghz = ghz_qir(10, addressing="static")
+    dist = measure_distribution_speedup(
+        ghz, shots=max(shots, 512), repeats=repeats, seed=7, workload="ghz10"
+    )
+    snapshot.record(
+        "runtime.plan.dist_warm_shots_per_second",
+        dist.warm_shots_per_second,
+        unit="shots/sec", direction="higher", k=repeats,
+        metadata={"shots": dist.shots},
+    )
+    if dist.speedup is not None:
+        snapshot.record(
+            "runtime.plan.dist_warm_speedup",
+            dist.speedup,
+            unit="ratio", direction="higher", k=repeats,
+            metadata={"shots": dist.shots},
+        )
 
 
 def _bench_schedulers(snapshot: BenchSnapshot, shots: int, repeats: int) -> None:
@@ -462,6 +522,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _bench_passes(snapshot, args.repeats)
     if "runtime" in suites:
         _bench_runtime(snapshot, args.shots, args.repeats)
+        _bench_specialization(snapshot, args.shots, args.repeats)
         _bench_schedulers(snapshot, args.shots, args.repeats)
         _bench_supervision(snapshot, args.shots, args.repeats)
         _bench_plan_cache(snapshot, args.repeats)

@@ -15,7 +15,10 @@ The directory resolves exactly as at runtime: ``--dir`` wins, then the
 ``list --verify`` runs every file through the full wire-format decode
 (:meth:`PlanCache.verify`), so bit-flipped payloads that still parse as
 JSON are caught; corrupt files are deleted (use ``--keep-corrupt`` to
-only report them).
+only report them).  The decode includes the cached sampling
+distribution block (the ``dist`` column): entries whose distribution
+fails to decode or does not sum to ~1.0 are corrupt and fail closed to
+a recompile, counted under ``cache.plan_disk.corrupt``.
 
 Exit codes: 0 = success (cache clean), 1 = corrupt entries found,
 2 = bad invocation.
@@ -80,14 +83,19 @@ def _list(cache: PlanCache, verify: bool = False, delete: bool = True) -> int:
     if not entries:
         print(f"qir-plan-cache: empty ({cache.directory})")
     else:
-        print(f"{'HASH':<14}{'BACKEND':<14}{'PIPELINE':<12}{'SIZE':>8}  WRITTEN")
+        print(
+            f"{'HASH':<14}{'BACKEND':<14}{'PIPELINE':<12}{'DIST':<6}"
+            f"{'SIZE':>8}  WRITTEN"
+        )
         for entry in entries:
             written = datetime.fromtimestamp(entry.mtime).strftime(
                 "%Y-%m-%d %H:%M:%S"
             )
+            dist = "yes" if entry.has_distribution else "-"
             print(
                 f"{entry.short_hash:<14}{entry.backend:<14}"
-                f"{(entry.pipeline or '-'):<12}{_human_size(entry.size_bytes):>8}"
+                f"{(entry.pipeline or '-'):<12}{dist:<6}"
+                f"{_human_size(entry.size_bytes):>8}"
                 f"  {written}"
             )
         print(f"{len(entries)} plan(s) in {cache.directory}")

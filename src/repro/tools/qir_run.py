@@ -57,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="readout flip probability")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the IR verifier")
+    parser.add_argument("--no-fusion", action="store_true",
+                        help="disable fused gate kernels (run every gate "
+                             "through the interpreter individually)")
+    parser.add_argument("--no-dist-cache", action="store_true",
+                        help="disable the cached sampling distribution "
+                             "(warm plans re-simulate instead of sampling "
+                             "the memoized output distribution)")
     parser.add_argument("--opt", default=None, metavar="PIPELINE",
                         help="run a qir-opt pipeline before executing "
                              "(same names as qir-opt --pipeline)")
@@ -234,6 +241,8 @@ def _run(args: argparse.Namespace, observer) -> int:
         allow_on_the_fly_qubits=not args.no_on_the_fly,
         noise=noise if has_noise else None,
         observer=observer,
+        fusion=not args.no_fusion,
+        dist_cache=not args.no_dist_cache,
     )
 
     # The lli workflow, compile-once style: parse -> verify -> optional

@@ -14,6 +14,7 @@ from repro.workloads.qir_programs import (
     ghz_qir,
     qft_qir,
     random_qir,
+    rotation_ladder_qir,
     vqe_ansatz_qir,
 )
 from repro.workloads.qec import repetition_code_qir, teleportation_qir
@@ -30,6 +31,7 @@ __all__ = [
     "ghz_qir",
     "qft_qir",
     "random_qir",
+    "rotation_ladder_qir",
     "vqe_ansatz_qir",
     "repetition_code_qir",
     "teleportation_qir",

@@ -97,6 +97,62 @@ attributes #0 = {{ "entry_point" "qir_profiles"="full" "required_num_qubits"="{n
 """
 
 
+def rotation_ladder_qir(
+    num_qubits: int = 2, depth: int = 32, angle: float = 0.3
+) -> str:
+    """Deep per-qubit rotation runs + terminal measurement: fusion's home turf.
+
+    Each qubit gets ``depth`` consecutive single-qubit rotations (cycling
+    rx/ry/rz with drifting angles) before a terminal ``mz``.  Every run of
+    same-support gates coalesces into one pre-multiplied 2x2 kernel at
+    plan-compile time, so the fused executor applies ``num_qubits``
+    matrices where the interpreter dispatches ``num_qubits * depth``
+    intrinsic calls -- the spread ``runtime.fusion.speedup`` measures.
+    Non-Clifford throughout, so neither the stabilizer backend nor the
+    Clifford-prefix router claims it, and measurement-free until the end,
+    so the sampling fast path *does* accept it (disable sampling to
+    isolate the fused-kernel win).
+    """
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    if depth < 1:
+        raise ValueError("need at least one rotation per qubit")
+    rotations = ("rx", "ry", "rz")
+    lines: List[str] = []
+    for i in range(num_qubits):
+        q = "null" if i == 0 else f"inttoptr (i64 {i} to ptr)"
+        for d in range(depth):
+            gate = rotations[d % len(rotations)]
+            theta = angle + 0.05 * d + 0.01 * i
+            lines.append(
+                f"  call void @__quantum__qis__{gate}__body(double {theta!r}, ptr {q})"
+            )
+    for i in range(num_qubits):
+        q = "null" if i == 0 else f"inttoptr (i64 {i} to ptr)"
+        res = "null" if i == 0 else f"inttoptr (i64 {i} to ptr)"
+        lines.append(
+            f"  call void @__quantum__qis__mz__body(ptr {q}, ptr writeonly {res})"
+        )
+    body = "\n".join(lines)
+    return f"""
+define void @main() #0 {{
+entry:
+{body}
+  ret void
+}}
+
+declare void @__quantum__qis__rx__body(double, ptr)
+declare void @__quantum__qis__ry__body(double, ptr)
+declare void @__quantum__qis__rz__body(double, ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr writeonly)
+
+attributes #0 = {{ "entry_point" "qir_profiles"="base_profile" "required_num_qubits"="{num_qubits}" "required_num_results"="{num_qubits}" }}
+
+!llvm.module.flags = !{{!0}}
+!0 = !{{i32 1, !"qir_major_version", i32 1}}
+"""
+
+
 def reset_chain_qir(num_qubits: int = 2, rounds: int = 3, angle: float = 0.7) -> str:
     """Rotation + mid-circuit reset/re-measure chain: the batched scheduler's
     home turf.

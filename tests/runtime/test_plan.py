@@ -207,5 +207,5 @@ class TestPlanWireFormat:
         plan = compile_plan(bell_qir("static"))
         payload = json_mod.loads(plan.to_bytes())
         payload["wire_version"] = PLAN_WIRE_VERSION + 1
-        with pytest.raises(PlanDecodeError, match="newer than supported"):
+        with pytest.raises(PlanDecodeError, match="does not match supported"):
             ExecutionPlan.from_bytes(json_mod.dumps(payload).encode())
